@@ -1,0 +1,127 @@
+// Reproduces §7.1 "Unexpected visitors": during the 2008 Storm
+// infiltration, proxy bots kept outside-reachable (for their C&C relay
+// role) suddenly received FTP iframe-injection jobs from an upstream
+// botmaster. Under GQ's Storm policy — HTTP C&C forwarded, everything
+// else reflected to the sink — the attack lands in the sink instead of
+// the victim. The bench runs the identical scenario twice: once under a
+// dangerously loose ForwardAll policy (what a careless analyst might
+// run) and once under the Storm containment, and compares the damage.
+#include <cstdio>
+#include <memory>
+
+#include "containment/policies.h"
+#include "core/farm.h"
+#include "extnet/extnet.h"
+#include "malware/stormbot.h"
+#include "services/ftp.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gq;
+using util::Ipv4Addr;
+
+struct Outcome {
+  std::uint64_t jobs_delivered = 0;
+  std::uint64_t ftp_attempts = 0;
+  std::uint64_t injections_completed = 0;
+  bool victim_page_modified = false;
+  std::uint64_t sink_flows = 0;
+};
+
+Outcome run(bool contained) {
+  core::Farm farm;
+
+  // The simulated Internet: Storm's HTTP C&C, the victim FTP server,
+  // and the upstream botmaster.
+  auto& cc_host = farm.add_external_host("storm-cc", Ipv4Addr(77, 55, 3, 9));
+  ext::CcServer cc(cc_host, 80);
+  cc.set_document("/storm/checkin", "ok");
+  auto& victim = farm.add_external_host("ftp-victim",
+                                        Ipv4Addr(208, 97, 20, 5));
+  svc::FtpServer ftpd(victim, 21, "webmaster", "hunter2");
+  const std::string original_page = "<html><body>corporate site</body></html>";
+  ftpd.files()["/index.html"] = original_page;
+  auto& master_host =
+      farm.add_external_host("botmaster", Ipv4Addr(41, 3, 9, 77));
+  ext::StormMaster master(master_host);
+
+  // The Storm proxy subfarm: outside reachability preserved.
+  core::SubfarmOptions options;
+  options.inbound_mode = gw::InboundMode::kForward;
+  auto& sub = farm.add_subfarm("StormFarm", options);
+  auto& sink = sub.add_catchall_sink();
+  if (contained) {
+    sub.containment().bind_policy(
+        16, 31, std::make_shared<cs::StormPolicy>(sub.policy_env()));
+  } else {
+    sub.containment().bind_policy(16, 31,
+                                  std::make_shared<cs::ForwardAllPolicy>());
+  }
+
+  auto& inmate = sub.create_inmate(inm::HostingKind::kVm);
+  farm.run_for(util::minutes(1));
+
+  mal::StormBotConfig bot_config;
+  bot_config.listen_port = 8080;
+  bot_config.c2 = {Ipv4Addr(77, 55, 3, 9), 80};
+  auto bot = std::make_unique<mal::StormProxyBehavior>(bot_config,
+                                                       farm.rng().fork());
+  auto* bot_ptr = bot.get();
+  inmate.infect_with(std::move(bot), "storm.proxy.exe");
+  farm.run_for(util::seconds(10));
+
+  // The upstream master pushes the iframe-injection job to the proxy's
+  // global address.
+  const auto* binding = sub.router().inmates().by_vlan(16);
+  master.send_ftp_inject({binding->global_addr, 8080},
+                         {Ipv4Addr(208, 97, 20, 5), 21}, "webmaster",
+                         "hunter2", "/index.html",
+                         "<iframe src=\"http://evil.example/\"></iframe>");
+  farm.run_for(util::minutes(3));
+
+  Outcome outcome;
+  outcome.jobs_delivered = bot_ptr->jobs_received();
+  outcome.ftp_attempts = bot_ptr->ftp_attempts();
+  outcome.injections_completed = bot_ptr->ftp_injections_completed();
+  outcome.victim_page_modified =
+      ftpd.files()["/index.html"] != original_page;
+  outcome.sink_flows = sink.tcp_flows();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E1 reproduction (§7.1 'Unexpected visitors'): Storm proxy bots "
+      "receive\nFTP iframe-injection jobs from an upstream botmaster.\n\n");
+  std::printf("%-26s %12s %12s\n", "", "UNCONTAINED", "GQ (Storm)");
+  std::printf("%s\n", std::string(54, '-').c_str());
+  const Outcome loose = run(/*contained=*/false);
+  const Outcome tight = run(/*contained=*/true);
+  auto row = [](const char* label, std::uint64_t a, std::uint64_t b) {
+    std::printf("%-26s %12llu %12llu\n", label,
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  };
+  row("C&C jobs reaching the bot", loose.jobs_delivered,
+      tight.jobs_delivered);
+  row("FTP attacks attempted", loose.ftp_attempts, tight.ftp_attempts);
+  row("Injections completed", loose.injections_completed,
+      tight.injections_completed);
+  row("Flows caught by the sink", loose.sink_flows, tight.sink_flows);
+  std::printf("%-26s %12s %12s\n", "Victim page defaced",
+              loose.victim_page_modified ? "YES" : "no",
+              tight.victim_page_modified ? "YES" : "no");
+  std::printf("%s\n", std::string(54, '-').c_str());
+  std::printf(
+      "\nShape check: the bot operates in both runs (jobs delivered, FTP\n"
+      "attempted — the proxy role needs inbound reachability), but only\n"
+      "under the loose policy does the attack complete. Under GQ the FTP\n"
+      "flow surfaces in the sink — which is exactly how the authors\n"
+      "*discovered* this behaviour.\n");
+  const bool ok = loose.victim_page_modified && !tight.victim_page_modified &&
+                  tight.sink_flows > 0;
+  return ok ? 0 : 1;
+}

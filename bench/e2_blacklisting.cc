@@ -1,0 +1,115 @@
+// Reproduces §7.1 "Mysterious blacklisting": Waledac inmates' global
+// addresses appeared on the Composite Blocking List although the only
+// permitted outside interaction was a single test SMTP message to a
+// GMail server. The mechanism: the bots' recognizable HELO string
+// ("wergvan") — Google detected it and informed blacklist providers.
+// The bench runs the Waledac deployment twice: with the test-message
+// exemption (the 2009 mistake) and under full SMTP reflection, and
+// checks the inmates' addresses against the simulated CBL.
+#include <cstdio>
+#include <memory>
+
+#include "core/farm.h"
+#include "extnet/extnet.h"
+#include "malware/spambot.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gq;
+using util::Ipv4Addr;
+
+struct Outcome {
+  std::uint64_t test_messages_forwarded = 0;
+  std::uint64_t gmail_detections = 0;
+  std::size_t inmates_blacklisted = 0;
+  std::uint64_t spam_harvested = 0;
+};
+
+Outcome run(bool allow_test_smtp) {
+  core::Farm farm;
+
+  auto& cc_host = farm.add_external_host("cc", Ipv4Addr(79, 4, 4, 20));
+  ext::CcServer cc(cc_host, 80);
+  mal::SpamTask task;
+  task.targets = {{Ipv4Addr(64, 233, 10, 1), 25}};  // "GMail".
+  cc.set_document("/c2/tasks", task.serialize());
+
+  // The GMail-like server polices HELO identities.
+  auto& gmail_host = farm.add_external_host("gmail-mx",
+                                            Ipv4Addr(64, 233, 10, 1));
+  ext::PolicedSmtpServer gmail(gmail_host, 25, &farm.cbl(),
+                               "220 mx.google.example ESMTP gsmtp");
+  gmail.add_bot_helo("wergvan");
+
+  auto& sub = farm.add_subfarm("WaledacFarm");
+  sub.add_catchall_sink();
+  sinks::SmtpSinkConfig sink_config;
+  sink_config.port = 2526;
+  sink_config.static_banner = "220 mx.sink.gq ESMTP gsmtp";  // Good enough.
+  auto& sink = sub.add_smtp_sink(sink_config, "bannersmtpsink");
+  sub.set_autoinfect({Ipv4Addr(10, 9, 8, 7), 6543});
+  sub.containment().samples().add("waledac.090612.000.exe");
+  sub.catalog().register_prototype(
+      "waledac.*", [](const std::string&, util::Rng& rng) {
+        mal::SpambotConfig config;
+        config.family = "waledac";
+        config.c2 = {Ipv4Addr(79, 4, 4, 20), 80};
+        config.helo = "wergvan";  // The recognizable greeting.
+        config.banner_requires = "gsmtp";
+        config.send_interval = util::seconds(3);
+        return std::make_unique<mal::SpambotBehavior>(config, rng.fork());
+      });
+  sub.configure_containment(
+      allow_test_smtp
+          ? "[VLAN 16-31]\nDecider = WaledacTest\nInfection = waledac.*\n"
+          : "[VLAN 16-31]\nDecider = Waledac\nInfection = waledac.*\n");
+
+  sub.create_inmate(inm::HostingKind::kVm);
+  sub.create_inmate(inm::HostingKind::kVm);
+  farm.run_for(util::minutes(30));
+
+  Outcome outcome;
+  outcome.test_messages_forwarded = gmail.sessions();
+  outcome.gmail_detections = gmail.bot_helos_detected();
+  outcome.inmates_blacklisted = farm.reporter().blacklisted_inmates().size();
+  outcome.spam_harvested = sink.data_transfers();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E2 reproduction (§7.1 'Mysterious blacklisting'): Waledac's\n"
+      "'wergvan' HELO vs the test-SMTP exemption.\n\n");
+  const Outcome with_test = run(/*allow_test_smtp=*/true);
+  const Outcome strict = run(/*allow_test_smtp=*/false);
+  std::printf("%-34s %14s %14s\n", "", "test-SMTP", "full reflect");
+  std::printf("%s\n", std::string(64, '-').c_str());
+  auto row = [](const char* label, std::uint64_t a, std::uint64_t b) {
+    std::printf("%-34s %14llu %14llu\n", label,
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  };
+  row("SMTP sessions reaching GMail", with_test.test_messages_forwarded,
+      strict.test_messages_forwarded);
+  row("'wergvan' detections at GMail", with_test.gmail_detections,
+      strict.gmail_detections);
+  row("Inmates on the CBL", with_test.inmates_blacklisted,
+      strict.inmates_blacklisted);
+  row("Spam harvested in the sink", with_test.spam_harvested,
+      strict.spam_harvested);
+  std::printf("%s\n", std::string(64, '-').c_str());
+  std::printf(
+      "\nShape check: even ONE seemingly innocuous test exchange per "
+      "inmate\ngets the farm blacklisted (the report's containment-failure "
+      "alarm);\nfull reflection keeps the harvest flowing with zero "
+      "listings — which\nis why the authors 'stopped the policy of "
+      "allowing even seemingly\ninnocuous non-spam test SMTP "
+      "exchanges.'\n");
+  const bool ok = with_test.inmates_blacklisted > 0 &&
+                  strict.inmates_blacklisted == 0 &&
+                  strict.spam_harvested > 0;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Reproduces §7.1 "Satisfying fidelity": Waledac (and then others)
+// checked SMTP greeting banners; redirection to a default sink made the
+// bots cease activity, so GQ's SMTP sink was upgraded to grab banners
+// from the real targets. The bench sweeps sink fidelity against a
+// banner-checking spambot and measures the spam harvest.
+#include <cstdio>
+#include <memory>
+
+#include "core/farm.h"
+#include "extnet/extnet.h"
+#include "malware/spambot.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gq;
+using util::Ipv4Addr;
+
+struct Outcome {
+  std::uint64_t sessions = 0;
+  std::uint64_t harvest = 0;
+  std::uint64_t banner_rejections = 0;
+  bool bot_dormant = false;
+  std::uint64_t banners_grabbed = 0;
+};
+
+Outcome run(bool banner_grabbing, const std::string& static_banner) {
+  core::Farm farm;
+  auto& cc_host = farm.add_external_host("cc", Ipv4Addr(79, 4, 4, 20));
+  ext::CcServer cc(cc_host, 80);
+  mal::SpamTask task;
+  task.targets = {{Ipv4Addr(64, 233, 10, 1), 25}};
+  cc.set_document("/c2/tasks", task.serialize());
+
+  // The real target, with the genuine Google-style banner.
+  auto& gmail_host =
+      farm.add_external_host("gmail-mx", Ipv4Addr(64, 233, 10, 1));
+  ext::PolicedSmtpServer gmail(gmail_host, 25, &farm.cbl(),
+                               "220 mx.google.example ESMTP gsmtp");
+
+  auto& sub = farm.add_subfarm("FidelityFarm");
+  sub.add_catchall_sink();
+  sinks::SmtpSinkConfig sink_config;
+  sink_config.port = 2526;
+  sink_config.banner_grabbing = banner_grabbing;
+  sink_config.static_banner = static_banner;
+  auto& sink = sub.add_smtp_sink(sink_config, "bannersmtpsink");
+  sub.set_autoinfect({Ipv4Addr(10, 9, 8, 7), 6543});
+  sub.containment().samples().add("waledac.090612.000.exe");
+  sub.catalog().register_prototype(
+      "waledac.*", [](const std::string&, util::Rng& rng) {
+        mal::SpambotConfig config;
+        config.family = "waledac";
+        config.c2 = {Ipv4Addr(79, 4, 4, 20), 80};
+        config.banner_requires = "gsmtp";  // Picky about greetings.
+        config.send_interval = util::seconds(3);
+        return std::make_unique<mal::SpambotBehavior>(config, rng.fork());
+      });
+  // The banner-grabbing sink needs destination hints from the policy
+  // side; the containment server's Waledac policy reflects SMTP there,
+  // and the bench sends the hint the CS would (one inmate, one target).
+  sub.configure_containment(
+      "[VLAN 16-31]\nDecider = Waledac\nInfection = waledac.*\n");
+
+  auto& inmate = sub.create_inmate(inm::HostingKind::kVm);
+  farm.run_for(util::minutes(2));
+  if (const auto* binding = sub.router().inmates().by_vlan(16)) {
+    sink.add_destination_hint(binding->internal_addr,
+                              {Ipv4Addr(64, 233, 10, 1), 25});
+  }
+  farm.run_for(util::minutes(28));
+
+  Outcome outcome;
+  outcome.sessions = sink.sessions();
+  outcome.harvest = sink.data_transfers();
+  outcome.banners_grabbed = sink.banners_grabbed();
+  if (auto* behavior =
+          dynamic_cast<mal::SpambotBehavior*>(inmate.behavior())) {
+    outcome.banner_rejections = behavior->banner_rejections();
+    outcome.bot_dormant = behavior->dormant();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E3 reproduction (§7.1 'Satisfying fidelity'): banner-checking "
+      "spambot\nvs sink fidelity (30 simulated minutes each).\n\n");
+  std::printf("%-30s %9s %9s %9s %8s %8s\n", "SINK CONFIGURATION",
+              "SESSIONS", "HARVEST", "REJECTS", "DORMANT", "GRABBED");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  const Outcome low = run(false, "220 mx.sink.gq ESMTP ready");
+  std::printf("%-30s %9llu %9llu %9llu %8s %8llu\n",
+              "static generic banner",
+              static_cast<unsigned long long>(low.sessions),
+              static_cast<unsigned long long>(low.harvest),
+              static_cast<unsigned long long>(low.banner_rejections),
+              low.bot_dormant ? "YES" : "no",
+              static_cast<unsigned long long>(low.banners_grabbed));
+
+  const Outcome high = run(true, "220 mx.sink.gq ESMTP ready");
+  std::printf("%-30s %9llu %9llu %9llu %8s %8llu\n",
+              "banner grabbing (real target)",
+              static_cast<unsigned long long>(high.sessions),
+              static_cast<unsigned long long>(high.harvest),
+              static_cast<unsigned long long>(high.banner_rejections),
+              high.bot_dormant ? "YES" : "no",
+              static_cast<unsigned long long>(high.banners_grabbed));
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf(
+      "\nShape check: against the generic banner the bot rejects the "
+      "greeting\nand goes dormant (near-zero harvest); with banner "
+      "grabbing the sink\nrelays the real 'gsmtp' greeting and the "
+      "harvest flows.\n");
+  const bool ok = low.bot_dormant && low.harvest == 0 &&
+                  !high.bot_dormant && high.harvest > 50;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Reproduces paper Figure 3: multiple independent packet routers over
+// disjoint VLAN ID ranges — subfarms — enabling parallel experiments on
+// one gateway. Three subfarms run three different workloads at once
+// (spambot, clickbot, default-deny development); the bench verifies and
+// reports their mutual independence: disjoint address bindings, per-
+// subfarm containment decisions, and per-subfarm trace/report streams.
+#include <cstdio>
+#include <memory>
+
+#include "containment/policies.h"
+#include "core/farm.h"
+#include "extnet/extnet.h"
+#include "malware/clickbot.h"
+#include "malware/spambot.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace gq;
+  using util::Ipv4Addr;
+
+  core::Farm farm;
+
+  // Shared simulated Internet.
+  auto& cc_host = farm.add_external_host("cc", Ipv4Addr(50, 8, 207, 91));
+  ext::CcServer cc(cc_host, 80);
+  mal::SpamTask task;
+  task.targets = {{Ipv4Addr(64, 12, 88, 7), 25}};
+  cc.set_document("/c2/tasks", task.serialize());
+  cc.set_document("/click/tasks",
+                  "click 203.0.113.80:80 /ad?id=1 http://blog.example/\n");
+  auto& ad_host = farm.add_external_host("ads", Ipv4Addr(203, 0, 113, 80));
+  ext::AdServer ads(ad_host, 80);
+
+  // --- Subfarm 1: spam deployment -------------------------------------
+  auto& spam = farm.add_subfarm("Spam");
+  spam.add_catchall_sink();
+  sinks::SmtpSinkConfig sink_config;
+  sink_config.port = 2526;
+  auto& smtp_sink = spam.add_smtp_sink(sink_config, "bannersmtpsink");
+  spam.set_autoinfect({Ipv4Addr(10, 9, 8, 7), 6543});
+  spam.containment().samples().add("grum.000.exe");
+  spam.catalog().register_prototype(
+      "grum.*", [](const std::string&, util::Rng& rng) {
+        mal::SpambotConfig config;
+        config.family = "grum";
+        config.c2 = {Ipv4Addr(50, 8, 207, 91), 80};
+        config.send_interval = util::seconds(3);
+        return std::make_unique<mal::SpambotBehavior>(config, rng.fork());
+      });
+  spam.configure_containment(
+      "[VLAN 16-31]\nDecider = Grum\nInfection = grum.*\n");
+  spam.create_inmate(inm::HostingKind::kVm);
+  spam.create_inmate(inm::HostingKind::kVm);
+
+  // --- Subfarm 2: clickbot study ---------------------------------------
+  auto& click = farm.add_subfarm("Clickbots");
+  click.add_catchall_sink();
+  click.set_autoinfect({Ipv4Addr(10, 9, 8, 8), 6543});
+  click.containment().samples().add("clicker.000.exe");
+  click.catalog().register_prototype(
+      "clicker.*", [](const std::string&, util::Rng& rng) {
+        mal::ClickbotConfig config;
+        config.c2 = {Ipv4Addr(50, 8, 207, 91), 80};
+        config.click_interval = util::seconds(4);
+        return std::make_unique<mal::ClickbotBehavior>(config, rng.fork());
+      });
+  click.configure_containment(
+      "[VLAN 32-47]\nDecider = Clickbot\nInfection = clicker.*\n");
+  click.create_inmate(inm::HostingKind::kVm);
+
+  // --- Subfarm 3: fresh-sample development (default-deny) --------------
+  auto& dev = farm.add_subfarm("Development");
+  auto& dev_sink = dev.add_catchall_sink();
+  dev.containment().bind_policy(
+      48, 63, std::make_shared<cs::SinkAllPolicy>(dev.policy_env()));
+  auto& dev_inmate = dev.create_inmate(inm::HostingKind::kVm);
+  farm.run_for(util::minutes(1));
+  {
+    mal::SpambotConfig config;
+    config.family = "fresh-specimen";
+    config.c2 = {Ipv4Addr(50, 8, 207, 91), 80};
+    dev_inmate.infect_with(std::make_unique<mal::SpambotBehavior>(
+                               config, farm.rng().fork()),
+                           "fresh.exe");
+  }
+
+  farm.run_for(util::minutes(30));
+
+  std::printf("Figure 3 reproduction: three parallel subfarms, one gateway\n\n");
+  std::printf("%-14s %8s %10s %10s %10s %8s %9s\n", "SUBFARM", "VLANs",
+              "FLOWS", "FORWARD", "REFLECT", "REWRITE", "PCAP pkts");
+  std::printf("%s\n", std::string(76, '-').c_str());
+  for (const auto& sub : farm.gateway().subfarms()) {
+    const auto& config = sub->config();
+    std::uint64_t fwd = 0, refl = 0, rewr = 0;
+    for (std::uint16_t vlan = config.vlan_first; vlan <= config.vlan_last;
+         ++vlan) {
+      fwd += farm.reporter().flows(config.name, vlan,
+                                   shim::Verdict::kForward);
+      refl += farm.reporter().flows(config.name, vlan,
+                                    shim::Verdict::kReflect);
+      rewr += farm.reporter().flows(config.name, vlan,
+                                    shim::Verdict::kRewrite);
+    }
+    std::printf("%-14s %3u-%-4u %10llu %10llu %10llu %8llu %9zu\n",
+                config.name.c_str(), config.vlan_first, config.vlan_last,
+                static_cast<unsigned long long>(sub->flows_created()),
+                static_cast<unsigned long long>(fwd),
+                static_cast<unsigned long long>(refl),
+                static_cast<unsigned long long>(rewr),
+                sub->pcap().packet_count());
+  }
+  std::printf("%s\n", std::string(76, '-').c_str());
+  std::printf(
+      "\nIndependence checks:\n"
+      "  spam harvested in Spam's sink:        %llu messages\n"
+      "  ad clicks from Clickbots' REWRITEs:   %llu\n"
+      "  Development flows all in its own sink: %llu (FORWARDs there: "
+      "%llu)\n",
+      static_cast<unsigned long long>(smtp_sink.data_transfers()),
+      static_cast<unsigned long long>(ads.clicks()),
+      static_cast<unsigned long long>(dev_sink.tcp_flows()),
+      static_cast<unsigned long long>(farm.reporter().flows(
+          "Development", 48, shim::Verdict::kForward)));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces paper Figure 6: the containment-server configuration file.
+// Parses the paper's exact snippet and prints the resolved bindings —
+// policy deciders per VLAN range, infection batches, the life-cycle
+// trigger, and service locations — then applies it to a containment
+// server to prove every referenced policy resolves.
+#include <cstdio>
+
+#include "containment/config.h"
+#include "containment/policy.h"
+#include "containment/samples.h"
+#include "util/strings.h"
+
+// The Figure 6 text, verbatim (module comment syntax normalized).
+constexpr const char* kFigure6 = R"([VLAN 16-17]
+Decider = Rustock
+Infection = rustock.100921.*.exe
+
+[VLAN 18-19]
+Decider = Grum
+Infection = grum.100818.*.exe
+
+[VLAN 16-19]
+Trigger = *:25/tcp / 30min < 1 -> revert
+
+[Autoinfect]
+Address = 10.9.8.7
+Port = 6543
+
+[BannerSmtpSink]
+Address = 10.3.1.4
+Port = 2526
+)";
+
+int main() {
+  using namespace gq;
+
+  std::printf("Figure 6 reproduction: containment configuration file\n\n");
+  std::printf("%s\n", kFigure6);
+  std::printf("%s\n", std::string(60, '=').c_str());
+
+  auto config = cs::ContainmentConfig::parse(kFigure6);
+
+  // A sample library standing in for the binaries on disk.
+  cs::SampleLibrary samples;
+  for (int i = 0; i < 4; ++i) {
+    samples.add(util::format("rustock.100921.%03d.exe", i));
+    samples.add(util::format("grum.100818.%03d.exe", i));
+  }
+
+  std::printf("\nResolved policy bindings:\n");
+  for (const auto& binding : config.bindings) {
+    auto batch = samples.match(binding.infection_glob);
+    std::printf("  VLAN %u-%u -> policy '%s', infection batch '%s' "
+                "(%zu samples)\n",
+                binding.range.first, binding.range.last,
+                binding.decider.c_str(), binding.infection_glob.c_str(),
+                batch.size());
+    for (const auto& name : batch)
+      std::printf("      %s  md5=%s\n", name.c_str(),
+                  samples.md5(name)->c_str());
+  }
+
+  std::printf("\nTriggers:\n");
+  for (const auto& trigger : config.triggers) {
+    std::printf("  VLAN %u-%u: %s\n", trigger.range.first,
+                trigger.range.last, trigger.trigger.str().c_str());
+  }
+
+  std::printf("\nService locations:\n");
+  for (const auto& [name, endpoint] : config.services)
+    std::printf("  %-16s %s\n", name.c_str(), endpoint.str().c_str());
+
+  // Every Decider must resolve in the policy registry.
+  cs::register_builtin_policies();
+  cs::PolicyEnv env;
+  env.samples = &samples;
+  for (const auto& [name, endpoint] : config.services)
+    env.services[name] = endpoint;
+  bool all_resolve = true;
+  std::printf("\nPolicy registry resolution:\n");
+  for (const auto& binding : config.bindings) {
+    auto policy = cs::PolicyRegistry::instance().create(binding.decider, env);
+    std::printf("  %-10s -> %s\n", binding.decider.c_str(),
+                policy ? "resolved (class hierarchy instantiated)"
+                       : "UNRESOLVED");
+    all_resolve = all_resolve && policy != nullptr;
+  }
+  std::printf("\nConfiguration fully applied: %s\n",
+              all_resolve ? "YES" : "NO");
+  return all_resolve ? 0 : 1;
+}

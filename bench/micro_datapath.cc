@@ -1,0 +1,182 @@
+// Microbenchmarks of GQ's data-path primitives (google-benchmark): the
+// per-packet costs behind §6's implementation — header parse/serialize,
+// checksums, whole-frame decode/re-encode (the gateway's NAT/rewrite
+// path), shim encode/parse, flow-table keying, policy decisions,
+// trigger matching, MD5 hashing, and switch forwarding.
+#include <benchmark/benchmark.h>
+
+#include "containment/policies.h"
+#include "containment/trigger.h"
+#include "netsim/event_loop.h"
+#include "netsim/vlan_switch.h"
+#include "packet/checksum.h"
+#include "packet/frame.h"
+#include "shim/shim.h"
+#include "util/glob.h"
+#include "util/md5.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gq;
+using util::Ipv4Addr;
+
+std::vector<std::uint8_t> sample_tcp_frame(std::size_t payload_size) {
+  pkt::DecodedFrame frame;
+  frame.eth.dst = util::MacAddr::local(1);
+  frame.eth.src = util::MacAddr::local(2);
+  frame.eth.vlan = 16;
+  frame.eth.ethertype = pkt::kEtherTypeIpv4;
+  frame.ip = pkt::Ipv4Packet{};
+  frame.ip->src = Ipv4Addr(10, 0, 0, 23);
+  frame.ip->dst = Ipv4Addr(192, 150, 187, 12);
+  frame.tcp = pkt::TcpSegment{};
+  frame.tcp->src_port = 1234;
+  frame.tcp->dst_port = 80;
+  frame.tcp->seq = 0x1000;
+  frame.tcp->flags = pkt::kTcpAck | pkt::kTcpPsh;
+  frame.tcp->payload.assign(payload_size, 0x41);
+  return frame.encode();
+}
+
+void BM_Checksum1460(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1460, 0x5A);
+  for (auto _ : state) benchmark::DoNotOptimize(pkt::checksum(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1460);
+}
+BENCHMARK(BM_Checksum1460);
+
+void BM_FrameDecode(benchmark::State& state) {
+  auto bytes = sample_tcp_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(pkt::decode_frame(bytes));
+}
+BENCHMARK(BM_FrameDecode)->Arg(0)->Arg(512)->Arg(1460);
+
+void BM_FrameRewriteReencode(benchmark::State& state) {
+  // The gateway's hot path: decode, NAT-rewrite, re-encode.
+  auto bytes = sample_tcp_frame(512);
+  for (auto _ : state) {
+    auto frame = pkt::decode_frame(bytes);
+    frame->ip->src = Ipv4Addr(198, 18, 0, 10);
+    frame->tcp->src_port = 4444;
+    frame->tcp->seq += 24;
+    benchmark::DoNotOptimize(frame->encode());
+  }
+}
+BENCHMARK(BM_FrameRewriteReencode);
+
+void BM_RequestShimEncode(benchmark::State& state) {
+  shim::RequestShim shim;
+  shim.orig = {Ipv4Addr(10, 0, 0, 23), 1234};
+  shim.resp = {Ipv4Addr(192, 150, 187, 12), 80};
+  shim.vlan = 12;
+  for (auto _ : state) benchmark::DoNotOptimize(shim.encode());
+}
+BENCHMARK(BM_RequestShimEncode);
+
+void BM_ResponseShimParse(benchmark::State& state) {
+  shim::ResponseShim shim;
+  shim.verdict = shim::Verdict::kReflect;
+  shim.policy_name = "Grum";
+  shim.annotation = "full SMTP containment";
+  auto bytes = shim.encode();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shim::ResponseShim::parse(bytes));
+}
+BENCHMARK(BM_ResponseShimParse);
+
+void BM_FlowKeyLookup(benchmark::State& state) {
+  std::map<pkt::FlowKey, int> table;
+  util::Rng rng(1);
+  std::vector<pkt::FlowKey> keys;
+  for (int i = 0; i < 1000; ++i) {
+    pkt::FlowKey key{pkt::FlowProto::kTcp,
+                     {Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                      static_cast<std::uint16_t>(rng.next())},
+                     {Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                      static_cast<std::uint16_t>(rng.next())}};
+    table[key] = i;
+    keys.push_back(key);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_FlowKeyLookup);
+
+void BM_PolicyDecide(benchmark::State& state) {
+  cs::PolicyEnv env;
+  env.services["sink"] = {Ipv4Addr(10, 3, 0, 9), 9999};
+  env.services["smtpsink"] = {Ipv4Addr(10, 3, 0, 10), 2525};
+  env.services["autoinfect"] = {Ipv4Addr(10, 9, 8, 7), 6543};
+  cs::RustockPolicy policy(env);
+  cs::FlowInfo info;
+  info.shim.orig = {Ipv4Addr(10, 0, 0, 23), 1234};
+  info.shim.resp = {Ipv4Addr(5, 5, 5, 5), 25};
+  info.shim.vlan = 16;
+  for (auto _ : state) benchmark::DoNotOptimize(policy.decide(info));
+}
+BENCHMARK(BM_PolicyDecide);
+
+void BM_TriggerObserve(benchmark::State& state) {
+  cs::TriggerEngine engine;
+  engine.add(16, 31, *cs::Trigger::parse("*:25/tcp / 30min < 1 -> revert"));
+  engine.inmate_started(16, util::TimePoint{});
+  util::TimePoint t{};
+  for (auto _ : state) {
+    t = t + util::milliseconds(10);
+    engine.observe_flow(16, {Ipv4Addr(1, 2, 3, 4), 25},
+                        pkt::FlowProto::kTcp, t);
+  }
+}
+BENCHMARK(BM_TriggerObserve);
+
+void BM_GlobMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::glob_match("rustock.100921.*.exe", "rustock.100921.042.exe"));
+  }
+}
+BENCHMARK(BM_GlobMatch);
+
+void BM_Md5Sample(benchmark::State& state) {
+  std::string payload(4096, 'S');
+  for (auto _ : state)
+    benchmark::DoNotOptimize(util::Md5::hex_digest(payload));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_Md5Sample);
+
+void BM_SwitchForward(benchmark::State& state) {
+  sim::EventLoop loop;
+  sim::VlanSwitch sw(loop, "sw", 3);
+  sim::Port a(loop, "a"), b(loop, "b");
+  sim::Port::connect(a, sw.port(0), util::microseconds(1));
+  sim::Port::connect(b, sw.port(1), util::microseconds(1));
+  sw.set_access(0, 7);
+  sw.set_access(1, 7);
+  b.set_rx([](sim::Frame) {});
+  // Teach the switch both MACs.
+  pkt::EthHeader eth;
+  eth.src = util::MacAddr::local(2);
+  eth.dst = util::MacAddr::broadcast();
+  eth.ethertype = pkt::kEtherTypeIpv4;
+  b.transmit(sim::Frame{pkt::serialize_eth(eth, std::vector<std::uint8_t>(46, 0))});
+  loop.run_all();
+  eth.src = util::MacAddr::local(1);
+  eth.dst = util::MacAddr::local(2);
+  const auto frame_bytes =
+      pkt::serialize_eth(eth, std::vector<std::uint8_t>(512, 0));
+  for (auto _ : state) {
+    a.transmit(sim::Frame{frame_bytes});
+    loop.run_all();
+  }
+}
+BENCHMARK(BM_SwitchForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

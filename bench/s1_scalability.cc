@@ -1,0 +1,139 @@
+// Reproduces §7.2 "System scalability": the constraints the paper walks
+// through —
+//   (1) VLAN IDs are a finite resource (4,096 under 802.1Q);
+//   (2) a single containment server must interpose on every flow in its
+//       subfarm and becomes the bottleneck as the population grows;
+//   (3) the central gateway carries everything but scales comfortably to
+//       the paper's operating point (5-6 subfarms, a handful to a dozen
+//       inmates each);
+//   (4) global address space bounds the inmate population.
+//
+// The bench sweeps inmate population per subfarm and subfarm count,
+// reporting contained-flow throughput and per-component load.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/farm.h"
+#include "extnet/extnet.h"
+#include "malware/spambot.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gq;
+using util::Ipv4Addr;
+
+struct RunStats {
+  std::uint64_t flows_contained = 0;
+  std::uint64_t spam_harvested = 0;
+  std::uint64_t cs_decisions_max = 0;  // Busiest containment server.
+  double wall_ms = 0;
+  std::uint64_t sim_events = 0;
+};
+
+RunStats run(int subfarms, int inmates_per_subfarm,
+             util::Duration duration) {
+  core::Farm farm;
+  auto& cc_host = farm.add_external_host("cc", Ipv4Addr(50, 8, 207, 91));
+  ext::CcServer cc(cc_host, 80);
+  mal::SpamTask task;
+  task.targets = {{Ipv4Addr(64, 12, 88, 7), 25}};
+  cc.set_document("/c2/tasks", task.serialize());
+
+  std::vector<core::Subfarm*> subs;
+  for (int s = 0; s < subfarms; ++s) {
+    auto& sub = farm.add_subfarm(util::format("Farm%d", s));
+    sub.add_catchall_sink();
+    sinks::SmtpSinkConfig sink_config;
+    sink_config.port = 2526;
+    sub.add_smtp_sink(sink_config, "bannersmtpsink");
+    sub.set_autoinfect({Ipv4Addr(10, 9, 8, 7), 6543});
+    sub.containment().samples().add("grum.000.exe");
+    sub.catalog().register_prototype(
+        "grum.*", [](const std::string&, util::Rng& rng) {
+          mal::SpambotConfig config;
+          config.family = "grum";
+          config.c2 = {Ipv4Addr(50, 8, 207, 91), 80};
+          config.send_interval = util::seconds(2);
+          return std::make_unique<mal::SpambotBehavior>(config, rng.fork());
+        });
+    sub.configure_containment(util::format(
+        "[VLAN %d-%d]\nDecider = Grum\nInfection = grum.*\n",
+        sub.router().config().vlan_first,
+        sub.router().config().vlan_last));
+    for (int i = 0; i < inmates_per_subfarm; ++i)
+      sub.create_inmate(inm::HostingKind::kVm);
+    subs.push_back(&sub);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto events_before = farm.loop().events_executed();
+  farm.run_for(duration);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  stats.sim_events = farm.loop().events_executed() - events_before;
+  for (auto* sub : subs) {
+    stats.flows_contained += sub->router().flows_created();
+    stats.cs_decisions_max =
+        std::max(stats.cs_decisions_max, sub->containment().flows_decided());
+    if (auto* sink = sub->smtp_sink("bannersmtpsink"))
+      stats.spam_harvested += sink->data_transfers();
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const auto duration = util::minutes(10);
+  std::printf(
+      "S1 reproduction (§7.2 scalability): spambot deployment sweeps,\n"
+      "10 simulated minutes per configuration\n\n");
+
+  std::printf("Sweep A: one subfarm, growing population (single CS "
+              "interposes on all flows)\n");
+  std::printf("%9s %10s %12s %14s %12s %10s\n", "INMATES", "FLOWS",
+              "FLOWS/MIN", "CS DECISIONS", "SIM EVENTS", "WALL(ms)");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (int inmates : {1, 2, 4, 8, 12}) {
+    const RunStats stats = run(1, inmates, duration);
+    std::printf("%9d %10llu %12.0f %14llu %12llu %10.0f\n", inmates,
+                static_cast<unsigned long long>(stats.flows_contained),
+                stats.flows_contained / 10.0,
+                static_cast<unsigned long long>(stats.cs_decisions_max),
+                static_cast<unsigned long long>(stats.sim_events),
+                stats.wall_ms);
+  }
+
+  std::printf(
+      "\nSweep B: 12 inmates total, spread across subfarms (per-subfarm\n"
+      "containment servers distribute the decision load, §7.2's remedy)\n");
+  std::printf("%9s %10s %12s %20s %10s\n", "SUBFARMS", "FLOWS",
+              "FLOWS/MIN", "BUSIEST CS (dec.)", "WALL(ms)");
+  std::printf("%s\n", std::string(68, '-').c_str());
+  for (int subfarms : {1, 2, 3, 4, 6}) {
+    const RunStats stats = run(subfarms, 12 / subfarms, duration);
+    std::printf("%9d %10llu %12.0f %20llu %10.0f\n", subfarms,
+                static_cast<unsigned long long>(stats.flows_contained),
+                stats.flows_contained / 10.0,
+                static_cast<unsigned long long>(stats.cs_decisions_max),
+                stats.wall_ms);
+  }
+
+  std::printf(
+      "\nStructural limits (§7.2):\n"
+      "  VLAN ID space:            4096 (802.1Q twelve-bit field)\n"
+      "  Inmates per /24 subfarm:  ~236 internal leases, ~244 globals\n"
+      "  Paper's operating point:  5-6 subfarms, handful-to-dozen "
+      "inmates\n\n"
+      "Shape check: contained-flow throughput grows with population; the\n"
+      "single CS's decision count grows linearly with farm size in sweep "
+      "A\nand is flattened by per-subfarm containment servers in sweep "
+      "B.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Reproduces paper Table 1: "Self-propagating worms caught by GQ in
+// early 2006". For each worm family class we deploy a worm-era
+// honeyfarm subfarm (WormFarm redirect containment), seed one inmate,
+// and measure what the paper's columns report: propagation events, the
+// number of connections per infection, and the incubation period (delay
+// from an infection in the farm to the infection of the next inmate).
+//
+// Absolute numbers depend on our calibrated behaviour models; the shape
+// to check against the paper: multi-connection families (Spybot, Sdbot,
+// Boohoo) incubate for minutes while the 2-connection Korgo class
+// propagates in seconds, and *every* propagation stays inside the farm.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "containment/policies.h"
+#include "core/farm.h"
+#include "malware/worm.h"
+#include "util/strings.h"
+
+namespace {
+
+// The paper's reported incubation seconds for the family classes our
+// catalogue models (Table 1, representative rows).
+const std::map<std::pair<std::string, std::string>, double>
+    kPaperIncubation = {
+        {{"x.exe", "W32.Korgo.V"}, 6.0},
+        {{"x.exe", "W32.Korgo.S"}, 6.6},
+        {{"a####.exe", "W32.Zotob.E"}, 29.0},
+        {{"enbiei.exe", "W32.Blaster.F.Worm"}, 28.9},
+        {{"msblast.exe", "W32.Balster.Worm"}, 43.8},
+        {{"dllhost.exe", "W32.Welchia.Worm"}, 24.5},
+        {{"scardsvr32.exe", "W32.Femot.Worm"}, 96.6},
+        {{"lsd", "W32.Poxdar"}, 32.4},
+        {{"cpufanctrl.exe", "Backdoor.Sdbot"}, 111.2},
+        {{"sysmsn.exe", "W32.Spybot.Worm"}, 79.6},
+        {{"NeroFil.EXE", "W32.Spybot.Worm"}, 237.5},
+        {{"xxxx...x", "Backdoor.Berbew.N"}, 9.4},
+        {{"x.exe", "W32.Pinfi"}, 58.2},
+        {{"multiple", "BAT.Boohoo.Worm"}, 384.9},
+};
+
+struct FamilyResult {
+  gq::mal::WormFamily family;
+  std::size_t events = 0;
+  double first_incubation_s = 0;
+  double mean_incubation_s = 0;
+  bool escaped = false;
+};
+
+FamilyResult run_family(const gq::mal::WormFamily& family) {
+  using namespace gq;
+  core::Farm farm;
+  auto& sub = farm.add_subfarm("WormFarm");
+  sub.containment().bind_policy(
+      16, 31, std::make_shared<cs::WormFarmPolicy>(sub.policy_env()));
+
+  // Decoy: any touch means containment failed.
+  auto& decoy = farm.add_external_host(
+      "decoy", util::Ipv4Addr(23, 32, 2, 2));
+  FamilyResult result;
+  result.family = family;
+  decoy.listen(family.port, [&](std::shared_ptr<net::TcpConnection>) {
+    result.escaped = true;
+  });
+
+  std::vector<util::TimePoint> infection_times;
+  auto on_infection = [&](const mal::InfectionEvent& event) {
+    infection_times.push_back(event.when);
+  };
+
+  std::vector<inm::Inmate*> inmates;
+  for (int i = 0; i < 6; ++i)
+    inmates.push_back(&sub.create_inmate(inm::HostingKind::kVm));
+  farm.run_for(util::minutes(2));
+
+  for (std::size_t i = 0; i < inmates.size(); ++i) {
+    inmates[i]->infect_with(
+        std::make_unique<mal::WormHostBehavior>(
+            family, inmates[i]->vlan(), i == 0, on_infection,
+            farm.rng().fork()),
+        family.executable);
+  }
+  const util::TimePoint seed_time = farm.loop().now();
+  farm.run_for(util::minutes(20));
+
+  result.events = infection_times.size();
+  if (!infection_times.empty()) {
+    result.first_incubation_s =
+        (infection_times.front() - seed_time).seconds_f();
+    // Mean inter-infection delay (the per-event incubation the paper
+    // tabulates): delay from each infection to the next one it causes.
+    double total = 0;
+    util::TimePoint previous = seed_time;
+    for (const auto& t : infection_times) {
+      total += (t - previous).seconds_f();
+      previous = t;
+    }
+    result.mean_incubation_s = total / static_cast<double>(result.events);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 1 reproduction: worms captured under honeyfarm redirect "
+      "containment\n"
+      "(6 inmates per farm, 20 simulated minutes per family)\n\n");
+  // INCUB(s) is the paper's metric: delay from the initial infection in
+  // the farm to the subsequent infection of the next inmate.
+  std::printf("%-16s %-20s %7s %7s %12s %12s %10s %11s\n", "EXECUTABLE",
+              "WORM NAME", "EVENTS", "#CONNS", "INCUB(s)", "PAPER(s)",
+              "CONTAINED", "mean-gap(s)");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  bool all_contained = true;
+  for (const auto& family : gq::mal::table1_families()) {
+    const FamilyResult result = run_family(family);
+    all_contained = all_contained && !result.escaped;
+    const auto paper =
+        kPaperIncubation.find({family.executable, family.name});
+    std::printf("%-16s %-20s %7zu %7d %12.1f %12s %10s %11.1f\n",
+                family.executable.c_str(), family.name.c_str(),
+                result.events, family.conns_per_infection,
+                result.first_incubation_s,
+                paper == kPaperIncubation.end()
+                    ? "-"
+                    : gq::util::format("%.1f", paper->second).c_str(),
+                result.escaped ? "ESCAPED!" : "yes",
+                result.mean_incubation_s);
+  }
+  std::printf("%s\n", std::string(100, '-').c_str());
+  std::printf(
+      "Shape check vs the paper: the Korgo/Berbew class (2 conns) "
+      "incubates in\nseconds; Spybot/Sdbot/Boohoo-class infections (5+ "
+      "conns) need minutes —\nthe paper's point that even \"fast\" "
+      "infections may require long execution\nwindows to observe. All "
+      "propagation chains contained: %s\n",
+      all_contained ? "YES" : "NO (bug!)");
+  return all_contained ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the smallest complete GQ farm.
+//
+// One subfarm, one inmate, a catch-all sink, an SMTP sink, a simulated
+// C&C server on the "Internet" — run a spambot for a simulated hour
+// under containment and print the Figure 7 style activity report.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+
+#include "core/farm.h"
+#include "extnet/extnet.h"
+#include "malware/spambot.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace gq;
+  using util::Ipv4Addr;
+
+  core::Farm farm;
+
+  // --- The simulated Internet -----------------------------------------
+  auto& cc_host = farm.add_external_host("cc", Ipv4Addr(50, 8, 207, 91));
+  ext::CcServer cc(cc_host, 80);
+  mal::SpamTask task;
+  task.targets = {{Ipv4Addr(64, 12, 88, 7), 25}};
+  task.subject = "totally legitimate offer";
+  task.body = "click here";
+  cc.set_document("/c2/tasks", task.serialize());
+
+  auto& victim = farm.add_external_host("victim-mx", Ipv4Addr(64, 12, 88, 7));
+  ext::PolicedSmtpServer victim_smtp(victim, 25, &farm.cbl());
+
+  // --- The subfarm ------------------------------------------------------
+  auto& sub = farm.add_subfarm("Quickstart");
+  sub.add_catchall_sink();
+  sinks::SmtpSinkConfig sink_config;
+  sink_config.port = 2526;
+  auto& sink = sub.add_smtp_sink(sink_config, "bannersmtpsink");
+  sub.set_autoinfect({Ipv4Addr(10, 9, 8, 7), 6543});
+
+  sub.containment().samples().add("grum.100818.000.exe");
+  sub.catalog().register_prototype(
+      "grum.*", [](const std::string&, util::Rng& rng) {
+        mal::SpambotConfig config;
+        config.family = "grum";
+        config.c2 = {Ipv4Addr(50, 8, 207, 91), 80};
+        config.send_interval = util::seconds(2);
+        return std::make_unique<mal::SpambotBehavior>(config, rng.fork());
+      });
+
+  sub.configure_containment(R"(
+[VLAN 16-19]
+Decider = Grum
+Infection = grum.100818.*.exe
+Trigger = *:25/tcp / 30min < 1 -> revert
+)");
+
+  sub.create_inmate(inm::HostingKind::kVm);
+
+  // --- Run one simulated hour ------------------------------------------
+  farm.run_for(util::hours(1));
+
+  std::printf("%s\n", farm.report().c_str());
+  std::printf("Harvested %zu spam messages; %llu reached the real victim.\n",
+              sink.harvest().size(),
+              static_cast<unsigned long long>(
+                  victim_smtp.messages_accepted()));
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "containment/config.h"
+
+#include <stdexcept>
+
+#include "util/ini.h"
+#include "util/strings.h"
+
+namespace gq::cs {
+
+namespace {
+
+// Parse "VLAN 16-17" or "VLAN 7" section names.
+std::optional<VlanRange> parse_vlan_section(const std::string& name) {
+  if (!util::starts_with_icase(name, "vlan")) return std::nullopt;
+  auto rest = util::trim(std::string_view(name).substr(4));
+  const auto dash = rest.find('-');
+  VlanRange range;
+  if (dash == std::string_view::npos) {
+    auto v = util::parse_int(rest);
+    if (!v || *v < 0 || *v > 4095) return std::nullopt;
+    range.first = range.last = static_cast<std::uint16_t>(*v);
+  } else {
+    auto lo = util::parse_int(rest.substr(0, dash));
+    auto hi = util::parse_int(rest.substr(dash + 1));
+    if (!lo || !hi || *lo < 0 || *hi > 4095 || *lo > *hi)
+      return std::nullopt;
+    range.first = static_cast<std::uint16_t>(*lo);
+    range.last = static_cast<std::uint16_t>(*hi);
+  }
+  return range;
+}
+
+}  // namespace
+
+ContainmentConfig ContainmentConfig::parse(const std::string& text) {
+  ContainmentConfig config;
+  const util::IniFile ini = util::IniFile::parse(text);
+
+  for (const auto& section : ini.sections) {
+    if (auto range = parse_vlan_section(section.name)) {
+      Binding binding;
+      binding.range = *range;
+      if (auto decider = section.get("Decider")) binding.decider = *decider;
+      if (auto infection = section.get("Infection"))
+        binding.infection_glob = *infection;
+      if (!binding.decider.empty() || !binding.infection_glob.empty())
+        config.bindings.push_back(binding);
+      for (const auto& raw : section.get_all("Trigger")) {
+        auto trigger = Trigger::parse(raw);
+        if (!trigger)
+          throw std::runtime_error("malformed trigger: '" + raw + "'");
+        config.triggers.push_back(TriggerBinding{*range, *trigger, raw});
+      }
+      continue;
+    }
+    // Service section: Address + Port.
+    auto address = section.get("Address");
+    auto port = section.get("Port");
+    if (address && port) {
+      auto addr = util::Ipv4Addr::parse(*address);
+      auto port_num = util::parse_int(*port);
+      if (!addr || !port_num || *port_num < 1 || *port_num > 65535)
+        throw std::runtime_error("malformed service section [" +
+                                 section.name + "]");
+      config.services[util::to_lower(section.name)] =
+          util::Endpoint{*addr, static_cast<std::uint16_t>(*port_num)};
+    }
+  }
+  return config;
+}
+
+const ContainmentConfig::Binding* ContainmentConfig::binding_for(
+    std::uint16_t vlan) const {
+  for (const auto& binding : bindings)
+    if (binding.range.contains(vlan)) return &binding;
+  return nullptr;
+}
+
+}  // namespace gq::cs

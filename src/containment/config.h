@@ -1,0 +1,62 @@
+// Containment-server configuration file (paper §6.2, Figure 6). The
+// file binds VLAN ranges to policies ("Decider") and infection batches
+// ("Infection"), declares activity triggers, and locates infrastructure
+// services in the subfarm:
+//
+//     [VLAN 16-17]
+//     Decider = Rustock
+//     Infection = rustock.100921.*.exe
+//
+//     [VLAN 16-19]
+//     Trigger = *:25/tcp / 30min < 1 -> revert
+//
+//     [Autoinfect]
+//     Address = 10.9.8.7
+//     Port = 6543
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "containment/trigger.h"
+#include "util/addr.h"
+
+namespace gq::cs {
+
+struct VlanRange {
+  std::uint16_t first = 0;
+  std::uint16_t last = 0;
+  [[nodiscard]] bool contains(std::uint16_t vlan) const {
+    return vlan >= first && vlan <= last;
+  }
+};
+
+/// Fully parsed configuration.
+struct ContainmentConfig {
+  struct Binding {
+    VlanRange range;
+    std::string decider;         // Policy name.
+    std::string infection_glob;  // Optional batch of samples.
+  };
+  struct TriggerBinding {
+    VlanRange range;
+    Trigger trigger;
+    std::string raw;
+  };
+
+  std::vector<Binding> bindings;
+  std::vector<TriggerBinding> triggers;
+  /// Service sections ("autoinfect", "bannersmtpsink", ...) -> endpoint.
+  std::map<std::string, util::Endpoint> services;
+
+  /// Parse the Figure 6 format; throws std::runtime_error with a
+  /// descriptive message on malformed content.
+  static ContainmentConfig parse(const std::string& text);
+
+  /// The policy binding covering `vlan`, if any (first match wins).
+  [[nodiscard]] const Binding* binding_for(std::uint16_t vlan) const;
+};
+
+}  // namespace gq::cs

@@ -1,0 +1,156 @@
+#include "containment/handlers.h"
+
+#include "containment/samples.h"
+#include "util/log.h"
+
+namespace gq::cs {
+
+namespace {
+constexpr const char* kLog = "cs.handler";
+}
+
+// --- AutoInfectHandler ------------------------------------------------------
+
+AutoInfectHandler::AutoInfectHandler(const PolicyEnv& env) : env_(env) {}
+
+void AutoInfectHandler::on_inmate_data(RewriteContext& ctx,
+                                       std::span<const std::uint8_t> data) {
+  parser_.feed(data);
+  if (parser_.failed()) {
+    ctx.close_inmate();
+    return;
+  }
+  while (auto request = parser_.take()) {
+    const std::uint16_t vlan = ctx.info().vlan();
+    std::optional<std::string> name;
+    if (env_.next_sample) name = env_.next_sample(vlan);
+    if (!name || !env_.samples) {
+      ctx.send_to_inmate(
+          svc::HttpResponse::make(404, "NOT FOUND", "no sample").encode());
+      continue;
+    }
+    auto payload = env_.samples->payload(*name);
+    if (!payload) {
+      ctx.send_to_inmate(
+          svc::HttpResponse::make(404, "NOT FOUND", "unknown sample")
+              .encode());
+      continue;
+    }
+    auto response = svc::HttpResponse::make(
+        200, "OK", *payload, "application/octet-stream");
+    response.set_header("X-Sample-Name", *name);
+    ctx.send_to_inmate(response.encode());
+    if (env_.report_infection)
+      env_.report_infection(vlan, *name, *env_.samples->md5(*name));
+    GQ_INFO(kLog, "served sample %s to vlan %u", name->c_str(), vlan);
+  }
+}
+
+// --- HttpFilterHandler ------------------------------------------------------
+
+HttpFilterHandler::HttpFilterHandler(RequestFilter request_filter,
+                                     ResponseFilter response_filter,
+                                     svc::HttpResponse blocked_response)
+    : request_filter_(std::move(request_filter)),
+      response_filter_(std::move(response_filter)),
+      blocked_response_(std::move(blocked_response)) {}
+
+void HttpFilterHandler::on_inmate_data(RewriteContext& ctx,
+                                       std::span<const std::uint8_t> data) {
+  request_parser_.feed(data);
+  if (request_parser_.failed()) {
+    ctx.close_inmate();
+    return;
+  }
+  while (auto request = request_parser_.take()) {
+    std::optional<svc::HttpRequest> filtered =
+        request_filter_ ? request_filter_(std::move(*request))
+                        : std::move(request);
+    if (!filtered) {
+      ctx.send_to_inmate(blocked_response_.encode());
+      continue;
+    }
+    outbound_queue_.push_back(filtered->encode());
+  }
+  pump_requests(ctx);
+}
+
+void HttpFilterHandler::pump_requests(RewriteContext& ctx) {
+  if (outbound_queue_.empty()) return;
+  if (!ctx.target_connected()) {
+    if (!connect_requested_) {
+      connect_requested_ = true;
+      ctx.connect_outbound();
+    }
+    return;
+  }
+  for (const auto& encoded : outbound_queue_) ctx.send_to_target(encoded);
+  outbound_queue_.clear();
+}
+
+void HttpFilterHandler::on_target_connected(RewriteContext& ctx) {
+  pump_requests(ctx);
+}
+
+void HttpFilterHandler::on_target_data(RewriteContext& ctx,
+                                       std::span<const std::uint8_t> data) {
+  response_parser_.feed(data);
+  if (response_parser_.failed()) {
+    ctx.close_target();
+    ctx.close_inmate();
+    return;
+  }
+  while (auto response = response_parser_.take()) {
+    svc::HttpResponse out = response_filter_
+                                ? response_filter_(std::move(*response))
+                                : std::move(*response);
+    ctx.send_to_inmate(out.encode());
+  }
+}
+
+void HttpFilterHandler::on_target_closed(RewriteContext& ctx) {
+  ctx.close_inmate();
+}
+
+// --- PassthroughHandler -----------------------------------------------------
+
+PassthroughHandler::PassthroughHandler(Tap tap_outbound, Tap tap_inbound)
+    : tap_outbound_(std::move(tap_outbound)),
+      tap_inbound_(std::move(tap_inbound)) {}
+
+void PassthroughHandler::on_inmate_data(RewriteContext& ctx,
+                                        std::span<const std::uint8_t> data) {
+  if (tap_outbound_) tap_outbound_(data);
+  if (ctx.target_connected()) {
+    ctx.send_to_target(data);
+    return;
+  }
+  pending_outbound_.insert(pending_outbound_.end(), data.begin(), data.end());
+  if (!connect_requested_) {
+    connect_requested_ = true;
+    ctx.connect_outbound();
+  }
+}
+
+void PassthroughHandler::on_target_connected(RewriteContext& ctx) {
+  if (!pending_outbound_.empty()) {
+    ctx.send_to_target(pending_outbound_);
+    pending_outbound_.clear();
+  }
+}
+
+void PassthroughHandler::on_target_data(RewriteContext& ctx,
+                                        std::span<const std::uint8_t> data) {
+  if (tap_inbound_) tap_inbound_(data);
+  ctx.send_to_inmate(data);
+}
+
+void PassthroughHandler::on_inmate_closed(RewriteContext& ctx) {
+  ctx.close_target();
+}
+
+void PassthroughHandler::on_target_closed(RewriteContext& ctx) {
+  ctx.close_inmate();
+}
+
+}  // namespace gq::cs

@@ -1,0 +1,91 @@
+// Reusable content-control (REWRITE) handlers:
+//
+//  * AutoInfectHandler — impersonates the auto-infection HTTP server
+//    (paper §6.6): the inmate's first-boot infection script requests a
+//    sample; the handler serves the next binary of the VLAN's batch and
+//    reports the MD5 that later shows up in the activity report.
+//  * HttpFilterHandler — transparent HTTP proxy with request/response
+//    transformation hooks; the Figure 5 scenario ("GET bot.exe" becomes
+//    "GET cleanup.exe", the answer becomes 404) is one configuration.
+//  * PassthroughHandler — raw byte proxy with observation taps, for
+//    policies that only need to watch (clickbot C&C studies).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "containment/policy.h"
+#include "services/http.h"
+
+namespace gq::cs {
+
+class AutoInfectHandler : public RewriteHandler {
+ public:
+  /// Pulls samples/reporting hooks out of `env` (shared with the server).
+  explicit AutoInfectHandler(const PolicyEnv& env);
+
+  void on_inmate_data(RewriteContext& ctx,
+                      std::span<const std::uint8_t> data) override;
+
+ private:
+  const PolicyEnv& env_;
+  svc::HttpRequestParser parser_;
+};
+
+class HttpFilterHandler : public RewriteHandler {
+ public:
+  /// Return the (possibly modified) request to forward it; nullopt to
+  /// block it (the inmate receives `blocked_response`).
+  using RequestFilter =
+      std::function<std::optional<svc::HttpRequest>(svc::HttpRequest)>;
+  /// Transform responses on their way back to the inmate.
+  using ResponseFilter = std::function<svc::HttpResponse(svc::HttpResponse)>;
+
+  HttpFilterHandler(RequestFilter request_filter,
+                    ResponseFilter response_filter,
+                    svc::HttpResponse blocked_response =
+                        svc::HttpResponse::make(403, "Forbidden", ""));
+
+  void on_inmate_data(RewriteContext& ctx,
+                      std::span<const std::uint8_t> data) override;
+  void on_target_data(RewriteContext& ctx,
+                      std::span<const std::uint8_t> data) override;
+  void on_target_connected(RewriteContext& ctx) override;
+  void on_target_closed(RewriteContext& ctx) override;
+
+ private:
+  void pump_requests(RewriteContext& ctx);
+
+  RequestFilter request_filter_;
+  ResponseFilter response_filter_;
+  svc::HttpResponse blocked_response_;
+  svc::HttpRequestParser request_parser_;
+  svc::HttpResponseParser response_parser_;
+  std::vector<std::string> outbound_queue_;  // Awaiting target connect.
+  bool connect_requested_ = false;
+};
+
+class PassthroughHandler : public RewriteHandler {
+ public:
+  using Tap = std::function<void(std::span<const std::uint8_t>)>;
+
+  PassthroughHandler(Tap tap_outbound = nullptr, Tap tap_inbound = nullptr);
+
+  void on_inmate_data(RewriteContext& ctx,
+                      std::span<const std::uint8_t> data) override;
+  void on_target_data(RewriteContext& ctx,
+                      std::span<const std::uint8_t> data) override;
+  void on_target_connected(RewriteContext& ctx) override;
+  void on_inmate_closed(RewriteContext& ctx) override;
+  void on_target_closed(RewriteContext& ctx) override;
+
+ private:
+  Tap tap_outbound_, tap_inbound_;
+  std::vector<std::uint8_t> pending_outbound_;
+  bool connect_requested_ = false;
+};
+
+}  // namespace gq::cs

@@ -1,0 +1,172 @@
+// The built-in containment policy hierarchy (paper §6.2): from a base
+// class implementing default-deny we derive per-verdict bases and then
+// per-family specializations — exactly the object-oriented reuse the
+// paper describes. Family policies reproduce the containment the paper
+// reports operating: Rustock and Grum (Figure 6/7), Waledac (the
+// "mysterious blacklisting" episode), Storm proxies (the FTP iframe
+// "unexpected visitors" episode), MegaD, clickbots, and the worm-era
+// honeyfarm redirect policy behind Table 1.
+#pragma once
+
+#include <memory>
+
+#include "containment/policy.h"
+
+namespace gq::cs {
+
+/// Reflects every flow to the subfarm's catch-all sink ("sink" service)
+/// — the paper's recommended starting point when studying a fresh
+/// sample (§3). Falls back to drop when no sink is configured.
+class SinkAllPolicy : public Policy {
+ public:
+  explicit SinkAllPolicy(const PolicyEnv& env, std::string name = "SinkAll");
+  Decision decide(const FlowInfo& info) override;
+
+ protected:
+  const PolicyEnv& env() const { return env_; }
+  /// Reflect to the catch-all sink (or drop without one).
+  Decision to_sink(std::string why) const;
+
+ private:
+  PolicyEnv env_;
+};
+
+/// Forwards everything — the paper's cautionary tale, provided for
+/// ablation benchmarks and tests, never as a default.
+class ForwardAllPolicy : public Policy {
+ public:
+  ForwardAllPolicy() : Policy("ForwardAll") {}
+  Decision decide(const FlowInfo&) override { return Decision::forward(); }
+};
+
+/// Base for spambot families: auto-infection flows get the REWRITE
+/// impersonation handler; SMTP is reflected to a configurable sink;
+/// everything else goes to the catch-all sink.
+class SpambotPolicy : public SinkAllPolicy {
+ public:
+  SpambotPolicy(const PolicyEnv& env, std::string name,
+                std::string smtp_sink_service);
+  Decision decide(const FlowInfo& info) override;
+  std::unique_ptr<RewriteHandler> make_rewrite_handler(
+      const FlowInfo& info) override;
+
+ protected:
+  [[nodiscard]] bool is_autoinfect(const FlowInfo& info) const;
+  [[nodiscard]] util::Endpoint smtp_sink() const;
+  /// Push the flow's original destination to the banner-grabbing sink's
+  /// hint channel (no-op without one configured).
+  void send_sink_hint(const FlowInfo& info) const;
+
+ private:
+  std::string smtp_sink_service_;
+};
+
+/// Rustock (Figure 7): HTTPS C&C forwarded, HTTP C&C filtered through a
+/// REWRITE proxy, SMTP reflected to the simple sink.
+class RustockPolicy : public SpambotPolicy {
+ public:
+  explicit RustockPolicy(const PolicyEnv& env);
+  Decision decide(const FlowInfo& info) override;
+  std::unique_ptr<RewriteHandler> make_rewrite_handler(
+      const FlowInfo& info) override;
+};
+
+/// Grum (Figure 7): HTTP C&C forwarded, full (banner-grabbing) SMTP
+/// containment.
+class GrumPolicy : public SpambotPolicy {
+ public:
+  explicit GrumPolicy(const PolicyEnv& env);
+  Decision decide(const FlowInfo& info) override;
+};
+
+/// Waledac: SMTP reflected — with an optional "allow one test message"
+/// exemption reproducing the 2009 blacklisting episode (§7.1). The
+/// exemption is enabled by registering the policy as "WaledacTest".
+class WaledacPolicy : public SpambotPolicy {
+ public:
+  WaledacPolicy(const PolicyEnv& env, bool allow_test_smtp);
+  Decision decide(const FlowInfo& info) override;
+
+ private:
+  bool allow_test_smtp_;
+  std::map<std::uint16_t, bool> test_sent_;  // Per-VLAN one-shot.
+};
+
+/// Storm C&C-relay proxies (§7.1 "unexpected visitors"): outside
+/// reachability is preserved by the gateway's inbound mode; outbound
+/// HTTP-borne C&C is forwarded, everything else — including the iframe-
+/// injection FTP jobs an upstream botmaster pushes — lands in the sink.
+class StormPolicy : public SpambotPolicy {
+ public:
+  explicit StormPolicy(const PolicyEnv& env);
+  Decision decide(const FlowInfo& info) override;
+};
+
+/// MegaD: proprietary C&C protocol observed through a passthrough
+/// REWRITE tap (the live-experimentation half of §7.1 "exploratory
+/// containment"); SMTP reflected.
+class MegaDPolicy : public SpambotPolicy {
+ public:
+  explicit MegaDPolicy(const PolicyEnv& env);
+  Decision decide(const FlowInfo& info) override;
+  std::unique_ptr<RewriteHandler> make_rewrite_handler(
+      const FlowInfo& info) override;
+};
+
+/// Clickbot: HTTP click traffic passes through an observing REWRITE
+/// proxy (What's Clicking What, §7.1); everything else sinks.
+class ClickbotPolicy : public SpambotPolicy {
+ public:
+  explicit ClickbotPolicy(const PolicyEnv& env);
+  Decision decide(const FlowInfo& info) override;
+  std::unique_ptr<RewriteHandler> make_rewrite_handler(
+      const FlowInfo& info) override;
+};
+
+/// DNS sinkhole containment: UDP port-53 flows are REWRITten so the
+/// containment server impersonates the resolver — names matching a
+/// sinkholed glob resolve to the sinkhole address (typically a farm
+/// sink), everything else gets NXDOMAIN. The "exploratory containment"
+/// flavour of §7.1 applied to DGA malware: the analyst controls exactly
+/// which generated domains appear to exist.
+class DnsSinkholePolicy : public SinkAllPolicy {
+ public:
+  DnsSinkholePolicy(const PolicyEnv& env, util::Ipv4Addr sinkhole_addr);
+
+  /// Names (globs) that resolve to the sinkhole address.
+  void add_sinkholed_domain(std::string glob);
+
+  Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<std::uint8_t>> rewrite_udp(
+      const FlowInfo& info, std::span<const std::uint8_t> payload) override;
+
+  [[nodiscard]] std::uint64_t queries_answered() const { return answered_; }
+  [[nodiscard]] std::uint64_t queries_sinkholed() const {
+    return sinkholed_;
+  }
+
+ private:
+  util::Ipv4Addr sinkhole_;
+  std::vector<std::string> domains_;
+  std::uint64_t answered_ = 0;
+  std::uint64_t sinkholed_ = 0;
+};
+
+/// Worm-era honeyfarm containment (Table 1): every outbound propagation
+/// attempt is redirected to another inmate of the same subfarm (round
+/// robin), so self-propagation chains stay inside the farm.
+class WormFarmPolicy : public Policy {
+ public:
+  explicit WormFarmPolicy(const PolicyEnv& env);
+  Decision decide(const FlowInfo& info) override;
+
+ private:
+  PolicyEnv env_;
+  std::size_t next_ = 0;
+  /// Sticky victim choice per (origin VLAN, scanned address): multi-
+  /// connection exploits must land every connection on the same victim.
+  std::map<std::pair<std::uint16_t, util::Ipv4Addr>, util::Ipv4Addr>
+      chosen_;
+};
+
+}  // namespace gq::cs

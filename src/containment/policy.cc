@@ -1,0 +1,68 @@
+#include "containment/policy.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::cs {
+
+void RewriteContext::send_to_inmate(std::string_view text) {
+  send_to_inmate(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+void RewriteContext::send_to_target(std::string_view text) {
+  send_to_target(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+util::Endpoint PolicyEnv::service(const std::string& name) const {
+  auto it = services.find(util::to_lower(name));
+  return it == services.end() ? util::Endpoint{} : it->second;
+}
+
+bool PolicyEnv::has_service(const std::string& name) const {
+  return services.count(util::to_lower(name)) > 0;
+}
+
+Decision Policy::decide(const FlowInfo& info) {
+  (void)info;
+  return Decision::drop("default-deny");
+}
+
+std::unique_ptr<RewriteHandler> Policy::make_rewrite_handler(
+    const FlowInfo&) {
+  return nullptr;
+}
+
+std::optional<std::vector<std::uint8_t>> Policy::rewrite_udp(
+    const FlowInfo&, std::span<const std::uint8_t>) {
+  return std::nullopt;
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+void PolicyRegistry::register_policy(const std::string& name,
+                                     Factory factory) {
+  factories_[util::to_lower(name)] = std::move(factory);
+}
+
+std::shared_ptr<Policy> PolicyRegistry::create(const std::string& name,
+                                               const PolicyEnv& env) const {
+  auto it = factories_.find(util::to_lower(name));
+  if (it == factories_.end()) {
+    GQ_WARN("cs.policy", "unknown policy '%s'", name.c_str());
+    return nullptr;
+  }
+  return it->second(env);
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace gq::cs

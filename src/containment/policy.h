@@ -1,0 +1,188 @@
+// Containment policies (paper §6.2, "Policy structure"). Policies are
+// codified as classes; the containment server instantiates them keyed
+// on VLAN ID ranges and applies them per flow. Endpoint control is
+// decided from the flow's four-tuple; content control (REWRITE) hands
+// the flow to a RewriteHandler that acts as a transparent application-
+// layer proxy — optionally opening an outbound leg through the
+// gateway's nonce port, or impersonating the destination outright
+// (auto-infection, §6.6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netsim/event_loop.h"
+#include "packet/frame.h"
+#include "shim/shim.h"
+#include "util/addr.h"
+#include "util/rng.h"
+
+namespace gq::cs {
+
+class SampleLibrary;
+
+/// Everything a policy may key its decision on: the request shim's
+/// four-tuple and VLAN, plus the transport protocol.
+struct FlowInfo {
+  shim::RequestShim shim;
+  pkt::FlowProto proto = pkt::FlowProto::kTcp;
+
+  [[nodiscard]] util::Endpoint orig() const { return shim.orig; }
+  [[nodiscard]] util::Endpoint dst() const { return shim.resp; }
+  [[nodiscard]] std::uint16_t vlan() const { return shim.vlan; }
+};
+
+/// A policy's endpoint-control decision for one flow.
+struct Decision {
+  shim::Verdict verdict = shim::Verdict::kDrop;
+  /// Target for kRedirect / kReflect (copied into the response shim's
+  /// resulting four-tuple).
+  util::Endpoint target;
+  /// Free-form annotation; also carries parameters ("rate=4096").
+  std::string annotation;
+
+  static Decision forward() { return {shim::Verdict::kForward, {}, ""}; }
+  static Decision drop(std::string why = "") {
+    return {shim::Verdict::kDrop, {}, std::move(why)};
+  }
+  static Decision reflect(util::Endpoint sink, std::string why = "") {
+    return {shim::Verdict::kReflect, sink, std::move(why)};
+  }
+  static Decision redirect(util::Endpoint to, std::string why = "") {
+    return {shim::Verdict::kRedirect, to, std::move(why)};
+  }
+  static Decision limit(std::int64_t bytes_per_sec) {
+    return {shim::Verdict::kLimit, {},
+            "rate=" + std::to_string(bytes_per_sec)};
+  }
+  static Decision rewrite(std::string why = "") {
+    return {shim::Verdict::kRewrite, {}, std::move(why)};
+  }
+};
+
+/// Plumbing the containment server provides to a RewriteHandler.
+class RewriteContext {
+ public:
+  virtual ~RewriteContext() = default;
+
+  /// Push bytes to the inmate (they appear to come from the original
+  /// destination).
+  virtual void send_to_inmate(std::span<const std::uint8_t> data) = 0;
+  void send_to_inmate(std::string_view text);
+
+  /// Close the inmate-side connection (gracefully).
+  virtual void close_inmate() = 0;
+
+  /// Open the outbound leg to the flow's true destination through the
+  /// gateway's nonce port. on_data/on_closed fire as the target answers.
+  virtual void connect_outbound() = 0;
+  virtual void send_to_target(std::span<const std::uint8_t> data) = 0;
+  void send_to_target(std::string_view text);
+  virtual void close_target() = 0;
+  [[nodiscard]] virtual bool target_connected() const = 0;
+
+  [[nodiscard]] virtual const FlowInfo& info() const = 0;
+  [[nodiscard]] virtual sim::EventLoop& loop() = 0;
+};
+
+/// Per-flow content-control logic for REWRITE verdicts.
+class RewriteHandler {
+ public:
+  virtual ~RewriteHandler() = default;
+
+  /// Called once after the verdict is issued.
+  virtual void on_start(RewriteContext&) {}
+  /// Bytes arriving from the inmate.
+  virtual void on_inmate_data(RewriteContext&,
+                              std::span<const std::uint8_t> data) = 0;
+  /// Bytes arriving from the outbound target leg (if opened).
+  virtual void on_target_data(RewriteContext&,
+                              std::span<const std::uint8_t>) {}
+  virtual void on_target_connected(RewriteContext&) {}
+  virtual void on_target_closed(RewriteContext&) {}
+  virtual void on_inmate_closed(RewriteContext&) {}
+};
+
+/// Environment handed to policies at construction: where the subfarm's
+/// services live, the sample library for auto-infection, a deterministic
+/// RNG, and an inmate enumerator (for honeyfarm redirect policies).
+struct PolicyEnv {
+  /// Service locations from the configuration file ("Autoinfect",
+  /// "BannerSmtpSink", ...), keyed by section name, lowercase.
+  std::map<std::string, util::Endpoint> services;
+  SampleLibrary* samples = nullptr;
+  util::Rng* rng = nullptr;
+  /// Enumerate (vlan, internal address) of live inmates in the subfarm.
+  std::function<std::vector<std::pair<std::uint16_t, util::Ipv4Addr>>()>
+      list_inmates;
+  /// Next auto-infection sample for a VLAN (advances the batch cursor).
+  /// Filled in by the containment server during configure().
+  std::function<std::optional<std::string>(std::uint16_t)> next_sample;
+  /// Report a served infection (name + payload MD5) to the event stream.
+  std::function<void(std::uint16_t vlan, const std::string& name,
+                     const std::string& md5)>
+      report_infection;
+  /// Send a small out-of-band UDP datagram from the containment server
+  /// (used to push original-destination hints to the banner-grabbing
+  /// SMTP sink). Filled in by the containment server.
+  std::function<void(util::Endpoint to, const std::string& message)>
+      send_udp;
+
+  [[nodiscard]] util::Endpoint service(const std::string& name) const;
+  [[nodiscard]] bool has_service(const std::string& name) const;
+};
+
+/// Base class of all containment policies. The default behaviour is the
+/// paper's recommended starting stance: default-deny everything.
+class Policy {
+ public:
+  explicit Policy(std::string name) : name_(std::move(name)) {}
+  virtual ~Policy() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Endpoint-control decision for a new flow. Default: drop.
+  virtual Decision decide(const FlowInfo& info);
+
+  /// For kRewrite decisions: produce the content-control handler.
+  /// Returning nullptr degrades the flow to a drop.
+  virtual std::unique_ptr<RewriteHandler> make_rewrite_handler(
+      const FlowInfo& info);
+
+  /// For kRewrite decisions on UDP flows: transform/answer one inmate
+  /// datagram (e.g. DNS impersonation). Returning nullopt sends no
+  /// response datagram.
+  virtual std::optional<std::vector<std::uint8_t>> rewrite_udp(
+      const FlowInfo& info, std::span<const std::uint8_t> payload);
+
+ private:
+  std::string name_;
+};
+
+/// Global policy registry ("Decider = Rustock" in the configuration file
+/// resolves through here). Built-in policies self-register.
+class PolicyRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<Policy>(const PolicyEnv&)>;
+
+  static PolicyRegistry& instance();
+
+  void register_policy(const std::string& name, Factory factory);
+  [[nodiscard]] std::shared_ptr<Policy> create(const std::string& name,
+                                               const PolicyEnv& env) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Ensures the built-in policy set (containment/policies.cc) is
+/// registered; call before resolving policies by name.
+void register_builtin_policies();
+
+}  // namespace gq::cs

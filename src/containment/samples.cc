@@ -1,0 +1,46 @@
+#include "containment/samples.h"
+
+#include "util/glob.h"
+#include "util/md5.h"
+
+namespace gq::cs {
+
+void SampleLibrary::add(const std::string& name) {
+  // Deterministic synthetic payload: the name itself is the executable
+  // "header" (the inmate-side behaviour factory keys on it), plus filler
+  // derived from the name so each sample hashes uniquely.
+  std::string payload = name + "\n";
+  std::string filler = util::Md5::hex_digest(name);
+  for (int i = 0; i < 8; ++i) {
+    payload += filler;
+    filler = util::Md5::hex_digest(filler);
+  }
+  add(name, std::move(payload));
+}
+
+void SampleLibrary::add(const std::string& name, std::string payload) {
+  if (!payloads_.count(name)) order_.push_back(name);
+  payloads_[name] = std::move(payload);
+}
+
+std::vector<std::string> SampleLibrary::match(const std::string& glob) const {
+  std::vector<std::string> out;
+  for (const auto& name : order_)
+    if (util::glob_match(glob, name)) out.push_back(name);
+  return out;
+}
+
+std::optional<std::string> SampleLibrary::payload(
+    const std::string& name) const {
+  auto it = payloads_.find(name);
+  if (it == payloads_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> SampleLibrary::md5(const std::string& name) const {
+  auto p = payload(name);
+  if (!p) return std::nullopt;
+  return util::Md5::hex_digest(*p);
+}
+
+}  // namespace gq::cs

@@ -1,0 +1,41 @@
+// Malware sample library for auto-infection and batch processing
+// (paper §6.6). In the real GQ these are binary files on disk matched
+// by globs like "rustock.100921.*.exe"; here samples are registered by
+// experiment code with synthesized (deterministic) payload bytes whose
+// MD5 hashes appear in the activity reports, exactly as in Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gq::cs {
+
+class SampleLibrary {
+ public:
+  /// Register a sample by name with auto-generated payload content.
+  void add(const std::string& name);
+
+  /// Register a sample with explicit payload bytes.
+  void add(const std::string& name, std::string payload);
+
+  /// Names matching a glob, in registration order (a "batch").
+  [[nodiscard]] std::vector<std::string> match(
+      const std::string& glob) const;
+
+  [[nodiscard]] std::optional<std::string> payload(
+      const std::string& name) const;
+
+  /// Lowercase hex MD5 of a sample's payload.
+  [[nodiscard]] std::optional<std::string> md5(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+
+ private:
+  std::map<std::string, std::string> payloads_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace gq::cs

@@ -1,0 +1,378 @@
+#include "containment/server.h"
+
+#include "util/bytes.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::cs {
+
+namespace {
+constexpr const char* kLog = "cs";
+constexpr util::Duration kTriggerPollInterval = util::seconds(10);
+}  // namespace
+
+/// One inmate-side TCP session (a contained flow terminated at the CS).
+struct ContainmentServer::Session {
+  std::shared_ptr<net::TcpConnection> inmate;
+  std::vector<std::uint8_t> buffer;
+  bool shim_parsed = false;
+  FlowInfo info;
+  std::shared_ptr<Policy> policy;
+  std::unique_ptr<RewriteHandler> handler;
+  std::unique_ptr<SessionContext> context;
+  std::shared_ptr<net::TcpConnection> target;
+  bool target_up = false;
+  bool counted_rewrite = false;
+};
+
+/// RewriteContext implementation wiring a Session's two legs.
+class ContainmentServer::SessionContext : public RewriteContext {
+ public:
+  SessionContext(ContainmentServer& server, std::shared_ptr<Session> session)
+      : server_(server), session_(std::move(session)) {}
+
+  void send_to_inmate(std::span<const std::uint8_t> data) override {
+    if (session_->inmate) session_->inmate->send(data);
+  }
+  using RewriteContext::send_to_inmate;
+  using RewriteContext::send_to_target;
+
+  void close_inmate() override {
+    if (session_->inmate) session_->inmate->close();
+  }
+
+  void connect_outbound() override {
+    if (session_->target) return;
+    auto session = session_;
+    auto& server = server_;
+    session->target = server.stack_.connect(
+        {server.gateway_mgmt_, session->info.shim.nonce_port});
+    session->target->on_connected = [session] {
+      session->target_up = true;
+      if (session->handler)
+        session->handler->on_target_connected(*session->context);
+    };
+    session->target->on_data = [session](std::span<const std::uint8_t> d) {
+      if (session->handler)
+        session->handler->on_target_data(*session->context, d);
+    };
+    session->target->on_remote_close = [session] {
+      if (session->handler)
+        session->handler->on_target_closed(*session->context);
+    };
+    session->target->on_reset = [session] {
+      session->target_up = false;
+      if (session->handler)
+        session->handler->on_target_closed(*session->context);
+    };
+  }
+
+  void send_to_target(std::span<const std::uint8_t> data) override {
+    if (session_->target) session_->target->send(data);
+  }
+
+  void close_target() override {
+    if (session_->target) session_->target->close();
+  }
+
+  [[nodiscard]] bool target_connected() const override {
+    return session_->target_up;
+  }
+
+  [[nodiscard]] const FlowInfo& info() const override {
+    return session_->info;
+  }
+
+  [[nodiscard]] sim::EventLoop& loop() override {
+    return server_.stack_.loop();
+  }
+
+ private:
+  ContainmentServer& server_;
+  std::shared_ptr<Session> session_;
+};
+
+ContainmentServer::ContainmentServer(net::HostStack& stack,
+                                     std::uint16_t listen_port,
+                                     util::Ipv4Addr gateway_mgmt)
+    : stack_(stack), listen_port_(listen_port), gateway_mgmt_(gateway_mgmt) {
+  stack_.listen(listen_port_,
+                [this](std::shared_ptr<net::TcpConnection> conn) {
+                  on_accept(std::move(conn));
+                });
+  udp_sock_ = stack_.udp_open(listen_port_);
+  udp_sock_->on_datagram = [this](util::Endpoint from,
+                                  std::vector<std::uint8_t> data) {
+    on_udp(from, std::move(data));
+  };
+  control_sock_ = stack_.udp_open(0);
+  stack_.loop().schedule_in(kTriggerPollInterval,
+                            [this] { evaluate_triggers(); });
+}
+
+ContainmentServer::~ContainmentServer() = default;
+
+void ContainmentServer::configure(const ContainmentConfig& config,
+                                  PolicyEnv env_base) {
+  register_builtin_policies();
+  env_ = std::move(env_base);
+  for (const auto& [name, endpoint] : config.services)
+    env_.services[name] = endpoint;
+  if (!env_.samples) env_.samples = &samples_;
+  if (!env_.next_sample) {
+    env_.next_sample = [this](std::uint16_t vlan) {
+      return next_sample_name(vlan);
+    };
+  }
+  if (!env_.send_udp) {
+    env_.send_udp = [this](util::Endpoint to, const std::string& message) {
+      control_sock_->send_to(to, util::to_bytes(message));
+    };
+  }
+  if (!env_.report_infection) {
+    env_.report_infection = [this](std::uint16_t vlan,
+                                   const std::string& name,
+                                   const std::string& md5) {
+      CsEvent event;
+      event.kind = CsEvent::Kind::kInfectionServed;
+      event.vlan = vlan;
+      event.sample_name = name;
+      event.sample_md5 = md5;
+      emit_event(std::move(event));
+    };
+  }
+
+  policies_.clear();
+  infections_.clear();
+  for (const auto& binding : config.bindings) {
+    if (!binding.decider.empty()) {
+      auto policy = PolicyRegistry::instance().create(binding.decider, env_);
+      if (!policy) {
+        throw std::runtime_error("config references unknown policy '" +
+                                 binding.decider + "'");
+      }
+      policies_.push_back(PolicyBinding{binding.range, std::move(policy)});
+    }
+    if (!binding.infection_glob.empty()) {
+      InfectionBinding infection;
+      infection.range = binding.range;
+      infection.batch = env_.samples->match(binding.infection_glob);
+      if (infection.batch.empty()) {
+        GQ_WARN(kLog, "infection glob '%s' matches no samples",
+                binding.infection_glob.c_str());
+      }
+      infections_.push_back(std::move(infection));
+    }
+  }
+  for (const auto& trigger : config.triggers)
+    triggers_.add(trigger.range.first, trigger.range.last, trigger.trigger);
+}
+
+void ContainmentServer::bind_policy(std::uint16_t vlan_first,
+                                    std::uint16_t vlan_last,
+                                    std::shared_ptr<Policy> policy) {
+  policies_.push_back(
+      PolicyBinding{VlanRange{vlan_first, vlan_last}, std::move(policy)});
+}
+
+void ContainmentServer::set_inmate_controller(util::Endpoint controller) {
+  controller_ = controller;
+}
+
+void ContainmentServer::notify_inmate_started(std::uint16_t vlan) {
+  triggers_.inmate_started(vlan, stack_.loop().now());
+}
+
+std::optional<std::string> ContainmentServer::next_sample_name(
+    std::uint16_t vlan) {
+  for (auto& infection : infections_) {
+    if (!infection.range.contains(vlan) || infection.batch.empty()) continue;
+    std::size_t& cursor = infection.cursor[vlan];
+    const std::string& name = infection.batch[cursor % infection.batch.size()];
+    ++cursor;
+    return name;
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<Policy> ContainmentServer::policy_for(std::uint16_t vlan) {
+  for (auto& binding : policies_)
+    if (binding.range.contains(vlan)) return binding.policy;
+  return nullptr;
+}
+
+Decision ContainmentServer::decide(
+    FlowInfo& info, std::shared_ptr<Policy>& policy_out,
+    std::unique_ptr<RewriteHandler>* handler_out) {
+  ++flows_decided_;
+  policy_out = policy_for(info.vlan());
+  Decision decision = policy_out ? policy_out->decide(info)
+                                 : Decision::drop("no policy bound");
+  if (decision.verdict == shim::Verdict::kRewrite && handler_out) {
+    *handler_out = policy_out->make_rewrite_handler(info);
+    if (!*handler_out && info.proto == pkt::FlowProto::kTcp) {
+      decision = Decision::drop("rewrite without handler");
+    }
+  }
+  triggers_.observe_flow(info.vlan(), info.dst(), info.proto,
+                         stack_.loop().now());
+
+  CsEvent event;
+  event.kind = CsEvent::Kind::kFlowDecision;
+  event.vlan = info.vlan();
+  event.orig_dst = info.dst();
+  event.proto = info.proto;
+  event.verdict = decision.verdict;
+  event.policy_name = policy_out ? policy_out->name() : "DefaultDeny";
+  event.annotation = decision.annotation;
+  emit_event(std::move(event));
+  return decision;
+}
+
+void ContainmentServer::on_accept(std::shared_ptr<net::TcpConnection> conn) {
+  auto session = std::make_shared<Session>();
+  session->inmate = conn;
+  conn->on_data = [this, session](std::span<const std::uint8_t> data) {
+    on_inmate_data(session, data);
+  };
+  conn->on_remote_close = [session] {
+    if (session->handler && session->context)
+      session->handler->on_inmate_closed(*session->context);
+    if (session->inmate) session->inmate->close();
+  };
+  conn->on_closed = [this, session] {
+    if (session->counted_rewrite && rewrites_active_ > 0)
+      --rewrites_active_;
+    if (session->target) session->target->close();
+  };
+}
+
+void ContainmentServer::on_inmate_data(std::shared_ptr<Session> session,
+                                       std::span<const std::uint8_t> data) {
+  if (session->shim_parsed) {
+    if (session->handler)
+      session->handler->on_inmate_data(*session->context, data);
+    return;
+  }
+  session->buffer.insert(session->buffer.end(), data.begin(), data.end());
+  if (session->buffer.size() < shim::kRequestShimSize) return;
+  auto request = shim::RequestShim::parse(session->buffer);
+  if (!request) {
+    GQ_WARN(kLog, "malformed request shim from %s; refusing flow",
+            session->inmate->remote().str().c_str());
+    session->inmate->abort();
+    return;
+  }
+  session->shim_parsed = true;
+  session->info.shim = *request;
+  session->info.proto = pkt::FlowProto::kTcp;
+  std::vector<std::uint8_t> leftover(
+      session->buffer.begin() + shim::kRequestShimSize,
+      session->buffer.end());
+  session->buffer.clear();
+
+  Decision decision =
+      decide(session->info, session->policy, &session->handler);
+
+  shim::ResponseShim response;
+  response.orig = request->orig;
+  response.resp = (decision.verdict == shim::Verdict::kRedirect ||
+                   decision.verdict == shim::Verdict::kReflect)
+                      ? decision.target
+                      : request->resp;
+  response.verdict = decision.verdict;
+  response.policy_name =
+      session->policy ? session->policy->name() : "DefaultDeny";
+  response.annotation = decision.annotation;
+  session->inmate->send(response.encode());
+
+  if (decision.verdict == shim::Verdict::kRewrite && session->handler) {
+    ++rewrites_active_;
+    session->counted_rewrite = true;
+    session->context = std::make_unique<SessionContext>(*this, session);
+    session->handler->on_start(*session->context);
+    if (!leftover.empty())
+      session->handler->on_inmate_data(*session->context, leftover);
+  } else {
+    // Endpoint verdicts: our part is done; the gateway takes over (and
+    // typically resets this leg). Close gracefully from our side.
+    session->inmate->close();
+  }
+}
+
+void ContainmentServer::on_udp(util::Endpoint from,
+                               std::vector<std::uint8_t> data) {
+  auto request = shim::RequestShim::parse(data);
+  if (!request) return;
+  std::span<const std::uint8_t> payload(data);
+  payload = payload.subspan(shim::kRequestShimSize);
+
+  FlowInfo info;
+  info.shim = *request;
+  info.proto = pkt::FlowProto::kUdp;
+
+  const auto key = std::make_pair(request->orig, request->resp);
+  auto cached = udp_decisions_.find(key);
+  std::shared_ptr<Policy> policy = policy_for(info.vlan());
+  Decision decision;
+  if (cached == udp_decisions_.end()) {
+    decision = decide(info, policy, nullptr);
+    udp_decisions_[key] = decision;
+  } else {
+    decision = cached->second;
+  }
+
+  shim::ResponseShim response;
+  response.orig = request->orig;
+  response.resp = (decision.verdict == shim::Verdict::kRedirect ||
+                   decision.verdict == shim::Verdict::kReflect)
+                      ? decision.target
+                      : request->resp;
+  response.verdict = decision.verdict;
+  response.policy_name = policy ? policy->name() : "DefaultDeny";
+  response.annotation = decision.annotation;
+  auto reply = response.encode();
+
+  if (decision.verdict == shim::Verdict::kRewrite && policy) {
+    if (auto rewritten = policy->rewrite_udp(info, payload)) {
+      reply.insert(reply.end(), rewritten->begin(), rewritten->end());
+    }
+  }
+  udp_sock_->send_to(from, reply);
+}
+
+void ContainmentServer::evaluate_triggers() {
+  for (const auto& firing : triggers_.evaluate(stack_.loop().now())) {
+    GQ_INFO(kLog, "trigger fired for vlan %u: %s", firing.vlan,
+            firing.trigger_text.c_str());
+    CsEvent event;
+    event.kind = CsEvent::Kind::kTriggerFired;
+    event.vlan = firing.vlan;
+    event.trigger_text = firing.trigger_text;
+    event.action = firing.action;
+    emit_event(std::move(event));
+    send_lifecycle(firing.vlan, firing.action);
+  }
+  stack_.loop().schedule_in(kTriggerPollInterval,
+                            [this] { evaluate_triggers(); });
+}
+
+void ContainmentServer::send_lifecycle(std::uint16_t vlan,
+                                       LifecycleAction action) {
+  if (!controller_) {
+    GQ_WARN(kLog, "no inmate controller configured; %s vlan %u not sent",
+            lifecycle_action_name(action), vlan);
+    return;
+  }
+  // The paper's "simple text-based message format" (§6.3).
+  const std::string message = util::format(
+      "%s %u\n", lifecycle_action_name(action), vlan);
+  control_sock_->send_to(*controller_, util::to_bytes(message));
+}
+
+void ContainmentServer::emit_event(CsEvent event) {
+  event.time = stack_.loop().now();
+  if (events_) events_(event);
+}
+
+}  // namespace gq::cs

@@ -1,0 +1,141 @@
+// The containment server (paper §5.4, §6.2): a standard application
+// server on the management network that the gateway couples to via the
+// shim protocol. It decides each flow's containment policy, conveys the
+// verdict back in a response shim, acts as the transparent application-
+// layer proxy for REWRITE flows (opening outbound legs through the
+// gateway's nonce ports), runs the activity-trigger engine that drives
+// inmate life-cycles, and sequences auto-infection batches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "containment/config.h"
+#include "containment/policy.h"
+#include "containment/samples.h"
+#include "containment/trigger.h"
+#include "net/stack.h"
+#include "net/tcp.h"
+#include "shim/shim.h"
+#include "util/addr.h"
+
+namespace gq::cs {
+
+/// Report-stream events emitted by the containment server.
+struct CsEvent {
+  enum class Kind { kFlowDecision, kInfectionServed, kTriggerFired };
+  Kind kind = Kind::kFlowDecision;
+  util::TimePoint time;
+  std::uint16_t vlan = 0;
+  // kFlowDecision.
+  util::Endpoint orig_dst;
+  pkt::FlowProto proto = pkt::FlowProto::kTcp;
+  shim::Verdict verdict = shim::Verdict::kDrop;
+  std::string policy_name;
+  std::string annotation;
+  // kInfectionServed.
+  std::string sample_name;
+  std::string sample_md5;
+  // kTriggerFired.
+  std::string trigger_text;
+  LifecycleAction action = LifecycleAction::kRevert;
+};
+
+using CsEventHandler = std::function<void(const CsEvent&)>;
+
+class ContainmentServer {
+ public:
+  /// `listen_port` is the fixed port the gateway redirects flows to;
+  /// `gateway_mgmt` is where nonce-port connections are dialed.
+  ContainmentServer(net::HostStack& stack, std::uint16_t listen_port,
+                    util::Ipv4Addr gateway_mgmt);
+  ~ContainmentServer();
+
+  ContainmentServer(const ContainmentServer&) = delete;
+  ContainmentServer& operator=(const ContainmentServer&) = delete;
+
+  /// Apply a parsed configuration file: instantiate policies for each
+  /// VLAN binding, install triggers, and remember service locations.
+  /// `env_base` supplies the sample library / RNG / inmate enumerator;
+  /// service locations from the config are merged into it.
+  void configure(const ContainmentConfig& config, PolicyEnv env_base);
+
+  /// Bind a policy instance directly (tests / programmatic setup).
+  void bind_policy(std::uint16_t vlan_first, std::uint16_t vlan_last,
+                   std::shared_ptr<Policy> policy);
+
+  /// Where life-cycle commands go (the inmate controller, §5.5).
+  void set_inmate_controller(util::Endpoint controller);
+
+  /// Life-cycle notification: arms triggers for this inmate.
+  void notify_inmate_started(std::uint16_t vlan);
+
+  void set_event_handler(CsEventHandler handler) {
+    events_ = std::move(handler);
+  }
+
+  /// The next auto-infection sample for an inmate, advancing the batch
+  /// cursor. nullopt when the VLAN has no infection binding.
+  std::optional<std::string> next_sample_name(std::uint16_t vlan);
+
+  [[nodiscard]] SampleLibrary& samples() { return samples_; }
+  [[nodiscard]] std::uint64_t flows_decided() const { return flows_decided_; }
+  [[nodiscard]] std::uint64_t rewrites_active() const {
+    return rewrites_active_;
+  }
+  [[nodiscard]] util::Endpoint endpoint() const {
+    return {stack_.addr(), listen_port_};
+  }
+
+ private:
+  class SessionContext;
+  struct Session;
+
+  void on_accept(std::shared_ptr<net::TcpConnection> conn);
+  void on_inmate_data(std::shared_ptr<Session> session,
+                      std::span<const std::uint8_t> data);
+  void on_udp(util::Endpoint from, std::vector<std::uint8_t> data);
+  std::shared_ptr<Policy> policy_for(std::uint16_t vlan);
+  Decision decide(FlowInfo& info, std::shared_ptr<Policy>& policy_out,
+                  std::unique_ptr<RewriteHandler>* handler_out);
+  void evaluate_triggers();
+  void send_lifecycle(std::uint16_t vlan, LifecycleAction action);
+  void emit_event(CsEvent event);
+
+  net::HostStack& stack_;
+  std::uint16_t listen_port_;
+  util::Ipv4Addr gateway_mgmt_;
+  std::shared_ptr<net::UdpSocket> udp_sock_;
+  std::shared_ptr<net::UdpSocket> control_sock_;
+
+  struct PolicyBinding {
+    VlanRange range;
+    std::shared_ptr<Policy> policy;
+  };
+  std::vector<PolicyBinding> policies_;
+  struct InfectionBinding {
+    VlanRange range;
+    std::vector<std::string> batch;
+    std::map<std::uint16_t, std::size_t> cursor;  // Per-VLAN batch index.
+  };
+  std::vector<InfectionBinding> infections_;
+  PolicyEnv env_;
+  SampleLibrary samples_;
+  TriggerEngine triggers_;
+  std::optional<util::Endpoint> controller_;
+  CsEventHandler events_;
+
+  // Cached UDP decisions, keyed by (orig, resp).
+  std::map<std::pair<util::Endpoint, util::Endpoint>, Decision>
+      udp_decisions_;
+
+  std::uint64_t flows_decided_ = 0;
+  std::uint64_t rewrites_active_ = 0;
+};
+
+}  // namespace gq::cs

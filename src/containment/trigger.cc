@@ -1,0 +1,199 @@
+#include "containment/trigger.h"
+
+#include "util/glob.h"
+#include "util/strings.h"
+
+namespace gq::cs {
+
+namespace {
+
+// Parse a duration like "30min", "2h", "45s", "500ms".
+std::optional<util::Duration> parse_duration(std::string_view text) {
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[digits])))
+    ++digits;
+  if (digits == 0) return std::nullopt;
+  auto value = util::parse_int(text.substr(0, digits));
+  if (!value) return std::nullopt;
+  const std::string_view unit = text.substr(digits);
+  if (unit == "ms") return util::milliseconds(*value);
+  if (unit == "s" || unit == "sec") return util::seconds(*value);
+  if (unit == "min" || unit == "m") return util::minutes(*value);
+  if (unit == "h" || unit == "hr") return util::hours(*value);
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool FlowPattern::matches(util::Endpoint dst, pkt::FlowProto p) const {
+  if (port && *port != dst.port) return false;
+  if (proto && *proto != p) return false;
+  return util::glob_match(addr_glob, dst.addr.str());
+}
+
+std::optional<FlowPattern> FlowPattern::parse(std::string_view text) {
+  // "<addr-glob>:<port|*>/<tcp|udp|*>"
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view proto_text = text.substr(slash + 1);
+  const auto colon = text.substr(0, slash).rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+
+  FlowPattern pattern;
+  pattern.addr_glob = std::string(text.substr(0, colon));
+  if (pattern.addr_glob.empty()) return std::nullopt;
+
+  const std::string_view port_text = text.substr(colon + 1, slash - colon - 1);
+  if (port_text != "*") {
+    auto port = util::parse_int(port_text);
+    if (!port || *port < 0 || *port > 65535) return std::nullopt;
+    pattern.port = static_cast<std::uint16_t>(*port);
+  }
+  if (proto_text == "tcp") {
+    pattern.proto = pkt::FlowProto::kTcp;
+  } else if (proto_text == "udp") {
+    pattern.proto = pkt::FlowProto::kUdp;
+  } else if (proto_text != "*") {
+    return std::nullopt;
+  }
+  return pattern;
+}
+
+std::string FlowPattern::str() const {
+  std::string out = addr_glob + ":";
+  out += port ? std::to_string(*port) : "*";
+  out += "/";
+  if (!proto) {
+    out += "*";
+  } else {
+    out += (*proto == pkt::FlowProto::kTcp) ? "tcp" : "udp";
+  }
+  return out;
+}
+
+const char* lifecycle_action_name(LifecycleAction a) {
+  switch (a) {
+    case LifecycleAction::kRevert: return "revert";
+    case LifecycleAction::kReboot: return "reboot";
+    case LifecycleAction::kTerminate: return "terminate";
+  }
+  return "?";
+}
+
+std::optional<Trigger> Trigger::parse(std::string_view text) {
+  // "<pattern> / <window> <cmp> <count> -> <action>"
+  const auto arrow = text.find("->");
+  if (arrow == std::string_view::npos) return std::nullopt;
+  const std::string action_text(util::trim(text.substr(arrow + 2)));
+  std::string_view head = util::trim(text.substr(0, arrow));
+
+  // The pattern itself contains a '/', so split on the *last* " / "
+  // separator (spaces around it disambiguate from the proto slash).
+  const auto sep = head.rfind(" / ");
+  if (sep == std::string_view::npos) return std::nullopt;
+  auto pattern = FlowPattern::parse(util::trim(head.substr(0, sep)));
+  if (!pattern) return std::nullopt;
+
+  auto rest = util::split_ws(head.substr(sep + 3));
+  if (rest.size() != 3) return std::nullopt;
+  auto window = parse_duration(rest[0]);
+  if (!window) return std::nullopt;
+
+  Trigger trigger;
+  trigger.pattern = *pattern;
+  trigger.window = *window;
+  if (rest[1] == "<") trigger.cmp = Comparison::kLess;
+  else if (rest[1] == "<=") trigger.cmp = Comparison::kLessEqual;
+  else if (rest[1] == ">") trigger.cmp = Comparison::kGreater;
+  else if (rest[1] == ">=") trigger.cmp = Comparison::kGreaterEqual;
+  else if (rest[1] == "==" || rest[1] == "=") trigger.cmp = Comparison::kEqual;
+  else return std::nullopt;
+  auto threshold = util::parse_int(rest[2]);
+  if (!threshold) return std::nullopt;
+  trigger.threshold = *threshold;
+
+  if (action_text == "revert") trigger.action = LifecycleAction::kRevert;
+  else if (action_text == "reboot") trigger.action = LifecycleAction::kReboot;
+  else if (action_text == "terminate")
+    trigger.action = LifecycleAction::kTerminate;
+  else return std::nullopt;
+  return trigger;
+}
+
+std::string Trigger::str() const {
+  const char* cmp_text = "<";
+  switch (cmp) {
+    case Comparison::kLess: cmp_text = "<"; break;
+    case Comparison::kLessEqual: cmp_text = "<="; break;
+    case Comparison::kGreater: cmp_text = ">"; break;
+    case Comparison::kGreaterEqual: cmp_text = ">="; break;
+    case Comparison::kEqual: cmp_text = "=="; break;
+  }
+  return pattern.str() + " / " + util::format_duration(window) + " " +
+         cmp_text + " " + std::to_string(threshold) + " -> " +
+         lifecycle_action_name(action);
+}
+
+bool TriggerEngine::compare(Comparison cmp, std::int64_t value,
+                            std::int64_t threshold) {
+  switch (cmp) {
+    case Comparison::kLess: return value < threshold;
+    case Comparison::kLessEqual: return value <= threshold;
+    case Comparison::kGreater: return value > threshold;
+    case Comparison::kGreaterEqual: return value >= threshold;
+    case Comparison::kEqual: return value == threshold;
+  }
+  return false;
+}
+
+void TriggerEngine::add(std::uint16_t vlan_first, std::uint16_t vlan_last,
+                        Trigger trigger) {
+  rules_.push_back(Rule{vlan_first, vlan_last, std::move(trigger), {}});
+}
+
+void TriggerEngine::inmate_started(std::uint16_t vlan, util::TimePoint now) {
+  for (auto& rule : rules_) {
+    if (vlan < rule.vlan_first || vlan > rule.vlan_last) continue;
+    auto& state = rule.per_vlan[vlan];
+    state.events.clear();
+    state.armed = true;
+    state.fired = false;
+    state.armed_at = now;
+  }
+}
+
+void TriggerEngine::observe_flow(std::uint16_t vlan, util::Endpoint dst,
+                                 pkt::FlowProto proto, util::TimePoint now) {
+  for (auto& rule : rules_) {
+    if (vlan < rule.vlan_first || vlan > rule.vlan_last) continue;
+    if (!rule.trigger.pattern.matches(dst, proto)) continue;
+    rule.per_vlan[vlan].events.push_back(now);
+  }
+}
+
+std::vector<TriggerEngine::Firing> TriggerEngine::evaluate(
+    util::TimePoint now) {
+  std::vector<Firing> firings;
+  for (auto& rule : rules_) {
+    for (auto& [vlan, state] : rule.per_vlan) {
+      if (!state.armed || state.fired) continue;
+      // Absence-style triggers only make sense once one full window has
+      // passed since the inmate came up.
+      if (now - state.armed_at < rule.trigger.window) continue;
+      while (!state.events.empty() &&
+             now - state.events.front() > rule.trigger.window)
+        state.events.pop_front();
+      if (compare(rule.trigger.cmp,
+                  static_cast<std::int64_t>(state.events.size()),
+                  rule.trigger.threshold)) {
+        state.fired = true;
+        firings.push_back(
+            Firing{vlan, rule.trigger.action, rule.trigger.str()});
+      }
+    }
+  }
+  return firings;
+}
+
+}  // namespace gq::cs

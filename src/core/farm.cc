@@ -1,0 +1,291 @@
+#include "core/farm.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::core {
+
+namespace {
+constexpr const char* kLog = "farm";
+constexpr std::uint16_t kCsPort = 6666;
+constexpr std::uint16_t kControllerPort = 7777;
+constexpr std::uint16_t kMgmtVlan = 2;
+constexpr std::uint16_t kExternalVlan = 3;
+constexpr util::Duration kLinkLatency = util::microseconds(50);
+constexpr util::Duration kUpstreamLatency = util::microseconds(500);
+}  // namespace
+
+Farm::Farm(FarmOptions options)
+    : options_(options),
+      rng_(options.seed),
+      inmate_switch_(loop_, "inmate-sw", options.inmate_switch_ports),
+      mgmt_switch_(loop_, "mgmt-sw", options.mgmt_switch_ports),
+      external_switch_(loop_, "ext-sw", options.external_switch_ports) {
+  gw::GatewayConfig gwc;
+  gwc.upstream_addr = options_.gateway_upstream;
+  gwc.mgmt_net = options_.mgmt_net;
+  gwc.mgmt_addr = options_.mgmt_net.host(1);
+  gateway_ = std::make_unique<gw::Gateway>(loop_, gwc);
+
+  // Wire the gateway's three legs: trunk into the inmate switch, access
+  // ports on the management and external switches.
+  const std::size_t inmate_trunk = options.inmate_switch_ports - 1;
+  inmate_switch_.set_trunk_all(inmate_trunk);
+  sim::Port::connect(gateway_->inmate_port(), inmate_switch_.port(inmate_trunk),
+                     kLinkLatency);
+
+  const std::size_t mgmt_uplink = options.mgmt_switch_ports - 1;
+  mgmt_switch_.set_access(mgmt_uplink, kMgmtVlan);
+  sim::Port::connect(gateway_->mgmt_port(), mgmt_switch_.port(mgmt_uplink),
+                     kLinkLatency);
+
+  const std::size_t ext_uplink = options.external_switch_ports - 1;
+  external_switch_.set_access(ext_uplink, kExternalVlan);
+  sim::Port::connect(gateway_->upstream_port(),
+                     external_switch_.port(ext_uplink), kUpstreamLatency);
+
+  // Reporting taps the gateway's flow-event stream.
+  gateway_->set_event_handler(
+      [this](const gw::FlowEvent& event) { reporter_.on_flow_event(event); });
+  reporter_.set_blacklist(&cbl_);
+
+  // The inmate controller (§5.5) — conceptually on the gateway; hosted
+  // on a dedicated management host here.
+  controller_host_ = &add_mgmt_host("inmate-controller");
+  controller_ = std::make_unique<inm::InmateController>(*controller_host_,
+                                                        kControllerPort);
+}
+
+Farm::~Farm() = default;
+
+net::HostStack& Farm::add_external_host(const std::string& name,
+                                        util::Ipv4Addr addr) {
+  if (next_external_port_ >= options_.external_switch_ports - 1)
+    throw std::runtime_error("external switch full");
+  auto host = std::make_unique<net::HostStack>(
+      loop_, name, util::MacAddr::local(0x30000u + static_cast<std::uint32_t>(
+                                                        hosts_.size())),
+      next_seed());
+  external_switch_.set_access(next_external_port_, kExternalVlan);
+  sim::Port::connect(host->nic(), external_switch_.port(next_external_port_),
+                     kUpstreamLatency);
+  ++next_external_port_;
+  // The simulated Internet is one flat on-link world (prefix length 0):
+  // external hosts ARP directly for any address; the gateway proxy-ARPs
+  // the NATed ranges.
+  host->configure({addr, util::Ipv4Net(util::Ipv4Addr(), 0),
+                   util::Ipv4Addr(), {}});
+  hosts_.push_back(std::move(host));
+  return *hosts_.back();
+}
+
+net::HostStack& Farm::add_mgmt_host(const std::string& name) {
+  if (next_mgmt_port_ >= options_.mgmt_switch_ports - 1)
+    throw std::runtime_error("management switch full");
+  auto host = std::make_unique<net::HostStack>(
+      loop_, name, util::MacAddr::local(0x40000u + static_cast<std::uint32_t>(
+                                                        hosts_.size())),
+      next_seed());
+  mgmt_switch_.set_access(next_mgmt_port_, kMgmtVlan);
+  sim::Port::connect(host->nic(), mgmt_switch_.port(next_mgmt_port_),
+                     kLinkLatency);
+  ++next_mgmt_port_;
+  host->configure({next_mgmt_addr(), options_.mgmt_net,
+                   options_.mgmt_net.host(1), {}});
+  hosts_.push_back(std::move(host));
+  return *hosts_.back();
+}
+
+util::Ipv4Addr Farm::next_mgmt_addr() {
+  return options_.mgmt_net.host(next_mgmt_host_index_++);
+}
+
+sim::Port& Farm::next_inmate_access_port(std::uint16_t vlan) {
+  if (next_inmate_port_ >= options_.inmate_switch_ports - 1)
+    throw std::runtime_error("inmate switch full");
+  inmate_switch_.set_access(next_inmate_port_, vlan);
+  return inmate_switch_.port(next_inmate_port_++);
+}
+
+Subfarm& Farm::add_subfarm(const std::string& name, SubfarmOptions options) {
+  const int index = next_subfarm_index_++;
+  if (options.vlan_first == 0) {
+    options.vlan_first = next_vlan_base_;
+    options.vlan_last = static_cast<std::uint16_t>(next_vlan_base_ + 15);
+    next_vlan_base_ = static_cast<std::uint16_t>(next_vlan_base_ + 16);
+  }
+  if (options.internal_net.prefix_len() == 0) {
+    options.internal_net = util::Ipv4Net(
+        util::Ipv4Addr(10, static_cast<std::uint8_t>(10 + index), 0, 0), 24);
+  }
+  if (options.external_net.prefix_len() == 0) {
+    options.external_net = util::Ipv4Net(
+        util::Ipv4Addr(198, static_cast<std::uint8_t>(18 + index), 0, 0),
+        24);
+  }
+
+  auto& cs_host = add_mgmt_host(name + "-cs");
+
+  gw::SubfarmConfig sfc;
+  sfc.name = name;
+  sfc.vlan_first = options.vlan_first;
+  sfc.vlan_last = options.vlan_last;
+  sfc.internal_net = options.internal_net;
+  sfc.external_net = options.external_net;
+  sfc.containment_server = {cs_host.addr(), kCsPort};
+  sfc.inbound_mode = options.inbound_mode;
+  sfc.max_conns_per_inmate = options.max_conns_per_inmate;
+  sfc.max_conns_per_dest = options.max_conns_per_dest;
+  sfc.drop_sends_rst = options.drop_sends_rst;
+  sfc.dns_service = options.dns_service;
+  sfc.infra_services = options.infra_services;
+  auto& router = gateway_->add_subfarm(sfc);
+
+  auto cs = std::make_unique<cs::ContainmentServer>(
+      cs_host, kCsPort, gateway_->config().mgmt_addr);
+  cs->set_inmate_controller({controller_host_->addr(), kControllerPort});
+  cs->set_event_handler([this, name](const cs::CsEvent& event) {
+    reporter_.on_cs_event(name, event);
+  });
+
+  subfarms_.push_back(std::make_unique<Subfarm>(
+      *this, router, std::move(cs), cs_host, options.vlan_first,
+      options.vlan_last));
+  reporter_.register_subfarm(&router);
+  GQ_INFO(kLog, "subfarm '%s': VLANs %u-%u internal %s external %s",
+          name.c_str(), options.vlan_first, options.vlan_last,
+          options.internal_net.str().c_str(),
+          options.external_net.str().c_str());
+  return *subfarms_.back();
+}
+
+// --- Subfarm -----------------------------------------------------------------
+
+Subfarm::Subfarm(Farm& farm, gw::SubfarmRouter& router,
+                 std::unique_ptr<cs::ContainmentServer> cs,
+                 net::HostStack& cs_host, std::uint16_t vlan_first,
+                 std::uint16_t vlan_last)
+    : farm_(farm),
+      router_(router),
+      cs_(std::move(cs)),
+      cs_host_(cs_host),
+      vlan_pool_(vlan_first, vlan_last) {
+  env_.rng = &farm_.rng();
+  env_.samples = &cs_->samples();
+  env_.list_inmates = [this] {
+    std::vector<std::pair<std::uint16_t, util::Ipv4Addr>> out;
+    for (const auto& [vlan, binding] : router_.inmates().bindings())
+      out.emplace_back(vlan, binding.internal_addr);
+    return out;
+  };
+}
+
+sinks::CatchAllSink& Subfarm::add_catchall_sink(std::uint16_t port) {
+  auto& host = farm_.add_mgmt_host(name() + "-sink");
+  catchall_ = std::make_unique<sinks::CatchAllSink>(host, port);
+  env_.services["sink"] = {host.addr(), port};
+  return *catchall_;
+}
+
+sinks::SmtpSink& Subfarm::add_smtp_sink(sinks::SmtpSinkConfig config,
+                                        std::string service_name) {
+  auto& host = farm_.add_mgmt_host(name() + "-" + service_name);
+  auto sink = std::make_unique<sinks::SmtpSink>(host, config);
+  env_.services[util::to_lower(service_name)] = {host.addr(), config.port};
+  farm_.reporter().register_smtp_sink(name(), sink.get());
+  auto& ref = *sink;
+  smtp_sinks_[service_name] = std::move(sink);
+  return ref;
+}
+
+void Subfarm::set_autoinfect(util::Endpoint endpoint) {
+  autoinfect_ = endpoint;
+  env_.services["autoinfect"] = endpoint;
+}
+
+void Subfarm::configure_containment(const std::string& config_text) {
+  auto config = cs::ContainmentConfig::parse(config_text);
+  last_config_text_ = config_text;
+  // Service sections in the file override/add to programmatic ones.
+  cs_->configure(config, env_);
+  for (auto& extra : extra_cs_) extra->configure(config, env_);
+  if (auto it = config.services.find("autoinfect");
+      it != config.services.end()) {
+    autoinfect_ = it->second;
+  }
+}
+
+cs::ContainmentServer& Subfarm::add_containment_server() {
+  auto& host = farm_.add_mgmt_host(
+      name() + "-cs" + std::to_string(extra_cs_.size() + 2));
+  auto extra = std::make_unique<cs::ContainmentServer>(
+      host, router_.config().containment_server.port,
+      farm_.gateway().config().mgmt_addr);
+  extra->set_inmate_controller(farm_.controller().endpoint());
+  const std::string subfarm_name = name();
+  auto& farm = farm_;
+  extra->set_event_handler([&farm, subfarm_name](const cs::CsEvent& event) {
+    farm.reporter().on_cs_event(subfarm_name, event);
+  });
+  router_.add_containment_server(
+      {host.addr(), router_.config().containment_server.port});
+  // The new member must enforce the same policy state.
+  if (!last_config_text_.empty()) {
+    extra->configure(cs::ContainmentConfig::parse(last_config_text_), env_);
+  }
+  extra_cs_.push_back(std::move(extra));
+  return *extra_cs_.back();
+}
+
+void Subfarm::bind_policy(std::uint16_t vlan_first, std::uint16_t vlan_last,
+                          std::shared_ptr<cs::Policy> policy) {
+  cs_->bind_policy(vlan_first, vlan_last, policy);
+  for (auto& extra : extra_cs_)
+    extra->bind_policy(vlan_first, vlan_last, policy);
+}
+
+std::vector<cs::ContainmentServer*> Subfarm::containment_cluster() {
+  std::vector<cs::ContainmentServer*> cluster{cs_.get()};
+  for (auto& extra : extra_cs_) cluster.push_back(extra.get());
+  return cluster;
+}
+
+inm::Inmate& Subfarm::create_inmate(inm::HostingKind hosting,
+                                    std::optional<std::uint16_t> vlan) {
+  std::uint16_t assigned;
+  if (vlan) {
+    if (!vlan_pool_.reserve(*vlan))
+      throw std::runtime_error("vlan unavailable");
+    assigned = *vlan;
+  } else {
+    auto allocated = vlan_pool_.allocate();
+    if (!allocated) throw std::runtime_error("vlan pool exhausted");
+    assigned = *allocated;
+  }
+  inm::InmateConfig config;
+  config.vlan = assigned;
+  config.hosting = hosting;
+  config.autoinfect = autoinfect_;
+  config.seed = farm_.next_seed();
+  auto inmate = std::make_unique<inm::Inmate>(farm_.loop(), config,
+                                              catalog_.factory());
+  sim::Port::connect(inmate->host().nic(),
+                     farm_.next_inmate_access_port(assigned),
+                     util::microseconds(50));
+  farm_.controller().register_inmate(*inmate);
+  inmate->set_state_handler(
+      [this](inm::Inmate& inmate, inm::InmateState, inm::InmateState state) {
+        if (state == inm::InmateState::kRunning) {
+          cs_->notify_inmate_started(inmate.vlan());
+          for (auto& extra : extra_cs_)
+            extra->notify_inmate_started(inmate.vlan());
+        }
+      });
+  inmate->power_on();
+  inmates_.push_back(std::move(inmate));
+  return *inmates_.back();
+}
+
+}  // namespace gq::core

@@ -1,0 +1,129 @@
+#include "extnet/extnet.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::ext {
+
+namespace {
+constexpr const char* kLog = "extnet";
+}
+
+void Cbl::list(util::Ipv4Addr addr, std::string reason) {
+  if (entries_.count(addr)) return;
+  GQ_INFO(kLog, "CBL: listing %s (%s)", addr.str().c_str(), reason.c_str());
+  entries_[addr] = std::move(reason);
+}
+
+bool Cbl::is_listed(util::Ipv4Addr addr) const {
+  return entries_.count(addr) > 0;
+}
+
+PolicedSmtpServer::PolicedSmtpServer(net::HostStack& stack,
+                                     std::uint16_t port, Cbl* cbl,
+                                     std::string banner)
+    : stack_(stack), cbl_(cbl), banner_(std::move(banner)) {
+  stack_.listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
+    ++sessions_;
+    auto buffer = std::make_shared<std::string>();
+    auto in_data = std::make_shared<bool>(false);
+    conn->send(banner_ + "\r\n");
+    conn->on_data = [this, conn, buffer,
+                     in_data](std::span<const std::uint8_t> d) {
+      buffer->append(reinterpret_cast<const char*>(d.data()), d.size());
+      std::size_t pos;
+      while ((pos = buffer->find("\r\n")) != std::string::npos) {
+        const std::string line = buffer->substr(0, pos);
+        buffer->erase(0, pos + 2);
+        if (*in_data) {
+          if (line == ".") {
+            *in_data = false;
+            ++messages_;
+            conn->send("250 OK\r\n");
+          }
+          continue;
+        }
+        auto parts = util::split_ws(line);
+        if (parts.empty()) continue;
+        const std::string verb = util::to_lower(parts[0]);
+        if (verb == "helo" || verb == "ehlo") {
+          if (parts.size() > 1 && bot_helos_.count(parts[1])) {
+            ++detections_;
+            // Mail operators quietly report bot-signature HELOs to the
+            // blacklist providers (§7.1, "mysterious blacklisting").
+            if (cbl_)
+              cbl_->list(conn->remote().addr,
+                         "bot HELO '" + parts[1] + "'");
+          }
+          conn->send("250 mx.google.example at your service\r\n");
+        } else if (verb == "mail" || verb == "rcpt" || verb == "rset" ||
+                   verb == "noop") {
+          conn->send("250 OK\r\n");
+        } else if (verb == "data") {
+          *in_data = true;
+          conn->send("354 go ahead\r\n");
+        } else if (verb == "quit") {
+          conn->send("221 bye\r\n");
+          conn->close();
+        } else {
+          conn->send("502 unimplemented\r\n");
+        }
+      }
+    };
+    conn->on_remote_close = [conn] { conn->close(); };
+  });
+}
+
+void PolicedSmtpServer::add_bot_helo(std::string helo) {
+  bot_helos_.insert(std::move(helo));
+}
+
+CcServer::CcServer(net::HostStack& stack, std::uint16_t port) {
+  server_ = std::make_unique<svc::HttpServer>(
+      stack, port,
+      [this](const svc::HttpRequest& request, util::Endpoint) {
+        ++requests_;
+        request_log_.push_back(request.method + " " + request.path);
+        if (auto it = documents_.find(request.path);
+            it != documents_.end()) {
+          return svc::HttpResponse::make(200, "OK", it->second);
+        }
+        return svc::HttpResponse::make(404, "NOT FOUND", "");
+      });
+}
+
+void CcServer::set_document(const std::string& path, std::string body) {
+  documents_[path] = std::move(body);
+}
+
+AdServer::AdServer(net::HostStack& stack, std::uint16_t port) {
+  server_ = std::make_unique<svc::HttpServer>(
+      stack, port,
+      [this](const svc::HttpRequest& request, util::Endpoint) {
+        ++clicks_;
+        ++by_referer_[request.header("Referer").value_or("(none)")];
+        return svc::HttpResponse::make(
+            200, "OK", "<html>ad landing page</html>", "text/html");
+      });
+}
+
+void StormMaster::send_ftp_inject(util::Endpoint bot,
+                                  util::Endpoint ftp_server,
+                                  const std::string& user,
+                                  const std::string& pass,
+                                  const std::string& path,
+                                  const std::string& iframe) {
+  auto conn = stack_.connect(bot);
+  ++jobs_sent_;
+  const std::string job = "FTPINJECT " + ftp_server.str() + " " + user +
+                          " " + pass + " " + path + " " + iframe + "\n";
+  conn->on_connected = [conn, job] { conn->send(job); };
+  conn->on_data = [this, conn](std::span<const std::uint8_t> d) {
+    const std::string text(reinterpret_cast<const char*>(d.data()),
+                           d.size());
+    if (text.find("OK") != std::string::npos) ++acks_;
+    conn->close();
+  };
+}
+
+}  // namespace gq::ext

@@ -1,0 +1,128 @@
+// The simulated external Internet. The paper's evaluation depends on
+// how the real world reacts to the farm — blacklist operators listing
+// careless inmates, Google's SMTP servers detecting Waledac's "wergvan"
+// HELO (§7.1, "mysterious blacklisting"), C&C servers feeding spam
+// tasks, ad servers, FTP victims, and the upstream Storm botmaster who
+// pushed iframe-injection jobs through the proxy tier (§7.1,
+// "unexpected visitors"). These hosts are the substitution for the live
+// Internet: they exercise exactly the feedback loops the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/stack.h"
+#include "services/http.h"
+#include "util/addr.h"
+
+namespace gq::ext {
+
+/// Composite Blocking List model: blacklist providers list IPs reported
+/// by cooperating mail operators.
+class Cbl {
+ public:
+  void list(util::Ipv4Addr addr, std::string reason);
+  [[nodiscard]] bool is_listed(util::Ipv4Addr addr) const;
+  [[nodiscard]] const std::map<util::Ipv4Addr, std::string>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::map<util::Ipv4Addr, std::string> entries_;
+};
+
+/// A "GMail-like" SMTP server: full greeting fidelity ("220 mx.google...
+/// ESMTP"), accepts mail — and polices HELO identities: clients greeting
+/// with a known-bot string get silently reported to the blacklist.
+class PolicedSmtpServer {
+ public:
+  PolicedSmtpServer(net::HostStack& stack, std::uint16_t port, Cbl* cbl,
+                    std::string banner =
+                        "220 mx.google.example ESMTP ready");
+
+  /// HELO strings that trigger a blacklist report (e.g. "wergvan").
+  void add_bot_helo(std::string helo);
+
+  [[nodiscard]] std::uint64_t sessions() const { return sessions_; }
+  [[nodiscard]] std::uint64_t messages_accepted() const {
+    return messages_;
+  }
+  [[nodiscard]] std::uint64_t bot_helos_detected() const {
+    return detections_;
+  }
+
+ private:
+  net::HostStack& stack_;
+  Cbl* cbl_;
+  std::string banner_;
+  std::set<std::string> bot_helos_;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t detections_ = 0;
+};
+
+/// Botnet C&C server: serves task documents over HTTP paths. The farm's
+/// FORWARD/REWRITE C&C verdicts let inmates reach this host.
+class CcServer {
+ public:
+  CcServer(net::HostStack& stack, std::uint16_t port);
+
+  /// Install the document served for `path` (e.g. "/c2/tasks").
+  void set_document(const std::string& path, std::string body);
+
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] const std::vector<std::string>& request_log() const {
+    return request_log_;
+  }
+
+ private:
+  std::unique_ptr<svc::HttpServer> server_;
+  std::map<std::string, std::string> documents_;
+  std::uint64_t requests_ = 0;
+  std::vector<std::string> request_log_;
+};
+
+/// Ad server counting clicks (click-fraud victim).
+class AdServer {
+ public:
+  AdServer(net::HostStack& stack, std::uint16_t port);
+
+  [[nodiscard]] std::uint64_t clicks() const { return clicks_; }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>&
+  clicks_by_referer() const {
+    return by_referer_;
+  }
+
+ private:
+  std::unique_ptr<svc::HttpServer> server_;
+  std::uint64_t clicks_ = 0;
+  std::map<std::string, std::uint64_t> by_referer_;
+};
+
+/// The upstream Storm botmaster: dials a proxy bot's (global) address
+/// and pushes jobs through the line protocol.
+class StormMaster {
+ public:
+  explicit StormMaster(net::HostStack& stack) : stack_(stack) {}
+
+  /// Send one FTPINJECT job to the proxy at `bot`.
+  void send_ftp_inject(util::Endpoint bot, util::Endpoint ftp_server,
+                       const std::string& user, const std::string& pass,
+                       const std::string& path, const std::string& iframe);
+
+  [[nodiscard]] std::uint64_t jobs_sent() const { return jobs_sent_; }
+  [[nodiscard]] std::uint64_t acks_received() const { return acks_; }
+
+ private:
+  net::HostStack& stack_;
+  std::uint64_t jobs_sent_ = 0;
+  std::uint64_t acks_ = 0;
+};
+
+}  // namespace gq::ext

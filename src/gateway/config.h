@@ -1,0 +1,87 @@
+// Configuration structures for the GQ gateway and its subfarm packet
+// routers. Mirrors the paper's split (§6.1): an invariant, reusable
+// forwarding mechanism configured by a small per-subfarm description
+// (external address range, VLAN ID range, containment server location,
+// safety thresholds, trace naming).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/addr.h"
+#include "util/time.h"
+
+namespace gq::gw {
+
+/// How the gateway treats unsolicited outside->inside flows (§5.3):
+/// dropped (emulating a home NAT) or forwarded with destination rewrite
+/// (Internet-reachable servers, needed e.g. for Storm proxy bots).
+enum class InboundMode { kDrop, kForward };
+
+/// Per-subfarm configuration (the "40-line configuration module").
+struct SubfarmConfig {
+  std::string name;
+
+  /// VLAN ID range (inclusive) of the inmates this router handles.
+  std::uint16_t vlan_first = 0;
+  std::uint16_t vlan_last = 0;
+
+  /// RFC 1918 space internal addresses are assigned from.
+  util::Ipv4Net internal_net;
+
+  /// Globally routable range inmates are NATed to.
+  util::Ipv4Net external_net;
+
+  /// The subfarm's containment server (management network).
+  util::Endpoint containment_server;
+
+  /// Optional additional containment servers forming a cluster (§7.2's
+  /// scaling remedy: "a cluster of containment servers, managed by the
+  /// subfarm's packet router", selected so that "the same containment
+  /// server always handles the same inmate"). Flows are distributed
+  /// over {containment_server} ∪ extra_containment_servers by VLAN.
+  std::vector<util::Endpoint> extra_containment_servers;
+
+  /// Recursive DNS resolver handed to inmates via DHCP.
+  util::Ipv4Addr dns_service;
+
+  /// Destinations reachable without containment (infrastructure services
+  /// in the inmates' restricted broadcast domain, §5.3).
+  std::set<util::Ipv4Addr> infra_services;
+
+  InboundMode inbound_mode = InboundMode::kDrop;
+
+  /// Safety filter thresholds (§5.1): new connections per inmate per
+  /// window, and to any single destination per window.
+  std::size_t max_conns_per_inmate = 2000;
+  std::size_t max_conns_per_dest = 500;
+  util::Duration safety_window = util::minutes(1);
+
+  /// Whether DROP verdicts answer the inmate with a RST (visible refusal)
+  /// or drop silently (black hole).
+  bool drop_sends_rst = true;
+
+  /// Idle flow garbage-collection timeout.
+  util::Duration flow_timeout = util::minutes(5);
+
+  [[nodiscard]] bool owns_vlan(std::uint16_t vlan) const {
+    return vlan >= vlan_first && vlan <= vlan_last;
+  }
+};
+
+/// Gateway-wide configuration.
+struct GatewayConfig {
+  /// Gateway addresses on its three legs.
+  util::Ipv4Addr upstream_addr;   ///< On the external network.
+  util::Ipv4Addr mgmt_addr;       ///< On the management network.
+  util::Ipv4Net mgmt_net;
+
+  /// Nonce ports for containment-server proxy legs are allocated from
+  /// this range on the management interface.
+  std::uint16_t nonce_port_first = 40000;
+  std::uint16_t nonce_port_last = 49999;
+};
+
+}  // namespace gq::gw

@@ -1,0 +1,274 @@
+#include "gateway/gateway.h"
+
+#include "gateway/router.h"
+#include "services/dhcp.h"
+#include "util/log.h"
+
+namespace gq::gw {
+
+namespace {
+constexpr const char* kLog = "gw";
+}
+
+Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config)
+    : loop_(loop),
+      config_(config),
+      upstream_port_(loop, "gw.upstream"),
+      inmate_port_(loop, "gw.inmate"),
+      mgmt_port_(loop, "gw.mgmt"),
+      inmate_leg_mac_(util::MacAddr::local(0xE0002)),
+      upstream_arp_(loop, util::MacAddr::local(0xE0001), config.upstream_addr,
+                    [this](std::vector<std::uint8_t> frame) {
+                      upstream_pcap_.record(loop_.now(), frame);
+                      upstream_port_.transmit(sim::Frame{std::move(frame)});
+                    }),
+      mgmt_arp_(loop, util::MacAddr::local(0xE0003), config.mgmt_addr,
+                [this](std::vector<std::uint8_t> frame) {
+                  mgmt_port_.transmit(sim::Frame{std::move(frame)});
+                }),
+      next_nonce_(config.nonce_port_first) {
+  // The management/control network has its own external connectivity
+  // (the paper dedicates one of its five /24s to control infrastructure,
+  // §6.7): the gateway proxy-ARPs the range upstream and routes it.
+  upstream_arp_.add_proxy_range(config_.mgmt_net);
+  upstream_port_.set_rx(
+      [this](sim::Frame frame) { on_upstream_frame(std::move(frame)); });
+  inmate_port_.set_rx(
+      [this](sim::Frame frame) { on_inmate_frame(std::move(frame)); });
+  mgmt_port_.set_rx(
+      [this](sim::Frame frame) { on_mgmt_frame(std::move(frame)); });
+}
+
+Gateway::~Gateway() = default;
+
+SubfarmRouter& Gateway::add_subfarm(const SubfarmConfig& config) {
+  subfarms_.push_back(std::make_unique<SubfarmRouter>(*this, config));
+  auto& subfarm = *subfarms_.back();
+  if (event_handler_) subfarm.set_event_handler(event_handler_);
+  // The gateway answers upstream ARP for the whole NATed global range.
+  upstream_arp_.add_proxy_range(config.external_net);
+  return subfarm;
+}
+
+SubfarmRouter* Gateway::subfarm_by_name(const std::string& name) {
+  for (auto& subfarm : subfarms_)
+    if (subfarm->config().name == name) return subfarm.get();
+  return nullptr;
+}
+
+void Gateway::set_event_handler(FlowEventHandler handler) {
+  event_handler_ = std::move(handler);
+  for (auto& subfarm : subfarms_) subfarm->set_event_handler(event_handler_);
+}
+
+SubfarmRouter* Gateway::subfarm_for_vlan(std::uint16_t vlan) {
+  for (auto& subfarm : subfarms_)
+    if (subfarm->config().owns_vlan(vlan)) return subfarm.get();
+  return nullptr;
+}
+
+SubfarmRouter* Gateway::subfarm_for_internal(util::Ipv4Addr addr) {
+  for (auto& subfarm : subfarms_)
+    if (subfarm->config().internal_net.contains(addr)) return subfarm.get();
+  return nullptr;
+}
+
+SubfarmRouter* Gateway::subfarm_for_global(util::Ipv4Addr addr) {
+  for (auto& subfarm : subfarms_)
+    if (subfarm->config().external_net.contains(addr)) return subfarm.get();
+  return nullptr;
+}
+
+std::uint16_t Gateway::allocate_nonce(SubfarmRouter* owner) {
+  const std::uint32_t pool_size = static_cast<std::uint32_t>(
+      config_.nonce_port_last - config_.nonce_port_first + 1);
+  for (std::uint32_t guard = 0; guard < pool_size; ++guard) {
+    const std::uint16_t candidate = next_nonce_;
+    next_nonce_ = (next_nonce_ >= config_.nonce_port_last)
+                      ? config_.nonce_port_first
+                      : next_nonce_ + 1;
+    if (!nonce_owners_.count(candidate)) {
+      nonce_owners_[candidate] = owner;
+      return candidate;
+    }
+  }
+  GQ_ERROR(kLog, "nonce port pool exhausted");
+  return 0;
+}
+
+void Gateway::release_nonce(std::uint16_t port) { nonce_owners_.erase(port); }
+
+// --- Egress ---------------------------------------------------------------
+
+void Gateway::emit_to_inmate(std::uint16_t vlan, util::MacAddr dst_mac,
+                             pkt::DecodedFrame frame) {
+  frame.eth.src = inmate_leg_mac_;
+  frame.eth.dst = dst_mac;
+  frame.eth.vlan.reset();
+  // Record the inmate-side trace untagged (internal perspective, §5.6).
+  if (auto* subfarm = subfarm_for_vlan(vlan)) {
+    subfarm->pcap().record(loop_.now(), frame.encode());
+  }
+  frame.eth.vlan = vlan;
+  inmate_port_.transmit(sim::Frame{frame.encode()});
+}
+
+void Gateway::emit_to_mgmt(pkt::DecodedFrame frame) {
+  frame.eth.src = mgmt_arp_.mac();
+  frame.eth.vlan.reset();
+  const util::Ipv4Addr dst = frame.ip ? frame.ip->dst : util::Ipv4Addr();
+  // shared_ptr: ArpProxy's callback type requires a copyable closure.
+  auto shared = std::make_shared<pkt::DecodedFrame>(std::move(frame));
+  mgmt_arp_.resolve(dst, [this, shared](util::MacAddr mac) {
+    shared->eth.dst = mac;
+    auto bytes = shared->encode();
+    mgmt_pcap_.record(loop_.now(), bytes);
+    mgmt_port_.transmit(sim::Frame{std::move(bytes)});
+  });
+}
+
+void Gateway::emit_to_upstream(pkt::DecodedFrame frame) {
+  frame.eth.src = upstream_arp_.mac();
+  frame.eth.vlan.reset();
+  const util::Ipv4Addr dst = frame.ip ? frame.ip->dst : util::Ipv4Addr();
+  auto shared = std::make_shared<pkt::DecodedFrame>(std::move(frame));
+  upstream_arp_.resolve(dst, [this, shared](util::MacAddr mac) {
+    shared->eth.dst = mac;
+    auto bytes = shared->encode();
+    upstream_pcap_.record(loop_.now(), bytes);
+    upstream_port_.transmit(sim::Frame{std::move(bytes)});
+  });
+}
+
+void Gateway::emit_auto(pkt::DecodedFrame frame) {
+  if (!frame.ip) return;
+  const util::Ipv4Addr dst = frame.ip->dst;
+  if (auto* subfarm = subfarm_for_internal(dst)) {
+    const InmateBinding* binding = subfarm->inmates().by_internal(dst);
+    if (!binding) {
+      GQ_DEBUG(kLog, "no inmate binding for %s, dropping",
+               dst.str().c_str());
+      return;
+    }
+    emit_to_inmate(binding->vlan, binding->mac, std::move(frame));
+    return;
+  }
+  if (config_.mgmt_net.contains(dst)) {
+    emit_to_mgmt(std::move(frame));
+    return;
+  }
+  emit_to_upstream(std::move(frame));
+}
+
+// --- Ingress ----------------------------------------------------------------
+
+void Gateway::on_upstream_frame(sim::Frame raw) {
+  upstream_pcap_.record(loop_.now(), raw.bytes);
+  auto frame = pkt::decode_frame(raw.bytes);
+  if (!frame) return;
+  if (frame->arp) {
+    upstream_arp_.handle(*frame->arp);
+    return;
+  }
+  if (!frame->ip) return;
+  if (auto* subfarm = subfarm_for_global(frame->ip->dst)) {
+    subfarm->from_upstream(std::move(*frame));
+    return;
+  }
+  // Return traffic for control-infrastructure hosts (banner grabbing,
+  // blacklist lookups) routes straight onto the management network.
+  if (config_.mgmt_net.contains(frame->ip->dst)) {
+    emit_to_mgmt(std::move(*frame));
+  }
+}
+
+void Gateway::on_inmate_frame(sim::Frame raw) {
+  auto frame = pkt::decode_frame(raw.bytes);
+  if (!frame || !frame->eth.vlan) return;  // Untagged frames: not ours.
+  const std::uint16_t vlan = *frame->eth.vlan;
+  auto* subfarm = subfarm_for_vlan(vlan);
+  if (!subfarm) return;
+  frame->eth.vlan.reset();
+  subfarm->pcap().record(loop_.now(), frame->encode());
+
+  if (frame->arp) {
+    const auto& arp = *frame->arp;
+    // Local proxy ARP: the gateway answers for its own internal address
+    // and for any other internal address (inmates are L2-isolated per
+    // VLAN, so even inmate-to-inmate traffic — e.g. honeyfarm redirects —
+    // must route through the gateway's containment path).
+    const bool proxied =
+        arp.target_ip == subfarm->inmates().gateway_internal() ||
+        (subfarm->config().internal_net.contains(arp.target_ip) &&
+         arp.target_ip != arp.sender_ip);
+    if (arp.op == pkt::ArpMessage::Op::kRequest && proxied) {
+      pkt::DecodedFrame reply;
+      reply.eth.src = inmate_leg_mac_;
+      reply.eth.dst = arp.sender_mac;
+      reply.eth.vlan = vlan;
+      reply.eth.ethertype = pkt::kEtherTypeArp;
+      reply.arp = pkt::ArpMessage{pkt::ArpMessage::Op::kReply,
+                                  inmate_leg_mac_, arp.target_ip,
+                                  arp.sender_mac, arp.sender_ip};
+      inmate_port_.transmit(sim::Frame{reply.encode()});
+    }
+    return;
+  }
+  if (!frame->ip) return;
+
+  // In-path DHCP responder: the paper's gateway assigns internal
+  // addresses triggered by boot-time chatter (§5.3).
+  if (frame->udp && frame->udp->dst_port == 67) {
+    auto request = svc::DhcpMessage::parse(frame->udp->payload);
+    if (!request) return;
+    if (auto reply = subfarm->inmates().handle_dhcp(vlan, *request)) {
+      pkt::DecodedFrame out;
+      out.eth.ethertype = pkt::kEtherTypeIpv4;
+      out.eth.src = inmate_leg_mac_;
+      out.eth.dst = util::MacAddr::broadcast();
+      out.ip = pkt::Ipv4Packet{};
+      out.ip->src = subfarm->inmates().gateway_internal();
+      out.ip->dst = util::Ipv4Addr(255, 255, 255, 255);
+      out.udp = pkt::UdpDatagram{67, 68, reply->encode()};
+      subfarm->pcap().record(loop_.now(), out.encode());
+      out.eth.vlan = vlan;
+      inmate_port_.transmit(sim::Frame{out.encode()});
+    }
+    return;
+  }
+
+  subfarm->from_inmate(vlan, std::move(*frame));
+}
+
+void Gateway::on_mgmt_frame(sim::Frame raw) {
+  mgmt_pcap_.record(loop_.now(), raw.bytes);
+  auto frame = pkt::decode_frame(raw.bytes);
+  if (!frame) return;
+  if (frame->arp) {
+    mgmt_arp_.handle(*frame->arp);
+    return;
+  }
+  if (!frame->ip) return;
+
+  // Containment-server nonce legs terminate on the gateway's own
+  // management address.
+  if (frame->ip->dst == config_.mgmt_addr && frame->tcp) {
+    const std::uint16_t port = frame->tcp->dst_port;
+    if (auto it = nonce_owners_.find(port); it != nonce_owners_.end()) {
+      it->second->on_nonce_frame(port, std::move(*frame));
+      return;
+    }
+    return;
+  }
+  if (auto* subfarm = subfarm_for_internal(frame->ip->dst)) {
+    subfarm->from_mgmt(std::move(*frame));
+    return;
+  }
+  // Outbound traffic from trusted control-infrastructure hosts (e.g. the
+  // banner-grabbing SMTP sink dialing the real target) goes upstream.
+  if (!config_.mgmt_net.contains(frame->ip->dst)) {
+    emit_to_upstream(std::move(*frame));
+  }
+}
+
+}  // namespace gq::gw

@@ -1,0 +1,106 @@
+// The GQ gateway (paper Figure 1): the single choke point between the
+// outside network, the inmate network, and the management network. It
+// hosts one SubfarmRouter per subfarm (disjoint VLAN ID ranges, Figure
+// 3), answers/performs ARP on each leg, serves DHCP to inmates in-path,
+// proxy-ARPs the NATed global ranges upstream, maintains the global
+// upstream packet trace (§5.6), and brokers nonce-port connections from
+// containment servers back out through the NAT.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gateway/arp_proxy.h"
+#include "gateway/config.h"
+#include "gateway/flow.h"
+#include "netsim/event_loop.h"
+#include "netsim/port.h"
+#include "packet/frame.h"
+#include "packet/pcap.h"
+
+namespace gq::gw {
+
+class SubfarmRouter;
+
+class Gateway {
+ public:
+  Gateway(sim::EventLoop& loop, GatewayConfig config);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// The three legs. inmate_port() expects/emits 802.1Q-tagged frames
+  /// (wire it to a trunk port of the inmate switch).
+  sim::Port& upstream_port() { return upstream_port_; }
+  sim::Port& inmate_port() { return inmate_port_; }
+  sim::Port& mgmt_port() { return mgmt_port_; }
+
+  /// Create a subfarm router handling `config`'s VLAN range.
+  SubfarmRouter& add_subfarm(const SubfarmConfig& config);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<SubfarmRouter>>& subfarms()
+      const {
+    return subfarms_;
+  }
+  SubfarmRouter* subfarm_by_name(const std::string& name);
+
+  /// Report-event stream for all subfarms.
+  void set_event_handler(FlowEventHandler handler);
+
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] const GatewayConfig& config() const { return config_; }
+  [[nodiscard]] pkt::PcapWriter& upstream_pcap() { return upstream_pcap_; }
+  /// Trace of the management leg (containment-server traffic) — where
+  /// the Figure 5 shim exchange is visible.
+  [[nodiscard]] pkt::PcapWriter& mgmt_pcap() { return mgmt_pcap_; }
+
+  // --- Services used by SubfarmRouter ---------------------------------
+
+  /// Emit an IP frame toward an inmate VLAN / the management network /
+  /// the upstream network, handling MAC resolution and VLAN tagging.
+  /// The frame's IP/L4 fields must already be final.
+  void emit_to_inmate(std::uint16_t vlan, util::MacAddr dst_mac,
+                      pkt::DecodedFrame frame);
+  void emit_to_mgmt(pkt::DecodedFrame frame);
+  void emit_to_upstream(pkt::DecodedFrame frame);
+
+  /// Route by destination address: inmate internal nets -> VLAN,
+  /// management net -> mgmt leg, anything else -> upstream.
+  void emit_auto(pkt::DecodedFrame frame);
+
+  /// Allocate / release a nonce port for a REWRITE proxy leg.
+  std::uint16_t allocate_nonce(SubfarmRouter* owner);
+  void release_nonce(std::uint16_t port);
+
+  [[nodiscard]] util::MacAddr inmate_leg_mac() const {
+    return inmate_leg_mac_;
+  }
+
+ private:
+  void on_upstream_frame(sim::Frame frame);
+  void on_inmate_frame(sim::Frame frame);
+  void on_mgmt_frame(sim::Frame frame);
+  SubfarmRouter* subfarm_for_vlan(std::uint16_t vlan);
+  SubfarmRouter* subfarm_for_internal(util::Ipv4Addr addr);
+  SubfarmRouter* subfarm_for_global(util::Ipv4Addr addr);
+
+  sim::EventLoop& loop_;
+  GatewayConfig config_;
+  sim::Port upstream_port_;
+  sim::Port inmate_port_;
+  sim::Port mgmt_port_;
+  util::MacAddr inmate_leg_mac_;
+  ArpProxy upstream_arp_;
+  ArpProxy mgmt_arp_;
+  pkt::PcapWriter upstream_pcap_;
+  pkt::PcapWriter mgmt_pcap_;
+  std::vector<std::unique_ptr<SubfarmRouter>> subfarms_;
+  std::map<std::uint16_t, SubfarmRouter*> nonce_owners_;
+  std::uint16_t next_nonce_;
+  FlowEventHandler event_handler_;
+};
+
+}  // namespace gq::gw

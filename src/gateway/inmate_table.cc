@@ -1,0 +1,66 @@
+#include "gateway/inmate_table.h"
+
+#include "util/log.h"
+
+namespace gq::gw {
+
+namespace {
+constexpr const char* kLog = "gw.inmates";
+}
+
+InmateTable::InmateTable(util::Ipv4Net internal_net,
+                         util::Ipv4Net external_net,
+                         util::Ipv4Addr gateway_internal, util::Ipv4Addr dns)
+    : external_net_(external_net),
+      gateway_internal_(gateway_internal),
+      pool_(svc::DhcpLeaseConfig{internal_net, gateway_internal, dns,
+                                 gateway_internal},
+            /*first=*/10,
+            /*last=*/static_cast<std::uint32_t>(internal_net.size() - 10)) {}
+
+std::optional<svc::DhcpMessage> InmateTable::handle_dhcp(
+    std::uint16_t vlan, const svc::DhcpMessage& msg) {
+  auto reply = pool_.handle(msg);
+  if (!reply) return std::nullopt;
+  if (reply->type == svc::DhcpType::kAck) {
+    InmateBinding& binding = by_vlan_[vlan];
+    binding.vlan = vlan;
+    binding.mac = msg.client_mac;
+    binding.internal_addr = reply->yiaddr;
+    if (binding.global_addr.is_unspecified()) {
+      binding.global_addr = external_net_.host(next_global_index_++);
+    }
+    by_internal_[binding.internal_addr] = vlan;
+    by_global_[binding.global_addr] = vlan;
+    GQ_INFO(kLog, "vlan %u bound: %s (global %s, mac %s)", vlan,
+            binding.internal_addr.str().c_str(),
+            binding.global_addr.str().c_str(), binding.mac.str().c_str());
+  }
+  return reply;
+}
+
+const InmateBinding* InmateTable::by_vlan(std::uint16_t vlan) const {
+  auto it = by_vlan_.find(vlan);
+  return it == by_vlan_.end() ? nullptr : &it->second;
+}
+
+const InmateBinding* InmateTable::by_internal(util::Ipv4Addr addr) const {
+  auto it = by_internal_.find(addr);
+  return it == by_internal_.end() ? nullptr : by_vlan(it->second);
+}
+
+const InmateBinding* InmateTable::by_global(util::Ipv4Addr addr) const {
+  auto it = by_global_.find(addr);
+  return it == by_global_.end() ? nullptr : by_vlan(it->second);
+}
+
+void InmateTable::release(std::uint16_t vlan) {
+  auto it = by_vlan_.find(vlan);
+  if (it == by_vlan_.end()) return;
+  pool_.release(it->second.mac);
+  by_internal_.erase(it->second.internal_addr);
+  by_global_.erase(it->second.global_addr);
+  by_vlan_.erase(it);
+}
+
+}  // namespace gq::gw

@@ -1,0 +1,69 @@
+// Per-subfarm inmate address bookkeeping: the binding between an
+// inmate's VLAN ID, MAC, dynamically assigned internal (RFC 1918)
+// address, and its NATed global address. Populated by the gateway's
+// in-path DHCP responder ("triggered by the inmates' boot-time
+// chatter", §5.3); the external address is picked from the subfarm's
+// global range the first time a VLAN appears.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "services/dhcp.h"
+#include "util/addr.h"
+
+namespace gq::gw {
+
+/// One inmate's address bindings.
+struct InmateBinding {
+  std::uint16_t vlan = 0;
+  util::MacAddr mac;
+  util::Ipv4Addr internal_addr;
+  util::Ipv4Addr global_addr;
+};
+
+class InmateTable {
+ public:
+  /// `internal_net`/`external_net` as in SubfarmConfig; host indices
+  /// [first, last] of internal_net are the DHCP pool.
+  InmateTable(util::Ipv4Net internal_net, util::Ipv4Net external_net,
+              util::Ipv4Addr gateway_internal, util::Ipv4Addr dns);
+
+  /// Handle an inmate's DHCP message (from `vlan`/`mac`); returns the
+  /// reply to broadcast back on that VLAN, if any. Binds addresses as a
+  /// side effect.
+  std::optional<svc::DhcpMessage> handle_dhcp(std::uint16_t vlan,
+                                              const svc::DhcpMessage& msg);
+
+  /// Lookups (nullptr when unknown).
+  [[nodiscard]] const InmateBinding* by_vlan(std::uint16_t vlan) const;
+  [[nodiscard]] const InmateBinding* by_internal(util::Ipv4Addr addr) const;
+  [[nodiscard]] const InmateBinding* by_global(util::Ipv4Addr addr) const;
+
+  /// Forget an inmate (lease + NAT binding released). Called when an
+  /// inmate is destroyed; a revert keeps addresses stable.
+  void release(std::uint16_t vlan);
+
+  [[nodiscard]] std::size_t size() const { return by_vlan_.size(); }
+  [[nodiscard]] util::Ipv4Addr gateway_internal() const {
+    return gateway_internal_;
+  }
+
+  /// All current bindings (for reports).
+  [[nodiscard]] const std::map<std::uint16_t, InmateBinding>& bindings()
+      const {
+    return by_vlan_;
+  }
+
+ private:
+  util::Ipv4Net external_net_;
+  util::Ipv4Addr gateway_internal_;
+  svc::DhcpPool pool_;
+  std::map<std::uint16_t, InmateBinding> by_vlan_;
+  std::map<util::Ipv4Addr, std::uint16_t> by_internal_;
+  std::map<util::Ipv4Addr, std::uint16_t> by_global_;
+  std::uint32_t next_global_index_ = 10;
+};
+
+}  // namespace gq::gw

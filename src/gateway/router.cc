@@ -1,0 +1,1040 @@
+#include "gateway/router.h"
+
+#include <algorithm>
+
+#include "gateway/gateway.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::gw {
+
+namespace {
+
+constexpr const char* kLog = "gw.router";
+
+// Sequence comparison helpers (mod-2^32).
+bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+// Parse "rate=<bytes/s>" from a verdict annotation (LIMIT parameters
+// travel in the response shim's annotation field).
+double limit_rate_from_annotation(const std::string& annotation) {
+  for (const auto& piece : util::split(annotation, ',')) {
+    auto kv = util::split(std::string(util::trim(piece)), '=');
+    if (kv.size() == 2 && kv[0] == "rate") {
+      if (auto rate = util::parse_int(kv[1]); rate && *rate > 0)
+        return static_cast<double>(*rate);
+    }
+  }
+  return 8192.0;  // Conservative default: 8 KB/s.
+}
+
+}  // namespace
+
+const char* flow_phase_name(FlowPhase p) {
+  switch (p) {
+    case FlowPhase::kAwaitVerdict: return "AWAIT_VERDICT";
+    case FlowPhase::kSplicing: return "SPLICING";
+    case FlowPhase::kEstablished: return "ESTABLISHED";
+    case FlowPhase::kDenied: return "DENIED";
+    case FlowPhase::kClosed: return "CLOSED";
+  }
+  return "?";
+}
+
+SubfarmRouter::SubfarmRouter(Gateway& gateway, SubfarmConfig config)
+    : gateway_(gateway),
+      config_(std::move(config)),
+      inmates_(config_.internal_net, config_.external_net,
+               config_.internal_net.host(
+                   static_cast<std::uint32_t>(config_.internal_net.size() - 2)),
+               config_.dns_service),
+      safety_(config_.max_conns_per_inmate, config_.max_conns_per_dest,
+              config_.safety_window),
+      rng_(0x5afef00d ^ config_.vlan_first) {
+  // Periodic flow garbage collection.
+  gateway_.loop().schedule_in(util::seconds(5), [this] { gc_sweep(); });
+}
+
+SubfarmRouter::~SubfarmRouter() = default;
+
+bool SubfarmRouter::is_internal(util::Ipv4Addr addr) const {
+  return config_.internal_net.contains(addr);
+}
+
+bool SubfarmRouter::is_infra(util::Ipv4Addr addr) const {
+  // Only addresses explicitly placed in the inmates' restricted
+  // broadcast domain bypass containment; the DHCP-advertised resolver
+  // address is *not* automatically exempt (an experiment may well want
+  // DNS contained, e.g. for DGA studies).
+  return config_.infra_services.count(addr) > 0;
+}
+
+void SubfarmRouter::report(const Flow& flow, FlowEvent::Kind kind) {
+  if (!events_) return;
+  FlowEvent event;
+  event.kind = kind;
+  event.time = gateway_.loop().now();
+  event.subfarm = config_.name;
+  event.vlan = flow.vlan;
+  event.proto = flow.proto;
+  event.orig_dst = flow.orig_dst;
+  event.verdict = flow.verdict;
+  event.policy_name = flow.policy_name;
+  event.annotation = flow.annotation;
+  event.bytes_to_server = flow.bytes_to_server;
+  event.bytes_to_inmate = flow.bytes_to_inmate;
+  events_(event);
+}
+
+void SubfarmRouter::emit_tcp(util::Endpoint src, util::Endpoint dst,
+                             std::uint8_t flags, std::uint32_t seq,
+                             std::uint32_t ack,
+                             std::vector<std::uint8_t> payload) {
+  pkt::DecodedFrame frame;
+  frame.eth.ethertype = pkt::kEtherTypeIpv4;
+  frame.ip = pkt::Ipv4Packet{};
+  frame.ip->src = src.addr;
+  frame.ip->dst = dst.addr;
+  frame.ip->ttl = 63;
+  frame.tcp = pkt::TcpSegment{};
+  frame.tcp->src_port = src.port;
+  frame.tcp->dst_port = dst.port;
+  frame.tcp->flags = flags;
+  frame.tcp->seq = seq;
+  frame.tcp->ack = ack;
+  frame.tcp->payload = std::move(payload);
+  gateway_.emit_auto(std::move(frame));
+}
+
+void SubfarmRouter::emit_udp(util::Endpoint src, util::Endpoint dst,
+                             std::vector<std::uint8_t> payload) {
+  pkt::DecodedFrame frame;
+  frame.eth.ethertype = pkt::kEtherTypeIpv4;
+  frame.ip = pkt::Ipv4Packet{};
+  frame.ip->src = src.addr;
+  frame.ip->dst = dst.addr;
+  frame.ip->ttl = 63;
+  frame.udp = pkt::UdpDatagram{src.port, dst.port, std::move(payload)};
+  gateway_.emit_auto(std::move(frame));
+}
+
+util::Endpoint SubfarmRouter::nat_source_for(const Flow& flow,
+                                             util::Endpoint server) const {
+  // Internal destinations (sinks on the management network, redirects to
+  // other inmates) see the inmate's internal address — useful for
+  // per-inmate attribution in sink logs. External targets see the NATed
+  // global address.
+  if (is_internal(server.addr) ||
+      gateway_.config().mgmt_net.contains(server.addr)) {
+    return flow.inmate_ep;
+  }
+  return {flow.inmate_global, flow.inmate_ep.port};
+}
+
+util::Endpoint SubfarmRouter::cs_for_vlan(std::uint16_t vlan) const {
+  if (config_.extra_containment_servers.empty())
+    return config_.containment_server;
+  // Deterministic per-inmate selection over the cluster.
+  const std::size_t cluster_size =
+      1 + config_.extra_containment_servers.size();
+  const std::size_t index =
+      static_cast<std::size_t>(vlan - config_.vlan_first) % cluster_size;
+  if (index == 0) return config_.containment_server;
+  return config_.extra_containment_servers[index - 1];
+}
+
+// --- Ingress: inmate side ---------------------------------------------------
+
+void SubfarmRouter::from_inmate(std::uint16_t vlan, pkt::DecodedFrame frame) {
+  ++frames_from_inmates_;
+  if (!frame.ip) return;
+
+  // Infrastructure services bypass containment (restricted broadcast
+  // domain, §5.3).
+  if (is_infra(frame.ip->dst)) {
+    gateway_.emit_auto(std::move(frame));
+    return;
+  }
+
+  // This inmate may be the server side of a redirected flow (worm
+  // honeyfarm reflection) — check before anything else.
+  if (handle_server_side(frame)) return;
+
+  // Return path of an inbound (outside-initiated) flow: NAT out.
+  if (auto key = pkt::flow_key_of(frame)) {
+    if (auto it = inbound_flows_.find(*key); it != inbound_flows_.end()) {
+      it->second = gateway_.loop().now();
+      const InmateBinding* binding = inmates_.by_vlan(vlan);
+      if (binding) {
+        frame.ip->src = binding->global_addr;
+        gateway_.emit_to_upstream(std::move(frame));
+      }
+      return;
+    }
+  }
+
+  inmate_ip(vlan, frame);
+}
+
+void SubfarmRouter::inmate_ip(std::uint16_t vlan, pkt::DecodedFrame& frame) {
+  auto key = pkt::flow_key_of(frame);
+  if (!key) return;  // ICMP and friends: default-deny.
+
+  if (auto it = flows_.find(*key); it != flows_.end()) {
+    auto flow = it->second;
+    if (flow->proto == pkt::FlowProto::kTcp)
+      relay_inmate_to_server(*flow, frame);
+    else
+      udp_from_inmate(*flow, frame);
+    return;
+  }
+
+  const bool tcp_open =
+      frame.tcp && frame.tcp->syn() && !frame.tcp->has_ack();
+  if (tcp_open || frame.udp) {
+    handle_new_inmate_flow(vlan, frame);
+  }
+  // Anything else (stray RST/FIN for an expired flow) is dropped.
+}
+
+void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
+                                           pkt::DecodedFrame& frame) {
+  const InmateBinding* binding = inmates_.by_vlan(vlan);
+  if (!binding) {
+    GQ_DEBUG(kLog, "[%s] flow from unbound vlan %u dropped",
+             config_.name.c_str(), vlan);
+    return;
+  }
+  const auto now = gateway_.loop().now();
+  auto key = *pkt::flow_key_of(frame);
+
+  if (!safety_.admit(now, vlan, key.dst.addr)) {
+    Flow rejected;
+    rejected.vlan = vlan;
+    rejected.proto = key.proto;
+    rejected.orig_dst = key.dst;
+    rejected.policy_name = "SafetyFilter";
+    report(rejected, FlowEvent::Kind::kSafetyReject);
+    return;
+  }
+
+  auto flow = std::make_shared<Flow>();
+  flow->proto = key.proto;
+  flow->vlan = vlan;
+  flow->inmate_ep = key.src;
+  flow->orig_dst = key.dst;
+  flow->inmate_global = binding->global_addr;
+  flow->cs_ep = cs_for_vlan(vlan);
+  flow->server_ep = flow->cs_ep;
+  flow->server_is_cs = true;
+  flow->created = now;
+  flow->last_activity = now;
+  flows_[key] = flow;
+  ++flows_created_;
+
+  // All new flows funnel into the CS's single listening endpoint, so two
+  // concurrent flows from the same inmate source port (to different
+  // destinations) would collide there — remap the source port until the
+  // CS-leg key is unique.
+  flow->cs_src = flow->inmate_ep;
+  while (server_index_.count(
+      {key.proto, flow->server_ep, flow->cs_src})) {
+    flow->cs_src.port =
+        (flow->cs_src.port >= 65535) ? 1024 : flow->cs_src.port + 1;
+  }
+  // Frames from the CS for this flow arrive as src=CS, dst=cs_src.
+  server_index_[{key.proto, flow->server_ep, flow->cs_src}] = flow;
+
+  if (flow->proto == pkt::FlowProto::kTcp) {
+    flow->inmate_isn = frame.tcp->seq;
+    flow->inmate_snd_nxt = frame.tcp->seq + 1;
+    flow->nonce_port = gateway_.allocate_nonce(this);
+    // Redirect the SYN to the containment server (Figure 5, step 1).
+    frame.tcp->src_port = flow->cs_src.port;
+    frame.ip->dst = flow->server_ep.addr;
+    frame.tcp->dst_port = flow->server_ep.port;
+    gateway_.emit_to_mgmt(std::move(frame));
+  } else {
+    udp_from_inmate(*flow, frame);
+  }
+}
+
+// --- TCP: inmate -> server side ---------------------------------------------
+
+void SubfarmRouter::relay_inmate_to_server(Flow& flow,
+                                           pkt::DecodedFrame& frame) {
+  auto& seg = *frame.tcp;
+  flow.last_activity = gateway_.loop().now();
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(seg.payload.size());
+  if (payload_len > 0 || seg.fin())
+    flow.inmate_snd_nxt =
+        std::max(flow.inmate_snd_nxt,
+                 seg.seq + payload_len + (seg.fin() ? 1 : 0),
+                 [](std::uint32_t a, std::uint32_t b) { return seq_lt(a, b); });
+
+  switch (flow.phase) {
+    case FlowPhase::kDenied:
+    case FlowPhase::kClosed:
+      return;
+
+    case FlowPhase::kAwaitVerdict: {
+      if (seg.rst()) {
+        // Inmate aborted before the verdict: tear down the CS leg.
+        emit_tcp(flow.cs_src, flow.server_ep, pkt::kTcpRst | pkt::kTcpAck,
+                 seg.seq + flow.d_out, 0, {});
+        close_flow(flow);
+        return;
+      }
+      if (seg.syn()) {  // Retransmitted SYN.
+        frame.ip->dst = flow.server_ep.addr;
+        frame.tcp->dst_port = flow.server_ep.port;
+        gateway_.emit_to_mgmt(std::move(frame));
+        return;
+      }
+      // First non-SYN packet completes the handshake: inject the request
+      // shim (Figure 5, step 2) before relaying anything else.
+      if (!flow.req_shim_sent && seg.has_ack() && flow.cs_isn_known) {
+        inject_request_shim(flow);
+      }
+      if (payload_len > 0) {
+        flow.replay_buf[seg.seq].assign(seg.payload.begin(),
+                                        seg.payload.end());
+        flow.bytes_to_server += payload_len;
+        emit_tcp(flow.cs_src, flow.server_ep,
+                 pkt::kTcpAck | pkt::kTcpPsh, seg.seq + flow.d_out,
+                 seg.ack - flow.d_in, seg.payload);
+      } else if (seg.has_ack() && flow.req_shim_sent && !seg.fin()) {
+        emit_tcp(flow.cs_src, flow.server_ep, pkt::kTcpAck,
+                 seg.seq + flow.d_out, seg.ack - flow.d_in, {});
+      }
+      if (seg.fin()) {
+        flow.inmate_fin_seen = true;
+        flow.inmate_fin_seq = seg.seq + payload_len;
+        emit_tcp(flow.cs_src, flow.server_ep, pkt::kTcpFin | pkt::kTcpAck,
+                 flow.inmate_fin_seq + flow.d_out, seg.ack - flow.d_in, {});
+      }
+      return;
+    }
+
+    case FlowPhase::kSplicing: {
+      if (seg.rst()) {
+        close_flow(flow);
+        return;
+      }
+      // Buffer for replay once the target leg is up.
+      if (payload_len > 0)
+        flow.replay_buf[seg.seq].assign(seg.payload.begin(),
+                                        seg.payload.end());
+      if (seg.fin()) {
+        flow.inmate_fin_seen = true;
+        flow.inmate_fin_seq = seg.seq + payload_len;
+      }
+      return;
+    }
+
+    case FlowPhase::kEstablished: {
+      if (seg.rst()) {
+        emit_tcp(nat_source_for(flow, flow.server_ep), flow.server_ep,
+                 pkt::kTcpRst | pkt::kTcpAck, seg.seq + flow.d_out, 0, {});
+        close_flow(flow);
+        return;
+      }
+      // LIMIT enforcement on outbound payload.
+      if (flow.limiter && payload_len > 0 &&
+          !flow.limiter->try_consume(flow.last_activity,
+                                     static_cast<double>(payload_len))) {
+        return;  // Dropped; the inmate's TCP will retransmit, throttled.
+      }
+      if (payload_len > 0) flow.bytes_to_server += payload_len;
+      if (seg.fin()) flow.fin_inmate = true;
+
+      const util::Endpoint src = nat_source_for(flow, flow.server_ep);
+      frame.ip->src = src.addr;
+      frame.tcp->src_port = src.port;
+      frame.ip->dst = flow.server_ep.addr;
+      frame.tcp->dst_port = flow.server_ep.port;
+      frame.tcp->seq = seg.seq + flow.d_out;
+      if (seg.has_ack()) frame.tcp->ack = seg.ack - flow.d_in;
+      gateway_.emit_auto(std::move(frame));
+      return;
+    }
+  }
+}
+
+void SubfarmRouter::inject_request_shim(Flow& flow) {
+  shim::RequestShim shim;
+  shim.orig = flow.inmate_ep;
+  shim.resp = flow.orig_dst;
+  shim.vlan = flow.vlan;
+  shim.nonce_port = flow.nonce_port;
+  // The shim occupies inmate sequence space [isn+1, isn+1+24) on the CS
+  // leg; all subsequent inmate bytes are bumped by 24 (Figure 5).
+  emit_tcp(flow.cs_src, flow.server_ep, pkt::kTcpAck | pkt::kTcpPsh,
+           flow.inmate_isn + 1, flow.cs_isn + 1, shim.encode());
+  flow.req_shim_sent = true;
+  flow.d_out = shim::kRequestShimSize;
+
+  // Gateway-side reliability for the injected segment.
+  auto weak = std::weak_ptr<Flow>();
+  if (auto it = flows_.find(
+          {flow.proto, flow.inmate_ep, flow.orig_dst});
+      it != flows_.end())
+    weak = it->second;
+  gateway_.loop().schedule_in(util::seconds(1), [this, weak] {
+    if (auto flow = weak.lock()) retransmit_request_shim(flow);
+  });
+}
+
+void SubfarmRouter::retransmit_request_shim(FlowPtr flow) {
+  if (flow->req_shim_acked || flow->phase != FlowPhase::kAwaitVerdict)
+    return;
+  if (++flow->req_shim_retries > 5) {
+    GQ_WARN(kLog, "[%s] request shim never acked for %s, dropping flow",
+            config_.name.c_str(), flow->orig_dst.str().c_str());
+    send_rst_to_inmate(*flow);
+    close_flow(*flow);
+    return;
+  }
+  shim::RequestShim shim;
+  shim.orig = flow->inmate_ep;
+  shim.resp = flow->orig_dst;
+  shim.vlan = flow->vlan;
+  shim.nonce_port = flow->nonce_port;
+  emit_tcp(flow->inmate_ep, flow->server_ep, pkt::kTcpAck | pkt::kTcpPsh,
+           flow->inmate_isn + 1, flow->cs_isn + 1, shim.encode());
+  std::weak_ptr<Flow> weak = flow;
+  gateway_.loop().schedule_in(util::seconds(1), [this, weak] {
+    if (auto f = weak.lock()) retransmit_request_shim(f);
+  });
+}
+
+// --- TCP: server side -> inmate ---------------------------------------------
+
+bool SubfarmRouter::handle_server_side(pkt::DecodedFrame& frame) {
+  auto key = pkt::flow_key_of(frame);
+  if (!key) return false;
+
+  // Nonce relay return path (target -> CS proxy leg).
+  if (auto it = nonce_by_target_key_.find(*key);
+      it != nonce_by_target_key_.end()) {
+    auto relay_it = nonce_relays_.find(it->second);
+    if (relay_it != nonce_relays_.end()) {
+      auto& relay = relay_it->second;
+      relay.last_activity = gateway_.loop().now();
+      frame.ip->src = gateway_.config().mgmt_addr;
+      frame.ip->dst = relay.cs_ep.addr;
+      if (frame.tcp) {
+        frame.tcp->src_port = relay.nonce;
+        frame.tcp->dst_port = relay.cs_ep.port;
+      }
+      gateway_.emit_to_mgmt(std::move(frame));
+    }
+    return true;
+  }
+
+  auto it = server_index_.find(*key);
+  if (it == server_index_.end()) return false;
+  auto flow = it->second;
+  if (flow->proto == pkt::FlowProto::kTcp) {
+    if (flow->server_is_cs)
+      cs_to_inmate(*flow, frame);
+    else
+      target_to_inmate(*flow, frame);
+  } else {
+    udp_from_server(*flow, frame);
+  }
+  return true;
+}
+
+void SubfarmRouter::cs_to_inmate(Flow& flow, pkt::DecodedFrame& frame) {
+  auto& seg = *frame.tcp;
+  flow.last_activity = gateway_.loop().now();
+
+  if (seg.rst()) {
+    if (flow.phase == FlowPhase::kAwaitVerdict ||
+        flow.phase == FlowPhase::kEstablished) {
+      send_rst_to_inmate(flow);
+      close_flow(flow);
+    }
+    return;
+  }
+
+  if (seg.syn()) {  // SYN-ACK from the containment server.
+    if (!flow.cs_isn_known) {
+      flow.cs_isn = seg.seq;
+      flow.cs_isn_known = true;
+      flow.cs_in_expected = seg.seq + 1;
+    }
+    // Relay to the inmate as if it came from the intended target.
+    frame.ip->src = flow.orig_dst.addr;
+    frame.tcp->src_port = flow.orig_dst.port;
+    frame.ip->dst = flow.inmate_ep.addr;
+    frame.tcp->dst_port = flow.inmate_ep.port;
+    gateway_.emit_auto(std::move(frame));
+    return;
+  }
+
+  if (seg.has_ack() && flow.req_shim_sent && !flow.req_shim_acked &&
+      seq_le(flow.inmate_isn + 1 + shim::kRequestShimSize, seg.ack)) {
+    flow.req_shim_acked = true;
+  }
+
+  switch (flow.phase) {
+    case FlowPhase::kAwaitVerdict: {
+      if (!seg.payload.empty()) {
+        // Reassemble the CS stream prefix to extract the response shim.
+        flow.cs_in_ooo[seg.seq].assign(seg.payload.begin(),
+                                       seg.payload.end());
+        for (auto ooo = flow.cs_in_ooo.begin();
+             ooo != flow.cs_in_ooo.end();) {
+          if (seq_lt(flow.cs_in_expected, ooo->first)) break;
+          const std::uint32_t overlap = flow.cs_in_expected - ooo->first;
+          if (overlap < ooo->second.size()) {
+            flow.cs_in_buf.insert(flow.cs_in_buf.end(),
+                                  ooo->second.begin() + overlap,
+                                  ooo->second.end());
+            flow.cs_in_expected +=
+                static_cast<std::uint32_t>(ooo->second.size()) - overlap;
+          }
+          ooo = flow.cs_in_ooo.erase(ooo);
+        }
+        process_cs_stream(flow);
+        // Ack the CS bytes we consumed on the inmate's behalf (the inmate
+        // never sees the shim, so it can never ack it).
+        if (flow.phase == FlowPhase::kAwaitVerdict ||
+            (flow.phase == FlowPhase::kEstablished && flow.server_is_cs)) {
+          emit_tcp(flow.cs_src, flow.server_ep, pkt::kTcpAck,
+                   flow.inmate_snd_nxt + flow.d_out, flow.cs_in_expected,
+                   {});
+        }
+      } else if (seg.has_ack() && flow.phase == FlowPhase::kAwaitVerdict) {
+        // Pure ACK: keep the inmate's retransmission timers happy.
+        emit_tcp({flow.orig_dst.addr, flow.orig_dst.port}, flow.inmate_ep,
+                 pkt::kTcpAck, seg.seq + flow.d_in, seg.ack - flow.d_out,
+                 {});
+      }
+      return;
+    }
+
+    case FlowPhase::kEstablished: {
+      // REWRITE: transparent proxy relay with sequence-space surgery.
+      const std::uint32_t payload_len =
+          static_cast<std::uint32_t>(seg.payload.size());
+      if (payload_len > 0) flow.bytes_to_inmate += payload_len;
+      if (seg.fin()) flow.fin_server = true;
+      frame.ip->src = flow.orig_dst.addr;
+      frame.tcp->src_port = flow.orig_dst.port;
+      frame.ip->dst = flow.inmate_ep.addr;
+      frame.tcp->dst_port = flow.inmate_ep.port;
+      frame.tcp->seq = seg.seq + flow.d_in;
+      if (seg.has_ack()) frame.tcp->ack = seg.ack - flow.d_out;
+      gateway_.emit_auto(std::move(frame));
+      return;
+    }
+
+    default:
+      return;  // Splicing/closed: the CS leg is already dead to us.
+  }
+}
+
+void SubfarmRouter::process_cs_stream(Flow& flow) {
+  if (flow.phase != FlowPhase::kAwaitVerdict) return;
+  std::size_t consumed = 0;
+  auto shim = shim::ResponseShim::parse(flow.cs_in_buf, &consumed);
+  if (!shim) return;  // Incomplete; wait for more bytes.
+  flow.cs_in_buf.erase(flow.cs_in_buf.begin(),
+                       flow.cs_in_buf.begin() +
+                           static_cast<std::ptrdiff_t>(consumed));
+  // The response shim occupied CS sequence space the inmate never sees.
+  flow.d_in = static_cast<std::uint32_t>(
+      0 - static_cast<std::uint32_t>(consumed));
+  apply_verdict(flow, *shim);
+
+  // Any proxy payload the CS sent right behind the shim (REWRITE).
+  if (!flow.cs_in_buf.empty() && flow.phase == FlowPhase::kEstablished &&
+      flow.server_is_cs) {
+    const std::uint32_t cs_seq =
+        flow.cs_in_expected -
+        static_cast<std::uint32_t>(flow.cs_in_buf.size());
+    flow.bytes_to_inmate += flow.cs_in_buf.size();
+    emit_tcp({flow.orig_dst.addr, flow.orig_dst.port}, flow.inmate_ep,
+             pkt::kTcpAck | pkt::kTcpPsh, cs_seq + flow.d_in,
+             flow.inmate_snd_nxt, flow.cs_in_buf);
+    flow.cs_in_buf.clear();
+  }
+}
+
+void SubfarmRouter::apply_verdict(Flow& flow,
+                                  const shim::ResponseShim& shim) {
+  flow.verdict = shim.verdict;
+  flow.policy_name = shim.policy_name;
+  flow.annotation = shim.annotation;
+  GQ_INFO(kLog, "[%s] vlan %u %s -> %s: %s (%s)", config_.name.c_str(),
+          flow.vlan, flow.inmate_ep.str().c_str(),
+          flow.orig_dst.str().c_str(), shim::verdict_name(shim.verdict),
+          shim.policy_name.c_str());
+
+  switch (shim.verdict) {
+    case shim::Verdict::kRewrite:
+      flow.phase = FlowPhase::kEstablished;
+      break;
+    case shim::Verdict::kForward:
+      flow.server_ep = flow.orig_dst;
+      start_splice(flow);
+      break;
+    case shim::Verdict::kLimit: {
+      flow.server_ep = flow.orig_dst;
+      const double rate = limit_rate_from_annotation(shim.annotation);
+      // Burst must cover at least a couple of MSS-sized segments or the
+      // bucket can never admit a full segment at all.
+      flow.limiter.emplace(rate, std::max(rate * 2, 4096.0));
+      start_splice(flow);
+      break;
+    }
+    case shim::Verdict::kRedirect:
+    case shim::Verdict::kReflect:
+      flow.server_ep = shim.resp;
+      start_splice(flow);
+      break;
+    case shim::Verdict::kDrop:
+      flow.phase = FlowPhase::kDenied;
+      send_rst_to_cs(flow);
+      if (config_.drop_sends_rst) send_rst_to_inmate(flow);
+      break;
+  }
+  report(flow, FlowEvent::Kind::kVerdict);
+}
+
+void SubfarmRouter::start_splice(Flow& flow) {
+  flow.phase = FlowPhase::kSplicing;
+  send_rst_to_cs(flow);
+  // Re-home the server-side index from the CS to the actual target.
+  server_index_.erase(
+      {flow.proto, flow.cs_ep, flow.cs_src});
+  const util::Endpoint nat_src = nat_source_for(flow, flow.server_ep);
+  server_index_[{flow.proto, flow.server_ep, nat_src}] =
+      flows_.at({flow.proto, flow.inmate_ep, flow.orig_dst});
+  flow.server_is_cs = false;
+  // Dial the target reusing the inmate's ISN so the outbound direction
+  // needs no delta at all (buffered payload replays verbatim).
+  emit_tcp(nat_src, flow.server_ep, pkt::kTcpSyn, flow.inmate_isn, 0, {});
+}
+
+void SubfarmRouter::target_to_inmate(Flow& flow, pkt::DecodedFrame& frame) {
+  auto& seg = *frame.tcp;
+  flow.last_activity = gateway_.loop().now();
+
+  if (seg.rst()) {
+    send_rst_to_inmate(flow);
+    close_flow(flow);
+    return;
+  }
+
+  if (seg.syn() && seg.has_ack() && flow.phase == FlowPhase::kSplicing) {
+    flow.server_isn = seg.seq;
+    flow.server_rcv_next = seg.seq + 1;
+    // The inmate believes the server's ISN is the CS's ISN.
+    flow.d_in = flow.cs_isn - flow.server_isn;
+    flow.d_out = 0;
+    flow.phase = FlowPhase::kEstablished;
+    flow.replay_acked = flow.inmate_isn + 1;
+    const util::Endpoint nat_src = nat_source_for(flow, flow.server_ep);
+    emit_tcp(nat_src, flow.server_ep, pkt::kTcpAck, flow.inmate_isn + 1,
+             flow.server_isn + 1, {});
+    report(flow, FlowEvent::Kind::kOpen);
+    replay_to_target(
+        flows_.at({flow.proto, flow.inmate_ep, flow.orig_dst}));
+    return;
+  }
+  if (seg.syn()) {
+    // Retransmitted SYN-ACK: re-ack.
+    const util::Endpoint nat_src = nat_source_for(flow, flow.server_ep);
+    emit_tcp(nat_src, flow.server_ep, pkt::kTcpAck, flow.inmate_isn + 1,
+             flow.server_isn + 1, {});
+    return;
+  }
+  if (flow.phase != FlowPhase::kEstablished) return;
+
+  // Advance the splice replay window with the target's acks (d_out == 0,
+  // so target ack values live directly in inmate sequence space).
+  if (seg.has_ack() && seq_lt(flow.replay_acked, seg.ack)) {
+    flow.replay_acked = seg.ack;
+    for (auto it = flow.replay_buf.begin(); it != flow.replay_buf.end();) {
+      const std::uint32_t end =
+          it->first + static_cast<std::uint32_t>(it->second.size());
+      if (seq_le(end, flow.replay_acked))
+        it = flow.replay_buf.erase(it);
+      else
+        break;
+    }
+  }
+
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(seg.payload.size());
+  // LIMIT throttles the flow in both directions (Figure 2b): drop the
+  // segment when the bucket is dry; the target's TCP retransmits.
+  if (flow.limiter && payload_len > 0 &&
+      !flow.limiter->try_consume(flow.last_activity,
+                                 static_cast<double>(payload_len))) {
+    return;
+  }
+  if (payload_len > 0) {
+    flow.bytes_to_inmate += payload_len;
+    flow.server_rcv_next =
+        std::max(flow.server_rcv_next, seg.seq + payload_len,
+                 [](std::uint32_t a, std::uint32_t b) { return seq_lt(a, b); });
+  }
+  if (seg.fin()) flow.fin_server = true;
+
+  // Relay to the inmate as the original destination.
+  frame.ip->src = flow.orig_dst.addr;
+  frame.tcp->src_port = flow.orig_dst.port;
+  frame.ip->dst = flow.inmate_ep.addr;
+  frame.tcp->dst_port = flow.inmate_ep.port;
+  frame.tcp->seq = seg.seq + flow.d_in;
+  if (seg.has_ack()) frame.tcp->ack = seg.ack - flow.d_out;
+  gateway_.emit_auto(std::move(frame));
+}
+
+void SubfarmRouter::replay_to_target(FlowPtr flow) {
+  if (flow->phase != FlowPhase::kEstablished || flow->server_is_cs) return;
+  const util::Endpoint nat_src = nat_source_for(*flow, flow->server_ep);
+  const auto now = gateway_.loop().now();
+  bool outstanding = false;
+  bool throttled = false;
+  // A LIMIT verdict throttles the replayed prefix too: stop emitting
+  // once the bucket is dry and retry on the timer.
+  auto admit = [&](std::size_t len) {
+    if (!flow->limiter) return true;
+    if (flow->limiter->try_consume(now, static_cast<double>(len)))
+      return true;
+    throttled = true;
+    return false;
+  };
+  // Handle a first entry that starts before replay_acked but extends past.
+  if (auto it = flow->replay_buf.begin();
+      it != flow->replay_buf.end() && seq_lt(it->first, flow->replay_acked) &&
+      admit(it->second.size())) {
+    emit_tcp(nat_src, flow->server_ep, pkt::kTcpAck | pkt::kTcpPsh,
+             it->first, flow->server_rcv_next, it->second);
+    outstanding = true;
+  }
+  for (auto it = flow->replay_buf.lower_bound(flow->replay_acked);
+       it != flow->replay_buf.end() && !throttled; ++it) {
+    // Entries fully below replay_acked were erased; partial overlap can
+    // only happen at the first entry (handled above).
+    if (!admit(it->second.size())) break;
+    emit_tcp(nat_src, flow->server_ep, pkt::kTcpAck | pkt::kTcpPsh,
+             it->first, flow->server_rcv_next, it->second);
+    outstanding = true;
+  }
+  outstanding = outstanding || throttled;
+  if (!outstanding && flow->inmate_fin_seen && !flow->replay_fin_sent) {
+    emit_tcp(nat_src, flow->server_ep, pkt::kTcpFin | pkt::kTcpAck,
+             flow->inmate_fin_seq, flow->server_rcv_next, {});
+    flow->replay_fin_sent = true;
+    flow->fin_inmate = true;
+  }
+  if (outstanding) {
+    std::weak_ptr<Flow> weak = flow;
+    gateway_.loop().schedule_in(util::milliseconds(500), [this, weak] {
+      if (auto f = weak.lock()) replay_to_target(f);
+    });
+  }
+}
+
+void SubfarmRouter::send_rst_to_cs(Flow& flow) {
+  emit_tcp(flow.cs_src, flow.cs_ep,
+           pkt::kTcpRst | pkt::kTcpAck, flow.inmate_snd_nxt + flow.d_out,
+           flow.cs_in_expected, {});
+}
+
+void SubfarmRouter::send_rst_to_inmate(Flow& flow) {
+  const std::uint32_t seq =
+      flow.cs_isn_known ? flow.cs_in_expected + flow.d_in : 0;
+  emit_tcp(flow.orig_dst, flow.inmate_ep, pkt::kTcpRst | pkt::kTcpAck, seq,
+           flow.inmate_snd_nxt, {});
+}
+
+// --- UDP ---------------------------------------------------------------------
+
+void SubfarmRouter::udp_from_inmate(Flow& flow, pkt::DecodedFrame& frame) {
+  auto& dgram = *frame.udp;
+  flow.last_activity = gateway_.loop().now();
+
+  switch (flow.phase) {
+    case FlowPhase::kDenied:
+    case FlowPhase::kClosed:
+      return;
+    case FlowPhase::kAwaitVerdict:
+    case FlowPhase::kSplicing: {
+      flow.udp_buffer.push_back(dgram.payload);
+      // Shim-prefixed copy to the containment server (§6.2: UDP shims
+      // pad the datagram).
+      shim::RequestShim shim;
+      shim.orig = flow.inmate_ep;
+      shim.resp = flow.orig_dst;
+      shim.vlan = flow.vlan;
+      shim.nonce_port = 0;
+      auto payload = shim.encode();
+      payload.insert(payload.end(), dgram.payload.begin(),
+                     dgram.payload.end());
+      emit_udp(flow.cs_src, flow.cs_ep,
+               std::move(payload));
+      flow.bytes_to_server += dgram.payload.size();
+      return;
+    }
+    case FlowPhase::kEstablished: {
+      if (flow.server_is_cs) {
+        // UDP REWRITE: every datagram travels shimmed through the CS.
+        shim::RequestShim shim;
+        shim.orig = flow.inmate_ep;
+        shim.resp = flow.orig_dst;
+        shim.vlan = flow.vlan;
+        auto payload = shim.encode();
+        payload.insert(payload.end(), dgram.payload.begin(),
+                       dgram.payload.end());
+        emit_udp(flow.cs_src, flow.cs_ep,
+                 std::move(payload));
+        flow.bytes_to_server += dgram.payload.size();
+        return;
+      }
+      if (flow.limiter &&
+          !flow.limiter->try_consume(
+              flow.last_activity, static_cast<double>(dgram.payload.size()))) {
+        return;
+      }
+      const util::Endpoint src = nat_source_for(flow, flow.server_ep);
+      flow.bytes_to_server += dgram.payload.size();
+      frame.ip->src = src.addr;
+      frame.udp->src_port = src.port;
+      frame.ip->dst = flow.server_ep.addr;
+      frame.udp->dst_port = flow.server_ep.port;
+      gateway_.emit_auto(std::move(frame));
+      return;
+    }
+  }
+}
+
+void SubfarmRouter::udp_from_server(Flow& flow, pkt::DecodedFrame& frame) {
+  auto& dgram = *frame.udp;
+  flow.last_activity = gateway_.loop().now();
+
+  if (flow.server_is_cs) {
+    // Datagram from the CS: response shim (+ optional rewritten payload).
+    std::size_t consumed = 0;
+    auto shim = shim::ResponseShim::parse(dgram.payload, &consumed);
+    if (!shim) return;  // Malformed; default-deny.
+    std::span<const std::uint8_t> remainder(dgram.payload);
+    remainder = remainder.subspan(consumed);
+    if (flow.phase == FlowPhase::kAwaitVerdict) {
+      apply_udp_verdict(flow, *shim, remainder);
+    } else if (flow.phase == FlowPhase::kEstablished &&
+               !remainder.empty()) {
+      flow.bytes_to_inmate += remainder.size();
+      emit_udp(flow.orig_dst, flow.inmate_ep,
+               {remainder.begin(), remainder.end()});
+    }
+    return;
+  }
+  // From the real/redirected target: NAT back to the inmate.
+  flow.bytes_to_inmate += dgram.payload.size();
+  frame.ip->src = flow.orig_dst.addr;
+  frame.udp->src_port = flow.orig_dst.port;
+  frame.ip->dst = flow.inmate_ep.addr;
+  frame.udp->dst_port = flow.inmate_ep.port;
+  gateway_.emit_auto(std::move(frame));
+}
+
+void SubfarmRouter::apply_udp_verdict(Flow& flow,
+                                      const shim::ResponseShim& shim,
+                                      std::span<const std::uint8_t> remainder) {
+  flow.verdict = shim.verdict;
+  flow.policy_name = shim.policy_name;
+  flow.annotation = shim.annotation;
+
+  switch (shim.verdict) {
+    case shim::Verdict::kRewrite: {
+      flow.phase = FlowPhase::kEstablished;
+      if (!remainder.empty()) {
+        flow.bytes_to_inmate += remainder.size();
+        emit_udp(flow.orig_dst, flow.inmate_ep,
+                 {remainder.begin(), remainder.end()});
+      }
+      break;
+    }
+    case shim::Verdict::kDrop:
+      flow.phase = FlowPhase::kDenied;
+      break;
+    case shim::Verdict::kForward:
+    case shim::Verdict::kLimit:
+    case shim::Verdict::kRedirect:
+    case shim::Verdict::kReflect: {
+      flow.server_ep = (shim.verdict == shim::Verdict::kForward ||
+                        shim.verdict == shim::Verdict::kLimit)
+                           ? flow.orig_dst
+                           : shim.resp;
+      if (shim.verdict == shim::Verdict::kLimit) {
+        const double rate = limit_rate_from_annotation(shim.annotation);
+        flow.limiter.emplace(rate, std::max(rate * 2, 4096.0));
+      }
+      flow.server_is_cs = false;
+      flow.phase = FlowPhase::kEstablished;
+      server_index_.erase(
+          {flow.proto, flow.cs_ep, flow.cs_src});
+      const util::Endpoint nat_src = nat_source_for(flow, flow.server_ep);
+      server_index_[{flow.proto, flow.server_ep, nat_src}] =
+          flows_.at({flow.proto, flow.inmate_ep, flow.orig_dst});
+      // Flush everything the inmate sent before the verdict.
+      for (auto& payload : flow.udp_buffer) {
+        emit_udp(nat_src, flow.server_ep, std::move(payload));
+      }
+      flow.udp_buffer.clear();
+      break;
+    }
+  }
+  report(flow, FlowEvent::Kind::kVerdict);
+}
+
+// --- Ingress: management / upstream -----------------------------------------
+
+void SubfarmRouter::from_mgmt(pkt::DecodedFrame frame) {
+  if (!frame.ip) return;
+  if (handle_server_side(frame)) return;
+  // Infrastructure replies (DNS resolver, etc.) pass straight back.
+  if (is_infra(frame.ip->src)) {
+    gateway_.emit_auto(std::move(frame));
+    return;
+  }
+  GQ_DEBUG(kLog, "[%s] unmatched mgmt frame %s dropped",
+           config_.name.c_str(), frame.summary().c_str());
+}
+
+void SubfarmRouter::from_upstream(pkt::DecodedFrame frame) {
+  if (!frame.ip) return;
+  if (handle_server_side(frame)) return;
+
+  if (config_.inbound_mode == InboundMode::kForward) {
+    const InmateBinding* binding = inmates_.by_global(frame.ip->dst);
+    if (binding) {
+      // Rewrite destination to the internal address and remember the
+      // flow so the inmate's replies NAT back out (§5.3: Internet-
+      // reachable servers).
+      frame.ip->dst = binding->internal_addr;
+      if (auto key = pkt::flow_key_of(frame)) {
+        inbound_flows_[key->reversed()] = gateway_.loop().now();
+      }
+      gateway_.emit_auto(std::move(frame));
+      return;
+    }
+  }
+  // Default: unsolicited inbound traffic is dropped (home-NAT emulation).
+}
+
+// --- Nonce relays -------------------------------------------------------------
+
+void SubfarmRouter::on_nonce_frame(std::uint16_t nonce,
+                                   pkt::DecodedFrame frame) {
+  if (!frame.ip || !frame.tcp) return;
+  auto relay_it = nonce_relays_.find(nonce);
+  if (relay_it == nonce_relays_.end()) {
+    // First packet on this nonce: it must be a SYN from the CS, and the
+    // nonce must belong to a REWRITE flow awaiting its outbound leg.
+    if (!frame.tcp->syn()) return;
+    FlowPtr owner;
+    for (auto& [key, flow] : flows_) {
+      if (flow->nonce_port == nonce &&
+          flow->phase == FlowPhase::kEstablished && flow->server_is_cs) {
+        owner = flow;
+        break;
+      }
+    }
+    if (!owner) {
+      GQ_WARN(kLog, "[%s] nonce %u connection without owning flow",
+              config_.name.c_str(), nonce);
+      return;
+    }
+    NonceRelay relay;
+    relay.cs_ep = {frame.ip->src, frame.tcp->src_port};
+    relay.nonce = nonce;
+    relay.target = owner->orig_dst;
+    relay.nat_src = nat_source_for(*owner, owner->orig_dst);
+    relay.last_activity = gateway_.loop().now();
+    nonce_relays_[nonce] = relay;
+    nonce_by_target_key_[{pkt::FlowProto::kTcp, relay.target,
+                          relay.nat_src}] = nonce;
+    relay_it = nonce_relays_.find(nonce);
+  }
+  auto& relay = relay_it->second;
+  relay.last_activity = gateway_.loop().now();
+  // Pure NAT relay toward the target: the CS's fresh connection needs no
+  // sequence surgery, only address rewriting.
+  frame.ip->src = relay.nat_src.addr;
+  frame.tcp->src_port = relay.nat_src.port;
+  frame.ip->dst = relay.target.addr;
+  frame.tcp->dst_port = relay.target.port;
+  gateway_.emit_auto(std::move(frame));
+}
+
+// --- Lifecycle -----------------------------------------------------------------
+
+void SubfarmRouter::close_flow(Flow& flow) {
+  if (flow.phase == FlowPhase::kClosed) return;
+  flow.phase = FlowPhase::kClosed;
+  report(flow, FlowEvent::Kind::kClose);
+  if (flow.nonce_port != 0) {
+    if (auto it = nonce_relays_.find(flow.nonce_port);
+        it != nonce_relays_.end()) {
+      nonce_by_target_key_.erase(
+          {pkt::FlowProto::kTcp, it->second.target, it->second.nat_src});
+      nonce_relays_.erase(it);
+    }
+    gateway_.release_nonce(flow.nonce_port);
+    flow.nonce_port = 0;
+  }
+  server_index_.erase(
+      {flow.proto, flow.cs_ep, flow.cs_src});
+  server_index_.erase({flow.proto, flow.server_ep,
+                       nat_source_for(flow, flow.server_ep)});
+  flows_.erase({flow.proto, flow.inmate_ep, flow.orig_dst});
+  // `flow` may be dangling now if the last shared_ptr lived in the maps;
+  // callers must not touch it after close_flow().
+}
+
+void SubfarmRouter::gc_sweep() {
+  const auto now = gateway_.loop().now();
+  std::vector<FlowPtr> to_close;
+  for (auto& [key, flow] : flows_) {
+    const bool idle = now - flow->last_activity > config_.flow_timeout;
+    const bool done = flow->fin_inmate && flow->fin_server &&
+                      now - flow->last_activity > util::seconds(2);
+    const bool denied_old = flow->phase == FlowPhase::kDenied &&
+                            now - flow->last_activity > util::seconds(30);
+    if (idle || done || denied_old) to_close.push_back(flow);
+  }
+  for (auto& flow : to_close) close_flow(*flow);
+  for (auto it = nonce_relays_.begin(); it != nonce_relays_.end();) {
+    if (now - it->second.last_activity > config_.flow_timeout) {
+      nonce_by_target_key_.erase(
+          {pkt::FlowProto::kTcp, it->second.target, it->second.nat_src});
+      it = nonce_relays_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = inbound_flows_.begin(); it != inbound_flows_.end();) {
+    if (now - it->second > config_.flow_timeout)
+      it = inbound_flows_.erase(it);
+    else
+      ++it;
+  }
+  gateway_.loop().schedule_in(util::seconds(5), [this] { gc_sweep(); });
+}
+
+}  // namespace gq::gw

@@ -1,0 +1,148 @@
+// SubfarmRouter: the per-subfarm packet forwarding logic (the Click
+// configuration of §6.1). Everything flow-related happens here: the
+// redirect of new inmate flows to the containment server, shim
+// injection/stripping with sequence bumping (Figure 5), verdict
+// enforcement (forward / limit / drop / redirect / reflect / rewrite,
+// Figure 2), flow splicing onto real targets, NAT, the safety filter,
+// infrastructure-service bypass, inbound-flow handling, per-subfarm
+// trace recording, and flow garbage collection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gateway/config.h"
+#include "gateway/flow.h"
+#include "gateway/inmate_table.h"
+#include "gateway/safety.h"
+#include "packet/frame.h"
+#include "packet/pcap.h"
+#include "util/rng.h"
+
+namespace gq::gw {
+
+class Gateway;
+
+class SubfarmRouter {
+ public:
+  SubfarmRouter(Gateway& gateway, SubfarmConfig config);
+  ~SubfarmRouter();
+
+  [[nodiscard]] const SubfarmConfig& config() const { return config_; }
+
+  /// Join an additional containment server to this subfarm's cluster
+  /// (§7.2). Only affects flows created afterwards.
+  void add_containment_server(util::Endpoint endpoint) {
+    config_.extra_containment_servers.push_back(endpoint);
+  }
+  [[nodiscard]] InmateTable& inmates() { return inmates_; }
+  [[nodiscard]] pkt::PcapWriter& pcap() { return pcap_; }
+  [[nodiscard]] SafetyFilter& safety() { return safety_; }
+
+  /// Frame from an inmate on `vlan` (tag already stripped).
+  void from_inmate(std::uint16_t vlan, pkt::DecodedFrame frame);
+
+  /// Frame from the management network whose destination is inside this
+  /// subfarm's internal range (containment server / sink replies).
+  void from_mgmt(pkt::DecodedFrame frame);
+
+  /// Frame from upstream addressed into this subfarm's external range.
+  void from_upstream(pkt::DecodedFrame frame);
+
+  /// Frame from the containment server to one of this subfarm's nonce
+  /// ports (REWRITE proxy outbound leg).
+  void on_nonce_frame(std::uint16_t nonce, pkt::DecodedFrame frame);
+
+  void set_event_handler(FlowEventHandler handler) {
+    events_ = std::move(handler);
+  }
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t flows_created() const { return flows_created_; }
+  [[nodiscard]] std::size_t flows_active() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t frames_from_inmates() const {
+    return frames_from_inmates_;
+  }
+
+ private:
+  struct NonceRelay {
+    util::Endpoint cs_ep;       // CS's source for this leg.
+    util::Endpoint nat_src;     // What the target sees.
+    util::Endpoint target;
+    std::uint16_t nonce = 0;
+    util::TimePoint last_activity;
+  };
+
+  using FlowPtr = std::shared_ptr<Flow>;
+
+  // --- Ingress dispatch -------------------------------------------------
+  void inmate_ip(std::uint16_t vlan, pkt::DecodedFrame& frame);
+  void handle_new_inmate_flow(std::uint16_t vlan, pkt::DecodedFrame& frame);
+  bool handle_server_side(pkt::DecodedFrame& frame);
+
+  // --- Containment-server leg -------------------------------------------
+  void relay_inmate_to_server(Flow& flow, pkt::DecodedFrame& frame);
+  void cs_to_inmate(Flow& flow, pkt::DecodedFrame& frame);
+  void inject_request_shim(Flow& flow);
+  void retransmit_request_shim(FlowPtr flow);
+  void process_cs_stream(Flow& flow);
+  void apply_verdict(Flow& flow, const shim::ResponseShim& shim);
+
+  // --- Splicing -----------------------------------------------------------
+  void start_splice(Flow& flow);
+  void target_to_inmate(Flow& flow, pkt::DecodedFrame& frame);
+  void replay_to_target(FlowPtr flow);
+  void send_rst_to_cs(Flow& flow);
+  void send_rst_to_inmate(Flow& flow);
+
+  // --- UDP ----------------------------------------------------------------
+  void udp_from_inmate(Flow& flow, pkt::DecodedFrame& frame);
+  void udp_from_server(Flow& flow, pkt::DecodedFrame& frame);
+  void apply_udp_verdict(Flow& flow, const shim::ResponseShim& shim,
+                         std::span<const std::uint8_t> remainder);
+
+  // --- Helpers --------------------------------------------------------------
+  /// NAT source the server side should see for this flow's server.
+  util::Endpoint nat_source_for(const Flow& flow,
+                                util::Endpoint server) const;
+  /// Cluster member handling a given inmate (§7.2: the same containment
+  /// server always handles the same inmate).
+  [[nodiscard]] util::Endpoint cs_for_vlan(std::uint16_t vlan) const;
+  [[nodiscard]] bool is_internal(util::Ipv4Addr addr) const;
+  [[nodiscard]] bool is_infra(util::Ipv4Addr addr) const;
+  void emit_tcp(util::Endpoint src, util::Endpoint dst, std::uint8_t flags,
+                std::uint32_t seq, std::uint32_t ack,
+                std::vector<std::uint8_t> payload);
+  void emit_udp(util::Endpoint src, util::Endpoint dst,
+                std::vector<std::uint8_t> payload);
+  void report(const Flow& flow, FlowEvent::Kind kind);
+  void close_flow(Flow& flow);
+  void gc_sweep();
+
+  Gateway& gateway_;
+  SubfarmConfig config_;
+  InmateTable inmates_;
+  SafetyFilter safety_;
+  pkt::PcapWriter pcap_;
+  util::Rng rng_;
+  FlowEventHandler events_;
+
+  // Flow table, keyed by the inmate-side original flow.
+  std::map<pkt::FlowKey, FlowPtr> flows_;
+  // Server-side index: key is {proto, server_ep, nat_src} as seen in
+  // frames arriving from the server side.
+  std::map<pkt::FlowKey, FlowPtr> server_index_;
+  // Inbound (outside-initiated) pass-through flows, keyed as seen from
+  // the inmate: {proto, inmate_internal_ep, remote_ep}.
+  std::map<pkt::FlowKey, util::TimePoint> inbound_flows_;
+  // Nonce relays.
+  std::map<std::uint16_t, NonceRelay> nonce_relays_;
+  std::map<pkt::FlowKey, std::uint16_t> nonce_by_target_key_;
+
+  std::uint64_t flows_created_ = 0;
+  std::uint64_t frames_from_inmates_ = 0;
+};
+
+}  // namespace gq::gw

@@ -1,0 +1,26 @@
+#include "gateway/safety.h"
+
+#include "util/log.h"
+
+namespace gq::gw {
+
+bool SafetyFilter::admit(util::TimePoint now, std::uint16_t vlan,
+                         util::Ipv4Addr dst) {
+  auto inmate_it =
+      per_inmate_.try_emplace(vlan, util::SlidingWindowCounter(window_))
+          .first;
+  auto dest_it =
+      per_dest_.try_emplace(dst, util::SlidingWindowCounter(window_)).first;
+  if (inmate_it->second.count(now) >= max_per_inmate_ ||
+      dest_it->second.count(now) >= max_per_dest_) {
+    ++rejected_;
+    GQ_DEBUG("gw.safety", "rejecting flow vlan=%u dst=%s", vlan,
+             dst.str().c_str());
+    return false;
+  }
+  inmate_it->second.record(now);
+  dest_it->second.record(now);
+  return true;
+}
+
+}  // namespace gq::gw

@@ -1,0 +1,39 @@
+// The gateway's safety filter (§5.1): a backstop independent of any
+// containment policy that caps the rate of new connections an inmate
+// may open overall and toward any single destination. Even a buggy
+// containment policy cannot turn the farm into a SYN flood source.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/addr.h"
+#include "util/rate.h"
+#include "util/time.h"
+
+namespace gq::gw {
+
+class SafetyFilter {
+ public:
+  SafetyFilter(std::size_t max_per_inmate, std::size_t max_per_dest,
+               util::Duration window)
+      : max_per_inmate_(max_per_inmate),
+        max_per_dest_(max_per_dest),
+        window_(window) {}
+
+  /// Account a new flow from `vlan` to `dst` at time `now`; returns
+  /// false if either threshold is exceeded (the flow must be dropped).
+  bool admit(util::TimePoint now, std::uint16_t vlan, util::Ipv4Addr dst);
+
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::size_t max_per_inmate_;
+  std::size_t max_per_dest_;
+  util::Duration window_;
+  std::map<std::uint16_t, util::SlidingWindowCounter> per_inmate_;
+  std::map<util::Ipv4Addr, util::SlidingWindowCounter> per_dest_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace gq::gw

@@ -1,0 +1,194 @@
+#include "inmate/inmate.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::inm {
+
+namespace {
+constexpr const char* kLog = "inmate";
+}
+
+const char* hosting_kind_name(HostingKind kind) {
+  switch (kind) {
+    case HostingKind::kVm: return "vm";
+    case HostingKind::kEmulated: return "emulated";
+    case HostingKind::kRawIron: return "raw-iron";
+  }
+  return "?";
+}
+
+const char* inmate_state_name(InmateState state) {
+  switch (state) {
+    case InmateState::kStopped: return "STOPPED";
+    case InmateState::kBooting: return "BOOTING";
+    case InmateState::kInfecting: return "INFECTING";
+    case InmateState::kRunning: return "RUNNING";
+    case InmateState::kReverting: return "REVERTING";
+  }
+  return "?";
+}
+
+HostingProfile HostingProfile::for_kind(HostingKind kind) {
+  switch (kind) {
+    case HostingKind::kVm:
+      // Snapshot revert is fast on ESX.
+      return {util::seconds(25), util::seconds(15)};
+    case HostingKind::kEmulated:
+      // Full-system emulation boots slowly.
+      return {util::seconds(70), util::seconds(20)};
+    case HostingKind::kRawIron:
+      // §6.4: the PXE reimaging cycle takes around 6 minutes.
+      return {util::seconds(45), util::minutes(6)};
+  }
+  return {util::seconds(30), util::seconds(30)};
+}
+
+Inmate::Inmate(sim::EventLoop& loop, InmateConfig config,
+               BehaviorFactory behavior_factory)
+    : loop_(loop),
+      config_(config),
+      profile_(HostingProfile::for_kind(config.hosting)),
+      behavior_factory_(std::move(behavior_factory)),
+      rng_(config.seed) {
+  host_ = std::make_unique<net::HostStack>(
+      loop, util::format("inmate-v%u", config_.vlan),
+      util::MacAddr::local(0x10000u + config_.vlan), config_.seed);
+}
+
+void Inmate::enter(InmateState state) {
+  if (state == state_) return;
+  const InmateState old_state = state_;
+  state_ = state;
+  GQ_DEBUG(kLog, "vlan %u: %s -> %s", config_.vlan,
+           inmate_state_name(old_state), inmate_state_name(state));
+  if (on_state_) on_state_(*this, old_state, state);
+}
+
+void Inmate::power_on() {
+  if (state_ != InmateState::kStopped) return;
+  boot(/*reinfect=*/infect_on_boot_);
+}
+
+void Inmate::boot(bool reinfect) {
+  infect_on_boot_ = reinfect;
+  enter(InmateState::kBooting);
+  const std::uint64_t generation = ++generation_;
+  loop_.schedule_in(profile_.boot_delay, [this, generation] {
+    if (generation != generation_ || state_ != InmateState::kBooting)
+      return;
+    dhcp_ = std::make_unique<svc::DhcpClient>(
+        *host_, [this, generation](const net::Ipv4Config&) {
+          if (generation == generation_) on_configured();
+        });
+    dhcp_->start();
+  });
+}
+
+void Inmate::on_configured() {
+  if (state_ != InmateState::kBooting) return;
+  if (infect_on_boot_ && config_.autoinfect) {
+    enter(InmateState::kInfecting);
+    run_infection_script();
+    return;
+  }
+  // Reboot path: the persistent infection resumes without contacting
+  // the auto-infection server again (§6.6).
+  if (!infect_on_boot_ && !current_sample_.empty()) {
+    start_behavior(current_sample_);
+    return;
+  }
+  enter(InmateState::kRunning);  // Idle, awaiting network-borne infection.
+}
+
+void Inmate::run_infection_script() {
+  const std::uint64_t generation = generation_;
+  svc::HttpRequest request;
+  request.path = "/sample";
+  request.set_header("Host", config_.autoinfect->addr.str());
+  svc::HttpClient::fetch(
+      *host_, *config_.autoinfect, request,
+      [this, generation](std::optional<svc::HttpResponse> response) {
+        if (generation != generation_ ||
+            state_ != InmateState::kInfecting)
+          return;
+        if (!response || response->status != 200) {
+          // Retry: infection servers can be briefly unavailable.
+          loop_.schedule_in(util::seconds(30), [this, generation] {
+            if (generation == generation_ &&
+                state_ == InmateState::kInfecting)
+              run_infection_script();
+          });
+          return;
+        }
+        // The sample's first line is its name (§6.6 batch serving).
+        const std::string& body = response->body;
+        const auto newline = body.find('\n');
+        std::string name =
+            newline == std::string::npos ? body : body.substr(0, newline);
+        ++infections_;
+        start_behavior(name);
+      });
+}
+
+void Inmate::start_behavior(const std::string& sample_name) {
+  current_sample_ = sample_name;
+  behavior_.reset();
+  if (behavior_factory_) behavior_ = behavior_factory_(sample_name, rng_);
+  enter(InmateState::kRunning);
+  if (behavior_) {
+    GQ_INFO(kLog, "vlan %u running %s (%s)", config_.vlan,
+            sample_name.c_str(), behavior_->name().c_str());
+    behavior_->start(*host_);
+  }
+}
+
+void Inmate::infect_with(std::unique_ptr<Behavior> behavior,
+                         const std::string& sample_name) {
+  if (state_ == InmateState::kStopped) return;
+  if (behavior_) behavior_->stop();
+  current_sample_ = sample_name;
+  behavior_ = std::move(behavior);
+  ++infections_;
+  enter(InmateState::kRunning);
+  if (behavior_) behavior_->start(*host_);
+}
+
+void Inmate::power_off() {
+  ++generation_;
+  if (behavior_) behavior_->stop();
+  behavior_.reset();
+  dhcp_.reset();
+  host_->deconfigure();
+  enter(InmateState::kStopped);
+}
+
+void Inmate::reboot() {
+  if (state_ == InmateState::kStopped) return;
+  ++generation_;
+  if (behavior_) behavior_->stop();
+  behavior_.reset();
+  dhcp_.reset();
+  host_->deconfigure();
+  boot(/*reinfect=*/false);
+}
+
+void Inmate::revert() {
+  if (state_ == InmateState::kStopped) return;
+  ++generation_;
+  if (behavior_) behavior_->stop();
+  behavior_.reset();
+  dhcp_.reset();
+  host_->deconfigure();
+  current_sample_.clear();
+  enter(InmateState::kReverting);
+  const std::uint64_t generation = generation_;
+  loop_.schedule_in(profile_.revert_delay, [this, generation] {
+    if (generation != generation_ || state_ != InmateState::kReverting)
+      return;
+    enter(InmateState::kStopped);
+    boot(/*reinfect=*/true);
+  });
+}
+
+}  // namespace gq::inm

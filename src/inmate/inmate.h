@@ -1,0 +1,150 @@
+// Inmates and their life-cycle (paper §5.5, §6.3, §6.4). An Inmate is
+// one simulated infected machine: a HostStack on its own VLAN plus a
+// life-cycle state machine (boot via DHCP, auto-infection on first boot,
+// revert-to-clean-snapshot, reboot, terminate). Hosting technology —
+// full virtualization, emulation, or raw iron — is expressed as a
+// backend that only changes timing (snapshot revert vs ~6-minute PXE
+// reimage) and stays transparent to the gateway, exactly as in the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/stack.h"
+#include "services/dhcp.h"
+#include "services/http.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace gq::inm {
+
+/// Hosting technologies (§6: VMware ESX, QEMU emulation, raw iron).
+enum class HostingKind { kVm, kEmulated, kRawIron };
+
+const char* hosting_kind_name(HostingKind kind);
+
+/// Life-cycle states.
+enum class InmateState {
+  kStopped,
+  kBooting,
+  kInfecting,   ///< Running the first-boot auto-infection script.
+  kRunning,
+  kReverting,   ///< Restoring the clean snapshot / reimaging.
+};
+
+const char* inmate_state_name(InmateState state);
+
+/// Timing profile of a hosting backend.
+struct HostingProfile {
+  util::Duration boot_delay;
+  util::Duration revert_delay;
+
+  static HostingProfile for_kind(HostingKind kind);
+};
+
+/// The malware behaviour running on an infected inmate. Implementations
+/// live in src/malware; the inmate only knows how to start/stop one.
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Begin operating on the inmate's stack. Must be idempotent-safe to
+  /// stop(): all timers must check running state.
+  virtual void start(net::HostStack& host) = 0;
+  virtual void stop() = 0;
+
+ protected:
+  /// Wrap an asynchronous callback (timer, socket handler) so it becomes
+  /// a no-op once this behaviour object has been destroyed — timers and
+  /// connections routinely outlive an infection (revert, reinfection).
+  template <typename F>
+  auto guarded(F fn) {
+    return [weak = std::weak_ptr<bool>(alive_),
+            fn = std::move(fn)](auto&&... args) {
+      if (weak.expired()) return;
+      fn(std::forward<decltype(args)>(args)...);
+    };
+  }
+
+ private:
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Maps a served sample payload (whose first line is the sample name,
+/// §6.6) to a behaviour instance. Returning nullptr leaves the inmate
+/// idle (sample with no modelled behaviour).
+using BehaviorFactory = std::function<std::unique_ptr<Behavior>(
+    const std::string& sample_name, util::Rng& rng)>;
+
+struct InmateConfig {
+  std::uint16_t vlan = 0;
+  HostingKind hosting = HostingKind::kVm;
+  /// Auto-infection service to contact on first boot (nullopt: wait for
+  /// a traditional network-borne infection instead).
+  std::optional<util::Endpoint> autoinfect;
+  std::uint64_t seed = 1;
+};
+
+class Inmate {
+ public:
+  using StateHandler =
+      std::function<void(Inmate&, InmateState old_state, InmateState)>;
+
+  Inmate(sim::EventLoop& loop, InmateConfig config,
+         BehaviorFactory behavior_factory);
+
+  /// The inmate's NIC — wire to an access port of the inmate switch.
+  [[nodiscard]] net::HostStack& host() { return *host_; }
+  [[nodiscard]] const InmateConfig& config() const { return config_; }
+  [[nodiscard]] std::uint16_t vlan() const { return config_.vlan; }
+  [[nodiscard]] InmateState state() const { return state_; }
+  [[nodiscard]] Behavior* behavior() { return behavior_.get(); }
+  [[nodiscard]] const std::string& current_sample() const {
+    return current_sample_;
+  }
+  [[nodiscard]] int infections() const { return infections_; }
+
+  /// Life-cycle actions (§5.5). All are asynchronous: state transitions
+  /// complete after the hosting profile's delays.
+  void power_on();
+  void power_off();
+  void reboot();   ///< Restart without reinfection (malware persists).
+  void revert();   ///< Clean snapshot + reinfection on next boot.
+
+  /// Directly infect with a behaviour (network-borne infections — worms
+  /// — bypass the auto-infection path).
+  void infect_with(std::unique_ptr<Behavior> behavior,
+                   const std::string& sample_name);
+
+  void set_state_handler(StateHandler handler) {
+    on_state_ = std::move(handler);
+  }
+
+ private:
+  void enter(InmateState state);
+  void boot(bool reinfect);
+  void on_configured();
+  void run_infection_script();
+  void start_behavior(const std::string& sample_name);
+
+  sim::EventLoop& loop_;
+  InmateConfig config_;
+  HostingProfile profile_;
+  BehaviorFactory behavior_factory_;
+  std::unique_ptr<net::HostStack> host_;
+  std::unique_ptr<svc::DhcpClient> dhcp_;
+  std::unique_ptr<Behavior> behavior_;
+  util::Rng rng_;
+  InmateState state_ = InmateState::kStopped;
+  StateHandler on_state_;
+  std::string current_sample_;
+  bool infect_on_boot_ = true;
+  int infections_ = 0;
+  std::uint64_t generation_ = 0;  ///< Invalidates in-flight boot timers.
+};
+
+}  // namespace gq::inm

@@ -1,0 +1,21 @@
+#include "inmate/vlan_pool.h"
+
+namespace gq::inm {
+
+std::optional<std::uint16_t> VlanPool::allocate() {
+  for (std::uint32_t vlan = first_; vlan <= last_; ++vlan) {
+    if (!in_use_.count(static_cast<std::uint16_t>(vlan))) {
+      in_use_.insert(static_cast<std::uint16_t>(vlan));
+      return static_cast<std::uint16_t>(vlan);
+    }
+  }
+  return std::nullopt;
+}
+
+bool VlanPool::reserve(std::uint16_t vlan) {
+  if (vlan < first_ || vlan > last_ || in_use_.count(vlan)) return false;
+  in_use_.insert(vlan);
+  return true;
+}
+
+}  // namespace gq::inm

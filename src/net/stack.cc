@@ -1,0 +1,303 @@
+#include "net/stack.h"
+
+#include "packet/headers.h"
+#include "util/log.h"
+
+namespace gq::net {
+
+namespace {
+constexpr const char* kLog = "stack";
+constexpr int kArpMaxAttempts = 3;
+constexpr util::Duration kArpRetryDelay = util::milliseconds(500);
+}  // namespace
+
+void UdpSocket::send_to(util::Endpoint dst,
+                        std::span<const std::uint8_t> payload) {
+  pkt::UdpDatagram dgram;
+  dgram.src_port = port_;
+  dgram.dst_port = dst.port;
+  dgram.payload.assign(payload.begin(), payload.end());
+  stack_.send_udp(stack_.addr(), dst.addr, dgram, /*broadcast=*/false);
+}
+
+void UdpSocket::send_broadcast(std::uint16_t dst_port,
+                               std::span<const std::uint8_t> payload) {
+  pkt::UdpDatagram dgram;
+  dgram.src_port = port_;
+  dgram.dst_port = dst_port;
+  dgram.payload.assign(payload.begin(), payload.end());
+  stack_.send_udp(stack_.addr(), util::Ipv4Addr(255, 255, 255, 255), dgram,
+                  /*broadcast=*/true);
+}
+
+void UdpSocket::close() { stack_.remove_udp(port_); }
+
+HostStack::HostStack(sim::EventLoop& loop, std::string name,
+                     util::MacAddr mac, std::uint64_t seed)
+    : loop_(loop),
+      name_(std::move(name)),
+      mac_(mac),
+      rng_(seed),
+      nic_(loop, name_ + ".nic") {
+  nic_.set_rx([this](sim::Frame frame) { handle_frame(std::move(frame)); });
+}
+
+HostStack::~HostStack() = default;
+
+void HostStack::configure(const Ipv4Config& config) {
+  config_ = config;
+  GQ_DEBUG(kLog, "%s: configured %s gw %s", name_.c_str(),
+           config.addr.str().c_str(), config.gateway.str().c_str());
+}
+
+void HostStack::deconfigure() {
+  config_.reset();
+  arp_cache_.clear();
+  arp_pending_.clear();
+  // Abort every connection: the "machine" lost its address.
+  auto conns = connections_;
+  for (auto& [key, conn] : conns) conn->abort();
+  connections_.clear();
+}
+
+std::shared_ptr<TcpConnection> HostStack::connect(util::Endpoint dst) {
+  const std::uint16_t port = allocate_port();
+  auto conn = std::make_shared<TcpConnection>(
+      *this, util::Endpoint{addr(), port}, dst);
+  connections_[{port, dst}] = conn;
+  conn->start_connect();
+  return conn;
+}
+
+void HostStack::listen(std::uint16_t port, AcceptHandler handler) {
+  listeners_[port] = std::move(handler);
+}
+
+void HostStack::close_listener(std::uint16_t port) { listeners_.erase(port); }
+
+std::shared_ptr<UdpSocket> HostStack::udp_open(std::uint16_t port) {
+  if (port == 0) port = allocate_port();
+  auto sock = std::make_shared<UdpSocket>(*this, port);
+  udp_sockets_[port] = sock;
+  return sock;
+}
+
+std::uint16_t HostStack::allocate_port() {
+  for (int guard = 0; guard < 65536; ++guard) {
+    const std::uint16_t candidate = next_ephemeral_;
+    next_ephemeral_ =
+        (next_ephemeral_ >= 65535) ? 1024 : next_ephemeral_ + 1;
+    bool used = listeners_.count(candidate) || udp_sockets_.count(candidate);
+    if (!used) {
+      for (const auto& [key, conn] : connections_) {
+        if (key.first == candidate) {
+          used = true;
+          break;
+        }
+      }
+    }
+    if (!used) return candidate;
+  }
+  return 0;  // Exhausted (practically unreachable).
+}
+
+void HostStack::remove_connection(const TcpConnection& conn) {
+  connections_.erase({conn.local().port, conn.remote()});
+}
+
+void HostStack::remove_udp(std::uint16_t port) { udp_sockets_.erase(port); }
+
+void HostStack::send_tcp(util::Ipv4Addr dst, const pkt::TcpSegment& seg) {
+  send_ipv4(dst, pkt::kProtoTcp, pkt::serialize_tcp(addr(), dst, seg));
+}
+
+void HostStack::send_udp(util::Ipv4Addr src, util::Ipv4Addr dst,
+                         const pkt::UdpDatagram& dgram, bool broadcast) {
+  if (broadcast) {
+    // Link-local broadcast bypasses routing and ARP entirely.
+    pkt::Ipv4Packet ip;
+    ip.src = src;
+    ip.dst = dst;
+    ip.protocol = pkt::kProtoUdp;
+    ip.payload = pkt::serialize_udp(src, dst, dgram);
+    transmit_to_mac(util::MacAddr::broadcast(), pkt::kEtherTypeIpv4,
+                    pkt::serialize_ipv4(ip));
+    ++ip_tx_;
+    return;
+  }
+  send_ipv4(dst, pkt::kProtoUdp, pkt::serialize_udp(src, dst, dgram));
+}
+
+void HostStack::send_ipv4(util::Ipv4Addr dst, std::uint8_t proto,
+                          std::vector<std::uint8_t> payload,
+                          std::optional<util::Ipv4Addr> src_override) {
+  if (!config_) {
+    GQ_DEBUG(kLog, "%s: dropping IP packet, no configuration", name_.c_str());
+    return;
+  }
+  pkt::Ipv4Packet ip;
+  ip.src = src_override.value_or(config_->addr);
+  ip.dst = dst;
+  ip.protocol = proto;
+  ip.payload = std::move(payload);
+  auto packet = pkt::serialize_ipv4(ip);
+  ++ip_tx_;
+
+  const util::Ipv4Addr next_hop =
+      config_->subnet.contains(dst) ? dst : config_->gateway;
+  if (auto it = arp_cache_.find(next_hop); it != arp_cache_.end()) {
+    transmit_to_mac(it->second, pkt::kEtherTypeIpv4, std::move(packet));
+    return;
+  }
+  arp_resolve(next_hop, std::move(packet));
+}
+
+void HostStack::arp_resolve(util::Ipv4Addr next_hop,
+                            std::vector<std::uint8_t> packet) {
+  auto& pending = arp_pending_[next_hop];
+  pending.queue.push_back(std::move(packet));
+  if (pending.queue.size() > 1) return;  // Request already outstanding.
+  pending.attempts = 0;
+  send_arp_request(next_hop);
+}
+
+void HostStack::send_arp_request(util::Ipv4Addr target) {
+  auto it = arp_pending_.find(target);
+  if (it == arp_pending_.end()) return;
+  if (it->second.attempts++ >= kArpMaxAttempts) {
+    GQ_WARN(kLog, "%s: ARP for %s failed, dropping %zu packets",
+            name_.c_str(), target.str().c_str(), it->second.queue.size());
+    arp_pending_.erase(it);
+    return;
+  }
+  pkt::ArpMessage arp;
+  arp.op = pkt::ArpMessage::Op::kRequest;
+  arp.sender_mac = mac_;
+  arp.sender_ip = addr();
+  arp.target_ip = target;
+  transmit_to_mac(util::MacAddr::broadcast(), pkt::kEtherTypeArp,
+                  pkt::serialize_arp(arp));
+  loop_.schedule_in(kArpRetryDelay, [this, target] {
+    if (arp_pending_.count(target)) send_arp_request(target);
+  });
+}
+
+void HostStack::transmit_to_mac(util::MacAddr dst_mac, std::uint16_t ethertype,
+                                std::vector<std::uint8_t> payload) {
+  pkt::EthHeader eth;
+  eth.dst = dst_mac;
+  eth.src = mac_;
+  eth.ethertype = ethertype;
+  nic_.transmit(sim::Frame{pkt::serialize_eth(eth, payload)});
+}
+
+void HostStack::handle_frame(sim::Frame frame) {
+  auto decoded = pkt::decode_frame(frame.bytes);
+  if (!decoded) return;
+  if (decoded->arp) {
+    handle_arp(*decoded->arp);
+    return;
+  }
+  if (decoded->ip) handle_ipv4(*decoded);
+}
+
+void HostStack::handle_arp(const pkt::ArpMessage& arp) {
+  if (!config_) return;
+  // Learn the sender mapping opportunistically.
+  if (!arp.sender_ip.is_unspecified())
+    arp_cache_[arp.sender_ip] = arp.sender_mac;
+
+  // Flush any packets that were waiting on this resolution.
+  if (auto it = arp_pending_.find(arp.sender_ip); it != arp_pending_.end()) {
+    auto queue = std::move(it->second.queue);
+    arp_pending_.erase(it);
+    for (auto& packet : queue)
+      transmit_to_mac(arp.sender_mac, pkt::kEtherTypeIpv4, std::move(packet));
+  }
+
+  if (arp.op == pkt::ArpMessage::Op::kRequest &&
+      arp.target_ip == config_->addr) {
+    pkt::ArpMessage reply;
+    reply.op = pkt::ArpMessage::Op::kReply;
+    reply.sender_mac = mac_;
+    reply.sender_ip = config_->addr;
+    reply.target_mac = arp.sender_mac;
+    reply.target_ip = arp.sender_ip;
+    pkt::EthHeader eth;
+    eth.dst = arp.sender_mac;
+    eth.src = mac_;
+    eth.ethertype = pkt::kEtherTypeArp;
+    nic_.transmit(sim::Frame{pkt::serialize_eth(eth, pkt::serialize_arp(reply))});
+  }
+}
+
+void HostStack::handle_ipv4(const pkt::DecodedFrame& frame) {
+  const auto& ip = *frame.ip;
+  const bool to_me =
+      config_ && (ip.dst == config_->addr || ip.dst.is_broadcast());
+  const bool broadcast_while_unconfigured =
+      !config_ && ip.dst.is_broadcast();
+  if (!to_me && !broadcast_while_unconfigured) return;
+  ++ip_rx_;
+
+  if (frame.tcp) {
+    handle_tcp_segment(ip.src, *frame.tcp);
+  } else if (frame.udp) {
+    if (auto it = udp_sockets_.find(frame.udp->dst_port);
+        it != udp_sockets_.end()) {
+      if (auto sock = it->second.lock()) {
+        if (sock->on_datagram)
+          sock->on_datagram(util::Endpoint{ip.src, frame.udp->src_port},
+                            frame.udp->payload);
+      } else {
+        udp_sockets_.erase(it);
+      }
+    }
+  } else if (frame.icmp && frame.icmp->type == 8 && config_) {
+    // Echo request: reply in kind.
+    pkt::IcmpMessage reply = *frame.icmp;
+    reply.type = 0;
+    send_ipv4(ip.src, pkt::kProtoIcmp, pkt::serialize_icmp(reply));
+  }
+}
+
+void HostStack::handle_tcp_segment(util::Ipv4Addr src,
+                                   const pkt::TcpSegment& seg) {
+  const util::Endpoint remote{src, seg.src_port};
+  if (auto it = connections_.find({seg.dst_port, remote});
+      it != connections_.end()) {
+    auto conn = it->second;  // Keep alive during input().
+    conn->input(seg);
+    return;
+  }
+  if (seg.syn() && !seg.has_ack()) {
+    if (auto it = listeners_.find(seg.dst_port); it != listeners_.end()) {
+      auto conn = std::make_shared<TcpConnection>(
+          *this, util::Endpoint{addr(), seg.dst_port}, remote);
+      connections_[{seg.dst_port, remote}] = conn;
+      // Enter SYN_RCVD before handing the connection to the application:
+      // servers commonly send a greeting straight from the accept
+      // callback, and send() buffers in SYN_RCVD until establishment.
+      conn->start_accept(seg);
+      // Copy the handler first: the callback may close_listener() on its
+      // own port (single-use listeners), which would destroy the function
+      // object we are executing.
+      auto handler = it->second;
+      handler(conn);
+      return;
+    }
+  }
+  if (!seg.rst()) {
+    // No listener / unknown connection: refuse.
+    pkt::TcpSegment rst;
+    rst.src_port = seg.dst_port;
+    rst.dst_port = seg.src_port;
+    rst.flags = pkt::kTcpRst | pkt::kTcpAck;
+    rst.seq = seg.has_ack() ? seg.ack : 0;
+    rst.ack = seg.seq + (seg.syn() ? 1 : 0) +
+              static_cast<std::uint32_t>(seg.payload.size());
+    send_tcp(src, rst);
+  }
+}
+
+}  // namespace gq::net

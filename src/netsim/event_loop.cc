@@ -1,0 +1,44 @@
+#include "netsim/event_loop.h"
+
+namespace gq::sim {
+
+EventId EventLoop::schedule_at(util::TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void EventLoop::cancel(EventId id) { cancelled_.insert(id); }
+
+bool EventLoop::step(util::TimePoint deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().at > deadline) return false;
+    // Entries are popped by copy because priority_queue::top is const;
+    // the function object is small (usually a lambda with a few captures).
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.at;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run_until(util::TimePoint deadline) {
+  while (step(deadline)) {
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventLoop::run_all() {
+  while (step(util::TimePoint{INT64_MAX})) {
+  }
+}
+
+}  // namespace gq::sim

@@ -1,0 +1,38 @@
+#include "netsim/port.h"
+
+namespace gq::sim {
+
+void Port::connect(Port& a, Port& b, util::Duration latency) {
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.latency_ = latency;
+  b.latency_ = latency;
+}
+
+void Port::set_loss(double probability, std::uint64_t seed) {
+  loss_probability_ = probability;
+  loss_rng_.reseed(seed);
+}
+
+void Port::transmit(Frame frame) {
+  ++tx_frames_;
+  if (peer_ == nullptr) {
+    ++dropped_;
+    return;
+  }
+  if (loss_probability_ > 0.0 && loss_rng_.chance(loss_probability_)) {
+    ++dropped_;
+    return;
+  }
+  Port* peer = peer_;
+  loop_.schedule_in(latency_, [peer, frame = std::move(frame)]() mutable {
+    peer->deliver(std::move(frame));
+  });
+}
+
+void Port::deliver(Frame frame) {
+  ++rx_frames_;
+  if (rx_) rx_(std::move(frame));
+}
+
+}  // namespace gq::sim

@@ -1,0 +1,72 @@
+// Link-layer plumbing of the simulator: a Port is one end of a
+// point-to-point cable; connecting two ports creates a full-duplex link
+// with a fixed propagation latency. Frames are raw Ethernet bytes —
+// the switch and the gateway both operate on the real wire encoding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netsim/event_loop.h"
+#include "util/rng.h"
+
+namespace gq::sim {
+
+/// One Ethernet frame on the wire.
+struct Frame {
+  std::vector<std::uint8_t> bytes;
+};
+
+/// One end of a point-to-point link. Owned by the device it belongs to
+/// (switch, host NIC, gateway interface); devices must outlive the loop's
+/// pending events, which holds in practice because the farm owns
+/// everything and drains the loop before teardown.
+class Port {
+ public:
+  using RxHandler = std::function<void(Frame)>;
+
+  Port(EventLoop& loop, std::string name)
+      : loop_(loop), name_(std::move(name)) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  /// Install the receive handler invoked for each frame arriving here.
+  void set_rx(RxHandler handler) { rx_ = std::move(handler); }
+
+  /// Wire two ports together with the given one-way latency.
+  static void connect(Port& a, Port& b, util::Duration latency);
+
+  /// Queue a frame for delivery to the peer after the link latency.
+  /// Frames transmitted on an unconnected port are counted and dropped.
+  void transmit(Frame frame);
+
+  /// Inject random frame loss on this port's transmit side (tests of
+  /// retransmission behaviour). Probability 0 disables (the default).
+  void set_loss(double probability, std::uint64_t seed);
+
+  [[nodiscard]] bool connected() const { return peer_ != nullptr; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t tx_frames() const { return tx_frames_; }
+  [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
+  [[nodiscard]] std::uint64_t dropped_frames() const { return dropped_; }
+
+ private:
+  void deliver(Frame frame);
+
+  EventLoop& loop_;
+  std::string name_;
+  Port* peer_ = nullptr;
+  util::Duration latency_{};
+  RxHandler rx_;
+  double loss_probability_ = 0.0;
+  util::Rng loss_rng_{0};
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace gq::sim

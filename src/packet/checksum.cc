@@ -1,0 +1,40 @@
+#include "packet/checksum.h"
+
+namespace gq::pkt {
+
+namespace {
+
+std::uint32_t sum_words(std::span<const std::uint8_t> data,
+                        std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    acc += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i]) << 8;
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc);
+}
+
+}  // namespace
+
+std::uint16_t checksum(std::span<const std::uint8_t> data) {
+  return fold(sum_words(data, 0));
+}
+
+std::uint16_t l4_checksum(util::Ipv4Addr src, util::Ipv4Addr dst,
+                          std::uint8_t protocol,
+                          std::span<const std::uint8_t> segment) {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xFFFF;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xFFFF;
+  acc += protocol;
+  acc += static_cast<std::uint32_t>(segment.size());
+  return fold(sum_words(segment, acc));
+}
+
+}  // namespace gq::pkt

@@ -1,0 +1,21 @@
+// RFC 1071 Internet checksum, plus the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/addr.h"
+
+namespace gq::pkt {
+
+/// One's-complement sum of 16-bit words over `data` (odd trailing byte
+/// padded with zero), folded and complemented.
+std::uint16_t checksum(std::span<const std::uint8_t> data);
+
+/// Checksum of a TCP or UDP segment including the IPv4 pseudo-header
+/// (src, dst, zero, protocol, length).
+std::uint16_t l4_checksum(util::Ipv4Addr src, util::Ipv4Addr dst,
+                          std::uint8_t protocol,
+                          std::span<const std::uint8_t> segment);
+
+}  // namespace gq::pkt

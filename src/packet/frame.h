@@ -1,0 +1,73 @@
+// Whole-frame decode/encode and the flow-key abstraction the gateway's
+// flow table is keyed on. A DecodedFrame is a fully owned, mutable
+// representation of one Ethernet frame; the gateway decodes, rewrites
+// fields, and re-encodes (checksums recomputed), which keeps all header
+// surgery type-safe instead of offset-based.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "packet/headers.h"
+#include "util/addr.h"
+
+namespace gq::pkt {
+
+/// A fully decoded Ethernet frame. Exactly one of `arp`, or (`ip` plus at
+/// most one of `tcp`/`udp`/`icmp`), is populated depending on ethertype
+/// and protocol. Unrecognized payloads are preserved verbatim in
+/// `ip->payload` so the gateway can forward protocols it does not parse.
+struct DecodedFrame {
+  EthHeader eth;
+  std::optional<ArpMessage> arp;
+  std::optional<Ipv4Packet> ip;
+  std::optional<TcpSegment> tcp;
+  std::optional<UdpDatagram> udp;
+  std::optional<IcmpMessage> icmp;
+
+  [[nodiscard]] bool is_arp() const { return arp.has_value(); }
+  [[nodiscard]] bool is_tcp() const { return tcp.has_value(); }
+  [[nodiscard]] bool is_udp() const { return udp.has_value(); }
+
+  /// L4 source/destination ports (0 for non-TCP/UDP).
+  [[nodiscard]] std::uint16_t src_port() const;
+  [[nodiscard]] std::uint16_t dst_port() const;
+
+  /// Re-encode to wire bytes. L4 payload containers are authoritative:
+  /// when `tcp`/`udp`/`icmp` is set, `ip->payload` is regenerated from it.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// One-line human summary for logs ("10.0.0.23:1234 > 1.2.3.4:80 TCP S").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Decode raw frame bytes. Returns nullopt if the Ethernet header is
+/// malformed; higher layers that fail to parse simply stay unset (the
+/// raw bytes remain available through `ip->payload` when IPv4 parsed).
+std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Transport protocol of a flow, for flow-table keying.
+enum class FlowProto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+/// Directional 5-tuple identifying a flow as seen on the inmate network.
+/// The gateway keys flow state on the *initiator-oriented* tuple.
+struct FlowKey {
+  FlowProto proto = FlowProto::kTcp;
+  util::Endpoint src;
+  util::Endpoint dst;
+
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  /// The same flow seen from the opposite direction.
+  [[nodiscard]] FlowKey reversed() const { return {proto, dst, src}; }
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Extract a FlowKey from a decoded TCP/UDP frame (nullopt otherwise).
+std::optional<FlowKey> flow_key_of(const DecodedFrame& frame);
+
+}  // namespace gq::pkt

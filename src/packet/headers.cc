@@ -1,0 +1,251 @@
+#include "packet/headers.h"
+
+#include "packet/checksum.h"
+#include "util/bytes.h"
+
+namespace gq::pkt {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+void write_mac(ByteWriter& w, util::MacAddr mac) {
+  w.bytes(std::span<const std::uint8_t>(mac.bytes().data(), 6));
+}
+
+util::MacAddr read_mac(ByteReader& r) {
+  auto b = r.bytes(6);
+  std::array<std::uint8_t, 6> arr;
+  std::copy(b.begin(), b.end(), arr.begin());
+  return util::MacAddr(arr);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_eth(
+    const EthHeader& eth, std::span<const std::uint8_t> payload) {
+  ByteWriter w(18 + payload.size());
+  write_mac(w, eth.dst);
+  write_mac(w, eth.src);
+  if (eth.vlan) {
+    w.u16(kEtherTypeVlan);
+    w.u16(*eth.vlan & 0x0FFF);  // PCP/DEI zero.
+  }
+  w.u16(eth.ethertype);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame,
+                                   std::span<const std::uint8_t>* payload) {
+  try {
+    ByteReader r(frame);
+    EthHeader eth;
+    eth.dst = read_mac(r);
+    eth.src = read_mac(r);
+    std::uint16_t type = r.u16();
+    if (type == kEtherTypeVlan) {
+      eth.vlan = r.u16() & 0x0FFF;
+      type = r.u16();
+    }
+    eth.ethertype = type;
+    if (payload) *payload = r.rest();
+    return eth;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> serialize_arp(const ArpMessage& arp) {
+  ByteWriter w(28);
+  w.u16(1);                       // HTYPE: Ethernet.
+  w.u16(kEtherTypeIpv4);          // PTYPE: IPv4.
+  w.u8(6);                        // HLEN.
+  w.u8(4);                        // PLEN.
+  w.u16(static_cast<std::uint16_t>(arp.op));
+  write_mac(w, arp.sender_mac);
+  w.u32(arp.sender_ip.value());
+  write_mac(w, arp.target_mac);
+  w.u32(arp.target_ip.value());
+  return w.take();
+}
+
+std::optional<ArpMessage> parse_arp(std::span<const std::uint8_t> data) {
+  try {
+    ByteReader r(data);
+    if (r.u16() != 1 || r.u16() != kEtherTypeIpv4) return std::nullopt;
+    if (r.u8() != 6 || r.u8() != 4) return std::nullopt;
+    ArpMessage arp;
+    const std::uint16_t op = r.u16();
+    if (op != 1 && op != 2) return std::nullopt;
+    arp.op = static_cast<ArpMessage::Op>(op);
+    arp.sender_mac = read_mac(r);
+    arp.sender_ip = util::Ipv4Addr(r.u32());
+    arp.target_mac = read_mac(r);
+    arp.target_ip = util::Ipv4Addr(r.u32());
+    return arp;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> serialize_ipv4(const Ipv4Packet& ip) {
+  ByteWriter w(20 + ip.payload.size());
+  w.u8(0x45);  // Version 4, IHL 5.
+  w.u8(0);     // DSCP/ECN.
+  w.u16(static_cast<std::uint16_t>(20 + ip.payload.size()));
+  w.u16(ip.ident);
+  w.u16(0);  // Flags/fragment offset: never fragmented by the simulator.
+  w.u8(ip.ttl);
+  w.u8(ip.protocol);
+  w.u16(0);  // Checksum placeholder.
+  w.u32(ip.src.value());
+  w.u32(ip.dst.value());
+  const std::uint16_t csum = checksum(w.view().subspan(0, 20));
+  w.patch_u16(10, csum);
+  w.bytes(ip.payload);
+  return w.take();
+}
+
+std::optional<Ipv4Packet> parse_ipv4(std::span<const std::uint8_t> data,
+                                     bool verify_checksum) {
+  try {
+    ByteReader r(data);
+    const std::uint8_t ver_ihl = r.u8();
+    if ((ver_ihl >> 4) != 4) return std::nullopt;
+    const std::size_t header_len = (ver_ihl & 0x0F) * 4u;
+    if (header_len < 20 || data.size() < header_len) return std::nullopt;
+    r.skip(1);  // DSCP.
+    const std::uint16_t total_len = r.u16();
+    if (total_len < header_len || total_len > data.size())
+      return std::nullopt;
+    Ipv4Packet ip;
+    ip.ident = r.u16();
+    r.skip(2);  // Flags/fragment.
+    ip.ttl = r.u8();
+    ip.protocol = r.u8();
+    r.skip(2);  // Checksum (verified over the whole header below).
+    ip.src = util::Ipv4Addr(r.u32());
+    ip.dst = util::Ipv4Addr(r.u32());
+    if (verify_checksum && checksum(data.subspan(0, header_len)) != 0)
+      return std::nullopt;
+    ip.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(header_len),
+                      data.begin() + total_len);
+    return ip;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> serialize_tcp(util::Ipv4Addr src, util::Ipv4Addr dst,
+                                        const TcpSegment& tcp) {
+  ByteWriter w(20 + tcp.payload.size());
+  w.u16(tcp.src_port);
+  w.u16(tcp.dst_port);
+  w.u32(tcp.seq);
+  w.u32(tcp.ack);
+  w.u8(0x50);  // Data offset 5 words, no options.
+  w.u8(tcp.flags);
+  w.u16(tcp.window);
+  w.u16(0);  // Checksum placeholder.
+  w.u16(0);  // Urgent pointer.
+  w.bytes(tcp.payload);
+  const std::uint16_t csum = l4_checksum(src, dst, kProtoTcp, w.view());
+  w.patch_u16(16, csum);
+  return w.take();
+}
+
+std::optional<TcpSegment> parse_tcp(util::Ipv4Addr src, util::Ipv4Addr dst,
+                                    std::span<const std::uint8_t> data,
+                                    bool verify_checksum) {
+  try {
+    if (verify_checksum && l4_checksum(src, dst, kProtoTcp, data) != 0)
+      return std::nullopt;
+    ByteReader r(data);
+    TcpSegment tcp;
+    tcp.src_port = r.u16();
+    tcp.dst_port = r.u16();
+    tcp.seq = r.u32();
+    tcp.ack = r.u32();
+    const std::uint8_t offset_words = r.u8() >> 4;
+    const std::size_t header_len = offset_words * 4u;
+    if (header_len < 20 || header_len > data.size()) return std::nullopt;
+    tcp.flags = r.u8();
+    tcp.window = r.u16();
+    r.skip(4);  // Checksum + urgent pointer.
+    auto payload = data.subspan(header_len);
+    tcp.payload.assign(payload.begin(), payload.end());
+    return tcp;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> serialize_udp(util::Ipv4Addr src, util::Ipv4Addr dst,
+                                        const UdpDatagram& udp) {
+  ByteWriter w(8 + udp.payload.size());
+  w.u16(udp.src_port);
+  w.u16(udp.dst_port);
+  w.u16(static_cast<std::uint16_t>(8 + udp.payload.size()));
+  w.u16(0);  // Checksum placeholder.
+  w.bytes(udp.payload);
+  std::uint16_t csum = l4_checksum(src, dst, kProtoUdp, w.view());
+  if (csum == 0) csum = 0xFFFF;  // RFC 768: zero is "no checksum".
+  w.patch_u16(6, csum);
+  return w.take();
+}
+
+std::optional<UdpDatagram> parse_udp(util::Ipv4Addr src, util::Ipv4Addr dst,
+                                     std::span<const std::uint8_t> data,
+                                     bool verify_checksum) {
+  try {
+    ByteReader r(data);
+    UdpDatagram udp;
+    udp.src_port = r.u16();
+    udp.dst_port = r.u16();
+    const std::uint16_t len = r.u16();
+    if (len < 8 || len > data.size()) return std::nullopt;
+    const std::uint16_t wire_csum = r.u16();
+    if (verify_checksum && wire_csum != 0 &&
+        l4_checksum(src, dst, kProtoUdp, data.subspan(0, len)) != 0)
+      return std::nullopt;
+    auto payload = data.subspan(8, len - 8);
+    udp.payload.assign(payload.begin(), payload.end());
+    return udp;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> serialize_icmp(const IcmpMessage& icmp) {
+  ByteWriter w(8 + icmp.payload.size());
+  w.u8(icmp.type);
+  w.u8(icmp.code);
+  w.u16(0);  // Checksum placeholder.
+  w.u16(icmp.ident);
+  w.u16(icmp.sequence);
+  w.bytes(icmp.payload);
+  w.patch_u16(2, checksum(w.view()));
+  return w.take();
+}
+
+std::optional<IcmpMessage> parse_icmp(std::span<const std::uint8_t> data) {
+  try {
+    if (checksum(data) != 0) return std::nullopt;
+    ByteReader r(data);
+    IcmpMessage icmp;
+    icmp.type = r.u8();
+    icmp.code = r.u8();
+    r.skip(2);
+    icmp.ident = r.u16();
+    icmp.sequence = r.u16();
+    auto payload = r.rest();
+    icmp.payload.assign(payload.begin(), payload.end());
+    return icmp;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace gq::pkt

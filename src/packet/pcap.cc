@@ -1,0 +1,77 @@
+#include "packet/pcap.h"
+
+#include <cstdio>
+
+namespace gq::pkt {
+
+namespace {
+
+// pcap files are conventionally little-endian with magic 0xA1B2C3D4.
+void put_u16le(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter() {
+  put_u32le(buf_, 0xA1B2C3D4u);  // Magic (microsecond timestamps).
+  put_u16le(buf_, 2);            // Version major.
+  put_u16le(buf_, 4);            // Version minor.
+  put_u32le(buf_, 0);            // Timezone offset.
+  put_u32le(buf_, 0);            // Timestamp accuracy.
+  put_u32le(buf_, 65535);        // Snap length.
+  put_u32le(buf_, 1);            // LINKTYPE_ETHERNET.
+}
+
+void PcapWriter::record(util::TimePoint at,
+                        std::span<const std::uint8_t> frame) {
+  const auto usec_total = static_cast<std::uint64_t>(at.usec);
+  put_u32le(buf_, static_cast<std::uint32_t>(usec_total / 1'000'000));
+  put_u32le(buf_, static_cast<std::uint32_t>(usec_total % 1'000'000));
+  put_u32le(buf_, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(buf_, static_cast<std::uint32_t>(frame.size()));
+  buf_.insert(buf_.end(), frame.begin(), frame.end());
+  ++packet_count_;
+}
+
+std::vector<PcapRecord> parse_pcap(std::span<const std::uint8_t> data) {
+  std::vector<PcapRecord> records;
+  auto u32le = [&](std::size_t at) -> std::uint32_t {
+    return data[at] | (data[at + 1] << 8) | (data[at + 2] << 16) |
+           (static_cast<std::uint32_t>(data[at + 3]) << 24);
+  };
+  if (data.size() < 24 || u32le(0) != 0xA1B2C3D4u) return records;
+  std::size_t at = 24;
+  while (at + 16 <= data.size()) {
+    const std::uint64_t sec = u32le(at);
+    const std::uint64_t usec = u32le(at + 4);
+    const std::uint32_t len = u32le(at + 8);
+    at += 16;
+    if (at + len > data.size()) break;
+    PcapRecord record;
+    record.time.usec = static_cast<std::int64_t>(sec * 1'000'000 + usec);
+    record.frame.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                        data.begin() + static_cast<std::ptrdiff_t>(at + len));
+    records.push_back(std::move(record));
+    at += len;
+  }
+  return records;
+}
+
+bool PcapWriter::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gq::pkt

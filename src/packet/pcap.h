@@ -1,0 +1,49 @@
+// In-memory pcap trace recorder (§5.6): GQ records one trace per subfarm
+// at the packet router (inmate-network perspective, RFC 1918 addresses)
+// and a global trace at the upstream interface. Traces accumulate in
+// memory (simulation scale) and can be saved as standard libpcap files.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace gq::pkt {
+
+/// Writes LINKTYPE_ETHERNET pcap records with microsecond timestamps.
+class PcapWriter {
+ public:
+  PcapWriter();
+
+  /// Append one frame captured at simulated time `at`.
+  void record(util::TimePoint at, std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] std::size_t packet_count() const { return packet_count_; }
+
+  /// The complete pcap file contents (header + records).
+  [[nodiscard]] std::span<const std::uint8_t> contents() const {
+    return buf_;
+  }
+
+  /// Write the trace to a file; returns false on I/O error.
+  bool save(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t packet_count_ = 0;
+};
+
+/// One record read back from a pcap buffer.
+struct PcapRecord {
+  util::TimePoint time;
+  std::vector<std::uint8_t> frame;
+};
+
+/// Parse a pcap buffer (as produced by PcapWriter) back into records.
+/// Returns an empty vector on malformed input.
+std::vector<PcapRecord> parse_pcap(std::span<const std::uint8_t> data);
+
+}  // namespace gq::pkt

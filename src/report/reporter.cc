@@ -1,0 +1,207 @@
+#include "report/reporter.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace gq::rep {
+
+void Reporter::on_flow_event(const gw::FlowEvent& event) {
+  auto& subfarm = subfarms_[event.subfarm];
+  if (event.kind == gw::FlowEvent::Kind::kSafetyReject) {
+    ++subfarm.safety_rejections;
+    return;
+  }
+  if (event.kind != gw::FlowEvent::Kind::kVerdict) return;
+  auto& inmate = subfarm.inmates[event.vlan];
+  if (!event.policy_name.empty() && event.policy_name != "DefaultDeny")
+    inmate.policy_name = event.policy_name;
+  auto& group = inmate.groups[GroupKey{event.verdict, event.annotation}];
+  ++group.flows;
+  ++group.by_target[event.orig_dst];
+}
+
+void Reporter::on_cs_event(const std::string& subfarm,
+                           const cs::CsEvent& event) {
+  switch (event.kind) {
+    case cs::CsEvent::Kind::kInfectionServed: {
+      ++infections_;
+      auto& inmate = subfarms_[subfarm].inmates[event.vlan];
+      inmate.infections.emplace_back(event.sample_name, event.sample_md5);
+      break;
+    }
+    case cs::CsEvent::Kind::kTriggerFired:
+      ++trigger_firings_;
+      break;
+    case cs::CsEvent::Kind::kFlowDecision:
+      break;  // The gateway-side verdict event carries the same facts.
+  }
+}
+
+void Reporter::register_subfarm(gw::SubfarmRouter* subfarm) {
+  routers_.push_back(subfarm);
+}
+
+void Reporter::register_smtp_sink(const std::string& subfarm_name,
+                                  sinks::SmtpSink* sink) {
+  smtp_sinks_[subfarm_name] = sink;
+}
+
+std::string Reporter::port_name(std::uint16_t port) {
+  switch (port) {
+    case 25: return "smtp";
+    case 80: return "http";
+    case 443: return "https";
+    case 53: return "dns";
+    case 21: return "ftp";
+    case 6667: return "irc";
+    default: return std::to_string(port);
+  }
+}
+
+std::string Reporter::render(util::TimePoint now) const {
+  std::string out;
+  out += "Inmate Activity\n";
+  out += "===============\n\n";
+  out += util::format("Report time: %s\n\n",
+                      util::format_duration(now - util::TimePoint{}).c_str());
+
+  out += "Active subfarms:";
+  bool first = true;
+  for (const auto& [name, subfarm] : subfarms_) {
+    out += (first ? " " : ", ") + name;
+    first = false;
+  }
+  out += "\n";
+
+  for (const auto& [name, subfarm] : subfarms_) {
+    out += util::format("\nSubfarm '%s'\n", name.c_str());
+    out += std::string(56, '-') + "\n";
+
+    // Resolve the router for address lookups.
+    gw::SubfarmRouter* router = nullptr;
+    for (auto* candidate : routers_)
+      if (candidate->config().name == name) router = candidate;
+
+    for (const auto& [vlan, inmate] : subfarm.inmates) {
+      std::string addresses = "-/-";
+      util::Ipv4Addr internal_addr;
+      if (router) {
+        if (const auto* binding = router->inmates().by_vlan(vlan)) {
+          addresses = binding->global_addr.str() + "/" +
+                      binding->internal_addr.str();
+          internal_addr = binding->internal_addr;
+        }
+      }
+      out += util::format(
+          "\n%s [%s, VLAN %u]\n",
+          inmate.policy_name.empty() ? "(unnamed)"
+                                     : inmate.policy_name.c_str(),
+          addresses.c_str(), vlan);
+      out += std::string(52, '-') + "\n";
+
+      shim::Verdict last_verdict = shim::Verdict::kDrop;
+      bool verdict_printed = false;
+      for (const auto& [key, stats] : inmate.groups) {
+        if (!verdict_printed || key.verdict != last_verdict) {
+          out += util::format("%s\n", shim::verdict_name(key.verdict));
+          last_verdict = key.verdict;
+          verdict_printed = true;
+        }
+        // Target display: the single target, or a wildcard when spread.
+        std::string target = "*.*.*.*";
+        std::string port = "?";
+        if (!stats.by_target.empty()) {
+          port = port_name(stats.by_target.begin()->first.port);
+          if (stats.by_target.size() == 1)
+            target = stats.by_target.begin()->first.addr.str();
+        }
+        out += util::format("- %-34s target %-18s %-6s #flows %llu\n",
+                            key.annotation.c_str(), target.c_str(),
+                            port.c_str(),
+                            static_cast<unsigned long long>(stats.flows));
+      }
+      for (const auto& [sample, md5] : inmate.infections) {
+        out += util::format("  autoinfection %s %s\n", md5.c_str(),
+                            sample.c_str());
+      }
+      // SMTP statistics from the subfarm's sink, by internal address.
+      if (auto sink_it = smtp_sinks_.find(name);
+          sink_it != smtp_sinks_.end() &&
+          !internal_addr.is_unspecified()) {
+        const auto& by_source = sink_it->second->by_source();
+        if (auto stats = by_source.find(internal_addr);
+            stats != by_source.end()) {
+          out += util::format(
+              "\nSMTP sessions       %llu\nSMTP DATA transfers %llu\n",
+              static_cast<unsigned long long>(stats->second.sessions),
+              static_cast<unsigned long long>(
+                  stats->second.data_transfers));
+        }
+      }
+      // Blacklist verification (§6.5: "we check all global IP addresses
+      // currently used by inmates against relevant IP blacklists").
+      if (cbl_ && router) {
+        if (const auto* binding = router->inmates().by_vlan(vlan)) {
+          if (cbl_->is_listed(binding->global_addr)) {
+            out += util::format(
+                "!! WARNING: inmate global address %s is BLACKLISTED — "
+                "possible containment failure\n",
+                binding->global_addr.str().c_str());
+          }
+        }
+      }
+    }
+    if (subfarm.safety_rejections > 0) {
+      out += util::format(
+          "\nSafety filter rejections: %llu\n",
+          static_cast<unsigned long long>(subfarm.safety_rejections));
+    }
+  }
+  return out;
+}
+
+void Reporter::enable_rotation(sim::EventLoop& loop,
+                               util::Duration interval) {
+  loop.schedule_in(interval, [this, &loop, interval] {
+    rotated_.push_back(render(loop.now()));
+    enable_rotation(loop, interval);
+  });
+}
+
+std::map<shim::Verdict, std::uint64_t> Reporter::verdict_totals() const {
+  std::map<shim::Verdict, std::uint64_t> totals;
+  for (const auto& [name, subfarm] : subfarms_) {
+    for (const auto& [vlan, inmate] : subfarm.inmates) {
+      for (const auto& [key, stats] : inmate.groups)
+        totals[key.verdict] += stats.flows;
+    }
+  }
+  return totals;
+}
+
+std::uint64_t Reporter::flows(const std::string& subfarm, std::uint16_t vlan,
+                              shim::Verdict verdict) const {
+  auto subfarm_it = subfarms_.find(subfarm);
+  if (subfarm_it == subfarms_.end()) return 0;
+  auto inmate_it = subfarm_it->second.inmates.find(vlan);
+  if (inmate_it == subfarm_it->second.inmates.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [key, stats] : inmate_it->second.groups)
+    if (key.verdict == verdict) total += stats.flows;
+  return total;
+}
+
+std::vector<util::Ipv4Addr> Reporter::blacklisted_inmates() const {
+  std::vector<util::Ipv4Addr> out;
+  if (!cbl_) return out;
+  for (auto* router : routers_) {
+    for (const auto& [vlan, binding] : router->inmates().bindings()) {
+      if (cbl_->is_listed(binding.global_addr))
+        out.push_back(binding.global_addr);
+    }
+  }
+  return out;
+}
+
+}  // namespace gq::rep

@@ -1,0 +1,102 @@
+// Reporting and monitoring (paper §6.5): the Bro role. The reporter
+// taps the gateway's per-flow event stream (the shim-protocol analyzer)
+// and the containment server's decision/infection/trigger events, pulls
+// SMTP session statistics from the sinks, cross-checks inmate global
+// addresses against external blacklists, and renders periodic activity
+// reports in the paper's Figure 7 format — broken down by subfarm,
+// inmate, and containment decision, so an operator can verify that the
+// gateway enforces decisions as expected ("an unusual number of FORWARD
+// verdicts might indicate a bug in the policy").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "containment/server.h"
+#include "extnet/extnet.h"
+#include "gateway/flow.h"
+#include "gateway/router.h"
+#include "netsim/event_loop.h"
+#include "sinks/smtp_sink.h"
+
+namespace gq::rep {
+
+class Reporter {
+ public:
+  /// Event-ingestion hooks — wire to Gateway::set_event_handler and
+  /// ContainmentServer::set_event_handler.
+  void on_flow_event(const gw::FlowEvent& event);
+  void on_cs_event(const std::string& subfarm, const cs::CsEvent& event);
+
+  /// Registration for render-time lookups.
+  void register_subfarm(gw::SubfarmRouter* subfarm);
+  void register_smtp_sink(const std::string& subfarm_name,
+                          sinks::SmtpSink* sink);
+  void set_blacklist(const ext::Cbl* cbl) { cbl_ = cbl; }
+
+  /// Render the Figure 7 style activity report.
+  [[nodiscard]] std::string render(util::TimePoint now) const;
+
+  /// Enable periodic report rotation ("hourly and daily basis").
+  void enable_rotation(sim::EventLoop& loop, util::Duration interval);
+  [[nodiscard]] const std::vector<std::string>& rotated_reports() const {
+    return rotated_;
+  }
+
+  // --- Structured access (tests / verification) -----------------------
+
+  /// Flow counts per verdict across the whole farm — the containment
+  /// verification signal the paper describes.
+  [[nodiscard]] std::map<shim::Verdict, std::uint64_t> verdict_totals()
+      const;
+
+  /// Flow count for (subfarm, vlan, verdict, annotation).
+  [[nodiscard]] std::uint64_t flows(const std::string& subfarm,
+                                    std::uint16_t vlan,
+                                    shim::Verdict verdict) const;
+
+  /// Inmate global addresses currently blacklisted (containment-failure
+  /// alarm, §7.1 "mysterious blacklisting").
+  [[nodiscard]] std::vector<util::Ipv4Addr> blacklisted_inmates() const;
+
+  [[nodiscard]] std::uint64_t trigger_firings() const {
+    return trigger_firings_;
+  }
+  [[nodiscard]] std::uint64_t infections_served() const {
+    return infections_;
+  }
+
+ private:
+  struct GroupKey {
+    shim::Verdict verdict;
+    std::string annotation;
+    friend auto operator<=>(const GroupKey&, const GroupKey&) = default;
+  };
+  struct GroupStats {
+    std::uint64_t flows = 0;
+    std::map<util::Endpoint, std::uint64_t> by_target;
+  };
+  struct InmateReport {
+    std::string policy_name;  // Most recent non-default policy.
+    std::map<GroupKey, GroupStats> groups;
+    std::vector<std::pair<std::string, std::string>> infections;  // name,md5
+  };
+  struct SubfarmReport {
+    std::map<std::uint16_t, InmateReport> inmates;
+    std::uint64_t safety_rejections = 0;
+  };
+
+  static std::string port_name(std::uint16_t port);
+
+  std::map<std::string, SubfarmReport> subfarms_;
+  std::vector<gw::SubfarmRouter*> routers_;
+  std::map<std::string, sinks::SmtpSink*> smtp_sinks_;
+  const ext::Cbl* cbl_ = nullptr;
+  std::vector<std::string> rotated_;
+  std::uint64_t trigger_firings_ = 0;
+  std::uint64_t infections_ = 0;
+};
+
+}  // namespace gq::rep

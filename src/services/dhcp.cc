@@ -1,0 +1,264 @@
+#include "services/dhcp.h"
+
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace gq::svc {
+
+namespace {
+
+constexpr const char* kLog = "dhcp";
+constexpr std::uint32_t kDhcpMagic = 0x63825363;
+constexpr std::uint8_t kOptSubnetMask = 1;
+constexpr std::uint8_t kOptRouter = 3;
+constexpr std::uint8_t kOptDns = 6;
+constexpr std::uint8_t kOptRequestedIp = 50;
+constexpr std::uint8_t kOptMessageType = 53;
+constexpr std::uint8_t kOptServerId = 54;
+constexpr std::uint8_t kOptEnd = 255;
+
+void put_addr_option(util::ByteWriter& w, std::uint8_t code,
+                     util::Ipv4Addr addr) {
+  w.u8(code);
+  w.u8(4);
+  w.u32(addr.value());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> DhcpMessage::encode() const {
+  util::ByteWriter w(300);
+  w.u8(is_reply ? 2 : 1);  // op
+  w.u8(1);                 // htype: Ethernet
+  w.u8(6);                 // hlen
+  w.u8(0);                 // hops
+  w.u32(xid);
+  w.u16(0);       // secs
+  w.u16(0x8000);  // flags: broadcast
+  w.u32(ciaddr.value());
+  w.u32(yiaddr.value());
+  w.u32(0);  // siaddr
+  w.u32(0);  // giaddr
+  w.bytes(std::span<const std::uint8_t>(client_mac.bytes().data(), 6));
+  w.zeros(10);   // chaddr padding
+  w.zeros(64);   // sname
+  w.zeros(128);  // file
+  w.u32(kDhcpMagic);
+  w.u8(kOptMessageType);
+  w.u8(1);
+  w.u8(static_cast<std::uint8_t>(type));
+  if (requested_ip) put_addr_option(w, kOptRequestedIp, *requested_ip);
+  if (server_id) put_addr_option(w, kOptServerId, *server_id);
+  if (subnet_mask) put_addr_option(w, kOptSubnetMask, *subnet_mask);
+  if (router) put_addr_option(w, kOptRouter, *router);
+  if (dns) put_addr_option(w, kOptDns, *dns);
+  w.u8(kOptEnd);
+  return w.take();
+}
+
+std::optional<DhcpMessage> DhcpMessage::parse(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    DhcpMessage msg;
+    const std::uint8_t op = r.u8();
+    if (op != 1 && op != 2) return std::nullopt;
+    msg.is_reply = (op == 2);
+    if (r.u8() != 1 || r.u8() != 6) return std::nullopt;
+    r.skip(1);  // hops
+    msg.xid = r.u32();
+    r.skip(4);  // secs + flags
+    msg.ciaddr = util::Ipv4Addr(r.u32());
+    msg.yiaddr = util::Ipv4Addr(r.u32());
+    r.skip(8);  // siaddr + giaddr
+    auto mac_bytes = r.bytes(6);
+    std::array<std::uint8_t, 6> arr;
+    std::copy(mac_bytes.begin(), mac_bytes.end(), arr.begin());
+    msg.client_mac = util::MacAddr(arr);
+    r.skip(10 + 64 + 128);
+    if (r.u32() != kDhcpMagic) return std::nullopt;
+    while (r.remaining() > 0) {
+      const std::uint8_t code = r.u8();
+      if (code == kOptEnd) break;
+      if (code == 0) continue;  // Pad.
+      const std::uint8_t len = r.u8();
+      auto value = r.bytes(len);
+      auto as_addr = [&]() -> std::optional<util::Ipv4Addr> {
+        if (len != 4) return std::nullopt;
+        return util::Ipv4Addr((std::uint32_t{value[0]} << 24) |
+                              (std::uint32_t{value[1]} << 16) |
+                              (std::uint32_t{value[2]} << 8) |
+                              std::uint32_t{value[3]});
+      };
+      switch (code) {
+        case kOptMessageType:
+          if (len == 1) msg.type = static_cast<DhcpType>(value[0]);
+          break;
+        case kOptRequestedIp: msg.requested_ip = as_addr(); break;
+        case kOptServerId: msg.server_id = as_addr(); break;
+        case kOptSubnetMask: msg.subnet_mask = as_addr(); break;
+        case kOptRouter: msg.router = as_addr(); break;
+        case kOptDns: msg.dns = as_addr(); break;
+        default: break;
+      }
+    }
+    return msg;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+DhcpPool::DhcpPool(DhcpLeaseConfig config, std::uint32_t first,
+                   std::uint32_t last)
+    : config_(config), first_(first), last_(last) {}
+
+std::optional<util::Ipv4Addr> DhcpPool::allocate(util::MacAddr mac) {
+  if (auto it = by_mac_.find(mac); it != by_mac_.end()) return it->second;
+  for (std::uint32_t i = first_; i <= last_; ++i) {
+    const util::Ipv4Addr candidate = config_.subnet.host(i);
+    if (!by_addr_.count(candidate)) {
+      by_mac_[mac] = candidate;
+      by_addr_[candidate] = mac;
+      return candidate;
+    }
+  }
+  return std::nullopt;  // Pool exhausted.
+}
+
+std::optional<DhcpMessage> DhcpPool::handle(const DhcpMessage& request) {
+  if (request.is_reply) return std::nullopt;
+  DhcpMessage reply;
+  reply.is_reply = true;
+  reply.xid = request.xid;
+  reply.client_mac = request.client_mac;
+  reply.server_id = config_.server_id;
+  reply.subnet_mask = util::Ipv4Addr(config_.subnet.mask());
+  reply.router = config_.router;
+  reply.dns = config_.dns;
+
+  switch (request.type) {
+    case DhcpType::kDiscover: {
+      auto addr = allocate(request.client_mac);
+      if (!addr) {
+        GQ_WARN(kLog, "pool exhausted for %s",
+                request.client_mac.str().c_str());
+        return std::nullopt;
+      }
+      reply.type = DhcpType::kOffer;
+      reply.yiaddr = *addr;
+      return reply;
+    }
+    case DhcpType::kRequest: {
+      auto bound = lease_of(request.client_mac);
+      const auto wanted = request.requested_ip
+                              ? request.requested_ip
+                              : std::optional<util::Ipv4Addr>(request.ciaddr);
+      if (bound && wanted && *bound == *wanted) {
+        reply.type = DhcpType::kAck;
+        reply.yiaddr = *bound;
+      } else {
+        reply.type = DhcpType::kNak;
+      }
+      return reply;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<util::Ipv4Addr> DhcpPool::lease_of(util::MacAddr mac) const {
+  if (auto it = by_mac_.find(mac); it != by_mac_.end()) return it->second;
+  return std::nullopt;
+}
+
+void DhcpPool::release(util::MacAddr mac) {
+  if (auto it = by_mac_.find(mac); it != by_mac_.end()) {
+    by_addr_.erase(it->second);
+    by_mac_.erase(it);
+  }
+}
+
+DhcpServer::DhcpServer(net::HostStack& stack, DhcpPool pool)
+    : stack_(stack), pool_(std::move(pool)) {
+  sock_ = stack_.udp_open(67);
+  sock_->on_datagram = [this](util::Endpoint,
+                              std::vector<std::uint8_t> data) {
+    auto request = DhcpMessage::parse(data);
+    if (!request) return;
+    if (auto reply = pool_.handle(*request)) {
+      // Replies go to the client port via broadcast (client has no IP yet).
+      sock_->send_broadcast(68, reply->encode());
+    }
+  };
+}
+
+DhcpClient::DhcpClient(net::HostStack& stack, ConfiguredHandler on_configured)
+    : stack_(stack), on_configured_(std::move(on_configured)) {}
+
+void DhcpClient::start() {
+  bound_ = false;
+  attempts_ = 0;
+  sock_ = stack_.udp_open(68);
+  sock_->on_datagram = [this](util::Endpoint,
+                              std::vector<std::uint8_t> data) {
+    handle_datagram(data);
+  };
+  send_discover();
+}
+
+void DhcpClient::send_discover() {
+  if (bound_) return;
+  if (attempts_++ > 10) {
+    GQ_WARN(kLog, "%s: DHCP giving up", stack_.name().c_str());
+    return;
+  }
+  xid_ = static_cast<std::uint32_t>(stack_.rng().next());
+  DhcpMessage discover;
+  discover.type = DhcpType::kDiscover;
+  discover.xid = xid_;
+  discover.client_mac = stack_.mac();
+  sock_->send_broadcast(67, discover.encode());
+  stack_.loop().schedule_in(util::seconds(2 * attempts_),
+                            [this, weak = std::weak_ptr<bool>(alive_)] {
+                              if (!weak.expired() && !bound_)
+                                send_discover();
+                            });
+}
+
+void DhcpClient::handle_datagram(std::span<const std::uint8_t> data) {
+  auto msg = DhcpMessage::parse(data);
+  if (!msg || !msg->is_reply || msg->xid != xid_ || bound_) return;
+  if (msg->client_mac != stack_.mac()) return;
+
+  if (msg->type == DhcpType::kOffer) {
+    DhcpMessage request;
+    request.type = DhcpType::kRequest;
+    request.xid = xid_;
+    request.client_mac = stack_.mac();
+    request.requested_ip = msg->yiaddr;
+    request.server_id = msg->server_id;
+    sock_->send_broadcast(67, request.encode());
+    return;
+  }
+  if (msg->type == DhcpType::kAck) {
+    bound_ = true;
+    net::Ipv4Config config;
+    config.addr = msg->yiaddr;
+    int prefix = 24;
+    if (msg->subnet_mask) {
+      prefix = 0;
+      for (std::uint32_t m = msg->subnet_mask->value(); m & 0x80000000u;
+           m <<= 1)
+        ++prefix;
+    }
+    config.subnet = util::Ipv4Net(msg->yiaddr, prefix);
+    config.gateway = msg->router.value_or(util::Ipv4Addr());
+    config.dns = msg->dns.value_or(util::Ipv4Addr());
+    stack_.configure(config);
+    GQ_INFO(kLog, "%s: bound %s", stack_.name().c_str(),
+            config.addr.str().c_str());
+    if (on_configured_) on_configured_(config);
+  }
+}
+
+}  // namespace gq::svc

@@ -1,0 +1,151 @@
+#include "services/ftp.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::svc {
+
+namespace {
+constexpr const char* kLog = "ftp";
+}
+
+struct FtpServer::Session {
+  std::shared_ptr<net::TcpConnection> control;
+  std::string line_buffer;
+  bool authed = false;
+  std::string pending_user;
+  // PASV state.
+  std::uint16_t data_port = 0;
+  std::shared_ptr<net::TcpConnection> data;
+  std::string upload_path;     // Non-empty while a STOR is in progress.
+  std::string upload_buffer;
+};
+
+FtpServer::FtpServer(net::HostStack& stack, std::uint16_t port,
+                     std::string user, std::string pass)
+    : stack_(stack), user_(std::move(user)), pass_(std::move(pass)) {
+  stack_.listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
+    auto session = std::make_shared<Session>();
+    session->control = conn;
+    conn->send("220 " + stack_.name() + " FTP ready\r\n");
+    conn->on_data = [this, session](std::span<const std::uint8_t> data) {
+      session->line_buffer.append(reinterpret_cast<const char*>(data.data()),
+                                  data.size());
+      std::size_t pos;
+      while ((pos = session->line_buffer.find("\r\n")) != std::string::npos) {
+        std::string line = session->line_buffer.substr(0, pos);
+        session->line_buffer.erase(0, pos + 2);
+        handle_command(session, line);
+      }
+    };
+    conn->on_remote_close = [conn] { conn->close(); };
+  });
+}
+
+void FtpServer::open_pasv(std::shared_ptr<Session> session) {
+  const std::uint16_t port = stack_.allocate_port();
+  session->data_port = port;
+  stack_.listen(port, [this, session,
+                       port](std::shared_ptr<net::TcpConnection> conn) {
+    stack_.close_listener(port);  // Single-use data listener.
+    session->data = conn;
+    conn->on_data = [session](std::span<const std::uint8_t> data) {
+      if (!session->upload_path.empty())
+        session->upload_buffer.append(
+            reinterpret_cast<const char*>(data.data()), data.size());
+    };
+    conn->on_remote_close = [this, session, conn] {
+      if (!session->upload_path.empty()) {
+        files_[session->upload_path] = session->upload_buffer;
+        ++stores_;
+        GQ_INFO(kLog, "%s: stored %s (%zu bytes)", stack_.name().c_str(),
+                session->upload_path.c_str(),
+                session->upload_buffer.size());
+        session->upload_path.clear();
+        session->upload_buffer.clear();
+        session->control->send("226 Transfer complete\r\n");
+      }
+      conn->close();
+    };
+  });
+  const util::Ipv4Addr a = stack_.addr();
+  session->control->send(util::format(
+      "227 Entering Passive Mode (%u,%u,%u,%u,%u,%u)\r\n", a.value() >> 24,
+      (a.value() >> 16) & 0xFF, (a.value() >> 8) & 0xFF, a.value() & 0xFF,
+      port >> 8, port & 0xFF));
+}
+
+void FtpServer::handle_command(std::shared_ptr<Session> session,
+                               const std::string& line) {
+  auto parts = util::split_ws(line);
+  if (parts.empty()) return;
+  const std::string cmd = util::to_lower(parts[0]);
+  const std::string arg = parts.size() > 1 ? parts[1] : "";
+  auto& control = *session->control;
+
+  if (cmd == "user") {
+    session->pending_user = arg;
+    control.send("331 Password required\r\n");
+    return;
+  }
+  if (cmd == "pass") {
+    if ((user_.empty() && pass_.empty()) ||
+        (session->pending_user == user_ && arg == pass_)) {
+      session->authed = true;
+      ++logins_;
+      control.send("230 Logged in\r\n");
+    } else {
+      control.send("530 Login incorrect\r\n");
+    }
+    return;
+  }
+  if (cmd == "quit") {
+    control.send("221 Goodbye\r\n");
+    control.close();
+    return;
+  }
+  if (!session->authed) {
+    control.send("530 Not logged in\r\n");
+    return;
+  }
+  if (cmd == "type") {
+    control.send("200 Type set\r\n");
+    return;
+  }
+  if (cmd == "pasv") {
+    open_pasv(session);
+    return;
+  }
+  if (cmd == "retr") {
+    auto it = files_.find(arg);
+    if (it == files_.end()) {
+      control.send("550 No such file\r\n");
+      return;
+    }
+    if (!session->data) {
+      control.send("425 Use PASV first\r\n");
+      return;
+    }
+    control.send("150 Opening data connection\r\n");
+    ++retrievals_;
+    auto data_conn = session->data;
+    session->data.reset();
+    data_conn->send(it->second);
+    data_conn->close();
+    control.send("226 Transfer complete\r\n");
+    return;
+  }
+  if (cmd == "stor") {
+    if (!session->data) {
+      control.send("425 Use PASV first\r\n");
+      return;
+    }
+    control.send("150 Ready for upload\r\n");
+    session->upload_path = arg;
+    session->upload_buffer.clear();
+    return;
+  }
+  control.send("502 Command not implemented\r\n");
+}
+
+}  // namespace gq::svc

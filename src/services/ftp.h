@@ -1,0 +1,50 @@
+// Minimal FTP server (RFC 959 subset: USER/PASS, TYPE, PASV, RETR, STOR,
+// QUIT) with an in-memory filesystem. Exists to reproduce the paper's
+// "unexpected visitors" episode (§7.1): an upstream Storm botmaster used
+// proxy bots to log into FTP servers, fetch an HTML file and re-upload
+// it with a malicious iframe injected. The victim FTP server in the
+// simulated Internet is one of these.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/stack.h"
+#include "net/tcp.h"
+
+namespace gq::svc {
+
+class FtpServer {
+ public:
+  /// Serves `files` (path -> contents); credentials checked against the
+  /// given user/pass ("anonymous" access when both empty).
+  FtpServer(net::HostStack& stack, std::uint16_t port, std::string user,
+            std::string pass);
+
+  /// The in-memory filesystem (inspectable by tests: a successful iframe
+  /// injection shows up as a modified file here).
+  std::map<std::string, std::string>& files() { return files_; }
+
+  [[nodiscard]] std::uint64_t logins() const { return logins_; }
+  [[nodiscard]] std::uint64_t retrievals() const { return retrievals_; }
+  [[nodiscard]] std::uint64_t stores() const { return stores_; }
+
+ private:
+  struct Session;
+
+  void handle_command(std::shared_ptr<Session> session,
+                      const std::string& line);
+  void open_pasv(std::shared_ptr<Session> session);
+
+  net::HostStack& stack_;
+  std::string user_, pass_;
+  std::map<std::string, std::string> files_;
+  std::uint64_t logins_ = 0;
+  std::uint64_t retrievals_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace gq::svc

@@ -1,0 +1,140 @@
+#include "shim/shim.h"
+
+#include "util/bytes.h"
+
+namespace gq::shim {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kForward: return "FORWARD";
+    case Verdict::kLimit: return "LIMIT";
+    case Verdict::kDrop: return "DROP";
+    case Verdict::kRedirect: return "REDIRECT";
+    case Verdict::kReflect: return "REFLECT";
+    case Verdict::kRewrite: return "REWRITE";
+  }
+  return "?";
+}
+
+namespace {
+
+void write_preamble(util::ByteWriter& w, std::uint16_t length,
+                    std::uint8_t type) {
+  w.u32(kShimMagic);
+  w.u16(length);
+  w.u8(type);
+  w.u8(kShimVersion);
+}
+
+struct Preamble {
+  std::uint16_t length;
+  std::uint8_t type;
+  std::uint8_t version;
+};
+
+std::optional<Preamble> read_preamble(util::ByteReader& r) {
+  if (r.remaining() < 8) return std::nullopt;
+  if (r.u32() != kShimMagic) return std::nullopt;
+  Preamble p;
+  p.length = r.u16();
+  p.type = r.u8();
+  p.version = r.u8();
+  if (p.version != kShimVersion) return std::nullopt;
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> RequestShim::encode() const {
+  util::ByteWriter w(kRequestShimSize);
+  write_preamble(w, kRequestShimSize, kTypeRequest);
+  w.u32(orig.addr.value());
+  w.u32(resp.addr.value());
+  w.u16(orig.port);
+  w.u16(resp.port);
+  w.u16(vlan);
+  w.u16(nonce_port);
+  return w.take();
+}
+
+std::optional<RequestShim> RequestShim::parse(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    auto preamble = read_preamble(r);
+    if (!preamble || preamble->type != kTypeRequest ||
+        preamble->length != kRequestShimSize)
+      return std::nullopt;
+    if (data.size() < kRequestShimSize) return std::nullopt;
+    RequestShim shim;
+    shim.orig.addr = util::Ipv4Addr(r.u32());
+    shim.resp.addr = util::Ipv4Addr(r.u32());
+    shim.orig.port = r.u16();
+    shim.resp.port = r.u16();
+    shim.vlan = r.u16();
+    shim.nonce_port = r.u16();
+    return shim;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> ResponseShim::encode() const {
+  const std::size_t total = kResponseShimMinSize + annotation.size();
+  util::ByteWriter w(total);
+  write_preamble(w, static_cast<std::uint16_t>(total), kTypeResponse);
+  w.u32(orig.addr.value());
+  w.u32(resp.addr.value());
+  w.u16(orig.port);
+  w.u16(resp.port);
+  w.u32(static_cast<std::uint32_t>(verdict));
+  std::string name = policy_name;
+  name.resize(kPolicyNameSize, '\0');
+  w.str(name);
+  w.str(annotation);
+  return w.take();
+}
+
+std::optional<ResponseShim> ResponseShim::parse(
+    std::span<const std::uint8_t> data, std::size_t* consumed) {
+  try {
+    util::ByteReader r(data);
+    auto preamble = read_preamble(r);
+    if (!preamble || preamble->type != kTypeResponse ||
+        preamble->length < kResponseShimMinSize)
+      return std::nullopt;
+    if (data.size() < preamble->length) return std::nullopt;
+    ResponseShim shim;
+    shim.orig.addr = util::Ipv4Addr(r.u32());
+    shim.resp.addr = util::Ipv4Addr(r.u32());
+    shim.orig.port = r.u16();
+    shim.resp.port = r.u16();
+    const std::uint32_t opcode = r.u32();
+    if (opcode < 1 || opcode > 6) return std::nullopt;
+    shim.verdict = static_cast<Verdict>(opcode);
+    shim.policy_name = r.str(kPolicyNameSize);
+    // Strip NUL padding.
+    if (auto nul = shim.policy_name.find('\0'); nul != std::string::npos)
+      shim.policy_name.resize(nul);
+    shim.annotation = r.str(preamble->length - kResponseShimMinSize);
+    if (consumed) *consumed = preamble->length;
+    return shim;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::size_t> complete_shim_length(
+    std::span<const std::uint8_t> data, std::uint8_t expected_type) {
+  try {
+    util::ByteReader r(data);
+    auto preamble = read_preamble(r);
+    if (!preamble || preamble->type != expected_type) return std::nullopt;
+    if (data.size() < preamble->length) return std::nullopt;
+    return preamble->length;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace gq::shim

@@ -1,0 +1,88 @@
+// The GQ shimming protocol (paper §6.2, Figure 4). To couple the
+// gateway's packet router to the containment server, every redirected
+// flow starts with a 24-byte containment *request* shim injected by the
+// gateway (into the TCP sequence space, or padded onto the first UDP
+// datagram) carrying the flow's original four-tuple, the inmate's VLAN
+// ID, and a nonce port on which the gateway will accept a subsequent
+// outbound connection from the containment server (used by REWRITE
+// proxies). The containment server answers with a *response* shim of at
+// least 56 bytes carrying the resulting four-tuple (the possibly
+// rewritten destination), the verdict opcode, a 32-byte policy name tag,
+// and an optional textual annotation. The gateway strips the response
+// shim from the stream before relaying bytes to the inmate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/addr.h"
+
+namespace gq::shim {
+
+/// Containment verdicts (Figure 2). Endpoint-control verdicts are
+/// enforced by the gateway alone once connectivity is established;
+/// REWRITE keeps the containment server in-path as a transparent proxy.
+enum class Verdict : std::uint32_t {
+  kForward = 1,
+  kLimit = 2,
+  kDrop = 3,
+  kRedirect = 4,
+  kReflect = 5,
+  kRewrite = 6,
+};
+
+const char* verdict_name(Verdict v);
+
+/// Magic number opening every shim message ("GQSH").
+inline constexpr std::uint32_t kShimMagic = 0x47515348;
+inline constexpr std::uint8_t kShimVersion = 1;
+inline constexpr std::uint8_t kTypeRequest = 1;
+inline constexpr std::uint8_t kTypeResponse = 2;
+inline constexpr std::size_t kRequestShimSize = 24;
+inline constexpr std::size_t kResponseShimMinSize = 56;
+inline constexpr std::size_t kPolicyNameSize = 32;
+
+/// Containment request shim: gateway -> containment server.
+struct RequestShim {
+  util::Endpoint orig;   ///< Flow originator (inmate side, internal addr).
+  util::Endpoint resp;   ///< Intended responder (the flow's true target).
+  std::uint16_t vlan = 0;       ///< Inmate's VLAN ID.
+  std::uint16_t nonce_port = 0; ///< Gateway port for a proxy's outbound leg.
+
+  /// Exactly kRequestShimSize bytes.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Parse from the start of `data`; nullopt if not a valid request shim.
+  static std::optional<RequestShim> parse(
+      std::span<const std::uint8_t> data);
+};
+
+/// Containment response shim: containment server -> gateway.
+struct ResponseShim {
+  util::Endpoint orig;  ///< Resulting originator endpoint.
+  util::Endpoint resp;  ///< Resulting responder endpoint (redirect target).
+  Verdict verdict = Verdict::kDrop;
+  std::string policy_name;  ///< Truncated/padded to 32 bytes on the wire.
+  std::string annotation;   ///< Optional context (also carries parameters
+                            ///< such as "rate=2048" for LIMIT verdicts).
+
+  /// kResponseShimMinSize + annotation bytes.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Parse from the start of `data`. Returns nullopt if `data` does not
+  /// begin with a complete response shim; `consumed` (when non-null)
+  /// receives the shim's total wire length on success.
+  static std::optional<ResponseShim> parse(std::span<const std::uint8_t> data,
+                                           std::size_t* consumed = nullptr);
+};
+
+/// Peek at a buffer: is a complete shim message of the given type
+/// available at the front, and if so how long is it? Used by the gateway
+/// when scanning the containment server's stream for the response shim.
+std::optional<std::size_t> complete_shim_length(
+    std::span<const std::uint8_t> data, std::uint8_t expected_type);
+
+}  // namespace gq::shim

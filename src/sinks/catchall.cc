@@ -1,0 +1,36 @@
+#include "sinks/catchall.h"
+
+namespace gq::sinks {
+
+CatchAllSink::CatchAllSink(net::HostStack& stack, std::uint16_t port,
+                           std::size_t capture_limit)
+    : stack_(stack), capture_limit_(capture_limit) {
+  stack_.listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
+    ++tcp_flows_;
+    records_.push_back(FlowRecord{conn->remote(), pkt::FlowProto::kTcp, "",
+                                  stack_.loop().now()});
+    const std::size_t index = records_.size() - 1;
+    conn->on_data = [this, index](std::span<const std::uint8_t> data) {
+      auto& record = records_[index];
+      const std::size_t room =
+          capture_limit_ - std::min(capture_limit_, record.first_bytes.size());
+      const std::size_t take = std::min(room, data.size());
+      record.first_bytes.append(reinterpret_cast<const char*>(data.data()),
+                                take);
+      // Accept silently: no response whatsoever.
+    };
+    conn->on_remote_close = [conn] { conn->close(); };
+  });
+  udp_ = stack_.udp_open(port);
+  udp_->on_datagram = [this](util::Endpoint from,
+                             std::vector<std::uint8_t> data) {
+    ++udp_datagrams_;
+    FlowRecord record{from, pkt::FlowProto::kUdp, "", stack_.loop().now()};
+    record.first_bytes.assign(
+        reinterpret_cast<const char*>(data.data()),
+        std::min(capture_limit_, data.size()));
+    records_.push_back(std::move(record));
+  };
+}
+
+}  // namespace gq::sinks

@@ -1,0 +1,50 @@
+// Catch-all sink server (paper §6.3): "accepts arbitrary traffic without
+// meaningfully responding to it". Reflected flows land here under a
+// default-deny development policy; the recorded first-bytes of each flow
+// are what an analyst inspects to understand a fresh specimen's
+// behavioural envelope (§3), and what the network-level fingerprinting
+// of §7.1 ("unclear phylogenies") consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/stack.h"
+#include "net/tcp.h"
+#include "util/addr.h"
+
+namespace gq::sinks {
+
+class CatchAllSink {
+ public:
+  /// One observed flow and its captured payload prefix.
+  struct FlowRecord {
+    util::Endpoint from;
+    pkt::FlowProto proto = pkt::FlowProto::kTcp;
+    std::string first_bytes;  ///< Up to `capture_limit` bytes.
+    util::TimePoint started;
+  };
+
+  /// Listens on `port` for both TCP and UDP.
+  CatchAllSink(net::HostStack& stack, std::uint16_t port,
+               std::size_t capture_limit = 256);
+
+  [[nodiscard]] std::uint64_t tcp_flows() const { return tcp_flows_; }
+  [[nodiscard]] std::uint64_t udp_datagrams() const { return udp_datagrams_; }
+  [[nodiscard]] const std::vector<FlowRecord>& records() const {
+    return records_;
+  }
+  void clear_records() { records_.clear(); }
+
+ private:
+  net::HostStack& stack_;
+  std::size_t capture_limit_;
+  std::shared_ptr<net::UdpSocket> udp_;
+  std::vector<FlowRecord> records_;
+  std::uint64_t tcp_flows_ = 0;
+  std::uint64_t udp_datagrams_ = 0;
+};
+
+}  // namespace gq::sinks

@@ -1,0 +1,79 @@
+#include "util/addr.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace gq::util {
+
+namespace {
+
+// Parses an integer in [0, max] from the front of `text`, advancing it.
+std::optional<std::uint32_t> parse_component(std::string_view& text,
+                                             std::uint32_t max) {
+  std::uint32_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin || value > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = parse_component(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+bool Ipv4Addr::is_private() const {
+  if ((value_ >> 24) == 10) return true;
+  if ((value_ >> 20) == 0xAC1) return true;  // 172.16/12
+  if ((value_ >> 16) == 0xC0A8) return true;  // 192.168/16
+  return false;
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+std::optional<Ipv4Net> Ipv4Net::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  auto len = parse_component(len_text, 32);
+  if (!len || !len_text.empty()) return std::nullopt;
+  return Ipv4Net(*addr, static_cast<int>(*len));
+}
+
+std::string Ipv4Net::str() const {
+  return base_.str() + "/" + std::to_string(prefix_len_);
+}
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::string Endpoint::str() const {
+  return addr.str() + ":" + std::to_string(port);
+}
+
+}  // namespace gq::util

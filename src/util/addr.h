@@ -1,0 +1,152 @@
+// Network address value types: IPv4 addresses, IPv4 prefixes, MAC
+// addresses, and transport endpoints. All are cheap value types with
+// total ordering so they can key maps throughout the gateway.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gq::util {
+
+/// An IPv4 address held in host byte order; serialization to wire format
+/// happens in the packet layer.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return value_ == 0xFFFFFFFFu;
+  }
+  /// True for RFC 1918 private space (10/8, 172.16/12, 192.168/16).
+  [[nodiscard]] bool is_private() const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix (address + mask length), e.g. a subfarm's /24.
+class Ipv4Net {
+ public:
+  constexpr Ipv4Net() = default;
+  constexpr Ipv4Net(Ipv4Addr base, int prefix_len)
+      : base_(Ipv4Addr(base.value() & mask_for(prefix_len))),
+        prefix_len_(prefix_len) {}
+
+  /// Parse "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Ipv4Net> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Addr base() const { return base_; }
+  [[nodiscard]] constexpr int prefix_len() const { return prefix_len_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return mask_for(prefix_len_);
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4Addr a) const {
+    return (a.value() & mask()) == base_.value();
+  }
+  /// Number of host addresses in the prefix (including network/broadcast).
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+  /// The `i`-th address inside the prefix.
+  [[nodiscard]] constexpr Ipv4Addr host(std::uint32_t i) const {
+    return Ipv4Addr(base_.value() + i);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const Ipv4Net&, const Ipv4Net&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int len) {
+    return len == 0 ? 0 : 0xFFFFFFFFu << (32 - len);
+  }
+
+  Ipv4Addr base_;
+  int prefix_len_ = 0;
+};
+
+/// A 48-bit Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> bytes)
+      : bytes_(bytes) {}
+
+  /// A locally administered unicast MAC derived from a small integer id,
+  /// used by the simulator to hand out unique NIC addresses.
+  static constexpr MacAddr local(std::uint32_t id) {
+    return MacAddr({0x02, 0x00,
+                    static_cast<std::uint8_t>(id >> 24),
+                    static_cast<std::uint8_t>(id >> 16),
+                    static_cast<std::uint8_t>(id >> 8),
+                    static_cast<std::uint8_t>(id)});
+  }
+
+  static constexpr MacAddr broadcast() {
+    return MacAddr({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return *this == broadcast();
+  }
+  /// True for group (multicast/broadcast) addresses.
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (bytes_[0] & 0x01) != 0;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+/// A transport endpoint: IPv4 address + port.
+struct Endpoint {
+  Ipv4Addr addr;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const;
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) =
+      default;
+};
+
+}  // namespace gq::util
+
+template <>
+struct std::hash<gq::util::Ipv4Addr> {
+  std::size_t operator()(const gq::util::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<gq::util::Endpoint> {
+  std::size_t operator()(const gq::util::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{e.addr.value()} << 16) | e.port);
+  }
+};

@@ -1,0 +1,158 @@
+// Byte-buffer reading and writing with explicit big-endian (network order)
+// accessors. All wire formats in GQ (Ethernet, IPv4, TCP/UDP, DNS, the shim
+// protocol) are serialized through these two classes so that byte-order
+// handling lives in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gq::util {
+
+/// Error thrown when a read runs past the end of the buffer.
+class BufferUnderflow : public std::runtime_error {
+ public:
+  BufferUnderflow() : std::runtime_error("buffer underflow") {}
+};
+
+/// Sequential reader over a non-owning byte span. Multi-byte integers are
+/// read in network (big-endian) order. Reads past the end throw
+/// BufferUnderflow; callers on the packet path should check remaining()
+/// first and treat short input as a malformed packet.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Bytes left to read.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Current read offset from the start of the buffer.
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint16_t u16() {
+    auto b = take(2);
+    return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+  }
+
+  std::uint32_t u32() {
+    auto b = take(4);
+    return (static_cast<std::uint32_t>(b[0]) << 24) |
+           (static_cast<std::uint32_t>(b[1]) << 16) |
+           (static_cast<std::uint32_t>(b[2]) << 8) |
+           static_cast<std::uint32_t>(b[3]);
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  /// Read `n` raw bytes without copying.
+  std::span<const std::uint8_t> bytes(std::size_t n) { return take(n); }
+
+  /// Read `n` bytes as a std::string (for textual fields).
+  std::string str(std::size_t n) {
+    auto b = take(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  /// Skip `n` bytes.
+  void skip(std::size_t n) { take(n); }
+
+  /// View of everything not yet consumed (does not advance).
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return data_.subspan(pos_);
+  }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (remaining() < n) throw BufferUnderflow();
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Growable byte buffer with network-order append operations plus random
+/// access patching (needed for length/checksum fields that are written
+/// after the payload).
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void str(std::string_view s) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  /// Append `n` zero bytes (padding / placeholder for later patching).
+  void zeros(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+  /// Overwrite a previously written 16-bit field at byte offset `at`.
+  void patch_u16(std::size_t at, std::uint16_t v) {
+    buf_.at(at) = static_cast<std::uint8_t>(v >> 8);
+    buf_.at(at + 1) = static_cast<std::uint8_t>(v);
+  }
+
+  void patch_u32(std::size_t at, std::uint32_t v) {
+    buf_.at(at) = static_cast<std::uint8_t>(v >> 24);
+    buf_.at(at + 1) = static_cast<std::uint8_t>(v >> 16);
+    buf_.at(at + 2) = static_cast<std::uint8_t>(v >> 8);
+    buf_.at(at + 3) = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return buf_; }
+
+  /// Move the accumulated bytes out, leaving the writer empty.
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Convenience: copy a string's bytes into a fresh vector.
+inline std::vector<std::uint8_t> to_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()),
+          reinterpret_cast<const std::uint8_t*>(s.data()) + s.size()};
+}
+
+/// Convenience: interpret a byte span as text.
+inline std::string to_string(std::span<const std::uint8_t> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace gq::util

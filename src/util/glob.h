@@ -1,0 +1,16 @@
+// Shell-style glob matching ('*' and '?'), used for infection batch
+// specifications like "rustock.100921.*.exe" (paper Figure 6) and for
+// trigger flow patterns like "*:25/tcp".
+#pragma once
+
+#include <string_view>
+
+namespace gq::util {
+
+/// Returns true if `text` matches `pattern`, where '*' matches any run of
+/// characters (including empty) and '?' matches exactly one character.
+/// Matching is case-sensitive; patterns with no metacharacters degrade to
+/// equality.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace gq::util

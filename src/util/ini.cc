@@ -1,0 +1,74 @@
+#include "util/ini.h"
+
+#include "util/strings.h"
+
+namespace gq::util {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  return to_lower(a) == to_lower(b);
+}
+
+}  // namespace
+
+std::optional<std::string> IniSection::get(std::string_view key) const {
+  for (const auto& [k, v] : entries)
+    if (iequals(k, key)) return v;
+  return std::nullopt;
+}
+
+std::vector<std::string> IniSection::get_all(std::string_view key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries)
+    if (iequals(k, key)) out.push_back(v);
+  return out;
+}
+
+IniFile IniFile::parse(std::string_view text) {
+  IniFile file;
+  IniSection current;  // Unnamed leading section.
+  bool current_has_content = false;
+  std::size_t line_no = 0;
+
+  auto flush = [&] {
+    if (current_has_content || !current.name.empty())
+      file.sections.push_back(std::move(current));
+    current = IniSection{};
+    current_has_content = false;
+  };
+
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw IniError(line_no, "unterminated section header");
+      flush();
+      current.name = std::string(trim(line.substr(1, line.size() - 2)));
+      if (current.name.empty())
+        throw IniError(line_no, "empty section name");
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos)
+      throw IniError(line_no, "expected 'key = value'");
+    std::string key(trim(line.substr(0, eq)));
+    std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) throw IniError(line_no, "empty key");
+    current.entries.emplace_back(std::move(key), std::move(value));
+    current_has_content = true;
+  }
+  flush();
+  return file;
+}
+
+std::vector<const IniSection*> IniFile::find(std::string_view name) const {
+  std::vector<const IniSection*> out;
+  for (const auto& s : sections)
+    if (iequals(s.name, name)) out.push_back(&s);
+  return out;
+}
+
+}  // namespace gq::util

@@ -1,0 +1,52 @@
+// INI-style configuration parser for the containment server's config file
+// format (paper Figure 6): "[Section Name]" headers followed by
+// "Key = Value" lines, '#' or ';' comments, blank lines ignored.
+// Sections may repeat and key order is preserved — triggers and VLAN
+// bindings are order-sensitive.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gq::util {
+
+/// Parse error with line number context.
+class IniError : public std::runtime_error {
+ public:
+  IniError(std::size_t line, const std::string& what)
+      : std::runtime_error("ini line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// One "[...]" section with its ordered key/value pairs.
+struct IniSection {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// First value for `key` (case-insensitive), if present.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  /// All values for `key` (case-insensitive), in file order.
+  [[nodiscard]] std::vector<std::string> get_all(std::string_view key) const;
+};
+
+/// A parsed INI document: ordered list of sections. Keys appearing before
+/// any section header go into an unnamed leading section.
+struct IniFile {
+  std::vector<IniSection> sections;
+
+  /// Parse from text; throws IniError on malformed lines.
+  static IniFile parse(std::string_view text);
+
+  /// All sections whose name matches exactly (case-insensitive).
+  [[nodiscard]] std::vector<const IniSection*> find(
+      std::string_view name) const;
+};
+
+}  // namespace gq::util

@@ -1,0 +1,55 @@
+// Leveled, component-tagged logging. The farm stamps every record with the
+// simulated time, which makes interleaved gateway/containment logs
+// directly comparable to packet traces. Tests can install a capture sink.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/strings.h"
+#include "util/time.h"
+
+namespace gq::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide logging configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  /// Minimum level that is emitted; defaults to kWarn so tests stay quiet.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Replace the output sink (default: stderr). Pass nullptr to restore.
+  static void set_sink(Sink sink);
+
+  /// The clock used for timestamps; the farm points this at the event loop.
+  static void set_clock(std::function<TimePoint()> clock);
+
+  static void write(LogLevel level, std::string_view component,
+                    std::string message);
+};
+
+#define GQ_LOG_AT(lvl, component, ...)                            \
+  do {                                                            \
+    if (static_cast<int>(lvl) >=                                  \
+        static_cast<int>(::gq::util::Log::level())) {             \
+      ::gq::util::Log::write(lvl, component,                      \
+                             ::gq::util::format(__VA_ARGS__));    \
+    }                                                             \
+  } while (0)
+
+#define GQ_DEBUG(component, ...) \
+  GQ_LOG_AT(::gq::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define GQ_INFO(component, ...) \
+  GQ_LOG_AT(::gq::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define GQ_WARN(component, ...) \
+  GQ_LOG_AT(::gq::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define GQ_ERROR(component, ...) \
+  GQ_LOG_AT(::gq::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace gq::util

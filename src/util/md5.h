@@ -1,0 +1,40 @@
+// Self-contained MD5 (RFC 1321). GQ's activity reports identify infection
+// payloads by MD5, matching the hashes shown in the paper's Figure 7
+// report excerpt. Not used for anything security-critical here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace gq::util {
+
+/// Streaming MD5 context.
+class Md5 {
+ public:
+  Md5();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Finalize and return the 16-byte digest. The context must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, 16> digest();
+
+  /// One-shot convenience: lowercase hex digest of `data`.
+  static std::string hex_digest(std::string_view data);
+  static std::string hex_digest(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace gq::util

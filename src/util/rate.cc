@@ -1,0 +1,26 @@
+#include "util/rate.h"
+
+#include <algorithm>
+
+namespace gq::util {
+
+void TokenBucket::refill(TimePoint now) {
+  if (now <= last_) return;
+  const double elapsed = (now - last_).seconds_f();
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(TimePoint now, double amount) {
+  refill(now);
+  if (tokens_ + 1e-9 < amount) return false;
+  tokens_ -= amount;
+  return true;
+}
+
+double TokenBucket::available(TimePoint now) {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace gq::util

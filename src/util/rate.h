@@ -1,0 +1,68 @@
+// Rate-measurement and rate-limiting primitives used by the gateway's
+// safety filter (connection-rate caps, §5.1) and the LIMIT containment
+// verdict (per-flow throughput caps, §5.4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/time.h"
+
+namespace gq::util {
+
+/// Classic token bucket: `rate` tokens per second with burst capacity
+/// `burst`. Used for byte- and packet-level throttling of LIMITed flows.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Try to take `amount` tokens at simulated time `now`. Returns true
+  /// (and consumes) if enough tokens are available.
+  bool try_consume(TimePoint now, double amount);
+
+  /// Tokens currently available (after refill to `now`).
+  double available(TimePoint now);
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  void refill(TimePoint now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  TimePoint last_{};
+};
+
+/// Counts events inside a sliding window of simulated time; answers
+/// "how many connections did this inmate open in the last N seconds?".
+/// Old events are evicted lazily on each query/insert.
+class SlidingWindowCounter {
+ public:
+  explicit SlidingWindowCounter(Duration window) : window_(window) {}
+
+  void record(TimePoint now) {
+    evict(now);
+    events_.push_back(now);
+  }
+
+  /// Number of events within the window ending at `now`.
+  std::size_t count(TimePoint now) {
+    evict(now);
+    return events_.size();
+  }
+
+  [[nodiscard]] Duration window() const { return window_; }
+
+ private:
+  void evict(TimePoint now) {
+    while (!events_.empty() && now - events_.front() > window_)
+      events_.pop_front();
+  }
+
+  Duration window_;
+  std::deque<TimePoint> events_;
+};
+
+}  // namespace gq::util

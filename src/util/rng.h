@@ -1,0 +1,44 @@
+// Deterministic pseudo-random source for the simulator. Every stochastic
+// decision in the farm (worm scan targets, SMTP sink drop probability,
+// incubation jitter) draws from an explicitly seeded Rng so experiments
+// replay bit-identically.
+#pragma once
+
+#include <cstdint>
+
+namespace gq::util {
+
+/// xoshiro256** generator seeded via splitmix64. Small, fast, and good
+/// enough statistically for workload generation (not cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) — bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (>0).
+  double exponential(double mean);
+
+  /// Fork an independent stream, deterministically derived from this one.
+  Rng fork() { return Rng(next()); }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace gq::util

@@ -1,0 +1,37 @@
+// Small string utilities shared across modules: splitting, trimming,
+// case folding, prefix tests, and printf-style formatting into std::string.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gq::util {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on any run of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+bool starts_with_icase(std::string_view text, std::string_view prefix);
+
+/// Parse a decimal integer; nullopt if malformed or out of range.
+std::optional<std::int64_t> parse_int(std::string_view text);
+
+/// printf into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Hex dump of bytes, lowercase, no separators (used for hashes).
+std::string hex(const std::uint8_t* data, std::size_t len);
+
+}  // namespace gq::util

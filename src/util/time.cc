@@ -1,0 +1,22 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace gq::util {
+
+std::string format_duration(Duration d) {
+  char buf[32];
+  const double s = d.seconds_f();
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1000.0);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  } else if (s < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", s / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace gq::util

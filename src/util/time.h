@@ -1,0 +1,56 @@
+// Simulated-time primitives. The whole farm runs on a virtual clock owned
+// by the event loop; Duration and TimePoint are microsecond counts, with
+// named constructors so experiment code can say `minutes(30)` and mean it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gq::util {
+
+/// A span of simulated time, in microseconds.
+struct Duration {
+  std::int64_t usec = 0;
+
+  [[nodiscard]] constexpr double seconds_f() const {
+    return static_cast<double>(usec) / 1e6;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return {a.usec + b.usec};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return {a.usec - b.usec};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return {a.usec * k};
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return {a.usec / k};
+  }
+};
+
+constexpr Duration microseconds(std::int64_t n) { return {n}; }
+constexpr Duration milliseconds(std::int64_t n) { return {n * 1000}; }
+constexpr Duration seconds(std::int64_t n) { return {n * 1'000'000}; }
+constexpr Duration minutes(std::int64_t n) { return {n * 60'000'000}; }
+constexpr Duration hours(std::int64_t n) { return {n * 3'600'000'000LL}; }
+
+/// An instant on the simulated clock, microseconds since simulation start.
+struct TimePoint {
+  std::int64_t usec = 0;
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return {t.usec + d.usec};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return {a.usec - b.usec};
+  }
+};
+
+/// Render a duration compactly for reports, e.g. "29.0s", "3.2min".
+std::string format_duration(Duration d);
+
+}  // namespace gq::util

@@ -1,0 +1,144 @@
+// Tests for the simulated external Internet (src/extnet): the CBL
+// blacklist, the HELO-policing SMTP server, the C&C server, the ad
+// server, and the Storm botmaster client.
+#include <gtest/gtest.h>
+
+#include "extnet/extnet.h"
+#include "net/stack.h"
+#include "netsim/event_loop.h"
+#include "netsim/vlan_switch.h"
+#include "services/http.h"
+
+namespace gq::ext {
+namespace {
+
+using util::Endpoint;
+using util::Ipv4Addr;
+using util::Ipv4Net;
+
+TEST(Cbl, ListsOnceAndAnswersQueries) {
+  Cbl cbl;
+  EXPECT_FALSE(cbl.is_listed(Ipv4Addr(1, 2, 3, 4)));
+  cbl.list(Ipv4Addr(1, 2, 3, 4), "first reason");
+  cbl.list(Ipv4Addr(1, 2, 3, 4), "second reason");  // Idempotent.
+  EXPECT_TRUE(cbl.is_listed(Ipv4Addr(1, 2, 3, 4)));
+  ASSERT_EQ(cbl.entries().size(), 1u);
+  EXPECT_EQ(cbl.entries().begin()->second, "first reason");
+}
+
+struct ExtNetFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::VlanSwitch sw{loop, "sw", 4};
+  net::HostStack server{loop, "srv", util::MacAddr::local(1), 1};
+  net::HostStack client{loop, "cli", util::MacAddr::local(2), 2};
+
+  void SetUp() override {
+    sw.set_access(0, 3);
+    sw.set_access(1, 3);
+    sim::Port::connect(server.nic(), sw.port(0), util::microseconds(20));
+    sim::Port::connect(client.nic(), sw.port(1), util::microseconds(20));
+    const Ipv4Net net(Ipv4Addr(10, 8, 0, 0), 24);
+    server.configure({Ipv4Addr(10, 8, 0, 1), net, {}, {}});
+    client.configure({Ipv4Addr(10, 8, 0, 2), net, {}, {}});
+  }
+
+  // Scripted SMTP client: sends each command after each server line.
+  void run_smtp(std::vector<std::string> commands) {
+    auto conn = client.connect({Ipv4Addr(10, 8, 0, 1), 25});
+    auto buffer = std::make_shared<std::string>();
+    auto cursor = std::make_shared<std::size_t>(0);
+    auto cmds = std::make_shared<std::vector<std::string>>(std::move(commands));
+    conn->on_data = [conn, buffer, cursor, cmds](std::span<const std::uint8_t> d) {
+      buffer->append(reinterpret_cast<const char*>(d.data()), d.size());
+      while (*cursor < cmds->size() &&
+             static_cast<std::size_t>(
+                 std::count(buffer->begin(), buffer->end(), '\n')) >
+                 *cursor) {
+        conn->send((*cmds)[*cursor] + "\r\n");
+        ++(*cursor);
+      }
+    };
+    loop.run_for(util::seconds(20));
+  }
+};
+
+TEST_F(ExtNetFixture, PolicedSmtpDetectsBotHelo) {
+  Cbl cbl;
+  PolicedSmtpServer smtp(server, 25, &cbl);
+  smtp.add_bot_helo("wergvan");
+  run_smtp({"HELO wergvan", "QUIT"});
+  EXPECT_EQ(smtp.sessions(), 1u);
+  EXPECT_EQ(smtp.bot_helos_detected(), 1u);
+  EXPECT_TRUE(cbl.is_listed(Ipv4Addr(10, 8, 0, 2)));
+}
+
+TEST_F(ExtNetFixture, PolicedSmtpAcceptsCleanClients) {
+  Cbl cbl;
+  PolicedSmtpServer smtp(server, 25, &cbl);
+  smtp.add_bot_helo("wergvan");
+  run_smtp({"HELO legit.example", "MAIL FROM:<a@b>", "RCPT TO:<c@d>",
+            "DATA", "hi\r\n.", "QUIT"});
+  EXPECT_EQ(smtp.bot_helos_detected(), 0u);
+  EXPECT_EQ(smtp.messages_accepted(), 1u);
+  EXPECT_FALSE(cbl.is_listed(Ipv4Addr(10, 8, 0, 2)));
+}
+
+TEST_F(ExtNetFixture, CcServerServesDocumentsAndLogs) {
+  CcServer cc(server, 80);
+  cc.set_document("/c2/tasks", "target 1.2.3.4:25\n");
+  std::optional<svc::HttpResponse> ok, missing;
+  svc::HttpRequest request;
+  request.path = "/c2/tasks";
+  svc::HttpClient::fetch(client, {Ipv4Addr(10, 8, 0, 1), 80}, request,
+                         [&](std::optional<svc::HttpResponse> r) { ok = r; });
+  loop.run_for(util::seconds(5));
+  request.path = "/nope";
+  svc::HttpClient::fetch(client, {Ipv4Addr(10, 8, 0, 1), 80}, request,
+                         [&](std::optional<svc::HttpResponse> r) {
+                           missing = r;
+                         });
+  loop.run_for(util::seconds(5));
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_NE(ok->body.find("target"), std::string::npos);
+  ASSERT_TRUE(missing);
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_EQ(cc.requests(), 2u);
+  ASSERT_EQ(cc.request_log().size(), 2u);
+  EXPECT_EQ(cc.request_log()[0], "GET /c2/tasks");
+}
+
+TEST_F(ExtNetFixture, AdServerCountsByReferer) {
+  AdServer ads(server, 80);
+  for (int i = 0; i < 3; ++i) {
+    svc::HttpRequest request;
+    request.path = "/ad?id=1";
+    request.set_header("Referer", i < 2 ? "http://a.example/"
+                                        : "http://b.example/");
+    svc::HttpClient::fetch(client, {Ipv4Addr(10, 8, 0, 1), 80}, request,
+                           [](std::optional<svc::HttpResponse>) {});
+    loop.run_for(util::seconds(3));
+  }
+  EXPECT_EQ(ads.clicks(), 3u);
+  EXPECT_EQ(ads.clicks_by_referer().at("http://a.example/"), 2u);
+  EXPECT_EQ(ads.clicks_by_referer().at("http://b.example/"), 1u);
+}
+
+TEST_F(ExtNetFixture, StormMasterCountsAcks) {
+  // A fake bot that ACKs every job line.
+  server.listen(8080, [](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_data = [conn](std::span<const std::uint8_t>) {
+      conn->send("OK\n");
+    };
+  });
+  StormMaster master(client);
+  master.send_ftp_inject({Ipv4Addr(10, 8, 0, 1), 8080},
+                         {Ipv4Addr(9, 9, 9, 9), 21}, "u", "p", "/x.html",
+                         "<iframe></iframe>");
+  loop.run_for(util::seconds(5));
+  EXPECT_EQ(master.jobs_sent(), 1u);
+  EXPECT_EQ(master.acks_received(), 1u);
+}
+
+}  // namespace
+}  // namespace gq::ext

@@ -1,0 +1,520 @@
+// Integration tests of the full containment data path: a miniature farm
+// (inmate switch + management switch + external "Internet" + gateway +
+// containment server) exercising every verdict of Figure 2 end-to-end —
+// through real DHCP, real TCP, shim injection/stripping with sequence
+// bumping, flow splicing, NAT, nonce-port proxy legs, the safety
+// filter, and inbound-flow handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "containment/handlers.h"
+#include "containment/policies.h"
+#include "containment/server.h"
+#include "gateway/gateway.h"
+#include "gateway/router.h"
+#include "net/stack.h"
+#include "netsim/event_loop.h"
+#include "netsim/vlan_switch.h"
+#include "services/dhcp.h"
+#include "services/http.h"
+#include "util/bytes.h"
+
+namespace gq {
+namespace {
+
+using util::Endpoint;
+using util::Ipv4Addr;
+using util::Ipv4Net;
+
+constexpr std::uint16_t kCsPort = 6666;
+const Ipv4Addr kGwMgmt(10, 3, 0, 1);
+const Ipv4Addr kCsAddr(10, 3, 0, 2);
+const Ipv4Addr kSinkAddr(10, 3, 0, 3);
+const Ipv4Addr kWebAddr(192, 150, 187, 12);
+const Ipv4Net kMgmtNet(Ipv4Addr(10, 3, 0, 0), 24);
+const Ipv4Net kInternalNet(Ipv4Addr(10, 0, 0, 0), 24);
+const Ipv4Net kExternalNet(Ipv4Addr(198, 18, 0, 0), 24);
+
+// A one-subfarm farm with two inmates, a containment server, a catch-all
+// TCP+UDP sink, and one external web server.
+struct FarmFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::VlanSwitch inmate_sw{loop, "isw", 6};
+  sim::VlanSwitch mgmt_sw{loop, "msw", 6};
+  sim::VlanSwitch ext_sw{loop, "esw", 6};
+  std::unique_ptr<gw::Gateway> gateway;
+  gw::SubfarmRouter* subfarm = nullptr;
+
+  net::HostStack cs_host{loop, "cs", util::MacAddr::local(0x101), 11};
+  net::HostStack sink_host{loop, "sink", util::MacAddr::local(0x102), 12};
+  net::HostStack web{loop, "web", util::MacAddr::local(0x103), 13};
+  net::HostStack inmate1{loop, "inmate1", util::MacAddr::local(0x201), 21};
+  net::HostStack inmate2{loop, "inmate2", util::MacAddr::local(0x202), 22};
+  std::unique_ptr<svc::DhcpClient> dhcp1, dhcp2;
+  std::unique_ptr<cs::ContainmentServer> cs;
+  std::vector<gw::FlowEvent> events;
+
+  // Sink bookkeeping.
+  int sink_tcp_accepts = 0;
+  std::string sink_tcp_data;
+  int sink_udp_datagrams = 0;
+
+  void SetUp() override {
+    gw::GatewayConfig gwc;
+    gwc.upstream_addr = Ipv4Addr(203, 0, 113, 1);
+    gwc.mgmt_addr = kGwMgmt;
+    gwc.mgmt_net = kMgmtNet;
+    gateway = std::make_unique<gw::Gateway>(loop, gwc);
+    gateway->set_event_handler(
+        [this](const gw::FlowEvent& event) { events.push_back(event); });
+
+    gw::SubfarmConfig sfc;
+    sfc.name = "TestFarm";
+    sfc.vlan_first = 16;
+    sfc.vlan_last = 17;  // 18-19 are free for second-subfarm tests.
+    sfc.internal_net = kInternalNet;
+    sfc.external_net = kExternalNet;
+    sfc.containment_server = {kCsAddr, kCsPort};
+    subfarm = &gateway->add_subfarm(sfc);
+
+    // Wiring: inmates on access ports, gateway on a trunk.
+    inmate_sw.set_access(0, 16);
+    inmate_sw.set_access(1, 17);
+    inmate_sw.set_trunk_all(5);
+    sim::Port::connect(inmate1.nic(), inmate_sw.port(0),
+                       util::microseconds(20));
+    sim::Port::connect(inmate2.nic(), inmate_sw.port(1),
+                       util::microseconds(20));
+    sim::Port::connect(gateway->inmate_port(), inmate_sw.port(5),
+                       util::microseconds(20));
+
+    mgmt_sw.set_access(0, 2);
+    mgmt_sw.set_access(1, 2);
+    mgmt_sw.set_access(5, 2);
+    sim::Port::connect(cs_host.nic(), mgmt_sw.port(0), util::microseconds(20));
+    sim::Port::connect(sink_host.nic(), mgmt_sw.port(1),
+                       util::microseconds(20));
+    sim::Port::connect(gateway->mgmt_port(), mgmt_sw.port(5),
+                       util::microseconds(20));
+
+    ext_sw.set_access(0, 3);
+    ext_sw.set_access(5, 3);
+    sim::Port::connect(web.nic(), ext_sw.port(0), util::microseconds(100));
+    sim::Port::connect(gateway->upstream_port(), ext_sw.port(5),
+                       util::microseconds(100));
+
+    cs_host.configure({kCsAddr, kMgmtNet, kGwMgmt, {}});
+    sink_host.configure({kSinkAddr, kMgmtNet, kGwMgmt, {}});
+    web.configure({kWebAddr, Ipv4Net(Ipv4Addr(), 0), Ipv4Addr(), {}});
+
+    cs = std::make_unique<cs::ContainmentServer>(cs_host, kCsPort, kGwMgmt);
+
+    // Catch-all sink: accepts anything on TCP 9999 / UDP 9999.
+    sink_host.listen(9999, [this](std::shared_ptr<net::TcpConnection> conn) {
+      ++sink_tcp_accepts;
+      conn->on_data = [this](std::span<const std::uint8_t> d) {
+        sink_tcp_data.append(reinterpret_cast<const char*>(d.data()),
+                             d.size());
+      };
+    });
+    auto udp_sink = sink_host.udp_open(9999);
+    udp_sink->on_datagram = [this, udp_sink](util::Endpoint,
+                                             std::vector<std::uint8_t>) {
+      ++sink_udp_datagrams;
+    };
+
+    // Boot both inmates through DHCP.
+    dhcp1 = std::make_unique<svc::DhcpClient>(inmate1, nullptr);
+    dhcp2 = std::make_unique<svc::DhcpClient>(inmate2, nullptr);
+    dhcp1->start();
+    dhcp2->start();
+    loop.run_for(util::seconds(5));
+    ASSERT_TRUE(inmate1.configured());
+    ASSERT_TRUE(inmate2.configured());
+  }
+
+  cs::PolicyEnv env_with_sink() {
+    cs::PolicyEnv env;
+    env.services["sink"] = {kSinkAddr, 9999};
+    return env;
+  }
+
+  void bind(std::shared_ptr<cs::Policy> policy) {
+    cs->bind_policy(16, 19, std::move(policy));
+  }
+};
+
+TEST_F(FarmFixture, DhcpBindsInternalAndGlobalAddresses) {
+  const auto* binding = subfarm->inmates().by_vlan(16);
+  ASSERT_NE(binding, nullptr);
+  EXPECT_TRUE(kInternalNet.contains(binding->internal_addr));
+  EXPECT_TRUE(kExternalNet.contains(binding->global_addr));
+  EXPECT_EQ(binding->internal_addr, inmate1.addr());
+  EXPECT_EQ(inmate1.config().gateway, Ipv4Addr(10, 0, 0, 254));
+  // Distinct inmates get distinct addresses.
+  const auto* binding2 = subfarm->inmates().by_vlan(17);
+  ASSERT_NE(binding2, nullptr);
+  EXPECT_NE(binding->internal_addr, binding2->internal_addr);
+  EXPECT_NE(binding->global_addr, binding2->global_addr);
+}
+
+TEST_F(FarmFixture, DefaultDenyDropsFlow) {
+  bind(std::make_shared<cs::Policy>("DefaultDeny"));
+  bool web_accepted = false;
+  web.listen(80, [&](std::shared_ptr<net::TcpConnection>) {
+    web_accepted = true;
+  });
+  bool reset = false;
+  auto conn = inmate1.connect({kWebAddr, 80});
+  conn->on_reset = [&] { reset = true; };
+  loop.run_for(util::seconds(10));
+  EXPECT_TRUE(reset);
+  EXPECT_FALSE(web_accepted);  // Containment held: nothing escaped.
+  ASSERT_FALSE(events.empty());
+  bool saw_drop = false;
+  for (const auto& event : events)
+    if (event.kind == gw::FlowEvent::Kind::kVerdict &&
+        event.verdict == shim::Verdict::kDrop)
+      saw_drop = true;
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST_F(FarmFixture, ForwardVerdictSplicesAndNats) {
+  bind(std::make_shared<cs::ForwardAllPolicy>());
+  util::Endpoint seen_client;
+  svc::HttpServer httpd(web, 80,
+                        [&](const svc::HttpRequest&, util::Endpoint client) {
+                          seen_client = client;
+                          return svc::HttpResponse::make(200, "OK", "hello");
+                        });
+  std::optional<svc::HttpResponse> response;
+  svc::HttpRequest request;
+  request.path = "/";
+  svc::HttpClient::fetch(inmate1, {kWebAddr, 80}, request,
+                         [&](std::optional<svc::HttpResponse> rsp) {
+                           response = std::move(rsp);
+                         });
+  loop.run_for(util::seconds(20));
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "hello");
+  // NAT: the web server must see the inmate's *global* address.
+  const auto* binding = subfarm->inmates().by_vlan(16);
+  EXPECT_EQ(seen_client.addr, binding->global_addr);
+}
+
+TEST_F(FarmFixture, ReflectVerdictHitsSinkTransparently) {
+  bind(std::make_shared<cs::SinkAllPolicy>(env_with_sink()));
+  bool web_accepted = false;
+  web.listen(6667, [&](std::shared_ptr<net::TcpConnection>) {
+    web_accepted = true;
+  });
+  bool connected = false;
+  auto conn = inmate1.connect({kWebAddr, 6667});  // "IRC C&C" attempt.
+  conn->on_connected = [&, conn] {
+    connected = true;
+    conn->send("NICK spambot\r\n");
+  };
+  loop.run_for(util::seconds(20));
+  EXPECT_TRUE(connected);  // Inmate believes it reached the C&C.
+  EXPECT_EQ(conn->remote().addr, kWebAddr);  // Illusion preserved.
+  EXPECT_FALSE(web_accepted);                // Nothing escaped.
+  EXPECT_EQ(sink_tcp_accepts, 1);
+  EXPECT_EQ(sink_tcp_data, "NICK spambot\r\n");
+}
+
+TEST_F(FarmFixture, RewriteVerdictFigure5) {
+  // The Figure 5 scenario: HTTP REWRITE proxy changes "GET /bot.exe" to
+  // "GET /cleanup.exe" on the way out and turns the answer into a 404.
+  class Figure5Policy : public cs::Policy {
+   public:
+    Figure5Policy() : Policy("Fig5Rewrite") {}
+    cs::Decision decide(const cs::FlowInfo&) override {
+      return cs::Decision::rewrite("C&C filtering");
+    }
+    std::unique_ptr<cs::RewriteHandler> make_rewrite_handler(
+        const cs::FlowInfo&) override {
+      auto request_filter = [](svc::HttpRequest request)
+          -> std::optional<svc::HttpRequest> {
+        if (request.path == "/bot.exe") request.path = "/cleanup.exe";
+        return request;
+      };
+      auto response_filter = [](svc::HttpResponse response) {
+        if (response.status == 200)
+          return svc::HttpResponse::make(404, "NOT FOUND", "");
+        return response;
+      };
+      return std::make_unique<cs::HttpFilterHandler>(request_filter,
+                                                     response_filter);
+    }
+  };
+  bind(std::make_shared<Figure5Policy>());
+
+  std::string path_seen_at_server;
+  svc::HttpServer httpd(web, 80,
+                        [&](const svc::HttpRequest& request, util::Endpoint) {
+                          path_seen_at_server = request.path;
+                          return svc::HttpResponse::make(200, "OK", "binary");
+                        });
+  std::optional<svc::HttpResponse> response;
+  svc::HttpRequest request;
+  request.path = "/bot.exe";
+  svc::HttpClient::fetch(inmate1, {kWebAddr, 80}, request,
+                         [&](std::optional<svc::HttpResponse> rsp) {
+                           response = std::move(rsp);
+                         });
+  loop.run_for(util::seconds(30));
+  EXPECT_EQ(path_seen_at_server, "/cleanup.exe");  // Outbound rewritten.
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->status, 404);  // Inbound rewritten.
+}
+
+TEST_F(FarmFixture, RedirectVerdictReachesOtherInmate) {
+  // Worm honeyfarm containment: inmate1's "scan" of an external host is
+  // redirected to inmate2.
+  cs::PolicyEnv env;
+  env.list_inmates = [this] {
+    std::vector<std::pair<std::uint16_t, util::Ipv4Addr>> inmates;
+    for (const auto& [vlan, binding] : subfarm->inmates().bindings())
+      inmates.emplace_back(vlan, binding.internal_addr);
+    return inmates;
+  };
+  bind(std::make_shared<cs::WormFarmPolicy>(env));
+
+  std::string exploit_at_victim;
+  inmate2.listen(445, [&](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_data = [&](std::span<const std::uint8_t> d) {
+      exploit_at_victim.append(reinterpret_cast<const char*>(d.data()),
+                               d.size());
+    };
+  });
+  auto conn = inmate1.connect({Ipv4Addr(55, 66, 77, 88), 445});
+  conn->on_connected = [conn] { conn->send("EXPLOIT-BYTES"); };
+  loop.run_for(util::seconds(20));
+  EXPECT_EQ(exploit_at_victim, "EXPLOIT-BYTES");
+  EXPECT_EQ(conn->remote().addr, Ipv4Addr(55, 66, 77, 88));
+}
+
+TEST_F(FarmFixture, LimitVerdictThrottlesThroughput) {
+  class LimitPolicy : public cs::Policy {
+   public:
+    LimitPolicy() : Policy("Limit4k") {}
+    cs::Decision decide(const cs::FlowInfo&) override {
+      return cs::Decision::limit(4096);
+    }
+  };
+  bind(std::make_shared<LimitPolicy>());
+
+  std::string received;
+  util::TimePoint done{};
+  web.listen(80, [&](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_data = [&](std::span<const std::uint8_t> d) {
+      received.append(reinterpret_cast<const char*>(d.data()), d.size());
+      done = loop.now();
+    };
+  });
+  const std::string blob(60'000, 'L');
+  const auto start = loop.now();
+  auto conn = inmate1.connect({kWebAddr, 80});
+  conn->on_connected = [&, conn] { conn->send(blob); };
+  loop.run_for(util::minutes(5));
+  EXPECT_EQ(received.size(), blob.size());  // Delivered, eventually.
+  // 60 kB at 4 kB/s (burst 8 kB) needs > 10 simulated seconds; an
+  // unthrottled transfer completes in well under one.
+  EXPECT_GT((done - start).seconds_f(), 10.0);
+}
+
+TEST_F(FarmFixture, UdpForwardAndReflect) {
+  bind(std::make_shared<cs::ForwardAllPolicy>());
+  // External UDP echo.
+  auto echo = web.udp_open(53);
+  echo->on_datagram = [echo](util::Endpoint from,
+                             std::vector<std::uint8_t> data) {
+    echo->send_to(from, data);
+  };
+  auto client = inmate1.udp_open(0);
+  std::string answer;
+  client->on_datagram = [&](util::Endpoint from,
+                            std::vector<std::uint8_t> data) {
+    answer.assign(data.begin(), data.end());
+    EXPECT_EQ(from.addr, kWebAddr);  // NAT illusion on the return path.
+  };
+  client->send_to({kWebAddr, 53}, util::to_bytes("query"));
+  loop.run_for(util::seconds(10));
+  EXPECT_EQ(answer, "query");
+}
+
+TEST_F(FarmFixture, UdpReflectLandsInSink) {
+  bind(std::make_shared<cs::SinkAllPolicy>(env_with_sink()));
+  auto client = inmate1.udp_open(0);
+  client->send_to({Ipv4Addr(8, 8, 8, 8), 53}, util::to_bytes("exfil"));
+  client->send_to({Ipv4Addr(8, 8, 4, 4), 53}, util::to_bytes("exfil"));
+  loop.run_for(util::seconds(10));
+  EXPECT_EQ(sink_udp_datagrams, 2);
+}
+
+TEST_F(FarmFixture, UdpDropByDefaultDeny) {
+  bind(std::make_shared<cs::Policy>("DefaultDeny"));
+  bool web_got_datagram = false;
+  auto server = web.udp_open(53);
+  server->on_datagram = [&](util::Endpoint, std::vector<std::uint8_t>) {
+    web_got_datagram = true;
+  };
+  auto client = inmate1.udp_open(0);
+  client->send_to({kWebAddr, 53}, util::to_bytes("probe"));
+  loop.run_for(util::seconds(10));
+  EXPECT_FALSE(web_got_datagram);
+}
+
+TEST_F(FarmFixture, SafetyFilterCapsConnectionRate) {
+  gw::SubfarmConfig tight = subfarm->config();
+  // Rebuild with a tighter filter by making a second subfarm on other
+  // VLANs is heavy; instead verify the counter via many rapid flows
+  // against the default threshold using a tiny custom threshold subfarm.
+  // Simpler: hammer > max_conns_per_dest flows at one destination.
+  bind(std::make_shared<cs::ForwardAllPolicy>());
+  web.listen(80, [](std::shared_ptr<net::TcpConnection>) {});
+  for (int i = 0; i < 600; ++i) {
+    auto conn = inmate1.connect({kWebAddr, 80});
+    conn->on_connected = [conn] { conn->close(); };
+  }
+  loop.run_for(util::seconds(30));
+  EXPECT_GT(subfarm->safety().rejected(), 0u);
+}
+
+TEST_F(FarmFixture, InboundDropModeBlocksOutsideInitiated) {
+  bind(std::make_shared<cs::ForwardAllPolicy>());
+  bool inmate_reached = false;
+  inmate1.listen(8080, [&](std::shared_ptr<net::TcpConnection>) {
+    inmate_reached = true;
+  });
+  const auto* binding = subfarm->inmates().by_vlan(16);
+  auto conn = web.connect({binding->global_addr, 8080});
+  loop.run_for(util::seconds(10));
+  EXPECT_FALSE(inmate_reached);  // Home-NAT emulation drops it.
+}
+
+TEST_F(FarmFixture, PcapTracesRecorded) {
+  bind(std::make_shared<cs::ForwardAllPolicy>());
+  web.listen(80, [](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_data = [conn](std::span<const std::uint8_t>) {
+      conn->send("ok");
+    };
+  });
+  auto conn = inmate1.connect({kWebAddr, 80});
+  conn->on_connected = [conn] { conn->send("x"); };
+  loop.run_for(util::seconds(10));
+  EXPECT_GT(subfarm->pcap().packet_count(), 5u);
+  EXPECT_GT(gateway->upstream_pcap().packet_count(), 5u);
+}
+
+// Inbound-forward mode needs its own fixture flavour.
+struct InboundFarmFixture : FarmFixture {
+  void SetUp() override {
+    FarmFixture::SetUp();
+    // Rebuild is unnecessary: flip the config through a fresh subfarm is
+    // complex, so this fixture is configured via the dedicated test.
+  }
+};
+
+TEST_F(FarmFixture, InboundForwardModeReachesInmate) {
+  // Create a second subfarm in forward mode on VLANs 18-19 and move an
+  // inmate-like host onto it.
+  gw::SubfarmConfig sfc;
+  sfc.name = "StormFarm";
+  sfc.vlan_first = 18;
+  sfc.vlan_last = 19;
+  sfc.internal_net = Ipv4Net(Ipv4Addr(10, 1, 0, 0), 24);
+  sfc.external_net = Ipv4Net(Ipv4Addr(198, 19, 0, 0), 24);
+  sfc.containment_server = {kCsAddr, kCsPort};
+  sfc.inbound_mode = gw::InboundMode::kForward;
+  auto& storm_subfarm = gateway->add_subfarm(sfc);
+
+  net::HostStack proxy_bot(loop, "proxybot", util::MacAddr::local(0x203), 23);
+  inmate_sw.set_access(2, 18);
+  sim::Port::connect(proxy_bot.nic(), inmate_sw.port(2),
+                     util::microseconds(20));
+  svc::DhcpClient dhcp(proxy_bot, nullptr);
+  dhcp.start();
+  loop.run_for(util::seconds(5));
+  ASSERT_TRUE(proxy_bot.configured());
+
+  std::string relayed;
+  proxy_bot.listen(8080, [&](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_data = [&, conn](std::span<const std::uint8_t> d) {
+      relayed.append(reinterpret_cast<const char*>(d.data()), d.size());
+      conn->send("ACK-FROM-BOT");
+    };
+  });
+
+  const auto* binding = storm_subfarm.inmates().by_vlan(18);
+  ASSERT_NE(binding, nullptr);
+  std::string reply;
+  auto conn = web.connect({binding->global_addr, 8080});
+  conn->on_connected = [conn] { conn->send("C&C-JOB"); };
+  conn->on_data = [&](std::span<const std::uint8_t> d) {
+    reply.append(reinterpret_cast<const char*>(d.data()), d.size());
+  };
+  loop.run_for(util::seconds(10));
+  EXPECT_EQ(relayed, "C&C-JOB");
+  EXPECT_EQ(reply, "ACK-FROM-BOT");
+}
+
+// Verdict sweep: every endpoint verdict produces a report event with the
+// right verdict and policy name.
+class VerdictEventSweep
+    : public FarmFixture,
+      public ::testing::WithParamInterface<shim::Verdict> {};
+
+TEST_P(VerdictEventSweep, EventCarriesVerdict) {
+  const shim::Verdict verdict = GetParam();
+  class OnePolicy : public cs::Policy {
+   public:
+    OnePolicy(shim::Verdict v, util::Endpoint sink)
+        : Policy("OnePolicy"), verdict_(v), sink_(sink) {}
+    cs::Decision decide(const cs::FlowInfo&) override {
+      switch (verdict_) {
+        case shim::Verdict::kForward: return cs::Decision::forward();
+        case shim::Verdict::kLimit: return cs::Decision::limit(100000);
+        case shim::Verdict::kDrop: return cs::Decision::drop();
+        case shim::Verdict::kRedirect:
+          return cs::Decision::redirect(sink_);
+        case shim::Verdict::kReflect: return cs::Decision::reflect(sink_);
+        case shim::Verdict::kRewrite: return cs::Decision::rewrite();
+      }
+      return cs::Decision::drop();
+    }
+    std::unique_ptr<cs::RewriteHandler> make_rewrite_handler(
+        const cs::FlowInfo&) override {
+      return std::make_unique<cs::PassthroughHandler>();
+    }
+
+   private:
+    shim::Verdict verdict_;
+    util::Endpoint sink_;
+  };
+  bind(std::make_shared<OnePolicy>(verdict,
+                                   util::Endpoint{kSinkAddr, 9999}));
+  web.listen(80, [](std::shared_ptr<net::TcpConnection>) {});
+  auto conn = inmate1.connect({kWebAddr, 80});
+  loop.run_for(util::seconds(15));
+  bool seen = false;
+  for (const auto& event : events) {
+    if (event.kind == gw::FlowEvent::Kind::kVerdict &&
+        event.verdict == verdict && event.policy_name == "OnePolicy")
+      seen = true;
+  }
+  EXPECT_TRUE(seen) << shim::verdict_name(verdict);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVerdicts, VerdictEventSweep,
+                         ::testing::Values(shim::Verdict::kForward,
+                                           shim::Verdict::kLimit,
+                                           shim::Verdict::kDrop,
+                                           shim::Verdict::kRedirect,
+                                           shim::Verdict::kReflect,
+                                           shim::Verdict::kRewrite));
+
+}  // namespace
+}  // namespace gq

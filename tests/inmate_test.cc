@@ -1,0 +1,265 @@
+// Tests for the inmate module: life-cycle state machine, hosting
+// profiles, auto-infection, the inmate controller's text protocol, the
+// raw-iron controller, and the VLAN pool.
+#include <gtest/gtest.h>
+
+#include "inmate/controller.h"
+#include "inmate/inmate.h"
+#include "inmate/vlan_pool.h"
+#include "net/stack.h"
+#include "netsim/event_loop.h"
+#include "netsim/vlan_switch.h"
+#include "services/dhcp.h"
+#include "services/http.h"
+#include "util/bytes.h"
+#include "util/strings.h"
+
+namespace gq::inm {
+namespace {
+
+using util::Endpoint;
+using util::Ipv4Addr;
+using util::Ipv4Net;
+
+// A behaviour that just records whether it is running.
+class ProbeBehavior : public Behavior {
+ public:
+  explicit ProbeBehavior(int* starts, int* stops)
+      : starts_(starts), stops_(stops) {}
+  [[nodiscard]] std::string name() const override { return "probe"; }
+  void start(net::HostStack&) override { ++*starts_; }
+  void stop() override { ++*stops_; }
+
+ private:
+  int* starts_;
+  int* stops_;
+};
+
+// Flat network with a DHCP server and an auto-infection HTTP server
+// (standing in for the gateway's in-path services).
+struct InmateFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::VlanSwitch sw{loop, "sw", 8};
+  net::HostStack infra{loop, "infra", util::MacAddr::local(1), 1};
+  std::unique_ptr<svc::DhcpServer> dhcpd;
+  std::unique_ptr<svc::HttpServer> infect_server;
+  int behavior_starts = 0;
+  int behavior_stops = 0;
+  int samples_served = 0;
+
+  void SetUp() override {
+    for (int i = 0; i < 8; ++i) sw.set_access(i, 4);
+    sim::Port::connect(infra.nic(), sw.port(0), util::microseconds(20));
+    const Ipv4Net net(Ipv4Addr(10, 6, 0, 0), 24);
+    infra.configure({Ipv4Addr(10, 6, 0, 1), net, Ipv4Addr(10, 6, 0, 1), {}});
+    dhcpd = std::make_unique<svc::DhcpServer>(
+        infra, svc::DhcpPool(
+                   svc::DhcpLeaseConfig{net, Ipv4Addr(10, 6, 0, 1),
+                                        Ipv4Addr(10, 6, 0, 1),
+                                        Ipv4Addr(10, 6, 0, 1)},
+                   50, 100));
+    infect_server = std::make_unique<svc::HttpServer>(
+        infra, 6543, [this](const svc::HttpRequest&, util::Endpoint) {
+          ++samples_served;
+          return svc::HttpResponse::make(
+              200, "OK",
+              util::format("sample-%03d.exe\nPAYLOAD", samples_served));
+        });
+  }
+
+  InmateConfig make_config(std::uint16_t vlan, HostingKind kind) {
+    InmateConfig config;
+    config.vlan = vlan;
+    config.hosting = kind;
+    config.autoinfect = Endpoint{Ipv4Addr(10, 6, 0, 1), 6543};
+    config.seed = vlan;
+    return config;
+  }
+
+  BehaviorFactory probe_factory() {
+    return [this](const std::string&, util::Rng&) {
+      return std::make_unique<ProbeBehavior>(&behavior_starts,
+                                             &behavior_stops);
+    };
+  }
+
+  std::unique_ptr<Inmate> make_inmate(std::uint16_t vlan, HostingKind kind,
+                                      std::size_t port) {
+    auto inmate = std::make_unique<Inmate>(loop, make_config(vlan, kind),
+                                           probe_factory());
+    sim::Port::connect(inmate->host().nic(), sw.port(port),
+                       util::microseconds(20));
+    return inmate;
+  }
+};
+
+TEST_F(InmateFixture, BootInfectRun) {
+  auto inmate = make_inmate(16, HostingKind::kVm, 1);
+  EXPECT_EQ(inmate->state(), InmateState::kStopped);
+  inmate->power_on();
+  EXPECT_EQ(inmate->state(), InmateState::kBooting);
+  loop.run_for(util::minutes(2));
+  EXPECT_EQ(inmate->state(), InmateState::kRunning);
+  EXPECT_EQ(inmate->current_sample(), "sample-001.exe");
+  EXPECT_EQ(behavior_starts, 1);
+  EXPECT_EQ(inmate->infections(), 1);
+}
+
+TEST_F(InmateFixture, StateTransitionsReported) {
+  auto inmate = make_inmate(16, HostingKind::kVm, 1);
+  std::vector<InmateState> states;
+  inmate->set_state_handler([&](Inmate&, InmateState, InmateState state) {
+    states.push_back(state);
+  });
+  inmate->power_on();
+  loop.run_for(util::minutes(2));
+  ASSERT_GE(states.size(), 3u);
+  EXPECT_EQ(states[0], InmateState::kBooting);
+  EXPECT_EQ(states[1], InmateState::kInfecting);
+  EXPECT_EQ(states[2], InmateState::kRunning);
+}
+
+TEST_F(InmateFixture, RevertReinfects) {
+  auto inmate = make_inmate(16, HostingKind::kVm, 1);
+  inmate->power_on();
+  loop.run_for(util::minutes(2));
+  ASSERT_EQ(inmate->current_sample(), "sample-001.exe");
+  inmate->revert();
+  EXPECT_EQ(inmate->state(), InmateState::kReverting);
+  EXPECT_EQ(behavior_stops, 1);  // Old behaviour stopped.
+  loop.run_for(util::minutes(3));
+  EXPECT_EQ(inmate->state(), InmateState::kRunning);
+  EXPECT_EQ(inmate->current_sample(), "sample-002.exe");  // Fresh sample.
+  EXPECT_EQ(inmate->infections(), 2);
+}
+
+TEST_F(InmateFixture, RebootDoesNotReinfect) {
+  auto inmate = make_inmate(16, HostingKind::kVm, 1);
+  inmate->power_on();
+  loop.run_for(util::minutes(2));
+  ASSERT_EQ(samples_served, 1);
+  inmate->reboot();
+  loop.run_for(util::minutes(2));
+  EXPECT_EQ(inmate->state(), InmateState::kRunning);
+  EXPECT_EQ(samples_served, 1);  // No second download.
+  EXPECT_EQ(inmate->current_sample(), "sample-001.exe");
+  EXPECT_EQ(behavior_starts, 2);  // Behaviour restarted though.
+}
+
+TEST_F(InmateFixture, PowerOffStopsEverything) {
+  auto inmate = make_inmate(16, HostingKind::kVm, 1);
+  inmate->power_on();
+  loop.run_for(util::minutes(2));
+  inmate->power_off();
+  EXPECT_EQ(inmate->state(), InmateState::kStopped);
+  EXPECT_EQ(behavior_stops, 1);
+  EXPECT_FALSE(inmate->host().configured());
+  // Power back on: fresh infection (it's a clean start).
+  inmate->power_on();
+  loop.run_for(util::minutes(2));
+  EXPECT_EQ(inmate->state(), InmateState::kRunning);
+}
+
+TEST_F(InmateFixture, HostingProfilesDiffer) {
+  const auto vm = HostingProfile::for_kind(HostingKind::kVm);
+  const auto emulated = HostingProfile::for_kind(HostingKind::kEmulated);
+  const auto iron = HostingProfile::for_kind(HostingKind::kRawIron);
+  EXPECT_LT(vm.boot_delay, emulated.boot_delay);
+  EXPECT_LT(vm.revert_delay, iron.revert_delay);
+  // §6.4: the reimaging cycle takes around 6 minutes.
+  EXPECT_EQ(iron.revert_delay, util::minutes(6));
+}
+
+TEST_F(InmateFixture, InfectWithDirectBehavior) {
+  auto inmate = std::make_unique<Inmate>(
+      loop, [this] {
+        auto config = make_config(16, HostingKind::kVm);
+        config.autoinfect.reset();  // Traditional honeypot mode.
+        return config;
+      }(),
+      probe_factory());
+  sim::Port::connect(inmate->host().nic(), sw.port(1),
+                     util::microseconds(20));
+  inmate->power_on();
+  loop.run_for(util::minutes(2));
+  EXPECT_EQ(inmate->state(), InmateState::kRunning);
+  EXPECT_TRUE(inmate->current_sample().empty());  // Idle, not infected.
+  int starts = 0, stops = 0;
+  inmate->infect_with(std::make_unique<ProbeBehavior>(&starts, &stops),
+                      "worm.exe");
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(inmate->current_sample(), "worm.exe");
+}
+
+TEST_F(InmateFixture, ControllerAppliesTextProtocol) {
+  auto inmate = make_inmate(16, HostingKind::kVm, 1);
+  inmate->power_on();
+  loop.run_for(util::minutes(2));
+  ASSERT_EQ(inmate->state(), InmateState::kRunning);
+
+  InmateController controller(infra, 7777);
+  controller.register_inmate(*inmate);
+  EXPECT_EQ(controller.inventory_size(), 1u);
+
+  // Send "revert 16" from another host on the network.
+  net::HostStack sender(loop, "cs", util::MacAddr::local(9), 9);
+  sim::Port::connect(sender.nic(), sw.port(2), util::microseconds(20));
+  sender.configure({Ipv4Addr(10, 6, 0, 9), Ipv4Net(Ipv4Addr(10, 6, 0, 0), 24),
+                    {}, {}});
+  auto sock = sender.udp_open(0);
+  sock->send_to({Ipv4Addr(10, 6, 0, 1), 7777}, util::to_bytes("revert 16\n"));
+  loop.run_for(util::seconds(2));
+  EXPECT_EQ(controller.actions_received(), 1u);
+  EXPECT_EQ(inmate->state(), InmateState::kReverting);
+}
+
+TEST_F(InmateFixture, ControllerRejectsUnknownVlanAndVerb) {
+  InmateController controller(infra, 7777);
+  std::vector<InmateController::Action> actions;
+  controller.set_action_handler(
+      [&](const InmateController::Action& action) {
+        actions.push_back(action);
+      });
+  EXPECT_FALSE(controller.apply("revert", 99));
+  EXPECT_FALSE(controller.apply("explode", 16));
+}
+
+TEST_F(InmateFixture, RawIronControllerFleetOps) {
+  auto iron1 = make_inmate(20, HostingKind::kRawIron, 1);
+  auto iron2 = make_inmate(21, HostingKind::kRawIron, 2);
+  iron1->power_on();
+  iron2->power_on();
+  loop.run_for(util::minutes(3));
+  ASSERT_EQ(iron1->state(), InmateState::kRunning);
+
+  RawIronController ric;
+  ric.register_system(*iron1);
+  ric.register_system(*iron2);
+  EXPECT_EQ(ric.fleet_size(), 2u);
+
+  ric.reimage_all();
+  EXPECT_EQ(ric.reimages(), 2u);
+  EXPECT_EQ(iron1->state(), InmateState::kReverting);
+  EXPECT_EQ(iron2->state(), InmateState::kReverting);
+  // Simultaneous: both back up after one reimage period, not two.
+  loop.run_for(util::minutes(6) + util::minutes(3));
+  EXPECT_EQ(iron1->state(), InmateState::kRunning);
+  EXPECT_EQ(iron2->state(), InmateState::kRunning);
+}
+
+TEST(VlanPool, AllocateReserveRelease) {
+  VlanPool pool(16, 18);
+  EXPECT_EQ(pool.capacity(), 3u);
+  EXPECT_EQ(pool.allocate(), 16);
+  EXPECT_TRUE(pool.reserve(18));
+  EXPECT_FALSE(pool.reserve(18));  // Taken.
+  EXPECT_FALSE(pool.reserve(99));  // Out of range.
+  EXPECT_EQ(pool.allocate(), 17);
+  EXPECT_TRUE(pool.exhausted());
+  EXPECT_FALSE(pool.allocate());
+  pool.release(17);
+  EXPECT_EQ(pool.allocate(), 17);
+}
+
+}  // namespace
+}  // namespace gq::inm

@@ -1,0 +1,235 @@
+// Unit tests for src/netsim: event-loop ordering and cancellation, port
+// links, and the learning VLAN switch's isolation guarantees.
+#include <gtest/gtest.h>
+
+#include "netsim/event_loop.h"
+#include "netsim/port.h"
+#include "netsim/vlan_switch.h"
+#include "packet/headers.h"
+
+namespace gq::sim {
+namespace {
+
+using util::MacAddr;
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(util::TimePoint{300}, [&] { order.push_back(3); });
+  loop.schedule_at(util::TimePoint{100}, [&] { order.push_back(1); });
+  loop.schedule_at(util::TimePoint{200}, [&] { order.push_back(2); });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.events_executed(), 3u);
+}
+
+TEST(EventLoop, FifoForEqualTimes) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    loop.schedule_at(util::TimePoint{50}, [&, i] { order.push_back(i); });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, RunUntilStopsClockAtDeadline) {
+  EventLoop loop;
+  bool late = false;
+  loop.schedule_at(util::TimePoint{1'000'000}, [&] { late = true; });
+  loop.run_until(util::TimePoint{500});
+  EXPECT_FALSE(late);
+  EXPECT_EQ(loop.now().usec, 500);
+  loop.run_until(util::TimePoint{2'000'000});
+  EXPECT_TRUE(late);
+}
+
+TEST(EventLoop, Cancel) {
+  EventLoop loop;
+  bool ran = false;
+  auto id = loop.schedule_in(util::seconds(1), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) loop.schedule_in(util::seconds(1), recur);
+  };
+  loop.schedule_in(util::seconds(1), recur);
+  loop.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now().usec, util::seconds(5).usec);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  loop.run_until(util::TimePoint{1000});
+  bool ran = false;
+  loop.schedule_at(util::TimePoint{0}, [&] { ran = true; });
+  loop.run_until(util::TimePoint{1001});
+  EXPECT_TRUE(ran);
+}
+
+TEST(Port, DeliversAfterLatency) {
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(50));
+  std::vector<std::uint8_t> got;
+  util::TimePoint arrival{};
+  b.set_rx([&](Frame f) {
+    got = f.bytes;
+    arrival = loop.now();
+  });
+  a.transmit(Frame{{1, 2, 3}});
+  loop.run_all();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(arrival.usec, 50);
+  EXPECT_EQ(a.tx_frames(), 1u);
+  EXPECT_EQ(b.rx_frames(), 1u);
+}
+
+TEST(Port, UnconnectedDrops) {
+  EventLoop loop;
+  Port a(loop, "a");
+  a.transmit(Frame{{1}});
+  loop.run_all();
+  EXPECT_EQ(a.dropped_frames(), 1u);
+}
+
+// --- VLAN switch ----------------------------------------------------------
+
+// Builds an untagged unicast/broadcast frame with the given MACs.
+Frame make_frame(MacAddr dst, MacAddr src) {
+  pkt::EthHeader eth;
+  eth.dst = dst;
+  eth.src = src;
+  eth.ethertype = pkt::kEtherTypeIpv4;
+  std::vector<std::uint8_t> payload(46, 0);
+  return Frame{pkt::serialize_eth(eth, payload)};
+}
+
+struct SwitchFixture : ::testing::Test {
+  EventLoop loop;
+  VlanSwitch sw{loop, "sw", 4};
+  Port h0{loop, "h0"}, h1{loop, "h1"}, h2{loop, "h2"}, trunk{loop, "trunk"};
+  std::vector<Frame> rx0, rx1, rx2, rx_trunk;
+
+  void SetUp() override {
+    Port::connect(h0, sw.port(0), util::microseconds(1));
+    Port::connect(h1, sw.port(1), util::microseconds(1));
+    Port::connect(h2, sw.port(2), util::microseconds(1));
+    Port::connect(trunk, sw.port(3), util::microseconds(1));
+    h0.set_rx([&](Frame f) { rx0.push_back(std::move(f)); });
+    h1.set_rx([&](Frame f) { rx1.push_back(std::move(f)); });
+    h2.set_rx([&](Frame f) { rx2.push_back(std::move(f)); });
+    trunk.set_rx([&](Frame f) { rx_trunk.push_back(std::move(f)); });
+  }
+};
+
+TEST_F(SwitchFixture, FloodsWithinVlanOnly) {
+  sw.set_access(0, 10);
+  sw.set_access(1, 10);
+  sw.set_access(2, 20);
+  h0.transmit(make_frame(MacAddr::broadcast(), MacAddr::local(100)));
+  loop.run_all();
+  EXPECT_EQ(rx1.size(), 1u);   // Same VLAN: sees broadcast.
+  EXPECT_EQ(rx2.size(), 0u);   // Different VLAN: isolated.
+  EXPECT_EQ(rx0.size(), 0u);   // Never echoed back.
+}
+
+TEST_F(SwitchFixture, LearnsAndUnicasts) {
+  sw.set_access(0, 10);
+  sw.set_access(1, 10);
+  sw.set_access(2, 10);
+  // h0 announces itself via broadcast; switch learns MAC 100 on port 0.
+  h0.transmit(make_frame(MacAddr::broadcast(), MacAddr::local(100)));
+  loop.run_all();
+  rx1.clear();
+  rx2.clear();
+  // h1 sends unicast to MAC 100: only h0 receives it.
+  h1.transmit(make_frame(MacAddr::local(100), MacAddr::local(101)));
+  loop.run_all();
+  EXPECT_EQ(rx0.size(), 1u);
+  EXPECT_EQ(rx2.size(), 0u);
+}
+
+TEST_F(SwitchFixture, TrunkCarriesTaggedFrames) {
+  sw.set_access(0, 10);
+  sw.set_trunk_all(3);
+  h0.transmit(make_frame(MacAddr::broadcast(), MacAddr::local(100)));
+  loop.run_all();
+  ASSERT_EQ(rx_trunk.size(), 1u);
+  auto parsed = pkt::parse_eth(rx_trunk[0].bytes, nullptr);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->vlan);
+  EXPECT_EQ(*parsed->vlan, 10);  // Tag added on trunk egress.
+}
+
+TEST_F(SwitchFixture, TrunkToAccessStripsTag) {
+  sw.set_access(0, 10);
+  sw.set_trunk_all(3);
+  pkt::EthHeader eth;
+  eth.dst = MacAddr::broadcast();
+  eth.src = MacAddr::local(200);
+  eth.vlan = 10;
+  eth.ethertype = pkt::kEtherTypeIpv4;
+  trunk.transmit(Frame{pkt::serialize_eth(eth, std::vector<std::uint8_t>(46, 0))});
+  loop.run_all();
+  ASSERT_EQ(rx0.size(), 1u);
+  auto parsed = pkt::parse_eth(rx0[0].bytes, nullptr);
+  ASSERT_TRUE(parsed);
+  EXPECT_FALSE(parsed->vlan);  // Untagged on access egress.
+}
+
+TEST_F(SwitchFixture, SelectiveTrunkFilters) {
+  sw.set_access(0, 10);
+  sw.set_access(1, 20);
+  sw.set_trunk(3, {10});  // Trunk carries only VLAN 10.
+  h0.transmit(make_frame(MacAddr::broadcast(), MacAddr::local(100)));
+  h1.transmit(make_frame(MacAddr::broadcast(), MacAddr::local(101)));
+  loop.run_all();
+  EXPECT_EQ(rx_trunk.size(), 1u);  // Only VLAN 10's broadcast.
+}
+
+TEST_F(SwitchFixture, UnconfiguredPortDrops) {
+  sw.set_access(0, 10);
+  h1.transmit(make_frame(MacAddr::broadcast(), MacAddr::local(101)));
+  loop.run_all();
+  EXPECT_EQ(rx0.size(), 0u);
+  EXPECT_GE(sw.dropped_frames(), 1u);
+}
+
+TEST_F(SwitchFixture, TaggedFrameOnAccessPortDropped) {
+  sw.set_access(0, 10);
+  sw.set_access(1, 10);
+  pkt::EthHeader eth;
+  eth.dst = MacAddr::broadcast();
+  eth.src = MacAddr::local(100);
+  eth.vlan = 10;
+  eth.ethertype = pkt::kEtherTypeIpv4;
+  h0.transmit(Frame{pkt::serialize_eth(eth, std::vector<std::uint8_t>(46, 0))});
+  loop.run_all();
+  EXPECT_EQ(rx1.size(), 0u);
+}
+
+TEST_F(SwitchFixture, LearningIsPerVlan) {
+  // The same MAC on two VLANs must not leak unicast across VLANs.
+  sw.set_access(0, 10);
+  sw.set_access(1, 20);
+  sw.set_access(2, 20);
+  h0.transmit(make_frame(MacAddr::broadcast(), MacAddr::local(100)));
+  loop.run_all();
+  // h1 (VLAN 20) sends a unicast to MAC 100, which was learned on VLAN 10
+  // only — the frame must flood VLAN 20 (reaching h2), not go to h0.
+  rx0.clear();
+  h1.transmit(make_frame(MacAddr::local(100), MacAddr::local(101)));
+  loop.run_all();
+  EXPECT_EQ(rx0.size(), 0u);
+  EXPECT_EQ(rx2.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gq::sim

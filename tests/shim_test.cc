@@ -1,0 +1,166 @@
+// Shim protocol tests: exact wire sizes from the paper's Figure 4
+// (24-byte request, >= 56-byte response), round-trips, malformed-input
+// rejection, and the stream-scanning helper the gateway uses.
+#include <gtest/gtest.h>
+
+#include "shim/shim.h"
+#include "util/bytes.h"
+
+namespace gq::shim {
+namespace {
+
+using util::Endpoint;
+using util::Ipv4Addr;
+
+RequestShim sample_request() {
+  RequestShim shim;
+  shim.orig = {Ipv4Addr(10, 0, 0, 23), 1234};
+  shim.resp = {Ipv4Addr(192, 150, 187, 12), 80};
+  shim.vlan = 12;
+  shim.nonce_port = 42;
+  return shim;
+}
+
+TEST(RequestShim, ExactlyTwentyFourBytes) {
+  EXPECT_EQ(sample_request().encode().size(), 24u);
+  EXPECT_EQ(kRequestShimSize, 24u);
+}
+
+TEST(RequestShim, RoundTrip) {
+  auto bytes = sample_request().encode();
+  auto parsed = RequestShim::parse(bytes);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->orig.addr.str(), "10.0.0.23");
+  EXPECT_EQ(parsed->orig.port, 1234);
+  EXPECT_EQ(parsed->resp.addr.str(), "192.150.187.12");
+  EXPECT_EQ(parsed->resp.port, 80);
+  EXPECT_EQ(parsed->vlan, 12);
+  EXPECT_EQ(parsed->nonce_port, 42);
+}
+
+TEST(RequestShim, PreambleLayout) {
+  auto bytes = sample_request().encode();
+  // Magic (4) | length (2) | type (1) | version (1).
+  EXPECT_EQ(bytes[0], 0x47);  // 'G'
+  EXPECT_EQ(bytes[1], 0x51);  // 'Q'
+  EXPECT_EQ(bytes[2], 0x53);  // 'S'
+  EXPECT_EQ(bytes[3], 0x48);  // 'H'
+  EXPECT_EQ((bytes[4] << 8) | bytes[5], 24);
+  EXPECT_EQ(bytes[6], kTypeRequest);
+  EXPECT_EQ(bytes[7], kShimVersion);
+}
+
+TEST(RequestShim, RejectsWrongMagicAndTruncation) {
+  auto bytes = sample_request().encode();
+  auto corrupted = bytes;
+  corrupted[0] ^= 0xFF;
+  EXPECT_FALSE(RequestShim::parse(corrupted));
+  bytes.resize(23);
+  EXPECT_FALSE(RequestShim::parse(bytes));
+}
+
+TEST(RequestShim, RejectsResponseType) {
+  ResponseShim response;
+  response.policy_name = "X";
+  EXPECT_FALSE(RequestShim::parse(response.encode()));
+}
+
+TEST(ResponseShim, MinimumFiftySixBytes) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kForward;
+  shim.policy_name = "Rustock";
+  EXPECT_EQ(shim.encode().size(), 56u);
+  EXPECT_EQ(kResponseShimMinSize, 56u);
+}
+
+TEST(ResponseShim, RoundTripWithAnnotation) {
+  ResponseShim shim;
+  shim.orig = {Ipv4Addr(10, 0, 0, 23), 1234};
+  shim.resp = {Ipv4Addr(10, 3, 1, 4), 2526};
+  shim.verdict = Verdict::kReflect;
+  shim.policy_name = "Grum";
+  shim.annotation = "full SMTP containment";
+  auto bytes = shim.encode();
+  EXPECT_EQ(bytes.size(), 56u + shim.annotation.size());
+  std::size_t consumed = 0;
+  auto parsed = ResponseShim::parse(bytes, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(parsed->verdict, Verdict::kReflect);
+  EXPECT_EQ(parsed->policy_name, "Grum");
+  EXPECT_EQ(parsed->annotation, "full SMTP containment");
+  EXPECT_EQ(parsed->resp.port, 2526);
+}
+
+TEST(ResponseShim, PolicyNameTruncatedTo32) {
+  ResponseShim shim;
+  shim.policy_name = std::string(64, 'P');
+  auto parsed = ResponseShim::parse(shim.encode());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->policy_name, std::string(32, 'P'));
+}
+
+TEST(ResponseShim, AllVerdictOpcodesRoundTrip) {
+  for (auto verdict :
+       {Verdict::kForward, Verdict::kLimit, Verdict::kDrop,
+        Verdict::kRedirect, Verdict::kReflect, Verdict::kRewrite}) {
+    ResponseShim shim;
+    shim.verdict = verdict;
+    auto parsed = ResponseShim::parse(shim.encode());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->verdict, verdict);
+  }
+}
+
+TEST(ResponseShim, RejectsInvalidOpcode) {
+  ResponseShim shim;
+  auto bytes = shim.encode();
+  // The opcode lives right after preamble (8) + four-tuple (12).
+  bytes[20] = 0;
+  bytes[21] = 0;
+  bytes[22] = 0;
+  bytes[23] = 99;
+  EXPECT_FALSE(ResponseShim::parse(bytes));
+}
+
+TEST(ResponseShim, ParseFromStreamPrefixOnly) {
+  // The gateway scans a reassembled stream: shim followed by payload.
+  ResponseShim shim;
+  shim.verdict = Verdict::kRewrite;
+  shim.policy_name = "Rustock";
+  auto bytes = shim.encode();
+  const std::size_t shim_len = bytes.size();
+  auto trailing = util::to_bytes("HTTP/1.1 200 OK\r\n");
+  bytes.insert(bytes.end(), trailing.begin(), trailing.end());
+  std::size_t consumed = 0;
+  auto parsed = ResponseShim::parse(bytes, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(consumed, shim_len);
+}
+
+TEST(CompleteShimLength, DetectsPartialAndComplete) {
+  ResponseShim shim;
+  shim.annotation = "xyz";
+  auto bytes = shim.encode();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::span<const std::uint8_t> partial(bytes.data(), cut);
+    EXPECT_FALSE(complete_shim_length(partial, kTypeResponse))
+        << "cut=" << cut;
+  }
+  auto full = complete_shim_length(bytes, kTypeResponse);
+  ASSERT_TRUE(full);
+  EXPECT_EQ(*full, bytes.size());
+  EXPECT_FALSE(complete_shim_length(bytes, kTypeRequest));
+}
+
+TEST(VerdictNames, AllNamed) {
+  EXPECT_STREQ(verdict_name(Verdict::kForward), "FORWARD");
+  EXPECT_STREQ(verdict_name(Verdict::kLimit), "LIMIT");
+  EXPECT_STREQ(verdict_name(Verdict::kDrop), "DROP");
+  EXPECT_STREQ(verdict_name(Verdict::kRedirect), "REDIRECT");
+  EXPECT_STREQ(verdict_name(Verdict::kReflect), "REFLECT");
+  EXPECT_STREQ(verdict_name(Verdict::kRewrite), "REWRITE");
+}
+
+}  // namespace
+}  // namespace gq::shim

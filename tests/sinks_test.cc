@@ -1,0 +1,292 @@
+// Tests for the sink servers: the catch-all sink's flow capture, and
+// the fidelity-adjustable SMTP sink's protocol engine (strict/lenient),
+// probabilistic drops, banner grabbing, and per-source accounting.
+#include <gtest/gtest.h>
+
+#include "net/stack.h"
+#include "netsim/event_loop.h"
+#include "netsim/vlan_switch.h"
+#include "sinks/catchall.h"
+#include "sinks/smtp_sink.h"
+#include "util/bytes.h"
+
+namespace gq::sinks {
+namespace {
+
+using util::Endpoint;
+using util::Ipv4Addr;
+using util::Ipv4Net;
+
+struct SinkFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::VlanSwitch sw{loop, "sw", 4};
+  net::HostStack sink_host{loop, "sink", util::MacAddr::local(1), 1};
+  net::HostStack bot{loop, "bot", util::MacAddr::local(2), 2};
+  net::HostStack other{loop, "other", util::MacAddr::local(3), 3};
+
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) sw.set_access(i, 7);
+    sim::Port::connect(sink_host.nic(), sw.port(0), util::microseconds(20));
+    sim::Port::connect(bot.nic(), sw.port(1), util::microseconds(20));
+    sim::Port::connect(other.nic(), sw.port(2), util::microseconds(20));
+    const Ipv4Net net(Ipv4Addr(10, 5, 0, 0), 24);
+    sink_host.configure({Ipv4Addr(10, 5, 0, 1), net, {}, {}});
+    bot.configure({Ipv4Addr(10, 5, 0, 2), net, {}, {}});
+    other.configure({Ipv4Addr(10, 5, 0, 3), net, {}, {}});
+  }
+
+  // Runs a scripted SMTP exchange; returns all server lines received.
+  std::string run_smtp_script(std::uint16_t port,
+                              std::vector<std::string> commands,
+                              util::Duration duration = util::seconds(30)) {
+    auto conn = bot.connect({Ipv4Addr(10, 5, 0, 1), port});
+    auto received = std::make_shared<std::string>();
+    auto cursor = std::make_shared<std::size_t>(0);
+    auto cmds = std::make_shared<std::vector<std::string>>(
+        std::move(commands));
+    conn->on_data = [conn, received, cursor,
+                     cmds](std::span<const std::uint8_t> d) {
+      received->append(reinterpret_cast<const char*>(d.data()), d.size());
+      // Send the next command after each complete server line.
+      while (received->find("\r\n") != std::string::npos &&
+             *cursor < cmds->size()) {
+        const auto lines = std::count(received->begin(), received->end(),
+                                      '\n');
+        if (static_cast<std::size_t>(lines) <= *cursor) break;
+        conn->send((*cmds)[*cursor] + "\r\n");
+        ++(*cursor);
+      }
+    };
+    loop.run_for(duration);
+    return *received;
+  }
+};
+
+TEST_F(SinkFixture, CatchAllRecordsTcpAndUdp) {
+  CatchAllSink sink(sink_host, 9999);
+  auto conn = bot.connect({Ipv4Addr(10, 5, 0, 1), 9999});
+  conn->on_connected = [conn] { conn->send("GET /evil HTTP/1.1\r\n"); };
+  auto udp = bot.udp_open(0);
+  udp->send_to({Ipv4Addr(10, 5, 0, 1), 9999}, util::to_bytes("beacon"));
+  loop.run_for(util::seconds(5));
+
+  EXPECT_EQ(sink.tcp_flows(), 1u);
+  EXPECT_EQ(sink.udp_datagrams(), 1u);
+  ASSERT_EQ(sink.records().size(), 2u);
+  bool saw_http = false, saw_beacon = false;
+  for (const auto& record : sink.records()) {
+    if (record.first_bytes.find("GET /evil") != std::string::npos)
+      saw_http = true;
+    if (record.first_bytes == "beacon") saw_beacon = true;
+  }
+  EXPECT_TRUE(saw_http);
+  EXPECT_TRUE(saw_beacon);
+}
+
+TEST_F(SinkFixture, CatchAllNeverResponds) {
+  CatchAllSink sink(sink_host, 9999);
+  auto conn = bot.connect({Ipv4Addr(10, 5, 0, 1), 9999});
+  auto got_data = std::make_shared<bool>(false);
+  conn->on_connected = [conn] { conn->send("anyone there?\r\n"); };
+  conn->on_data = [got_data](std::span<const std::uint8_t>) {
+    *got_data = true;
+  };
+  loop.run_for(util::seconds(10));
+  EXPECT_FALSE(*got_data);
+}
+
+TEST_F(SinkFixture, CatchAllCapturesBoundedPrefix) {
+  CatchAllSink sink(sink_host, 9999, /*capture_limit=*/16);
+  auto conn = bot.connect({Ipv4Addr(10, 5, 0, 1), 9999});
+  conn->on_connected = [conn] { conn->send(std::string(1000, 'A')); };
+  loop.run_for(util::seconds(5));
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].first_bytes.size(), 16u);
+}
+
+TEST_F(SinkFixture, SmtpLenientFullTransaction) {
+  SmtpSinkConfig config;
+  config.port = 2526;
+  SmtpSink sink(sink_host, config);
+  run_smtp_script(2526, {
+    "HELO spammer",
+    "MAIL FROM:<bot@evil.example>",
+    "RCPT TO:<victim@example.com>",
+    "DATA",
+    "Subject: spam\r\n\r\nbuy stuff\r\n.",
+    "QUIT",
+  });
+  EXPECT_EQ(sink.sessions(), 1u);
+  EXPECT_EQ(sink.data_transfers(), 1u);
+  ASSERT_EQ(sink.harvest().size(), 1u);
+  const auto& message = sink.harvest()[0];
+  EXPECT_EQ(message.helo, "spammer");
+  EXPECT_EQ(message.mail_from, "bot@evil.example");
+  ASSERT_EQ(message.rcpt_to.size(), 1u);
+  EXPECT_EQ(message.rcpt_to[0], "victim@example.com");
+  EXPECT_NE(message.data.find("buy stuff"), std::string::npos);
+}
+
+TEST_F(SinkFixture, SmtpLenientToleratesBotGrammar) {
+  // §7.1 "protocol violations": repeated HELOs, colon-less/bracket-less
+  // addresses — the lenient engine must still reach DATA.
+  SmtpSinkConfig config;
+  config.port = 2526;
+  config.strict_protocol = false;
+  SmtpSink sink(sink_host, config);
+  run_smtp_script(2526, {
+    "HELO wergvan",
+    "HELO wergvan",
+    "MAIL FROM bot@evil.example",
+    "RCPT TO victim@example.com",
+    "DATA",
+    "spam body\r\n.",
+    "QUIT",
+  });
+  EXPECT_EQ(sink.data_transfers(), 1u);
+  ASSERT_EQ(sink.harvest().size(), 1u);
+  EXPECT_EQ(sink.harvest()[0].mail_from, "bot@evil.example");
+}
+
+TEST_F(SinkFixture, SmtpStrictNeverReachesData) {
+  // The same bot dialogue against the strict engine: the repeated HELO
+  // draws a 503 and the malformed MAIL a 501 — zero DATA transfers,
+  // exactly the paper's "healthy at the connection level, meager at the
+  // content level".
+  SmtpSinkConfig config;
+  config.port = 2526;
+  config.strict_protocol = true;
+  SmtpSink sink(sink_host, config);
+  const std::string transcript = run_smtp_script(2526, {
+    "HELO wergvan",
+    "HELO wergvan",
+    "MAIL FROM bot@evil.example",
+    "RCPT TO victim@example.com",
+    "DATA",
+    "spam body\r\n.",
+    "QUIT",
+  });
+  EXPECT_EQ(sink.sessions(), 1u);
+  EXPECT_EQ(sink.data_transfers(), 0u);
+  EXPECT_NE(transcript.find("503"), std::string::npos);
+}
+
+TEST_F(SinkFixture, SmtpStrictAcceptsCleanDialogue) {
+  SmtpSinkConfig config;
+  config.port = 2526;
+  config.strict_protocol = true;
+  SmtpSink sink(sink_host, config);
+  run_smtp_script(2526, {
+    "EHLO clean.example",
+    "MAIL FROM:<a@b.example>",
+    "RCPT TO:<c@d.example>",
+    "DATA",
+    "ok\r\n.",
+    "QUIT",
+  });
+  EXPECT_EQ(sink.data_transfers(), 1u);
+}
+
+TEST_F(SinkFixture, ProbabilisticDropsReduceSessions) {
+  SmtpSinkConfig config;
+  config.port = 2526;
+  config.drop_probability = 0.5;
+  config.seed = 99;
+  SmtpSink sink(sink_host, config);
+  int resets = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto conn = bot.connect({Ipv4Addr(10, 5, 0, 1), 2526});
+    conn->on_reset = [&] { ++resets; };
+  }
+  loop.run_for(util::seconds(30));
+  // Figure 7: REFLECTed flows exceed SMTP sessions because of the drops.
+  EXPECT_GT(sink.dropped_connections(), 5u);
+  EXPECT_GT(sink.sessions(), 5u);
+  EXPECT_EQ(sink.sessions() + sink.dropped_connections(), 40u);
+  EXPECT_EQ(static_cast<std::uint64_t>(resets),
+            sink.dropped_connections());
+}
+
+TEST_F(SinkFixture, BannerGrabbingFetchesRealGreeting) {
+  // A "real" SMTP server with a distinctive banner on `other`.
+  other.listen(25, [](std::shared_ptr<net::TcpConnection> conn) {
+    conn->send("220 mx.真google.example ESMTP gsmtp\r\n");
+  });
+  SmtpSinkConfig config;
+  config.port = 2526;
+  config.banner_grabbing = true;
+  SmtpSink sink(sink_host, config);
+  sink.add_destination_hint(Ipv4Addr(10, 5, 0, 2),
+                            {Ipv4Addr(10, 5, 0, 3), 25});
+
+  const std::string transcript = run_smtp_script(2526, {"QUIT"});
+  EXPECT_NE(transcript.find("gsmtp"), std::string::npos);
+  EXPECT_EQ(sink.banners_grabbed(), 1u);
+}
+
+TEST_F(SinkFixture, BannerGrabbingFallsBackWithoutHint) {
+  SmtpSinkConfig config;
+  config.port = 2526;
+  config.banner_grabbing = true;
+  config.static_banner = "220 fallback ESMTP";
+  SmtpSink sink(sink_host, config);
+  const std::string transcript = run_smtp_script(2526, {"QUIT"});
+  EXPECT_NE(transcript.find("fallback"), std::string::npos);
+  EXPECT_EQ(sink.banners_grabbed(), 0u);
+}
+
+TEST_F(SinkFixture, HintChannelParsesDatagrams) {
+  SmtpSinkConfig config;
+  config.port = 2526;
+  config.hint_port = 2527;
+  config.banner_grabbing = true;
+  SmtpSink sink(sink_host, config);
+  auto sock = bot.udp_open(0);
+  sock->send_to({Ipv4Addr(10, 5, 0, 1), 2527},
+                util::to_bytes("10.5.0.2 10.5.0.3:25\n"));
+  other.listen(25, [](std::shared_ptr<net::TcpConnection> conn) {
+    conn->send("220 hinted ESMTP\r\n");
+  });
+  loop.run_for(util::seconds(2));
+  const std::string transcript = run_smtp_script(2526, {"QUIT"});
+  EXPECT_NE(transcript.find("hinted"), std::string::npos);
+}
+
+TEST_F(SinkFixture, PerSourceAccounting) {
+  SmtpSinkConfig config;
+  config.port = 2526;
+  SmtpSink sink(sink_host, config);
+  // Two sessions from bot, one from other.
+  for (int i = 0; i < 2; ++i) {
+    auto conn = bot.connect({Ipv4Addr(10, 5, 0, 1), 2526});
+    conn->on_data = [conn](std::span<const std::uint8_t>) { conn->close(); };
+  }
+  auto conn = other.connect({Ipv4Addr(10, 5, 0, 1), 2526});
+  conn->on_data = [conn](std::span<const std::uint8_t>) { conn->close(); };
+  loop.run_for(util::seconds(10));
+  const auto& by_source = sink.by_source();
+  ASSERT_EQ(by_source.size(), 2u);
+  EXPECT_EQ(by_source.at(Ipv4Addr(10, 5, 0, 2)).sessions, 2u);
+  EXPECT_EQ(by_source.at(Ipv4Addr(10, 5, 0, 3)).sessions, 1u);
+}
+
+TEST_F(SinkFixture, RsetResetsTransaction) {
+  SmtpSinkConfig config;
+  config.port = 2526;
+  SmtpSink sink(sink_host, config);
+  run_smtp_script(2526, {
+    "HELO x",
+    "MAIL FROM:<a@b>",
+    "RSET",
+    "MAIL FROM:<c@d>",
+    "RCPT TO:<e@f>",
+    "DATA",
+    "body\r\n.",
+    "QUIT",
+  });
+  ASSERT_EQ(sink.harvest().size(), 1u);
+  EXPECT_EQ(sink.harvest()[0].mail_from, "c@d");
+}
+
+}  // namespace
+}  // namespace gq::sinks

@@ -1,0 +1,329 @@
+// Unit tests for src/util: byte buffers, addresses, rng, strings, md5,
+// rate limiting, ini parsing, glob matching.
+#include <gtest/gtest.h>
+
+#include "util/addr.h"
+#include "util/bytes.h"
+#include "util/glob.h"
+#include "util/ini.h"
+#include "util/md5.h"
+#include "util/rate.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/time.h"
+
+namespace gq::util {
+namespace {
+
+TEST(Bytes, RoundTripIntegers) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  auto buf = w.take();
+  ASSERT_EQ(buf.size(), 15u);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, NetworkByteOrder) {
+  ByteWriter w;
+  w.u16(0x0102);
+  auto buf = w.take();
+  EXPECT_EQ(buf[0], 0x01);  // Big-endian on the wire.
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Bytes, UnderflowThrows) {
+  std::vector<std::uint8_t> buf = {1, 2};
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), BufferUnderflow);
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.str("payload");
+  w.patch_u16(0, 0xBEEF);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  ByteReader r(w.view());
+  EXPECT_EQ(r.str(5), "hello");
+}
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  auto a = Ipv4Addr::parse("192.168.1.42");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->str(), "192.168.1.42");
+  EXPECT_EQ(a->value(), 0xC0A8012Au);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4Addr, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Addr(10, 0, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 31, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Addr(172, 32, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(192, 168, 5, 5).is_private());
+  EXPECT_FALSE(Ipv4Addr(8, 8, 8, 8).is_private());
+}
+
+TEST(Ipv4Net, ContainsAndHosts) {
+  auto net = Ipv4Net::parse("10.3.0.0/24");
+  ASSERT_TRUE(net);
+  EXPECT_TRUE(net->contains(Ipv4Addr(10, 3, 0, 77)));
+  EXPECT_FALSE(net->contains(Ipv4Addr(10, 4, 0, 77)));
+  EXPECT_EQ(net->size(), 256u);
+  EXPECT_EQ(net->host(5).str(), "10.3.0.5");
+}
+
+TEST(Ipv4Net, NormalizesBase) {
+  Ipv4Net net(Ipv4Addr(10, 3, 0, 99), 24);
+  EXPECT_EQ(net.base().str(), "10.3.0.0");
+}
+
+TEST(MacAddr, LocalAndBroadcast) {
+  auto m = MacAddr::local(0x1234);
+  EXPECT_EQ(m.str(), "02:00:00:00:12:34");
+  EXPECT_FALSE(m.is_multicast());
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+}
+
+TEST(Endpoint, Ordering) {
+  Endpoint a{Ipv4Addr(1, 2, 3, 4), 80};
+  Endpoint b{Ipv4Addr(1, 2, 3, 4), 81};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.str(), "1.2.3.4:80");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.3);
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = split_ws("  foo \t bar\nbaz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "bar");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("4x"));
+  EXPECT_FALSE(parse_int(""));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 5, "ok"), "5-ok");
+}
+
+TEST(Strings, StartsWithIcase) {
+  EXPECT_TRUE(starts_with_icase("HELO example", "helo"));
+  EXPECT_FALSE(starts_with_icase("EH", "ehlo"));
+}
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex_digest(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex_digest("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex_digest("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex_digest("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(
+      Md5::hex_digest("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01"
+                      "23456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5, StreamingMatchesOneShot) {
+  Md5 md5;
+  md5.update("mess");
+  md5.update("age digest");
+  auto d = md5.digest();
+  EXPECT_EQ(hex(d.data(), d.size()), "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(TokenBucket, EnforcesRate) {
+  TokenBucket bucket(10.0, 5.0);  // 10/s, burst 5.
+  TimePoint t{};
+  // Burst drains.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.try_consume(t, 1.0));
+  EXPECT_FALSE(bucket.try_consume(t, 1.0));
+  // After 100ms one token refilled.
+  t = t + milliseconds(100);
+  EXPECT_TRUE(bucket.try_consume(t, 1.0));
+  EXPECT_FALSE(bucket.try_consume(t, 1.0));
+}
+
+TEST(TokenBucket, BurstCapped) {
+  TokenBucket bucket(10.0, 5.0);
+  TimePoint t{};
+  t = t + seconds(100);
+  EXPECT_NEAR(bucket.available(t), 5.0, 1e-9);
+}
+
+TEST(SlidingWindow, CountsAndEvicts) {
+  SlidingWindowCounter win(seconds(10));
+  TimePoint t{};
+  win.record(t);
+  win.record(t + seconds(5));
+  EXPECT_EQ(win.count(t + seconds(5)), 2u);
+  EXPECT_EQ(win.count(t + seconds(12)), 1u);
+  EXPECT_EQ(win.count(t + seconds(16)), 0u);
+}
+
+TEST(Ini, ParsesFigure6Shape) {
+  const char* text = R"(
+# comment
+[VLAN 16-17]
+Decider = Rustock
+Infection = rustock.100921.*.exe
+
+[VLAN 16-19]
+Trigger = *:25/tcp / 30min < 1 -> revert
+
+[Autoinfect]
+Address = 10.9.8.7
+Port = 6543
+)";
+  auto file = IniFile::parse(text);
+  ASSERT_EQ(file.sections.size(), 3u);
+  EXPECT_EQ(file.sections[0].name, "VLAN 16-17");
+  EXPECT_EQ(file.sections[0].get("decider"), "Rustock");
+  EXPECT_EQ(file.sections[1].get("Trigger"), "*:25/tcp / 30min < 1 -> revert");
+  auto autoinfect = file.find("autoinfect");
+  ASSERT_EQ(autoinfect.size(), 1u);
+  EXPECT_EQ(autoinfect[0]->get("Port"), "6543");
+}
+
+TEST(Ini, RepeatedKeysPreserved) {
+  auto file = IniFile::parse("[S]\nTrigger = a\nTrigger = b\n");
+  auto all = file.sections[0].get_all("trigger");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "a");
+  EXPECT_EQ(all[1], "b");
+}
+
+TEST(Ini, MalformedThrowsWithLine) {
+  try {
+    IniFile::parse("[ok]\nbad line\n");
+    FAIL() << "expected IniError";
+  } catch (const IniError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Ini, UnterminatedSectionThrows) {
+  EXPECT_THROW(IniFile::parse("[oops\n"), IniError);
+}
+
+TEST(Glob, Basics) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("rustock.100921.*.exe", "rustock.100921.003.exe"));
+  EXPECT_FALSE(glob_match("rustock.100921.*.exe", "grum.100818.003.exe"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "abbc"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("**", "x"));
+  EXPECT_TRUE(glob_match("*.exe", ".exe"));
+}
+
+TEST(Glob, StarBacktracking) {
+  EXPECT_TRUE(glob_match("*ab*ab", "xabyabzab"));
+  EXPECT_FALSE(glob_match("*ab*ab", "xabyz"));
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(milliseconds(500)), "500.0ms");
+  EXPECT_EQ(format_duration(seconds(29)), "29.0s");
+  EXPECT_EQ(format_duration(minutes(5)), "5.0min");
+  EXPECT_EQ(format_duration(hours(3)), "3.0h");
+}
+
+TEST(Time, Arithmetic) {
+  TimePoint t{};
+  auto t2 = t + seconds(3);
+  EXPECT_EQ((t2 - t).usec, 3'000'000);
+  EXPECT_LT(t, t2);
+}
+
+}  // namespace
+}  // namespace gq::util
