@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_policy_prober.dir/a1_policy_prober.cc.o"
+  "CMakeFiles/a1_policy_prober.dir/a1_policy_prober.cc.o.d"
+  "a1_policy_prober"
+  "a1_policy_prober.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_policy_prober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_storm_ftp.dir/e1_storm_ftp.cc.o"
+  "CMakeFiles/e1_storm_ftp.dir/e1_storm_ftp.cc.o.d"
+  "e1_storm_ftp"
+  "e1_storm_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_storm_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

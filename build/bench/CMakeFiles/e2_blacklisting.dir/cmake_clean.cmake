@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_blacklisting.dir/e2_blacklisting.cc.o"
+  "CMakeFiles/e2_blacklisting.dir/e2_blacklisting.cc.o.d"
+  "e2_blacklisting"
+  "e2_blacklisting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_blacklisting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

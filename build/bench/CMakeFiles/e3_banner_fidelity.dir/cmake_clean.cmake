@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_banner_fidelity.dir/e3_banner_fidelity.cc.o"
+  "CMakeFiles/e3_banner_fidelity.dir/e3_banner_fidelity.cc.o.d"
+  "e3_banner_fidelity"
+  "e3_banner_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_banner_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

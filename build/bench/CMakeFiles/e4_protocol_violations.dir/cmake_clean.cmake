@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_protocol_violations.dir/e4_protocol_violations.cc.o"
+  "CMakeFiles/e4_protocol_violations.dir/e4_protocol_violations.cc.o.d"
+  "e4_protocol_violations"
+  "e4_protocol_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_protocol_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e4_protocol_violations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_fingerprint_classify.dir/e5_fingerprint_classify.cc.o"
+  "CMakeFiles/e5_fingerprint_classify.dir/e5_fingerprint_classify.cc.o.d"
+  "e5_fingerprint_classify"
+  "e5_fingerprint_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_fingerprint_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_flow_modes.dir/fig2_flow_modes.cc.o"
+  "CMakeFiles/fig2_flow_modes.dir/fig2_flow_modes.cc.o.d"
+  "fig2_flow_modes"
+  "fig2_flow_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_flow_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

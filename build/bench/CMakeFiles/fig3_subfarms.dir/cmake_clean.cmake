@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_subfarms.dir/fig3_subfarms.cc.o"
+  "CMakeFiles/fig3_subfarms.dir/fig3_subfarms.cc.o.d"
+  "fig3_subfarms"
+  "fig3_subfarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_subfarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_shim_protocol.dir/fig4_shim_protocol.cc.o"
+  "CMakeFiles/fig4_shim_protocol.dir/fig4_shim_protocol.cc.o.d"
+  "fig4_shim_protocol"
+  "fig4_shim_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_shim_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

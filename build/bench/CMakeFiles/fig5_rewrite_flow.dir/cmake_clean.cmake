@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rewrite_flow.dir/fig5_rewrite_flow.cc.o"
+  "CMakeFiles/fig5_rewrite_flow.dir/fig5_rewrite_flow.cc.o.d"
+  "fig5_rewrite_flow"
+  "fig5_rewrite_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rewrite_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

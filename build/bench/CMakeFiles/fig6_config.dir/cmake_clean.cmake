@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_config.dir/fig6_config.cc.o"
+  "CMakeFiles/fig6_config.dir/fig6_config.cc.o.d"
+  "fig6_config"
+  "fig6_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_report.dir/fig7_report.cc.o"
+  "CMakeFiles/fig7_report.dir/fig7_report.cc.o.d"
+  "fig7_report"
+  "fig7_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_scalability.dir/s1_scalability.cc.o"
+  "CMakeFiles/s1_scalability.dir/s1_scalability.cc.o.d"
+  "s1_scalability"
+  "s1_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_worm_captures.dir/table1_worm_captures.cc.o"
+  "CMakeFiles/table1_worm_captures.dir/table1_worm_captures.cc.o.d"
+  "table1_worm_captures"
+  "table1_worm_captures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_worm_captures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_dev.dir/policy_dev.cpp.o"
+  "CMakeFiles/example_policy_dev.dir/policy_dev.cpp.o.d"
+  "example_policy_dev"
+  "example_policy_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spam_farm.dir/spam_farm.cpp.o"
+  "CMakeFiles/example_spam_farm.dir/spam_farm.cpp.o.d"
+  "example_spam_farm"
+  "example_spam_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spam_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

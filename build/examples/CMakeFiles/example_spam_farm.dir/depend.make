@@ -1,0 +1,2 @@
+# Empty dependencies file for example_spam_farm.
+# This may be replaced when dependencies are built.

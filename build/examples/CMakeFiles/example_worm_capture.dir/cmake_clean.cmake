@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_worm_capture.dir/worm_capture.cpp.o"
+  "CMakeFiles/example_worm_capture.dir/worm_capture.cpp.o.d"
+  "example_worm_capture"
+  "example_worm_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_worm_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

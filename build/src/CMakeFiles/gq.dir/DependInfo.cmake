@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containment/config.cc" "src/CMakeFiles/gq.dir/containment/config.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/config.cc.o.d"
+  "/root/repo/src/containment/handlers.cc" "src/CMakeFiles/gq.dir/containment/handlers.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/handlers.cc.o.d"
+  "/root/repo/src/containment/policies.cc" "src/CMakeFiles/gq.dir/containment/policies.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/policies.cc.o.d"
+  "/root/repo/src/containment/policy.cc" "src/CMakeFiles/gq.dir/containment/policy.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/policy.cc.o.d"
+  "/root/repo/src/containment/prober.cc" "src/CMakeFiles/gq.dir/containment/prober.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/prober.cc.o.d"
+  "/root/repo/src/containment/samples.cc" "src/CMakeFiles/gq.dir/containment/samples.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/samples.cc.o.d"
+  "/root/repo/src/containment/server.cc" "src/CMakeFiles/gq.dir/containment/server.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/server.cc.o.d"
+  "/root/repo/src/containment/trigger.cc" "src/CMakeFiles/gq.dir/containment/trigger.cc.o" "gcc" "src/CMakeFiles/gq.dir/containment/trigger.cc.o.d"
+  "/root/repo/src/core/farm.cc" "src/CMakeFiles/gq.dir/core/farm.cc.o" "gcc" "src/CMakeFiles/gq.dir/core/farm.cc.o.d"
+  "/root/repo/src/extnet/extnet.cc" "src/CMakeFiles/gq.dir/extnet/extnet.cc.o" "gcc" "src/CMakeFiles/gq.dir/extnet/extnet.cc.o.d"
+  "/root/repo/src/gateway/arp_proxy.cc" "src/CMakeFiles/gq.dir/gateway/arp_proxy.cc.o" "gcc" "src/CMakeFiles/gq.dir/gateway/arp_proxy.cc.o.d"
+  "/root/repo/src/gateway/gateway.cc" "src/CMakeFiles/gq.dir/gateway/gateway.cc.o" "gcc" "src/CMakeFiles/gq.dir/gateway/gateway.cc.o.d"
+  "/root/repo/src/gateway/inmate_table.cc" "src/CMakeFiles/gq.dir/gateway/inmate_table.cc.o" "gcc" "src/CMakeFiles/gq.dir/gateway/inmate_table.cc.o.d"
+  "/root/repo/src/gateway/router.cc" "src/CMakeFiles/gq.dir/gateway/router.cc.o" "gcc" "src/CMakeFiles/gq.dir/gateway/router.cc.o.d"
+  "/root/repo/src/gateway/safety.cc" "src/CMakeFiles/gq.dir/gateway/safety.cc.o" "gcc" "src/CMakeFiles/gq.dir/gateway/safety.cc.o.d"
+  "/root/repo/src/inmate/controller.cc" "src/CMakeFiles/gq.dir/inmate/controller.cc.o" "gcc" "src/CMakeFiles/gq.dir/inmate/controller.cc.o.d"
+  "/root/repo/src/inmate/inmate.cc" "src/CMakeFiles/gq.dir/inmate/inmate.cc.o" "gcc" "src/CMakeFiles/gq.dir/inmate/inmate.cc.o.d"
+  "/root/repo/src/inmate/vlan_pool.cc" "src/CMakeFiles/gq.dir/inmate/vlan_pool.cc.o" "gcc" "src/CMakeFiles/gq.dir/inmate/vlan_pool.cc.o.d"
+  "/root/repo/src/malware/clickbot.cc" "src/CMakeFiles/gq.dir/malware/clickbot.cc.o" "gcc" "src/CMakeFiles/gq.dir/malware/clickbot.cc.o.d"
+  "/root/repo/src/malware/dgabot.cc" "src/CMakeFiles/gq.dir/malware/dgabot.cc.o" "gcc" "src/CMakeFiles/gq.dir/malware/dgabot.cc.o.d"
+  "/root/repo/src/malware/factory.cc" "src/CMakeFiles/gq.dir/malware/factory.cc.o" "gcc" "src/CMakeFiles/gq.dir/malware/factory.cc.o.d"
+  "/root/repo/src/malware/fingerprint.cc" "src/CMakeFiles/gq.dir/malware/fingerprint.cc.o" "gcc" "src/CMakeFiles/gq.dir/malware/fingerprint.cc.o.d"
+  "/root/repo/src/malware/spambot.cc" "src/CMakeFiles/gq.dir/malware/spambot.cc.o" "gcc" "src/CMakeFiles/gq.dir/malware/spambot.cc.o.d"
+  "/root/repo/src/malware/stormbot.cc" "src/CMakeFiles/gq.dir/malware/stormbot.cc.o" "gcc" "src/CMakeFiles/gq.dir/malware/stormbot.cc.o.d"
+  "/root/repo/src/malware/worm.cc" "src/CMakeFiles/gq.dir/malware/worm.cc.o" "gcc" "src/CMakeFiles/gq.dir/malware/worm.cc.o.d"
+  "/root/repo/src/net/stack.cc" "src/CMakeFiles/gq.dir/net/stack.cc.o" "gcc" "src/CMakeFiles/gq.dir/net/stack.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/gq.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/gq.dir/net/tcp.cc.o.d"
+  "/root/repo/src/netsim/event_loop.cc" "src/CMakeFiles/gq.dir/netsim/event_loop.cc.o" "gcc" "src/CMakeFiles/gq.dir/netsim/event_loop.cc.o.d"
+  "/root/repo/src/netsim/port.cc" "src/CMakeFiles/gq.dir/netsim/port.cc.o" "gcc" "src/CMakeFiles/gq.dir/netsim/port.cc.o.d"
+  "/root/repo/src/netsim/vlan_switch.cc" "src/CMakeFiles/gq.dir/netsim/vlan_switch.cc.o" "gcc" "src/CMakeFiles/gq.dir/netsim/vlan_switch.cc.o.d"
+  "/root/repo/src/packet/checksum.cc" "src/CMakeFiles/gq.dir/packet/checksum.cc.o" "gcc" "src/CMakeFiles/gq.dir/packet/checksum.cc.o.d"
+  "/root/repo/src/packet/frame.cc" "src/CMakeFiles/gq.dir/packet/frame.cc.o" "gcc" "src/CMakeFiles/gq.dir/packet/frame.cc.o.d"
+  "/root/repo/src/packet/headers.cc" "src/CMakeFiles/gq.dir/packet/headers.cc.o" "gcc" "src/CMakeFiles/gq.dir/packet/headers.cc.o.d"
+  "/root/repo/src/packet/pcap.cc" "src/CMakeFiles/gq.dir/packet/pcap.cc.o" "gcc" "src/CMakeFiles/gq.dir/packet/pcap.cc.o.d"
+  "/root/repo/src/report/reporter.cc" "src/CMakeFiles/gq.dir/report/reporter.cc.o" "gcc" "src/CMakeFiles/gq.dir/report/reporter.cc.o.d"
+  "/root/repo/src/services/dhcp.cc" "src/CMakeFiles/gq.dir/services/dhcp.cc.o" "gcc" "src/CMakeFiles/gq.dir/services/dhcp.cc.o.d"
+  "/root/repo/src/services/dns.cc" "src/CMakeFiles/gq.dir/services/dns.cc.o" "gcc" "src/CMakeFiles/gq.dir/services/dns.cc.o.d"
+  "/root/repo/src/services/ftp.cc" "src/CMakeFiles/gq.dir/services/ftp.cc.o" "gcc" "src/CMakeFiles/gq.dir/services/ftp.cc.o.d"
+  "/root/repo/src/services/http.cc" "src/CMakeFiles/gq.dir/services/http.cc.o" "gcc" "src/CMakeFiles/gq.dir/services/http.cc.o.d"
+  "/root/repo/src/shim/shim.cc" "src/CMakeFiles/gq.dir/shim/shim.cc.o" "gcc" "src/CMakeFiles/gq.dir/shim/shim.cc.o.d"
+  "/root/repo/src/sinks/catchall.cc" "src/CMakeFiles/gq.dir/sinks/catchall.cc.o" "gcc" "src/CMakeFiles/gq.dir/sinks/catchall.cc.o.d"
+  "/root/repo/src/sinks/smtp_sink.cc" "src/CMakeFiles/gq.dir/sinks/smtp_sink.cc.o" "gcc" "src/CMakeFiles/gq.dir/sinks/smtp_sink.cc.o.d"
+  "/root/repo/src/util/addr.cc" "src/CMakeFiles/gq.dir/util/addr.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/addr.cc.o.d"
+  "/root/repo/src/util/glob.cc" "src/CMakeFiles/gq.dir/util/glob.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/glob.cc.o.d"
+  "/root/repo/src/util/ini.cc" "src/CMakeFiles/gq.dir/util/ini.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/ini.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/CMakeFiles/gq.dir/util/log.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/log.cc.o.d"
+  "/root/repo/src/util/md5.cc" "src/CMakeFiles/gq.dir/util/md5.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/md5.cc.o.d"
+  "/root/repo/src/util/rate.cc" "src/CMakeFiles/gq.dir/util/rate.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/rate.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/gq.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/gq.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/time.cc" "src/CMakeFiles/gq.dir/util/time.cc.o" "gcc" "src/CMakeFiles/gq.dir/util/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extnet_test.dir/extnet_test.cc.o"
+  "CMakeFiles/extnet_test.dir/extnet_test.cc.o.d"
+  "extnet_test"
+  "extnet_test.pdb"
+  "extnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

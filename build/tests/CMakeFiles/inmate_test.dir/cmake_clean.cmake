@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inmate_test.dir/inmate_test.cc.o"
+  "CMakeFiles/inmate_test.dir/inmate_test.cc.o.d"
+  "inmate_test"
+  "inmate_test.pdb"
+  "inmate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inmate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shim_test.dir/shim_test.cc.o"
+  "CMakeFiles/shim_test.dir/shim_test.cc.o.d"
+  "shim_test"
+  "shim_test.pdb"
+  "shim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
