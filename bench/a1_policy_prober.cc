@@ -18,15 +18,16 @@ int main() {
   using util::Ipv4Addr;
 
   cs::register_builtin_policies();
-  cs::PolicyEnv env;
+  cs::InlinePolicyServices services;
+  services.list_inmates_fn = [] {
+    return cs::PolicyServices::InmateList{
+        {16, Ipv4Addr(10, 0, 0, 10)}, {17, Ipv4Addr(10, 0, 0, 11)}};
+  };
+  cs::PolicyEnv env(services);
   env.services["sink"] = {Ipv4Addr(10, 3, 0, 9), 9999};
   env.services["smtpsink"] = {Ipv4Addr(10, 3, 0, 10), 2525};
   env.services["bannersmtpsink"] = {Ipv4Addr(10, 3, 1, 4), 2526};
   env.services["autoinfect"] = {Ipv4Addr(10, 9, 8, 7), 6543};
-  env.list_inmates = [] {
-    return std::vector<std::pair<std::uint16_t, util::Ipv4Addr>>{
-        {16, Ipv4Addr(10, 0, 0, 10)}, {17, Ipv4Addr(10, 0, 0, 11)}};
-  };
 
   std::vector<std::string> flagged;
   for (const auto& name : cs::PolicyRegistry::instance().names()) {

@@ -77,12 +77,10 @@ int main() {
       16, 31, std::make_shared<cs::SinkAllPolicy>(sub.policy_env()));
 
   // Record original destination ports from the gateway's event stream
-  // (the sink only sees the reflected endpoint).
+  // (the sink only sees the reflected endpoint). The farm's reporter is
+  // a bus subscriber already, so this extra tap must not feed it again.
   std::vector<std::uint16_t> event_ports;
-  // Note: the farm's reporter is already the gateway handler; tap the
-  // verdict stream through the reporter-compatible wrapper.
   farm.gateway().set_event_handler([&](const gw::FlowEvent& event) {
-    farm.reporter().on_flow_event(event);
     if (event.kind == gw::FlowEvent::Kind::kVerdict)
       event_ports.push_back(event.orig_dst.port);
   });

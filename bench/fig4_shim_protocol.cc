@@ -1,6 +1,7 @@
 // Reproduces paper Figure 4: the shim protocol message structure. Prints
 // annotated wire layouts of a containment request shim (24 bytes) and a
-// containment response shim (>= 56 bytes), then validates the encoder/
+// containment response shim (>= 68 bytes: the paper's layout plus the
+// wire-v2 typed verdict-parameter block), then validates the encoder/
 // decoder with an exhaustive round-trip sweep.
 #include <cstdio>
 #include <string>
@@ -47,11 +48,12 @@ int main() {
   response.policy_name = "Grum";
   response.annotation = "full SMTP containment";
   auto response_bytes = response.encode();
-  std::printf("\n(b) Response shim — %zu bytes (56 + %zu annotation)\n",
+  std::printf("\n(b) Response shim — %zu bytes (68 + %zu annotation)\n",
               response_bytes.size(), response.annotation.size());
   std::printf("  [0-7] preamble  [8-19] resulting four-tuple\n");
   std::printf("  [20-23] containment verdict  [24-55] policy name\n");
-  std::printf("  [56-] textual annotation\n");
+  std::printf("  [56-59] parameter flags  [60-67] LIMIT byte rate\n");
+  std::printf("  [68-] textual annotation\n");
   hexdump(response_bytes);
 
   // Round-trip sweep across random field values and all verdicts.
@@ -78,11 +80,14 @@ int main() {
     rsp.verdict = static_cast<shim::Verdict>(1 + rng.below(6));
     rsp.policy_name = std::string(rng.below(33), 'P');
     rsp.annotation = std::string(rng.below(64), 'a');
+    if (rng.below(2) == 1)
+      rsp.limit_bytes_per_sec = static_cast<std::int64_t>(rng.below(1 << 20));
     std::size_t consumed = 0;
     auto parsed_rsp = shim::ResponseShim::parse(rsp.encode(), &consumed);
     if (!parsed_rsp || parsed_rsp->verdict != rsp.verdict ||
         parsed_rsp->policy_name != rsp.policy_name ||
-        parsed_rsp->annotation != rsp.annotation) {
+        parsed_rsp->annotation != rsp.annotation ||
+        parsed_rsp->limit_bytes_per_sec != rsp.limit_bytes_per_sec) {
       std::printf("RESPONSE ROUND-TRIP FAILURE at %d\n", i);
       return 1;
     }

@@ -2,13 +2,21 @@
 // per-packet costs behind §6's implementation — header parse/serialize,
 // checksums, whole-frame decode/re-encode (the gateway's NAT/rewrite
 // path), shim encode/parse, flow-table keying, policy decisions,
-// trigger matching, MD5 hashing, and switch forwarding.
+// trigger matching, MD5 hashing, switch forwarding, and the telemetry
+// primitives (counter bump, histogram observe, event-bus publish).
+// After the benchmarks it runs a miniature farm and prints the built-in
+// flow-decision latency histogram plus a JSON dump of every metric.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "containment/policies.h"
 #include "containment/trigger.h"
+#include "core/farm.h"
 #include "netsim/event_loop.h"
 #include "netsim/vlan_switch.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "packet/checksum.h"
 #include "packet/frame.h"
 #include "shim/shim.h"
@@ -177,6 +185,75 @@ void BM_SwitchForward(benchmark::State& state) {
 }
 BENCHMARK(BM_SwitchForward);
 
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench.frames");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("bench.latency_us");
+  double value = 1.0;
+  for (auto _ : state) {
+    hist.observe(value);
+    value = value < 1e6 ? value * 1.7 : 1.0;
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_EventBusPublish(benchmark::State& state) {
+  obs::EventBus bus;
+  std::uint64_t seen = 0;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    bus.subscribe([&seen](const obs::FarmEvent&) { ++seen; });
+  obs::FarmEvent event;
+  event.kind = obs::FarmEvent::Kind::kFlowVerdict;
+  event.subfarm = "bench";
+  event.verdict = shim::Verdict::kForward;
+  for (auto _ : state) bus.publish(event);
+  benchmark::DoNotOptimize(seen);
+}
+BENCHMARK(BM_EventBusPublish)->Arg(0)->Arg(1)->Arg(4);
+
+// A miniature farm serving a burst of contained flows, to demonstrate
+// the gateway's built-in instrumentation: the inmate-SYN-to-verdict-
+// applied latency histogram and the metrics registry JSON export.
+void print_decision_latency_report() {
+  core::Farm farm;
+  auto& sub = farm.add_subfarm("Micro");
+  sub.add_catchall_sink();
+  sub.bind_policy(16, 31,
+                  std::make_shared<cs::SinkAllPolicy>(sub.policy_env()));
+  auto& inmate = sub.create_inmate(inm::HostingKind::kVm);
+  farm.run_for(util::seconds(30));  // VM boot + DHCP.
+
+  for (int i = 0; i < 32; ++i) {
+    auto conn = inmate.host().connect(
+        {Ipv4Addr(50, 8, 200, static_cast<std::uint8_t>(10 + i)), 80});
+    conn->on_connected = [conn] { conn->send("GET / HTTP/1.0\r\n\r\n"); };
+    farm.run_for(util::milliseconds(500));
+  }
+  farm.run_for(util::seconds(10));
+
+  const std::string name = "gw.Micro.decision_latency_us";
+  if (const auto* hist = farm.metrics().find_histogram(name)) {
+    std::printf("\n%s", hist->render(name).c_str());
+  }
+  std::printf("\nMetrics registry (JSON):\n%s\n",
+              farm.metrics().render_json().c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_decision_latency_report();
+  return 0;
+}

@@ -22,8 +22,7 @@ void AutoInfectHandler::on_inmate_data(RewriteContext& ctx,
   }
   while (auto request = parser_.take()) {
     const std::uint16_t vlan = ctx.info().vlan();
-    std::optional<std::string> name;
-    if (env_.next_sample) name = env_.next_sample(vlan);
+    std::optional<std::string> name = env_.next_sample(vlan);
     if (!name || !env_.samples) {
       ctx.send_to_inmate(
           svc::HttpResponse::make(404, "NOT FOUND", "no sample").encode());
@@ -40,8 +39,7 @@ void AutoInfectHandler::on_inmate_data(RewriteContext& ctx,
         200, "OK", *payload, "application/octet-stream");
     response.set_header("X-Sample-Name", *name);
     ctx.send_to_inmate(response.encode());
-    if (env_.report_infection)
-      env_.report_infection(vlan, *name, *env_.samples->md5(*name));
+    env_.report_infection(vlan, *name, *env_.samples->md5(*name));
     GQ_INFO(kLog, "served sample %s to vlan %u", name->c_str(), vlan);
   }
 }

@@ -47,7 +47,7 @@ void SpambotPolicy::send_sink_hint(const FlowInfo& info) const {
   // Banner-grabbing sinks need the flow's *original* destination (the
   // REFLECT rewrite erases it); push it over the sink's UDP hint channel
   // (sink port + 1) before the reflected flow arrives.
-  if (!env().has_service("bannersmtpsink") || !env().send_udp) return;
+  if (!env().has_service("bannersmtpsink")) return;
   const util::Endpoint sink = env().service("bannersmtpsink");
   env().send_udp(
       {sink.addr, static_cast<std::uint16_t>(sink.port + 1)},
@@ -247,7 +247,7 @@ WormFarmPolicy::WormFarmPolicy(const PolicyEnv& env)
     : Policy("WormFarm"), env_(env) {}
 
 Decision WormFarmPolicy::decide(const FlowInfo& info) {
-  if (!env_.list_inmates) return Decision::drop("no inmate enumerator");
+  if (!env_.can_list_inmates()) return Decision::drop("no inmate enumerator");
 
   // Sticky mapping: a multi-connection exploit against one scanned
   // address must hit the same victim with every connection.

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,8 +44,12 @@ struct Decision {
   /// Target for kRedirect / kReflect (copied into the response shim's
   /// resulting four-tuple).
   util::Endpoint target;
-  /// Free-form annotation; also carries parameters ("rate=4096").
+  /// Purely descriptive annotation (report grouping label). Verdict
+  /// parameters are typed fields below, never string-packed here.
   std::string annotation;
+  /// Byte rate for kLimit, carried in the response shim's typed
+  /// parameter block.
+  std::optional<std::int64_t> limit_bytes_per_sec;
 
   static Decision forward() { return {shim::Verdict::kForward, {}, ""}; }
   static Decision drop(std::string why = "") {
@@ -58,7 +63,8 @@ struct Decision {
   }
   static Decision limit(std::int64_t bytes_per_sec) {
     return {shim::Verdict::kLimit, {},
-            "rate=" + std::to_string(bytes_per_sec)};
+            "limit " + std::to_string(bytes_per_sec) + " B/s",
+            bytes_per_sec};
   }
   static Decision rewrite(std::string why = "") {
     return {shim::Verdict::kRewrite, {}, std::move(why)};
@@ -108,30 +114,107 @@ class RewriteHandler {
   virtual void on_inmate_closed(RewriteContext&) {}
 };
 
+/// Services the containment server exposes to policies and rewrite
+/// handlers. ContainmentServer is the production implementation; tests
+/// and benches plug an InlinePolicyServices with just the pieces they
+/// need. This replaces PolicyEnv's former bag of loose std::function
+/// members.
+class PolicyServices {
+ public:
+  using InmateList = std::vector<std::pair<std::uint16_t, util::Ipv4Addr>>;
+
+  virtual ~PolicyServices() = default;
+
+  /// Enumerate (vlan, internal address) of live inmates in the subfarm
+  /// (honeyfarm redirect policies).
+  virtual InmateList list_inmates() { return {}; }
+  /// Whether list_inmates() is backed by a real enumerator (lets a
+  /// policy distinguish "no enumerator wired" from "no inmates yet").
+  [[nodiscard]] virtual bool can_list_inmates() const { return false; }
+  /// Next auto-infection sample for a VLAN (advances the batch cursor).
+  virtual std::optional<std::string> next_sample(std::uint16_t vlan) {
+    (void)vlan;
+    return std::nullopt;
+  }
+  /// Report a served infection (name + payload MD5) to the event stream.
+  virtual void report_infection(std::uint16_t vlan, const std::string& name,
+                                const std::string& md5) {
+    (void)vlan;
+    (void)name;
+    (void)md5;
+  }
+  /// Send a small out-of-band UDP datagram from the containment server
+  /// (used to push original-destination hints to the banner-grabbing
+  /// SMTP sink).
+  virtual void send_udp(util::Endpoint to, const std::string& message) {
+    (void)to;
+    (void)message;
+  }
+};
+
+/// Function-backed PolicyServices for tests and programmatic setups:
+/// assign only the members you care about, defaults are inert.
+class InlinePolicyServices : public PolicyServices {
+ public:
+  std::function<InmateList()> list_inmates_fn;
+  std::function<std::optional<std::string>(std::uint16_t)> next_sample_fn;
+  std::function<void(std::uint16_t, const std::string&, const std::string&)>
+      report_infection_fn;
+  std::function<void(util::Endpoint, const std::string&)> send_udp_fn;
+
+  InmateList list_inmates() override {
+    return list_inmates_fn ? list_inmates_fn() : InmateList{};
+  }
+  [[nodiscard]] bool can_list_inmates() const override {
+    return static_cast<bool>(list_inmates_fn);
+  }
+  std::optional<std::string> next_sample(std::uint16_t vlan) override {
+    return next_sample_fn ? next_sample_fn(vlan) : std::nullopt;
+  }
+  void report_infection(std::uint16_t vlan, const std::string& name,
+                        const std::string& md5) override {
+    if (report_infection_fn) report_infection_fn(vlan, name, md5);
+  }
+  void send_udp(util::Endpoint to, const std::string& message) override {
+    if (send_udp_fn) send_udp_fn(to, message);
+  }
+};
+
 /// Environment handed to policies at construction: where the subfarm's
 /// services live, the sample library for auto-infection, a deterministic
-/// RNG, and an inmate enumerator (for honeyfarm redirect policies).
+/// RNG, and the PolicyServices backend (normally the containment server;
+/// nullptr degrades every service call to an inert default).
 struct PolicyEnv {
+  PolicyEnv() = default;
+  /// Compatibility constructor for tests: wire a services backend
+  /// directly (the caller keeps ownership and must outlive the env).
+  explicit PolicyEnv(PolicyServices& services_backend)
+      : backend(&services_backend) {}
+
   /// Service locations from the configuration file ("Autoinfect",
   /// "BannerSmtpSink", ...), keyed by section name, lowercase.
   std::map<std::string, util::Endpoint> services;
   SampleLibrary* samples = nullptr;
   util::Rng* rng = nullptr;
-  /// Enumerate (vlan, internal address) of live inmates in the subfarm.
-  std::function<std::vector<std::pair<std::uint16_t, util::Ipv4Addr>>()>
-      list_inmates;
-  /// Next auto-infection sample for a VLAN (advances the batch cursor).
-  /// Filled in by the containment server during configure().
-  std::function<std::optional<std::string>(std::uint16_t)> next_sample;
-  /// Report a served infection (name + payload MD5) to the event stream.
-  std::function<void(std::uint16_t vlan, const std::string& name,
-                     const std::string& md5)>
-      report_infection;
-  /// Send a small out-of-band UDP datagram from the containment server
-  /// (used to push original-destination hints to the banner-grabbing
-  /// SMTP sink). Filled in by the containment server.
-  std::function<void(util::Endpoint to, const std::string& message)>
-      send_udp;
+  PolicyServices* backend = nullptr;
+
+  [[nodiscard]] PolicyServices::InmateList list_inmates() const {
+    return backend ? backend->list_inmates() : PolicyServices::InmateList{};
+  }
+  [[nodiscard]] bool can_list_inmates() const {
+    return backend && backend->can_list_inmates();
+  }
+  [[nodiscard]] std::optional<std::string> next_sample(
+      std::uint16_t vlan) const {
+    return backend ? backend->next_sample(vlan) : std::nullopt;
+  }
+  void report_infection(std::uint16_t vlan, const std::string& name,
+                        const std::string& md5) const {
+    if (backend) backend->report_infection(vlan, name, md5);
+  }
+  void send_udp(util::Endpoint to, const std::string& message) const {
+    if (backend) backend->send_udp(to, message);
+  }
 
   [[nodiscard]] util::Endpoint service(const std::string& name) const;
   [[nodiscard]] bool has_service(const std::string& name) const;

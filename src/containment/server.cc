@@ -9,7 +9,78 @@ namespace gq::cs {
 namespace {
 constexpr const char* kLog = "cs";
 constexpr util::Duration kTriggerPollInterval = util::seconds(10);
+
+std::optional<LifecycleAction> lifecycle_action_from_name(
+    const std::string& name) {
+  for (LifecycleAction action :
+       {LifecycleAction::kRevert, LifecycleAction::kReboot,
+        LifecycleAction::kTerminate}) {
+    if (name == lifecycle_action_name(action)) return action;
+  }
+  return std::nullopt;
+}
+
 }  // namespace
+
+obs::FarmEvent to_farm_event(const CsEvent& event, const std::string& subfarm) {
+  obs::FarmEvent out;
+  switch (event.kind) {
+    case CsEvent::Kind::kFlowDecision:
+      out.kind = obs::FarmEvent::Kind::kCsDecision;
+      break;
+    case CsEvent::Kind::kInfectionServed:
+      out.kind = obs::FarmEvent::Kind::kInfectionServed;
+      break;
+    case CsEvent::Kind::kTriggerFired:
+      out.kind = obs::FarmEvent::Kind::kTriggerFired;
+      break;
+  }
+  out.time = event.time;
+  out.subfarm = subfarm;
+  out.vlan = event.vlan;
+  out.orig_dst = event.orig_dst;
+  out.proto = event.proto;
+  out.verdict = event.verdict;
+  out.policy_name = event.policy_name;
+  out.annotation = event.annotation;
+  out.limit_bytes_per_sec = event.limit_bytes_per_sec;
+  out.sample_name = event.sample_name;
+  out.sample_md5 = event.sample_md5;
+  out.trigger_text = event.trigger_text;
+  out.trigger_action = lifecycle_action_name(event.action);
+  return out;
+}
+
+std::optional<CsEvent> to_cs_event(const obs::FarmEvent& event) {
+  CsEvent out;
+  switch (event.kind) {
+    case obs::FarmEvent::Kind::kCsDecision:
+      out.kind = CsEvent::Kind::kFlowDecision;
+      break;
+    case obs::FarmEvent::Kind::kInfectionServed:
+      out.kind = CsEvent::Kind::kInfectionServed;
+      break;
+    case obs::FarmEvent::Kind::kTriggerFired:
+      out.kind = CsEvent::Kind::kTriggerFired;
+      break;
+    default:
+      return std::nullopt;  // Gateway/sink event: no CsEvent shape.
+  }
+  out.time = event.time;
+  out.vlan = event.vlan;
+  out.orig_dst = event.orig_dst;
+  out.proto = event.proto;
+  out.verdict = event.verdict;
+  out.policy_name = event.policy_name;
+  out.annotation = event.annotation;
+  out.limit_bytes_per_sec = event.limit_bytes_per_sec;
+  out.sample_name = event.sample_name;
+  out.sample_md5 = event.sample_md5;
+  out.trigger_text = event.trigger_text;
+  if (auto action = lifecycle_action_from_name(event.trigger_action))
+    out.action = *action;
+  return out;
+}
 
 /// One inmate-side TCP session (a contained flow terminated at the CS).
 struct ContainmentServer::Session {
@@ -96,6 +167,9 @@ ContainmentServer::ContainmentServer(net::HostStack& stack,
                                      std::uint16_t listen_port,
                                      util::Ipv4Addr gateway_mgmt)
     : stack_(stack), listen_port_(listen_port), gateway_mgmt_(gateway_mgmt) {
+  owned_telemetry_ = std::make_unique<obs::Telemetry>();
+  telemetry_ = owned_telemetry_.get();
+  rebind_metrics();
   stack_.listen(listen_port_,
                 [this](std::shared_ptr<net::TcpConnection> conn) {
                   on_accept(std::move(conn));
@@ -112,35 +186,86 @@ ContainmentServer::ContainmentServer(net::HostStack& stack,
 
 ContainmentServer::~ContainmentServer() = default;
 
+void ContainmentServer::rebind_metrics() {
+  const std::string prefix =
+      "cs." + (subfarm_name_.empty() ? std::string("default") : subfarm_name_) +
+      ".";
+  auto& metrics = telemetry_->metrics();
+  decisions_ctr_ = &metrics.counter(prefix + "decisions");
+  infections_ctr_ = &metrics.counter(prefix + "infections_served");
+  triggers_ctr_ = &metrics.counter(prefix + "triggers_fired");
+  rewrites_gauge_ = &metrics.gauge(prefix + "rewrites_active");
+}
+
+void ContainmentServer::set_telemetry(obs::Telemetry* telemetry,
+                                      std::string subfarm) {
+  if (legacy_subscription_) {
+    telemetry_->bus().unsubscribe(*legacy_subscription_);
+    legacy_subscription_.reset();
+  }
+  telemetry_ = telemetry ? telemetry : owned_telemetry_.get();
+  subfarm_name_ = std::move(subfarm);
+  rebind_metrics();
+  if (legacy_handler_) set_event_handler(legacy_handler_);
+}
+
+void ContainmentServer::set_event_handler(CsEventHandler handler) {
+  if (legacy_subscription_) {
+    telemetry_->bus().unsubscribe(*legacy_subscription_);
+    legacy_subscription_.reset();
+  }
+  legacy_handler_ = std::move(handler);
+  if (!legacy_handler_) return;
+  legacy_subscription_ =
+      telemetry_->bus().subscribe([this](const obs::FarmEvent& event) {
+        if (auto legacy = to_cs_event(event)) legacy_handler_(*legacy);
+      });
+}
+
+// --- PolicyServices backend -------------------------------------------------
+
+PolicyServices::InmateList ContainmentServer::list_inmates() {
+  return inmate_source_ ? inmate_source_->list_inmates()
+                        : PolicyServices::InmateList{};
+}
+
+bool ContainmentServer::can_list_inmates() const {
+  return inmate_source_ && inmate_source_->can_list_inmates();
+}
+
+std::optional<std::string> ContainmentServer::next_sample(std::uint16_t vlan) {
+  return next_sample_name(vlan);
+}
+
+void ContainmentServer::report_infection(std::uint16_t vlan,
+                                         const std::string& name,
+                                         const std::string& md5) {
+  infections_ctr_->inc();
+  CsEvent event;
+  event.kind = CsEvent::Kind::kInfectionServed;
+  event.vlan = vlan;
+  event.sample_name = name;
+  event.sample_md5 = md5;
+  emit_event(std::move(event));
+}
+
+void ContainmentServer::send_udp(util::Endpoint to,
+                                 const std::string& message) {
+  control_sock_->send_to(to, util::to_bytes(message));
+}
+
 void ContainmentServer::configure(const ContainmentConfig& config,
                                   PolicyEnv env_base) {
   register_builtin_policies();
+  // Chain the services backend: the caller's backend (if any) keeps
+  // providing list_inmates — only the subfarm knows its inmate table —
+  // while this server answers samples, infections and UDP hints.
+  inmate_source_ = env_base.backend;
   env_ = std::move(env_base);
+  env_.backend = this;
   for (const auto& [name, endpoint] : config.services)
     env_.services[name] = endpoint;
   if (!env_.samples) env_.samples = &samples_;
-  if (!env_.next_sample) {
-    env_.next_sample = [this](std::uint16_t vlan) {
-      return next_sample_name(vlan);
-    };
-  }
-  if (!env_.send_udp) {
-    env_.send_udp = [this](util::Endpoint to, const std::string& message) {
-      control_sock_->send_to(to, util::to_bytes(message));
-    };
-  }
-  if (!env_.report_infection) {
-    env_.report_infection = [this](std::uint16_t vlan,
-                                   const std::string& name,
-                                   const std::string& md5) {
-      CsEvent event;
-      event.kind = CsEvent::Kind::kInfectionServed;
-      event.vlan = vlan;
-      event.sample_name = name;
-      event.sample_md5 = md5;
-      emit_event(std::move(event));
-    };
-  }
 
   policies_.clear();
   infections_.clear();
@@ -205,6 +330,7 @@ Decision ContainmentServer::decide(
     FlowInfo& info, std::shared_ptr<Policy>& policy_out,
     std::unique_ptr<RewriteHandler>* handler_out) {
   ++flows_decided_;
+  decisions_ctr_->inc();
   policy_out = policy_for(info.vlan());
   Decision decision = policy_out ? policy_out->decide(info)
                                  : Decision::drop("no policy bound");
@@ -225,6 +351,7 @@ Decision ContainmentServer::decide(
   event.verdict = decision.verdict;
   event.policy_name = policy_out ? policy_out->name() : "DefaultDeny";
   event.annotation = decision.annotation;
+  event.limit_bytes_per_sec = decision.limit_bytes_per_sec;
   emit_event(std::move(event));
   return decision;
 }
@@ -241,8 +368,10 @@ void ContainmentServer::on_accept(std::shared_ptr<net::TcpConnection> conn) {
     if (session->inmate) session->inmate->close();
   };
   conn->on_closed = [this, session] {
-    if (session->counted_rewrite && rewrites_active_ > 0)
+    if (session->counted_rewrite && rewrites_active_ > 0) {
       --rewrites_active_;
+      rewrites_gauge_->sub(1);
+    }
     if (session->target) session->target->close();
   };
 }
@@ -284,10 +413,12 @@ void ContainmentServer::on_inmate_data(std::shared_ptr<Session> session,
   response.policy_name =
       session->policy ? session->policy->name() : "DefaultDeny";
   response.annotation = decision.annotation;
+  response.limit_bytes_per_sec = decision.limit_bytes_per_sec;
   session->inmate->send(response.encode());
 
   if (decision.verdict == shim::Verdict::kRewrite && session->handler) {
     ++rewrites_active_;
+    rewrites_gauge_->add(1);
     session->counted_rewrite = true;
     session->context = std::make_unique<SessionContext>(*this, session);
     session->handler->on_start(*session->context);
@@ -331,6 +462,7 @@ void ContainmentServer::on_udp(util::Endpoint from,
   response.verdict = decision.verdict;
   response.policy_name = policy ? policy->name() : "DefaultDeny";
   response.annotation = decision.annotation;
+  response.limit_bytes_per_sec = decision.limit_bytes_per_sec;
   auto reply = response.encode();
 
   if (decision.verdict == shim::Verdict::kRewrite && policy) {
@@ -345,6 +477,7 @@ void ContainmentServer::evaluate_triggers() {
   for (const auto& firing : triggers_.evaluate(stack_.loop().now())) {
     GQ_INFO(kLog, "trigger fired for vlan %u: %s", firing.vlan,
             firing.trigger_text.c_str());
+    triggers_ctr_->inc();
     CsEvent event;
     event.kind = CsEvent::Kind::kTriggerFired;
     event.vlan = firing.vlan;
@@ -372,7 +505,7 @@ void ContainmentServer::send_lifecycle(std::uint16_t vlan,
 
 void ContainmentServer::emit_event(CsEvent event) {
   event.time = stack_.loop().now();
-  if (events_) events_(event);
+  telemetry_->publish(to_farm_event(event, subfarm_name_));
 }
 
 }  // namespace gq::cs

@@ -21,12 +21,16 @@
 #include "containment/trigger.h"
 #include "net/stack.h"
 #include "net/tcp.h"
+#include "obs/telemetry.h"
 #include "shim/shim.h"
 #include "util/addr.h"
 
 namespace gq::cs {
 
-/// Report-stream events emitted by the containment server.
+/// Report-stream events emitted by the containment server. Retained as
+/// the legacy view of the obs::FarmEvent stream: the server publishes
+/// FarmEvents on its telemetry bus, and set_event_handler() adapts them
+/// back into CsEvents for callers that still want this shape.
 struct CsEvent {
   enum class Kind { kFlowDecision, kInfectionServed, kTriggerFired };
   Kind kind = Kind::kFlowDecision;
@@ -38,6 +42,7 @@ struct CsEvent {
   shim::Verdict verdict = shim::Verdict::kDrop;
   std::string policy_name;
   std::string annotation;
+  std::optional<std::int64_t> limit_bytes_per_sec;
   // kInfectionServed.
   std::string sample_name;
   std::string sample_md5;
@@ -48,7 +53,11 @@ struct CsEvent {
 
 using CsEventHandler = std::function<void(const CsEvent&)>;
 
-class ContainmentServer {
+/// Convert between the legacy CsEvent shape and the bus envelope.
+obs::FarmEvent to_farm_event(const CsEvent& event, const std::string& subfarm);
+std::optional<CsEvent> to_cs_event(const obs::FarmEvent& event);
+
+class ContainmentServer : public PolicyServices {
  public:
   /// `listen_port` is the fixed port the gateway redirects flows to;
   /// `gateway_mgmt` is where nonce-port connections are dialed.
@@ -62,8 +71,24 @@ class ContainmentServer {
   /// Apply a parsed configuration file: instantiate policies for each
   /// VLAN binding, install triggers, and remember service locations.
   /// `env_base` supplies the sample library / RNG / inmate enumerator;
-  /// service locations from the config are merged into it.
+  /// service locations from the config are merged into it. The env's
+  /// backend becomes this server (which delegates list_inmates to the
+  /// env_base backend, since only the subfarm knows the inmate table).
   void configure(const ContainmentConfig& config, PolicyEnv env_base);
+
+  /// Join the farm-wide telemetry (metrics + event bus). Standalone
+  /// servers own a private Telemetry until this is called. `subfarm`
+  /// names this server's scope in metric names and published events.
+  void set_telemetry(obs::Telemetry* telemetry, std::string subfarm);
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+
+  // --- PolicyServices (the production backend) -------------------------
+  PolicyServices::InmateList list_inmates() override;
+  [[nodiscard]] bool can_list_inmates() const override;
+  std::optional<std::string> next_sample(std::uint16_t vlan) override;
+  void report_infection(std::uint16_t vlan, const std::string& name,
+                        const std::string& md5) override;
+  void send_udp(util::Endpoint to, const std::string& message) override;
 
   /// Bind a policy instance directly (tests / programmatic setup).
   void bind_policy(std::uint16_t vlan_first, std::uint16_t vlan_last,
@@ -75,9 +100,10 @@ class ContainmentServer {
   /// Life-cycle notification: arms triggers for this inmate.
   void notify_inmate_started(std::uint16_t vlan);
 
-  void set_event_handler(CsEventHandler handler) {
-    events_ = std::move(handler);
-  }
+  /// Deprecated: thin adapter over the telemetry bus. The handler is
+  /// subscribed to this server's bus and fed CsEvent conversions of the
+  /// FarmEvents published here; prefer subscribing to the bus directly.
+  void set_event_handler(CsEventHandler handler);
 
   /// The next auto-infection sample for an inmate, advancing the batch
   /// cursor. nullopt when the VLAN has no infection binding.
@@ -106,6 +132,7 @@ class ContainmentServer {
   void evaluate_triggers();
   void send_lifecycle(std::uint16_t vlan, LifecycleAction action);
   void emit_event(CsEvent event);
+  void rebind_metrics();
 
   net::HostStack& stack_;
   std::uint16_t listen_port_;
@@ -128,7 +155,21 @@ class ContainmentServer {
   SampleLibrary samples_;
   TriggerEngine triggers_;
   std::optional<util::Endpoint> controller_;
-  CsEventHandler events_;
+
+  // Telemetry: farm-shared when set_telemetry() was called, private
+  // otherwise. Metric handles are re-resolved on every rebind.
+  std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  obs::Telemetry* telemetry_ = nullptr;
+  std::string subfarm_name_;
+  obs::Counter* decisions_ctr_ = nullptr;
+  obs::Counter* infections_ctr_ = nullptr;
+  obs::Counter* triggers_ctr_ = nullptr;
+  obs::Gauge* rewrites_gauge_ = nullptr;
+  // Legacy set_event_handler adapter state.
+  CsEventHandler legacy_handler_;
+  std::optional<obs::EventBus::SubscriptionId> legacy_subscription_;
+  // list_inmates delegate (the subfarm's enumerator), from env_base.
+  PolicyServices* inmate_source_ = nullptr;
 
   // Cached UDP decisions, keyed by (orig, resp).
   std::map<std::pair<util::Endpoint, util::Endpoint>, Decision>

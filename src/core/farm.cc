@@ -27,7 +27,7 @@ Farm::Farm(FarmOptions options)
   gwc.upstream_addr = options_.gateway_upstream;
   gwc.mgmt_net = options_.mgmt_net;
   gwc.mgmt_addr = options_.mgmt_net.host(1);
-  gateway_ = std::make_unique<gw::Gateway>(loop_, gwc);
+  gateway_ = std::make_unique<gw::Gateway>(loop_, gwc, &telemetry_);
 
   // Wire the gateway's three legs: trunk into the inmate switch, access
   // ports on the management and external switches.
@@ -46,9 +46,9 @@ Farm::Farm(FarmOptions options)
   sim::Port::connect(gateway_->upstream_port(),
                      external_switch_.port(ext_uplink), kUpstreamLatency);
 
-  // Reporting taps the gateway's flow-event stream.
-  gateway_->set_event_handler(
-      [this](const gw::FlowEvent& event) { reporter_.on_flow_event(event); });
+  // All observability flows through one place: components publish into
+  // the farm telemetry bus, the reporter subscribes to it.
+  reporter_.attach(telemetry_.bus());
   reporter_.set_blacklist(&cbl_);
 
   // The inmate controller (§5.5) — conceptually on the gateway; hosted
@@ -146,9 +146,7 @@ Subfarm& Farm::add_subfarm(const std::string& name, SubfarmOptions options) {
   auto cs = std::make_unique<cs::ContainmentServer>(
       cs_host, kCsPort, gateway_->config().mgmt_addr);
   cs->set_inmate_controller({controller_host_->addr(), kControllerPort});
-  cs->set_event_handler([this, name](const cs::CsEvent& event) {
-    reporter_.on_cs_event(name, event);
-  });
+  cs->set_telemetry(&telemetry_, name);
 
   subfarms_.push_back(std::make_unique<Subfarm>(
       *this, router, std::move(cs), cs_host, options.vlan_first,
@@ -174,17 +172,21 @@ Subfarm::Subfarm(Farm& farm, gw::SubfarmRouter& router,
       vlan_pool_(vlan_first, vlan_last) {
   env_.rng = &farm_.rng();
   env_.samples = &cs_->samples();
-  env_.list_inmates = [this] {
-    std::vector<std::pair<std::uint16_t, util::Ipv4Addr>> out;
+  // The router knows who is alive; the containment server layers the
+  // rest of PolicyServices on top when configure() chains the backend.
+  services_.list_inmates_fn = [this] {
+    cs::PolicyServices::InmateList out;
     for (const auto& [vlan, binding] : router_.inmates().bindings())
       out.emplace_back(vlan, binding.internal_addr);
     return out;
   };
+  env_.backend = &services_;
 }
 
 sinks::CatchAllSink& Subfarm::add_catchall_sink(std::uint16_t port) {
   auto& host = farm_.add_mgmt_host(name() + "-sink");
   catchall_ = std::make_unique<sinks::CatchAllSink>(host, port);
+  catchall_->set_telemetry(&farm_.telemetry(), name(), "sink");
   env_.services["sink"] = {host.addr(), port};
   return *catchall_;
 }
@@ -193,6 +195,8 @@ sinks::SmtpSink& Subfarm::add_smtp_sink(sinks::SmtpSinkConfig config,
                                         std::string service_name) {
   auto& host = farm_.add_mgmt_host(name() + "-" + service_name);
   auto sink = std::make_unique<sinks::SmtpSink>(host, config);
+  sink->set_telemetry(&farm_.telemetry(), name(),
+                      util::to_lower(service_name));
   env_.services[util::to_lower(service_name)] = {host.addr(), config.port};
   farm_.reporter().register_smtp_sink(name(), sink.get());
   auto& ref = *sink;
@@ -224,11 +228,7 @@ cs::ContainmentServer& Subfarm::add_containment_server() {
       host, router_.config().containment_server.port,
       farm_.gateway().config().mgmt_addr);
   extra->set_inmate_controller(farm_.controller().endpoint());
-  const std::string subfarm_name = name();
-  auto& farm = farm_;
-  extra->set_event_handler([&farm, subfarm_name](const cs::CsEvent& event) {
-    farm.reporter().on_cs_event(subfarm_name, event);
-  });
+  extra->set_telemetry(&farm_.telemetry(), name());
   router_.add_containment_server(
       {host.addr(), router_.config().containment_server.port});
   // The new member must enforce the same policy state.

@@ -36,6 +36,7 @@
 #include "net/stack.h"
 #include "netsim/event_loop.h"
 #include "netsim/vlan_switch.h"
+#include "obs/telemetry.h"
 #include "report/reporter.h"
 #include "sinks/catchall.h"
 #include "sinks/smtp_sink.h"
@@ -148,6 +149,7 @@ class Subfarm {
   net::HostStack& cs_host_;
   inm::VlanPool vlan_pool_;
   mal::BehaviorCatalog catalog_;
+  cs::InlinePolicyServices services_;  // env_.backend; enumerates inmates.
   cs::PolicyEnv env_;
   std::unique_ptr<sinks::CatchAllSink> catchall_;
   std::map<std::string, std::unique_ptr<sinks::SmtpSink>> smtp_sinks_;
@@ -166,6 +168,14 @@ class Farm {
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] gw::Gateway& gateway() { return *gateway_; }
   [[nodiscard]] rep::Reporter& reporter() { return reporter_; }
+
+  /// The farm-wide telemetry hub: every component (gateway routers,
+  /// containment servers, sinks) publishes FarmEvents into its bus and
+  /// counts into its metrics registry; the reporter is a subscriber.
+  [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() {
+    return telemetry_.metrics();
+  }
   [[nodiscard]] ext::Cbl& cbl() { return cbl_; }
   [[nodiscard]] inm::InmateController& controller() { return *controller_; }
   [[nodiscard]] util::Rng& rng() { return rng_; }
@@ -205,6 +215,7 @@ class Farm {
   sim::VlanSwitch inmate_switch_;
   sim::VlanSwitch mgmt_switch_;
   sim::VlanSwitch external_switch_;
+  obs::Telemetry telemetry_;  // Declared before its publishers below.
   std::unique_ptr<gw::Gateway> gateway_;
   rep::Reporter reporter_;
   ext::Cbl cbl_;

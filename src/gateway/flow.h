@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.h"
 #include "packet/frame.h"
 #include "shim/shim.h"
 #include "util/addr.h"
@@ -61,6 +62,8 @@ struct Flow {
   shim::Verdict verdict = shim::Verdict::kDrop;
   std::string policy_name;
   std::string annotation;
+  /// LIMIT rate from the response shim's typed parameter block.
+  std::optional<std::int64_t> limit_bytes_per_sec;
   util::Endpoint server_ep;    ///< Current server-side endpoint.
   bool server_is_cs = true;
 
@@ -81,6 +84,7 @@ struct Flow {
   bool req_shim_sent = false;
   bool req_shim_acked = false;
   int req_shim_retries = 0;
+  util::TimePoint req_shim_sent_at;  ///< For shim round-trip latency.
 
   // Response-shim extraction: in-order reassembly of the CS->inmate
   // stream prefix.
@@ -114,9 +118,11 @@ struct Flow {
   bool reported_open = false;
 };
 
-/// A report-stream event emitted by the packet router. The reporting
-/// module (Bro's role in the paper, §6.5) aggregates these into the
-/// Figure 7 activity reports.
+/// A report-stream event emitted by the packet router. Retained as the
+/// legacy view of the obs::FarmEvent stream: the router publishes
+/// FarmEvents on the gateway's telemetry bus, and
+/// Gateway::set_event_handler() adapts them back into FlowEvents for
+/// callers that still want this shape.
 struct FlowEvent {
   enum class Kind { kOpen, kVerdict, kClose, kSafetyReject, kDhcpBind };
   Kind kind = Kind::kOpen;
@@ -128,10 +134,17 @@ struct FlowEvent {
   shim::Verdict verdict = shim::Verdict::kDrop;
   std::string policy_name;
   std::string annotation;
+  std::optional<std::int64_t> limit_bytes_per_sec;
   std::uint64_t bytes_to_server = 0;
   std::uint64_t bytes_to_inmate = 0;
 };
 
 using FlowEventHandler = std::function<void(const FlowEvent&)>;
+
+/// Convert between the legacy FlowEvent shape and the bus envelope.
+/// to_flow_event() returns nullopt for FarmEvents with no FlowEvent
+/// equivalent (containment-server and sink kinds).
+obs::FarmEvent to_farm_event(const FlowEvent& event);
+std::optional<FlowEvent> to_flow_event(const obs::FarmEvent& event);
 
 }  // namespace gq::gw

@@ -10,9 +10,13 @@ namespace {
 constexpr const char* kLog = "gw";
 }
 
-Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config)
+Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config,
+                 obs::Telemetry* telemetry)
     : loop_(loop),
       config_(config),
+      owned_telemetry_(telemetry ? nullptr
+                                 : std::make_unique<obs::Telemetry>()),
+      telemetry_(telemetry ? telemetry : owned_telemetry_.get()),
       upstream_port_(loop, "gw.upstream"),
       inmate_port_(loop, "gw.inmate"),
       mgmt_port_(loop, "gw.mgmt"),
@@ -44,7 +48,6 @@ Gateway::~Gateway() = default;
 SubfarmRouter& Gateway::add_subfarm(const SubfarmConfig& config) {
   subfarms_.push_back(std::make_unique<SubfarmRouter>(*this, config));
   auto& subfarm = *subfarms_.back();
-  if (event_handler_) subfarm.set_event_handler(event_handler_);
   // The gateway answers upstream ARP for the whole NATed global range.
   upstream_arp_.add_proxy_range(config.external_net);
   return subfarm;
@@ -57,8 +60,16 @@ SubfarmRouter* Gateway::subfarm_by_name(const std::string& name) {
 }
 
 void Gateway::set_event_handler(FlowEventHandler handler) {
-  event_handler_ = std::move(handler);
-  for (auto& subfarm : subfarms_) subfarm->set_event_handler(event_handler_);
+  if (legacy_subscription_) {
+    telemetry_->bus().unsubscribe(*legacy_subscription_);
+    legacy_subscription_.reset();
+  }
+  legacy_handler_ = std::move(handler);
+  if (!legacy_handler_) return;
+  legacy_subscription_ =
+      telemetry_->bus().subscribe([this](const obs::FarmEvent& event) {
+        if (auto legacy = to_flow_event(event)) legacy_handler_(*legacy);
+      });
 }
 
 SubfarmRouter* Gateway::subfarm_for_vlan(std::uint16_t vlan) {
@@ -222,6 +233,16 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
     auto request = svc::DhcpMessage::parse(frame->udp->payload);
     if (!request) return;
     if (auto reply = subfarm->inmates().handle_dhcp(vlan, *request)) {
+      if (const InmateBinding* binding = subfarm->inmates().by_vlan(vlan)) {
+        obs::FarmEvent event;
+        event.kind = obs::FarmEvent::Kind::kDhcpBind;
+        event.time = loop_.now();
+        event.subfarm = subfarm->config().name;
+        event.vlan = vlan;
+        event.inmate_internal = binding->internal_addr;
+        event.inmate_global = binding->global_addr;
+        telemetry_->publish(event);
+      }
       pkt::DecodedFrame out;
       out.eth.ethertype = pkt::kEtherTypeIpv4;
       out.eth.src = inmate_leg_mac_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "gateway/arp_proxy.h"
@@ -17,6 +18,7 @@
 #include "gateway/flow.h"
 #include "netsim/event_loop.h"
 #include "netsim/port.h"
+#include "obs/telemetry.h"
 #include "packet/frame.h"
 #include "packet/pcap.h"
 
@@ -26,7 +28,11 @@ class SubfarmRouter;
 
 class Gateway {
  public:
-  Gateway(sim::EventLoop& loop, GatewayConfig config);
+  /// `telemetry` joins the gateway (and its subfarm routers) to a
+  /// farm-wide metrics registry + event bus; when null the gateway owns
+  /// a private Telemetry, so instrumentation never needs a null check.
+  Gateway(sim::EventLoop& loop, GatewayConfig config,
+          obs::Telemetry* telemetry = nullptr);
   ~Gateway();
 
   Gateway(const Gateway&) = delete;
@@ -47,8 +53,13 @@ class Gateway {
   }
   SubfarmRouter* subfarm_by_name(const std::string& name);
 
-  /// Report-event stream for all subfarms.
+  /// Deprecated: thin adapter over the telemetry bus. The handler is
+  /// subscribed to the bus and fed FlowEvent conversions of the flow-
+  /// lifecycle FarmEvents; prefer subscribing to telemetry().bus().
   void set_event_handler(FlowEventHandler handler);
+
+  /// The metrics registry + event bus every subfarm router publishes to.
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
 
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] const GatewayConfig& config() const { return config_; }
@@ -89,6 +100,10 @@ class Gateway {
 
   sim::EventLoop& loop_;
   GatewayConfig config_;
+  // Telemetry first: subfarm routers resolve metric handles against it
+  // at construction.
+  std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  obs::Telemetry* telemetry_ = nullptr;
   sim::Port upstream_port_;
   sim::Port inmate_port_;
   sim::Port mgmt_port_;
@@ -100,7 +115,9 @@ class Gateway {
   std::vector<std::unique_ptr<SubfarmRouter>> subfarms_;
   std::map<std::uint16_t, SubfarmRouter*> nonce_owners_;
   std::uint16_t next_nonce_;
-  FlowEventHandler event_handler_;
+  // Legacy set_event_handler adapter state.
+  FlowEventHandler legacy_handler_;
+  std::optional<obs::EventBus::SubscriptionId> legacy_subscription_;
 };
 
 }  // namespace gq::gw

@@ -4,7 +4,6 @@
 
 #include "gateway/gateway.h"
 #include "util/log.h"
-#include "util/strings.h"
 
 namespace gq::gw {
 
@@ -20,20 +19,83 @@ bool seq_le(std::uint32_t a, std::uint32_t b) {
   return static_cast<std::int32_t>(a - b) <= 0;
 }
 
-// Parse "rate=<bytes/s>" from a verdict annotation (LIMIT parameters
-// travel in the response shim's annotation field).
-double limit_rate_from_annotation(const std::string& annotation) {
-  for (const auto& piece : util::split(annotation, ',')) {
-    auto kv = util::split(std::string(util::trim(piece)), '=');
-    if (kv.size() == 2 && kv[0] == "rate") {
-      if (auto rate = util::parse_int(kv[1]); rate && *rate > 0)
-        return static_cast<double>(*rate);
-    }
-  }
-  return 8192.0;  // Conservative default: 8 KB/s.
+// LIMIT rate from the response shim's typed parameter block, with the
+// conservative 8 KB/s default when the containment server sent none.
+double limit_rate_of(const shim::ResponseShim& shim) {
+  if (shim.limit_bytes_per_sec && *shim.limit_bytes_per_sec > 0)
+    return static_cast<double>(*shim.limit_bytes_per_sec);
+  return 8192.0;
 }
 
 }  // namespace
+
+obs::FarmEvent to_farm_event(const FlowEvent& event) {
+  obs::FarmEvent out;
+  switch (event.kind) {
+    case FlowEvent::Kind::kOpen:
+      out.kind = obs::FarmEvent::Kind::kFlowOpen;
+      break;
+    case FlowEvent::Kind::kVerdict:
+      out.kind = obs::FarmEvent::Kind::kFlowVerdict;
+      break;
+    case FlowEvent::Kind::kClose:
+      out.kind = obs::FarmEvent::Kind::kFlowClose;
+      break;
+    case FlowEvent::Kind::kSafetyReject:
+      out.kind = obs::FarmEvent::Kind::kSafetyReject;
+      break;
+    case FlowEvent::Kind::kDhcpBind:
+      out.kind = obs::FarmEvent::Kind::kDhcpBind;
+      break;
+  }
+  out.time = event.time;
+  out.subfarm = event.subfarm;
+  out.vlan = event.vlan;
+  out.proto = event.proto;
+  out.orig_dst = event.orig_dst;
+  out.verdict = event.verdict;
+  out.policy_name = event.policy_name;
+  out.annotation = event.annotation;
+  out.limit_bytes_per_sec = event.limit_bytes_per_sec;
+  out.bytes_to_server = event.bytes_to_server;
+  out.bytes_to_inmate = event.bytes_to_inmate;
+  return out;
+}
+
+std::optional<FlowEvent> to_flow_event(const obs::FarmEvent& event) {
+  FlowEvent out;
+  switch (event.kind) {
+    case obs::FarmEvent::Kind::kFlowOpen:
+      out.kind = FlowEvent::Kind::kOpen;
+      break;
+    case obs::FarmEvent::Kind::kFlowVerdict:
+      out.kind = FlowEvent::Kind::kVerdict;
+      break;
+    case obs::FarmEvent::Kind::kFlowClose:
+      out.kind = FlowEvent::Kind::kClose;
+      break;
+    case obs::FarmEvent::Kind::kSafetyReject:
+      out.kind = FlowEvent::Kind::kSafetyReject;
+      break;
+    case obs::FarmEvent::Kind::kDhcpBind:
+      out.kind = FlowEvent::Kind::kDhcpBind;
+      break;
+    default:
+      return std::nullopt;  // CS/sink event: no FlowEvent shape.
+  }
+  out.time = event.time;
+  out.subfarm = event.subfarm;
+  out.vlan = event.vlan;
+  out.proto = event.proto;
+  out.orig_dst = event.orig_dst;
+  out.verdict = event.verdict;
+  out.policy_name = event.policy_name;
+  out.annotation = event.annotation;
+  out.limit_bytes_per_sec = event.limit_bytes_per_sec;
+  out.bytes_to_server = event.bytes_to_server;
+  out.bytes_to_inmate = event.bytes_to_inmate;
+  return out;
+}
 
 const char* flow_phase_name(FlowPhase p) {
   switch (p) {
@@ -56,8 +118,25 @@ SubfarmRouter::SubfarmRouter(Gateway& gateway, SubfarmConfig config)
       safety_(config_.max_conns_per_inmate, config_.max_conns_per_dest,
               config_.safety_window),
       rng_(0x5afef00d ^ config_.vlan_first) {
+  // Resolve this subfarm's metric handles once; the per-frame path then
+  // updates them through plain pointers.
+  auto& metrics = gateway_.telemetry().metrics();
+  const std::string prefix = "gw." + config_.name + ".";
+  flows_created_ctr_ = &metrics.counter(prefix + "flows_created");
+  frames_from_inmates_ctr_ = &metrics.counter(prefix + "frames_from_inmates");
+  safety_admits_ctr_ = &metrics.counter(prefix + "safety.admits");
+  safety_rejects_ctr_ = &metrics.counter(prefix + "safety.rejects");
+  active_flows_gauge_ = &metrics.gauge(prefix + "active_flows");
+  decision_latency_hist_ =
+      &metrics.histogram(prefix + "decision_latency_us");
+  shim_rtt_hist_ = &metrics.histogram(prefix + "shim_rtt_us");
   // Periodic flow garbage collection.
   gateway_.loop().schedule_in(util::seconds(5), [this] { gc_sweep(); });
+}
+
+obs::Counter& SubfarmRouter::verdict_counter(shim::Verdict verdict) {
+  return gateway_.telemetry().metrics().counter(
+      "gw." + config_.name + ".verdicts." + shim::verdict_name(verdict));
 }
 
 SubfarmRouter::~SubfarmRouter() = default;
@@ -75,7 +154,6 @@ bool SubfarmRouter::is_infra(util::Ipv4Addr addr) const {
 }
 
 void SubfarmRouter::report(const Flow& flow, FlowEvent::Kind kind) {
-  if (!events_) return;
   FlowEvent event;
   event.kind = kind;
   event.time = gateway_.loop().now();
@@ -86,9 +164,10 @@ void SubfarmRouter::report(const Flow& flow, FlowEvent::Kind kind) {
   event.verdict = flow.verdict;
   event.policy_name = flow.policy_name;
   event.annotation = flow.annotation;
+  event.limit_bytes_per_sec = flow.limit_bytes_per_sec;
   event.bytes_to_server = flow.bytes_to_server;
   event.bytes_to_inmate = flow.bytes_to_inmate;
-  events_(event);
+  gateway_.telemetry().publish(to_farm_event(event));
 }
 
 void SubfarmRouter::emit_tcp(util::Endpoint src, util::Endpoint dst,
@@ -151,7 +230,7 @@ util::Endpoint SubfarmRouter::cs_for_vlan(std::uint16_t vlan) const {
 // --- Ingress: inmate side ---------------------------------------------------
 
 void SubfarmRouter::from_inmate(std::uint16_t vlan, pkt::DecodedFrame frame) {
-  ++frames_from_inmates_;
+  frames_from_inmates_ctr_->inc();
   if (!frame.ip) return;
 
   // Infrastructure services bypass containment (restricted broadcast
@@ -214,6 +293,7 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
   auto key = *pkt::flow_key_of(frame);
 
   if (!safety_.admit(now, vlan, key.dst.addr)) {
+    safety_rejects_ctr_->inc();
     Flow rejected;
     rejected.vlan = vlan;
     rejected.proto = key.proto;
@@ -222,6 +302,7 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
     report(rejected, FlowEvent::Kind::kSafetyReject);
     return;
   }
+  safety_admits_ctr_->inc();
 
   auto flow = std::make_shared<Flow>();
   flow->proto = key.proto;
@@ -235,7 +316,8 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
   flow->created = now;
   flow->last_activity = now;
   flows_[key] = flow;
-  ++flows_created_;
+  flows_created_ctr_->inc();
+  active_flows_gauge_->set(static_cast<std::int64_t>(flows_.size()));
 
   // All new flows funnel into the CS's single listening endpoint, so two
   // concurrent flows from the same inmate source port (to different
@@ -378,6 +460,7 @@ void SubfarmRouter::inject_request_shim(Flow& flow) {
   emit_tcp(flow.cs_src, flow.server_ep, pkt::kTcpAck | pkt::kTcpPsh,
            flow.inmate_isn + 1, flow.cs_isn + 1, shim.encode());
   flow.req_shim_sent = true;
+  flow.req_shim_sent_at = gateway_.loop().now();
   flow.d_out = shim::kRequestShimSize;
 
   // Gateway-side reliability for the injected segment.
@@ -483,6 +566,8 @@ void SubfarmRouter::cs_to_inmate(Flow& flow, pkt::DecodedFrame& frame) {
   if (seg.has_ack() && flow.req_shim_sent && !flow.req_shim_acked &&
       seq_le(flow.inmate_isn + 1 + shim::kRequestShimSize, seg.ack)) {
     flow.req_shim_acked = true;
+    shim_rtt_hist_->observe(static_cast<double>(
+        (gateway_.loop().now() - flow.req_shim_sent_at).usec));
   }
 
   switch (flow.phase) {
@@ -575,6 +660,10 @@ void SubfarmRouter::apply_verdict(Flow& flow,
   flow.verdict = shim.verdict;
   flow.policy_name = shim.policy_name;
   flow.annotation = shim.annotation;
+  flow.limit_bytes_per_sec = shim.limit_bytes_per_sec;
+  decision_latency_hist_->observe(static_cast<double>(
+      (gateway_.loop().now() - flow.created).usec));
+  verdict_counter(shim.verdict).inc();
   GQ_INFO(kLog, "[%s] vlan %u %s -> %s: %s (%s)", config_.name.c_str(),
           flow.vlan, flow.inmate_ep.str().c_str(),
           flow.orig_dst.str().c_str(), shim::verdict_name(shim.verdict),
@@ -590,7 +679,7 @@ void SubfarmRouter::apply_verdict(Flow& flow,
       break;
     case shim::Verdict::kLimit: {
       flow.server_ep = flow.orig_dst;
-      const double rate = limit_rate_from_annotation(shim.annotation);
+      const double rate = limit_rate_of(shim);
       // Burst must cover at least a couple of MSS-sized segments or the
       // bucket can never admit a full segment at all.
       flow.limiter.emplace(rate, std::max(rate * 2, 4096.0));
@@ -775,6 +864,10 @@ void SubfarmRouter::udp_from_inmate(Flow& flow, pkt::DecodedFrame& frame) {
     case FlowPhase::kAwaitVerdict:
     case FlowPhase::kSplicing: {
       flow.udp_buffer.push_back(dgram.payload);
+      if (!flow.req_shim_sent) {
+        flow.req_shim_sent = true;
+        flow.req_shim_sent_at = flow.last_activity;
+      }
       // Shim-prefixed copy to the containment server (§6.2: UDP shims
       // pad the datagram).
       shim::RequestShim shim;
@@ -858,6 +951,16 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
   flow.verdict = shim.verdict;
   flow.policy_name = shim.policy_name;
   flow.annotation = shim.annotation;
+  flow.limit_bytes_per_sec = shim.limit_bytes_per_sec;
+  const auto now = gateway_.loop().now();
+  decision_latency_hist_->observe(
+      static_cast<double>((now - flow.created).usec));
+  if (flow.req_shim_sent && !flow.req_shim_acked) {
+    flow.req_shim_acked = true;
+    shim_rtt_hist_->observe(
+        static_cast<double>((now - flow.req_shim_sent_at).usec));
+  }
+  verdict_counter(shim.verdict).inc();
 
   switch (shim.verdict) {
     case shim::Verdict::kRewrite: {
@@ -881,7 +984,7 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
                            ? flow.orig_dst
                            : shim.resp;
       if (shim.verdict == shim::Verdict::kLimit) {
-        const double rate = limit_rate_from_annotation(shim.annotation);
+        const double rate = limit_rate_of(shim);
         flow.limiter.emplace(rate, std::max(rate * 2, 4096.0));
       }
       flow.server_is_cs = false;
@@ -1003,6 +1106,7 @@ void SubfarmRouter::close_flow(Flow& flow) {
   server_index_.erase({flow.proto, flow.server_ep,
                        nat_source_for(flow, flow.server_ep)});
   flows_.erase({flow.proto, flow.inmate_ep, flow.orig_dst});
+  active_flows_gauge_->set(static_cast<std::int64_t>(flows_.size()));
   // `flow` may be dangling now if the last shared_ptr lived in the maps;
   // callers must not touch it after close_flow().
 }

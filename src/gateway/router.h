@@ -17,6 +17,7 @@
 #include "gateway/flow.h"
 #include "gateway/inmate_table.h"
 #include "gateway/safety.h"
+#include "obs/telemetry.h"
 #include "packet/frame.h"
 #include "packet/pcap.h"
 #include "util/rng.h"
@@ -55,15 +56,14 @@ class SubfarmRouter {
   /// ports (REWRITE proxy outbound leg).
   void on_nonce_frame(std::uint16_t nonce, pkt::DecodedFrame frame);
 
-  void set_event_handler(FlowEventHandler handler) {
-    events_ = std::move(handler);
+  // Statistics (reads of the registry metrics this router maintains;
+  // events go to the gateway's telemetry bus).
+  [[nodiscard]] std::uint64_t flows_created() const {
+    return flows_created_ctr_->value();
   }
-
-  // Statistics.
-  [[nodiscard]] std::uint64_t flows_created() const { return flows_created_; }
   [[nodiscard]] std::size_t flows_active() const { return flows_.size(); }
   [[nodiscard]] std::uint64_t frames_from_inmates() const {
-    return frames_from_inmates_;
+    return frames_from_inmates_ctr_->value();
   }
 
  private:
@@ -118,6 +118,7 @@ class SubfarmRouter {
   void emit_udp(util::Endpoint src, util::Endpoint dst,
                 std::vector<std::uint8_t> payload);
   void report(const Flow& flow, FlowEvent::Kind kind);
+  obs::Counter& verdict_counter(shim::Verdict verdict);
   void close_flow(Flow& flow);
   void gc_sweep();
 
@@ -127,7 +128,16 @@ class SubfarmRouter {
   SafetyFilter safety_;
   pkt::PcapWriter pcap_;
   util::Rng rng_;
-  FlowEventHandler events_;
+
+  // Metric handles, resolved once against the gateway's registry under
+  // the "gw.<subfarm>." prefix.
+  obs::Counter* flows_created_ctr_ = nullptr;
+  obs::Counter* frames_from_inmates_ctr_ = nullptr;
+  obs::Counter* safety_admits_ctr_ = nullptr;
+  obs::Counter* safety_rejects_ctr_ = nullptr;
+  obs::Gauge* active_flows_gauge_ = nullptr;
+  obs::Histogram* decision_latency_hist_ = nullptr;
+  obs::Histogram* shim_rtt_hist_ = nullptr;
 
   // Flow table, keyed by the inmate-side original flow.
   std::map<pkt::FlowKey, FlowPtr> flows_;
@@ -141,8 +151,6 @@ class SubfarmRouter {
   std::map<std::uint16_t, NonceRelay> nonce_relays_;
   std::map<pkt::FlowKey, std::uint16_t> nonce_by_target_key_;
 
-  std::uint64_t flows_created_ = 0;
-  std::uint64_t frames_from_inmates_ = 0;
 };
 
 }  // namespace gq::gw

@@ -1,0 +1,52 @@
+#include "obs/events.h"
+
+#include <algorithm>
+
+namespace gq::obs {
+
+const char* farm_event_kind_name(FarmEvent::Kind kind) {
+  switch (kind) {
+    case FarmEvent::Kind::kFlowOpen: return "flow_open";
+    case FarmEvent::Kind::kFlowVerdict: return "flow_verdict";
+    case FarmEvent::Kind::kFlowClose: return "flow_close";
+    case FarmEvent::Kind::kSafetyReject: return "safety_reject";
+    case FarmEvent::Kind::kDhcpBind: return "dhcp_bind";
+    case FarmEvent::Kind::kCsDecision: return "cs_decision";
+    case FarmEvent::Kind::kInfectionServed: return "infection_served";
+    case FarmEvent::Kind::kTriggerFired: return "trigger_fired";
+    case FarmEvent::Kind::kSinkSession: return "sink_session";
+    case FarmEvent::Kind::kSinkData: return "sink_data";
+  }
+  return "?";
+}
+
+EventBus::SubscriptionId EventBus::subscribe(Handler handler) {
+  subscriptions_.push_back({next_id_, std::nullopt, std::move(handler)});
+  return next_id_++;
+}
+
+EventBus::SubscriptionId EventBus::subscribe(FarmEvent::Kind kind,
+                                             Handler handler) {
+  subscriptions_.push_back({next_id_, kind, std::move(handler)});
+  return next_id_++;
+}
+
+void EventBus::unsubscribe(SubscriptionId id) {
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [id](const Subscription& s) { return s.id == id; }),
+      subscriptions_.end());
+}
+
+void EventBus::publish(const FarmEvent& event) {
+  ++published_;
+  // Index-based walk: a handler may subscribe while we dispatch (the new
+  // subscriber then sees only subsequent events of this publish chain).
+  for (std::size_t i = 0; i < subscriptions_.size(); ++i) {
+    const auto& sub = subscriptions_[i];
+    if (sub.kind && *sub.kind != event.kind) continue;
+    sub.handler(event);
+  }
+}
+
+}  // namespace gq::obs

@@ -1,0 +1,21 @@
+#include "obs/telemetry.h"
+
+#include <string>
+
+namespace gq::obs {
+
+Telemetry::Telemetry() {
+  for (std::size_t i = 0; i < kind_counters_.size(); ++i) {
+    const auto kind = static_cast<FarmEvent::Kind>(i);
+    kind_counters_[i] = &metrics_.counter(
+        std::string("obs.events.") + farm_event_kind_name(kind));
+  }
+}
+
+void Telemetry::publish(const FarmEvent& event) {
+  const auto index = static_cast<std::size_t>(event.kind);
+  if (index < kind_counters_.size()) kind_counters_[index]->inc();
+  bus_.publish(event);
+}
+
+}  // namespace gq::obs

@@ -1,0 +1,39 @@
+// Telemetry: the farm's single observability handle — a metrics
+// registry plus the structured event bus. core::Farm owns one and hands
+// it to the gateway, the containment servers, and the sinks; standalone
+// components (unit tests, benches) that are built without a farm own a
+// private instance instead, so instrumentation code never needs a null
+// check.
+//
+// publish() forwards to the bus and maintains per-kind event counters
+// ("obs.events.<kind>") so the event stream itself is measurable.
+#pragma once
+
+#include <array>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace gq::obs {
+
+class Telemetry {
+ public:
+  Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] EventBus& bus() { return bus_; }
+
+  /// Publish an event, counting it under "obs.events.<kind>".
+  void publish(const FarmEvent& event);
+
+ private:
+  MetricsRegistry metrics_;
+  EventBus bus_;
+  std::array<Counter*, 10> kind_counters_{};
+};
+
+}  // namespace gq::obs

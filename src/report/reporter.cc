@@ -6,36 +6,70 @@
 
 namespace gq::rep {
 
-void Reporter::on_flow_event(const gw::FlowEvent& event) {
-  auto& subfarm = subfarms_[event.subfarm];
-  if (event.kind == gw::FlowEvent::Kind::kSafetyReject) {
-    ++subfarm.safety_rejections;
-    return;
+void Reporter::attach(obs::EventBus& bus) {
+  bus.subscribe([this](const obs::FarmEvent& event) { on_event(event); });
+}
+
+void Reporter::on_event(const obs::FarmEvent& event) {
+  switch (event.kind) {
+    case obs::FarmEvent::Kind::kSafetyReject:
+      ++subfarms_[event.subfarm].safety_rejections;
+      return;
+
+    case obs::FarmEvent::Kind::kFlowVerdict: {
+      auto& inmate = subfarms_[event.subfarm].inmates[event.vlan];
+      if (!event.policy_name.empty() && event.policy_name != "DefaultDeny")
+        inmate.policy_name = event.policy_name;
+      auto& group =
+          inmate.groups[GroupKey{event.verdict, event.annotation}];
+      ++group.flows;
+      ++group.by_target[event.orig_dst];
+      return;
+    }
+
+    case obs::FarmEvent::Kind::kInfectionServed: {
+      ++infections_;
+      auto& inmate = subfarms_[event.subfarm].inmates[event.vlan];
+      inmate.infections.emplace_back(event.sample_name, event.sample_md5);
+      return;
+    }
+
+    case obs::FarmEvent::Kind::kTriggerFired:
+      ++trigger_firings_;
+      return;
+
+    case obs::FarmEvent::Kind::kDhcpBind:
+      dhcp_bindings_[event.subfarm][event.vlan] =
+          AddressPair{event.inmate_internal, event.inmate_global};
+      return;
+
+    case obs::FarmEvent::Kind::kSinkSession:
+    case obs::FarmEvent::Kind::kSinkData: {
+      // Only SMTP-flavoured sinks feed the per-inmate "SMTP sessions /
+      // DATA transfers" report lines.
+      if (event.sink_service.find("smtp") == std::string::npos) return;
+      auto& stats = sink_smtp_[event.subfarm][event.sink_source.addr];
+      if (event.kind == obs::FarmEvent::Kind::kSinkSession)
+        ++stats.sessions;
+      else
+        ++stats.data_transfers;
+      return;
+    }
+
+    case obs::FarmEvent::Kind::kFlowOpen:
+    case obs::FarmEvent::Kind::kFlowClose:
+    case obs::FarmEvent::Kind::kCsDecision:
+      return;  // The verdict event carries the facts the report needs.
   }
-  if (event.kind != gw::FlowEvent::Kind::kVerdict) return;
-  auto& inmate = subfarm.inmates[event.vlan];
-  if (!event.policy_name.empty() && event.policy_name != "DefaultDeny")
-    inmate.policy_name = event.policy_name;
-  auto& group = inmate.groups[GroupKey{event.verdict, event.annotation}];
-  ++group.flows;
-  ++group.by_target[event.orig_dst];
+}
+
+void Reporter::on_flow_event(const gw::FlowEvent& event) {
+  on_event(gw::to_farm_event(event));
 }
 
 void Reporter::on_cs_event(const std::string& subfarm,
                            const cs::CsEvent& event) {
-  switch (event.kind) {
-    case cs::CsEvent::Kind::kInfectionServed: {
-      ++infections_;
-      auto& inmate = subfarms_[subfarm].inmates[event.vlan];
-      inmate.infections.emplace_back(event.sample_name, event.sample_md5);
-      break;
-    }
-    case cs::CsEvent::Kind::kTriggerFired:
-      ++trigger_firings_;
-      break;
-    case cs::CsEvent::Kind::kFlowDecision:
-      break;  // The gateway-side verdict event carries the same facts.
-  }
+  on_event(cs::to_farm_event(event, subfarm));
 }
 
 void Reporter::register_subfarm(gw::SubfarmRouter* subfarm) {
@@ -92,6 +126,14 @@ std::string Reporter::render(util::TimePoint now) const {
                       binding->internal_addr.str();
           internal_addr = binding->internal_addr;
         }
+      } else if (auto sf = dhcp_bindings_.find(name);
+                 sf != dhcp_bindings_.end()) {
+        // No router registered: fall back to bus-fed kDhcpBind records.
+        if (auto bound = sf->second.find(vlan); bound != sf->second.end()) {
+          addresses = bound->second.global_addr.str() + "/" +
+                      bound->second.internal_addr.str();
+          internal_addr = bound->second.internal_addr;
+        }
       }
       out += util::format(
           "\n%s [%s, VLAN %u]\n",
@@ -125,9 +167,25 @@ std::string Reporter::render(util::TimePoint now) const {
         out += util::format("  autoinfection %s %s\n", md5.c_str(),
                             sample.c_str());
       }
-      // SMTP statistics from the subfarm's sink, by internal address.
+      // SMTP statistics by internal address: bus-fed kSinkSession /
+      // kSinkData aggregates first, pull from a registered sink when the
+      // sink was wired without telemetry.
+      bool smtp_printed = false;
+      if (!internal_addr.is_unspecified()) {
+        if (auto sf = sink_smtp_.find(name); sf != sink_smtp_.end()) {
+          if (auto stats = sf->second.find(internal_addr);
+              stats != sf->second.end()) {
+            out += util::format(
+                "\nSMTP sessions       %llu\nSMTP DATA transfers %llu\n",
+                static_cast<unsigned long long>(stats->second.sessions),
+                static_cast<unsigned long long>(
+                    stats->second.data_transfers));
+            smtp_printed = true;
+          }
+        }
+      }
       if (auto sink_it = smtp_sinks_.find(name);
-          sink_it != smtp_sinks_.end() &&
+          !smtp_printed && sink_it != smtp_sinks_.end() &&
           !internal_addr.is_unspecified()) {
         const auto& by_source = sink_it->second->by_source();
         if (auto stats = by_source.find(internal_addr);

@@ -19,14 +19,23 @@
 #include "gateway/flow.h"
 #include "gateway/router.h"
 #include "netsim/event_loop.h"
+#include "obs/events.h"
 #include "sinks/smtp_sink.h"
 
 namespace gq::rep {
 
 class Reporter {
  public:
-  /// Event-ingestion hooks — wire to Gateway::set_event_handler and
-  /// ContainmentServer::set_event_handler.
+  /// Subscribe this reporter to a farm's event bus; every aggregate the
+  /// report renders is then driven by published FarmEvents. core::Farm
+  /// calls this once at construction.
+  void attach(obs::EventBus& bus);
+
+  /// Central ingestion: one FarmEvent of any kind.
+  void on_event(const obs::FarmEvent& event);
+
+  /// Legacy event-ingestion hooks: convert to the FarmEvent envelope and
+  /// feed on_event(). Kept for callers wiring handlers by hand.
   void on_flow_event(const gw::FlowEvent& event);
   void on_cs_event(const std::string& subfarm, const cs::CsEvent& event);
 
@@ -90,9 +99,24 @@ class Reporter {
 
   static std::string port_name(std::uint16_t port);
 
+  /// Bus-fed per-inmate SMTP sink stats (kSinkSession / kSinkData from
+  /// SMTP-flavoured sink services), keyed subfarm -> internal address.
+  struct SmtpStats {
+    std::uint64_t sessions = 0;
+    std::uint64_t data_transfers = 0;
+  };
+  /// Bus-fed DHCP address bindings (kDhcpBind), used when no router is
+  /// registered for render-time lookups: vlan -> (internal, global).
+  struct AddressPair {
+    util::Ipv4Addr internal_addr;
+    util::Ipv4Addr global_addr;
+  };
+
   std::map<std::string, SubfarmReport> subfarms_;
   std::vector<gw::SubfarmRouter*> routers_;
   std::map<std::string, sinks::SmtpSink*> smtp_sinks_;
+  std::map<std::string, std::map<util::Ipv4Addr, SmtpStats>> sink_smtp_;
+  std::map<std::string, std::map<std::uint16_t, AddressPair>> dhcp_bindings_;
   const ext::Cbl* cbl_ = nullptr;
   std::vector<std::string> rotated_;
   std::uint64_t trigger_firings_ = 0;

@@ -91,6 +91,10 @@ std::vector<std::uint8_t> ResponseShim::encode() const {
   std::string name = policy_name;
   name.resize(kPolicyNameSize, '\0');
   w.str(name);
+  // Typed verdict-parameter block: flags word, then the LIMIT rate
+  // (zero-filled when absent so the block stays fixed-size).
+  w.u32(limit_bytes_per_sec ? kParamHasLimitRate : 0);
+  w.u64(static_cast<std::uint64_t>(limit_bytes_per_sec.value_or(0)));
   w.str(annotation);
   return w.take();
 }
@@ -116,6 +120,10 @@ std::optional<ResponseShim> ResponseShim::parse(
     // Strip NUL padding.
     if (auto nul = shim.policy_name.find('\0'); nul != std::string::npos)
       shim.policy_name.resize(nul);
+    const std::uint32_t param_flags = r.u32();
+    const auto limit = static_cast<std::int64_t>(r.u64());
+    if ((param_flags & kParamHasLimitRate) != 0)
+      shim.limit_bytes_per_sec = limit;
     shim.annotation = r.str(preamble->length - kResponseShimMinSize);
     if (consumed) *consumed = preamble->length;
     return shim;

@@ -5,11 +5,18 @@
 // datagram) carrying the flow's original four-tuple, the inmate's VLAN
 // ID, and a nonce port on which the gateway will accept a subsequent
 // outbound connection from the containment server (used by REWRITE
-// proxies). The containment server answers with a *response* shim of at
-// least 56 bytes carrying the resulting four-tuple (the possibly
-// rewritten destination), the verdict opcode, a 32-byte policy name tag,
-// and an optional textual annotation. The gateway strips the response
-// shim from the stream before relaying bytes to the inmate.
+// proxies). The containment server answers with a *response* shim
+// carrying the resulting four-tuple (the possibly rewritten
+// destination), the verdict opcode, a 32-byte policy name tag, a typed
+// verdict-parameter block (e.g. the LIMIT byte rate), and an optional
+// textual annotation. The gateway strips the response shim from the
+// stream before relaying bytes to the inmate.
+//
+// Wire version 2 extends the paper's >= 56-byte response layout with an
+// explicit 12-byte parameter block (flags + rate): parameters used to be
+// string-packed into the annotation ("rate=4096") and re-parsed by the
+// gateway; they are now first-class fields, and the annotation is purely
+// descriptive.
 #pragma once
 
 #include <cstdint>
@@ -38,12 +45,16 @@ const char* verdict_name(Verdict v);
 
 /// Magic number opening every shim message ("GQSH").
 inline constexpr std::uint32_t kShimMagic = 0x47515348;
-inline constexpr std::uint8_t kShimVersion = 1;
+inline constexpr std::uint8_t kShimVersion = 2;
 inline constexpr std::uint8_t kTypeRequest = 1;
 inline constexpr std::uint8_t kTypeResponse = 2;
 inline constexpr std::size_t kRequestShimSize = 24;
-inline constexpr std::size_t kResponseShimMinSize = 56;
+/// Response layout: preamble (8) + four-tuple (12) + verdict (4) +
+/// policy name (32) + parameter block (12) = 68, then the annotation.
+inline constexpr std::size_t kResponseShimMinSize = 68;
 inline constexpr std::size_t kPolicyNameSize = 32;
+/// Parameter-block flag bits.
+inline constexpr std::uint32_t kParamHasLimitRate = 0x1;
 
 /// Containment request shim: gateway -> containment server.
 struct RequestShim {
@@ -66,8 +77,10 @@ struct ResponseShim {
   util::Endpoint resp;  ///< Resulting responder endpoint (redirect target).
   Verdict verdict = Verdict::kDrop;
   std::string policy_name;  ///< Truncated/padded to 32 bytes on the wire.
-  std::string annotation;   ///< Optional context (also carries parameters
-                            ///< such as "rate=2048" for LIMIT verdicts).
+  /// Typed verdict parameter: target byte rate for LIMIT verdicts.
+  /// Serialized in the explicit parameter block, never in the annotation.
+  std::optional<std::int64_t> limit_bytes_per_sec;
+  std::string annotation;   ///< Purely descriptive context.
 
   /// kResponseShimMinSize + annotation bytes.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;

@@ -7,6 +7,9 @@ CatchAllSink::CatchAllSink(net::HostStack& stack, std::uint16_t port,
     : stack_(stack), capture_limit_(capture_limit) {
   stack_.listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
     ++tcp_flows_;
+    if (tcp_flows_ctr_) tcp_flows_ctr_->inc();
+    publish_sink_event(obs::FarmEvent::Kind::kSinkSession, conn->remote(),
+                       pkt::FlowProto::kTcp);
     records_.push_back(FlowRecord{conn->remote(), pkt::FlowProto::kTcp, "",
                                   stack_.loop().now()});
     const std::size_t index = records_.size() - 1;
@@ -25,12 +28,45 @@ CatchAllSink::CatchAllSink(net::HostStack& stack, std::uint16_t port,
   udp_->on_datagram = [this](util::Endpoint from,
                              std::vector<std::uint8_t> data) {
     ++udp_datagrams_;
+    if (udp_datagrams_ctr_) udp_datagrams_ctr_->inc();
+    publish_sink_event(obs::FarmEvent::Kind::kSinkData, from,
+                       pkt::FlowProto::kUdp);
     FlowRecord record{from, pkt::FlowProto::kUdp, "", stack_.loop().now()};
     record.first_bytes.assign(
         reinterpret_cast<const char*>(data.data()),
         std::min(capture_limit_, data.size()));
     records_.push_back(std::move(record));
   };
+}
+
+void CatchAllSink::set_telemetry(obs::Telemetry* telemetry,
+                                 std::string subfarm, std::string service) {
+  telemetry_ = telemetry;
+  subfarm_name_ = std::move(subfarm);
+  service_name_ = std::move(service);
+  if (!telemetry_) {
+    tcp_flows_ctr_ = udp_datagrams_ctr_ = nullptr;
+    return;
+  }
+  const std::string prefix =
+      "sink." + subfarm_name_ + "." + service_name_ + ".";
+  auto& metrics = telemetry_->metrics();
+  tcp_flows_ctr_ = &metrics.counter(prefix + "tcp_flows");
+  udp_datagrams_ctr_ = &metrics.counter(prefix + "udp_datagrams");
+}
+
+void CatchAllSink::publish_sink_event(obs::FarmEvent::Kind kind,
+                                      util::Endpoint source,
+                                      pkt::FlowProto proto) {
+  if (!telemetry_) return;
+  obs::FarmEvent event;
+  event.kind = kind;
+  event.time = stack_.loop().now();
+  event.subfarm = subfarm_name_;
+  event.proto = proto;
+  event.sink_service = service_name_;
+  event.sink_source = source;
+  telemetry_->publish(event);
 }
 
 }  // namespace gq::sinks

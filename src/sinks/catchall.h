@@ -13,6 +13,7 @@
 
 #include "net/stack.h"
 #include "net/tcp.h"
+#include "obs/telemetry.h"
 #include "util/addr.h"
 
 namespace gq::sinks {
@@ -31,6 +32,12 @@ class CatchAllSink {
   CatchAllSink(net::HostStack& stack, std::uint16_t port,
                std::size_t capture_limit = 256);
 
+  /// Join the farm-wide telemetry: accepted flows / datagrams are
+  /// published as kSinkSession / kSinkData events and counted under
+  /// "sink.<subfarm>.<service>.*". Null-safe.
+  void set_telemetry(obs::Telemetry* telemetry, std::string subfarm,
+                     std::string service);
+
   [[nodiscard]] std::uint64_t tcp_flows() const { return tcp_flows_; }
   [[nodiscard]] std::uint64_t udp_datagrams() const { return udp_datagrams_; }
   [[nodiscard]] const std::vector<FlowRecord>& records() const {
@@ -39,12 +46,21 @@ class CatchAllSink {
   void clear_records() { records_.clear(); }
 
  private:
+  void publish_sink_event(obs::FarmEvent::Kind kind, util::Endpoint source,
+                          pkt::FlowProto proto);
+
   net::HostStack& stack_;
   std::size_t capture_limit_;
   std::shared_ptr<net::UdpSocket> udp_;
   std::vector<FlowRecord> records_;
   std::uint64_t tcp_flows_ = 0;
   std::uint64_t udp_datagrams_ = 0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  std::string subfarm_name_;
+  std::string service_name_;
+  obs::Counter* tcp_flows_ctr_ = nullptr;
+  obs::Counter* udp_datagrams_ctr_ = nullptr;
 };
 
 }  // namespace gq::sinks

@@ -67,15 +67,47 @@ void SmtpSink::add_destination_hint(util::Ipv4Addr inmate,
   hints_[inmate] = orig_dst;
 }
 
+void SmtpSink::set_telemetry(obs::Telemetry* telemetry, std::string subfarm,
+                             std::string service) {
+  telemetry_ = telemetry;
+  subfarm_name_ = std::move(subfarm);
+  service_name_ = std::move(service);
+  if (!telemetry_) {
+    sessions_ctr_ = data_ctr_ = dropped_ctr_ = nullptr;
+    return;
+  }
+  const std::string prefix =
+      "sink." + subfarm_name_ + "." + service_name_ + ".";
+  auto& metrics = telemetry_->metrics();
+  sessions_ctr_ = &metrics.counter(prefix + "sessions");
+  data_ctr_ = &metrics.counter(prefix + "data_transfers");
+  dropped_ctr_ = &metrics.counter(prefix + "dropped_connections");
+}
+
+void SmtpSink::publish_sink_event(obs::FarmEvent::Kind kind,
+                                  util::Endpoint source) {
+  if (!telemetry_) return;
+  obs::FarmEvent event;
+  event.kind = kind;
+  event.time = stack_.loop().now();
+  event.subfarm = subfarm_name_;
+  event.sink_service = service_name_;
+  event.sink_source = source;
+  telemetry_->publish(event);
+}
+
 void SmtpSink::on_accept(std::shared_ptr<net::TcpConnection> conn) {
   if (config_.drop_probability > 0.0 &&
       rng_.chance(config_.drop_probability)) {
     ++dropped_;
+    if (dropped_ctr_) dropped_ctr_->inc();
     conn->abort();
     return;
   }
   ++sessions_;
   ++by_source_[conn->remote().addr].sessions;
+  if (sessions_ctr_) sessions_ctr_->inc();
+  publish_sink_event(obs::FarmEvent::Kind::kSinkSession, conn->remote());
   auto session = std::make_shared<Session>();
   session->conn = conn;
   session->message.from = conn->remote();
@@ -155,6 +187,9 @@ void SmtpSink::handle_line(std::shared_ptr<Session> session,
       session->state = SmtpState::kIdle;
       ++data_transfers_;
       ++by_source_[session->conn->remote().addr].data_transfers;
+      if (data_ctr_) data_ctr_->inc();
+      publish_sink_event(obs::FarmEvent::Kind::kSinkData,
+                         session->conn->remote());
       session->message.data = std::move(session->data_buffer);
       session->data_buffer.clear();
       session->message.received = stack_.loop().now();

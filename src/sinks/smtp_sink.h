@@ -26,6 +26,7 @@
 
 #include "net/stack.h"
 #include "net/tcp.h"
+#include "obs/telemetry.h"
 #include "util/addr.h"
 #include "util/rng.h"
 
@@ -73,6 +74,13 @@ class SmtpSink {
     on_message_ = std::move(handler);
   }
 
+  /// Join the farm-wide telemetry: sessions and completed DATA
+  /// transfers are published as kSinkSession / kSinkData events and
+  /// counted under "sink.<subfarm>.<service>.*". Null-safe: standalone
+  /// sinks simply skip publication.
+  void set_telemetry(obs::Telemetry* telemetry, std::string subfarm,
+                     std::string service);
+
   // Counters for the Figure 7 report lines.
   [[nodiscard]] std::uint64_t sessions() const { return sessions_; }
   [[nodiscard]] std::uint64_t data_transfers() const {
@@ -109,6 +117,7 @@ class SmtpSink {
   void handle_line(std::shared_ptr<Session> session, std::string line);
   void grab_banner(util::Endpoint target,
                    std::function<void(std::string)> done);
+  void publish_sink_event(obs::FarmEvent::Kind kind, util::Endpoint source);
 
   net::HostStack& stack_;
   SmtpSinkConfig config_;
@@ -123,6 +132,13 @@ class SmtpSink {
   std::uint64_t data_transfers_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t banners_grabbed_ = 0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  std::string subfarm_name_;
+  std::string service_name_;
+  obs::Counter* sessions_ctr_ = nullptr;
+  obs::Counter* data_ctr_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
 };
 
 }  // namespace gq::sinks

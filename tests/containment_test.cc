@@ -339,13 +339,15 @@ TEST(Policies, StormSinksFtp) {
 
 TEST(Policies, WormFarmRedirectsRoundRobin) {
   auto env = test_env();
-  env.list_inmates = [] {
-    return std::vector<std::pair<std::uint16_t, util::Ipv4Addr>>{
+  InlinePolicyServices services;
+  services.list_inmates_fn = [] {
+    return PolicyServices::InmateList{
         {20, Ipv4Addr(10, 0, 0, 10)},
         {21, Ipv4Addr(10, 0, 0, 11)},
         {22, Ipv4Addr(10, 0, 0, 12)},
     };
   };
+  env.backend = &services;
   WormFarmPolicy policy(env);
   auto info = flow_to({Ipv4Addr(99, 1, 2, 3), 445}, 20);
   auto first = policy.decide(info);
@@ -364,10 +366,12 @@ TEST(Policies, WormFarmRedirectsRoundRobin) {
 
 TEST(Policies, WormFarmDropsWithoutVictims) {
   auto env = test_env();
-  env.list_inmates = [] {
-    return std::vector<std::pair<std::uint16_t, util::Ipv4Addr>>{
+  InlinePolicyServices services;
+  services.list_inmates_fn = [] {
+    return PolicyServices::InmateList{
         {20, Ipv4Addr(10, 0, 0, 10)}};  // Only the originator itself.
   };
+  env.backend = &services;
   WormFarmPolicy policy(env);
   EXPECT_EQ(policy.decide(flow_to({Ipv4Addr(99, 1, 2, 3), 445}, 20)).verdict,
             shim::Verdict::kDrop);

@@ -134,6 +134,10 @@ struct FarmFixture : ::testing::Test {
     ASSERT_TRUE(inmate2.configured());
   }
 
+  // Inmate enumerator for honeyfarm policies (outlives any policy that
+  // keeps a PolicyEnv copy pointing at it).
+  cs::InlinePolicyServices inmate_services;
+
   cs::PolicyEnv env_with_sink() {
     cs::PolicyEnv env;
     env.services["sink"] = {kSinkAddr, 9999};
@@ -273,13 +277,13 @@ TEST_F(FarmFixture, RewriteVerdictFigure5) {
 TEST_F(FarmFixture, RedirectVerdictReachesOtherInmate) {
   // Worm honeyfarm containment: inmate1's "scan" of an external host is
   // redirected to inmate2.
-  cs::PolicyEnv env;
-  env.list_inmates = [this] {
-    std::vector<std::pair<std::uint16_t, util::Ipv4Addr>> inmates;
+  inmate_services.list_inmates_fn = [this] {
+    cs::PolicyServices::InmateList inmates;
     for (const auto& [vlan, binding] : subfarm->inmates().bindings())
       inmates.emplace_back(vlan, binding.internal_addr);
     return inmates;
   };
+  cs::PolicyEnv env(inmate_services);
   bind(std::make_shared<cs::WormFarmPolicy>(env));
 
   std::string exploit_at_victim;
@@ -323,6 +327,50 @@ TEST_F(FarmFixture, LimitVerdictThrottlesThroughput) {
   // 60 kB at 4 kB/s (burst 8 kB) needs > 10 simulated seconds; an
   // unthrottled transfer completes in well under one.
   EXPECT_GT((done - start).seconds_f(), 10.0);
+}
+
+TEST_F(FarmFixture, CustomLimitRateSurvivesTypedShimRoundTrip) {
+  // Regression for the typed verdict-parameter block: a non-default
+  // LIMIT rate must reach the gateway via the shim's typed field (there
+  // is no textual "rate=" channel any more) and drive the token bucket.
+  class SlowLimitPolicy : public cs::Policy {
+   public:
+    SlowLimitPolicy() : Policy("Limit2k") {}
+    cs::Decision decide(const cs::FlowInfo&) override {
+      return cs::Decision::limit(2048);
+    }
+  };
+  bind(std::make_shared<SlowLimitPolicy>());
+
+  std::string received;
+  util::TimePoint done{};
+  web.listen(80, [&](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_data = [&](std::span<const std::uint8_t> d) {
+      received.append(reinterpret_cast<const char*>(d.data()), d.size());
+      done = loop.now();
+    };
+  });
+  const std::string blob(30'000, 'L');
+  const auto start = loop.now();
+  auto conn = inmate1.connect({kWebAddr, 80});
+  conn->on_connected = [&, conn] { conn->send(blob); };
+  loop.run_for(util::minutes(5));
+  EXPECT_EQ(received.size(), blob.size());
+  // 30 kB at 2 kB/s (burst 4 kB) needs > 12 simulated seconds; at the
+  // 8 kB/s default fallback rate it would finish in under 4.
+  EXPECT_GT((done - start).seconds_f(), 10.0);
+  // The flow event stream carries the typed parameter, not an encoded
+  // annotation.
+  bool saw_limit = false;
+  for (const auto& event : events) {
+    if (event.kind == gw::FlowEvent::Kind::kVerdict &&
+        event.verdict == shim::Verdict::kLimit) {
+      saw_limit = true;
+      ASSERT_TRUE(event.limit_bytes_per_sec.has_value());
+      EXPECT_EQ(*event.limit_bytes_per_sec, 2048);
+    }
+  }
+  EXPECT_TRUE(saw_limit);
 }
 
 TEST_F(FarmFixture, UdpForwardAndReflect) {

@@ -1,0 +1,192 @@
+// Unit tests of the observability layer: the metrics registry
+// (counter/gauge/histogram semantics, text and JSON export) and the
+// structured event bus (multi-subscriber dispatch, ordering, kind
+// filtering, unsubscription) plus the Telemetry facade that couples
+// them.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace gq::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, MovesBothWays) {
+  Gauge gauge;
+  gauge.set(10);
+  gauge.add(5);
+  gauge.sub(20);
+  EXPECT_EQ(gauge.value(), -5);
+}
+
+TEST(Histogram, BucketsCountAndSum) {
+  Histogram hist({10.0, 100.0, 1000.0});
+  hist.observe(5.0);     // <= 10
+  hist.observe(10.0);    // <= 10 (inclusive edge)
+  hist.observe(50.0);    // <= 100
+  hist.observe(5000.0);  // +inf tail
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5065.0);
+  ASSERT_EQ(hist.bucket_counts().size(), 4u);
+  EXPECT_EQ(hist.bucket_counts()[0], 2u);
+  EXPECT_EQ(hist.bucket_counts()[1], 1u);
+  EXPECT_EQ(hist.bucket_counts()[2], 0u);
+  EXPECT_EQ(hist.bucket_counts()[3], 1u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 5065.0 / 4.0);
+}
+
+TEST(Histogram, QuantileEstimate) {
+  Histogram hist({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) hist.observe(5.0);
+  // All mass in the first bucket: the median falls inside [0, 10].
+  const double median = hist.quantile(0.5);
+  EXPECT_GE(median, 0.0);
+  EXPECT_LE(median, 10.0);
+}
+
+TEST(MetricsRegistry, InstrumentsHaveStableAddresses) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("gw.test.flows");
+  a.inc();
+  // Creating more instruments must not move existing ones.
+  for (int i = 0; i < 100; ++i)
+    registry.counter("gw.test.other_" + std::to_string(i));
+  Counter& b = registry.counter("gw.test.flows");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.find_counter("absent"), nullptr);
+  EXPECT_EQ(registry.find_gauge("absent"), nullptr);
+  EXPECT_EQ(registry.find_histogram("absent"), nullptr);
+  registry.counter("present").inc(3);
+  ASSERT_NE(registry.find_counter("present"), nullptr);
+  EXPECT_EQ(registry.find_counter("present")->value(), 3u);
+}
+
+TEST(MetricsRegistry, JsonExportShape) {
+  MetricsRegistry registry;
+  registry.counter("cs.default.decisions").inc(7);
+  registry.gauge("gw.default.active_flows").set(3);
+  registry.histogram("gw.default.latency_us", {100.0, 1000.0}).observe(50.0);
+  const std::string json = registry.render_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"cs.default.decisions\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"gw.default.active_flows\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+  EXPECT_NE(json.find("+inf"), std::string::npos);
+}
+
+TEST(MetricsRegistry, TextExportListsInstruments) {
+  MetricsRegistry registry;
+  registry.counter("b.second").inc(2);
+  registry.counter("a.first").inc(1);
+  const std::string text = registry.render_text();
+  const auto a = text.find("a.first");
+  const auto b = text.find("b.second");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);  // Sorted by name.
+}
+
+TEST(EventBus, DispatchesToAllSubscribersInOrder) {
+  EventBus bus;
+  std::vector<std::string> calls;
+  bus.subscribe([&](const FarmEvent&) { calls.push_back("first"); });
+  bus.subscribe([&](const FarmEvent&) { calls.push_back("second"); });
+  bus.subscribe([&](const FarmEvent&) { calls.push_back("third"); });
+  FarmEvent event;
+  event.kind = FarmEvent::Kind::kFlowVerdict;
+  bus.publish(event);
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0], "first");
+  EXPECT_EQ(calls[1], "second");
+  EXPECT_EQ(calls[2], "third");
+  EXPECT_EQ(bus.published(), 1u);
+}
+
+TEST(EventBus, KindFilteredSubscription) {
+  EventBus bus;
+  int triggers = 0, all = 0;
+  bus.subscribe(FarmEvent::Kind::kTriggerFired,
+                [&](const FarmEvent&) { ++triggers; });
+  bus.subscribe([&](const FarmEvent&) { ++all; });
+  FarmEvent verdict;
+  verdict.kind = FarmEvent::Kind::kFlowVerdict;
+  FarmEvent trigger;
+  trigger.kind = FarmEvent::Kind::kTriggerFired;
+  bus.publish(verdict);
+  bus.publish(trigger);
+  EXPECT_EQ(triggers, 1);
+  EXPECT_EQ(all, 2);
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int count = 0;
+  const auto id = bus.subscribe([&](const FarmEvent&) { ++count; });
+  FarmEvent event;
+  bus.publish(event);
+  bus.unsubscribe(id);
+  bus.publish(event);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+}
+
+TEST(EventBus, EventCarriesTypedLimitParameter) {
+  EventBus bus;
+  std::optional<std::int64_t> seen;
+  bus.subscribe([&](const FarmEvent& event) {
+    seen = event.limit_bytes_per_sec;
+  });
+  FarmEvent event;
+  event.kind = FarmEvent::Kind::kFlowVerdict;
+  event.verdict = shim::Verdict::kLimit;
+  event.limit_bytes_per_sec = 4096;
+  bus.publish(event);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, 4096);
+}
+
+TEST(FarmEventKinds, AllNamed) {
+  EXPECT_STREQ(farm_event_kind_name(FarmEvent::Kind::kFlowVerdict),
+               "flow_verdict");
+  EXPECT_STREQ(farm_event_kind_name(FarmEvent::Kind::kTriggerFired),
+               "trigger_fired");
+  EXPECT_STREQ(farm_event_kind_name(FarmEvent::Kind::kSinkSession),
+               "sink_session");
+}
+
+TEST(Telemetry, PublishCountsPerKind) {
+  Telemetry telemetry;
+  int delivered = 0;
+  telemetry.bus().subscribe([&](const FarmEvent&) { ++delivered; });
+  FarmEvent event;
+  event.kind = FarmEvent::Kind::kSafetyReject;
+  telemetry.publish(event);
+  telemetry.publish(event);
+  EXPECT_EQ(delivered, 2);
+  const auto* counter =
+      telemetry.metrics().find_counter("obs.events.safety_reject");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 2u);
+}
+
+}  // namespace
+}  // namespace gq::obs

@@ -1,6 +1,7 @@
-// Shim protocol tests: exact wire sizes from the paper's Figure 4
-// (24-byte request, >= 56-byte response), round-trips, malformed-input
-// rejection, and the stream-scanning helper the gateway uses.
+// Shim protocol tests: exact wire sizes (24-byte request; the paper's
+// Figure 4 response extended to >= 68 bytes by the wire-v2 typed
+// parameter block), round-trips, malformed-input rejection, and the
+// stream-scanning helper the gateway uses.
 #include <gtest/gtest.h>
 
 #include "shim/shim.h"
@@ -65,12 +66,12 @@ TEST(RequestShim, RejectsResponseType) {
   EXPECT_FALSE(RequestShim::parse(response.encode()));
 }
 
-TEST(ResponseShim, MinimumFiftySixBytes) {
+TEST(ResponseShim, MinimumSixtyEightBytes) {
   ResponseShim shim;
   shim.verdict = Verdict::kForward;
   shim.policy_name = "Rustock";
-  EXPECT_EQ(shim.encode().size(), 56u);
-  EXPECT_EQ(kResponseShimMinSize, 56u);
+  EXPECT_EQ(shim.encode().size(), 68u);
+  EXPECT_EQ(kResponseShimMinSize, 68u);
 }
 
 TEST(ResponseShim, RoundTripWithAnnotation) {
@@ -81,7 +82,7 @@ TEST(ResponseShim, RoundTripWithAnnotation) {
   shim.policy_name = "Grum";
   shim.annotation = "full SMTP containment";
   auto bytes = shim.encode();
-  EXPECT_EQ(bytes.size(), 56u + shim.annotation.size());
+  EXPECT_EQ(bytes.size(), 68u + shim.annotation.size());
   std::size_t consumed = 0;
   auto parsed = ResponseShim::parse(bytes, &consumed);
   ASSERT_TRUE(parsed);
@@ -90,6 +91,37 @@ TEST(ResponseShim, RoundTripWithAnnotation) {
   EXPECT_EQ(parsed->policy_name, "Grum");
   EXPECT_EQ(parsed->annotation, "full SMTP containment");
   EXPECT_EQ(parsed->resp.port, 2526);
+  EXPECT_FALSE(parsed->limit_bytes_per_sec.has_value());
+}
+
+TEST(ResponseShim, TypedLimitRateRoundTrips) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kLimit;
+  shim.policy_name = "Throttle";
+  shim.limit_bytes_per_sec = 4096;
+  shim.annotation = "limit 4096 B/s";  // Descriptive only, never parsed.
+  auto parsed = ResponseShim::parse(shim.encode());
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->limit_bytes_per_sec.has_value());
+  EXPECT_EQ(*parsed->limit_bytes_per_sec, 4096);
+}
+
+TEST(ResponseShim, ParameterBlockLayout) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kLimit;
+  shim.limit_bytes_per_sec = 0x0102030405060708;
+  auto bytes = shim.encode();
+  // Flags word at [56-59] with the has-limit-rate bit set, big-endian
+  // rate at [60-67].
+  EXPECT_EQ(bytes[56], 0u);
+  EXPECT_EQ(bytes[59], kParamHasLimitRate);
+  EXPECT_EQ(bytes[60], 0x01);
+  EXPECT_EQ(bytes[67], 0x08);
+  // Without a rate the whole block is zero.
+  ResponseShim bare;
+  auto bare_bytes = bare.encode();
+  for (std::size_t i = 56; i < 68; ++i)
+    EXPECT_EQ(bare_bytes[i], 0u) << "offset " << i;
 }
 
 TEST(ResponseShim, PolicyNameTruncatedTo32) {
