@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
+#include <unordered_map>
 
 #include "containment/policies.h"
 #include "containment/trigger.h"
@@ -19,6 +21,7 @@
 #include "obs/metrics.h"
 #include "packet/checksum.h"
 #include "packet/frame.h"
+#include "packet/frame_view.h"
 #include "shim/shim.h"
 #include "util/glob.h"
 #include "util/md5.h"
@@ -62,7 +65,7 @@ void BM_FrameDecode(benchmark::State& state) {
 BENCHMARK(BM_FrameDecode)->Arg(0)->Arg(512)->Arg(1460);
 
 void BM_FrameRewriteReencode(benchmark::State& state) {
-  // The gateway's hot path: decode, NAT-rewrite, re-encode.
+  // The gateway's slow path: decode, NAT-rewrite, re-encode.
   auto bytes = sample_tcp_frame(512);
   for (auto _ : state) {
     auto frame = pkt::decode_frame(bytes);
@@ -73,6 +76,20 @@ void BM_FrameRewriteReencode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FrameRewriteReencode);
+
+void BM_FrameViewRewrite(benchmark::State& state) {
+  // The gateway's fast path: the same NAT rewrite applied in place
+  // through a FrameView with incrementally maintained checksums.
+  auto bytes = sample_tcp_frame(512);
+  for (auto _ : state) {
+    auto view = pkt::FrameView::parse(bytes);
+    view->set_ip_src(Ipv4Addr(198, 18, 0, 10));
+    view->set_src_port(4444);
+    view->set_tcp_seq(view->tcp_seq() + 24);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_FrameViewRewrite);
 
 void BM_RequestShimEncode(benchmark::State& state) {
   shim::RequestShim shim;
@@ -94,25 +111,44 @@ void BM_ResponseShimParse(benchmark::State& state) {
 }
 BENCHMARK(BM_ResponseShimParse);
 
-void BM_FlowKeyLookup(benchmark::State& state) {
-  std::map<pkt::FlowKey, int> table;
+std::vector<pkt::FlowKey> sample_flow_keys(int count) {
   util::Rng rng(1);
   std::vector<pkt::FlowKey> keys;
-  for (int i = 0; i < 1000; ++i) {
-    pkt::FlowKey key{pkt::FlowProto::kTcp,
+  for (int i = 0; i < count; ++i) {
+    keys.push_back(
+        pkt::FlowKey{pkt::FlowProto::kTcp,
                      {Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
                       static_cast<std::uint16_t>(rng.next())},
                      {Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
-                      static_cast<std::uint16_t>(rng.next())}};
-    table[key] = i;
-    keys.push_back(key);
+                      static_cast<std::uint16_t>(rng.next())}});
   }
+  return keys;
+}
+
+// The two flow-table representations side by side: the tree map the
+// router used to key flows on vs. the FlowKeyHash table it uses now.
+template <typename Table>
+void flow_key_lookup(benchmark::State& state) {
+  const auto keys = sample_flow_keys(1000);
+  Table table;
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    table[keys[i]] = static_cast<int>(i);
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.find(keys[i++ % keys.size()]));
   }
 }
+
+void BM_FlowKeyLookup(benchmark::State& state) {
+  flow_key_lookup<std::map<pkt::FlowKey, int>>(state);
+}
 BENCHMARK(BM_FlowKeyLookup);
+
+void BM_FlowKeyLookupHashed(benchmark::State& state) {
+  flow_key_lookup<
+      std::unordered_map<pkt::FlowKey, int, pkt::FlowKeyHash>>(state);
+}
+BENCHMARK(BM_FlowKeyLookupHashed);
 
 void BM_PolicyDecide(benchmark::State& state) {
   cs::PolicyEnv env;

@@ -32,9 +32,10 @@ struct RunStats {
   std::uint64_t sim_events = 0;
 };
 
-RunStats run(int subfarms, int inmates_per_subfarm,
-             util::Duration duration) {
+RunStats run(int subfarms, int inmates_per_subfarm, util::Duration duration,
+             bool fast_path = true) {
   core::Farm farm;
+  farm.gateway().set_fast_path(fast_path);
   auto& cc_host = farm.add_external_host("cc", Ipv4Addr(50, 8, 207, 91));
   ext::CcServer cc(cc_host, 80);
   mal::SpamTask task;
@@ -123,6 +124,24 @@ int main() {
                 stats.flows_contained / 10.0,
                 static_cast<unsigned long long>(stats.cs_decisions_max),
                 stats.wall_ms);
+  }
+
+  std::printf(
+      "\nSweep C: gateway datapath, 2 subfarms x 6 inmates (slow path\n"
+      "decodes and re-encodes every frame; the zero-copy fast path\n"
+      "rewrites established flows in place)\n");
+  std::printf("%9s %10s %12s %12s %10s %12s\n", "DATAPATH", "FLOWS",
+              "FLOWS/MIN", "SIM EVENTS", "WALL(ms)", "EVENTS/ms");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  for (const bool fast : {false, true}) {
+    const RunStats stats = run(2, 6, duration, fast);
+    std::printf("%9s %10llu %12.0f %12llu %10.0f %12.0f\n",
+                fast ? "fast" : "slow",
+                static_cast<unsigned long long>(stats.flows_contained),
+                stats.flows_contained / 10.0,
+                static_cast<unsigned long long>(stats.sim_events),
+                stats.wall_ms,
+                stats.wall_ms > 0 ? stats.sim_events / stats.wall_ms : 0.0);
   }
 
   std::printf(

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "netsim/event_loop.h"
@@ -42,6 +43,15 @@ class ArpProxy {
 
   /// Pre-seed the cache (e.g. learned from DHCP snooping).
   void learn(util::Ipv4Addr addr, util::MacAddr mac);
+
+  /// Probe the resolution cache without side effects (the zero-copy
+  /// fast path declines to the queueing `resolve` on a miss).
+  [[nodiscard]] std::optional<util::MacAddr> cached(
+      util::Ipv4Addr next_hop) const {
+    auto it = cache_.find(next_hop);
+    if (it == cache_.end()) return std::nullopt;
+    return it->second;
+  }
 
   [[nodiscard]] util::MacAddr mac() const { return my_mac_; }
   [[nodiscard]] util::Ipv4Addr addr() const { return my_addr_; }

@@ -109,6 +109,52 @@ std::uint16_t Gateway::allocate_nonce(SubfarmRouter* owner) {
 
 void Gateway::release_nonce(std::uint16_t port) { nonce_owners_.erase(port); }
 
+// --- Zero-copy fast path -----------------------------------------------------
+
+std::optional<Gateway::RawEgress> Gateway::resolve_raw_egress(
+    util::Ipv4Addr dst) {
+  if (auto* subfarm = subfarm_for_internal(dst)) {
+    const InmateBinding* binding = subfarm->inmates().by_internal(dst);
+    if (!binding) return std::nullopt;
+    return RawEgress{RawEgress::Leg::kInmate, inmate_leg_mac_, binding->mac,
+                     binding->vlan, subfarm};
+  }
+  if (config_.mgmt_net.contains(dst)) {
+    const auto mac = mgmt_arp_.cached(dst);
+    if (!mac) return std::nullopt;
+    return RawEgress{RawEgress::Leg::kMgmt, mgmt_arp_.mac(), *mac, 0,
+                     nullptr};
+  }
+  const auto mac = upstream_arp_.cached(dst);
+  if (!mac) return std::nullopt;
+  return RawEgress{RawEgress::Leg::kUpstream, upstream_arp_.mac(), *mac, 0,
+                   nullptr};
+}
+
+void Gateway::emit_raw(const RawEgress& egress,
+                       std::vector<std::uint8_t> bytes,
+                       pkt::FrameView& view) {
+  view.set_eth_src(egress.src_mac);
+  view.set_eth_dst(egress.dst_mac);
+  switch (egress.leg) {
+    case RawEgress::Leg::kInmate:
+      // Inmate-side trace is recorded untagged (internal perspective,
+      // §5.6), exactly like the slow path's emit_to_inmate.
+      egress.subfarm->pcap().record(loop_.now(), bytes);
+      pkt::insert_vlan_tag(bytes, egress.vlan);
+      inmate_port_.transmit(sim::Frame{std::move(bytes)});
+      return;
+    case RawEgress::Leg::kMgmt:
+      mgmt_pcap_.record(loop_.now(), bytes);
+      mgmt_port_.transmit(sim::Frame{std::move(bytes)});
+      return;
+    case RawEgress::Leg::kUpstream:
+      upstream_pcap_.record(loop_.now(), bytes);
+      upstream_port_.transmit(sim::Frame{std::move(bytes)});
+      return;
+  }
+}
+
 // --- Egress ---------------------------------------------------------------
 
 void Gateway::emit_to_inmate(std::uint16_t vlan, util::MacAddr dst_mac,
@@ -175,6 +221,13 @@ void Gateway::emit_auto(pkt::DecodedFrame frame) {
 
 void Gateway::on_upstream_frame(sim::Frame raw) {
   upstream_pcap_.record(loop_.now(), raw.bytes);
+  if (fast_path_) {
+    if (const auto dst = pkt::ipv4_dst_of(raw.bytes)) {
+      if (auto* subfarm = subfarm_for_global(*dst)) {
+        if (subfarm->fast_from_server(raw.bytes)) return;
+      }
+    }
+  }
   auto frame = pkt::decode_frame(raw.bytes);
   if (!frame) return;
   if (frame->arp) {
@@ -194,12 +247,18 @@ void Gateway::on_upstream_frame(sim::Frame raw) {
 }
 
 void Gateway::on_inmate_frame(sim::Frame raw) {
-  auto frame = pkt::decode_frame(raw.bytes);
-  if (!frame || !frame->eth.vlan) return;  // Untagged frames: not ours.
-  const std::uint16_t vlan = *frame->eth.vlan;
+  const auto vid = pkt::vlan_vid_of(raw.bytes);
+  if (!vid) return;  // Untagged frames: not ours.
+  const std::uint16_t vlan = *vid;
   auto* subfarm = subfarm_for_vlan(vlan);
   if (!subfarm) return;
-  frame->eth.vlan.reset();
+  // Normalize to untagged in place (capacity retained, so an eventual
+  // same-buffer re-tag on egress cannot reallocate), then try the
+  // zero-copy fast path before paying for a full decode.
+  pkt::strip_vlan_tag(raw.bytes);
+  if (fast_path_ && subfarm->fast_from_inmate(vlan, raw.bytes)) return;
+  auto frame = pkt::decode_frame(raw.bytes);
+  if (!frame) return;
   subfarm->pcap().record(loop_.now(), frame->encode());
 
   if (frame->arp) {
@@ -263,6 +322,16 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
 
 void Gateway::on_mgmt_frame(sim::Frame raw) {
   mgmt_pcap_.record(loop_.now(), raw.bytes);
+  if (fast_path_) {
+    if (const auto dst = pkt::ipv4_dst_of(raw.bytes)) {
+      // Nonce legs terminate on the gateway's own address: slow path.
+      if (*dst != config_.mgmt_addr) {
+        if (auto* subfarm = subfarm_for_internal(*dst)) {
+          if (subfarm->fast_from_server(raw.bytes)) return;
+        }
+      }
+    }
+  }
   auto frame = pkt::decode_frame(raw.bytes);
   if (!frame) return;
   if (frame->arp) {

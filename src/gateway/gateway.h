@@ -20,6 +20,7 @@
 #include "netsim/port.h"
 #include "obs/telemetry.h"
 #include "packet/frame.h"
+#include "packet/frame_view.h"
 #include "packet/pcap.h"
 
 namespace gq::gw {
@@ -90,6 +91,36 @@ class Gateway {
     return inmate_leg_mac_;
   }
 
+  // --- Zero-copy fast path ---------------------------------------------
+
+  /// Toggle the established-flow zero-copy datapath (on by default).
+  /// Frames the fast path declines always fall back to the decode /
+  /// re-encode slow path, so turning it off only changes performance.
+  void set_fast_path(bool enabled) { fast_path_ = enabled; }
+  [[nodiscard]] bool fast_path() const { return fast_path_; }
+
+  /// A resolved raw-frame egress: which leg, the final Ethernet
+  /// addresses, and the VLAN tag for the inmate leg.
+  struct RawEgress {
+    enum class Leg { kInmate, kMgmt, kUpstream };
+    Leg leg = Leg::kUpstream;
+    util::MacAddr src_mac;
+    util::MacAddr dst_mac;
+    std::uint16_t vlan = 0;
+    SubfarmRouter* subfarm = nullptr;  // Inmate leg: owns the trace.
+  };
+
+  /// Resolve the egress for a final destination with no side effects.
+  /// nullopt (unknown inmate binding, cold ARP cache) means the caller
+  /// must take the slow path, whose resolver can queue and retry.
+  std::optional<RawEgress> resolve_raw_egress(util::Ipv4Addr dst);
+
+  /// Transmit an already-rewritten raw frame on a resolved leg: stamps
+  /// the Ethernet addresses through `view` (which must alias `bytes`),
+  /// records the leg's trace, and 802.1Q-tags inmate-leg frames.
+  void emit_raw(const RawEgress& egress, std::vector<std::uint8_t> bytes,
+                pkt::FrameView& view);
+
  private:
   void on_upstream_frame(sim::Frame frame);
   void on_inmate_frame(sim::Frame frame);
@@ -115,6 +146,7 @@ class Gateway {
   std::vector<std::unique_ptr<SubfarmRouter>> subfarms_;
   std::map<std::uint16_t, SubfarmRouter*> nonce_owners_;
   std::uint16_t next_nonce_;
+  bool fast_path_ = true;
   // Legacy set_event_handler adapter state.
   FlowEventHandler legacy_handler_;
   std::optional<obs::EventBus::SubscriptionId> legacy_subscription_;

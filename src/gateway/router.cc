@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gateway/gateway.h"
+#include "packet/frame_view.h"
 #include "util/log.h"
 
 namespace gq::gw {
@@ -258,6 +259,144 @@ void SubfarmRouter::from_inmate(std::uint16_t vlan, pkt::DecodedFrame frame) {
   }
 
   inmate_ip(vlan, frame);
+}
+
+// --- Zero-copy fast path -----------------------------------------------------
+//
+// Both entry points mirror the slow path's dispatch order exactly, and
+// every early return of `false` happens before the buffer or any flow
+// state is touched, so a decline always falls back cleanly. The rewrite
+// itself is in-place with incrementally maintained checksums and is
+// byte-identical to the decode/mutate/encode slow path for canonical
+// frames (the only kind FrameView::parse accepts).
+
+bool SubfarmRouter::fast_from_inmate(std::uint16_t /*vlan*/,
+                                     std::vector<std::uint8_t>& bytes) {
+  auto view = pkt::FrameView::parse(bytes);
+  if (!view) return false;
+  // Infrastructure-service bypass and everything the slow path matches
+  // before the flow table — reflected server-side traffic, nonce relay
+  // return legs, inbound NAT flows — stay on the slow path.
+  if (is_infra(view->ip_dst())) return false;
+  const pkt::FlowKey key = view->flow_key();
+  if (nonce_by_target_key_.count(key) || server_index_.count(key) ||
+      inbound_flows_.count(key)) {
+    return false;
+  }
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return false;
+  Flow& flow = *it->second;
+  if (flow.phase != FlowPhase::kEstablished || flow.server_is_cs)
+    return false;
+  const bool tcp = view->is_tcp();
+  if (tcp && (view->tcp_syn() || view->tcp_rst())) return false;
+
+  // Resolve the egress leg before touching anything so a miss (cold ARP
+  // cache, unbound inmate) declines with no side effects.
+  const util::Endpoint nat_src = nat_source_for(flow, flow.server_ep);
+  const auto egress = gateway_.resolve_raw_egress(flow.server_ep.addr);
+  if (!egress) return false;
+
+  // Committed. Ingress trace first (pre-rewrite, like the slow path).
+  pcap_.record(gateway_.loop().now(), bytes);
+  frames_from_inmates_ctr_->inc();
+  flow.last_activity = gateway_.loop().now();
+  const std::uint32_t payload_len = view->payload_len();
+  if (tcp) {
+    const bool fin = view->tcp_fin();
+    if (payload_len > 0 || fin) {
+      const std::uint32_t end =
+          view->tcp_seq() + payload_len + (fin ? 1 : 0);
+      if (seq_lt(flow.inmate_snd_nxt, end)) flow.inmate_snd_nxt = end;
+    }
+    if (flow.limiter && payload_len > 0 &&
+        !flow.limiter->try_consume(flow.last_activity,
+                                   static_cast<double>(payload_len))) {
+      return true;  // Dropped; the inmate's TCP retransmits, throttled.
+    }
+    if (payload_len > 0) flow.bytes_to_server += payload_len;
+    if (fin) flow.fin_inmate = true;
+    view->set_ip_src(nat_src.addr);
+    view->set_src_port(nat_src.port);
+    view->set_ip_dst(flow.server_ep.addr);
+    view->set_dst_port(flow.server_ep.port);
+    view->set_tcp_seq(view->tcp_seq() + flow.d_out);
+    if (view->tcp_has_ack()) view->set_tcp_ack(view->tcp_ack() - flow.d_in);
+  } else {
+    if (flow.limiter &&
+        !flow.limiter->try_consume(flow.last_activity,
+                                   static_cast<double>(payload_len))) {
+      return true;
+    }
+    flow.bytes_to_server += payload_len;
+    view->set_ip_src(nat_src.addr);
+    view->set_src_port(nat_src.port);
+    view->set_ip_dst(flow.server_ep.addr);
+    view->set_dst_port(flow.server_ep.port);
+  }
+  gateway_.emit_raw(*egress, std::move(bytes), *view);
+  return true;
+}
+
+bool SubfarmRouter::fast_from_server(std::vector<std::uint8_t>& bytes) {
+  auto view = pkt::FrameView::parse(bytes);
+  if (!view) return false;
+  const pkt::FlowKey key = view->flow_key();
+  if (nonce_by_target_key_.count(key)) return false;
+  const auto it = server_index_.find(key);
+  if (it == server_index_.end()) return false;
+  Flow& flow = *it->second;
+  if (flow.phase != FlowPhase::kEstablished || flow.server_is_cs)
+    return false;
+  const bool tcp = view->is_tcp();
+  if (tcp && (view->tcp_syn() || view->tcp_rst())) return false;
+  const auto egress = gateway_.resolve_raw_egress(flow.inmate_ep.addr);
+  if (!egress) return false;
+
+  flow.last_activity = gateway_.loop().now();
+  const std::uint32_t payload_len = view->payload_len();
+  if (tcp) {
+    // Advance the splice replay window with the target's acks (d_out is
+    // zero for spliced flows, so ack values live directly in inmate
+    // sequence space).
+    if (view->tcp_has_ack() && seq_lt(flow.replay_acked, view->tcp_ack())) {
+      flow.replay_acked = view->tcp_ack();
+      for (auto rit = flow.replay_buf.begin();
+           rit != flow.replay_buf.end();) {
+        const std::uint32_t end =
+            rit->first + static_cast<std::uint32_t>(rit->second.size());
+        if (seq_le(end, flow.replay_acked))
+          rit = flow.replay_buf.erase(rit);
+        else
+          break;
+      }
+    }
+    if (flow.limiter && payload_len > 0 &&
+        !flow.limiter->try_consume(flow.last_activity,
+                                   static_cast<double>(payload_len))) {
+      return true;  // Dropped; the target's TCP retransmits, throttled.
+    }
+    if (payload_len > 0) {
+      flow.bytes_to_inmate += payload_len;
+      const std::uint32_t end = view->tcp_seq() + payload_len;
+      if (seq_lt(flow.server_rcv_next, end)) flow.server_rcv_next = end;
+    }
+    if (view->tcp_fin()) flow.fin_server = true;
+    view->set_ip_src(flow.orig_dst.addr);
+    view->set_src_port(flow.orig_dst.port);
+    view->set_ip_dst(flow.inmate_ep.addr);
+    view->set_dst_port(flow.inmate_ep.port);
+    view->set_tcp_seq(view->tcp_seq() + flow.d_in);
+    if (view->tcp_has_ack()) view->set_tcp_ack(view->tcp_ack() - flow.d_out);
+  } else {
+    flow.bytes_to_inmate += payload_len;
+    view->set_ip_src(flow.orig_dst.addr);
+    view->set_src_port(flow.orig_dst.port);
+    view->set_ip_dst(flow.inmate_ep.addr);
+    view->set_dst_port(flow.inmate_ep.port);
+  }
+  gateway_.emit_raw(*egress, std::move(bytes), *view);
+  return true;
 }
 
 void SubfarmRouter::inmate_ip(std::uint16_t vlan, pkt::DecodedFrame& frame) {

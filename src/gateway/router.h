@@ -9,9 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "gateway/config.h"
 #include "gateway/flow.h"
@@ -44,6 +45,18 @@ class SubfarmRouter {
 
   /// Frame from an inmate on `vlan` (tag already stripped).
   void from_inmate(std::uint16_t vlan, pkt::DecodedFrame frame);
+
+  /// Zero-copy fast path: `bytes` is the untagged wire frame from an
+  /// inmate on `vlan`. Returns true when the frame was fully handled
+  /// in place (forwarded, or intentionally dropped by rate limiting);
+  /// false means the caller must take the decode slow path. Only
+  /// established flows with no shim/splice surgery pending qualify,
+  /// and the rewrite is byte-identical to the slow path's re-encode.
+  bool fast_from_inmate(std::uint16_t vlan, std::vector<std::uint8_t>& bytes);
+
+  /// Fast path for a frame arriving from the server side (upstream or
+  /// management leg) addressed into this subfarm. Same contract.
+  bool fast_from_server(std::vector<std::uint8_t>& bytes);
 
   /// Frame from the management network whose destination is inside this
   /// subfarm's internal range (containment server / sink replies).
@@ -139,17 +152,21 @@ class SubfarmRouter {
   obs::Histogram* decision_latency_hist_ = nullptr;
   obs::Histogram* shim_rtt_hist_ = nullptr;
 
-  // Flow table, keyed by the inmate-side original flow.
-  std::map<pkt::FlowKey, FlowPtr> flows_;
+  // Flow table, keyed by the inmate-side original flow. All per-frame
+  // lookup tables are hash maps: the datapath does several lookups per
+  // frame and never needs ordered iteration.
+  std::unordered_map<pkt::FlowKey, FlowPtr, pkt::FlowKeyHash> flows_;
   // Server-side index: key is {proto, server_ep, nat_src} as seen in
   // frames arriving from the server side.
-  std::map<pkt::FlowKey, FlowPtr> server_index_;
+  std::unordered_map<pkt::FlowKey, FlowPtr, pkt::FlowKeyHash> server_index_;
   // Inbound (outside-initiated) pass-through flows, keyed as seen from
   // the inmate: {proto, inmate_internal_ep, remote_ep}.
-  std::map<pkt::FlowKey, util::TimePoint> inbound_flows_;
+  std::unordered_map<pkt::FlowKey, util::TimePoint, pkt::FlowKeyHash>
+      inbound_flows_;
   // Nonce relays.
-  std::map<std::uint16_t, NonceRelay> nonce_relays_;
-  std::map<pkt::FlowKey, std::uint16_t> nonce_by_target_key_;
+  std::unordered_map<std::uint16_t, NonceRelay> nonce_relays_;
+  std::unordered_map<pkt::FlowKey, std::uint16_t, pkt::FlowKeyHash>
+      nonce_by_target_key_;
 
 };
 

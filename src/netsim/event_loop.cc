@@ -1,27 +1,41 @@
 #include "netsim/event_loop.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace gq::sim {
 
 EventId EventLoop::schedule_at(util::TimePoint at, std::function<void()> fn) {
   if (at < now_) at = now_;
   const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
   return id;
 }
 
-void EventLoop::cancel(EventId id) { cancelled_.insert(id); }
+void EventLoop::cancel(EventId id) {
+  // Only genuinely pending ids are recorded; the tombstone is purged
+  // when its heap entry pops, so neither set grows without bound.
+  if (live_.erase(id) > 0) cancelled_.insert(id);
+}
+
+EventLoop::Entry EventLoop::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return entry;
+}
 
 bool EventLoop::step(util::TimePoint deadline) {
-  while (!queue_.empty()) {
-    if (queue_.top().at > deadline) return false;
-    // Entries are popped by copy because priority_queue::top is const;
-    // the function object is small (usually a lambda with a few captures).
-    Entry entry = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    if (heap_.front().at > deadline) return false;
+    Entry entry = pop_entry();
     if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
     }
+    live_.erase(entry.id);
     now_ = entry.at;
     ++executed_;
     entry.fn();

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -37,7 +36,7 @@ class EventLoop {
   }
 
   /// Cancel a pending event; cancelling an already-run or unknown id is a
-  /// harmless no-op.
+  /// harmless no-op (and is not recorded, so `pending()` stays exact).
   void cancel(EventId id);
 
   /// Run events until the queue empties or the clock would pass
@@ -54,10 +53,9 @@ class EventLoop {
   /// Number of events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
-  /// Number of events currently pending.
-  [[nodiscard]] std::size_t pending() const {
-    return queue_.size() - cancelled_.size();
-  }
+  /// Number of events currently pending (scheduled, not yet run or
+  /// cancelled).
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
 
  private:
   struct Entry {
@@ -74,13 +72,19 @@ class EventLoop {
   };
 
   bool step(util::TimePoint deadline);
+  /// Pop the top heap entry by move (std::priority_queue::top is const
+  /// and would copy the closure — including any captured frame buffer).
+  Entry pop_entry();
 
   util::TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  // Min-heap over `heap_` managed with push_heap/pop_heap so entries can
+  // be moved out instead of copied.
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> live_;       // Scheduled and not yet run.
+  std::unordered_set<EventId> cancelled_;  // Subset of ids still in heap_.
 };
 
 }  // namespace gq::sim

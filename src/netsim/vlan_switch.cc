@@ -1,7 +1,9 @@
 #include "netsim/vlan_switch.h"
 
 #include <cstring>
+#include <utility>
 
+#include "packet/frame_view.h"
 #include "packet/headers.h"
 
 namespace gq::sim {
@@ -13,7 +15,6 @@ namespace {
 // fast path.
 constexpr std::size_t kDstOffset = 0;
 constexpr std::size_t kSrcOffset = 6;
-constexpr std::size_t kTypeOffset = 12;
 constexpr std::size_t kMinFrame = 14;
 
 util::MacAddr mac_at(const std::vector<std::uint8_t>& bytes,
@@ -21,36 +22,6 @@ util::MacAddr mac_at(const std::vector<std::uint8_t>& bytes,
   std::array<std::uint8_t, 6> arr;
   std::memcpy(arr.data(), bytes.data() + offset, 6);
   return util::MacAddr(arr);
-}
-
-std::optional<std::uint16_t> vlan_tag_of(
-    const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < kMinFrame + 4) return std::nullopt;
-  const std::uint16_t type = static_cast<std::uint16_t>(
-      (bytes[kTypeOffset] << 8) | bytes[kTypeOffset + 1]);
-  if (type != pkt::kEtherTypeVlan) return std::nullopt;
-  return static_cast<std::uint16_t>(((bytes[14] << 8) | bytes[15]) & 0x0FFF);
-}
-
-std::vector<std::uint8_t> strip_tag(const std::vector<std::uint8_t>& bytes) {
-  std::vector<std::uint8_t> out;
-  out.reserve(bytes.size() - 4);
-  out.insert(out.end(), bytes.begin(), bytes.begin() + kTypeOffset);
-  out.insert(out.end(), bytes.begin() + kTypeOffset + 4, bytes.end());
-  return out;
-}
-
-std::vector<std::uint8_t> add_tag(const std::vector<std::uint8_t>& bytes,
-                                  std::uint16_t vlan) {
-  std::vector<std::uint8_t> out;
-  out.reserve(bytes.size() + 4);
-  out.insert(out.end(), bytes.begin(), bytes.begin() + kTypeOffset);
-  out.push_back(pkt::kEtherTypeVlan >> 8);
-  out.push_back(pkt::kEtherTypeVlan & 0xFF);
-  out.push_back(static_cast<std::uint8_t>(vlan >> 8));
-  out.push_back(static_cast<std::uint8_t>(vlan));
-  out.insert(out.end(), bytes.begin() + kTypeOffset, bytes.end());
-  return out;
 }
 
 }  // namespace
@@ -112,15 +83,17 @@ void VlanSwitch::flush_learning_for_port(std::size_t index) {
 }
 
 void VlanSwitch::handle_frame(std::size_t ingress, Frame frame) {
-  const auto& bytes = frame.bytes;
-  if (bytes.size() < kMinFrame) {
+  if (frame.bytes.size() < kMinFrame) {
     ++dropped_;
     return;
   }
   const PortConfig& in_cfg = configs_[ingress];
   std::uint16_t vlan;
-  std::vector<std::uint8_t> untagged;
-  const auto tag = vlan_tag_of(bytes);
+  // Normalize the ingress buffer to untagged form in place; the buffer
+  // is then moved straight through to the egress port (copied only when
+  // flooding to multiple ports).
+  std::vector<std::uint8_t> untagged = std::move(frame.bytes);
+  const auto tag = pkt::vlan_vid_of(untagged);
   switch (in_cfg.mode) {
     case Mode::kUnconfigured:
       ++dropped_;
@@ -131,7 +104,6 @@ void VlanSwitch::handle_frame(std::size_t ingress, Frame frame) {
         return;
       }
       vlan = in_cfg.access_vlan;
-      untagged = bytes;
       break;
     case Mode::kTrunk:
       if (!tag) {  // No native VLAN on trunks in this switch.
@@ -143,7 +115,7 @@ void VlanSwitch::handle_frame(std::size_t ingress, Frame frame) {
         ++dropped_;
         return;
       }
-      untagged = strip_tag(bytes);
+      pkt::strip_vlan_tag(untagged);
       break;
     default:
       ++dropped_;
@@ -156,24 +128,26 @@ void VlanSwitch::handle_frame(std::size_t ingress, Frame frame) {
 
   if (!dst.is_multicast()) {
     if (auto it = table_.find({vlan, dst}); it != table_.end()) {
-      if (it->second != ingress) egress(it->second, vlan, untagged);
+      if (it->second != ingress) egress(it->second, vlan, std::move(untagged));
       return;
     }
   }
   // Broadcast / unknown unicast: flood within the VLAN.
   ++flooded_;
+  std::size_t last = ports_.size();
   for (std::size_t i = 0; i < ports_.size(); ++i) {
-    if (i == ingress) continue;
-    if (configs_[i].carries(vlan)) egress(i, vlan, untagged);
+    if (i == ingress || !configs_[i].carries(vlan)) continue;
+    if (last != ports_.size()) egress(last, vlan, untagged);
+    last = i;
   }
+  if (last != ports_.size()) egress(last, vlan, std::move(untagged));
 }
 
 void VlanSwitch::egress(std::size_t index, std::uint16_t vlan,
-                        const std::vector<std::uint8_t>& untagged) {
+                        std::vector<std::uint8_t> untagged) {
   const PortConfig& cfg = configs_[index];
-  Frame out;
-  out.bytes = (cfg.mode == Mode::kTrunk) ? add_tag(untagged, vlan) : untagged;
-  ports_[index]->transmit(std::move(out));
+  if (cfg.mode == Mode::kTrunk) pkt::insert_vlan_tag(untagged, vlan);
+  ports_[index]->transmit(Frame{std::move(untagged)});
 }
 
 }  // namespace gq::sim

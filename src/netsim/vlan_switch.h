@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "netsim/port.h"
@@ -61,15 +61,30 @@ class VlanSwitch {
   };
 
   void handle_frame(std::size_t ingress, Frame frame);
+  /// Deliver `untagged` out of port `index`, re-tagging in place for
+  /// trunks. Takes the buffer by value: the single-target forward path
+  /// moves the ingress buffer straight through; only flooding copies.
   void egress(std::size_t index, std::uint16_t vlan,
-              const std::vector<std::uint8_t>& untagged);
+              std::vector<std::uint8_t> untagged);
+
+  struct TableKey {
+    std::uint16_t vlan;
+    util::MacAddr mac;
+    friend bool operator==(const TableKey&, const TableKey&) = default;
+  };
+  struct TableKeyHash {
+    std::size_t operator()(const TableKey& k) const noexcept {
+      return std::hash<util::MacAddr>{}(k.mac) ^
+             (std::size_t{k.vlan} * 0x9E3779B97F4A7C15ull);
+    }
+  };
 
   EventLoop& loop_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::vector<PortConfig> configs_;
   // Learning table: (vlan, mac) -> port index.
-  std::map<std::pair<std::uint16_t, util::MacAddr>, std::size_t> table_;
+  std::unordered_map<TableKey, std::size_t, TableKeyHash> table_;
   std::uint64_t flooded_ = 0;
   std::uint64_t dropped_ = 0;
 };

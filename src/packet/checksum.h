@@ -1,4 +1,6 @@
-// RFC 1071 Internet checksum, plus the TCP/UDP pseudo-header variant.
+// RFC 1071 Internet checksum, plus the TCP/UDP pseudo-header variant and
+// the RFC 1624 incremental-update primitive used by the zero-copy NAT
+// rewrite path (see packet/frame_view.h).
 #pragma once
 
 #include <cstdint>
@@ -9,13 +11,43 @@
 namespace gq::pkt {
 
 /// One's-complement sum of 16-bit words over `data` (odd trailing byte
-/// padded with zero), folded and complemented.
+/// padded with zero), folded and complemented. Accumulates a machine
+/// word at a time; `checksum_reference` is the byte-pair scalar version.
 std::uint16_t checksum(std::span<const std::uint8_t> data);
+
+/// Scalar byte-pair reference implementation of `checksum`. Kept as the
+/// oracle the word-at-a-time version is tested against.
+std::uint16_t checksum_reference(std::span<const std::uint8_t> data);
 
 /// Checksum of a TCP or UDP segment including the IPv4 pseudo-header
 /// (src, dst, zero, protocol, length).
 std::uint16_t l4_checksum(util::Ipv4Addr src, util::Ipv4Addr dst,
                           std::uint8_t protocol,
                           std::span<const std::uint8_t> segment);
+
+/// RFC 1624 (eqn. 3) incremental update: the stored checksum `csum` of a
+/// buffer in which a 16-bit word changed from `old_word` to `new_word`.
+/// Matches a full recompute bit-for-bit for any reachable input (the
+/// 0x0000/0xFFFF representations only diverge for all-zero data, which
+/// no IPv4/TCP/UDP header can be).
+constexpr std::uint16_t checksum_update(std::uint16_t csum,
+                                        std::uint16_t old_word,
+                                        std::uint16_t new_word) {
+  std::uint32_t acc = static_cast<std::uint16_t>(~csum);
+  acc += static_cast<std::uint16_t>(~old_word);
+  acc += new_word;
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc);
+}
+
+/// Incremental update for a changed 32-bit field (two word updates).
+constexpr std::uint16_t checksum_update32(std::uint16_t csum,
+                                          std::uint32_t old_word,
+                                          std::uint32_t new_word) {
+  csum = checksum_update(csum, static_cast<std::uint16_t>(old_word >> 16),
+                         static_cast<std::uint16_t>(new_word >> 16));
+  return checksum_update(csum, static_cast<std::uint16_t>(old_word),
+                         static_cast<std::uint16_t>(new_word));
+}
 
 }  // namespace gq::pkt

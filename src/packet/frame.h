@@ -67,6 +67,26 @@ struct FlowKey {
   [[nodiscard]] std::string str() const;
 };
 
+/// Hash functor for FlowKey, for the gateway's unordered flow tables.
+/// Packs the 104-bit tuple into two words and finalizes with splitmix64
+/// so per-flow sequential ports / addresses spread across buckets.
+struct FlowKeyHash {
+  static constexpr std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+  std::size_t operator()(const FlowKey& key) const noexcept {
+    const std::uint64_t addrs =
+        (std::uint64_t{key.src.addr.value()} << 32) | key.dst.addr.value();
+    const std::uint64_t rest = (std::uint64_t{key.src.port} << 24) |
+                               (std::uint64_t{key.dst.port} << 8) |
+                               static_cast<std::uint64_t>(key.proto);
+    return static_cast<std::size_t>(mix(addrs ^ mix(rest)));
+  }
+};
+
 /// Extract a FlowKey from a decoded TCP/UDP frame (nullopt otherwise).
 std::optional<FlowKey> flow_key_of(const DecodedFrame& frame);
 

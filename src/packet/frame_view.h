@@ -1,0 +1,138 @@
+// Zero-copy view over one raw IPv4/TCP|UDP Ethernet frame: locates the
+// L2/L3/L4 header offsets over the wire bytes without copying anything,
+// exposes read accessors for the fields the gateway's flow tables key
+// on, and provides in-place setters for the NAT-rewrite fields (src/dst
+// address, ports, TCP seq/ack) that maintain the IPv4 header checksum
+// and the L4 pseudo-header checksum incrementally per RFC 1624 instead
+// of recomputing over the payload.
+//
+// The view only accepts *canonical* frames — the exact shape
+// DecodedFrame::encode() produces (IHL 5, DSCP/ECN 0, unfragmented,
+// TCP data offset 5 with zero reserved bits and urgent pointer, UDP
+// length consistent and checksum nonzero, no trailing padding). For a
+// canonical frame, rewriting through the view is byte-identical to the
+// decode → mutate → encode slow path; anything else fails to parse and
+// must take the slow path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "packet/frame.h"
+#include "packet/headers.h"
+#include "util/addr.h"
+
+namespace gq::pkt {
+
+/// How much of the frame FrameView::parse verifies. The gateway's fast
+/// path uses kIpHeader — like a hardware router it checks the 20-byte IP
+/// header checksum but does not scan the payload; kFull additionally
+/// verifies the L4 checksum (tests, defensive callers).
+enum class ViewVerify { kNone, kIpHeader, kFull };
+
+class FrameView {
+ public:
+  /// Locate header offsets over `bytes` (untagged or single 802.1Q tag).
+  /// Returns nullopt for non-IPv4, non-TCP/UDP, or non-canonical frames.
+  /// The view aliases `bytes` and is invalidated by any resize of the
+  /// underlying buffer.
+  static std::optional<FrameView> parse(
+      std::span<std::uint8_t> bytes,
+      ViewVerify verify = ViewVerify::kIpHeader);
+
+  // --- Read accessors ---------------------------------------------------
+  [[nodiscard]] std::optional<std::uint16_t> vlan() const { return vlan_; }
+  [[nodiscard]] bool is_tcp() const { return proto_ == kProtoTcp; }
+  [[nodiscard]] bool is_udp() const { return proto_ == kProtoUdp; }
+  [[nodiscard]] FlowProto proto() const {
+    return proto_ == kProtoTcp ? FlowProto::kTcp : FlowProto::kUdp;
+  }
+  [[nodiscard]] util::Ipv4Addr ip_src() const {
+    return util::Ipv4Addr(rd32(l3_ + 12));
+  }
+  [[nodiscard]] util::Ipv4Addr ip_dst() const {
+    return util::Ipv4Addr(rd32(l3_ + 16));
+  }
+  [[nodiscard]] std::uint16_t src_port() const { return rd16(l4_); }
+  [[nodiscard]] std::uint16_t dst_port() const { return rd16(l4_ + 2); }
+  [[nodiscard]] std::uint32_t tcp_seq() const { return rd32(l4_ + 4); }
+  [[nodiscard]] std::uint32_t tcp_ack() const { return rd32(l4_ + 8); }
+  [[nodiscard]] std::uint8_t tcp_flags() const { return base_[l4_ + 13]; }
+  [[nodiscard]] bool tcp_syn() const { return tcp_flags() & kTcpSyn; }
+  [[nodiscard]] bool tcp_fin() const { return tcp_flags() & kTcpFin; }
+  [[nodiscard]] bool tcp_rst() const { return tcp_flags() & kTcpRst; }
+  [[nodiscard]] bool tcp_has_ack() const { return tcp_flags() & kTcpAck; }
+  /// L4 payload length (TCP payload bytes / UDP datagram payload bytes).
+  [[nodiscard]] std::uint32_t payload_len() const { return payload_len_; }
+
+  /// The directional flow key of this frame, extracted in place.
+  [[nodiscard]] FlowKey flow_key() const {
+    return FlowKey{proto(), {ip_src(), src_port()}, {ip_dst(), dst_port()}};
+  }
+
+  // --- In-place rewrite (checksums maintained incrementally) -----------
+  void set_eth_src(const util::MacAddr& mac) { wr_mac(6, mac); }
+  void set_eth_dst(const util::MacAddr& mac) { wr_mac(0, mac); }
+  void set_ip_src(util::Ipv4Addr addr) { set_ip_addr(l3_ + 12, addr); }
+  void set_ip_dst(util::Ipv4Addr addr) { set_ip_addr(l3_ + 16, addr); }
+  void set_src_port(std::uint16_t port) { set_l4_u16(l4_, port); }
+  void set_dst_port(std::uint16_t port) { set_l4_u16(l4_ + 2, port); }
+  void set_tcp_seq(std::uint32_t seq) { set_l4_u32(l4_ + 4, seq); }
+  void set_tcp_ack(std::uint32_t ack) { set_l4_u32(l4_ + 8, ack); }
+
+ private:
+  [[nodiscard]] std::uint16_t rd16(std::size_t at) const {
+    return static_cast<std::uint16_t>((base_[at] << 8) | base_[at + 1]);
+  }
+  [[nodiscard]] std::uint32_t rd32(std::size_t at) const {
+    return (static_cast<std::uint32_t>(base_[at]) << 24) |
+           (static_cast<std::uint32_t>(base_[at + 1]) << 16) |
+           (static_cast<std::uint32_t>(base_[at + 2]) << 8) |
+           static_cast<std::uint32_t>(base_[at + 3]);
+  }
+  void wr16(std::size_t at, std::uint16_t v) {
+    base_[at] = static_cast<std::uint8_t>(v >> 8);
+    base_[at + 1] = static_cast<std::uint8_t>(v);
+  }
+  void wr32(std::size_t at, std::uint32_t v) {
+    wr16(at, static_cast<std::uint16_t>(v >> 16));
+    wr16(at + 2, static_cast<std::uint16_t>(v));
+  }
+  void wr_mac(std::size_t at, const util::MacAddr& mac);
+
+  void set_ip_addr(std::size_t at, util::Ipv4Addr addr);
+  void set_l4_u16(std::size_t at, std::uint16_t v);
+  void set_l4_u32(std::size_t at, std::uint32_t v);
+  /// Apply an incremental delta to the L4 checksum (UDP zero-checksum
+  /// convention preserved).
+  void l4_csum_update32(std::uint32_t old_word, std::uint32_t new_word);
+
+  std::uint8_t* base_ = nullptr;
+  std::uint16_t l3_ = 0;        ///< Offset of the IPv4 header.
+  std::uint16_t l4_ = 0;        ///< Offset of the TCP/UDP header.
+  std::uint16_t l4_csum_ = 0;   ///< Offset of the L4 checksum field.
+  std::uint32_t payload_len_ = 0;
+  std::uint8_t proto_ = 0;
+  std::optional<std::uint16_t> vlan_;
+};
+
+/// Peek the 802.1Q VID of a raw frame without building a view (nullopt
+/// when untagged or truncated).
+std::optional<std::uint16_t> vlan_vid_of(
+    std::span<const std::uint8_t> bytes);
+
+/// Peek the IPv4 destination of a raw untagged frame (nullopt when not
+/// IPv4 or truncated). Used by ingress dispatch before any decode.
+std::optional<util::Ipv4Addr> ipv4_dst_of(
+    std::span<const std::uint8_t> bytes);
+
+/// Strip the 802.1Q tag in place (no-op when untagged). The buffer
+/// shrinks by four bytes; capacity is retained, so a later re-tag via
+/// `insert_vlan_tag` cannot reallocate.
+void strip_vlan_tag(std::vector<std::uint8_t>& bytes);
+
+/// Insert an 802.1Q tag in place (PCP/DEI zero).
+void insert_vlan_tag(std::vector<std::uint8_t>& bytes, std::uint16_t vlan);
+
+}  // namespace gq::pkt

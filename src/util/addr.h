@@ -144,6 +144,16 @@ struct std::hash<gq::util::Ipv4Addr> {
 };
 
 template <>
+struct std::hash<gq::util::MacAddr> {
+  std::size_t operator()(const gq::util::MacAddr& m) const noexcept {
+    const auto& b = m.bytes();
+    std::uint64_t v = 0;
+    for (auto byte : b) v = (v << 8) | byte;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};
+
+template <>
 struct std::hash<gq::util::Endpoint> {
   std::size_t operator()(const gq::util::Endpoint& e) const noexcept {
     return std::hash<std::uint64_t>{}(

@@ -52,6 +52,37 @@ TEST(EventLoop, Cancel) {
   EXPECT_FALSE(ran);
 }
 
+TEST(EventLoop, CancelBogusIdsKeepsPendingExact) {
+  EventLoop loop;
+  auto id = loop.schedule_in(util::seconds(1), [] {});
+  EXPECT_EQ(loop.pending(), 1u);
+  // Unknown ids are not recorded and cannot skew the pending count.
+  loop.cancel(id + 100);
+  loop.cancel(0);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_all();
+  EXPECT_EQ(loop.pending(), 0u);
+  // Cancelling an already-run id is a no-op too (this used to make
+  // pending() underflow).
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.schedule_in(util::seconds(1), [] {});
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, CancelledEntryPurgedOnPop) {
+  EventLoop loop;
+  bool ran = false;
+  auto id = loop.schedule_in(util::seconds(1), [&] { ran = true; });
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.cancel(id);  // Double-cancel: second one is a no-op.
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.events_executed(), 0u);
+}
+
 TEST(EventLoop, NestedScheduling) {
   EventLoop loop;
   int depth = 0;
