@@ -1,0 +1,289 @@
+// Fault-injection soak sweep: drives a full farm through all six
+// verdicts for half a simulated hour per row while the fabric degrades —
+// escalating drop rates, reordering, duplication, jitter, and a
+// containment-server outage schedule — and audits every frame the
+// gateway emitted upstream against the verdict event stream. The table
+// reports per-profile flow/verdict/retry/fail-closed tallies and the
+// escape count, which must be zero on every row: the process exits
+// nonzero otherwise, so CI can gate on containment under faults.
+//
+//   build/bench/s2_fault_soak           # full sweep, ~2.5 simulated hours
+//   build/bench/s2_fault_soak --smoke   # 3 simulated minutes per row
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "containment/policy.h"
+#include "core/farm.h"
+#include "netsim/fault.h"
+#include "packet/frame.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gq;
+using util::Ipv4Addr;
+
+constexpr std::uint16_t kPorts[] = {8001, 8002, 8003, 8004, 8005, 8006};
+
+class CyclingPolicy : public cs::Policy {
+ public:
+  explicit CyclingPolicy(util::Endpoint sink)
+      : cs::Policy("Cycling"), sink_(sink) {}
+  cs::Decision decide(const cs::FlowInfo& info) override {
+    switch (info.dst().port) {
+      case 8001: return cs::Decision::forward();
+      case 8002: return cs::Decision::limit(4096);
+      case 8003: return cs::Decision::drop("denied");
+      case 8004: return cs::Decision::redirect(sink_, "redirected");
+      case 8005: return cs::Decision::reflect(sink_, "reflected");
+      case 8006: return cs::Decision::rewrite("proxied");
+      default:   return cs::Decision::drop("unexpected");
+    }
+  }
+  std::unique_ptr<cs::RewriteHandler> make_rewrite_handler(
+      const cs::FlowInfo&) override {
+    class Banner : public cs::RewriteHandler {
+      void on_inmate_data(cs::RewriteContext& ctx,
+                          std::span<const std::uint8_t>) override {
+        ctx.send_to_inmate(std::string_view("250 proxied\r\n"));
+      }
+    };
+    return std::make_unique<Banner>();
+  }
+  std::optional<std::vector<std::uint8_t>> rewrite_udp(
+      const cs::FlowInfo&, std::span<const std::uint8_t> payload) override {
+    return std::vector<std::uint8_t>(payload.begin(), payload.end());
+  }
+
+ private:
+  util::Endpoint sink_;
+};
+
+struct Profile {
+  const char* name;
+  double drop = 0.0;      // Upstream-link drop probability.
+  double reorder = 0.0;
+  double duplicate = 0.0;
+  bool cs_outage = false; // Flap the CS management link 80s/180s.
+};
+
+struct RowStats {
+  std::uint64_t verdicts = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t fail_closed = 0;
+  std::uint64_t shim_retries = 0;
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t upstream_frames = 0;
+  std::uint64_t escapes = 0;
+};
+
+RowStats run_row(const Profile& profile, util::Duration duration) {
+  core::FarmOptions options;
+  options.seed = 0x5041B;
+  core::Farm farm(options);
+
+  const Ipv4Addr echo_addr(93, 184, 216, 34);
+  auto& echo = farm.add_external_host("echo", echo_addr);
+  std::vector<std::shared_ptr<net::UdpSocket>> echo_udp;
+  for (const auto port : kPorts) {
+    echo.listen(port, [](std::shared_ptr<net::TcpConnection> conn) {
+      std::weak_ptr<net::TcpConnection> weak = conn;
+      conn->on_data = [weak](std::span<const std::uint8_t> data) {
+        if (auto c = weak.lock()) c->send(data);
+      };
+    });
+    auto socket = echo.udp_open(port);
+    auto* raw = socket.get();
+    socket->on_datagram = [raw](util::Endpoint from,
+                                std::vector<std::uint8_t> data) {
+      raw->send_to(from, data);
+    };
+    echo_udp.push_back(std::move(socket));
+  }
+
+  auto& sub = farm.add_subfarm("Soak");
+  sub.add_catchall_sink();
+  sub.configure_containment("[FailClosed]\nDeadlineMs = 10000\n");
+  sub.bind_policy(sub.router().config().vlan_first,
+                  sub.router().config().vlan_last,
+                  std::make_shared<CyclingPolicy>(
+                      sub.policy_env().services.at("sink")));
+
+  // Escape oracle over the gateway's single upstream choke point.
+  const auto external_net = sub.router().config().external_net;
+  struct Emission {
+    pkt::FlowProto proto;
+    Ipv4Addr src, dst;
+    std::uint16_t dport;
+  };
+  std::vector<Emission> upstream;
+  farm.gateway().set_upstream_tap(
+      [&](util::TimePoint, const std::vector<std::uint8_t>& bytes) {
+        const auto decoded = pkt::decode_frame(bytes);
+        if (!decoded || !decoded->ip) return;
+        if (!decoded->is_tcp() && !decoded->is_udp()) return;
+        if (!external_net.contains(decoded->ip->src)) return;
+        upstream.push_back({decoded->is_tcp() ? pkt::FlowProto::kTcp
+                                              : pkt::FlowProto::kUdp,
+                            decoded->ip->src, decoded->ip->dst,
+                            decoded->dst_port()});
+      });
+  std::vector<obs::FarmEvent> events;
+  farm.telemetry().bus().subscribe(
+      [&](const obs::FarmEvent& e) { events.push_back(e); });
+
+  std::vector<inm::Inmate*> inmates;
+  for (int i = 0; i < 3; ++i)
+    inmates.push_back(&sub.create_inmate(inm::HostingKind::kVm));
+
+  std::vector<sim::Port*> impaired;
+  if (profile.drop > 0 || profile.reorder > 0 || profile.duplicate > 0) {
+    sim::FaultProfile link;
+    link.drop_probability = profile.drop;
+    link.reorder_probability = profile.reorder;
+    link.reorder_window = util::milliseconds(20);
+    link.duplicate_probability = profile.duplicate;
+    link.jitter_max = util::milliseconds(2);
+    farm.set_link_faults(farm.gateway().upstream_port(), link);
+    impaired.push_back(&farm.gateway().upstream_port());
+    sim::FaultProfile mgmt;
+    mgmt.drop_probability = profile.drop / 2;
+    farm.set_link_faults(sub.containment_host().nic(), mgmt);
+    impaired.push_back(&sub.containment_host().nic());
+  }
+  if (profile.cs_outage) {
+    sim::FaultProfile flap;
+    flap.flap_period = util::seconds(180);
+    flap.flap_down = util::seconds(80);
+    farm.set_link_faults(sub.containment_host().nic(), flap);
+    if (impaired.empty() ||
+        impaired.back() != &sub.containment_host().nic())
+      impaired.push_back(&sub.containment_host().nic());
+  }
+
+  std::vector<std::shared_ptr<net::TcpConnection>> conns;
+  std::vector<std::shared_ptr<net::UdpSocket>> udps;
+  auto launch = [&](int index) {
+    auto& host = inmates[index % inmates.size()]->host();
+    if (!host.configured()) return;
+    const auto port = kPorts[index % 6];
+    auto conn = host.connect({echo_addr, port});
+    std::weak_ptr<net::TcpConnection> weak = conn;
+    conn->on_connected = [weak] {
+      if (auto c = weak.lock()) c->send(std::string_view("hello gq\r\n"));
+    };
+    conn->on_data = [weak](std::span<const std::uint8_t>) {
+      if (auto c = weak.lock()) c->close();
+    };
+    conns.push_back(std::move(conn));
+    auto socket = host.udp_open(0);
+    const std::vector<std::uint8_t> ping = {'p', 'i', 'n', 'g'};
+    socket->send_to({echo_addr, port}, ping);
+    udps.push_back(std::move(socket));
+  };
+  int wave = 0;
+  for (auto at = util::seconds(60); at.usec < duration.usec;
+       at = at + util::seconds(10)) {
+    farm.loop().schedule_at(util::TimePoint{at.usec},
+                            [&launch, wave] { launch(wave); });
+    ++wave;
+  }
+
+  farm.run_for(duration);
+
+  // Audit: authorized (proto, global src, dst, dst port) tuples.
+  std::map<std::uint16_t, std::set<Ipv4Addr>> globals_by_vlan;
+  std::set<std::tuple<pkt::FlowProto, Ipv4Addr, Ipv4Addr, std::uint16_t>>
+      authorized;
+  RowStats stats;
+  for (const auto& e : events) {
+    if (e.kind == obs::FarmEvent::Kind::kDhcpBind)
+      globals_by_vlan[e.vlan].insert(e.inmate_global);
+    if (e.kind != obs::FarmEvent::Kind::kFlowVerdict) continue;
+    ++stats.verdicts;
+    if (e.verdict == shim::Verdict::kForward) ++stats.forwards;
+    if (e.verdict != shim::Verdict::kForward &&
+        e.verdict != shim::Verdict::kLimit &&
+        e.verdict != shim::Verdict::kRewrite)
+      continue;
+    for (const auto& global : globals_by_vlan[e.vlan])
+      authorized.insert({e.proto, global, e.orig_dst.addr, e.orig_dst.port});
+  }
+  for (const auto& em : upstream) {
+    ++stats.upstream_frames;
+    if (!authorized.count({em.proto, em.src, em.dst, em.dport})) {
+      ++stats.escapes;
+      std::fprintf(stderr, "ESCAPE: %s -> %s:%u (%s)\n",
+                   em.src.str().c_str(), em.dst.str().c_str(), em.dport,
+                   em.proto == pkt::FlowProto::kTcp ? "tcp" : "udp");
+    }
+  }
+  const auto& metrics = farm.metrics();
+  auto counter = [&](const char* name) -> std::uint64_t {
+    const auto* c = metrics.find_counter(name);
+    return c ? c->value() : 0;
+  };
+  stats.fail_closed = counter("gw.Soak.fail_closed");
+  stats.shim_retries = counter("gw.Soak.shim_retries");
+  for (const auto* port : impaired) {
+    stats.fault_dropped += port->fault_counters().dropped +
+                           port->fault_counters().flap_dropped;
+    if (port->peer())
+      stats.fault_dropped += port->peer()->fault_counters().dropped +
+                             port->peer()->fault_counters().flap_dropped;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  const auto duration = smoke ? util::minutes(3) : util::minutes(30);
+
+  const Profile profiles[] = {
+      {"clean", 0.0, 0.0, 0.0, false},
+      {"drop10", 0.10, 0.0, 0.0, false},
+      {"drop20+reorder", 0.20, 0.20, 0.0, false},
+      {"drop30+reorder+dup", 0.30, 0.30, 0.10, false},
+      {"drop10+cs-outage", 0.10, 0.0, 0.0, true},
+  };
+
+  std::printf("S2. Containment under network faults (%s sweep, %s/row)\n",
+              smoke ? "smoke" : "full",
+              util::format_duration(duration).c_str());
+  std::printf("%-20s %9s %9s %11s %9s %10s %10s %8s\n", "profile", "verdicts",
+              "forwards", "fail_closed", "retries", "faultdrops", "upstream",
+              "escapes");
+  std::uint64_t total_escapes = 0;
+  for (const auto& profile : profiles) {
+    const auto stats = run_row(profile, duration);
+    total_escapes += stats.escapes;
+    std::printf("%-20s %9llu %9llu %11llu %9llu %10llu %10llu %8llu\n",
+                profile.name,
+                static_cast<unsigned long long>(stats.verdicts),
+                static_cast<unsigned long long>(stats.forwards),
+                static_cast<unsigned long long>(stats.fail_closed),
+                static_cast<unsigned long long>(stats.shim_retries),
+                static_cast<unsigned long long>(stats.fault_dropped),
+                static_cast<unsigned long long>(stats.upstream_frames),
+                static_cast<unsigned long long>(stats.escapes));
+  }
+  if (total_escapes > 0) {
+    std::fprintf(stderr,
+                 "\nCONTAINMENT FAILURE: %llu frame(s) escaped upstream "
+                 "without an authorizing verdict\n",
+                 static_cast<unsigned long long>(total_escapes));
+    return 1;
+  }
+  std::printf("\nzero containment escapes across all profiles\n");
+  return 0;
+}

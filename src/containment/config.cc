@@ -53,6 +53,50 @@ ContainmentConfig ContainmentConfig::parse(const std::string& text) {
       }
       continue;
     }
+    if (util::to_lower(section.name) == "failclosed") {
+      FailClosed fc;
+      if (auto verdict = section.get("Verdict")) {
+        const auto v = util::to_lower(*verdict);
+        if (v != "drop" && v != "reflect")
+          throw std::runtime_error("[FailClosed] Verdict must be DROP or "
+                                   "REFLECT, got '" + *verdict + "'");
+        fc.verdict = v;
+      }
+      if (auto deadline = section.get("DeadlineMs")) {
+        auto ms = util::parse_int(*deadline);
+        if (!ms || *ms < 0)
+          throw std::runtime_error("[FailClosed] malformed DeadlineMs");
+        fc.deadline_ms = *ms;
+      }
+      if (auto service = section.get("ReflectService"))
+        fc.reflect_service = util::to_lower(*service);
+      config.fail_closed = fc;
+      continue;
+    }
+    if (util::to_lower(section.name) == "overload") {
+      Overload ov;
+      if (auto depth = section.get("QueueDepth")) {
+        auto n = util::parse_int(*depth);
+        if (!n || *n < 0)
+          throw std::runtime_error("[Overload] malformed QueueDepth");
+        ov.queue_depth = *n;
+      }
+      if (auto mode = section.get("Mode")) {
+        const auto m = util::to_lower(*mode);
+        if (m != "defer" && m != "refuse")
+          throw std::runtime_error("[Overload] Mode must be defer or "
+                                   "refuse, got '" + *mode + "'");
+        ov.mode = m;
+      }
+      if (auto delay = section.get("DecisionDelayMs")) {
+        auto ms = util::parse_int(*delay);
+        if (!ms || *ms < 0)
+          throw std::runtime_error("[Overload] malformed DecisionDelayMs");
+        ov.decision_delay_ms = *ms;
+      }
+      config.overload = ov;
+      continue;
+    }
     // Service section: Address + Port.
     auto address = section.get("Address");
     auto port = section.get("Port");

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,10 +47,37 @@ struct ContainmentConfig {
     std::string raw;
   };
 
+  /// [FailClosed] — what the *gateway* enforces when this subfarm's CS
+  /// stays unreachable past the verdict deadline:
+  ///
+  ///     [FailClosed]
+  ///     Verdict = REFLECT          ; DROP (default) or REFLECT
+  ///     DeadlineMs = 20000         ; 0 keeps the gateway default
+  ///     ReflectService = catchall  ; service section naming the sink
+  struct FailClosed {
+    std::string verdict;          // "DROP" / "REFLECT" (case-insensitive).
+    std::int64_t deadline_ms = 0;
+    std::string reflect_service;
+  };
+
+  /// [Overload] — the CS's shedding knob:
+  ///
+  ///     [Overload]
+  ///     QueueDepth = 64            ; shed beyond this many queued verdicts
+  ///     Mode = refuse              ; "defer" (default) or "refuse"
+  ///     DecisionDelayMs = 5        ; simulated per-decision service time
+  struct Overload {
+    std::int64_t queue_depth = 0;
+    std::string mode = "defer";
+    std::int64_t decision_delay_ms = 0;
+  };
+
   std::vector<Binding> bindings;
   std::vector<TriggerBinding> triggers;
   /// Service sections ("autoinfect", "bannersmtpsink", ...) -> endpoint.
   std::map<std::string, util::Endpoint> services;
+  std::optional<FailClosed> fail_closed;
+  std::optional<Overload> overload;
 
   /// Parse the Figure 6 format; throws std::runtime_error with a
   /// descriptive message on malformed content.

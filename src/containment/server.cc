@@ -195,6 +195,9 @@ void ContainmentServer::rebind_metrics() {
   infections_ctr_ = &metrics.counter(prefix + "infections_served");
   triggers_ctr_ = &metrics.counter(prefix + "triggers_fired");
   rewrites_gauge_ = &metrics.gauge(prefix + "rewrites_active");
+  shed_refused_ctr_ = &metrics.counter(prefix + "shed_refused");
+  shed_deferred_ctr_ = &metrics.counter(prefix + "shed_deferred");
+  pending_gauge_ = &metrics.gauge(prefix + "pending_decisions");
 }
 
 void ContainmentServer::set_telemetry(obs::Telemetry* telemetry,
@@ -400,15 +403,48 @@ void ContainmentServer::on_inmate_data(std::shared_ptr<Session> session,
       session->buffer.end());
   session->buffer.clear();
 
+  submit_decision(
+      [this, session, leftover = std::move(leftover)]() mutable {
+        finish_tcp_decision(session, std::move(leftover));
+      },
+      [this, session] {
+        // Refused under overload: an explicit DROP, attributed to
+        // "OverloadShed" so the report stream can tell shedding apart
+        // from a lost or timed-out shim exchange.
+        shim::ResponseShim response;
+        response.orig = session->info.shim.orig;
+        response.resp = session->info.shim.resp;
+        response.verdict = shim::Verdict::kDrop;
+        response.policy_name = "OverloadShed";
+        response.annotation = "decision queue full";
+        session->inmate->send(response.encode());
+        session->inmate->close();
+        CsEvent event;
+        event.kind = CsEvent::Kind::kFlowDecision;
+        event.vlan = session->info.vlan();
+        event.orig_dst = session->info.dst();
+        event.proto = pkt::FlowProto::kTcp;
+        event.verdict = shim::Verdict::kDrop;
+        event.policy_name = "OverloadShed";
+        event.annotation = "decision queue full";
+        emit_event(std::move(event));
+      });
+}
+
+void ContainmentServer::finish_tcp_decision(
+    std::shared_ptr<Session> session, std::vector<std::uint8_t> leftover) {
+  // The inmate leg may have been reset while the decision sat queued.
+  if (!session->inmate) return;
+
   Decision decision =
       decide(session->info, session->policy, &session->handler);
 
   shim::ResponseShim response;
-  response.orig = request->orig;
+  response.orig = session->info.shim.orig;
   response.resp = (decision.verdict == shim::Verdict::kRedirect ||
                    decision.verdict == shim::Verdict::kReflect)
                       ? decision.target
-                      : request->resp;
+                      : session->info.shim.resp;
   response.verdict = decision.verdict;
   response.policy_name =
       session->policy ? session->policy->name() : "DefaultDeny";
@@ -431,18 +467,84 @@ void ContainmentServer::on_inmate_data(std::shared_ptr<Session> session,
   }
 }
 
+void ContainmentServer::submit_decision(std::function<void()> run,
+                                        std::function<void()> refuse) {
+  if (!overload_.active()) {
+    run();
+    return;
+  }
+  if (overload_.shed_queue_depth > 0 &&
+      pending_decisions_.size() >= overload_.shed_queue_depth) {
+    if (overload_.refuse) {
+      shed_refused_ctr_->inc();
+      refuse();
+      return;
+    }
+    shed_deferred_ctr_->inc();
+  }
+  pending_decisions_.push_back(std::move(run));
+  pending_gauge_->set(static_cast<std::int64_t>(pending_decisions_.size()));
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    stack_.loop().schedule_in(overload_.decision_delay,
+                              [this] { drain_decisions(); });
+  }
+}
+
+void ContainmentServer::drain_decisions() {
+  drain_scheduled_ = false;
+  if (pending_decisions_.empty()) return;
+  auto run = std::move(pending_decisions_.front());
+  pending_decisions_.pop_front();
+  pending_gauge_->set(static_cast<std::int64_t>(pending_decisions_.size()));
+  run();
+  if (!pending_decisions_.empty()) {
+    drain_scheduled_ = true;
+    stack_.loop().schedule_in(overload_.decision_delay,
+                              [this] { drain_decisions(); });
+  }
+}
+
 void ContainmentServer::on_udp(util::Endpoint from,
                                std::vector<std::uint8_t> data) {
   auto request = shim::RequestShim::parse(data);
   if (!request) return;
+  std::vector<std::uint8_t> payload(data.begin() + shim::kRequestShimSize,
+                                    data.end());
+  submit_decision(
+      [this, from, request = *request, payload = std::move(payload)]() mutable {
+        finish_udp_decision(from, request, std::move(payload));
+      },
+      [this, from, request = *request] {
+        shim::ResponseShim response;
+        response.orig = request.orig;
+        response.resp = request.resp;
+        response.verdict = shim::Verdict::kDrop;
+        response.policy_name = "OverloadShed";
+        response.annotation = "decision queue full";
+        udp_sock_->send_to(from, response.encode());
+        CsEvent event;
+        event.kind = CsEvent::Kind::kFlowDecision;
+        event.vlan = request.vlan;
+        event.orig_dst = request.resp;
+        event.proto = pkt::FlowProto::kUdp;
+        event.verdict = shim::Verdict::kDrop;
+        event.policy_name = "OverloadShed";
+        event.annotation = "decision queue full";
+        emit_event(std::move(event));
+      });
+}
+
+void ContainmentServer::finish_udp_decision(util::Endpoint from,
+                                            shim::RequestShim request,
+                                            std::vector<std::uint8_t> data) {
   std::span<const std::uint8_t> payload(data);
-  payload = payload.subspan(shim::kRequestShimSize);
 
   FlowInfo info;
-  info.shim = *request;
+  info.shim = request;
   info.proto = pkt::FlowProto::kUdp;
 
-  const auto key = std::make_pair(request->orig, request->resp);
+  const auto key = std::make_pair(request.orig, request.resp);
   auto cached = udp_decisions_.find(key);
   std::shared_ptr<Policy> policy = policy_for(info.vlan());
   Decision decision;
@@ -454,11 +556,11 @@ void ContainmentServer::on_udp(util::Endpoint from,
   }
 
   shim::ResponseShim response;
-  response.orig = request->orig;
+  response.orig = request.orig;
   response.resp = (decision.verdict == shim::Verdict::kRedirect ||
                    decision.verdict == shim::Verdict::kReflect)
                       ? decision.target
-                      : request->resp;
+                      : request.resp;
   response.verdict = decision.verdict;
   response.policy_name = policy ? policy->name() : "DefaultDeny";
   response.annotation = decision.annotation;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -57,6 +58,26 @@ using CsEventHandler = std::function<void(const CsEvent&)>;
 obs::FarmEvent to_farm_event(const CsEvent& event, const std::string& subfarm);
 std::optional<CsEvent> to_cs_event(const obs::FarmEvent& event);
 
+/// Overload-shedding behaviour for a containment server. Decisions are
+/// served from a queue, each occupying the server for `decision_delay`
+/// of simulated service time; a request arriving while the queue
+/// already holds `shed_queue_depth` entries is *shed* — either refused
+/// on the spot with an explicit "OverloadShed" DROP response
+/// (refuse = true) or deferred, i.e. queued anyway and answered late
+/// (refuse = false). Either way the inmate's gateway leg sees an
+/// explicit signal or a late verdict, never silence — shedding stays
+/// distinguishable from network loss. All-defaults disables queueing
+/// (decisions stay synchronous).
+struct OverloadPolicy {
+  util::Duration decision_delay{};
+  std::size_t shed_queue_depth = 0;
+  bool refuse = false;
+
+  [[nodiscard]] bool active() const {
+    return decision_delay.usec > 0 || shed_queue_depth > 0;
+  }
+};
+
 class ContainmentServer : public PolicyServices {
  public:
   /// `listen_port` is the fixed port the gateway redirects flows to;
@@ -97,6 +118,14 @@ class ContainmentServer : public PolicyServices {
   /// Where life-cycle commands go (the inmate controller, §5.5).
   void set_inmate_controller(util::Endpoint controller);
 
+  /// Install (or disable, with an all-defaults policy) overload
+  /// shedding. Takes effect for subsequently arriving decisions.
+  void set_overload(const OverloadPolicy& policy) { overload_ = policy; }
+  [[nodiscard]] const OverloadPolicy& overload() const { return overload_; }
+  [[nodiscard]] std::size_t pending_decisions() const {
+    return pending_decisions_.size();
+  }
+
   /// Life-cycle notification: arms triggers for this inmate.
   void notify_inmate_started(std::uint16_t vlan);
 
@@ -126,6 +155,15 @@ class ContainmentServer : public PolicyServices {
   void on_inmate_data(std::shared_ptr<Session> session,
                       std::span<const std::uint8_t> data);
   void on_udp(util::Endpoint from, std::vector<std::uint8_t> data);
+  void finish_tcp_decision(std::shared_ptr<Session> session,
+                           std::vector<std::uint8_t> leftover);
+  void finish_udp_decision(util::Endpoint from, shim::RequestShim request,
+                           std::vector<std::uint8_t> payload);
+  /// Route a decision through the overload queue (or run it inline when
+  /// shedding is disabled). `refuse` is invoked instead when the queue
+  /// is full and the policy says to refuse.
+  void submit_decision(std::function<void()> run, std::function<void()> refuse);
+  void drain_decisions();
   std::shared_ptr<Policy> policy_for(std::uint16_t vlan);
   Decision decide(FlowInfo& info, std::shared_ptr<Policy>& policy_out,
                   std::unique_ptr<RewriteHandler>* handler_out);
@@ -165,6 +203,9 @@ class ContainmentServer : public PolicyServices {
   obs::Counter* infections_ctr_ = nullptr;
   obs::Counter* triggers_ctr_ = nullptr;
   obs::Gauge* rewrites_gauge_ = nullptr;
+  obs::Counter* shed_refused_ctr_ = nullptr;
+  obs::Counter* shed_deferred_ctr_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
   // Legacy set_event_handler adapter state.
   CsEventHandler legacy_handler_;
   std::optional<obs::EventBus::SubscriptionId> legacy_subscription_;
@@ -174,6 +215,11 @@ class ContainmentServer : public PolicyServices {
   // Cached UDP decisions, keyed by (orig, resp).
   std::map<std::pair<util::Endpoint, util::Endpoint>, Decision>
       udp_decisions_;
+
+  // Overload shedding.
+  OverloadPolicy overload_;
+  std::deque<std::function<void()>> pending_decisions_;
+  bool drain_scheduled_ = false;
 
   std::uint64_t flows_decided_ = 0;
   std::uint64_t rewrites_active_ = 0;

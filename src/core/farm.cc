@@ -58,7 +58,14 @@ Farm::Farm(FarmOptions options)
                                                         kControllerPort);
 }
 
-Farm::~Farm() = default;
+Farm::~Farm() {
+  // Pending loop entries can own the last reference to live objects — a
+  // TCP retransmit closure holds its connection, whose destructor talks
+  // to its host stack. Member destruction runs in reverse declaration
+  // order (hosts_ before loop_), so drop those closures now, while every
+  // device they reference still exists.
+  loop_.drop_pending();
+}
 
 net::HostStack& Farm::add_external_host(const std::string& name,
                                         util::Ipv4Addr addr) {
@@ -100,6 +107,19 @@ net::HostStack& Farm::add_mgmt_host(const std::string& name) {
 
 util::Ipv4Addr Farm::next_mgmt_addr() {
   return options_.mgmt_net.host(next_mgmt_host_index_++);
+}
+
+void Farm::set_link_faults(sim::Port& port, const sim::FaultProfile& profile) {
+  // Each direction draws from its own Rng stream seeded off the farm
+  // Rng, so two links (or two directions) never share random state.
+  port.set_fault_profile(profile, rng_.next());
+  port.bind_fault_metrics(telemetry_.metrics(),
+                          "net.fault." + port.name() + ".");
+  if (sim::Port* peer = port.peer()) {
+    peer->set_fault_profile(profile, rng_.next());
+    peer->bind_fault_metrics(telemetry_.metrics(),
+                             "net.fault." + peer->name() + ".");
+  }
 }
 
 sim::Port& Farm::next_inmate_access_port(std::uint16_t vlan) {
@@ -219,6 +239,43 @@ void Subfarm::configure_containment(const std::string& config_text) {
       it != config.services.end()) {
     autoinfect_ = it->second;
   }
+  // [Overload] applies to every cluster member; [FailClosed] configures
+  // the gateway side (the router enforces it when the CS is silent).
+  if (config.overload) {
+    cs::OverloadPolicy policy;
+    policy.decision_delay =
+        util::milliseconds(config.overload->decision_delay_ms);
+    policy.shed_queue_depth =
+        static_cast<std::size_t>(config.overload->queue_depth);
+    policy.refuse = config.overload->mode == "refuse";
+    cs_->set_overload(policy);
+    for (auto& extra : extra_cs_) extra->set_overload(policy);
+  }
+  if (config.fail_closed) {
+    shim::Verdict verdict = shim::Verdict::kDrop;
+    util::Endpoint reflect_target;
+    if (config.fail_closed->verdict == "reflect") {
+      const auto& service = config.fail_closed->reflect_service;
+      if (auto it = config.services.find(service);
+          it != config.services.end()) {
+        reflect_target = it->second;
+      } else if (auto it2 = env_.services.find(service);
+                 it2 != env_.services.end()) {
+        reflect_target = it2->second;
+      }
+      // A REFLECT fail-closed stance without a resolvable sink would
+      // silently degrade to DROP in the router; refuse the config
+      // instead so the experiment author notices.
+      if (reflect_target.addr.is_unspecified())
+        throw std::runtime_error(
+            "[FailClosed] ReflectService '" + service +
+            "' does not name a known service section");
+      verdict = shim::Verdict::kReflect;
+    }
+    router_.set_fail_closed(verdict,
+                            util::milliseconds(config.fail_closed->deadline_ms),
+                            reflect_target);
+  }
 }
 
 cs::ContainmentServer& Subfarm::add_containment_server() {
@@ -235,6 +292,7 @@ cs::ContainmentServer& Subfarm::add_containment_server() {
   if (!last_config_text_.empty()) {
     extra->configure(cs::ContainmentConfig::parse(last_config_text_), env_);
   }
+  extra->set_overload(cs_->overload());
   extra_cs_.push_back(std::move(extra));
   return *extra_cs_.back();
 }

@@ -138,6 +138,10 @@ class Subfarm {
   /// service registrations).
   [[nodiscard]] cs::PolicyEnv& policy_env() { return env_; }
 
+  /// The management host the primary containment server runs on — the
+  /// handle fault experiments use to impair or sever the CS link.
+  [[nodiscard]] net::HostStack& containment_host() { return cs_host_; }
+
  private:
   friend class Farm;
 
@@ -198,6 +202,14 @@ class Farm {
 
   /// Advance simulated time.
   void run_for(util::Duration d) { loop_.run_for(d); }
+
+  /// Apply a fault profile to BOTH directions of the link attached to
+  /// `port` (the port and its peer). Each direction gets an independent
+  /// fault-Rng seed drawn from the farm seed, and each direction's
+  /// fault counters are mirrored into the farm metrics registry under
+  /// "net.fault.<port-name>.". Pass an all-defaults profile to heal the
+  /// link again.
+  void set_link_faults(sim::Port& port, const sim::FaultProfile& profile);
 
   /// Render the current Figure 7 style activity report.
   [[nodiscard]] std::string report() { return reporter_.render(loop_.now()); }

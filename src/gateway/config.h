@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "shim/shim.h"
 #include "util/addr.h"
 #include "util/time.h"
 
@@ -65,6 +66,32 @@ struct SubfarmConfig {
 
   /// Idle flow garbage-collection timeout.
   util::Duration flow_timeout = util::minutes(5);
+
+  // --- Fail-closed verdict resolution ---------------------------------
+  // Containment must hold when the containment server is slow, sheds
+  // load, or is unreachable (lossy/flapping management link). Each new
+  // flow carries a verdict deadline; request shims are retransmitted
+  // with bounded exponential backoff; a flow still undecided at the
+  // deadline is locally enforced with fail_closed_verdict.
+
+  /// How long a flow may sit in kAwaitVerdict before the router
+  /// enforces the fail-closed verdict itself.
+  util::Duration verdict_deadline = util::seconds(30);
+
+  /// Verdict enforced when the deadline expires. Only kDrop (default)
+  /// and kReflect are meaningful; anything else is treated as kDrop.
+  /// kReflect additionally requires fail_closed_reflect_target.
+  shim::Verdict fail_closed_verdict = shim::Verdict::kDrop;
+
+  /// Sink endpoint for a kReflect fail-closed verdict (a management-side
+  /// catch-all service). An unset address degrades kReflect to kDrop.
+  util::Endpoint fail_closed_reflect_target;
+
+  /// Request-shim retransmission: exponential backoff from initial to
+  /// max, at most retry_limit retransmits, then fail-closed immediately.
+  util::Duration shim_retry_initial = util::seconds(1);
+  util::Duration shim_retry_max = util::seconds(8);
+  int shim_retry_limit = 6;
 
   [[nodiscard]] bool owns_vlan(std::uint16_t vlan) const {
     return vlan >= vlan_first && vlan <= vlan_last;

@@ -85,6 +85,14 @@ struct Flow {
   bool req_shim_acked = false;
   int req_shim_retries = 0;
   util::TimePoint req_shim_sent_at;  ///< For shim round-trip latency.
+  /// Current retransmit backoff (doubles per retry, bounded by config).
+  util::Duration req_shim_backoff{};
+
+  // Fail-closed bookkeeping: the pending verdict-deadline event
+  // (sim::EventId; 0 = none) and whether the verdict was synthesized
+  // locally because the containment server never answered.
+  std::uint64_t verdict_deadline_event = 0;
+  bool fail_closed = false;
 
   // Response-shim extraction: in-order reassembly of the CS->inmate
   // stream prefix.

@@ -23,8 +23,7 @@ Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config,
       inmate_leg_mac_(util::MacAddr::local(0xE0002)),
       upstream_arp_(loop, util::MacAddr::local(0xE0001), config.upstream_addr,
                     [this](std::vector<std::uint8_t> frame) {
-                      upstream_pcap_.record(loop_.now(), frame);
-                      upstream_port_.transmit(sim::Frame{std::move(frame)});
+                      transmit_upstream(std::move(frame));
                     }),
       mgmt_arp_(loop, util::MacAddr::local(0xE0003), config.mgmt_addr,
                 [this](std::vector<std::uint8_t> frame) {
@@ -149,10 +148,15 @@ void Gateway::emit_raw(const RawEgress& egress,
       mgmt_port_.transmit(sim::Frame{std::move(bytes)});
       return;
     case RawEgress::Leg::kUpstream:
-      upstream_pcap_.record(loop_.now(), bytes);
-      upstream_port_.transmit(sim::Frame{std::move(bytes)});
+      transmit_upstream(std::move(bytes));
       return;
   }
+}
+
+void Gateway::transmit_upstream(std::vector<std::uint8_t> bytes) {
+  upstream_pcap_.record(loop_.now(), bytes);
+  if (upstream_tap_) upstream_tap_(loop_.now(), bytes);
+  upstream_port_.transmit(sim::Frame{std::move(bytes)});
 }
 
 // --- Egress ---------------------------------------------------------------
@@ -191,9 +195,7 @@ void Gateway::emit_to_upstream(pkt::DecodedFrame frame) {
   auto shared = std::make_shared<pkt::DecodedFrame>(std::move(frame));
   upstream_arp_.resolve(dst, [this, shared](util::MacAddr mac) {
     shared->eth.dst = mac;
-    auto bytes = shared->encode();
-    upstream_pcap_.record(loop_.now(), bytes);
-    upstream_port_.transmit(sim::Frame{std::move(bytes)});
+    transmit_upstream(shared->encode());
   });
 }
 

@@ -62,6 +62,14 @@ class Gateway {
   /// The metrics registry + event bus every subfarm router publishes to.
   [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
 
+  /// Observer invoked for every frame the gateway puts on its upstream
+  /// (external) leg, just before transmission. This is the containment-
+  /// escape oracle's vantage point: everything that could reach the real
+  /// Internet passes exactly here. Null (default) disables.
+  using UpstreamTap =
+      std::function<void(util::TimePoint, const std::vector<std::uint8_t>&)>;
+  void set_upstream_tap(UpstreamTap tap) { upstream_tap_ = std::move(tap); }
+
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] const GatewayConfig& config() const { return config_; }
   [[nodiscard]] pkt::PcapWriter& upstream_pcap() { return upstream_pcap_; }
@@ -125,6 +133,8 @@ class Gateway {
   void on_upstream_frame(sim::Frame frame);
   void on_inmate_frame(sim::Frame frame);
   void on_mgmt_frame(sim::Frame frame);
+  /// Single choke point for upstream egress: trace, tap, transmit.
+  void transmit_upstream(std::vector<std::uint8_t> bytes);
   SubfarmRouter* subfarm_for_vlan(std::uint16_t vlan);
   SubfarmRouter* subfarm_for_internal(util::Ipv4Addr addr);
   SubfarmRouter* subfarm_for_global(util::Ipv4Addr addr);
@@ -147,6 +157,7 @@ class Gateway {
   std::map<std::uint16_t, SubfarmRouter*> nonce_owners_;
   std::uint16_t next_nonce_;
   bool fast_path_ = true;
+  UpstreamTap upstream_tap_;
   // Legacy set_event_handler adapter state.
   FlowEventHandler legacy_handler_;
   std::optional<obs::EventBus::SubscriptionId> legacy_subscription_;

@@ -131,6 +131,10 @@ SubfarmRouter::SubfarmRouter(Gateway& gateway, SubfarmConfig config)
   decision_latency_hist_ =
       &metrics.histogram(prefix + "decision_latency_us");
   shim_rtt_hist_ = &metrics.histogram(prefix + "shim_rtt_us");
+  shim_retries_ctr_ = &metrics.counter(prefix + "shim_retries");
+  verdict_timeouts_ctr_ = &metrics.counter(prefix + "verdict_timeouts");
+  fail_closed_ctr_ = &metrics.counter(prefix + "fail_closed");
+  pending_verdicts_gauge_ = &metrics.gauge(prefix + "pending_verdicts");
   // Periodic flow garbage collection.
   gateway_.loop().schedule_in(util::seconds(5), [this] { gc_sweep(); });
 }
@@ -141,6 +145,14 @@ obs::Counter& SubfarmRouter::verdict_counter(shim::Verdict verdict) {
 }
 
 SubfarmRouter::~SubfarmRouter() = default;
+
+void SubfarmRouter::set_fail_closed(shim::Verdict verdict,
+                                    util::Duration deadline,
+                                    util::Endpoint reflect_target) {
+  config_.fail_closed_verdict = verdict;
+  if (deadline.usec > 0) config_.verdict_deadline = deadline;
+  config_.fail_closed_reflect_target = reflect_target;
+}
 
 bool SubfarmRouter::is_internal(util::Ipv4Addr addr) const {
   return config_.internal_net.contains(addr);
@@ -471,6 +483,12 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
   // Frames from the CS for this flow arrive as src=CS, dst=cs_src.
   server_index_[{key.proto, flow->server_ep, flow->cs_src}] = flow;
 
+  // Containment must not hinge on the CS answering: every flow joins the
+  // pending-verdict queue with a deadline after which the router
+  // enforces the fail-closed verdict locally.
+  pending_verdicts_gauge_->add(1);
+  arm_verdict_deadline(flow);
+
   if (flow->proto == pkt::FlowProto::kTcp) {
     flow->inmate_isn = frame.tcp->seq;
     flow->inmate_snd_nxt = frame.tcp->seq + 1;
@@ -600,15 +618,17 @@ void SubfarmRouter::inject_request_shim(Flow& flow) {
            flow.inmate_isn + 1, flow.cs_isn + 1, shim.encode());
   flow.req_shim_sent = true;
   flow.req_shim_sent_at = gateway_.loop().now();
+  flow.req_shim_backoff = config_.shim_retry_initial;
   flow.d_out = shim::kRequestShimSize;
 
-  // Gateway-side reliability for the injected segment.
+  // Gateway-side reliability for the injected segment: bounded
+  // exponential backoff toward the CS.
   auto weak = std::weak_ptr<Flow>();
   if (auto it = flows_.find(
           {flow.proto, flow.inmate_ep, flow.orig_dst});
       it != flows_.end())
     weak = it->second;
-  gateway_.loop().schedule_in(util::seconds(1), [this, weak] {
+  gateway_.loop().schedule_in(flow.req_shim_backoff, [this, weak] {
     if (auto flow = weak.lock()) retransmit_request_shim(flow);
   });
 }
@@ -616,24 +636,74 @@ void SubfarmRouter::inject_request_shim(Flow& flow) {
 void SubfarmRouter::retransmit_request_shim(FlowPtr flow) {
   if (flow->req_shim_acked || flow->phase != FlowPhase::kAwaitVerdict)
     return;
-  if (++flow->req_shim_retries > 5) {
-    GQ_WARN(kLog, "[%s] request shim never acked for %s, dropping flow",
+  if (++flow->req_shim_retries > config_.shim_retry_limit) {
+    // Retries exhausted with the CS still silent: enforce the
+    // fail-closed verdict now rather than waiting out the deadline.
+    GQ_WARN(kLog, "[%s] request shim never acked for %s, failing closed",
             config_.name.c_str(), flow->orig_dst.str().c_str());
-    send_rst_to_inmate(*flow);
-    close_flow(*flow);
+    fail_close_flow(*flow);
     return;
   }
+  shim_retries_ctr_->inc();
   shim::RequestShim shim;
   shim.orig = flow->inmate_ep;
   shim.resp = flow->orig_dst;
   shim.vlan = flow->vlan;
   shim.nonce_port = flow->nonce_port;
-  emit_tcp(flow->inmate_ep, flow->server_ep, pkt::kTcpAck | pkt::kTcpPsh,
+  emit_tcp(flow->cs_src, flow->server_ep, pkt::kTcpAck | pkt::kTcpPsh,
            flow->inmate_isn + 1, flow->cs_isn + 1, shim.encode());
+  flow->req_shim_backoff =
+      std::min(flow->req_shim_backoff + flow->req_shim_backoff,
+               config_.shim_retry_max);
   std::weak_ptr<Flow> weak = flow;
-  gateway_.loop().schedule_in(util::seconds(1), [this, weak] {
+  gateway_.loop().schedule_in(flow->req_shim_backoff, [this, weak] {
     if (auto f = weak.lock()) retransmit_request_shim(f);
   });
+}
+
+// --- Fail-closed resolution -------------------------------------------------
+
+void SubfarmRouter::arm_verdict_deadline(const FlowPtr& flow) {
+  std::weak_ptr<Flow> weak = flow;
+  flow->verdict_deadline_event =
+      gateway_.loop().schedule_in(config_.verdict_deadline, [this, weak] {
+        if (auto f = weak.lock()) {
+          if (f->phase != FlowPhase::kAwaitVerdict) return;
+          verdict_timeouts_ctr_->inc();
+          fail_close_flow(*f);
+        }
+      });
+}
+
+void SubfarmRouter::verdict_resolved(Flow& flow) {
+  if (flow.verdict_deadline_event != 0) {
+    gateway_.loop().cancel(flow.verdict_deadline_event);
+    flow.verdict_deadline_event = 0;
+  }
+  pending_verdicts_gauge_->sub(1);
+}
+
+void SubfarmRouter::fail_close_flow(Flow& flow) {
+  fail_closed_ctr_->inc();
+  flow.fail_closed = true;
+  // Synthesize a response shim and run it through the normal verdict
+  // machinery so enforcement, accounting, and reporting are identical
+  // to a CS-issued verdict.
+  shim::ResponseShim synthesized;
+  synthesized.orig = flow.inmate_ep;
+  synthesized.resp = flow.orig_dst;
+  synthesized.verdict = shim::Verdict::kDrop;
+  synthesized.policy_name = "FailClosed";
+  synthesized.annotation = "containment server unreachable";
+  if (config_.fail_closed_verdict == shim::Verdict::kReflect &&
+      !config_.fail_closed_reflect_target.addr.is_unspecified()) {
+    synthesized.verdict = shim::Verdict::kReflect;
+    synthesized.resp = config_.fail_closed_reflect_target;
+  }
+  if (flow.proto == pkt::FlowProto::kTcp)
+    apply_verdict(flow, synthesized);
+  else
+    apply_udp_verdict(flow, synthesized, {});
 }
 
 // --- TCP: server side -> inmate ---------------------------------------------
@@ -796,6 +866,7 @@ void SubfarmRouter::process_cs_stream(Flow& flow) {
 
 void SubfarmRouter::apply_verdict(Flow& flow,
                                   const shim::ResponseShim& shim) {
+  verdict_resolved(flow);
   flow.verdict = shim.verdict;
   flow.policy_name = shim.policy_name;
   flow.annotation = shim.annotation;
@@ -1087,6 +1158,7 @@ void SubfarmRouter::udp_from_server(Flow& flow, pkt::DecodedFrame& frame) {
 void SubfarmRouter::apply_udp_verdict(Flow& flow,
                                       const shim::ResponseShim& shim,
                                       std::span<const std::uint8_t> remainder) {
+  verdict_resolved(flow);
   flow.verdict = shim.verdict;
   flow.policy_name = shim.policy_name;
   flow.annotation = shim.annotation;
@@ -1228,6 +1300,9 @@ void SubfarmRouter::on_nonce_frame(std::uint16_t nonce,
 
 void SubfarmRouter::close_flow(Flow& flow) {
   if (flow.phase == FlowPhase::kClosed) return;
+  // A flow torn down while still undecided leaves the pending-verdict
+  // queue here (the deadline event must not fire on a dead flow).
+  if (flow.phase == FlowPhase::kAwaitVerdict) verdict_resolved(flow);
   flow.phase = FlowPhase::kClosed;
   report(flow, FlowEvent::Kind::kClose);
   if (flow.nonce_port != 0) {

@@ -78,6 +78,17 @@ class SubfarmRouter {
   [[nodiscard]] std::uint64_t frames_from_inmates() const {
     return frames_from_inmates_ctr_->value();
   }
+  [[nodiscard]] std::uint64_t fail_closed_verdicts() const {
+    return fail_closed_ctr_->value();
+  }
+  [[nodiscard]] std::uint64_t shim_retries() const {
+    return shim_retries_ctr_->value();
+  }
+
+  /// Reconfigure fail-closed behaviour at runtime (configuration-file
+  /// plumbing: the [FailClosed] section of the containment config).
+  void set_fail_closed(shim::Verdict verdict, util::Duration deadline,
+                       util::Endpoint reflect_target = {});
 
  private:
   struct NonceRelay {
@@ -102,6 +113,16 @@ class SubfarmRouter {
   void retransmit_request_shim(FlowPtr flow);
   void process_cs_stream(Flow& flow);
   void apply_verdict(Flow& flow, const shim::ResponseShim& shim);
+
+  // --- Fail-closed resolution ---------------------------------------------
+  /// Arm (or re-arm) the flow's verdict deadline.
+  void arm_verdict_deadline(const FlowPtr& flow);
+  /// Deadline expired (or retries exhausted) with the flow still
+  /// undecided: synthesize and enforce the fail-closed verdict.
+  void fail_close_flow(Flow& flow);
+  /// A verdict (real or synthesized) is being applied: cancel the
+  /// deadline and drop the flow from the pending-verdict gauge.
+  void verdict_resolved(Flow& flow);
 
   // --- Splicing -----------------------------------------------------------
   void start_splice(Flow& flow);
@@ -151,6 +172,11 @@ class SubfarmRouter {
   obs::Gauge* active_flows_gauge_ = nullptr;
   obs::Histogram* decision_latency_hist_ = nullptr;
   obs::Histogram* shim_rtt_hist_ = nullptr;
+  // Fail-closed / degraded-mode observability.
+  obs::Counter* shim_retries_ctr_ = nullptr;
+  obs::Counter* verdict_timeouts_ctr_ = nullptr;
+  obs::Counter* fail_closed_ctr_ = nullptr;
+  obs::Gauge* pending_verdicts_gauge_ = nullptr;
 
   // Flow table, keyed by the inmate-side original flow. All per-frame
   // lookup tables are hash maps: the datapath does several lookups per

@@ -1,6 +1,7 @@
 #include "netsim/event_loop.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace gq::sim {
@@ -35,6 +36,13 @@ bool EventLoop::step(util::TimePoint deadline) {
       cancelled_.erase(it);
       continue;
     }
+    // The virtual clock is monotone: schedule_at clamps past timestamps
+    // to now, so no heap entry can sit behind the clock. Assert in debug
+    // builds and clamp defensively in release (NDEBUG) builds — time
+    // travelling backwards would silently corrupt every latency
+    // measurement and retransmission timer downstream.
+    assert(entry.at >= now_ && "EventLoop clock must be monotone");
+    if (entry.at < now_) entry.at = now_;
     live_.erase(entry.id);
     now_ = entry.at;
     ++executed_;
@@ -48,6 +56,17 @@ void EventLoop::run_until(util::TimePoint deadline) {
   while (step(deadline)) {
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+void EventLoop::drop_pending() {
+  // Destroying a pending closure can re-enter cancel() (an object owned
+  // by one closure cancelling its own timers in its destructor), so move
+  // the heap out and clear the bookkeeping sets before any closure dies.
+  std::vector<Entry> doomed;
+  doomed.swap(heap_);
+  live_.clear();
+  cancelled_.clear();
+  doomed.clear();
 }
 
 void EventLoop::run_all() {

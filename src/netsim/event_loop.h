@@ -50,6 +50,13 @@ class EventLoop {
   /// behaviours self-rescheduling forever would never let this return).
   void run_all();
 
+  /// Destroy every pending event without running it. Owners of the loop
+  /// call this before tearing down the devices the closures reference: a
+  /// pending closure can hold the last reference to an object (e.g. a
+  /// TCP retransmit timer owning its connection) whose destructor touches
+  /// a device, so those closures must die while the devices still exist.
+  void drop_pending();
+
   /// Number of events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 

@@ -1,0 +1,66 @@
+// Deterministic link-fault injection. GQ's containment argument (§5)
+// must hold when the farm network misbehaves, not just on a perfect
+// fabric — the gateway is the sole enforcement point even while links
+// drop, duplicate, reorder, jitter, or flap. A FaultProfile describes
+// one transmit direction's impairments; Port applies it at delivery
+// time, drawing every random decision from a per-port seeded util::Rng
+// so a run replays bit-identically given the same seeds.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace gq::sim {
+
+/// Impairments applied to one direction of a link (each Port owns its
+/// transmit side; apply a profile to both ports for a symmetric link).
+/// All probabilities are per-frame and drawn from the port's fault Rng
+/// in a fixed order, so determinism is independent of which features
+/// are enabled.
+struct FaultProfile {
+  /// Chance a transmitted frame is silently discarded.
+  double drop_probability = 0.0;
+  /// Chance a frame is delivered twice (the copy takes the same delay).
+  double duplicate_probability = 0.0;
+  /// Chance a frame is held back by an extra uniform(1, reorder_window]
+  /// delay, letting later frames overtake it.
+  double reorder_probability = 0.0;
+  util::Duration reorder_window = util::milliseconds(10);
+  /// Uniform [0, jitter_max] added to every delivered frame's latency.
+  util::Duration jitter_max{};
+  /// Scheduled link flaps: a deterministic square wave anchored at
+  /// flap_epoch. In every flap_period, the link is dead (all frames
+  /// dropped) for the final flap_down. flap_period 0 disables flaps.
+  /// Being a pure function of the clock, flaps need no recurring
+  /// events — run_all() and cancellation semantics are unaffected.
+  util::Duration flap_period{};
+  util::Duration flap_down{};
+  util::TimePoint flap_epoch{};
+
+  [[nodiscard]] bool enabled() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0 || jitter_max.usec > 0 ||
+           flap_period.usec > 0;
+  }
+
+  /// True when the flap schedule has the link down at `now`.
+  [[nodiscard]] bool link_down_at(util::TimePoint now) const {
+    if (flap_period.usec <= 0 || flap_down.usec <= 0) return false;
+    std::int64_t phase = (now - flap_epoch).usec % flap_period.usec;
+    if (phase < 0) phase += flap_period.usec;
+    return phase >= flap_period.usec - flap_down.usec;
+  }
+};
+
+/// Per-direction tallies of injected faults (distinct from a Port's
+/// dropped_frames(), which also counts unconnected transmits).
+struct FaultCounters {
+  std::uint64_t dropped = 0;       // Random per-frame drops.
+  std::uint64_t flap_dropped = 0;  // Frames lost to a down flap window.
+  std::uint64_t duplicated = 0;    // Extra copies delivered.
+  std::uint64_t reordered = 0;     // Frames given an overtaking delay.
+  std::uint64_t jittered = 0;      // Frames with nonzero added jitter.
+};
+
+}  // namespace gq::sim

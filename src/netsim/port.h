@@ -2,6 +2,9 @@
 // point-to-point cable; connecting two ports creates a full-duplex link
 // with a fixed propagation latency. Frames are raw Ethernet bytes —
 // the switch and the gateway both operate on the real wire encoding.
+// Each port's transmit side can carry a FaultProfile (drops, dupes,
+// reordering, jitter, flaps), so impairments are per link AND per
+// direction, each with its own deterministic Rng stream.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +14,13 @@
 #include <vector>
 
 #include "netsim/event_loop.h"
+#include "netsim/fault.h"
 #include "util/rng.h"
+
+namespace gq::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace gq::obs
 
 namespace gq::sim {
 
@@ -44,26 +53,52 @@ class Port {
   /// Frames transmitted on an unconnected port are counted and dropped.
   void transmit(Frame frame);
 
+  /// Install a fault profile on this port's transmit side with its own
+  /// Rng seed (independent streams per direction). An all-defaults
+  /// profile disables injection.
+  void set_fault_profile(const FaultProfile& profile, std::uint64_t seed);
+
+  /// Remove any fault profile (the counters are kept).
+  void clear_faults() { faults_ = FaultProfile{}; }
+
   /// Inject random frame loss on this port's transmit side (tests of
   /// retransmission behaviour). Probability 0 disables (the default).
+  /// Convenience wrapper over set_fault_profile with only drops set.
   void set_loss(double probability, std::uint64_t seed);
 
+  /// Mirror this port's fault counters into a metrics registry as
+  /// "<prefix>dropped" / "flap_dropped" / "duplicated" / "reordered".
+  void bind_fault_metrics(obs::MetricsRegistry& metrics,
+                          const std::string& prefix);
+
   [[nodiscard]] bool connected() const { return peer_ != nullptr; }
+  [[nodiscard]] Port* peer() const { return peer_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const FaultProfile& fault_profile() const { return faults_; }
+  [[nodiscard]] const FaultCounters& fault_counters() const {
+    return fault_counters_;
+  }
   [[nodiscard]] std::uint64_t tx_frames() const { return tx_frames_; }
   [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
   [[nodiscard]] std::uint64_t dropped_frames() const { return dropped_; }
 
  private:
   void deliver(Frame frame);
+  void schedule_delivery(Frame frame, util::Duration delay);
 
   EventLoop& loop_;
   std::string name_;
   Port* peer_ = nullptr;
   util::Duration latency_{};
   RxHandler rx_;
-  double loss_probability_ = 0.0;
-  util::Rng loss_rng_{0};
+  FaultProfile faults_;
+  util::Rng fault_rng_{0};
+  FaultCounters fault_counters_;
+  // Optional mirrors into an obs::MetricsRegistry (not owned).
+  obs::Counter* dropped_ctr_ = nullptr;
+  obs::Counter* flap_dropped_ctr_ = nullptr;
+  obs::Counter* duplicated_ctr_ = nullptr;
+  obs::Counter* reordered_ctr_ = nullptr;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;
   std::uint64_t dropped_ = 0;

@@ -138,6 +138,13 @@ std::optional<std::size_t> complete_shim_length(
     util::ByteReader r(data);
     auto preamble = read_preamble(r);
     if (!preamble || preamble->type != expected_type) return std::nullopt;
+    // The length field is attacker-influenced stream data: never report a
+    // "complete" shim shorter than the type's wire minimum, or a caller
+    // consuming that many bytes would desynchronize on the stream.
+    const std::size_t min_length = expected_type == kTypeRequest
+                                       ? kRequestShimSize
+                                       : kResponseShimMinSize;
+    if (preamble->length < min_length) return std::nullopt;
     if (data.size() < preamble->length) return std::nullopt;
     return preamble->length;
   } catch (const util::BufferUnderflow&) {

@@ -1,10 +1,16 @@
-// Unit tests for src/netsim: event-loop ordering and cancellation, port
-// links, and the learning VLAN switch's isolation guarantees.
+// Unit tests for src/netsim: event-loop ordering, clock monotonicity and
+// cancellation, port links, deterministic link-fault injection, and the
+// learning VLAN switch's isolation guarantees.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "netsim/event_loop.h"
+#include "netsim/fault.h"
 #include "netsim/port.h"
 #include "netsim/vlan_switch.h"
+#include "obs/metrics.h"
 #include "packet/headers.h"
 
 namespace gq::sim {
@@ -99,9 +105,56 @@ TEST(EventLoop, PastEventsClampToNow) {
   EventLoop loop;
   loop.run_until(util::TimePoint{1000});
   bool ran = false;
-  loop.schedule_at(util::TimePoint{0}, [&] { ran = true; });
+  std::int64_t observed_now = -1;
+  loop.schedule_at(util::TimePoint{0}, [&] {
+    ran = true;
+    observed_now = loop.now().usec;
+  });
   loop.run_until(util::TimePoint{1001});
   EXPECT_TRUE(ran);
+  // The stale event runs *at the current clock*, never in the past: the
+  // simulation must not time-travel.
+  EXPECT_EQ(observed_now, 1000);
+}
+
+TEST(EventLoop, ClockIsMonotoneAcrossMixedScheduling) {
+  EventLoop loop;
+  std::vector<std::int64_t> observed;
+  // Interleave future, equal-time, and already-past schedules; the clock
+  // the callbacks observe must never decrease.
+  loop.run_until(util::TimePoint{500});
+  for (int i = 0; i < 20; ++i) {
+    loop.schedule_at(util::TimePoint{i * 37 % 900},
+                     [&] { observed.push_back(loop.now().usec); });
+  }
+  loop.schedule_in(util::microseconds(50), [&] {
+    loop.schedule_at(util::TimePoint{0},
+                     [&] { observed.push_back(loop.now().usec); });
+  });
+  loop.run_all();
+  ASSERT_FALSE(observed.empty());
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+  EXPECT_GE(observed.front(), 500);
+}
+
+TEST(EventLoop, DropPendingDestroysWithoutRunning) {
+  EventLoop loop;
+  int ran = 0;
+  // shared_ptr with a counting deleter: drop_pending must destroy the
+  // closure (releasing what it owns) without executing it.
+  int destroyed = 0;
+  auto token = std::shared_ptr<int>(new int(7), [&destroyed](int* p) {
+    ++destroyed;
+    delete p;
+  });
+  loop.schedule_in(util::microseconds(10), [&ran, token] { ++ran; });
+  token.reset();
+  EXPECT_EQ(destroyed, 0);  // The pending closure still owns it.
+  loop.drop_pending();
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run_all();
+  EXPECT_EQ(ran, 0);
 }
 
 TEST(Port, DeliversAfterLatency) {
@@ -128,6 +181,175 @@ TEST(Port, UnconnectedDrops) {
   a.transmit(Frame{{1}});
   loop.run_all();
   EXPECT_EQ(a.dropped_frames(), 1u);
+}
+
+// --- Link-fault injection -------------------------------------------------
+
+// Runs `n` single-byte-tagged frames through a fresh a->b link carrying
+// `profile` (seeded with `seed`) and returns the tags in arrival order.
+std::vector<std::uint8_t> delivered_tags(const FaultProfile& profile,
+                                         std::uint64_t seed, int n) {
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(100));
+  a.set_fault_profile(profile, seed);
+  std::vector<std::uint8_t> tags;
+  b.set_rx([&](Frame f) { tags.push_back(f.bytes.at(0)); });
+  for (int i = 0; i < n; ++i)
+    a.transmit(Frame{{static_cast<std::uint8_t>(i)}});
+  loop.run_all();
+  return tags;
+}
+
+TEST(Fault, SameSeedReplaysBitIdentically) {
+  FaultProfile profile;
+  profile.drop_probability = 0.5;
+  profile.jitter_max = util::microseconds(30);
+  const auto first = delivered_tags(profile, 42, 200);
+  const auto again = delivered_tags(profile, 42, 200);
+  EXPECT_EQ(first, again);
+  // A different seed draws a different loss pattern (2^-200 odds of a
+  // collision over 200 Bernoulli trials).
+  const auto other = delivered_tags(profile, 43, 200);
+  EXPECT_NE(first, other);
+}
+
+TEST(Fault, DropRateTracksProbability) {
+  FaultProfile profile;
+  profile.drop_probability = 0.25;
+  const auto tags = delivered_tags(profile, 7, 2000);
+  const auto dropped = 2000 - static_cast<int>(tags.size());
+  EXPECT_GT(dropped, 380);  // ~500 expected; generous deterministic bounds.
+  EXPECT_LT(dropped, 620);
+}
+
+TEST(Fault, DuplicateDeliversExtraCopies) {
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(100));
+  FaultProfile profile;
+  profile.duplicate_probability = 1.0;
+  a.set_fault_profile(profile, 1);
+  int rx = 0;
+  b.set_rx([&](Frame) { ++rx; });
+  for (int i = 0; i < 10; ++i) a.transmit(Frame{{1, 2, 3}});
+  loop.run_all();
+  EXPECT_EQ(rx, 20);
+  EXPECT_EQ(a.fault_counters().duplicated, 10u);
+  EXPECT_EQ(a.fault_counters().dropped, 0u);
+}
+
+TEST(Fault, ReorderLetsLaterFramesOvertake) {
+  FaultProfile profile;
+  profile.reorder_probability = 1.0;
+  profile.reorder_window = util::milliseconds(10);
+  const auto tags = delivered_tags(profile, 99, 20);
+  ASSERT_EQ(tags.size(), 20u);  // Reordering never loses frames.
+  auto sorted = tags;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint8_t> identity(20);
+  std::iota(identity.begin(), identity.end(), std::uint8_t{0});
+  EXPECT_EQ(sorted, identity);  // A permutation of what was sent...
+  EXPECT_NE(tags, identity);    // ...that actually overtook somewhere.
+}
+
+TEST(Fault, JitterStaysWithinBound) {
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(100));
+  FaultProfile profile;
+  profile.jitter_max = util::microseconds(50);
+  a.set_fault_profile(profile, 5);
+  std::vector<std::int64_t> arrivals;
+  b.set_rx([&](Frame) { arrivals.push_back(loop.now().usec); });
+  for (int i = 0; i < 100; ++i) a.transmit(Frame{{9}});
+  loop.run_all();
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (const auto at : arrivals) {
+    EXPECT_GE(at, 100);
+    EXPECT_LE(at, 150);
+  }
+  EXPECT_GT(a.fault_counters().jittered, 0u);
+}
+
+TEST(Fault, FlapSquareWaveKillsLinkOnSchedule) {
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(10));
+  FaultProfile profile;
+  profile.flap_period = util::milliseconds(1);   // Down for the final...
+  profile.flap_down = util::microseconds(500);   // ...half of each period.
+  a.set_fault_profile(profile, 3);
+  EXPECT_FALSE(profile.link_down_at(util::TimePoint{100}));
+  EXPECT_TRUE(profile.link_down_at(util::TimePoint{700}));
+  EXPECT_FALSE(profile.link_down_at(util::TimePoint{1100}));
+  int rx = 0;
+  b.set_rx([&](Frame) { ++rx; });
+  loop.schedule_at(util::TimePoint{100}, [&] { a.transmit(Frame{{1}}); });
+  loop.schedule_at(util::TimePoint{700}, [&] { a.transmit(Frame{{2}}); });
+  loop.schedule_at(util::TimePoint{1100}, [&] { a.transmit(Frame{{3}}); });
+  loop.run_all();
+  EXPECT_EQ(rx, 2);  // The t=700 frame died in the down window.
+  EXPECT_EQ(a.fault_counters().flap_dropped, 1u);
+}
+
+TEST(Fault, SetLossWrapperAndClearFaults) {
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(10));
+  int rx = 0;
+  b.set_rx([&](Frame) { ++rx; });
+  a.set_loss(1.0, 11);
+  a.transmit(Frame{{1}});
+  loop.run_all();
+  EXPECT_EQ(rx, 0);
+  EXPECT_EQ(a.fault_counters().dropped, 1u);
+  a.clear_faults();
+  EXPECT_FALSE(a.fault_profile().enabled());
+  a.transmit(Frame{{2}});
+  loop.run_all();
+  EXPECT_EQ(rx, 1);
+  a.set_loss(0.0, 11);  // Probability 0 keeps the link clean too.
+  a.transmit(Frame{{3}});
+  loop.run_all();
+  EXPECT_EQ(rx, 2);
+}
+
+TEST(Fault, CountersMirrorIntoMetricsRegistry) {
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(10));
+  obs::MetricsRegistry metrics;
+  a.bind_fault_metrics(metrics, "net.fault.a.");
+  a.set_loss(1.0, 21);
+  b.set_rx([](Frame) {});
+  for (int i = 0; i < 4; ++i) a.transmit(Frame{{1}});
+  loop.run_all();
+  const auto* dropped = metrics.find_counter("net.fault.a.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value(), 4u);
+  EXPECT_EQ(a.fault_counters().dropped, 4u);
+}
+
+TEST(Fault, IndependentSeedsPerDirection) {
+  // The two transmit sides of one link carry independent Rng streams: a
+  // shared stream would produce correlated (here: identical) patterns.
+  FaultProfile profile;
+  profile.drop_probability = 0.5;
+  EventLoop loop;
+  Port a(loop, "a"), b(loop, "b");
+  Port::connect(a, b, util::microseconds(10));
+  a.set_fault_profile(profile, 1001);
+  b.set_fault_profile(profile, 1002);
+  std::vector<std::uint8_t> at_b, at_a;
+  a.set_rx([&](Frame f) { at_a.push_back(f.bytes.at(0)); });
+  b.set_rx([&](Frame f) { at_b.push_back(f.bytes.at(0)); });
+  for (int i = 0; i < 100; ++i) {
+    a.transmit(Frame{{static_cast<std::uint8_t>(i)}});
+    b.transmit(Frame{{static_cast<std::uint8_t>(i)}});
+  }
+  loop.run_all();
+  EXPECT_NE(at_a, at_b);
 }
 
 // --- VLAN switch ----------------------------------------------------------
