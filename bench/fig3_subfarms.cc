@@ -108,7 +108,7 @@ int main() {
                 static_cast<unsigned long long>(fwd),
                 static_cast<unsigned long long>(refl),
                 static_cast<unsigned long long>(rewr),
-                sub->pcap().packet_count());
+                sub->trace().packet_count());
   }
   std::printf("%s\n", std::string(76, '-').c_str());
   std::printf(

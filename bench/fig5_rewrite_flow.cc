@@ -122,14 +122,14 @@ int main() {
       "Inmate requests GET /bot.exe from 192.150.187.12:80\n\n");
 
   // Management leg: inmate<->CS flow with shims, plus the nonce leg.
-  auto mgmt = pkt::parse_pcap(farm.gateway().mgmt_pcap().contents());
+  auto mgmt = pkt::parse_pcap(farm.gateway().mgmt_trace().contents());
   std::vector<pkt::PcapRecord> after_start;
   for (auto& record : mgmt)
     if (record.time >= start) after_start.push_back(record);
   print_ladder("Management leg (gateway <-> containment server):",
                after_start, start);
 
-  auto upstream = pkt::parse_pcap(farm.gateway().upstream_pcap().contents());
+  auto upstream = pkt::parse_pcap(farm.gateway().upstream_trace().contents());
   std::vector<pkt::PcapRecord> upstream_after;
   for (auto& record : upstream)
     if (record.time >= start) upstream_after.push_back(record);

@@ -12,11 +12,14 @@
 // reporting contained-flow throughput and per-component load.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "core/farm.h"
 #include "extnet/extnet.h"
 #include "malware/spambot.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace {
@@ -88,27 +91,95 @@ RunStats run(int subfarms, int inmates_per_subfarm, util::Duration duration,
   return stats;
 }
 
+// One JSON row shared by all three sweeps.
+void json_row(util::JsonWriter& json, const char* sweep, int subfarms,
+              int inmates, const char* datapath, const RunStats& stats) {
+  json.begin_object();
+  json.key("sweep");
+  json.value(sweep);
+  json.key("subfarms");
+  json.value(subfarms);
+  json.key("inmates_per_subfarm");
+  json.value(inmates);
+  json.key("datapath");
+  json.value(datapath);
+  json.key("flows_contained");
+  json.value(stats.flows_contained);
+  json.key("spam_harvested");
+  json.value(stats.spam_harvested);
+  json.key("cs_decisions_max");
+  json.value(stats.cs_decisions_max);
+  json.key("sim_events");
+  json.value(stats.sim_events);
+  json.key("wall_ms");
+  json.value(stats.wall_ms);
+  json.end_object();
+}
+
+// Write + validate the machine-readable summary; nonzero on failure so
+// the smoke target gates on it.
+int write_summary(const util::JsonWriter& json, const char* path) {
+  if (!util::json_valid(json.str())) {
+    std::fprintf(stderr, "s1: generated %s is not valid JSON\n", path);
+    return 1;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json.str() << '\n';
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "s1: cannot write %s\n", path);
+    return 1;
+  }
+  std::ifstream back(path, std::ios::binary);
+  std::string reread((std::istreambuf_iterator<char>(back)),
+                     std::istreambuf_iterator<char>());
+  if (!util::json_valid(reread)) {
+    std::fprintf(stderr, "s1: %s failed round-trip validation\n", path);
+    return 1;
+  }
+  std::printf("\nwrote %s (validated)\n", path);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
-  const auto duration = util::minutes(10);
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  const auto duration = smoke ? util::minutes(2) : util::minutes(10);
+  const double minutes = duration.usec / 60e6;
   std::printf(
       "S1 reproduction (§7.2 scalability): spambot deployment sweeps,\n"
-      "10 simulated minutes per configuration\n\n");
+      "%.0f simulated minutes per configuration\n\n", minutes);
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench");
+  json.value("s1_scalability");
+  json.key("smoke");
+  json.value(smoke);
+  json.key("sim_minutes_per_row");
+  json.value(minutes);
+  json.key("rows");
+  json.begin_array();
 
   std::printf("Sweep A: one subfarm, growing population (single CS "
               "interposes on all flows)\n");
   std::printf("%9s %10s %12s %14s %12s %10s\n", "INMATES", "FLOWS",
               "FLOWS/MIN", "CS DECISIONS", "SIM EVENTS", "WALL(ms)");
   std::printf("%s\n", std::string(74, '-').c_str());
-  for (int inmates : {1, 2, 4, 8, 12}) {
+  const std::vector<int> sweep_a =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 12};
+  for (int inmates : sweep_a) {
     const RunStats stats = run(1, inmates, duration);
     std::printf("%9d %10llu %12.0f %14llu %12llu %10.0f\n", inmates,
                 static_cast<unsigned long long>(stats.flows_contained),
-                stats.flows_contained / 10.0,
+                stats.flows_contained / minutes,
                 static_cast<unsigned long long>(stats.cs_decisions_max),
                 static_cast<unsigned long long>(stats.sim_events),
                 stats.wall_ms);
+    json_row(json, "population", 1, inmates, "fast", stats);
   }
 
   std::printf(
@@ -117,13 +188,16 @@ int main() {
   std::printf("%9s %10s %12s %20s %10s\n", "SUBFARMS", "FLOWS",
               "FLOWS/MIN", "BUSIEST CS (dec.)", "WALL(ms)");
   std::printf("%s\n", std::string(68, '-').c_str());
-  for (int subfarms : {1, 2, 3, 4, 6}) {
+  const std::vector<int> sweep_b =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 3, 4, 6};
+  for (int subfarms : sweep_b) {
     const RunStats stats = run(subfarms, 12 / subfarms, duration);
     std::printf("%9d %10llu %12.0f %20llu %10.0f\n", subfarms,
                 static_cast<unsigned long long>(stats.flows_contained),
-                stats.flows_contained / 10.0,
+                stats.flows_contained / minutes,
                 static_cast<unsigned long long>(stats.cs_decisions_max),
                 stats.wall_ms);
+    json_row(json, "subfarm_spread", subfarms, 12 / subfarms, "fast", stats);
   }
 
   std::printf(
@@ -138,10 +212,11 @@ int main() {
     std::printf("%9s %10llu %12.0f %12llu %10.0f %12.0f\n",
                 fast ? "fast" : "slow",
                 static_cast<unsigned long long>(stats.flows_contained),
-                stats.flows_contained / 10.0,
+                stats.flows_contained / minutes,
                 static_cast<unsigned long long>(stats.sim_events),
                 stats.wall_ms,
                 stats.wall_ms > 0 ? stats.sim_events / stats.wall_ms : 0.0);
+    json_row(json, "datapath", 2, 6, fast ? "fast" : "slow", stats);
   }
 
   std::printf(
@@ -154,5 +229,8 @@ int main() {
       "single CS's decision count grows linearly with farm size in sweep "
       "A\nand is flattened by per-subfarm containment servers in sweep "
       "B.\n");
-  return 0;
+
+  json.end_array();
+  json.end_object();
+  return write_summary(json, "BENCH_s1.json");
 }

@@ -11,6 +11,7 @@
 //   build/bench/s2_fault_soak --smoke   # 3 simulated minutes per row
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -22,6 +23,9 @@
 #include "core/farm.h"
 #include "netsim/fault.h"
 #include "packet/frame.h"
+#include "packet/pcap.h"
+#include "trace/tap.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace {
@@ -81,11 +85,47 @@ struct RowStats {
   std::uint64_t fault_dropped = 0;
   std::uint64_t upstream_frames = 0;
   std::uint64_t escapes = 0;
+  // Trace-archiver audit under soak load: evictions must happen (the
+  // budget is sized to force rotation), retained memory must stay under
+  // the configured budget, and every retained segment must be a
+  // structurally complete pcap (zero capture gaps within it).
+  std::uint64_t trace_evicted_segments = 0;
+  std::uint64_t trace_retained_bytes = 0;
+  std::uint64_t trace_budget_violations = 0;
+  std::uint64_t trace_capture_gaps = 0;
 };
 
-RowStats run_row(const Profile& profile, util::Duration duration) {
+// Deliberately tight rotation budget so a soak-scale run must rotate —
+// scaled down further for --smoke (3 simulated minutes carries far less
+// traffic than the full half hour).
+constexpr std::size_t kTraceMaxSegments = 4;
+std::size_t trace_segment_bytes(bool smoke) {
+  return smoke ? 2 * 1024 : 32 * 1024;
+}
+
+// Audit one tap against the configured budget; folds into `stats`.
+void audit_tap(const trace::TraceTap& tap, std::size_t segment_bytes,
+               RowStats& stats) {
+  const auto& archive = tap.archive();
+  stats.trace_evicted_segments += archive.evicted_segments();
+  stats.trace_retained_bytes += archive.retained_bytes();
+  // Bound: max_segments full segments, each overshooting by at most one
+  // frame (simulated frames are well under 4 KiB).
+  const std::size_t budget = kTraceMaxSegments * (segment_bytes + 4096);
+  if (archive.retained_bytes() > budget) ++stats.trace_budget_violations;
+  // Zero gaps within retained segments: every record parses back.
+  std::size_t parsed = 0;
+  for (const auto& segment : archive.segments())
+    parsed += pkt::parse_pcap(segment.pcap.contents()).size();
+  if (parsed != archive.retained_packets()) ++stats.trace_capture_gaps;
+}
+
+RowStats run_row(const Profile& profile, util::Duration duration,
+                 bool smoke) {
   core::FarmOptions options;
   options.seed = 0x5041B;
+  options.trace_archive.segment_bytes = trace_segment_bytes(smoke);
+  options.trace_archive.max_segments = kTraceMaxSegments;
   core::Farm farm(options);
 
   const Ipv4Addr echo_addr(93, 184, 216, 34);
@@ -231,6 +271,14 @@ RowStats run_row(const Profile& profile, util::Duration duration) {
   };
   stats.fail_closed = counter("gw.Soak.fail_closed");
   stats.shim_retries = counter("gw.Soak.shim_retries");
+  const std::size_t segment_bytes = trace_segment_bytes(smoke);
+  audit_tap(farm.gateway().upstream_trace(), segment_bytes, stats);
+  audit_tap(farm.gateway().inmate_rx_trace(), segment_bytes, stats);
+  audit_tap(sub.router().trace(), segment_bytes, stats);
+  // Cross-check eviction accounting against the registry metric.
+  if (counter("trace.Soak.evicted") !=
+      sub.router().trace().archive().evicted_segments())
+    ++stats.trace_capture_gaps;
   for (const auto* port : impaired) {
     stats.fault_dropped += port->fault_counters().dropped +
                            port->fault_counters().flap_dropped;
@@ -260,14 +308,33 @@ int main(int argc, char** argv) {
   std::printf("S2. Containment under network faults (%s sweep, %s/row)\n",
               smoke ? "smoke" : "full",
               util::format_duration(duration).c_str());
-  std::printf("%-20s %9s %9s %11s %9s %10s %10s %8s\n", "profile", "verdicts",
-              "forwards", "fail_closed", "retries", "faultdrops", "upstream",
-              "escapes");
+  std::printf("%-20s %9s %9s %11s %9s %10s %10s %8s %9s\n", "profile",
+              "verdicts", "forwards", "fail_closed", "retries", "faultdrops",
+              "upstream", "escapes", "trc-evict");
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench");
+  json.value("s2_fault_soak");
+  json.key("smoke");
+  json.value(smoke);
+  json.key("sim_minutes_per_row");
+  json.value(duration.usec / 60e6);
+  json.key("trace_segment_bytes");
+  json.value(static_cast<std::uint64_t>(trace_segment_bytes(smoke)));
+  json.key("trace_max_segments");
+  json.value(static_cast<std::uint64_t>(kTraceMaxSegments));
+  json.key("rows");
+  json.begin_array();
   std::uint64_t total_escapes = 0;
+  std::uint64_t total_trace_violations = 0;
+  std::uint64_t total_trace_evictions = 0;
   for (const auto& profile : profiles) {
-    const auto stats = run_row(profile, duration);
+    const auto stats = run_row(profile, duration, smoke);
     total_escapes += stats.escapes;
-    std::printf("%-20s %9llu %9llu %11llu %9llu %10llu %10llu %8llu\n",
+    total_trace_violations +=
+        stats.trace_budget_violations + stats.trace_capture_gaps;
+    total_trace_evictions += stats.trace_evicted_segments;
+    std::printf("%-20s %9llu %9llu %11llu %9llu %10llu %10llu %8llu %9llu\n",
                 profile.name,
                 static_cast<unsigned long long>(stats.verdicts),
                 static_cast<unsigned long long>(stats.forwards),
@@ -275,8 +342,60 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.shim_retries),
                 static_cast<unsigned long long>(stats.fault_dropped),
                 static_cast<unsigned long long>(stats.upstream_frames),
-                static_cast<unsigned long long>(stats.escapes));
+                static_cast<unsigned long long>(stats.escapes),
+                static_cast<unsigned long long>(
+                    stats.trace_evicted_segments));
+    json.begin_object();
+    json.key("profile");
+    json.value(profile.name);
+    json.key("verdicts");
+    json.value(stats.verdicts);
+    json.key("forwards");
+    json.value(stats.forwards);
+    json.key("fail_closed");
+    json.value(stats.fail_closed);
+    json.key("shim_retries");
+    json.value(stats.shim_retries);
+    json.key("fault_dropped");
+    json.value(stats.fault_dropped);
+    json.key("upstream_frames");
+    json.value(stats.upstream_frames);
+    json.key("escapes");
+    json.value(stats.escapes);
+    json.key("trace_evicted_segments");
+    json.value(stats.trace_evicted_segments);
+    json.key("trace_retained_bytes");
+    json.value(stats.trace_retained_bytes);
+    json.key("trace_budget_violations");
+    json.value(stats.trace_budget_violations);
+    json.key("trace_capture_gaps");
+    json.value(stats.trace_capture_gaps);
+    json.end_object();
   }
+  json.end_array();
+  json.end_object();
+
+  if (!util::json_valid(json.str())) {
+    std::fprintf(stderr, "s2: generated BENCH_s2.json is not valid JSON\n");
+    return 1;
+  }
+  {
+    std::ofstream out("BENCH_s2.json", std::ios::binary | std::ios::trunc);
+    out << json.str() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "s2: cannot write BENCH_s2.json\n");
+      return 1;
+    }
+  }
+  std::ifstream back("BENCH_s2.json", std::ios::binary);
+  const std::string reread((std::istreambuf_iterator<char>(back)),
+                           std::istreambuf_iterator<char>());
+  if (!util::json_valid(reread)) {
+    std::fprintf(stderr, "s2: BENCH_s2.json failed round-trip validation\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_s2.json (validated)\n");
+
   if (total_escapes > 0) {
     std::fprintf(stderr,
                  "\nCONTAINMENT FAILURE: %llu frame(s) escaped upstream "
@@ -284,6 +403,20 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(total_escapes));
     return 1;
   }
-  std::printf("\nzero containment escapes across all profiles\n");
+  if (total_trace_violations > 0) {
+    std::fprintf(stderr,
+                 "\nTRACE AUDIT FAILURE: %llu budget/gap violation(s) in "
+                 "the rotating archivers\n",
+                 static_cast<unsigned long long>(total_trace_violations));
+    return 1;
+  }
+  if (total_trace_evictions == 0) {
+    std::fprintf(stderr, "\nTRACE AUDIT FAILURE: rotation never evicted a "
+                         "segment despite the tight budget\n");
+    return 1;
+  }
+  std::printf("zero containment escapes across all profiles; trace "
+              "archivers stayed within budget (%llu segments rotated)\n",
+              static_cast<unsigned long long>(total_trace_evictions));
   return 0;
 }

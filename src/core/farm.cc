@@ -27,7 +27,9 @@ Farm::Farm(FarmOptions options)
   gwc.upstream_addr = options_.gateway_upstream;
   gwc.mgmt_net = options_.mgmt_net;
   gwc.mgmt_addr = options_.mgmt_net.host(1);
+  gwc.trace_archive = options_.trace_archive;
   gateway_ = std::make_unique<gw::Gateway>(loop_, gwc, &telemetry_);
+  reporter_.register_trace_tap(&gateway_->upstream_trace());
 
   // Wire the gateway's three legs: trunk into the inmate switch, access
   // ports on the management and external switches.
@@ -172,6 +174,7 @@ Subfarm& Farm::add_subfarm(const std::string& name, SubfarmOptions options) {
       *this, router, std::move(cs), cs_host, options.vlan_first,
       options.vlan_last));
   reporter_.register_subfarm(&router);
+  reporter_.register_trace_tap(&router.trace());
   GQ_INFO(kLog, "subfarm '%s': VLANs %u-%u internal %s external %s",
           name.c_str(), options.vlan_first, options.vlan_last,
           options.internal_net.str().c_str(),

@@ -50,6 +50,9 @@ struct FarmOptions {
   std::size_t inmate_switch_ports = 72;
   std::size_t mgmt_switch_ports = 48;
   std::size_t external_switch_ports = 48;
+  /// Rotation budget for every gateway trace tap (upstream, mgmt,
+  /// inmate-ingress, one per subfarm). Defaults keep a few MB per farm.
+  trace::ArchiveConfig trace_archive;
 };
 
 struct SubfarmOptions {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "shim/shim.h"
+#include "trace/archive.h"
 #include "util/addr.h"
 #include "util/time.h"
 
@@ -109,6 +110,10 @@ struct GatewayConfig {
   /// this range on the management interface.
   std::uint16_t nonce_port_first = 40000;
   std::uint16_t nonce_port_last = 49999;
+
+  /// Rotation budget shared by every trace tap the gateway owns (the
+  /// upstream/mgmt/inmate-ingress taps and one tap per subfarm router).
+  trace::ArchiveConfig trace_archive;
 };
 
 }  // namespace gq::gw

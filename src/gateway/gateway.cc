@@ -29,6 +29,9 @@ Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config,
                 [this](std::vector<std::uint8_t> frame) {
                   mgmt_port_.transmit(sim::Frame{std::move(frame)});
                 }),
+      upstream_trace_("upstream", config.trace_archive, telemetry_),
+      mgmt_trace_("mgmt", config.trace_archive, telemetry_),
+      inmate_rx_trace_("inmate_rx", config.trace_archive, telemetry_),
       next_nonce_(config.nonce_port_first) {
   // The management/control network has its own external connectivity
   // (the paper dedicates one of its five /24s to control infrastructure,
@@ -139,12 +142,12 @@ void Gateway::emit_raw(const RawEgress& egress,
     case RawEgress::Leg::kInmate:
       // Inmate-side trace is recorded untagged (internal perspective,
       // §5.6), exactly like the slow path's emit_to_inmate.
-      egress.subfarm->pcap().record(loop_.now(), bytes);
+      egress.subfarm->trace().record(loop_.now(), bytes);
       pkt::insert_vlan_tag(bytes, egress.vlan);
       inmate_port_.transmit(sim::Frame{std::move(bytes)});
       return;
     case RawEgress::Leg::kMgmt:
-      mgmt_pcap_.record(loop_.now(), bytes);
+      mgmt_trace_.record(loop_.now(), bytes);
       mgmt_port_.transmit(sim::Frame{std::move(bytes)});
       return;
     case RawEgress::Leg::kUpstream:
@@ -154,7 +157,7 @@ void Gateway::emit_raw(const RawEgress& egress,
 }
 
 void Gateway::transmit_upstream(std::vector<std::uint8_t> bytes) {
-  upstream_pcap_.record(loop_.now(), bytes);
+  upstream_trace_.record(loop_.now(), bytes);
   if (upstream_tap_) upstream_tap_(loop_.now(), bytes);
   upstream_port_.transmit(sim::Frame{std::move(bytes)});
 }
@@ -168,7 +171,7 @@ void Gateway::emit_to_inmate(std::uint16_t vlan, util::MacAddr dst_mac,
   frame.eth.vlan.reset();
   // Record the inmate-side trace untagged (internal perspective, §5.6).
   if (auto* subfarm = subfarm_for_vlan(vlan)) {
-    subfarm->pcap().record(loop_.now(), frame.encode());
+    subfarm->trace().record(loop_.now(), frame.encode());
   }
   frame.eth.vlan = vlan;
   inmate_port_.transmit(sim::Frame{frame.encode()});
@@ -183,7 +186,7 @@ void Gateway::emit_to_mgmt(pkt::DecodedFrame frame) {
   mgmt_arp_.resolve(dst, [this, shared](util::MacAddr mac) {
     shared->eth.dst = mac;
     auto bytes = shared->encode();
-    mgmt_pcap_.record(loop_.now(), bytes);
+    mgmt_trace_.record(loop_.now(), bytes);
     mgmt_port_.transmit(sim::Frame{std::move(bytes)});
   });
 }
@@ -222,7 +225,7 @@ void Gateway::emit_auto(pkt::DecodedFrame frame) {
 // --- Ingress ----------------------------------------------------------------
 
 void Gateway::on_upstream_frame(sim::Frame raw) {
-  upstream_pcap_.record(loop_.now(), raw.bytes);
+  upstream_trace_.record(loop_.now(), raw.bytes);
   if (fast_path_) {
     if (const auto dst = pkt::ipv4_dst_of(raw.bytes)) {
       if (auto* subfarm = subfarm_for_global(*dst)) {
@@ -254,6 +257,10 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
   const std::uint16_t vlan = *vid;
   auto* subfarm = subfarm_for_vlan(vlan);
   if (!subfarm) return;
+  // Archive the raw tagged frame exactly as received — this tap is the
+  // deterministic-replay source, so it must capture everything that can
+  // affect gateway state (DHCP/ARP boot chatter included).
+  inmate_rx_trace_.record(loop_.now(), raw.bytes);
   // Normalize to untagged in place (capacity retained, so an eventual
   // same-buffer re-tag on egress cannot reallocate), then try the
   // zero-copy fast path before paying for a full decode.
@@ -261,7 +268,7 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
   if (fast_path_ && subfarm->fast_from_inmate(vlan, raw.bytes)) return;
   auto frame = pkt::decode_frame(raw.bytes);
   if (!frame) return;
-  subfarm->pcap().record(loop_.now(), frame->encode());
+  subfarm->trace().record(loop_.now(), frame->encode());
 
   if (frame->arp) {
     const auto& arp = *frame->arp;
@@ -312,7 +319,7 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
       out.ip->src = subfarm->inmates().gateway_internal();
       out.ip->dst = util::Ipv4Addr(255, 255, 255, 255);
       out.udp = pkt::UdpDatagram{67, 68, reply->encode()};
-      subfarm->pcap().record(loop_.now(), out.encode());
+      subfarm->trace().record(loop_.now(), out.encode());
       out.eth.vlan = vlan;
       inmate_port_.transmit(sim::Frame{out.encode()});
     }
@@ -323,7 +330,7 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
 }
 
 void Gateway::on_mgmt_frame(sim::Frame raw) {
-  mgmt_pcap_.record(loop_.now(), raw.bytes);
+  mgmt_trace_.record(loop_.now(), raw.bytes);
   if (fast_path_) {
     if (const auto dst = pkt::ipv4_dst_of(raw.bytes)) {
       // Nonce legs terminate on the gateway's own address: slow path.

@@ -22,6 +22,7 @@
 #include "packet/frame.h"
 #include "packet/frame_view.h"
 #include "packet/pcap.h"
+#include "trace/tap.h"
 
 namespace gq::gw {
 
@@ -72,10 +73,23 @@ class Gateway {
 
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] const GatewayConfig& config() const { return config_; }
-  [[nodiscard]] pkt::PcapWriter& upstream_pcap() { return upstream_pcap_; }
+  /// Rotating trace of the upstream leg: both directions, recorded at
+  /// the transmit_upstream choke point and at upstream-port ingress.
+  [[nodiscard]] trace::TraceTap& upstream_trace() { return upstream_trace_; }
   /// Trace of the management leg (containment-server traffic) — where
   /// the Figure 5 shim exchange is visible.
-  [[nodiscard]] pkt::PcapWriter& mgmt_pcap() { return mgmt_pcap_; }
+  [[nodiscard]] trace::TraceTap& mgmt_trace() { return mgmt_trace_; }
+  /// Raw 802.1Q-tagged inmate-port ingress, exactly as received — the
+  /// deterministic-replay source (trace/replay.h): injecting these
+  /// frames at their recorded times into an identically seeded farm
+  /// reproduces the run.
+  [[nodiscard]] trace::TraceTap& inmate_rx_trace() { return inmate_rx_trace_; }
+
+  /// Inject one raw (tagged) frame as if it arrived on the inmate port.
+  /// The replay driver's entry point.
+  void inject_inmate_frame(std::vector<std::uint8_t> bytes) {
+    on_inmate_frame(sim::Frame{std::move(bytes)});
+  }
 
   // --- Services used by SubfarmRouter ---------------------------------
 
@@ -151,8 +165,9 @@ class Gateway {
   util::MacAddr inmate_leg_mac_;
   ArpProxy upstream_arp_;
   ArpProxy mgmt_arp_;
-  pkt::PcapWriter upstream_pcap_;
-  pkt::PcapWriter mgmt_pcap_;
+  trace::TraceTap upstream_trace_;
+  trace::TraceTap mgmt_trace_;
+  trace::TraceTap inmate_rx_trace_;
   std::vector<std::unique_ptr<SubfarmRouter>> subfarms_;
   std::map<std::uint16_t, SubfarmRouter*> nonce_owners_;
   std::uint16_t next_nonce_;

@@ -118,6 +118,8 @@ SubfarmRouter::SubfarmRouter(Gateway& gateway, SubfarmConfig config)
                config_.dns_service),
       safety_(config_.max_conns_per_inmate, config_.max_conns_per_dest,
               config_.safety_window),
+      trace_(config_.name, gateway.config().trace_archive,
+             &gateway.telemetry()),
       rng_(0x5afef00d ^ config_.vlan_first) {
   // Resolve this subfarm's metric handles once; the per-frame path then
   // updates them through plain pointers.
@@ -310,7 +312,7 @@ bool SubfarmRouter::fast_from_inmate(std::uint16_t /*vlan*/,
   if (!egress) return false;
 
   // Committed. Ingress trace first (pre-rewrite, like the slow path).
-  pcap_.record(gateway_.loop().now(), bytes);
+  trace_.record(gateway_.loop().now(), bytes);
   frames_from_inmates_ctr_->inc();
   flow.last_activity = gateway_.loop().now();
   const std::uint32_t payload_len = view->payload_len();
@@ -874,6 +876,11 @@ void SubfarmRouter::apply_verdict(Flow& flow,
   decision_latency_hist_->observe(static_cast<double>(
       (gateway_.loop().now() - flow.created).usec));
   verdict_counter(shim.verdict).inc();
+  // Link the verdict into the trace archive's flow index: the flow's
+  // packets were captured pre-NAT, so the canonical index key is the
+  // inmate's original (inmate_ep -> orig_dst) direction.
+  trace_.annotate({flow.proto, flow.inmate_ep, flow.orig_dst}, flow.vlan,
+                  shim.verdict, shim.policy_name);
   GQ_INFO(kLog, "[%s] vlan %u %s -> %s: %s (%s)", config_.name.c_str(),
           flow.vlan, flow.inmate_ep.str().c_str(),
           flow.orig_dst.str().c_str(), shim::verdict_name(shim.verdict),
@@ -1172,6 +1179,8 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
         static_cast<double>((now - flow.req_shim_sent_at).usec));
   }
   verdict_counter(shim.verdict).inc();
+  trace_.annotate({flow.proto, flow.inmate_ep, flow.orig_dst}, flow.vlan,
+                  shim.verdict, shim.policy_name);
 
   switch (shim.verdict) {
     case shim::Verdict::kRewrite: {

@@ -20,7 +20,7 @@
 #include "gateway/safety.h"
 #include "obs/telemetry.h"
 #include "packet/frame.h"
-#include "packet/pcap.h"
+#include "trace/tap.h"
 #include "util/rng.h"
 
 namespace gq::gw {
@@ -40,7 +40,10 @@ class SubfarmRouter {
     config_.extra_containment_servers.push_back(endpoint);
   }
   [[nodiscard]] InmateTable& inmates() { return inmates_; }
-  [[nodiscard]] pkt::PcapWriter& pcap() { return pcap_; }
+  /// This subfarm's rotating trace tap (inmate-network perspective,
+  /// untagged, pre-NAT) with its per-flow index; flows gain their
+  /// verdict annotation when the router applies one.
+  [[nodiscard]] trace::TraceTap& trace() { return trace_; }
   [[nodiscard]] SafetyFilter& safety() { return safety_; }
 
   /// Frame from an inmate on `vlan` (tag already stripped).
@@ -160,7 +163,7 @@ class SubfarmRouter {
   SubfarmConfig config_;
   InmateTable inmates_;
   SafetyFilter safety_;
-  pkt::PcapWriter pcap_;
+  trace::TraceTap trace_;
   util::Rng rng_;
 
   // Metric handles, resolved once against the gateway's registry under

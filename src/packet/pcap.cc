@@ -1,5 +1,6 @@
 #include "packet/pcap.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace gq::pkt {
@@ -27,18 +28,20 @@ PcapWriter::PcapWriter() {
   put_u16le(buf_, 4);            // Version minor.
   put_u32le(buf_, 0);            // Timezone offset.
   put_u32le(buf_, 0);            // Timestamp accuracy.
-  put_u32le(buf_, 65535);        // Snap length.
+  put_u32le(buf_, kPcapSnapLen); // Snap length.
   put_u32le(buf_, 1);            // LINKTYPE_ETHERNET.
 }
 
 void PcapWriter::record(util::TimePoint at,
                         std::span<const std::uint8_t> frame) {
   const auto usec_total = static_cast<std::uint64_t>(at.usec);
+  const auto orig_len = static_cast<std::uint32_t>(frame.size());
+  const std::uint32_t incl_len = std::min(orig_len, kPcapSnapLen);
   put_u32le(buf_, static_cast<std::uint32_t>(usec_total / 1'000'000));
   put_u32le(buf_, static_cast<std::uint32_t>(usec_total % 1'000'000));
-  put_u32le(buf_, static_cast<std::uint32_t>(frame.size()));
-  put_u32le(buf_, static_cast<std::uint32_t>(frame.size()));
-  buf_.insert(buf_.end(), frame.begin(), frame.end());
+  put_u32le(buf_, incl_len);
+  put_u32le(buf_, orig_len);
+  buf_.insert(buf_.end(), frame.begin(), frame.begin() + incl_len);
   ++packet_count_;
 }
 
@@ -48,20 +51,29 @@ std::vector<PcapRecord> parse_pcap(std::span<const std::uint8_t> data) {
     return data[at] | (data[at + 1] << 8) | (data[at + 2] << 16) |
            (static_cast<std::uint32_t>(data[at + 3]) << 24);
   };
-  if (data.size() < 24 || u32le(0) != 0xA1B2C3D4u) return records;
-  std::size_t at = 24;
-  while (at + 16 <= data.size()) {
+  if (data.size() < kPcapFileHeaderSize || u32le(0) != 0xA1B2C3D4u)
+    return records;
+  std::size_t at = kPcapFileHeaderSize;
+  while (at + kPcapRecordHeaderSize <= data.size()) {
     const std::uint64_t sec = u32le(at);
     const std::uint64_t usec = u32le(at + 4);
-    const std::uint32_t len = u32le(at + 8);
-    at += 16;
-    if (at + len > data.size()) break;
+    const std::uint32_t incl_len = u32le(at + 8);
+    const std::uint32_t orig_len = u32le(at + 12);
+    // A caplen above the declared snap length, or above the original
+    // wire length, is structurally invalid: record framing after this
+    // point cannot be trusted, so stop and return the valid prefix.
+    if (incl_len > kPcapSnapLen || incl_len > orig_len) break;
+    at += kPcapRecordHeaderSize;
+    // Truncated mid-record: return every complete record before the cut.
+    if (at + incl_len > data.size()) break;
     PcapRecord record;
     record.time.usec = static_cast<std::int64_t>(sec * 1'000'000 + usec);
-    record.frame.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
-                        data.begin() + static_cast<std::ptrdiff_t>(at + len));
+    record.orig_len = orig_len;
+    record.frame.assign(
+        data.begin() + static_cast<std::ptrdiff_t>(at),
+        data.begin() + static_cast<std::ptrdiff_t>(at + incl_len));
     records.push_back(std::move(record));
-    at += len;
+    at += incl_len;
   }
   return records;
 }

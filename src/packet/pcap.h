@@ -2,6 +2,7 @@
 // at the packet router (inmate-network perspective, RFC 1918 addresses)
 // and a global trace at the upstream interface. Traces accumulate in
 // memory (simulation scale) and can be saved as standard libpcap files.
+// Bounded-memory rotation on top of this writer lives in src/trace/.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +14,23 @@
 
 namespace gq::pkt {
 
+/// The snap length declared in every pcap global header we write.
+/// Frames longer than this are truncated on capture (incl_len is
+/// clamped; orig_len keeps the wire size), matching libpcap semantics.
+inline constexpr std::uint32_t kPcapSnapLen = 65535;
+
+/// Size in bytes of the pcap global header and of each record header.
+inline constexpr std::size_t kPcapFileHeaderSize = 24;
+inline constexpr std::size_t kPcapRecordHeaderSize = 16;
+
 /// Writes LINKTYPE_ETHERNET pcap records with microsecond timestamps.
 class PcapWriter {
  public:
   PcapWriter();
 
-  /// Append one frame captured at simulated time `at`.
+  /// Append one frame captured at simulated time `at`. Frames longer
+  /// than kPcapSnapLen are truncated: incl_len (caplen) is clamped to
+  /// the snap length while orig_len records the full wire size.
   void record(util::TimePoint at, std::span<const std::uint8_t> frame);
 
   [[nodiscard]] std::size_t packet_count() const { return packet_count_; }
@@ -27,6 +39,10 @@ class PcapWriter {
   [[nodiscard]] std::span<const std::uint8_t> contents() const {
     return buf_;
   }
+
+  /// Bytes appended so far (header + records); the next record starts
+  /// at this offset. Used by the trace archiver's flow index.
+  [[nodiscard]] std::size_t size_bytes() const { return buf_.size(); }
 
   /// Write the trace to a file; returns false on I/O error.
   bool save(const std::string& path) const;
@@ -39,11 +55,22 @@ class PcapWriter {
 /// One record read back from a pcap buffer.
 struct PcapRecord {
   util::TimePoint time;
+  /// Captured bytes (length == incl_len, possibly truncated to snaplen).
   std::vector<std::uint8_t> frame;
+  /// Original wire length; equals frame.size() unless the capture was
+  /// truncated at the snap length.
+  std::uint32_t orig_len = 0;
 };
 
 /// Parse a pcap buffer (as produced by PcapWriter) back into records.
-/// Returns an empty vector on malformed input.
+///
+/// Tolerates truncation: a buffer cut mid-record yields every complete
+/// record before the cut (the valid prefix) rather than an empty
+/// vector, so partially-written or rotated captures stay readable.
+/// Parsing stops at the first structurally invalid record header — a
+/// caplen above kPcapSnapLen or a caplen exceeding orig_len — since
+/// everything after it is unframed. A missing or wrong global header
+/// yields an empty vector.
 std::vector<PcapRecord> parse_pcap(std::span<const std::uint8_t> data);
 
 }  // namespace gq::pkt

@@ -81,6 +81,10 @@ void Reporter::register_smtp_sink(const std::string& subfarm_name,
   smtp_sinks_[subfarm_name] = sink;
 }
 
+void Reporter::register_trace_tap(const trace::TraceTap* tap) {
+  trace_taps_.push_back(tap);
+}
+
 std::string Reporter::port_name(std::uint16_t port) {
   switch (port) {
     case 25: return "smtp";
@@ -214,6 +218,36 @@ std::string Reporter::render(util::TimePoint now) const {
       out += util::format(
           "\nSafety filter rejections: %llu\n",
           static_cast<unsigned long long>(subfarm.safety_rejections));
+    }
+  }
+
+  if (!trace_taps_.empty()) {
+    out += "\nTrace archives\n";
+    out += std::string(56, '=') + "\n";
+    for (const auto* tap : trace_taps_) {
+      const auto& archive = tap->archive();
+      out += util::format(
+          "\n%-12s segments %zu  retained %llu pkts / %llu B  "
+          "evicted %llu seg / %llu pkts\n",
+          tap->name().c_str(), archive.segment_count(),
+          static_cast<unsigned long long>(archive.retained_packets()),
+          static_cast<unsigned long long>(archive.retained_bytes()),
+          static_cast<unsigned long long>(archive.evicted_segments()),
+          static_cast<unsigned long long>(archive.evicted_packets()));
+      for (const auto& flow : tap->index().flows()) {
+        const char* proto =
+            flow.key.proto == pkt::FlowProto::kTcp ? "tcp" : "udp";
+        std::string verdict = flow.has_verdict
+                                  ? shim::verdict_name(flow.verdict)
+                                  : std::string("-");
+        out += util::format(
+            "  %s %s -> %s vlan %u  %llu pkts / %llu B  %s%s%s\n", proto,
+            flow.key.src.str().c_str(), flow.key.dst.str().c_str(),
+            flow.vlan, static_cast<unsigned long long>(flow.packets),
+            static_cast<unsigned long long>(flow.bytes), verdict.c_str(),
+            flow.policy_name.empty() ? "" : " policy ",
+            flow.policy_name.c_str());
+      }
     }
   }
   return out;

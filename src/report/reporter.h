@@ -21,6 +21,7 @@
 #include "netsim/event_loop.h"
 #include "obs/events.h"
 #include "sinks/smtp_sink.h"
+#include "trace/tap.h"
 
 namespace gq::rep {
 
@@ -43,6 +44,10 @@ class Reporter {
   void register_subfarm(gw::SubfarmRouter* subfarm);
   void register_smtp_sink(const std::string& subfarm_name,
                           sinks::SmtpSink* sink);
+  /// Register a gateway trace tap; the report then appends a "Trace
+  /// archives" section summarising each tap's retained segments and its
+  /// flow index (per-flow verdicts and byte counts).
+  void register_trace_tap(const trace::TraceTap* tap);
   void set_blacklist(const ext::Cbl* cbl) { cbl_ = cbl; }
 
   /// Render the Figure 7 style activity report.
@@ -114,6 +119,7 @@ class Reporter {
 
   std::map<std::string, SubfarmReport> subfarms_;
   std::vector<gw::SubfarmRouter*> routers_;
+  std::vector<const trace::TraceTap*> trace_taps_;
   std::map<std::string, sinks::SmtpSink*> smtp_sinks_;
   std::map<std::string, std::map<util::Ipv4Addr, SmtpStats>> sink_smtp_;
   std::map<std::string, std::map<std::uint16_t, AddressPair>> dhcp_bindings_;

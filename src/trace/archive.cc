@@ -1,0 +1,147 @@
+#include "trace/archive.h"
+
+#include <algorithm>
+
+namespace gq::trace {
+
+TraceArchiver::TraceArchiver(ArchiveConfig config) : config_(config) {
+  if (config_.segment_bytes < pkt::kPcapFileHeaderSize +
+                                  pkt::kPcapRecordHeaderSize)
+    config_.segment_bytes =
+        pkt::kPcapFileHeaderSize + pkt::kPcapRecordHeaderSize;
+  if (config_.max_segments == 0) config_.max_segments = 1;
+}
+
+TraceArchiver::Segment& TraceArchiver::active_segment(util::TimePoint at) {
+  if (segments_.empty() ||
+      segments_.back().pcap.size_bytes() >= config_.segment_bytes) {
+    Segment segment;
+    segment.seq = next_seq_++;
+    segment.first_time = at;
+    segment.last_time = at;
+    segments_.push_back(std::move(segment));
+    while (segments_.size() > config_.max_segments) {
+      const Segment& victim = segments_.front();
+      ++evicted_segments_;
+      evicted_packets_ += victim.packets;
+      evicted_bytes_ += victim.pcap.size_bytes();
+      segments_.pop_front();
+    }
+  }
+  return segments_.back();
+}
+
+Location TraceArchiver::record(util::TimePoint at,
+                               std::span<const std::uint8_t> frame) {
+  Segment& segment = active_segment(at);
+  if (segment.packets == 0) segment.first_time = at;
+  const Location loc{segment.seq, segment.pcap.size_bytes()};
+  segment.pcap.record(at, frame);
+  segment.last_time = at;
+  ++segment.packets;
+  ++total_packets_;
+  return loc;
+}
+
+const TraceArchiver::Segment* TraceArchiver::find_segment(
+    std::uint64_t seq) const {
+  if (segments_.empty()) return nullptr;
+  const std::uint64_t first = segments_.front().seq;
+  if (seq < first || seq >= first + segments_.size()) return nullptr;
+  // Seqs are contiguous across retained segments, so index directly.
+  return &segments_[static_cast<std::size_t>(seq - first)];
+}
+
+std::size_t TraceArchiver::retained_bytes() const {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) total += segment.pcap.size_bytes();
+  return total;
+}
+
+std::size_t TraceArchiver::retained_packets() const {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) total += segment.packets;
+  return total;
+}
+
+std::optional<pkt::PcapRecord> TraceArchiver::record_at(Location loc) const {
+  const Segment* segment = find_segment(loc.segment);
+  if (!segment) return std::nullopt;
+  const auto data = segment->pcap.contents();
+  if (loc.offset < pkt::kPcapFileHeaderSize ||
+      loc.offset + pkt::kPcapRecordHeaderSize > data.size())
+    return std::nullopt;
+  auto u32le = [&](std::size_t at) -> std::uint32_t {
+    return data[at] | (data[at + 1] << 8) | (data[at + 2] << 16) |
+           (static_cast<std::uint32_t>(data[at + 3]) << 24);
+  };
+  const auto at = static_cast<std::size_t>(loc.offset);
+  const std::uint64_t sec = u32le(at);
+  const std::uint64_t usec = u32le(at + 4);
+  const std::uint32_t incl_len = u32le(at + 8);
+  const std::uint32_t orig_len = u32le(at + 12);
+  const std::size_t start = at + pkt::kPcapRecordHeaderSize;
+  if (incl_len > pkt::kPcapSnapLen || incl_len > orig_len ||
+      start + incl_len > data.size())
+    return std::nullopt;
+  pkt::PcapRecord record;
+  record.time.usec = static_cast<std::int64_t>(sec * 1'000'000 + usec);
+  record.orig_len = orig_len;
+  record.frame.assign(
+      data.begin() + static_cast<std::ptrdiff_t>(start),
+      data.begin() + static_cast<std::ptrdiff_t>(start + incl_len));
+  return record;
+}
+
+std::vector<pkt::PcapRecord> TraceArchiver::records() const {
+  std::vector<pkt::PcapRecord> all;
+  for (const auto& segment : segments_) {
+    auto parsed = pkt::parse_pcap(segment.pcap.contents());
+    all.insert(all.end(), std::make_move_iterator(parsed.begin()),
+               std::make_move_iterator(parsed.end()));
+  }
+  return all;
+}
+
+std::vector<std::uint8_t> TraceArchiver::contents() const {
+  // One global header, then every retained segment's records.
+  pkt::PcapWriter header_only;
+  std::vector<std::uint8_t> out(header_only.contents().begin(),
+                                header_only.contents().end());
+  for (const auto& segment : segments_) {
+    const auto data = segment.pcap.contents();
+    out.insert(out.end(), data.begin() + pkt::kPcapFileHeaderSize,
+               data.end());
+  }
+  return out;
+}
+
+bool TraceArchiver::restore_segment(
+    std::uint64_t seq, std::span<const std::uint8_t> pcap_bytes) {
+  if (!segments_.empty() && seq != segments_.back().seq + 1)
+    return false;  // Retained seqs must stay contiguous.
+  const auto parsed = pkt::parse_pcap(pcap_bytes);
+  Segment segment;
+  segment.seq = seq;
+  for (const auto& record : parsed) {
+    if (segment.packets == 0) segment.first_time = record.time;
+    segment.pcap.record(record.time, record.frame);
+    segment.last_time = record.time;
+    ++segment.packets;
+  }
+  segments_.push_back(std::move(segment));
+  next_seq_ = seq + 1;
+  return true;
+}
+
+void TraceArchiver::restore_counters(std::uint64_t total_packets,
+                                     std::uint64_t evicted_segments,
+                                     std::uint64_t evicted_packets,
+                                     std::uint64_t evicted_bytes) {
+  total_packets_ = total_packets;
+  evicted_segments_ = evicted_segments;
+  evicted_packets_ = evicted_packets;
+  evicted_bytes_ = evicted_bytes;
+}
+
+}  // namespace gq::trace

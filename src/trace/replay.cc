@@ -1,0 +1,57 @@
+#include "trace/replay.h"
+
+#include <sstream>
+
+#include "gateway/gateway.h"
+#include "netsim/event_loop.h"
+
+namespace gq::trace {
+
+std::string event_line(const obs::FarmEvent& e) {
+  std::ostringstream os;
+  os << e.time.usec << ' ' << obs::farm_event_kind_name(e.kind) << ' '
+     << e.subfarm << " vlan=" << e.vlan << ' '
+     << (e.proto == pkt::FlowProto::kTcp ? "tcp" : "udp")
+     << " dst=" << e.orig_dst.str() << ' ' << shim::verdict_name(e.verdict)
+     << " policy=" << e.policy_name << " ann=" << e.annotation;
+  if (e.limit_bytes_per_sec) os << " limit=" << *e.limit_bytes_per_sec;
+  os << " b2s=" << e.bytes_to_server << " b2i=" << e.bytes_to_inmate
+     << " int=" << e.inmate_internal.str()
+     << " glob=" << e.inmate_global.str() << " sink=" << e.sink_service
+     << " ssrc=" << e.sink_source.str();
+  return os.str();
+}
+
+EventRecorder::EventRecorder(obs::EventBus& bus)
+    : bus_(bus), id_(bus.subscribe([this](const obs::FarmEvent& event) {
+        lines_.push_back(event_line(event));
+      })) {}
+
+EventRecorder::~EventRecorder() { bus_.unsubscribe(id_); }
+
+std::string EventRecorder::joined() const {
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t schedule_replay(gw::Gateway& gateway,
+                            const std::vector<pkt::PcapRecord>& records) {
+  auto& loop = gateway.loop();
+  std::size_t scheduled = 0;
+  for (const auto& record : records) {
+    if (record.orig_len != 0 && record.orig_len != record.frame.size())
+      continue;  // Snaplen-truncated: the full wire frame is gone.
+    loop.schedule_at(record.time,
+                     [&gateway, bytes = record.frame]() mutable {
+                       gateway.inject_inmate_frame(std::move(bytes));
+                     });
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+}  // namespace gq::trace

@@ -1,0 +1,101 @@
+// TraceTap: one named capture point — a rotating archiver plus its flow
+// index plus `trace.<tap>.*` metrics, bundled so the gateway's record
+// sites stay one-liners. Taps exist per subfarm router (inmate-network
+// perspective), for the upstream leg, the management leg, and the raw
+// inmate-port ingress (the replay source, see trace/replay.h).
+//
+// A tap can be saved to / loaded from a directory:
+//   manifest.txt              archive config, counters, segment table
+//   segment-<seq>.pcap        one standard pcap file per retained segment
+//   flows.txt                 serialized flow index (tab-separated)
+// Saved archives are what examples/gq_trace lists, summarises, and
+// extracts flows from, and what the golden-trace replay regression
+// feeds back through a fresh farm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "packet/pcap.h"
+#include "trace/archive.h"
+#include "trace/flow_index.h"
+#include "util/time.h"
+
+namespace gq::trace {
+
+class TraceTap {
+ public:
+  /// `telemetry` may be null (standalone tools/tests): metrics updates
+  /// are skipped, capture behaves identically. Metric names:
+  ///   trace.<name>.segments   gauge    retained segment count
+  ///   trace.<name>.bytes      gauge    retained archive bytes
+  ///   trace.<name>.evicted    counter  segments evicted by rotation
+  ///   trace.<name>.packets    counter  packets captured (lifetime)
+  TraceTap(std::string name, ArchiveConfig config,
+           obs::Telemetry* telemetry);
+
+  TraceTap(const TraceTap&) = delete;
+  TraceTap& operator=(const TraceTap&) = delete;
+  TraceTap(TraceTap&&) = default;
+  TraceTap& operator=(TraceTap&&) = default;
+
+  /// Capture one frame: archive it, index it by flow when it parses as
+  /// a TCP/UDP frame (tagged or untagged), update metrics.
+  void record(util::TimePoint at, std::span<const std::uint8_t> frame);
+
+  /// Attach a containment verdict to an indexed flow.
+  bool annotate(const pkt::FlowKey& key, std::uint16_t vlan,
+                shim::Verdict verdict, const std::string& policy_name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const TraceArchiver& archive() const { return archive_; }
+  [[nodiscard]] const FlowIndex& index() const { return index_; }
+
+  /// Lifetime packet count (compatible with the old PcapWriter
+  /// accounting — rotation does not make it go backwards).
+  [[nodiscard]] std::size_t packet_count() const {
+    return static_cast<std::size_t>(archive_.total_packets());
+  }
+
+  /// The retained capture as one valid pcap file.
+  [[nodiscard]] std::vector<std::uint8_t> contents() const {
+    return archive_.contents();
+  }
+
+  /// O(flow) packet extraction: resolve each of the flow's recorded
+  /// locations, skipping those rotated out of the archive.
+  [[nodiscard]] std::vector<pkt::PcapRecord> extract_flow(
+      const FlowRecord& flow) const;
+
+  /// Persist to `dir` (created if missing). Returns false on I/O error.
+  bool save(const std::string& dir) const;
+
+  /// Write the retained capture as one pcap file (operator convenience,
+  /// matches the old PcapWriter::save shape).
+  bool save_pcap(const std::string& path) const;
+
+ private:
+  friend std::optional<TraceTap> load_trace(const std::string& dir);
+
+  void refresh_metrics();
+
+  std::string name_;
+  TraceArchiver archive_;
+  FlowIndex index_;
+  std::vector<std::uint8_t> scratch_;  ///< FrameView needs mutable bytes.
+  obs::Gauge* segments_gauge_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Counter* evicted_ctr_ = nullptr;
+  obs::Counter* packets_ctr_ = nullptr;
+  std::uint64_t reported_evicted_ = 0;
+};
+
+/// Load a tap saved with TraceTap::save. The loaded tap has no
+/// telemetry attached. nullopt on missing/corrupt archive.
+std::optional<TraceTap> load_trace(const std::string& dir);
+
+}  // namespace gq::trace

@@ -1,0 +1,248 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace gq::util {
+
+std::string json_quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // Value completing a key: no comma, the colon is out.
+  }
+  if (!has_member_.empty()) {
+    if (has_member_.back()) out_ += ',';
+    has_member_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  has_member_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (!has_member_.empty()) has_member_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  has_member_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (!has_member_.empty()) has_member_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  comma();
+  out_ += json_quote(name);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  comma();
+  out_ += json_quote(text);
+}
+
+void JsonWriter::value(double number) {
+  comma();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", number);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  comma();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  comma();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  comma();
+  out_ += flag ? "true" : "false";
+}
+
+// --- Validation -----------------------------------------------------------
+
+namespace {
+
+struct Checker {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        const char esc = text[pos++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (pos >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos++])))
+              return false;
+        } else if (!std::strchr("\"\\/bfnrt", esc)) {
+          return false;
+        }
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool number() {
+    const std::size_t start = pos;
+    eat('-');
+    if (!eat('0')) {
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (eat('.')) {
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    return pos > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    if (pos >= text.size()) {
+      ok = false;
+    } else if (text[pos] == '{') {
+      ++pos;
+      skip_ws();
+      if (eat('}')) {
+        ok = true;
+      } else {
+        ok = true;
+        while (ok) {
+          skip_ws();
+          ok = string();
+          if (!ok) break;
+          skip_ws();
+          ok = eat(':') && value();
+          if (!ok) break;
+          skip_ws();
+          if (eat('}')) break;
+          ok = eat(',');
+        }
+      }
+    } else if (text[pos] == '[') {
+      ++pos;
+      skip_ws();
+      if (eat(']')) {
+        ok = true;
+      } else {
+        ok = true;
+        while (ok) {
+          ok = value();
+          if (!ok) break;
+          skip_ws();
+          if (eat(']')) break;
+          ok = eat(',');
+        }
+      }
+    } else if (text[pos] == '"') {
+      ok = string();
+    } else if (text[pos] == 't') {
+      ok = literal("true");
+    } else if (text[pos] == 'f') {
+      ok = literal("false");
+    } else if (text[pos] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Checker checker{text};
+  if (!checker.value()) return false;
+  checker.skip_ws();
+  return checker.pos == text.size();
+}
+
+}  // namespace gq::util

@@ -1,0 +1,61 @@
+// Minimal JSON emission and validation for the bench harnesses: the
+// scenario benches print human tables AND write machine-readable
+// BENCH_*.json summaries for CI to archive and diff. The writer covers
+// exactly the subset the benches need (objects, arrays, strings,
+// numbers, booleans); json_valid() is a strict syntax checker the smoke
+// targets run over their own output, so a malformed summary fails the
+// build instead of poisoning the CI archive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gq::util {
+
+/// Escape a string for embedding in a JSON document (quotes included).
+std::string json_quote(std::string_view text);
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("rows"); w.begin_array();
+///   w.begin_object(); w.key("n"); w.value(7); w.end_object();
+///   w.end_array();
+///   w.end_object();
+///   w.str();  // {"rows":[{"n":7}]}
+/// The writer inserts commas; nesting errors are the caller's bug and
+/// surface as invalid output (which json_valid then catches).
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::uint64_t number);
+  void value(std::int64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool flag);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One entry per open container: true once it has a member (so the
+  // next one needs a comma).
+  std::vector<bool> has_member_;
+  bool after_key_ = false;
+};
+
+/// Strict syntax check of a complete JSON document (single top-level
+/// value, no trailing bytes). No DOM is built.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace gq::util

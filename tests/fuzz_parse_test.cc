@@ -17,6 +17,7 @@
 #include "packet/frame.h"
 #include "packet/frame_view.h"
 #include "packet/headers.h"
+#include "packet/pcap.h"
 #include "shim/shim.h"
 #include "util/rng.h"
 
@@ -187,6 +188,70 @@ TEST(FuzzFrame, DecodeFrameRejectsOrParsesNeverCrashes) {
       (void)decoded->src_port();
       (void)decoded->dst_port();
     }
+  }
+}
+
+// --- pcap container -------------------------------------------------------
+
+// A canonical multi-record capture to mutate.
+std::vector<std::uint8_t> random_canonical_pcap(util::Rng& rng) {
+  pkt::PcapWriter writer;
+  const auto records = 1 + rng.below(6);
+  for (std::uint64_t i = 0; i < records; ++i)
+    writer.record(util::TimePoint{static_cast<std::int64_t>(rng.next() %
+                                                            1'000'000)},
+                  random_bytes(rng, rng.below(96)));
+  return {writer.contents().begin(), writer.contents().end()};
+}
+
+TEST(FuzzPcap, ParseRejectsOrParsesNeverCrashes) {
+  util::Rng rng(0xF00D0005);
+  for (int i = 0; i < kCases; ++i) {
+    std::vector<std::uint8_t> buf;
+    if (rng.below(4) == 0) {
+      buf = random_bytes(rng, rng.below(256));
+    } else {
+      buf = random_canonical_pcap(rng);
+      const auto mutations = 1 + rng.below(3);
+      for (std::uint64_t m = 0; m < mutations; ++m) mutate(rng, buf);
+    }
+    // Reject or parse, never crash, never a giant allocation: every
+    // record's caplen is bounded by the snap length.
+    for (const auto& record : pkt::parse_pcap(buf)) {
+      ASSERT_LE(record.frame.size(), pkt::kPcapSnapLen);
+      ASSERT_LE(record.frame.size(), record.orig_len);
+    }
+  }
+}
+
+TEST(FuzzPcap, EveryTruncationYieldsExactValidPrefix) {
+  // The documented truncation contract: cutting a capture anywhere
+  // returns exactly the records that are structurally complete before
+  // the cut — never fewer, never garbage from past it.
+  util::Rng rng(0xF00D0006);
+  pkt::PcapWriter writer;
+  std::vector<std::size_t> frame_sizes;
+  std::vector<std::size_t> record_ends;  // Byte offset after each record.
+  std::size_t offset = pkt::kPcapFileHeaderSize;
+  for (int i = 0; i < 8; ++i) {
+    const auto frame = random_bytes(rng, 10 + rng.below(50));
+    writer.record(util::TimePoint{i}, frame);
+    frame_sizes.push_back(frame.size());
+    offset += pkt::kPcapRecordHeaderSize + frame.size();
+    record_ends.push_back(offset);
+  }
+  const std::vector<std::uint8_t> full(writer.contents().begin(),
+                                       writer.contents().end());
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const auto parsed = pkt::parse_pcap(
+        std::span<const std::uint8_t>(full.data(), cut));
+    std::size_t expected = 0;
+    while (expected < record_ends.size() && record_ends[expected] <= cut)
+      ++expected;
+    if (cut < pkt::kPcapFileHeaderSize) expected = 0;
+    ASSERT_EQ(parsed.size(), expected) << "cut at byte " << cut;
+    for (std::size_t r = 0; r < parsed.size(); ++r)
+      ASSERT_EQ(parsed[r].frame.size(), frame_sizes[r]);
   }
 }
 
