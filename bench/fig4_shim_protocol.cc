@@ -1,8 +1,9 @@
 // Reproduces paper Figure 4: the shim protocol message structure. Prints
 // annotated wire layouts of a containment request shim (24 bytes) and a
-// containment response shim (>= 68 bytes: the paper's layout plus the
-// wire-v2 typed verdict-parameter block), then validates the encoder/
-// decoder with an exhaustive round-trip sweep.
+// containment response shim (>= 84 bytes: the paper's layout plus the
+// wire-v2 typed verdict-parameter block and the wire-v3 verdict-cache
+// block), then validates the encoder/decoder with an exhaustive
+// round-trip sweep covering both wire versions.
 #include <cstdio>
 #include <string>
 
@@ -47,13 +48,18 @@ int main() {
   response.verdict = shim::Verdict::kReflect;
   response.policy_name = "Grum";
   response.annotation = "full SMTP containment";
+  response.cacheable = true;
+  response.cache_scope = shim::CacheScope::kDstEndpoint;
+  response.cache_ttl_ms = 30000;
+  response.policy_epoch = 1;
   auto response_bytes = response.encode();
-  std::printf("\n(b) Response shim — %zu bytes (68 + %zu annotation)\n",
+  std::printf("\n(b) Response shim — %zu bytes (84 + %zu annotation)\n",
               response_bytes.size(), response.annotation.size());
   std::printf("  [0-7] preamble  [8-19] resulting four-tuple\n");
   std::printf("  [20-23] containment verdict  [24-55] policy name\n");
   std::printf("  [56-59] parameter flags  [60-67] LIMIT byte rate\n");
-  std::printf("  [68-] textual annotation\n");
+  std::printf("  [68-71] cache scope+pad  [72-75] cache TTL ms\n");
+  std::printf("  [76-83] policy epoch  [84-] textual annotation\n");
   hexdump(response_bytes);
 
   // Round-trip sweep across random field values and all verdicts.
@@ -82,6 +88,16 @@ int main() {
     rsp.annotation = std::string(rng.below(64), 'a');
     if (rng.below(2) == 1)
       rsp.limit_bytes_per_sec = static_cast<std::int64_t>(rng.below(1 << 20));
+    // Half the sweep emits legacy v2 frames; those must come back with a
+    // zeroed cache block regardless of what the encoder was handed.
+    const bool v2 = rng.below(2) == 1;
+    if (v2) rsp.wire_version = shim::kShimVersionV2;
+    rsp.policy_epoch = rng.below(1 << 16);
+    if (rsp.verdict != shim::Verdict::kRewrite && rng.below(2) == 1) {
+      rsp.cacheable = true;
+      rsp.cache_scope = static_cast<shim::CacheScope>(rng.below(3));
+      rsp.cache_ttl_ms = static_cast<std::uint32_t>(rng.below(120000));
+    }
     std::size_t consumed = 0;
     auto parsed_rsp = shim::ResponseShim::parse(rsp.encode(), &consumed);
     if (!parsed_rsp || parsed_rsp->verdict != rsp.verdict ||
@@ -91,11 +107,22 @@ int main() {
       std::printf("RESPONSE ROUND-TRIP FAILURE at %d\n", i);
       return 1;
     }
+    if (v2 ? (parsed_rsp->cacheable || parsed_rsp->policy_epoch != 0)
+           : (parsed_rsp->cacheable != rsp.cacheable ||
+              parsed_rsp->policy_epoch != rsp.policy_epoch ||
+              (rsp.cacheable &&
+               (parsed_rsp->cache_scope != rsp.cache_scope ||
+                parsed_rsp->cache_ttl_ms != rsp.cache_ttl_ms)))) {
+      std::printf("CACHE-BLOCK ROUND-TRIP FAILURE at %d\n", i);
+      return 1;
+    }
     round_trips += 2;
   }
   std::printf("\nRound-trip sweep: %d encode/parse cycles, 0 failures.\n",
               round_trips);
-  std::printf("Wire sizes match the paper: request %zu B, response >= %zu B.\n",
-              shim::kRequestShimSize, shim::kResponseShimMinSize);
+  std::printf("Wire sizes match the paper: request %zu B, response >= %zu B "
+              "(v3: >= %zu B).\n",
+              shim::kRequestShimSize, shim::kResponseShimMinSize,
+              shim::kResponseShimV3MinSize);
   return 0;
 }

@@ -76,7 +76,8 @@ int cmd_summary(const std::string& dir) {
                 static_cast<unsigned long long>(flow.packets),
                 static_cast<unsigned long long>(flow.bytes));
     if (flow.has_verdict) {
-      std::printf("  %s", shim::verdict_name(flow.verdict));
+      std::printf("  %s [%s]", shim::verdict_name(flow.verdict),
+                  flow.verdict_cached ? "cached" : "shim");
       if (!flow.policy_name.empty())
         std::printf(" (policy %s)", flow.policy_name.c_str());
     }
@@ -172,7 +173,7 @@ int cmd_selftest(const std::string& dir) {
   tap.annotate({pkt::FlowProto::kTcp, {inmate, 1234}, {web, 80}}, 0,
                shim::Verdict::kRewrite, "botdl");
   tap.annotate({pkt::FlowProto::kTcp, {inmate, 2345}, {sink, 25}}, 0,
-               shim::Verdict::kRedirect, "spam");
+               shim::Verdict::kRedirect, "spam", /*cached=*/true);
 
   if (tap.archive().evicted_segments() == 0) {
     std::fprintf(stderr, "selftest: expected rotation to evict segments\n");
@@ -200,8 +201,14 @@ int cmd_selftest(const std::string& dir) {
   const auto* flow = loaded->index().find(
       {pkt::FlowProto::kTcp, {inmate, 1234}, {web, 80}}, 0);
   if (!flow || !flow->has_verdict ||
-      flow->verdict != shim::Verdict::kRewrite) {
+      flow->verdict != shim::Verdict::kRewrite || flow->verdict_cached) {
     std::fprintf(stderr, "selftest: verdict lost in round trip\n");
+    return 1;
+  }
+  const auto* spam_flow = loaded->index().find(
+      {pkt::FlowProto::kTcp, {inmate, 2345}, {sink, 25}}, 0);
+  if (!spam_flow || !spam_flow->verdict_cached) {
+    std::fprintf(stderr, "selftest: verdict source lost in round trip\n");
     return 1;
   }
 

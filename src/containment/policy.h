@@ -51,6 +51,25 @@ struct Decision {
   /// parameter block.
   std::optional<std::int64_t> limit_bytes_per_sec;
 
+  /// Gateway-side verdict caching (shim v3 cache block). Strictly
+  /// opt-in via cached(): a decision that depends on per-flow state or
+  /// has side effects (sink hints, one-shot exemptions) must stay
+  /// non-cacheable, and kRewrite can never be cached — the containment
+  /// server must stay in-path.
+  bool cacheable = false;
+  shim::CacheScope cache_scope = shim::CacheScope::kExactFlow;
+  /// 0: the gateway's configured default TTL applies.
+  std::uint32_t cache_ttl_ms = 0;
+
+  /// Fluent opt-in: mark this decision cacheable at the given scope.
+  /// Ignored (containment server refuses the flag) on kRewrite.
+  Decision cached(shim::CacheScope scope, std::uint32_t ttl_ms = 0) && {
+    cacheable = true;
+    cache_scope = scope;
+    cache_ttl_ms = ttl_ms;
+    return std::move(*this);
+  }
+
   static Decision forward() { return {shim::Verdict::kForward, {}, ""}; }
   static Decision drop(std::string why = "") {
     return {shim::Verdict::kDrop, {}, std::move(why)};

@@ -270,6 +270,10 @@ void ContainmentServer::configure(const ContainmentConfig& config,
     env_.services[name] = endpoint;
   if (!env_.samples) env_.samples = &samples_;
 
+  // Every (re)configuration starts a new policy generation: verdicts the
+  // gateway cached under the previous configuration must stop matching.
+  ++policy_epoch_;
+
   policies_.clear();
   infections_.clear();
   for (const auto& binding : config.bindings) {
@@ -321,6 +325,19 @@ std::optional<std::string> ContainmentServer::next_sample_name(
     return name;
   }
   return std::nullopt;
+}
+
+void ContainmentServer::fill_cache_block(shim::ResponseShim& response,
+                                         const Decision& decision) const {
+  response.policy_epoch = policy_epoch_;
+  if (!decision.cacheable) return;
+  if (decision.verdict == shim::Verdict::kRewrite) {
+    GQ_WARN(kLog, "policy marked a REWRITE decision cacheable; refusing");
+    return;
+  }
+  response.cacheable = true;
+  response.cache_scope = decision.cache_scope;
+  response.cache_ttl_ms = decision.cache_ttl_ms;
 }
 
 std::shared_ptr<Policy> ContainmentServer::policy_for(std::uint16_t vlan) {
@@ -417,6 +434,7 @@ void ContainmentServer::on_inmate_data(std::shared_ptr<Session> session,
         response.verdict = shim::Verdict::kDrop;
         response.policy_name = "OverloadShed";
         response.annotation = "decision queue full";
+        response.policy_epoch = policy_epoch_;
         session->inmate->send(response.encode());
         session->inmate->close();
         CsEvent event;
@@ -450,6 +468,7 @@ void ContainmentServer::finish_tcp_decision(
       session->policy ? session->policy->name() : "DefaultDeny";
   response.annotation = decision.annotation;
   response.limit_bytes_per_sec = decision.limit_bytes_per_sec;
+  fill_cache_block(response, decision);
   session->inmate->send(response.encode());
 
   if (decision.verdict == shim::Verdict::kRewrite && session->handler) {
@@ -522,6 +541,7 @@ void ContainmentServer::on_udp(util::Endpoint from,
         response.verdict = shim::Verdict::kDrop;
         response.policy_name = "OverloadShed";
         response.annotation = "decision queue full";
+        response.policy_epoch = policy_epoch_;
         udp_sock_->send_to(from, response.encode());
         CsEvent event;
         event.kind = CsEvent::Kind::kFlowDecision;
@@ -565,6 +585,7 @@ void ContainmentServer::finish_udp_decision(util::Endpoint from,
   response.policy_name = policy ? policy->name() : "DefaultDeny";
   response.annotation = decision.annotation;
   response.limit_bytes_per_sec = decision.limit_bytes_per_sec;
+  fill_cache_block(response, decision);
   auto reply = response.encode();
 
   if (decision.verdict == shim::Verdict::kRewrite && policy) {

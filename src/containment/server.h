@@ -139,6 +139,10 @@ class ContainmentServer : public PolicyServices {
   std::optional<std::string> next_sample_name(std::uint16_t vlan);
 
   [[nodiscard]] SampleLibrary& samples() { return samples_; }
+  /// Monotonically increasing policy generation, bumped by every
+  /// configure(). Carried in each v3 response shim so the gateway can
+  /// invalidate cached verdicts from older policy configurations.
+  [[nodiscard]] std::uint64_t policy_epoch() const { return policy_epoch_; }
   [[nodiscard]] std::uint64_t flows_decided() const { return flows_decided_; }
   [[nodiscard]] std::uint64_t rewrites_active() const {
     return rewrites_active_;
@@ -164,6 +168,11 @@ class ContainmentServer : public PolicyServices {
   /// is full and the policy says to refuse.
   void submit_decision(std::function<void()> run, std::function<void()> refuse);
   void drain_decisions();
+  /// Stamp the v3 cache block onto an outgoing response: the current
+  /// policy epoch plus the decision's cacheability — which is refused
+  /// for kRewrite (the server must stay in-path to proxy the flow).
+  void fill_cache_block(shim::ResponseShim& response,
+                        const Decision& decision) const;
   std::shared_ptr<Policy> policy_for(std::uint16_t vlan);
   Decision decide(FlowInfo& info, std::shared_ptr<Policy>& policy_out,
                   std::unique_ptr<RewriteHandler>* handler_out);
@@ -223,6 +232,7 @@ class ContainmentServer : public PolicyServices {
 
   std::uint64_t flows_decided_ = 0;
   std::uint64_t rewrites_active_ = 0;
+  std::uint64_t policy_epoch_ = 0;
 };
 
 }  // namespace gq::cs

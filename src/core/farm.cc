@@ -53,6 +53,22 @@ Farm::Farm(FarmOptions options)
   reporter_.attach(telemetry_.bus());
   reporter_.set_blacklist(&cbl_);
 
+  // An inmate that is reverted or terminated invalidates every verdict
+  // the gateway cached for its VLAN: the machine (and whatever policy
+  // state its flows accumulated) no longer exists. REBOOT keeps the
+  // same disk image, so its cached verdicts stay valid.
+  telemetry_.bus().subscribe(
+      obs::FarmEvent::Kind::kTriggerFired, [this](const obs::FarmEvent& ev) {
+        if (ev.trigger_action != "REVERT" && ev.trigger_action != "TERMINATE")
+          return;
+        for (auto& subfarm : subfarms_) {
+          if (subfarm->name() == ev.subfarm) {
+            subfarm->router().flush_cache_vlan(ev.vlan);
+            break;
+          }
+        }
+      });
+
   // The inmate controller (§5.5) — conceptually on the gateway; hosted
   // on a dedicated management host here.
   controller_host_ = &add_mgmt_host("inmate-controller");
@@ -238,6 +254,10 @@ void Subfarm::configure_containment(const std::string& config_text) {
   // Service sections in the file override/add to programmatic ones.
   cs_->configure(config, env_);
   for (auto& extra : extra_cs_) extra->configure(config, env_);
+  // A reconfiguration bumps the policy epoch; tell the router directly
+  // so cached verdicts from the previous policy set die immediately
+  // (not just lazily, when the next response shim carries the epoch).
+  router_.on_policy_epoch(cs_->policy_epoch());
   if (auto it = config.services.find("autoinfect");
       it != config.services.end()) {
     autoinfect_ = it->second;

@@ -94,6 +94,21 @@ struct SubfarmConfig {
   util::Duration shim_retry_max = util::seconds(8);
   int shim_retry_limit = 6;
 
+  // --- Gateway-side verdict cache -------------------------------------
+  // Verdicts the containment server marks cacheable (shim v3) are kept
+  // in a per-subfarm LRU and repeat flows are resolved locally, without
+  // a shim round trip. Entirely policy-driven: with no cacheable
+  // decisions the cache only ever counts misses.
+
+  /// Master switch for consulting/populating the verdict cache.
+  bool verdict_cache_enabled = true;
+
+  /// LRU bound on cached entries.
+  std::size_t verdict_cache_capacity = 4096;
+
+  /// TTL applied when a cacheable response carries cache_ttl_ms == 0.
+  util::Duration verdict_cache_default_ttl = util::seconds(60);
+
   [[nodiscard]] bool owns_vlan(std::uint16_t vlan) const {
     return vlan >= vlan_first && vlan <= vlan_last;
   }

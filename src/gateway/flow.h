@@ -94,6 +94,11 @@ struct Flow {
   std::uint64_t verdict_deadline_event = 0;
   bool fail_closed = false;
 
+  /// The verdict came from the gateway's verdict cache: no CS leg
+  /// exists for this flow (no redirect, no request shim, synthetic
+  /// handshake state), so CS-leg teardown must be skipped.
+  bool verdict_from_cache = false;
+
   // Response-shim extraction: in-order reassembly of the CS->inmate
   // stream prefix.
   std::vector<std::uint8_t> cs_in_buf;
@@ -145,6 +150,10 @@ struct FlowEvent {
   std::optional<std::int64_t> limit_bytes_per_sec;
   std::uint64_t bytes_to_server = 0;
   std::uint64_t bytes_to_inmate = 0;
+  /// kVerdict: where the verdict came from (gateway cache vs a CS shim
+  /// round trip; fail-closed verdicts count as "shim" — they are not
+  /// cache hits).
+  bool verdict_cached = false;
 };
 
 using FlowEventHandler = std::function<void(const FlowEvent&)>;

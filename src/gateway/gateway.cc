@@ -142,7 +142,7 @@ void Gateway::emit_raw(const RawEgress& egress,
     case RawEgress::Leg::kInmate:
       // Inmate-side trace is recorded untagged (internal perspective,
       // §5.6), exactly like the slow path's emit_to_inmate.
-      egress.subfarm->trace().record(loop_.now(), bytes);
+      egress.subfarm->trace().record(loop_.now(), bytes, egress.vlan);
       pkt::insert_vlan_tag(bytes, egress.vlan);
       inmate_port_.transmit(sim::Frame{std::move(bytes)});
       return;
@@ -171,7 +171,7 @@ void Gateway::emit_to_inmate(std::uint16_t vlan, util::MacAddr dst_mac,
   frame.eth.vlan.reset();
   // Record the inmate-side trace untagged (internal perspective, §5.6).
   if (auto* subfarm = subfarm_for_vlan(vlan)) {
-    subfarm->trace().record(loop_.now(), frame.encode());
+    subfarm->trace().record(loop_.now(), frame.encode(), vlan);
   }
   frame.eth.vlan = vlan;
   inmate_port_.transmit(sim::Frame{frame.encode()});
@@ -268,7 +268,7 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
   if (fast_path_ && subfarm->fast_from_inmate(vlan, raw.bytes)) return;
   auto frame = pkt::decode_frame(raw.bytes);
   if (!frame) return;
-  subfarm->trace().record(loop_.now(), frame->encode());
+  subfarm->trace().record(loop_.now(), frame->encode(), vlan);
 
   if (frame->arp) {
     const auto& arp = *frame->arp;
@@ -319,7 +319,7 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
       out.ip->src = subfarm->inmates().gateway_internal();
       out.ip->dst = util::Ipv4Addr(255, 255, 255, 255);
       out.udp = pkt::UdpDatagram{67, 68, reply->encode()};
-      subfarm->trace().record(loop_.now(), out.encode());
+      subfarm->trace().record(loop_.now(), out.encode(), vlan);
       out.eth.vlan = vlan;
       inmate_port_.transmit(sim::Frame{out.encode()});
     }

@@ -60,6 +60,7 @@ obs::FarmEvent to_farm_event(const FlowEvent& event) {
   out.limit_bytes_per_sec = event.limit_bytes_per_sec;
   out.bytes_to_server = event.bytes_to_server;
   out.bytes_to_inmate = event.bytes_to_inmate;
+  out.verdict_cached = event.verdict_cached;
   return out;
 }
 
@@ -95,6 +96,7 @@ std::optional<FlowEvent> to_flow_event(const obs::FarmEvent& event) {
   out.limit_bytes_per_sec = event.limit_bytes_per_sec;
   out.bytes_to_server = event.bytes_to_server;
   out.bytes_to_inmate = event.bytes_to_inmate;
+  out.verdict_cached = event.verdict_cached;
   return out;
 }
 
@@ -137,13 +139,31 @@ SubfarmRouter::SubfarmRouter(Gateway& gateway, SubfarmConfig config)
   verdict_timeouts_ctr_ = &metrics.counter(prefix + "verdict_timeouts");
   fail_closed_ctr_ = &metrics.counter(prefix + "fail_closed");
   pending_verdicts_gauge_ = &metrics.gauge(prefix + "pending_verdicts");
+  cache_hit_ctr_ = &metrics.counter(prefix + "cache_hit");
+  cache_miss_ctr_ = &metrics.counter(prefix + "cache_miss");
+  cache_insert_ctr_ = &metrics.counter(prefix + "cache_insert");
+  cache_evict_ctr_ = &metrics.counter(prefix + "cache_evict");
+  cache_expire_ctr_ = &metrics.counter(prefix + "cache_expire");
+  cache_flush_ctr_ = &metrics.counter(prefix + "cache_flush");
+  cache_bypass_ctr_ = &metrics.counter(prefix + "cache_bypass");
+  decision_latency_cached_hist_ =
+      &metrics.histogram(prefix + "decision_latency_cached_us");
+  decision_latency_uncached_hist_ =
+      &metrics.histogram(prefix + "decision_latency_uncached_us");
+  // Per-verdict counters are resolved here, once, rather than by
+  // rebuilding "gw.<subfarm>.verdicts.<name>" for every verdict applied.
+  for (std::uint32_t v = 1; v <= verdict_ctrs_.size(); ++v) {
+    verdict_ctrs_[v - 1] = &metrics.counter(
+        prefix + "verdicts." +
+        shim::verdict_name(static_cast<shim::Verdict>(v)));
+  }
+  verdict_cache_ = VerdictCache(config_.verdict_cache_capacity);
   // Periodic flow garbage collection.
   gateway_.loop().schedule_in(util::seconds(5), [this] { gc_sweep(); });
 }
 
 obs::Counter& SubfarmRouter::verdict_counter(shim::Verdict verdict) {
-  return gateway_.telemetry().metrics().counter(
-      "gw." + config_.name + ".verdicts." + shim::verdict_name(verdict));
+  return *verdict_ctrs_[static_cast<std::uint32_t>(verdict) - 1];
 }
 
 SubfarmRouter::~SubfarmRouter() = default;
@@ -154,6 +174,33 @@ void SubfarmRouter::set_fail_closed(shim::Verdict verdict,
   config_.fail_closed_verdict = verdict;
   if (deadline.usec > 0) config_.verdict_deadline = deadline;
   config_.fail_closed_reflect_target = reflect_target;
+}
+
+void SubfarmRouter::on_policy_epoch(std::uint64_t epoch) {
+  if (epoch <= cache_epoch_) return;
+  cache_epoch_ = epoch;
+  const std::size_t dropped = verdict_cache_.flush();
+  if (dropped > 0) cache_flush_ctr_->inc(dropped);
+  GQ_INFO(kLog, "[%s] policy epoch %llu: verdict cache flushed (%zu)",
+          config_.name.c_str(),
+          static_cast<unsigned long long>(epoch), dropped);
+}
+
+void SubfarmRouter::flush_cache_vlan(std::uint16_t vlan) {
+  const std::size_t dropped = verdict_cache_.flush_vlan(vlan);
+  if (dropped > 0) {
+    cache_flush_ctr_->inc(dropped);
+    GQ_INFO(kLog, "[%s] vlan %u revert/terminate: %zu cached verdicts dropped",
+            config_.name.c_str(), vlan, dropped);
+  }
+}
+
+void SubfarmRouter::set_verdict_cache_enabled(bool enabled) {
+  if (config_.verdict_cache_enabled && !enabled) {
+    const std::size_t dropped = verdict_cache_.flush();
+    if (dropped > 0) cache_flush_ctr_->inc(dropped);
+  }
+  config_.verdict_cache_enabled = enabled;
 }
 
 bool SubfarmRouter::is_internal(util::Ipv4Addr addr) const {
@@ -182,6 +229,7 @@ void SubfarmRouter::report(const Flow& flow, FlowEvent::Kind kind) {
   event.limit_bytes_per_sec = flow.limit_bytes_per_sec;
   event.bytes_to_server = flow.bytes_to_server;
   event.bytes_to_inmate = flow.bytes_to_inmate;
+  event.verdict_cached = flow.verdict_from_cache;
   gateway_.telemetry().publish(to_farm_event(event));
 }
 
@@ -312,7 +360,7 @@ bool SubfarmRouter::fast_from_inmate(std::uint16_t /*vlan*/,
   if (!egress) return false;
 
   // Committed. Ingress trace first (pre-rewrite, like the slow path).
-  trace_.record(gateway_.loop().now(), bytes);
+  trace_.record(gateway_.loop().now(), bytes, flow.vlan);
   frames_from_inmates_ctr_->inc();
   flow.last_activity = gateway_.loop().now();
   const std::uint32_t payload_len = view->payload_len();
@@ -457,6 +505,25 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
   }
   safety_admits_ctr_->inc();
 
+  // Verdict-cache consult (after the safety filter: cached FORWARD /
+  // LIMIT verdicts stay subject to the connection-rate caps). A live
+  // entry resolves the flow right here — no redirect, no shim round
+  // trip, no containment-server occupancy.
+  std::optional<CachedVerdict> cached;
+  if (config_.verdict_cache_enabled) {
+    std::uint64_t expired = 0;
+    if (const CachedVerdict* entry =
+            verdict_cache_.lookup(key.proto, vlan, key.src, key.dst, now,
+                                  &expired)) {
+      cached = *entry;
+    }
+    if (expired > 0) cache_expire_ctr_->inc(expired);
+    if (cached)
+      cache_hit_ctr_->inc();
+    else
+      cache_miss_ctr_->inc();
+  }
+
   auto flow = std::make_shared<Flow>();
   flow->proto = key.proto;
   flow->vlan = vlan;
@@ -471,6 +538,11 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
   flows_[key] = flow;
   flows_created_ctr_->inc();
   active_flows_gauge_->set(static_cast<std::int64_t>(flows_.size()));
+
+  if (cached) {
+    serve_cached_verdict(flow, *cached, frame);
+    return;
+  }
 
   // All new flows funnel into the CS's single listening endpoint, so two
   // concurrent flows from the same inmate source port (to different
@@ -502,6 +574,49 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
     gateway_.emit_to_mgmt(std::move(frame));
   } else {
     udp_from_inmate(*flow, frame);
+  }
+}
+
+void SubfarmRouter::serve_cached_verdict(const FlowPtr& flow,
+                                         const CachedVerdict& entry,
+                                         pkt::DecodedFrame& frame) {
+  Flow& f = *flow;
+  f.verdict_from_cache = true;
+  f.cs_src = f.inmate_ep;  // No CS leg: never remapped, never indexed.
+  // Symmetric with the miss path: the flow joins the pending-verdict
+  // gauge so verdict_resolved()'s decrement balances, but no deadline
+  // is armed — the verdict is already in hand.
+  pending_verdicts_gauge_->add(1);
+
+  shim::ResponseShim synthesized;
+  synthesized.orig = f.inmate_ep;
+  synthesized.resp = entry.resp;
+  synthesized.verdict = entry.verdict;
+  synthesized.policy_name = entry.policy_name;
+  synthesized.annotation = entry.annotation;
+  synthesized.limit_bytes_per_sec = entry.limit_bytes_per_sec;
+  synthesized.policy_epoch = cache_epoch_;
+
+  if (f.proto == pkt::FlowProto::kTcp) {
+    f.inmate_isn = frame.tcp->seq;
+    f.inmate_snd_nxt = frame.tcp->seq + 1;
+    // The router plays the server's side of the handshake with a
+    // synthetic ISN; the splice machinery then treats it exactly like a
+    // CS ISN (the inmate believes the server's ISN is this one, and
+    // d_in = cs_isn - server_isn maps the real target underneath it).
+    f.cs_isn = static_cast<std::uint32_t>(rng_.next());
+    f.cs_isn_known = true;
+    f.cs_in_expected = f.cs_isn + 1;
+    if (entry.verdict != shim::Verdict::kDrop) {
+      emit_tcp(f.orig_dst, f.inmate_ep, pkt::kTcpSyn | pkt::kTcpAck,
+               f.cs_isn, f.inmate_isn + 1, {});
+    }
+    apply_verdict(f, synthesized);
+  } else {
+    apply_udp_verdict(f, synthesized, {});
+    // Deliver the datagram that opened the flow through the now-decided
+    // flow state (forwarded, limited, redirected — or silently dropped).
+    udp_from_inmate(f, frame);
   }
 }
 
@@ -873,14 +988,19 @@ void SubfarmRouter::apply_verdict(Flow& flow,
   flow.policy_name = shim.policy_name;
   flow.annotation = shim.annotation;
   flow.limit_bytes_per_sec = shim.limit_bytes_per_sec;
-  decision_latency_hist_->observe(static_cast<double>(
-      (gateway_.loop().now() - flow.created).usec));
+  const double latency_us = static_cast<double>(
+      (gateway_.loop().now() - flow.created).usec);
+  decision_latency_hist_->observe(latency_us);
+  (flow.verdict_from_cache ? decision_latency_cached_hist_
+                           : decision_latency_uncached_hist_)
+      ->observe(latency_us);
   verdict_counter(shim.verdict).inc();
+  maybe_cache_verdict(flow, shim);
   // Link the verdict into the trace archive's flow index: the flow's
   // packets were captured pre-NAT, so the canonical index key is the
   // inmate's original (inmate_ep -> orig_dst) direction.
   trace_.annotate({flow.proto, flow.inmate_ep, flow.orig_dst}, flow.vlan,
-                  shim.verdict, shim.policy_name);
+                  shim.verdict, shim.policy_name, flow.verdict_from_cache);
   GQ_INFO(kLog, "[%s] vlan %u %s -> %s: %s (%s)", config_.name.c_str(),
           flow.vlan, flow.inmate_ep.str().c_str(),
           flow.orig_dst.str().c_str(), shim::verdict_name(shim.verdict),
@@ -910,19 +1030,63 @@ void SubfarmRouter::apply_verdict(Flow& flow,
       break;
     case shim::Verdict::kDrop:
       flow.phase = FlowPhase::kDenied;
-      send_rst_to_cs(flow);
+      if (!flow.verdict_from_cache) send_rst_to_cs(flow);
       if (config_.drop_sends_rst) send_rst_to_inmate(flow);
       break;
   }
   report(flow, FlowEvent::Kind::kVerdict);
 }
 
+void SubfarmRouter::maybe_cache_verdict(const Flow& flow,
+                                        const shim::ResponseShim& shim) {
+  // Only genuine CS responses drive the cache; verdicts synthesized
+  // locally (fail-closed) or replayed from the cache itself never do.
+  if (flow.fail_closed || flow.verdict_from_cache) return;
+  // Every CS response carries the policy epoch: a bump means the policy
+  // set was reconfigured, so everything cached under the old set is
+  // invalid — flush before considering this response for insertion.
+  on_policy_epoch(shim.policy_epoch);
+  if (!config_.verdict_cache_enabled || !shim.cacheable) return;
+  if (shim.verdict == shim::Verdict::kRewrite) {
+    // Defence in depth: the CS already refuses to mark REWRITE
+    // cacheable. A cached REWRITE would sever the CS's in-path proxy
+    // role, so it is never inserted regardless of the shim's flags.
+    cache_bypass_ctr_->inc();
+    return;
+  }
+  if (shim.policy_epoch < cache_epoch_) {
+    cache_bypass_ctr_->inc();  // Decided under an older policy set.
+    return;
+  }
+  CachedVerdict entry;
+  entry.verdict = shim.verdict;
+  entry.resp = shim.resp;
+  entry.policy_name = shim.policy_name;
+  entry.annotation = shim.annotation;
+  entry.limit_bytes_per_sec = shim.limit_bytes_per_sec;
+  const util::Duration ttl = shim.cache_ttl_ms > 0
+                                 ? util::milliseconds(shim.cache_ttl_ms)
+                                 : config_.verdict_cache_default_ttl;
+  entry.expires = gateway_.loop().now() + ttl;
+  const std::size_t evicted =
+      verdict_cache_.insert(flow.proto, flow.vlan, flow.inmate_ep,
+                            flow.orig_dst, shim.cache_scope,
+                            std::move(entry));
+  cache_insert_ctr_->inc();
+  if (evicted > 0) cache_evict_ctr_->inc(evicted);
+}
+
 void SubfarmRouter::start_splice(Flow& flow) {
   flow.phase = FlowPhase::kSplicing;
-  send_rst_to_cs(flow);
-  // Re-home the server-side index from the CS to the actual target.
-  server_index_.erase(
-      {flow.proto, flow.cs_ep, flow.cs_src});
+  // Cache-resolved flows have no CS leg to tear down — and their
+  // cs_src was never remapped, so the CS-leg key could name another
+  // flow's live entry.
+  if (!flow.verdict_from_cache) {
+    send_rst_to_cs(flow);
+    // Re-home the server-side index from the CS to the actual target.
+    server_index_.erase(
+        {flow.proto, flow.cs_ep, flow.cs_src});
+  }
   const util::Endpoint nat_src = nat_source_for(flow, flow.server_ep);
   server_index_[{flow.proto, flow.server_ep, nat_src}] =
       flows_.at({flow.proto, flow.inmate_ep, flow.orig_dst});
@@ -1171,16 +1335,20 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
   flow.annotation = shim.annotation;
   flow.limit_bytes_per_sec = shim.limit_bytes_per_sec;
   const auto now = gateway_.loop().now();
-  decision_latency_hist_->observe(
-      static_cast<double>((now - flow.created).usec));
+  const double latency_us = static_cast<double>((now - flow.created).usec);
+  decision_latency_hist_->observe(latency_us);
+  (flow.verdict_from_cache ? decision_latency_cached_hist_
+                           : decision_latency_uncached_hist_)
+      ->observe(latency_us);
   if (flow.req_shim_sent && !flow.req_shim_acked) {
     flow.req_shim_acked = true;
     shim_rtt_hist_->observe(
         static_cast<double>((now - flow.req_shim_sent_at).usec));
   }
   verdict_counter(shim.verdict).inc();
+  maybe_cache_verdict(flow, shim);
   trace_.annotate({flow.proto, flow.inmate_ep, flow.orig_dst}, flow.vlan,
-                  shim.verdict, shim.policy_name);
+                  shim.verdict, shim.policy_name, flow.verdict_from_cache);
 
   switch (shim.verdict) {
     case shim::Verdict::kRewrite: {
@@ -1209,8 +1377,12 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
       }
       flow.server_is_cs = false;
       flow.phase = FlowPhase::kEstablished;
-      server_index_.erase(
-          {flow.proto, flow.cs_ep, flow.cs_src});
+      // Same CS-leg caveat as start_splice(): a cache-resolved flow was
+      // never indexed under its cs_src.
+      if (!flow.verdict_from_cache) {
+        server_index_.erase(
+            {flow.proto, flow.cs_ep, flow.cs_src});
+      }
       const util::Endpoint nat_src = nat_source_for(flow, flow.server_ep);
       server_index_[{flow.proto, flow.server_ep, nat_src}] =
           flows_.at({flow.proto, flow.inmate_ep, flow.orig_dst});
@@ -1324,8 +1496,10 @@ void SubfarmRouter::close_flow(Flow& flow) {
     gateway_.release_nonce(flow.nonce_port);
     flow.nonce_port = 0;
   }
-  server_index_.erase(
-      {flow.proto, flow.cs_ep, flow.cs_src});
+  if (!flow.verdict_from_cache) {
+    server_index_.erase(
+        {flow.proto, flow.cs_ep, flow.cs_src});
+  }
   server_index_.erase({flow.proto, flow.server_ep,
                        nat_source_for(flow, flow.server_ep)});
   flows_.erase({flow.proto, flow.inmate_ep, flow.orig_dst});

@@ -8,6 +8,7 @@
 // trace recording, and flow garbage collection.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 #include "gateway/flow.h"
 #include "gateway/inmate_table.h"
 #include "gateway/safety.h"
+#include "gateway/verdict_cache.h"
 #include "obs/telemetry.h"
 #include "packet/frame.h"
 #include "trace/tap.h"
@@ -93,6 +95,27 @@ class SubfarmRouter {
   void set_fail_closed(shim::Verdict verdict, util::Duration deadline,
                        util::Endpoint reflect_target = {});
 
+  // --- Verdict cache (tentpole) ----------------------------------------
+  /// The containment server's policy set changed (config reload): any
+  /// epoch newer than the one the cache was filled under flushes it
+  /// wholesale. Also invoked inline when a response shim carries a
+  /// newer epoch than we have seen.
+  void on_policy_epoch(std::uint64_t epoch);
+  /// An inmate was reverted or terminated: its VLAN's cached verdicts
+  /// describe a machine that no longer exists. Drop them.
+  void flush_cache_vlan(std::uint16_t vlan);
+  /// Runtime toggle (benchmarks, A/B comparison). Disabling flushes.
+  void set_verdict_cache_enabled(bool enabled);
+  [[nodiscard]] const VerdictCache& verdict_cache() const {
+    return verdict_cache_;
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hit_ctr_->value();
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    return cache_miss_ctr_->value();
+  }
+
  private:
   struct NonceRelay {
     util::Endpoint cs_ep;       // CS's source for this leg.
@@ -140,6 +163,18 @@ class SubfarmRouter {
   void apply_udp_verdict(Flow& flow, const shim::ResponseShim& shim,
                          std::span<const std::uint8_t> remainder);
 
+  // --- Verdict cache ------------------------------------------------------
+  /// Resolve a brand-new flow from a cache hit: synthesize the response
+  /// shim the CS would have sent and run it through the normal verdict
+  /// machinery. For TCP the router also plays the server's side of the
+  /// handshake (SYN-ACK with a synthetic ISN) — no CS leg ever exists.
+  void serve_cached_verdict(const FlowPtr& flow, const CachedVerdict& entry,
+                            pkt::DecodedFrame& frame);
+  /// Insert a genuine CS verdict into the cache when the policy marked
+  /// it cacheable (and it is not REWRITE / stale-epoch), and advance
+  /// the cache epoch from the shim.
+  void maybe_cache_verdict(const Flow& flow, const shim::ResponseShim& shim);
+
   // --- Helpers --------------------------------------------------------------
   /// NAT source the server side should see for this flow's server.
   util::Endpoint nat_source_for(const Flow& flow,
@@ -180,6 +215,29 @@ class SubfarmRouter {
   obs::Counter* verdict_timeouts_ctr_ = nullptr;
   obs::Counter* fail_closed_ctr_ = nullptr;
   obs::Gauge* pending_verdicts_gauge_ = nullptr;
+  // Verdict-cache observability, plus the decision-latency histogram
+  // split by verdict source (the combined histogram above stays for
+  // backward compatibility with existing consumers).
+  obs::Counter* cache_hit_ctr_ = nullptr;
+  obs::Counter* cache_miss_ctr_ = nullptr;
+  obs::Counter* cache_insert_ctr_ = nullptr;
+  obs::Counter* cache_evict_ctr_ = nullptr;
+  obs::Counter* cache_expire_ctr_ = nullptr;
+  obs::Counter* cache_flush_ctr_ = nullptr;
+  obs::Counter* cache_bypass_ctr_ = nullptr;
+  obs::Histogram* decision_latency_cached_hist_ = nullptr;
+  obs::Histogram* decision_latency_uncached_hist_ = nullptr;
+  // Per-verdict counters, resolved once at construction and indexed by
+  // (verdict - 1). Replaces per-event name concatenation + registry
+  // lookup on the verdict hot path.
+  std::array<obs::Counter*, 6> verdict_ctrs_{};
+
+  // Gateway-side verdict cache (tentpole): repeat flows matching a
+  // cacheable decision are resolved here, without a CS round trip.
+  VerdictCache verdict_cache_{0};
+  /// Highest containment-policy epoch observed (from response shims or
+  /// on_policy_epoch()); entries cached under older epochs are flushed.
+  std::uint64_t cache_epoch_ = 0;
 
   // Flow table, keyed by the inmate-side original flow. All per-frame
   // lookup tables are hash maps: the datapath does several lookups per

@@ -1,0 +1,103 @@
+#include "gateway/verdict_cache.h"
+
+namespace gq::gw {
+
+VerdictCache::Key VerdictCache::make_key(pkt::FlowProto proto,
+                                         std::uint16_t vlan,
+                                         util::Endpoint src,
+                                         util::Endpoint dst,
+                                         shim::CacheScope scope) {
+  Key key;
+  key.proto = proto;
+  key.vlan = vlan;
+  key.scope = scope;
+  switch (scope) {
+    case shim::CacheScope::kExactFlow:
+      key.src = src;
+      key.dst = dst;
+      break;
+    case shim::CacheScope::kDstEndpoint:
+      key.dst = dst;
+      break;
+    case shim::CacheScope::kDstPort:
+      key.dst.port = dst.port;
+      break;
+  }
+  return key;
+}
+
+const CachedVerdict* VerdictCache::probe(const Key& key, util::TimePoint now,
+                                         std::uint64_t* expired) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  if (it->second->second.expires <= now) {
+    lru_.erase(it->second);
+    map_.erase(it);
+    if (expired) ++*expired;
+    return nullptr;
+  }
+  // LRU refresh: move to front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+const CachedVerdict* VerdictCache::lookup(pkt::FlowProto proto,
+                                          std::uint16_t vlan,
+                                          util::Endpoint src,
+                                          util::Endpoint dst,
+                                          util::TimePoint now,
+                                          std::uint64_t* expired) {
+  for (const auto scope :
+       {shim::CacheScope::kExactFlow, shim::CacheScope::kDstEndpoint,
+        shim::CacheScope::kDstPort}) {
+    if (const auto* entry =
+            probe(make_key(proto, vlan, src, dst, scope), now, expired))
+      return entry;
+  }
+  return nullptr;
+}
+
+std::size_t VerdictCache::insert(pkt::FlowProto proto, std::uint16_t vlan,
+                                 util::Endpoint src, util::Endpoint dst,
+                                 shim::CacheScope scope,
+                                 CachedVerdict entry) {
+  if (capacity_ == 0) return 0;
+  const Key key = make_key(proto, vlan, src, dst, scope);
+  if (auto it = map_.find(key); it != map_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  std::size_t evicted = 0;
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    evicted = 1;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  map_[key] = lru_.begin();
+  return evicted;
+}
+
+std::size_t VerdictCache::flush() {
+  const std::size_t dropped = map_.size();
+  map_.clear();
+  lru_.clear();
+  return dropped;
+}
+
+std::size_t VerdictCache::flush_vlan(std::uint16_t vlan) {
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.vlan == vlan) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace gq::gw

@@ -59,6 +59,9 @@ struct FarmEvent {
   std::optional<std::int64_t> limit_bytes_per_sec;  ///< LIMIT parameter.
   std::uint64_t bytes_to_server = 0;
   std::uint64_t bytes_to_inmate = 0;
+  /// kFlowVerdict: the verdict was served from the gateway's verdict
+  /// cache — the flow never reached the containment server.
+  bool verdict_cached = false;
 
   // kDhcpBind.
   util::Ipv4Addr inmate_internal;

@@ -23,6 +23,7 @@ void Reporter::on_event(const obs::FarmEvent& event) {
       auto& group =
           inmate.groups[GroupKey{event.verdict, event.annotation}];
       ++group.flows;
+      if (event.verdict_cached) ++group.cached;
       ++group.by_target[event.orig_dst];
       return;
     }
@@ -162,10 +163,16 @@ std::string Reporter::render(util::TimePoint now) const {
           if (stats.by_target.size() == 1)
             target = stats.by_target.begin()->first.addr.str();
         }
-        out += util::format("- %-34s target %-18s %-6s #flows %llu\n",
+        out += util::format("- %-34s target %-18s %-6s #flows %llu",
                             key.annotation.c_str(), target.c_str(),
                             port.c_str(),
                             static_cast<unsigned long long>(stats.flows));
+        if (stats.cached > 0) {
+          out += util::format(
+              " (%llu cached)",
+              static_cast<unsigned long long>(stats.cached));
+        }
+        out += "\n";
       }
       for (const auto& [sample, md5] : inmate.infections) {
         out += util::format("  autoinfection %s %s\n", md5.c_str(),
@@ -240,6 +247,8 @@ std::string Reporter::render(util::TimePoint now) const {
         std::string verdict = flow.has_verdict
                                   ? shim::verdict_name(flow.verdict)
                                   : std::string("-");
+        if (flow.has_verdict)
+          verdict += flow.verdict_cached ? " [cached]" : " [shim]";
         out += util::format(
             "  %s %s -> %s vlan %u  %llu pkts / %llu B  %s%s%s\n", proto,
             flow.key.src.str().c_str(), flow.key.dst.str().c_str(),

@@ -17,6 +17,14 @@
 // string-packed into the annotation ("rate=4096") and re-parsed by the
 // gateway; they are now first-class fields, and the annotation is purely
 // descriptive.
+//
+// Wire version 3 appends a 16-byte cache block to the response: a
+// cache-scope selector, a TTL, and the containment server's policy
+// epoch, letting the gateway cache resolved verdicts and admit repeat
+// flows without a shim round trip (the kParamCacheable flag in the
+// parameter block gates whether the verdict may be cached at all).
+// Parsers accept both versions; v2 responses are simply never
+// cacheable.
 #pragma once
 
 #include <cstdint>
@@ -45,16 +53,37 @@ const char* verdict_name(Verdict v);
 
 /// Magic number opening every shim message ("GQSH").
 inline constexpr std::uint32_t kShimMagic = 0x47515348;
-inline constexpr std::uint8_t kShimVersion = 2;
+/// Current wire version (encoders emit this); v2 is still parsed.
+inline constexpr std::uint8_t kShimVersion = 3;
+inline constexpr std::uint8_t kShimVersionV2 = 2;
 inline constexpr std::uint8_t kTypeRequest = 1;
 inline constexpr std::uint8_t kTypeResponse = 2;
 inline constexpr std::size_t kRequestShimSize = 24;
-/// Response layout: preamble (8) + four-tuple (12) + verdict (4) +
+/// v2 response layout: preamble (8) + four-tuple (12) + verdict (4) +
 /// policy name (32) + parameter block (12) = 68, then the annotation.
+/// This is also the floor any well-formed response must clear.
 inline constexpr std::size_t kResponseShimMinSize = 68;
+/// v3 appends the 16-byte cache block (scope u8, reserved u8+u16,
+/// ttl_ms u32, policy epoch u64) before the annotation.
+inline constexpr std::size_t kResponseShimV3MinSize = 84;
 inline constexpr std::size_t kPolicyNameSize = 32;
 /// Parameter-block flag bits.
 inline constexpr std::uint32_t kParamHasLimitRate = 0x1;
+/// The verdict may be cached by the gateway (v3 only). REWRITE verdicts
+/// must never carry this flag: the containment server stays in-path.
+inline constexpr std::uint32_t kParamCacheable = 0x2;
+
+/// How widely a cached verdict applies (v3 cache block). Chosen by the
+/// policy: exact repeat flows only, every flow to the same destination
+/// endpoint, or every flow to the same destination port (scan-class
+/// policies where the verdict depends on nothing but the service).
+enum class CacheScope : std::uint8_t {
+  kExactFlow = 0,    ///< Full four-tuple must match.
+  kDstEndpoint = 1,  ///< (dst addr, dst port, proto) must match.
+  kDstPort = 2,      ///< (dst port, proto) must match.
+};
+
+const char* cache_scope_name(CacheScope scope);
 
 /// Containment request shim: gateway -> containment server.
 struct RequestShim {
@@ -82,7 +111,25 @@ struct ResponseShim {
   std::optional<std::int64_t> limit_bytes_per_sec;
   std::string annotation;   ///< Purely descriptive context.
 
-  /// kResponseShimMinSize + annotation bytes.
+  // --- v3 cache block ---------------------------------------------------
+  /// The gateway may cache this verdict (kParamCacheable). Never set on
+  /// REWRITE verdicts. Always false when parsed from a v2 frame.
+  bool cacheable = false;
+  CacheScope cache_scope = CacheScope::kExactFlow;
+  /// Cache entry lifetime; 0 lets the gateway pick its configured default.
+  std::uint32_t cache_ttl_ms = 0;
+  /// The containment server's policy epoch at decision time. Carried on
+  /// every v3 response (cacheable or not) so the gateway can invalidate
+  /// stale cache generations lazily.
+  std::uint64_t policy_epoch = 0;
+
+  /// Wire version to encode as: kShimVersion (default) or kShimVersionV2
+  /// (compatibility paths and mixed-version tests; drops the cache
+  /// block). Set from the preamble on parse.
+  std::uint8_t wire_version = kShimVersion;
+
+  /// kResponseShimV3MinSize + annotation bytes (v2: kResponseShimMinSize
+  /// + annotation bytes).
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 
   /// Parse from the start of `data`. Returns nullopt if `data` does not

@@ -32,12 +32,13 @@ FlowRecord& FlowIndex::touch(const pkt::FlowKey& key, std::uint16_t vlan,
 
 bool FlowIndex::annotate(const pkt::FlowKey& key, std::uint16_t vlan,
                          shim::Verdict verdict,
-                         const std::string& policy_name) {
+                         const std::string& policy_name, bool cached) {
   FlowRecord* record = lookup(key, vlan);
   if (!record) return false;
   record->has_verdict = true;
   record->verdict = verdict;
   record->policy_name = policy_name;
+  record->verdict_cached = cached;
   return true;
 }
 

@@ -41,6 +41,9 @@ struct FlowRecord {
   bool has_verdict = false;
   shim::Verdict verdict = shim::Verdict::kDrop;
   std::string policy_name;
+  /// The verdict was served from the gateway's verdict cache rather
+  /// than a containment-server shim round trip.
+  bool verdict_cached = false;
 
   /// Archive location of every captured packet, capture order. Entries
   /// pointing into evicted segments stop resolving (extraction skips
@@ -57,8 +60,10 @@ class FlowIndex {
 
   /// Attach a containment verdict to a flow. Returns false when the
   /// flow was never captured (e.g. its packets all predate the index).
+  /// `cached` records the verdict's source (gateway cache vs CS shim).
   bool annotate(const pkt::FlowKey& key, std::uint16_t vlan,
-                shim::Verdict verdict, const std::string& policy_name);
+                shim::Verdict verdict, const std::string& policy_name,
+                bool cached = false);
 
   /// Bidirectional lookup: `key` or its reverse. nullptr when unknown.
   [[nodiscard]] const FlowRecord* find(const pkt::FlowKey& key,

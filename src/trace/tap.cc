@@ -73,7 +73,8 @@ void TraceTap::refresh_metrics() {
 }
 
 void TraceTap::record(util::TimePoint at,
-                      std::span<const std::uint8_t> frame) {
+                      std::span<const std::uint8_t> frame,
+                      std::uint16_t vlan_hint) {
   const Location loc = archive_.record(at, frame);
   // Index by flow key when the frame parses as TCP/UDP. FrameView wants
   // mutable bytes (it doubles as the rewrite engine), so parse a scratch
@@ -81,7 +82,7 @@ void TraceTap::record(util::TimePoint at,
   // append itself.
   scratch_.assign(frame.begin(), frame.end());
   if (const auto view = pkt::FrameView::parse(scratch_)) {
-    index_.touch(view->flow_key(), view->vlan().value_or(0), at,
+    index_.touch(view->flow_key(), view->vlan().value_or(vlan_hint), at,
                  frame.size(), loc);
   }
   refresh_metrics();
@@ -89,8 +90,8 @@ void TraceTap::record(util::TimePoint at,
 
 bool TraceTap::annotate(const pkt::FlowKey& key, std::uint16_t vlan,
                         shim::Verdict verdict,
-                        const std::string& policy_name) {
-  return index_.annotate(key, vlan, verdict, policy_name);
+                        const std::string& policy_name, bool cached) {
+  return index_.annotate(key, vlan, verdict, policy_name, cached);
 }
 
 std::vector<pkt::PcapRecord> TraceTap::extract_flow(
@@ -150,6 +151,10 @@ bool TraceTap::save(const std::string& dir) const {
       if (i) flows << ',';
       flows << flow.locations[i].segment << ':' << flow.locations[i].offset;
     }
+    // Verdict source, trailing so pre-cache readers stay compatible.
+    flows << '\t'
+          << (flow.has_verdict ? (flow.verdict_cached ? "cached" : "shim")
+                               : "-");
     flows << '\n';
   }
   return write_file(dir + "/flows.txt", flows.str());
@@ -269,6 +274,9 @@ std::optional<TraceTap> load_trace(const std::string& dir) {
           record.locations.push_back(loc);
         }
       }
+      // Optional trailing verdict-source column (absent in archives
+      // written before gateway-side verdict caching existed).
+      if (next(field)) record.verdict_cached = field == "cached";
       tap.index_.restore(std::move(record));
     }
   }

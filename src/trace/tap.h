@@ -44,12 +44,20 @@ class TraceTap {
   TraceTap& operator=(TraceTap&&) = default;
 
   /// Capture one frame: archive it, index it by flow when it parses as
-  /// a TCP/UDP frame (tagged or untagged), update metrics.
-  void record(util::TimePoint at, std::span<const std::uint8_t> frame);
+  /// a TCP/UDP frame (tagged or untagged), update metrics. `vlan_hint`
+  /// is the VLAN to index an *untagged* frame under — record sites that
+  /// capture post-strip (the subfarm taps) know the VLAN even though
+  /// the archived bytes no longer carry it; a tagged frame's own tag
+  /// always wins.
+  void record(util::TimePoint at, std::span<const std::uint8_t> frame,
+              std::uint16_t vlan_hint = 0);
 
-  /// Attach a containment verdict to an indexed flow.
+  /// Attach a containment verdict to an indexed flow. `cached` records
+  /// whether the verdict came from the gateway's verdict cache or a
+  /// containment-server shim round trip.
   bool annotate(const pkt::FlowKey& key, std::uint16_t vlan,
-                shim::Verdict verdict, const std::string& policy_name);
+                shim::Verdict verdict, const std::string& policy_name,
+                bool cached = false);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const TraceArchiver& archive() const { return archive_; }

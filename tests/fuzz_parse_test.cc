@@ -112,6 +112,15 @@ TEST(FuzzShim, ResponseShimRejectsOrParsesNeverCrashes) {
       if (rng.below(2) == 0)
         resp.limit_bytes_per_sec = static_cast<std::int64_t>(rng.next());
       resp.annotation = random_text(rng, 48);
+      // Sweep the v3 cache block (cacheability flag, scope including an
+      // out-of-range value the parser must reject, TTL, epoch) and emit
+      // a mix of v2 and v3 frames so the parsers see both versions
+      // interleaved the way a mid-upgrade farm would produce them.
+      resp.cacheable = rng.below(2) == 0;
+      resp.cache_scope = static_cast<shim::CacheScope>(rng.below(4));
+      resp.cache_ttl_ms = static_cast<std::uint32_t>(rng.next());
+      resp.policy_epoch = rng.next();
+      if (rng.below(3) == 0) resp.wire_version = shim::kShimVersionV2;
       buf = resp.encode();
       const auto mutations = 1 + rng.below(3);
       for (std::uint64_t m = 0; m < mutations; ++m) mutate(rng, buf);
@@ -123,15 +132,58 @@ TEST(FuzzShim, ResponseShimRejectsOrParsesNeverCrashes) {
       // property, checked structurally on top of ASan).
       ASSERT_LE(consumed, buf.size());
       ASSERT_GE(consumed, shim::kResponseShimMinSize);
+      if (parsed->wire_version != shim::kShimVersionV2)
+        ASSERT_GE(consumed, shim::kResponseShimV3MinSize);
       (void)parsed->verdict;
       (void)parsed->policy_name.size();
       (void)parsed->annotation.size();
+      // Whatever parsed must satisfy the cache-block invariants: v2
+      // frames are never cacheable and carry no epoch; any accepted
+      // scope is one of the three defined values.
+      if (parsed->wire_version == shim::kShimVersionV2) {
+        ASSERT_FALSE(parsed->cacheable);
+        ASSERT_EQ(parsed->policy_epoch, 0u);
+        ASSERT_EQ(parsed->cache_ttl_ms, 0u);
+      }
+      ASSERT_LE(static_cast<std::uint8_t>(parsed->cache_scope),
+                static_cast<std::uint8_t>(shim::CacheScope::kDstPort));
     }
     if (const auto len =
             shim::complete_shim_length(buf, shim::kTypeResponse)) {
       ASSERT_LE(*len, buf.size());
       ASSERT_GE(*len, shim::kResponseShimMinSize);
     }
+  }
+}
+
+TEST(FuzzShim, ResponseTruncationNeverParsesEitherVersion) {
+  // The stream-scanning contract that keeps the gateway synchronized:
+  // any strict prefix of a well-formed response shim (v2 or v3) must be
+  // rejected by parse() and complete_shim_length(), and the full frame
+  // must be accepted with exactly its own length consumed.
+  util::Rng rng(0xF00D0007);
+  for (int i = 0; i < 512; ++i) {
+    shim::ResponseShim resp;
+    resp.orig = random_endpoint(rng);
+    resp.resp = random_endpoint(rng);
+    resp.verdict = static_cast<shim::Verdict>(1 + rng.below(6));
+    resp.policy_name = random_text(rng, 32);
+    resp.annotation = random_text(rng, 24);
+    resp.cacheable = rng.below(2) == 0;
+    resp.cache_scope = static_cast<shim::CacheScope>(rng.below(3));
+    resp.cache_ttl_ms = static_cast<std::uint32_t>(rng.next());
+    resp.policy_epoch = rng.next();
+    if (rng.below(2) == 0) resp.wire_version = shim::kShimVersionV2;
+    const auto full = resp.encode();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      std::span<const std::uint8_t> prefix(full.data(), cut);
+      ASSERT_FALSE(shim::ResponseShim::parse(prefix)) << "cut=" << cut;
+      ASSERT_FALSE(shim::complete_shim_length(prefix, shim::kTypeResponse))
+          << "cut=" << cut;
+    }
+    std::size_t consumed = 0;
+    ASSERT_TRUE(shim::ResponseShim::parse(full, &consumed));
+    ASSERT_EQ(consumed, full.size());
   }
 }
 

@@ -1,6 +1,7 @@
 // Shim protocol tests: exact wire sizes (24-byte request; the paper's
 // Figure 4 response extended to >= 68 bytes by the wire-v2 typed
-// parameter block), round-trips, malformed-input rejection, and the
+// parameter block and to >= 84 bytes by the wire-v3 cache block),
+// round-trips, v2/v3 interop, malformed-input rejection, and the
 // stream-scanning helper the gateway uses.
 #include <gtest/gtest.h>
 
@@ -66,12 +67,17 @@ TEST(RequestShim, RejectsResponseType) {
   EXPECT_FALSE(RequestShim::parse(response.encode()));
 }
 
-TEST(ResponseShim, MinimumSixtyEightBytes) {
+TEST(ResponseShim, WireSizes) {
   ResponseShim shim;
   shim.verdict = Verdict::kForward;
   shim.policy_name = "Rustock";
-  EXPECT_EQ(shim.encode().size(), 68u);
+  // v3 (the default) appends the 16-byte cache block to the 68-byte v2
+  // layout; 68 remains the floor any well-formed response must clear.
+  EXPECT_EQ(shim.encode().size(), 84u);
+  EXPECT_EQ(kResponseShimV3MinSize, 84u);
   EXPECT_EQ(kResponseShimMinSize, 68u);
+  shim.wire_version = kShimVersionV2;
+  EXPECT_EQ(shim.encode().size(), 68u);
 }
 
 TEST(ResponseShim, RoundTripWithAnnotation) {
@@ -82,7 +88,7 @@ TEST(ResponseShim, RoundTripWithAnnotation) {
   shim.policy_name = "Grum";
   shim.annotation = "full SMTP containment";
   auto bytes = shim.encode();
-  EXPECT_EQ(bytes.size(), 68u + shim.annotation.size());
+  EXPECT_EQ(bytes.size(), 84u + shim.annotation.size());
   std::size_t consumed = 0;
   auto parsed = ResponseShim::parse(bytes, &consumed);
   ASSERT_TRUE(parsed);
@@ -117,11 +123,99 @@ TEST(ResponseShim, ParameterBlockLayout) {
   EXPECT_EQ(bytes[59], kParamHasLimitRate);
   EXPECT_EQ(bytes[60], 0x01);
   EXPECT_EQ(bytes[67], 0x08);
-  // Without a rate the whole block is zero.
+  // Without a rate (and uncacheable, epoch 0) both the parameter block
+  // [56,68) and the cache block [68,84) are all zero.
   ResponseShim bare;
   auto bare_bytes = bare.encode();
-  for (std::size_t i = 56; i < 68; ++i)
+  for (std::size_t i = 56; i < 84; ++i)
     EXPECT_EQ(bare_bytes[i], 0u) << "offset " << i;
+}
+
+TEST(ResponseShim, CacheBlockLayout) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kDrop;
+  shim.cacheable = true;
+  shim.cache_scope = CacheScope::kDstPort;
+  shim.cache_ttl_ms = 0x0A0B0C0D;
+  shim.policy_epoch = 0x1112131415161718;
+  auto bytes = shim.encode();
+  ASSERT_EQ(bytes.size(), 84u);
+  // The cacheable bit lives in the parameter-block flags word.
+  EXPECT_EQ(bytes[59] & kParamCacheable, kParamCacheable);
+  // Scope (1) + reserved (3) at [68-71], TTL at [72-75], epoch [76-83].
+  EXPECT_EQ(bytes[68], static_cast<std::uint8_t>(CacheScope::kDstPort));
+  EXPECT_EQ(bytes[69], 0u);
+  EXPECT_EQ(bytes[70], 0u);
+  EXPECT_EQ(bytes[71], 0u);
+  EXPECT_EQ(bytes[72], 0x0A);
+  EXPECT_EQ(bytes[75], 0x0D);
+  EXPECT_EQ(bytes[76], 0x11);
+  EXPECT_EQ(bytes[83], 0x18);
+}
+
+TEST(ResponseShim, CacheBlockRoundTrips) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kForward;
+  shim.policy_name = "ScanAdmit";
+  shim.cacheable = true;
+  shim.cache_scope = CacheScope::kDstEndpoint;
+  shim.cache_ttl_ms = 30000;
+  shim.policy_epoch = 7;
+  shim.annotation = "cacheable scan admit";
+  auto parsed = ResponseShim::parse(shim.encode());
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->cacheable);
+  EXPECT_EQ(parsed->cache_scope, CacheScope::kDstEndpoint);
+  EXPECT_EQ(parsed->cache_ttl_ms, 30000u);
+  EXPECT_EQ(parsed->policy_epoch, 7u);
+  EXPECT_EQ(parsed->annotation, "cacheable scan admit");
+  EXPECT_EQ(parsed->wire_version, kShimVersion);
+}
+
+TEST(ResponseShim, EpochCarriedOnUncacheableResponses) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kRewrite;
+  shim.policy_epoch = 42;
+  auto parsed = ResponseShim::parse(shim.encode());
+  ASSERT_TRUE(parsed);
+  EXPECT_FALSE(parsed->cacheable);
+  EXPECT_EQ(parsed->policy_epoch, 42u);
+}
+
+TEST(ResponseShim, V2FramesStillParseAndAreNeverCacheable) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kLimit;
+  shim.policy_name = "Throttle";
+  shim.limit_bytes_per_sec = 2048;
+  shim.annotation = "legacy emitter";
+  // Even if a v2 emitter somehow set the cache fields, the v2 frame
+  // cannot carry them: they must come back zeroed.
+  shim.cacheable = true;
+  shim.cache_ttl_ms = 9999;
+  shim.policy_epoch = 99;
+  shim.wire_version = kShimVersionV2;
+  auto bytes = shim.encode();
+  EXPECT_EQ(bytes.size(), 68u + shim.annotation.size());
+  std::size_t consumed = 0;
+  auto parsed = ResponseShim::parse(bytes, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(parsed->wire_version, kShimVersionV2);
+  EXPECT_FALSE(parsed->cacheable);
+  EXPECT_EQ(parsed->cache_ttl_ms, 0u);
+  EXPECT_EQ(parsed->policy_epoch, 0u);
+  ASSERT_TRUE(parsed->limit_bytes_per_sec.has_value());
+  EXPECT_EQ(*parsed->limit_bytes_per_sec, 2048);
+  EXPECT_EQ(parsed->annotation, "legacy emitter");
+}
+
+TEST(ResponseShim, RejectsInvalidCacheScope) {
+  ResponseShim shim;
+  shim.verdict = Verdict::kForward;
+  auto bytes = shim.encode();
+  ASSERT_EQ(bytes.size(), 84u);
+  bytes[68] = 3;  // One past kDstPort.
+  EXPECT_FALSE(ResponseShim::parse(bytes));
 }
 
 TEST(ResponseShim, PolicyNameTruncatedTo32) {

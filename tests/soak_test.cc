@@ -43,17 +43,19 @@ constexpr std::uint16_t kPorts[] = {8001, 8002, 8003, 8004, 8005, 8006};
 
 class CyclingPolicy : public cs::Policy {
  public:
-  explicit CyclingPolicy(util::Endpoint sink)
-      : cs::Policy("Cycling"), sink_(sink) {}
+  explicit CyclingPolicy(util::Endpoint sink, bool cacheable = false)
+      : cs::Policy("Cycling"), sink_(sink), cacheable_(cacheable) {}
 
   cs::Decision decide(const cs::FlowInfo& info) override {
     switch (info.dst().port) {
-      case 8001: return cs::Decision::forward();
-      case 8002: return cs::Decision::limit(4096);
-      case 8003: return cs::Decision::drop("denied");
-      case 8004: return cs::Decision::redirect(sink_, "redirected");
-      case 8005: return cs::Decision::reflect(sink_, "reflected");
-      case 8006: return cs::Decision::rewrite("proxied");
+      case 8001: return maybe_cached(cs::Decision::forward());
+      case 8002: return maybe_cached(cs::Decision::limit(4096));
+      case 8003: return maybe_cached(cs::Decision::drop("denied"));
+      case 8004:
+        return maybe_cached(cs::Decision::redirect(sink_, "redirected"));
+      case 8005:
+        return maybe_cached(cs::Decision::reflect(sink_, "reflected"));
+      case 8006: return cs::Decision::rewrite("proxied");  // Never cached.
       default:   return cs::Decision::drop("unexpected port");
     }
   }
@@ -79,7 +81,18 @@ class CyclingPolicy : public cs::Policy {
   }
 
  private:
+  cs::Decision maybe_cached(cs::Decision decision) {
+    // The verdict is a pure function of the destination endpoint, so
+    // dst-endpoint scope is exact. The TTL must outlive the wave
+    // cycle: each port repeats only every 90s (6 ports, 15s waves), so
+    // the 60s subfarm default would expire every entry between visits.
+    return cacheable_ ? std::move(decision).cached(
+                            shim::CacheScope::kDstEndpoint, 300'000)
+                      : decision;
+  }
+
   util::Endpoint sink_;
+  bool cacheable_;
 };
 
 struct SoakOptions {
@@ -91,6 +104,7 @@ struct SoakOptions {
   sim::FaultProfile upstream_link;  // Applied to the gateway uplink.
   sim::FaultProfile cs_link;        // Applied to the CS management link.
   std::string containment_extra;    // Extra INI: [FailClosed] / [Overload].
+  bool cacheable = false;  // Policy opts its verdicts into the gateway cache.
   bool burst = false;  // Fire 12 back-to-back flows at t=90s (overload).
 };
 
@@ -103,6 +117,8 @@ struct SoakResult {
   std::uint64_t verdict_timeouts = 0;
   std::uint64_t shim_retries = 0;
   std::uint64_t shed_refused = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_inserts = 0;
   std::uint64_t upstream_ip_frames = 0;
   std::uint64_t fault_dropped = 0;  // Across all impaired links.
   std::uint64_t fail_closed_reflects = 0;  // FailClosed verdicts = REFLECT.
@@ -114,6 +130,7 @@ std::string event_line(const obs::FarmEvent& e) {
      << e.subfarm << " vlan=" << e.vlan << ' '
      << (e.proto == pkt::FlowProto::kTcp ? "tcp" : "udp")
      << " dst=" << e.orig_dst.str() << ' ' << shim::verdict_name(e.verdict)
+     << " src=" << (e.verdict_cached ? "cached" : "shim")
      << " policy=" << e.policy_name << " ann=" << e.annotation
      << " b2s=" << e.bytes_to_server << " b2i=" << e.bytes_to_inmate
      << " int=" << e.inmate_internal.str()
@@ -153,7 +170,7 @@ SoakResult run_soak(const SoakOptions& opts) {
   const auto sink = sub.policy_env().services.at("sink");
   sub.bind_policy(sub.router().config().vlan_first,
                   sub.router().config().vlan_last,
-                  std::make_shared<CyclingPolicy>(sink));
+                  std::make_shared<CyclingPolicy>(sink, opts.cacheable));
 
   // --- Escape oracle: record every upstream IP emission ------------------
   const auto external_net = sub.router().config().external_net;
@@ -287,6 +304,8 @@ SoakResult run_soak(const SoakOptions& opts) {
   result.verdict_timeouts = counter("gw.Soak.verdict_timeouts");
   result.shim_retries = counter("gw.Soak.shim_retries");
   result.shed_refused = counter("cs.Soak.shed_refused");
+  result.cache_hits = counter("gw.Soak.cache_hit");
+  result.cache_inserts = counter("gw.Soak.cache_insert");
   for (const auto* port : impaired) {
     result.fault_dropped += port->fault_counters().dropped +
                             port->fault_counters().flap_dropped;
@@ -454,6 +473,63 @@ TEST(Soak, IdenticalSeedsReplayBitIdentically) {
   EXPECT_EQ(b1.upstream_log, b2.upstream_log);
   EXPECT_TRUE(b1.escapes.empty()) << join_escapes(b1);
   EXPECT_NE(a1.event_log, b1.event_log);
+}
+
+// --- The verdict cache under soak conditions ------------------------------
+
+TEST(Soak, VerdictCachingKeepsContainment) {
+  // Same clean-fabric soak, but the policy opts every non-REWRITE
+  // verdict into the gateway cache: waves land 15s apart against a 60s
+  // default TTL, so after the first wave most verdicts are served
+  // gateway-side. The escape oracle must still find nothing — a cached
+  // FORWARD authorizes exactly what the original shim verdict did.
+  SoakOptions opts;
+  opts.duration = util::minutes(12);
+  opts.cacheable = true;
+  const auto result = run_soak(opts);
+  EXPECT_TRUE(result.escapes.empty()) << join_escapes(result);
+  EXPECT_GT(result.upstream_ip_frames, 0u);
+  EXPECT_GT(result.cache_inserts, 0u);
+  EXPECT_GT(result.cache_hits, 0u);
+  // Cached verdicts still publish FlowVerdict events, labelled by
+  // source, and all six verdicts still flow (REWRITE via the CS).
+  EXPECT_NE(result.event_log.find("src=cached"), std::string::npos);
+  auto totals = result.verdict_totals;
+  EXPECT_GE(totals[shim::Verdict::kForward], 1u);
+  EXPECT_GE(totals[shim::Verdict::kRewrite], 1u);
+}
+
+TEST(Soak, VerdictCachingReplaysBitIdentically) {
+  // The cache must not perturb determinism: with faults, outages and
+  // caching all enabled, identical seeds still produce byte-identical
+  // event and upstream logs (which now embed the src=cached/shim
+  // labels, so a hit/miss divergence cannot hide).
+  SoakOptions opts;
+  opts.duration = util::minutes(8);
+  opts.cacheable = true;
+  opts.inmate_link.drop_probability = 0.08;
+  opts.upstream_link.drop_probability = 0.20;
+  opts.upstream_link.reorder_probability = 0.15;
+  opts.upstream_link.reorder_window = util::milliseconds(15);
+  opts.cs_link.drop_probability = 0.10;
+  opts.cs_link.flap_period = util::seconds(150);
+  opts.cs_link.flap_down = util::seconds(40);
+  opts.containment_extra = "[FailClosed]\nDeadlineMs = 10000\n";
+
+  opts.seed = 0xCAC4E;
+  const auto a1 = run_soak(opts);
+  const auto a2 = run_soak(opts);
+  EXPECT_EQ(a1.event_log, a2.event_log);
+  EXPECT_EQ(a1.upstream_log, a2.upstream_log);
+  EXPECT_TRUE(a1.escapes.empty()) << join_escapes(a1);
+  EXPECT_GT(a1.cache_hits, 0u);
+
+  // And caching changes the decision path, not the contained traffic:
+  // the same seed without the cache also stays escape-free.
+  opts.cacheable = false;
+  const auto off = run_soak(opts);
+  EXPECT_TRUE(off.escapes.empty()) << join_escapes(off);
+  EXPECT_EQ(off.cache_hits, 0u);
 }
 
 }  // namespace
