@@ -195,6 +195,98 @@ CacheStats run_cache(bool cache_on, util::Duration duration) {
   return stats;
 }
 
+// --- Sweep E: the compiled policy table takes the CS off the
+// *first-contact* hot path — the one case the verdict cache can never
+// help with. A sweep-class workload (one inmate probing a fresh
+// destination every cycle, port 80) against a fully compilable policy:
+// with the table off every probe is a first contact paying the full
+// shim round trip; with it on the gateway answers from the compiled
+// table and the containment server sees nothing at all.
+
+class FirstContactPolicy : public cs::Policy {
+ public:
+  FirstContactPolicy() : cs::Policy("FirstContact") {}
+
+  cs::Decision decide(const cs::FlowInfo& info) override {
+    if (info.dst().port == 80) return cs::Decision::forward("scan allowed");
+    return cs::Decision::drop("off-scan");
+  }
+
+  std::optional<std::vector<shim::TableRule>> compile() const override {
+    shim::TableRule web;
+    web.port_first = web.port_last = 80;
+    web.action = shim::TableAction::kForward;
+    web.annotation = "scan allowed";
+    shim::TableRule rest;
+    rest.action = shim::TableAction::kDrop;
+    rest.annotation = "off-scan";
+    return std::vector<shim::TableRule>{web, rest};
+  }
+};
+
+struct TableStats {
+  std::uint64_t setups = 0;  // First-contact verdicts inside `duration`.
+  std::uint64_t cs_decisions = 0;
+  std::uint64_t table_hits = 0;
+  double wall_ms = 0;
+};
+
+TableStats run_table(bool table_on, util::Duration duration) {
+  core::FarmOptions options;
+  options.datapath.policy_table = table_on;
+  core::Farm farm(options);
+
+  auto& sub = farm.add_subfarm("Sweep");
+  // Same 1s-per-decision CS cost as sweep D; the verdict cache stays at
+  // its default (on) in both runs to show it cannot mask first contacts.
+  sub.configure_containment("[Overload]\nDecisionDelayMs = 1000\n");
+  sub.bind_policy(sub.router().config().vlan_first,
+                  sub.router().config().vlan_last,
+                  std::make_shared<FirstContactPolicy>());
+  auto& inmate = sub.create_inmate(inm::HostingKind::kVm);
+  farm.run_for(util::minutes(2));  // VM boot + DHCP.
+
+  // Serial sweep, one probe in flight, 40ms pacing (same driver as
+  // sweep D) — but every probe goes to a destination never seen before,
+  // so by construction each verdict is a first contact.
+  TableStats stats;
+  std::vector<std::shared_ptr<net::TcpConnection>> conns;
+  std::uint32_t next_dst = 0;
+  bool advance_pending = false;
+  std::function<void()> launch;
+  auto advance = [&] {
+    if (advance_pending) return;
+    advance_pending = true;
+    farm.loop().schedule_in(util::milliseconds(40), [&] {
+      advance_pending = false;
+      launch();
+    });
+  };
+  farm.telemetry().bus().subscribe([&](const obs::FarmEvent& e) {
+    if (e.kind != obs::FarmEvent::Kind::kFlowVerdict) return;
+    ++stats.setups;
+    advance();
+  });
+  launch = [&] {
+    const Ipv4Addr dst(93, static_cast<std::uint8_t>(10 + (next_dst >> 16)),
+                       static_cast<std::uint8_t>(next_dst >> 8),
+                       static_cast<std::uint8_t>(next_dst));
+    ++next_dst;
+    auto conn = inmate.host().connect({dst, 80});
+    conn->on_reset = [&] { advance(); };
+    conns.push_back(std::move(conn));
+  };
+  const auto wall_start = std::chrono::steady_clock::now();
+  launch();
+  farm.run_for(duration);
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  stats.cs_decisions = sub.containment().flows_decided();
+  stats.table_hits = sub.router().table_hits();
+  return stats;
+}
+
 // One JSON row shared by all three sweeps.
 void json_row(util::JsonWriter& json, const char* sweep, int subfarms,
               int inmates, const char* datapath, const RunStats& stats) {
@@ -370,6 +462,53 @@ int main(int argc, char** argv) {
               cache_speedup);
 
   std::printf(
+      "\nSweep E: compiled policy table, first-contact workload (one\n"
+      "inmate, a fresh destination every probe, port 80, fully compilable\n"
+      "policy, 1s CS decision cost). The verdict cache never matches —\n"
+      "every probe is a first contact. Table off: every setup is a shim\n"
+      "round trip. Table on: the gateway answers from the compiled table.\n");
+  std::printf("%9s %10s %12s %14s %12s %10s\n", "TABLE", "SETUPS",
+              "SETUPS/MIN", "CS DECISIONS", "TABLE HITS", "WALL(ms)");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  double table_setups_per_min[2] = {0, 0};
+  std::uint64_t table_on_cs_decisions = 0;
+  for (const bool table_on : {false, true}) {
+    const TableStats stats = run_table(table_on, duration);
+    table_setups_per_min[table_on ? 1 : 0] = stats.setups / minutes;
+    if (table_on) table_on_cs_decisions = stats.cs_decisions;
+    std::printf("%9s %10llu %12.0f %14llu %12llu %10.0f\n",
+                table_on ? "on" : "off",
+                static_cast<unsigned long long>(stats.setups),
+                stats.setups / minutes,
+                static_cast<unsigned long long>(stats.cs_decisions),
+                static_cast<unsigned long long>(stats.table_hits),
+                stats.wall_ms);
+
+    json.begin_object();
+    json.key("sweep");
+    json.value("policy_table");
+    json.key("table");
+    json.value(table_on ? "on" : "off");
+    json.key("flow_setups");
+    json.value(stats.setups);
+    json.key("setups_per_min");
+    json.value(stats.setups / minutes);
+    json.key("cs_decisions");
+    json.value(stats.cs_decisions);
+    json.key("table_hits");
+    json.value(stats.table_hits);
+    json.key("wall_ms");
+    json.value(stats.wall_ms);
+    json.end_object();
+  }
+  const double table_speedup =
+      table_setups_per_min[0] > 0
+          ? table_setups_per_min[1] / table_setups_per_min[0]
+          : 0;
+  std::printf("\nTable-on first-contact throughput: %.1fx table-off\n",
+              table_speedup);
+
+  std::printf(
       "\nStructural limits (§7.2):\n"
       "  VLAN ID space:            4096 (802.1Q twelve-bit field)\n"
       "  Inmates per /24 subfarm:  ~236 internal leases, ~244 globals\n"
@@ -383,6 +522,8 @@ int main(int argc, char** argv) {
   json.end_array();
   json.key("cache_speedup");
   json.value(cache_speedup);
+  json.key("table_speedup");
+  json.value(table_speedup);
   json.end_object();
 
   // Self-validation: the verdict cache's reason to exist is taking the
@@ -392,6 +533,23 @@ int main(int argc, char** argv) {
                  "s1: cache-on flow-setup throughput only %.1fx cache-off "
                  "(expected >= 10x)\n",
                  cache_speedup);
+    return 1;
+  }
+  // Same contract for the compiled table on the first-contact path, and
+  // the whole point of compiling is that the CS sees nothing: under a
+  // fully compilable policy every table-on decision must stay local.
+  if (table_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "s1: table-on first-contact throughput only %.1fx "
+                 "table-off (expected >= 5x)\n",
+                 table_speedup);
+    return 1;
+  }
+  if (table_on_cs_decisions != 0) {
+    std::fprintf(stderr,
+                 "s1: containment server decided %llu flows with the table "
+                 "on (expected 0 under a fully compiled policy)\n",
+                 static_cast<unsigned long long>(table_on_cs_decisions));
     return 1;
   }
   return write_summary(json, "BENCH_s1.json");

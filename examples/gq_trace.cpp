@@ -77,7 +77,7 @@ int cmd_summary(const std::string& dir) {
                 static_cast<unsigned long long>(flow.bytes));
     if (flow.has_verdict) {
       std::printf("  %s [%s]", shim::verdict_name(flow.verdict),
-                  flow.verdict_cached ? "cached" : "shim");
+                  shim::verdict_source_name(flow.verdict_source));
       if (!flow.policy_name.empty())
         std::printf(" (policy %s)", flow.policy_name.c_str());
     }
@@ -173,7 +173,7 @@ int cmd_selftest(const std::string& dir) {
   tap.annotate({pkt::FlowProto::kTcp, {inmate, 1234}, {web, 80}}, 0,
                shim::Verdict::kRewrite, "botdl");
   tap.annotate({pkt::FlowProto::kTcp, {inmate, 2345}, {sink, 25}}, 0,
-               shim::Verdict::kRedirect, "spam", /*cached=*/true);
+               shim::Verdict::kRedirect, "spam", shim::VerdictSource::kCached);
 
   if (tap.archive().evicted_segments() == 0) {
     std::fprintf(stderr, "selftest: expected rotation to evict segments\n");

@@ -10,6 +10,43 @@
 
 namespace gq::cs {
 
+namespace {
+
+// Table-rule construction helpers for the compile() passes. Every
+// compiled rule must reproduce decide()'s verdict, annotation, and
+// target byte-for-byte — the differential harness
+// (tests/policy_diff_test.cc) replays identical traffic through
+// table-on and table-off farms and asserts identical verdict streams.
+
+/// A rule matching one exact destination port on any address/protocol
+/// (the builtin policies switch on info.dst().port alone, without
+/// narrowing the protocol).
+shim::TableRule port_rule(std::uint16_t port, shim::TableAction action,
+                          std::string annotation = "") {
+  shim::TableRule rule;
+  rule.port_first = port;
+  rule.port_last = port;
+  rule.action = action;
+  rule.annotation = std::move(annotation);
+  return rule;
+}
+
+/// A port arm that must stay on the containment server.
+shim::TableRule fallback_port(std::uint16_t port) {
+  return port_rule(port, shim::TableAction::kFallback);
+}
+
+/// A catch-all rule (any VLAN in the binding, any address, any port).
+shim::TableRule catch_all(shim::TableAction action,
+                          std::string annotation = "") {
+  shim::TableRule rule;
+  rule.action = action;
+  rule.annotation = std::move(annotation);
+  return rule;
+}
+
+}  // namespace
+
 // --- SinkAllPolicy ----------------------------------------------------------
 
 SinkAllPolicy::SinkAllPolicy(const PolicyEnv& env, std::string name)
@@ -23,6 +60,35 @@ Decision SinkAllPolicy::to_sink(std::string why) const {
 
 Decision SinkAllPolicy::decide(const FlowInfo&) {
   return to_sink("sink containment");
+}
+
+shim::TableRule SinkAllPolicy::sink_rule(std::string why) const {
+  if (env_.has_service("sink")) {
+    auto rule = catch_all(shim::TableAction::kReflect, std::move(why));
+    rule.target = env_.service("sink");
+    return rule;
+  }
+  return catch_all(shim::TableAction::kDrop, std::move(why));
+}
+
+std::optional<std::vector<shim::TableRule>> SinkAllPolicy::compile() const {
+  return std::vector<shim::TableRule>{sink_rule("sink containment")};
+}
+
+// --- DefaultDenyPolicy ------------------------------------------------------
+
+std::optional<std::vector<shim::TableRule>> DefaultDenyPolicy::compile()
+    const {
+  return std::vector<shim::TableRule>{
+      catch_all(shim::TableAction::kDrop, "default-deny")};
+}
+
+// --- ForwardAllPolicy -------------------------------------------------------
+
+std::optional<std::vector<shim::TableRule>> ForwardAllPolicy::compile()
+    const {
+  return std::vector<shim::TableRule>{
+      catch_all(shim::TableAction::kForward)};
 }
 
 // --- SpambotPolicy ----------------------------------------------------------
@@ -69,6 +135,34 @@ std::unique_ptr<RewriteHandler> SpambotPolicy::make_rewrite_handler(
   return nullptr;
 }
 
+std::vector<shim::TableRule> SpambotPolicy::spambot_prelude_rules() const {
+  std::vector<shim::TableRule> rules;
+  // Auto-infection flows take the REWRITE impersonation handler — a /32
+  // exact-endpoint fallback keeps them on the server. The /32 outranks
+  // any port arm in the table's specificity order, matching decide()'s
+  // is_autoinfect-first check.
+  if (env().has_service("autoinfect")) {
+    const util::Endpoint ai = env().service("autoinfect");
+    shim::TableRule rule;
+    rule.dst_prefix = ai.addr;
+    rule.prefix_len = 32;
+    rule.port_first = ai.port;
+    rule.port_last = ai.port;
+    rule.action = shim::TableAction::kFallback;
+    rules.push_back(rule);
+  }
+  return rules;
+}
+
+std::optional<std::vector<shim::TableRule>> SpambotPolicy::compile() const {
+  auto rules = spambot_prelude_rules();
+  // Port 25 pushes an original-destination hint to the banner sink — a
+  // side effect the table cannot reproduce, so SMTP stays shim-path.
+  rules.push_back(fallback_port(25));
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
+}
+
 // --- RustockPolicy ----------------------------------------------------------
 
 RustockPolicy::RustockPolicy(const PolicyEnv& env)
@@ -87,6 +181,15 @@ Decision RustockPolicy::decide(const FlowInfo& info) {
     default:
       return to_sink("sink containment");
   }
+}
+
+std::optional<std::vector<shim::TableRule>> RustockPolicy::compile() const {
+  auto rules = spambot_prelude_rules();
+  rules.push_back(fallback_port(25));  // Sink-hint side effect.
+  rules.push_back(port_rule(443, shim::TableAction::kForward));
+  rules.push_back(fallback_port(80));  // REWRITE C&C filter.
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
 }
 
 std::unique_ptr<RewriteHandler> RustockPolicy::make_rewrite_handler(
@@ -124,6 +227,14 @@ Decision GrumPolicy::decide(const FlowInfo& info) {
   }
 }
 
+std::optional<std::vector<shim::TableRule>> GrumPolicy::compile() const {
+  auto rules = spambot_prelude_rules();
+  rules.push_back(fallback_port(25));  // Sink-hint side effect.
+  rules.push_back(port_rule(80, shim::TableAction::kForward));
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
+}
+
 // --- WaledacPolicy ----------------------------------------------------------
 
 WaledacPolicy::WaledacPolicy(const PolicyEnv& env, bool allow_test_smtp)
@@ -141,7 +252,7 @@ Decision WaledacPolicy::decide(const FlowInfo& info) {
         // The 2009 mistake: permit a single seemingly innocuous test
         // message to a real server (§7.1, "mysterious blacklisting").
         test_sent_[info.vlan()] = true;
-        return {shim::Verdict::kForward, {}, "single test SMTP exchange"};
+        return Decision::forward("single test SMTP exchange");
       }
       send_sink_hint(info);
       return Decision::reflect(smtp_sink(), "full SMTP containment");
@@ -149,6 +260,18 @@ Decision WaledacPolicy::decide(const FlowInfo& info) {
     default:
       return to_sink("sink containment");
   }
+}
+
+std::optional<std::vector<shim::TableRule>> WaledacPolicy::compile() const {
+  // The WaledacTest variant carries per-VLAN one-shot state (the single
+  // test-message exemption); its port-25 arm depends on history the
+  // table cannot see, so the whole policy stays shim-path.
+  if (allow_test_smtp_) return std::nullopt;
+  auto rules = spambot_prelude_rules();
+  rules.push_back(fallback_port(25));  // Sink-hint side effect.
+  rules.push_back(port_rule(80, shim::TableAction::kForward));
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
 }
 
 // --- StormPolicy ------------------------------------------------------------
@@ -162,6 +285,13 @@ Decision StormPolicy::decide(const FlowInfo& info) {
   // Everything else — SMTP, and notably the FTP iframe-injection jobs an
   // upstream botmaster may push through the proxy — lands in the sink.
   return to_sink("sink containment");
+}
+
+std::optional<std::vector<shim::TableRule>> StormPolicy::compile() const {
+  auto rules = spambot_prelude_rules();
+  rules.push_back(port_rule(80, shim::TableAction::kForward));
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
 }
 
 // --- MegaDPolicy ------------------------------------------------------------
@@ -183,6 +313,15 @@ Decision MegaDPolicy::decide(const FlowInfo& info) {
   }
 }
 
+std::optional<std::vector<shim::TableRule>> MegaDPolicy::compile() const {
+  auto rules = spambot_prelude_rules();
+  rules.push_back(fallback_port(25));  // Sink-hint side effect.
+  rules.push_back(fallback_port(80));   // REWRITE C&C tap.
+  rules.push_back(fallback_port(443));  // REWRITE C&C tap.
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
+}
+
 std::unique_ptr<RewriteHandler> MegaDPolicy::make_rewrite_handler(
     const FlowInfo& info) {
   if (is_autoinfect(info)) return std::make_unique<AutoInfectHandler>(env());
@@ -198,6 +337,13 @@ Decision ClickbotPolicy::decide(const FlowInfo& info) {
   if (is_autoinfect(info)) return Decision::rewrite("autoinfection");
   if (info.dst().port == 80) return Decision::rewrite("click observation");
   return to_sink("sink containment");
+}
+
+std::optional<std::vector<shim::TableRule>> ClickbotPolicy::compile() const {
+  auto rules = spambot_prelude_rules();
+  rules.push_back(fallback_port(80));  // REWRITE click observer.
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
 }
 
 std::unique_ptr<RewriteHandler> ClickbotPolicy::make_rewrite_handler(
@@ -220,6 +366,17 @@ Decision DnsSinkholePolicy::decide(const FlowInfo& info) {
   if (info.proto == pkt::FlowProto::kUdp && info.dst().port == 53)
     return Decision::rewrite("DNS sinkhole");
   return to_sink("sink containment");
+}
+
+std::optional<std::vector<shim::TableRule>> DnsSinkholePolicy::compile()
+    const {
+  // UDP/53 is the REWRITE impersonation arm; everything else sinks.
+  std::vector<shim::TableRule> rules;
+  auto dns = fallback_port(53);
+  dns.proto = shim::TableRule::kProtoUdp;
+  rules.push_back(dns);
+  rules.push_back(sink_rule("sink containment"));
+  return rules;
 }
 
 std::optional<std::vector<std::uint8_t>> DnsSinkholePolicy::rewrite_udp(
@@ -279,7 +436,7 @@ void register_builtin_policies() {
   std::call_once(once, [] {
     auto& registry = PolicyRegistry::instance();
     registry.register_policy("DefaultDeny", [](const PolicyEnv&) {
-      return std::make_shared<Policy>("DefaultDeny");
+      return std::make_shared<DefaultDenyPolicy>();
     });
     registry.register_policy("SinkAll", [](const PolicyEnv& env) {
       return std::make_shared<SinkAllPolicy>(env);

@@ -21,14 +21,27 @@ class SinkAllPolicy : public Policy {
  public:
   explicit SinkAllPolicy(const PolicyEnv& env, std::string name = "SinkAll");
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
 
  protected:
   const PolicyEnv& env() const { return env_; }
   /// Reflect to the catch-all sink (or drop without one).
   Decision to_sink(std::string why) const;
+  /// Table-rule twin of to_sink(): a catch-all REFLECT to the sink (or
+  /// DROP without one) carrying the same annotation decide() would emit.
+  shim::TableRule sink_rule(std::string why) const;
 
  private:
   PolicyEnv env_;
+};
+
+/// Pure default-deny as a compilable policy: the registry's
+/// "DefaultDeny" resolves here so a default-deny binding drops
+/// first-contact flows at line rate in the gateway table.
+class DefaultDenyPolicy : public Policy {
+ public:
+  DefaultDenyPolicy() : Policy("DefaultDeny") {}
+  std::optional<std::vector<shim::TableRule>> compile() const override;
 };
 
 /// Forwards everything — the paper's cautionary tale, provided for
@@ -37,6 +50,7 @@ class ForwardAllPolicy : public Policy {
  public:
   ForwardAllPolicy() : Policy("ForwardAll") {}
   Decision decide(const FlowInfo&) override { return Decision::forward(); }
+  std::optional<std::vector<shim::TableRule>> compile() const override;
 };
 
 /// Base for spambot families: auto-infection flows get the REWRITE
@@ -49,6 +63,7 @@ class SpambotPolicy : public SinkAllPolicy {
   Decision decide(const FlowInfo& info) override;
   std::unique_ptr<RewriteHandler> make_rewrite_handler(
       const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
 
  protected:
   [[nodiscard]] bool is_autoinfect(const FlowInfo& info) const;
@@ -56,6 +71,12 @@ class SpambotPolicy : public SinkAllPolicy {
   /// Push the flow's original destination to the banner-grabbing sink's
   /// hint channel (no-op without one configured).
   void send_sink_hint(const FlowInfo& info) const;
+  /// Rules every spambot-family compile() starts from: the
+  /// auto-infection /32 fallback (REWRITE must stay on the server) when
+  /// an autoinfect service is configured. Families whose decide() has a
+  /// port-25 arm append its fallback themselves — the sink-hint side
+  /// effect is not table-expressible.
+  [[nodiscard]] std::vector<shim::TableRule> spambot_prelude_rules() const;
 
  private:
   std::string smtp_sink_service_;
@@ -67,6 +88,7 @@ class RustockPolicy : public SpambotPolicy {
  public:
   explicit RustockPolicy(const PolicyEnv& env);
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
   std::unique_ptr<RewriteHandler> make_rewrite_handler(
       const FlowInfo& info) override;
 };
@@ -77,6 +99,7 @@ class GrumPolicy : public SpambotPolicy {
  public:
   explicit GrumPolicy(const PolicyEnv& env);
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
 };
 
 /// Waledac: SMTP reflected — with an optional "allow one test message"
@@ -86,6 +109,7 @@ class WaledacPolicy : public SpambotPolicy {
  public:
   WaledacPolicy(const PolicyEnv& env, bool allow_test_smtp);
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
 
  private:
   bool allow_test_smtp_;
@@ -100,6 +124,7 @@ class StormPolicy : public SpambotPolicy {
  public:
   explicit StormPolicy(const PolicyEnv& env);
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
 };
 
 /// MegaD: proprietary C&C protocol observed through a passthrough
@@ -109,6 +134,7 @@ class MegaDPolicy : public SpambotPolicy {
  public:
   explicit MegaDPolicy(const PolicyEnv& env);
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
   std::unique_ptr<RewriteHandler> make_rewrite_handler(
       const FlowInfo& info) override;
 };
@@ -119,6 +145,7 @@ class ClickbotPolicy : public SpambotPolicy {
  public:
   explicit ClickbotPolicy(const PolicyEnv& env);
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
   std::unique_ptr<RewriteHandler> make_rewrite_handler(
       const FlowInfo& info) override;
 };
@@ -137,6 +164,7 @@ class DnsSinkholePolicy : public SinkAllPolicy {
   void add_sinkholed_domain(std::string glob);
 
   Decision decide(const FlowInfo& info) override;
+  std::optional<std::vector<shim::TableRule>> compile() const override;
   std::optional<std::vector<std::uint8_t>> rewrite_udp(
       const FlowInfo& info, std::span<const std::uint8_t> payload) override;
 

@@ -20,6 +20,7 @@
 #include "netsim/event_loop.h"
 #include "packet/frame.h"
 #include "shim/shim.h"
+#include "shim/table_sync.h"
 #include "util/addr.h"
 #include "util/rng.h"
 
@@ -38,8 +39,24 @@ struct FlowInfo {
   [[nodiscard]] std::uint16_t vlan() const { return shim.vlan; }
 };
 
-/// A policy's endpoint-control decision for one flow.
+/// A policy's endpoint-control decision for one flow. Construct through
+/// the named builders — Decision::forward()/drop()/limit(bps)/
+/// redirect(ep)/reflect(sink)/rewrite() — chaining .cached(scope, ttl)
+/// to opt into gateway-side verdict caching. The positional constructor
+/// survives only for source compatibility and is deprecated.
 struct Decision {
+  Decision() = default;
+  /// Deprecated positional form; use the named builders below instead —
+  /// they read as the verdict they produce and cannot transpose fields.
+  [[deprecated("use Decision::forward()/drop()/limit()/redirect()/reflect()/"
+               "rewrite() builders")]]
+  Decision(shim::Verdict v, util::Endpoint t = {}, std::string note = "",
+           std::optional<std::int64_t> limit_bps = std::nullopt)
+      : verdict(v),
+        target(t),
+        annotation(std::move(note)),
+        limit_bytes_per_sec(limit_bps) {}
+
   shim::Verdict verdict = shim::Verdict::kDrop;
   /// Target for kRedirect / kReflect (copied into the response shim's
   /// resulting four-tuple).
@@ -70,23 +87,49 @@ struct Decision {
     return std::move(*this);
   }
 
-  static Decision forward() { return {shim::Verdict::kForward, {}, ""}; }
+  /// Fluent annotation: attach/replace the descriptive label.
+  Decision annotated(std::string why) && {
+    annotation = std::move(why);
+    return std::move(*this);
+  }
+
+  static Decision forward(std::string why = "") {
+    Decision d;
+    d.verdict = shim::Verdict::kForward;
+    d.annotation = std::move(why);
+    return d;
+  }
   static Decision drop(std::string why = "") {
-    return {shim::Verdict::kDrop, {}, std::move(why)};
+    Decision d;
+    d.annotation = std::move(why);
+    return d;
   }
   static Decision reflect(util::Endpoint sink, std::string why = "") {
-    return {shim::Verdict::kReflect, sink, std::move(why)};
+    Decision d;
+    d.verdict = shim::Verdict::kReflect;
+    d.target = sink;
+    d.annotation = std::move(why);
+    return d;
   }
   static Decision redirect(util::Endpoint to, std::string why = "") {
-    return {shim::Verdict::kRedirect, to, std::move(why)};
+    Decision d;
+    d.verdict = shim::Verdict::kRedirect;
+    d.target = to;
+    d.annotation = std::move(why);
+    return d;
   }
   static Decision limit(std::int64_t bytes_per_sec) {
-    return {shim::Verdict::kLimit, {},
-            "limit " + std::to_string(bytes_per_sec) + " B/s",
-            bytes_per_sec};
+    Decision d;
+    d.verdict = shim::Verdict::kLimit;
+    d.annotation = "limit " + std::to_string(bytes_per_sec) + " B/s";
+    d.limit_bytes_per_sec = bytes_per_sec;
+    return d;
   }
   static Decision rewrite(std::string why = "") {
-    return {shim::Verdict::kRewrite, {}, std::move(why)};
+    Decision d;
+    d.verdict = shim::Verdict::kRewrite;
+    d.annotation = std::move(why);
+    return d;
   }
 };
 
@@ -169,6 +212,14 @@ class PolicyServices {
     (void)to;
     (void)message;
   }
+  /// Push a freshly compiled policy table toward the gateway's routers
+  /// (shim wire v4). ContainmentServer encodes and transmits the frame;
+  /// InlinePolicyServices setups hand the table straight to a router or
+  /// capture it for assertions. The default discards it, so policy-side
+  /// code may publish unconditionally.
+  virtual void publish_policy_table(const shim::TableSync& table) {
+    (void)table;
+  }
 };
 
 /// Function-backed PolicyServices for tests and programmatic setups:
@@ -180,6 +231,7 @@ class InlinePolicyServices : public PolicyServices {
   std::function<void(std::uint16_t, const std::string&, const std::string&)>
       report_infection_fn;
   std::function<void(util::Endpoint, const std::string&)> send_udp_fn;
+  std::function<void(const shim::TableSync&)> publish_policy_table_fn;
 
   InmateList list_inmates() override {
     return list_inmates_fn ? list_inmates_fn() : InmateList{};
@@ -196,6 +248,9 @@ class InlinePolicyServices : public PolicyServices {
   }
   void send_udp(util::Endpoint to, const std::string& message) override {
     if (send_udp_fn) send_udp_fn(to, message);
+  }
+  void publish_policy_table(const shim::TableSync& table) override {
+    if (publish_policy_table_fn) publish_policy_table_fn(table);
   }
 };
 
@@ -261,6 +316,25 @@ class Policy {
   /// response datagram.
   virtual std::optional<std::vector<std::uint8_t>> rewrite_udp(
       const FlowInfo& info, std::span<const std::uint8_t> payload);
+
+  /// Compile this policy's decide() logic into flat match-action rules
+  /// for the in-gateway policy table. A compilable policy returns the
+  /// rules covering *every* flow it could see — arms that must stay on
+  /// the containment server (REWRITE proxies, side-effecting branches
+  /// like sink hints, per-flow state) compile to kFallback rules so the
+  /// shim path still handles them. Returning nullopt (the default)
+  /// declares the whole policy non-compilable: the server emits a
+  /// single catch-all fallback for its binding. The compiled actions,
+  /// policy names, and annotations must be byte-identical to what
+  /// decide() would produce — the differential harness
+  /// (tests/policy_diff_test.cc) enforces this equivalence.
+  ///
+  /// VLAN range and priority are stamped by the containment server per
+  /// binding; compile() leaves them at defaults.
+  [[nodiscard]] virtual std::optional<std::vector<shim::TableRule>> compile()
+      const {
+    return std::nullopt;
+  }
 
  private:
   std::string name_;

@@ -1,5 +1,7 @@
 #include "containment/server.h"
 
+#include <algorithm>
+
 #include "util/bytes.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -296,8 +298,15 @@ void ContainmentServer::configure(const ContainmentConfig& config,
       infections_.push_back(std::move(infection));
     }
   }
-  for (const auto& trigger : config.triggers)
+  for (const auto& trigger : config.triggers) {
     triggers_.add(trigger.range.first, trigger.range.last, trigger.trigger);
+    trigger_ranges_.push_back(trigger.range);
+  }
+
+  // The new generation's compiled table ships immediately so the
+  // gateway's first-contact datapath flips to the fresh rules in the
+  // same reconfiguration step that invalidates its verdict cache.
+  publish_policy_table(compile_policy_table());
 }
 
 void ContainmentServer::bind_policy(std::uint16_t vlan_first,
@@ -305,6 +314,55 @@ void ContainmentServer::bind_policy(std::uint16_t vlan_first,
                                     std::shared_ptr<Policy> policy) {
   policies_.push_back(
       PolicyBinding{VlanRange{vlan_first, vlan_last}, std::move(policy)});
+  // Same epoch, new rules: the gateway re-installs idempotently.
+  publish_policy_table(compile_policy_table());
+}
+
+shim::TableSync ContainmentServer::compile_policy_table() const {
+  shim::TableSync sync;
+  sync.epoch = policy_epoch_;
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const auto& binding = policies_[i];
+    const bool trigger_coupled =
+        std::any_of(trigger_ranges_.begin(), trigger_ranges_.end(),
+                    [&](const VlanRange& r) {
+                      return r.first <= binding.range.last &&
+                             binding.range.first <= r.last;
+                    });
+    std::optional<std::vector<shim::TableRule>> compiled;
+    if (!trigger_coupled) compiled = binding.policy->compile();
+    if (!compiled) {
+      // Non-compilable (or trigger-coupled: the trigger engine must see
+      // every flow via decide()): one catch-all fallback for the range.
+      shim::TableRule rule;
+      compiled = std::vector<shim::TableRule>{rule};
+    }
+    for (auto rule : *compiled) {
+      rule.vlan_first = binding.range.first;
+      rule.vlan_last = binding.range.last;
+      rule.priority = static_cast<std::uint16_t>(i);
+      rule.policy_name = binding.policy->name();
+      sync.rules.push_back(std::move(rule));
+    }
+  }
+  return sync;
+}
+
+void ContainmentServer::publish_policy_table(const shim::TableSync& table) {
+  std::vector<std::uint8_t> frame;
+  try {
+    frame = table.encode();
+  } catch (const std::length_error&) {
+    // An oversized table fails safe: the gateway keeps (and eventually
+    // epoch-expires) its previous table and every flow takes the shim
+    // path.
+    GQ_WARN(kLog, "compiled policy table too large to sync (%zu rules)",
+            table.rules.size());
+    return;
+  }
+  control_sock_->send_to({gateway_mgmt_, shim::kTableSyncPort}, frame);
+  GQ_INFO(kLog, "pushed policy table: epoch %llu, %zu rules",
+          static_cast<unsigned long long>(table.epoch), table.rules.size());
 }
 
 void ContainmentServer::set_inmate_controller(util::Endpoint controller) {

@@ -110,10 +110,23 @@ class ContainmentServer : public PolicyServices {
   void report_infection(std::uint16_t vlan, const std::string& name,
                         const std::string& md5) override;
   void send_udp(util::Endpoint to, const std::string& message) override;
+  /// Encode the compiled table as a shim v4 frame and push it to the
+  /// gateway's management address (kTableSyncPort). The gateway fans it
+  /// out to the owning subfarm's router.
+  void publish_policy_table(const shim::TableSync& table) override;
 
   /// Bind a policy instance directly (tests / programmatic setup).
+  /// Recompiles and republishes the policy table under the current
+  /// epoch.
   void bind_policy(std::uint16_t vlan_first, std::uint16_t vlan_last,
                    std::shared_ptr<Policy> policy);
+
+  /// Compile the current policy bindings into the flat match-action
+  /// table (stamped with the current policy epoch). Each binding whose
+  /// policy compiles contributes its rules with the binding's VLAN range
+  /// and priority; non-compilable or trigger-coupled bindings contribute
+  /// one catch-all fallback rule so their flows stay on the shim path.
+  [[nodiscard]] shim::TableSync compile_policy_table() const;
 
   /// Where life-cycle commands go (the inmate controller, §5.5).
   void set_inmate_controller(util::Endpoint controller);
@@ -192,6 +205,11 @@ class ContainmentServer : public PolicyServices {
     std::shared_ptr<Policy> policy;
   };
   std::vector<PolicyBinding> policies_;
+  /// VLAN ranges covered by activity triggers. A policy binding whose
+  /// range intersects any of these is never compiled concretely:
+  /// triggers key on decide()-observed flows, and table-served flows are
+  /// invisible to the containment server.
+  std::vector<VlanRange> trigger_ranges_;
   struct InfectionBinding {
     VlanRange range;
     std::vector<std::string> batch;

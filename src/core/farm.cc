@@ -28,6 +28,7 @@ Farm::Farm(FarmOptions options)
   gwc.mgmt_net = options_.mgmt_net;
   gwc.mgmt_addr = options_.mgmt_net.host(1);
   gwc.trace_archive = options_.trace_archive;
+  gwc.datapath = options_.datapath;
   gateway_ = std::make_unique<gw::Gateway>(loop_, gwc, &telemetry_);
   reporter_.register_trace_tap(&gateway_->upstream_trace());
 

@@ -22,6 +22,27 @@ namespace gq::gw {
 /// (Internet-reachable servers, needed e.g. for Storm proxy bots).
 enum class InboundMode { kDrop, kForward };
 
+/// Every gateway datapath toggle in one place: the switch fast path,
+/// the per-subfarm verdict cache, and the compiled policy table. Set
+/// once on GatewayConfig (or core::FarmOptions) instead of chasing
+/// individual setters; add_subfarm resolves these into each
+/// SubfarmConfig.
+struct DatapathOptions {
+  /// Hardware-switch fast path for established flows.
+  bool fast_path = true;
+
+  /// Gateway-side verdict cache (repeat flows resolved locally).
+  bool verdict_cache = true;
+  /// LRU bound on cached entries.
+  std::size_t verdict_cache_capacity = 4096;
+  /// TTL applied when a cacheable response carries cache_ttl_ms == 0.
+  util::Duration verdict_cache_default_ttl = util::seconds(60);
+
+  /// Compiled in-gateway policy table (first-contact flows resolved
+  /// locally from the containment server's pushed match-action rules).
+  bool policy_table = true;
+};
+
 /// Per-subfarm configuration (the "40-line configuration module").
 struct SubfarmConfig {
   std::string name;
@@ -109,8 +130,24 @@ struct SubfarmConfig {
   /// TTL applied when a cacheable response carries cache_ttl_ms == 0.
   util::Duration verdict_cache_default_ttl = util::seconds(60);
 
+  // --- Compiled policy table ------------------------------------------
+  /// Master switch for the in-gateway match-action table: when enabled
+  /// (and a current-epoch table has been synced), first-contact flows
+  /// whose rule compiles concretely are resolved with no shim round
+  /// trip.
+  bool policy_table_enabled = true;
+
   [[nodiscard]] bool owns_vlan(std::uint16_t vlan) const {
     return vlan >= vlan_first && vlan <= vlan_last;
+  }
+
+  /// Overwrite this config's datapath toggles from the gateway-wide
+  /// options.
+  void apply_datapath(const DatapathOptions& datapath) {
+    verdict_cache_enabled = datapath.verdict_cache;
+    verdict_cache_capacity = datapath.verdict_cache_capacity;
+    verdict_cache_default_ttl = datapath.verdict_cache_default_ttl;
+    policy_table_enabled = datapath.policy_table;
   }
 };
 
@@ -129,6 +166,10 @@ struct GatewayConfig {
   /// Rotation budget shared by every trace tap the gateway owns (the
   /// upstream/mgmt/inmate-ingress taps and one tap per subfarm router).
   trace::ArchiveConfig trace_archive;
+
+  /// Datapath toggles applied to the gateway and to every subfarm
+  /// router created under it.
+  DatapathOptions datapath;
 };
 
 }  // namespace gq::gw

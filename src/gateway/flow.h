@@ -94,10 +94,19 @@ struct Flow {
   std::uint64_t verdict_deadline_event = 0;
   bool fail_closed = false;
 
-  /// The verdict came from the gateway's verdict cache: no CS leg
-  /// exists for this flow (no redirect, no request shim, synthetic
-  /// handshake state), so CS-leg teardown must be skipped.
+  /// Where the flow's verdict came from: a CS shim round trip, the
+  /// verdict cache, or the compiled policy table. For the latter two no
+  /// CS leg exists (no redirect, no request shim, synthetic handshake
+  /// state), so CS-leg teardown must be skipped — see served_locally().
+  shim::VerdictSource verdict_source = shim::VerdictSource::kShim;
+  /// Back-compat alias kept in sync with verdict_source (== kCached).
   bool verdict_from_cache = false;
+
+  /// True when the verdict was resolved in-gateway (cache or table):
+  /// there is no containment-server leg to tear down or RST.
+  [[nodiscard]] bool served_locally() const {
+    return verdict_source != shim::VerdictSource::kShim;
+  }
 
   // Response-shim extraction: in-order reassembly of the CS->inmate
   // stream prefix.
@@ -150,9 +159,11 @@ struct FlowEvent {
   std::optional<std::int64_t> limit_bytes_per_sec;
   std::uint64_t bytes_to_server = 0;
   std::uint64_t bytes_to_inmate = 0;
-  /// kVerdict: where the verdict came from (gateway cache vs a CS shim
-  /// round trip; fail-closed verdicts count as "shim" — they are not
-  /// cache hits).
+  /// kVerdict: where the verdict came from (CS shim round trip, verdict
+  /// cache, or compiled policy table; fail-closed verdicts count as
+  /// "shim" — they are not local hits).
+  shim::VerdictSource verdict_source = shim::VerdictSource::kShim;
+  /// Back-compat alias: verdict_source == kCached.
   bool verdict_cached = false;
 };
 

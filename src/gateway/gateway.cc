@@ -2,6 +2,7 @@
 
 #include "gateway/router.h"
 #include "services/dhcp.h"
+#include "shim/table_sync.h"
 #include "util/log.h"
 
 namespace gq::gw {
@@ -32,7 +33,8 @@ Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config,
       upstream_trace_("upstream", config.trace_archive, telemetry_),
       mgmt_trace_("mgmt", config.trace_archive, telemetry_),
       inmate_rx_trace_("inmate_rx", config.trace_archive, telemetry_),
-      next_nonce_(config.nonce_port_first) {
+      next_nonce_(config.nonce_port_first),
+      fast_path_(config.datapath.fast_path) {
   // The management/control network has its own external connectivity
   // (the paper dedicates one of its five /24s to control infrastructure,
   // §6.7): the gateway proxy-ARPs the range upstream and routes it.
@@ -48,7 +50,11 @@ Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config,
 Gateway::~Gateway() = default;
 
 SubfarmRouter& Gateway::add_subfarm(const SubfarmConfig& config) {
-  subfarms_.push_back(std::make_unique<SubfarmRouter>(*this, config));
+  // The gateway-wide datapath options win over whatever the caller left
+  // in the per-subfarm toggles: one knob, resolved here.
+  SubfarmConfig resolved = config;
+  resolved.apply_datapath(config_.datapath);
+  subfarms_.push_back(std::make_unique<SubfarmRouter>(*this, resolved));
   auto& subfarm = *subfarms_.back();
   // The gateway answers upstream ARP for the whole NATed global range.
   upstream_arp_.add_proxy_range(config.external_net);
@@ -348,6 +354,29 @@ void Gateway::on_mgmt_frame(sim::Frame raw) {
     return;
   }
   if (!frame->ip) return;
+
+  // Policy-table syncs (shim wire v4) arrive as UDP datagrams on the
+  // gateway's own management address. The pushing containment server's
+  // source address selects which subfarm routers install the table: any
+  // router that lists it as its (or a cluster member's) CS.
+  if (frame->ip->dst == config_.mgmt_addr && frame->udp &&
+      frame->udp->dst_port == shim::kTableSyncPort) {
+    const auto sync = shim::TableSync::parse(frame->udp->payload);
+    if (!sync) {
+      GQ_WARN(kLog, "malformed policy-table sync from %s dropped",
+              frame->ip->src.str().c_str());
+      return;
+    }
+    const util::Ipv4Addr cs_addr = frame->ip->src;
+    for (auto& subfarm : subfarms_) {
+      const auto& cfg = subfarm->config();
+      bool owned = cfg.containment_server.addr == cs_addr;
+      for (const auto& extra : cfg.extra_containment_servers)
+        owned = owned || extra.addr == cs_addr;
+      if (owned) subfarm->install_policy_table(*sync);
+    }
+    return;
+  }
 
   // Containment-server nonce legs terminate on the gateway's own
   // management address.

@@ -1,0 +1,43 @@
+#include "gateway/policy_table.h"
+
+#include <algorithm>
+
+namespace gq::gw {
+
+namespace {
+
+/// Width of a rule's port range (any-port rules span the full space).
+std::uint32_t port_span(const shim::TableRule& r) {
+  return static_cast<std::uint32_t>(r.port_last - r.port_first);
+}
+
+/// Specificity order: earlier bindings first (the containment server's
+/// first-match-across-bindings precedence), then longer prefixes, then
+/// narrower port ranges — so a linear first-hit scan implements
+/// longest-prefix match within a binding. Ties keep encounter order
+/// (stable sort), matching the compiler's arm order.
+bool more_specific(const shim::TableRule& a, const shim::TableRule& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.prefix_len != b.prefix_len) return a.prefix_len > b.prefix_len;
+  return port_span(a) < port_span(b);
+}
+
+}  // namespace
+
+bool PolicyTable::install(const shim::TableSync& sync) {
+  if (sync.epoch < epoch_) return false;
+  rules_ = sync.rules;
+  std::stable_sort(rules_.begin(), rules_.end(), more_specific);
+  epoch_ = sync.epoch;
+  return true;
+}
+
+const shim::TableRule* PolicyTable::lookup(
+    std::uint16_t vlan, std::uint8_t proto,
+    const util::Endpoint& dst) const {
+  for (const auto& rule : rules_)
+    if (rule.matches(vlan, proto, dst)) return &rule;
+  return nullptr;
+}
+
+}  // namespace gq::gw

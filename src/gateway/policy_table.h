@@ -1,0 +1,67 @@
+// The compiled in-gateway policy table: the router-resident half of the
+// line-rate first-contact datapath. The containment server compiles its
+// policy class hierarchy into flat match-action rules (shim wire v4,
+// see shim/table_sync.h) and pushes the complete table per policy
+// epoch; the router probes this table for every admitted first-contact
+// flow *before* consulting the verdict cache, and a concrete match
+// resolves the verdict locally with zero containment-server round
+// trips. Rules compiled to kFallback — REWRITE arms, trigger-coupled
+// VLAN ranges, stateful policies — deliberately punt to the shim path,
+// as does any miss.
+//
+// Epoch discipline mirrors the verdict cache: the table is stamped with
+// the containment server's policy epoch at compile time, installs are
+// rejected when older than what the router has already seen, and a
+// newer install bumps the shared router epoch (flushing the verdict
+// cache atomically with the table swap). A table whose epoch lags the
+// router's is never consulted — stale rules cannot outlive a policy
+// reload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shim/table_sync.h"
+#include "util/addr.h"
+
+namespace gq::gw {
+
+/// Flat, epoch-versioned match-action table with longest-prefix-match
+/// semantics. Lookup is a linear scan over rules pre-sorted at install
+/// time by (binding priority, prefix length desc, port-range width asc)
+/// — specificity order — so the first hit is the correct match. Real
+/// compiled tables are tens of rules; the scan is cheap and keeps the
+/// structure trivially auditable next to the differential harness.
+class PolicyTable {
+ public:
+  /// Replace the whole table with `sync`'s rules. Returns false (and
+  /// leaves the current table untouched) when `sync.epoch` is older
+  /// than the installed epoch; same-epoch re-installs are accepted
+  /// idempotently (table pushes ride UDP and may be repeated).
+  bool install(const shim::TableSync& sync);
+
+  /// Most specific rule covering (vlan, proto, dst), or nullptr on a
+  /// miss. `proto` uses shim::TableRule::kProto{Tcp,Udp}. A returned
+  /// rule may still be a kFallback — callers route those to the shim
+  /// path just like a miss, but count them separately.
+  [[nodiscard]] const shim::TableRule* lookup(
+      std::uint16_t vlan, std::uint8_t proto,
+      const util::Endpoint& dst) const;
+
+  /// Drop every rule (the epoch is retained, so a re-push of the same
+  /// generation can restore the table).
+  void clear() { rules_.clear(); }
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] const std::vector<shim::TableRule>& rules() const {
+    return rules_;
+  }
+
+ private:
+  std::vector<shim::TableRule> rules_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gq::gw

@@ -60,6 +60,7 @@ obs::FarmEvent to_farm_event(const FlowEvent& event) {
   out.limit_bytes_per_sec = event.limit_bytes_per_sec;
   out.bytes_to_server = event.bytes_to_server;
   out.bytes_to_inmate = event.bytes_to_inmate;
+  out.verdict_source = event.verdict_source;
   out.verdict_cached = event.verdict_cached;
   return out;
 }
@@ -96,6 +97,7 @@ std::optional<FlowEvent> to_flow_event(const obs::FarmEvent& event) {
   out.limit_bytes_per_sec = event.limit_bytes_per_sec;
   out.bytes_to_server = event.bytes_to_server;
   out.bytes_to_inmate = event.bytes_to_inmate;
+  out.verdict_source = event.verdict_source;
   out.verdict_cached = event.verdict_cached;
   return out;
 }
@@ -150,6 +152,12 @@ SubfarmRouter::SubfarmRouter(Gateway& gateway, SubfarmConfig config)
       &metrics.histogram(prefix + "decision_latency_cached_us");
   decision_latency_uncached_hist_ =
       &metrics.histogram(prefix + "decision_latency_uncached_us");
+  table_hit_ctr_ = &metrics.counter(prefix + "table_hit");
+  table_fallback_ctr_ = &metrics.counter(prefix + "table_fallback");
+  table_sync_ctr_ = &metrics.counter(prefix + "table_sync");
+  table_stale_ctr_ = &metrics.counter(prefix + "table_stale");
+  decision_latency_table_hist_ =
+      &metrics.histogram(prefix + "decision_latency_table_us");
   // Per-verdict counters are resolved here, once, rather than by
   // rebuilding "gw.<subfarm>.verdicts.<name>" for every verdict applied.
   for (std::uint32_t v = 1; v <= verdict_ctrs_.size(); ++v) {
@@ -203,6 +211,34 @@ void SubfarmRouter::set_verdict_cache_enabled(bool enabled) {
   config_.verdict_cache_enabled = enabled;
 }
 
+bool SubfarmRouter::install_policy_table(const shim::TableSync& sync) {
+  // The router's epoch high-water mark covers both local datapaths: a
+  // sync older than anything we have seen (a shim response, a previous
+  // sync, a reload notification) describes a superseded policy set.
+  if (sync.epoch < cache_epoch_ || !policy_table_.install(sync)) {
+    table_stale_ctr_->inc();
+    GQ_WARN(kLog, "[%s] stale policy table rejected (epoch %llu < %llu)",
+            config_.name.c_str(),
+            static_cast<unsigned long long>(sync.epoch),
+            static_cast<unsigned long long>(
+                std::max(cache_epoch_, policy_table_.epoch())));
+    return false;
+  }
+  // A newer epoch flushes the verdict cache atomically with the table
+  // swap — one invalidation point for both local datapaths.
+  on_policy_epoch(sync.epoch);
+  table_sync_ctr_->inc();
+  GQ_INFO(kLog, "[%s] policy table installed: epoch %llu, %zu rules",
+          config_.name.c_str(),
+          static_cast<unsigned long long>(sync.epoch),
+          policy_table_.size());
+  return true;
+}
+
+void SubfarmRouter::set_policy_table_enabled(bool enabled) {
+  config_.policy_table_enabled = enabled;
+}
+
 bool SubfarmRouter::is_internal(util::Ipv4Addr addr) const {
   return config_.internal_net.contains(addr);
 }
@@ -229,6 +265,7 @@ void SubfarmRouter::report(const Flow& flow, FlowEvent::Kind kind) {
   event.limit_bytes_per_sec = flow.limit_bytes_per_sec;
   event.bytes_to_server = flow.bytes_to_server;
   event.bytes_to_inmate = flow.bytes_to_inmate;
+  event.verdict_source = flow.verdict_source;
   event.verdict_cached = flow.verdict_from_cache;
   gateway_.telemetry().publish(to_farm_event(event));
 }
@@ -505,12 +542,20 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
   }
   safety_admits_ctr_->inc();
 
+  // Compiled-policy-table probe (after the safety filter — the caps
+  // apply to table-resolved flows too — but before the verdict cache:
+  // the table covers first contacts the cache has never seen, and a
+  // concrete rule is authoritative for the whole epoch). A hit resolves
+  // the flow right here; a kFallback rule or a miss falls through.
+  const shim::TableRule* table_rule =
+      probe_policy_table(vlan, key.proto, key.dst);
+
   // Verdict-cache consult (after the safety filter: cached FORWARD /
   // LIMIT verdicts stay subject to the connection-rate caps). A live
   // entry resolves the flow right here — no redirect, no shim round
   // trip, no containment-server occupancy.
   std::optional<CachedVerdict> cached;
-  if (config_.verdict_cache_enabled) {
+  if (!table_rule && config_.verdict_cache_enabled) {
     std::uint64_t expired = 0;
     if (const CachedVerdict* entry =
             verdict_cache_.lookup(key.proto, vlan, key.src, key.dst, now,
@@ -539,6 +584,10 @@ void SubfarmRouter::handle_new_inmate_flow(std::uint16_t vlan,
   flows_created_ctr_->inc();
   active_flows_gauge_->set(static_cast<std::int64_t>(flows_.size()));
 
+  if (table_rule) {
+    serve_table_verdict(flow, *table_rule, frame);
+    return;
+  }
   if (cached) {
     serve_cached_verdict(flow, *cached, frame);
     return;
@@ -581,6 +630,7 @@ void SubfarmRouter::serve_cached_verdict(const FlowPtr& flow,
                                          const CachedVerdict& entry,
                                          pkt::DecodedFrame& frame) {
   Flow& f = *flow;
+  f.verdict_source = shim::VerdictSource::kCached;
   f.verdict_from_cache = true;
   f.cs_src = f.inmate_ep;  // No CS leg: never remapped, never indexed.
   // Symmetric with the miss path: the flow joins the pending-verdict
@@ -616,6 +666,94 @@ void SubfarmRouter::serve_cached_verdict(const FlowPtr& flow,
     apply_udp_verdict(f, synthesized, {});
     // Deliver the datagram that opened the flow through the now-decided
     // flow state (forwarded, limited, redirected — or silently dropped).
+    udp_from_inmate(f, frame);
+  }
+}
+
+const shim::TableRule* SubfarmRouter::probe_policy_table(
+    std::uint16_t vlan, pkt::FlowProto proto, util::Endpoint dst) {
+  if (!config_.policy_table_enabled || policy_table_.empty()) return nullptr;
+  // A table whose epoch lags the router's high-water mark was compiled
+  // from a superseded policy set: never consult it. (A *newer* table
+  // cannot exist — installs advance cache_epoch_ in lockstep.)
+  if (policy_table_.epoch() != cache_epoch_) return nullptr;
+  const std::uint8_t proto_code = proto == pkt::FlowProto::kTcp
+                                      ? shim::TableRule::kProtoTcp
+                                      : shim::TableRule::kProtoUdp;
+  const shim::TableRule* rule = policy_table_.lookup(vlan, proto_code, dst);
+  if (!rule) return nullptr;
+  if (rule->action == shim::TableAction::kFallback) {
+    // The policy pinned this match arm to the containment server
+    // (REWRITE, side effects, state) — shim path, counted separately
+    // from plain misses.
+    table_fallback_ctr_->inc();
+    return nullptr;
+  }
+  table_hit_ctr_->inc();
+  return rule;
+}
+
+void SubfarmRouter::serve_table_verdict(const FlowPtr& flow,
+                                        const shim::TableRule& rule,
+                                        pkt::DecodedFrame& frame) {
+  Flow& f = *flow;
+  f.verdict_source = shim::VerdictSource::kTable;
+  f.cs_src = f.inmate_ep;  // No CS leg: never remapped, never indexed.
+  // Symmetric with serve_cached_verdict: join the pending-verdict gauge
+  // so verdict_resolved()'s decrement balances; no deadline needed.
+  pending_verdicts_gauge_->add(1);
+
+  // Synthesize the response shim the containment server would have sent
+  // for this match arm and run it through the normal verdict machinery —
+  // enforcement, accounting, and reporting are identical to a CS-issued
+  // verdict (the differential harness holds us to that).
+  shim::ResponseShim synthesized;
+  synthesized.orig = f.inmate_ep;
+  synthesized.resp = f.orig_dst;
+  synthesized.policy_name = rule.policy_name;
+  synthesized.annotation = rule.annotation;
+  synthesized.policy_epoch = cache_epoch_;
+  switch (rule.action) {
+    case shim::TableAction::kForward:
+      synthesized.verdict = shim::Verdict::kForward;
+      break;
+    case shim::TableAction::kDrop:
+      synthesized.verdict = shim::Verdict::kDrop;
+      break;
+    case shim::TableAction::kLimit:
+      synthesized.verdict = shim::Verdict::kLimit;
+      if (rule.limit_bytes_per_sec > 0) {
+        synthesized.limit_bytes_per_sec =
+            static_cast<std::int64_t>(rule.limit_bytes_per_sec);
+      }
+      break;
+    case shim::TableAction::kRedirect:
+      synthesized.verdict = shim::Verdict::kRedirect;
+      synthesized.resp = rule.target;
+      break;
+    case shim::TableAction::kReflect:
+      synthesized.verdict = shim::Verdict::kReflect;
+      synthesized.resp = rule.target;
+      break;
+    case shim::TableAction::kFallback:
+      return;  // Unreachable: probe_policy_table filters fallbacks.
+  }
+
+  if (f.proto == pkt::FlowProto::kTcp) {
+    f.inmate_isn = frame.tcp->seq;
+    f.inmate_snd_nxt = frame.tcp->seq + 1;
+    // Play the server's side of the handshake with a synthetic ISN,
+    // exactly like a cache hit (see serve_cached_verdict).
+    f.cs_isn = static_cast<std::uint32_t>(rng_.next());
+    f.cs_isn_known = true;
+    f.cs_in_expected = f.cs_isn + 1;
+    if (synthesized.verdict != shim::Verdict::kDrop) {
+      emit_tcp(f.orig_dst, f.inmate_ep, pkt::kTcpSyn | pkt::kTcpAck,
+               f.cs_isn, f.inmate_isn + 1, {});
+    }
+    apply_verdict(f, synthesized);
+  } else {
+    apply_udp_verdict(f, synthesized, {});
     udp_from_inmate(f, frame);
   }
 }
@@ -991,16 +1129,24 @@ void SubfarmRouter::apply_verdict(Flow& flow,
   const double latency_us = static_cast<double>(
       (gateway_.loop().now() - flow.created).usec);
   decision_latency_hist_->observe(latency_us);
-  (flow.verdict_from_cache ? decision_latency_cached_hist_
-                           : decision_latency_uncached_hist_)
-      ->observe(latency_us);
+  switch (flow.verdict_source) {
+    case shim::VerdictSource::kTable:
+      decision_latency_table_hist_->observe(latency_us);
+      break;
+    case shim::VerdictSource::kCached:
+      decision_latency_cached_hist_->observe(latency_us);
+      break;
+    case shim::VerdictSource::kShim:
+      decision_latency_uncached_hist_->observe(latency_us);
+      break;
+  }
   verdict_counter(shim.verdict).inc();
   maybe_cache_verdict(flow, shim);
   // Link the verdict into the trace archive's flow index: the flow's
   // packets were captured pre-NAT, so the canonical index key is the
   // inmate's original (inmate_ep -> orig_dst) direction.
   trace_.annotate({flow.proto, flow.inmate_ep, flow.orig_dst}, flow.vlan,
-                  shim.verdict, shim.policy_name, flow.verdict_from_cache);
+                  shim.verdict, shim.policy_name, flow.verdict_source);
   GQ_INFO(kLog, "[%s] vlan %u %s -> %s: %s (%s)", config_.name.c_str(),
           flow.vlan, flow.inmate_ep.str().c_str(),
           flow.orig_dst.str().c_str(), shim::verdict_name(shim.verdict),
@@ -1030,7 +1176,7 @@ void SubfarmRouter::apply_verdict(Flow& flow,
       break;
     case shim::Verdict::kDrop:
       flow.phase = FlowPhase::kDenied;
-      if (!flow.verdict_from_cache) send_rst_to_cs(flow);
+      if (!flow.served_locally()) send_rst_to_cs(flow);
       if (config_.drop_sends_rst) send_rst_to_inmate(flow);
       break;
   }
@@ -1040,8 +1186,10 @@ void SubfarmRouter::apply_verdict(Flow& flow,
 void SubfarmRouter::maybe_cache_verdict(const Flow& flow,
                                         const shim::ResponseShim& shim) {
   // Only genuine CS responses drive the cache; verdicts synthesized
-  // locally (fail-closed) or replayed from the cache itself never do.
-  if (flow.fail_closed || flow.verdict_from_cache) return;
+  // locally — fail-closed, cache replays, and policy-table hits — never
+  // do (a table hit inserting a cache entry would double-count the
+  // local datapaths and let a rule outlive its table via the TTL).
+  if (flow.fail_closed || flow.served_locally()) return;
   // Every CS response carries the policy epoch: a bump means the policy
   // set was reconfigured, so everything cached under the old set is
   // invalid — flush before considering this response for insertion.
@@ -1078,10 +1226,10 @@ void SubfarmRouter::maybe_cache_verdict(const Flow& flow,
 
 void SubfarmRouter::start_splice(Flow& flow) {
   flow.phase = FlowPhase::kSplicing;
-  // Cache-resolved flows have no CS leg to tear down — and their
-  // cs_src was never remapped, so the CS-leg key could name another
-  // flow's live entry.
-  if (!flow.verdict_from_cache) {
+  // Locally resolved flows (cache or table) have no CS leg to tear
+  // down — and their cs_src was never remapped, so the CS-leg key could
+  // name another flow's live entry.
+  if (!flow.served_locally()) {
     send_rst_to_cs(flow);
     // Re-home the server-side index from the CS to the actual target.
     server_index_.erase(
@@ -1337,9 +1485,17 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
   const auto now = gateway_.loop().now();
   const double latency_us = static_cast<double>((now - flow.created).usec);
   decision_latency_hist_->observe(latency_us);
-  (flow.verdict_from_cache ? decision_latency_cached_hist_
-                           : decision_latency_uncached_hist_)
-      ->observe(latency_us);
+  switch (flow.verdict_source) {
+    case shim::VerdictSource::kTable:
+      decision_latency_table_hist_->observe(latency_us);
+      break;
+    case shim::VerdictSource::kCached:
+      decision_latency_cached_hist_->observe(latency_us);
+      break;
+    case shim::VerdictSource::kShim:
+      decision_latency_uncached_hist_->observe(latency_us);
+      break;
+  }
   if (flow.req_shim_sent && !flow.req_shim_acked) {
     flow.req_shim_acked = true;
     shim_rtt_hist_->observe(
@@ -1348,7 +1504,7 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
   verdict_counter(shim.verdict).inc();
   maybe_cache_verdict(flow, shim);
   trace_.annotate({flow.proto, flow.inmate_ep, flow.orig_dst}, flow.vlan,
-                  shim.verdict, shim.policy_name, flow.verdict_from_cache);
+                  shim.verdict, shim.policy_name, flow.verdict_source);
 
   switch (shim.verdict) {
     case shim::Verdict::kRewrite: {
@@ -1377,9 +1533,9 @@ void SubfarmRouter::apply_udp_verdict(Flow& flow,
       }
       flow.server_is_cs = false;
       flow.phase = FlowPhase::kEstablished;
-      // Same CS-leg caveat as start_splice(): a cache-resolved flow was
-      // never indexed under its cs_src.
-      if (!flow.verdict_from_cache) {
+      // Same CS-leg caveat as start_splice(): a locally resolved flow
+      // was never indexed under its cs_src.
+      if (!flow.served_locally()) {
         server_index_.erase(
             {flow.proto, flow.cs_ep, flow.cs_src});
       }
@@ -1496,7 +1652,7 @@ void SubfarmRouter::close_flow(Flow& flow) {
     gateway_.release_nonce(flow.nonce_port);
     flow.nonce_port = 0;
   }
-  if (!flow.verdict_from_cache) {
+  if (!flow.served_locally()) {
     server_index_.erase(
         {flow.proto, flow.cs_ep, flow.cs_src});
   }

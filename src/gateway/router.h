@@ -18,6 +18,7 @@
 #include "gateway/config.h"
 #include "gateway/flow.h"
 #include "gateway/inmate_table.h"
+#include "gateway/policy_table.h"
 #include "gateway/safety.h"
 #include "gateway/verdict_cache.h"
 #include "obs/telemetry.h"
@@ -116,6 +117,30 @@ class SubfarmRouter {
     return cache_miss_ctr_->value();
   }
 
+  // --- Compiled policy table (tentpole) --------------------------------
+  /// Install a table pushed by the containment server (shim wire v4).
+  /// A sync older than the router's policy epoch is rejected (counted
+  /// as stale); a newer one advances the shared epoch, flushing the
+  /// verdict cache atomically with the table swap. Returns whether the
+  /// table was installed.
+  bool install_policy_table(const shim::TableSync& sync);
+  /// Runtime toggle (benchmarks, differential harness). Disabling does
+  /// not drop the installed rules — re-enabling picks them back up if
+  /// their epoch is still current.
+  void set_policy_table_enabled(bool enabled);
+  [[nodiscard]] bool policy_table_enabled() const {
+    return config_.policy_table_enabled;
+  }
+  [[nodiscard]] const PolicyTable& policy_table() const {
+    return policy_table_;
+  }
+  [[nodiscard]] std::uint64_t table_hits() const {
+    return table_hit_ctr_->value();
+  }
+  [[nodiscard]] std::uint64_t table_fallbacks() const {
+    return table_fallback_ctr_->value();
+  }
+
  private:
   struct NonceRelay {
     util::Endpoint cs_ep;       // CS's source for this leg.
@@ -175,6 +200,21 @@ class SubfarmRouter {
   /// the cache epoch from the shim.
   void maybe_cache_verdict(const Flow& flow, const shim::ResponseShim& shim);
 
+  // --- Compiled policy table ----------------------------------------------
+  /// Probe the policy table for a brand-new flow. Returns a concrete
+  /// (non-fallback) rule when the table is enabled, current-epoch, and
+  /// matches — counting hits and fallbacks; nullptr sends the flow down
+  /// the cache/shim path.
+  const shim::TableRule* probe_policy_table(std::uint16_t vlan,
+                                            pkt::FlowProto proto,
+                                            util::Endpoint dst);
+  /// Resolve a brand-new flow from a concrete table rule: synthesize
+  /// the response shim the CS would have sent and run it through the
+  /// normal verdict machinery (synthetic handshake for TCP, exactly
+  /// like a cache hit — no CS leg ever exists).
+  void serve_table_verdict(const FlowPtr& flow, const shim::TableRule& rule,
+                           pkt::DecodedFrame& frame);
+
   // --- Helpers --------------------------------------------------------------
   /// NAT source the server side should see for this flow's server.
   util::Endpoint nat_source_for(const Flow& flow,
@@ -227,6 +267,14 @@ class SubfarmRouter {
   obs::Counter* cache_bypass_ctr_ = nullptr;
   obs::Histogram* decision_latency_cached_hist_ = nullptr;
   obs::Histogram* decision_latency_uncached_hist_ = nullptr;
+  // Policy-table observability: local first-contact verdicts, fallback-
+  // rule shim escalations, accepted syncs, and stale syncs rejected by
+  // epoch, plus the table slice of the decision-latency split.
+  obs::Counter* table_hit_ctr_ = nullptr;
+  obs::Counter* table_fallback_ctr_ = nullptr;
+  obs::Counter* table_sync_ctr_ = nullptr;
+  obs::Counter* table_stale_ctr_ = nullptr;
+  obs::Histogram* decision_latency_table_hist_ = nullptr;
   // Per-verdict counters, resolved once at construction and indexed by
   // (verdict - 1). Replaces per-event name concatenation + registry
   // lookup on the verdict hot path.
@@ -235,9 +283,16 @@ class SubfarmRouter {
   // Gateway-side verdict cache (tentpole): repeat flows matching a
   // cacheable decision are resolved here, without a CS round trip.
   VerdictCache verdict_cache_{0};
-  /// Highest containment-policy epoch observed (from response shims or
-  /// on_policy_epoch()); entries cached under older epochs are flushed.
+  /// Highest containment-policy epoch observed (from response shims,
+  /// table syncs, or on_policy_epoch()); entries cached under older
+  /// epochs are flushed, and a policy table from an older epoch is
+  /// never consulted.
   std::uint64_t cache_epoch_ = 0;
+
+  // Compiled policy table: first-contact flows matching a concrete rule
+  // are resolved here, before the verdict cache and without a CS round
+  // trip.
+  PolicyTable policy_table_;
 
   // Flow table, keyed by the inmate-side original flow. All per-frame
   // lookup tables are hash maps: the datapath does several lookups per

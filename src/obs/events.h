@@ -59,8 +59,12 @@ struct FarmEvent {
   std::optional<std::int64_t> limit_bytes_per_sec;  ///< LIMIT parameter.
   std::uint64_t bytes_to_server = 0;
   std::uint64_t bytes_to_inmate = 0;
-  /// kFlowVerdict: the verdict was served from the gateway's verdict
-  /// cache — the flow never reached the containment server.
+  /// kFlowVerdict: where the verdict was resolved — a containment-
+  /// server shim round trip, the gateway's verdict cache, or the
+  /// compiled in-gateway policy table. The latter two mean the flow
+  /// never reached the containment server.
+  shim::VerdictSource verdict_source = shim::VerdictSource::kShim;
+  /// Back-compat alias: verdict_source == kCached.
   bool verdict_cached = false;
 
   // kDhcpBind.

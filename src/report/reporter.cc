@@ -23,7 +23,10 @@ void Reporter::on_event(const obs::FarmEvent& event) {
       auto& group =
           inmate.groups[GroupKey{event.verdict, event.annotation}];
       ++group.flows;
-      if (event.verdict_cached) ++group.cached;
+      if (event.verdict_source == shim::VerdictSource::kCached)
+        ++group.cached;
+      else if (event.verdict_source == shim::VerdictSource::kTable)
+        ++group.table;
       ++group.by_target[event.orig_dst];
       return;
     }
@@ -172,6 +175,11 @@ std::string Reporter::render(util::TimePoint now) const {
               " (%llu cached)",
               static_cast<unsigned long long>(stats.cached));
         }
+        if (stats.table > 0) {
+          out += util::format(
+              " (%llu table)",
+              static_cast<unsigned long long>(stats.table));
+        }
         out += "\n";
       }
       for (const auto& [sample, md5] : inmate.infections) {
@@ -247,8 +255,11 @@ std::string Reporter::render(util::TimePoint now) const {
         std::string verdict = flow.has_verdict
                                   ? shim::verdict_name(flow.verdict)
                                   : std::string("-");
-        if (flow.has_verdict)
-          verdict += flow.verdict_cached ? " [cached]" : " [shim]";
+        if (flow.has_verdict) {
+          verdict += " [";
+          verdict += shim::verdict_source_name(flow.verdict_source);
+          verdict += "]";
+        }
         out += util::format(
             "  %s %s -> %s vlan %u  %llu pkts / %llu B  %s%s%s\n", proto,
             flow.key.src.str().c_str(), flow.key.dst.str().c_str(),

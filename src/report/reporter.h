@@ -91,8 +91,10 @@ class Reporter {
   struct GroupStats {
     std::uint64_t flows = 0;
     /// How many of `flows` were resolved from the gateway's verdict
-    /// cache (the rest took a containment-server shim round trip).
+    /// cache, and how many from the compiled policy table (the rest
+    /// took a containment-server shim round trip).
     std::uint64_t cached = 0;
+    std::uint64_t table = 0;
     std::map<util::Endpoint, std::uint64_t> by_target;
   };
   struct InmateReport {

@@ -25,6 +25,15 @@ const char* cache_scope_name(CacheScope scope) {
   return "?";
 }
 
+const char* verdict_source_name(VerdictSource source) {
+  switch (source) {
+    case VerdictSource::kShim: return "shim";
+    case VerdictSource::kCached: return "cached";
+    case VerdictSource::kTable: return "table";
+  }
+  return "?";
+}
+
 namespace {
 
 void write_preamble(util::ByteWriter& w, std::uint16_t length,

@@ -25,6 +25,15 @@
 // parameter block gates whether the verdict may be cached at all).
 // Parsers accept both versions; v2 responses are simply never
 // cacheable.
+//
+// Wire version 4 adds a third message type alongside request/response:
+// the *table-sync* frame (kTypeTableSync, see shim/table_sync.h) by
+// which the containment server pushes its compiled match-action policy
+// table to each gateway router. Table-sync frames travel on their own
+// UDP port, never inside a flow's byte stream, so the v2/v3 stream
+// parsers here remain untouched — `read_preamble` still accepts only
+// versions 2 and 3, and v4 frames are decoded solely by the table-sync
+// codec.
 #pragma once
 
 #include <cstdint>
@@ -56,8 +65,12 @@ inline constexpr std::uint32_t kShimMagic = 0x47515348;
 /// Current wire version (encoders emit this); v2 is still parsed.
 inline constexpr std::uint8_t kShimVersion = 3;
 inline constexpr std::uint8_t kShimVersionV2 = 2;
+/// Table-sync wire version (table-sync frames only; stream shims stay v3).
+inline constexpr std::uint8_t kShimVersionV4 = 4;
 inline constexpr std::uint8_t kTypeRequest = 1;
 inline constexpr std::uint8_t kTypeResponse = 2;
+/// Compiled policy-table push (v4, UDP datagram; see shim/table_sync.h).
+inline constexpr std::uint8_t kTypeTableSync = 3;
 inline constexpr std::size_t kRequestShimSize = 24;
 /// v2 response layout: preamble (8) + four-tuple (12) + verdict (4) +
 /// policy name (32) + parameter block (12) = 68, then the annotation.
@@ -84,6 +97,19 @@ enum class CacheScope : std::uint8_t {
 };
 
 const char* cache_scope_name(CacheScope scope);
+
+/// Where a flow's containment verdict came from, in descending order of
+/// cost: a full shim round trip to the containment server, the gateway's
+/// verdict cache, or the compiled in-gateway policy table. Threaded
+/// through flow events, trace annotations, and the reporter so every
+/// listing names its datapath.
+enum class VerdictSource : std::uint8_t {
+  kShim = 0,    ///< Containment-server shim round trip.
+  kCached = 1,  ///< Gateway verdict cache (repeat flow).
+  kTable = 2,   ///< Compiled policy table (first-contact local verdict).
+};
+
+const char* verdict_source_name(VerdictSource source);
 
 /// Containment request shim: gateway -> containment server.
 struct RequestShim {

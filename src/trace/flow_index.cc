@@ -32,13 +32,15 @@ FlowRecord& FlowIndex::touch(const pkt::FlowKey& key, std::uint16_t vlan,
 
 bool FlowIndex::annotate(const pkt::FlowKey& key, std::uint16_t vlan,
                          shim::Verdict verdict,
-                         const std::string& policy_name, bool cached) {
+                         const std::string& policy_name,
+                         shim::VerdictSource source) {
   FlowRecord* record = lookup(key, vlan);
   if (!record) return false;
   record->has_verdict = true;
   record->verdict = verdict;
   record->policy_name = policy_name;
-  record->verdict_cached = cached;
+  record->verdict_source = source;
+  record->verdict_cached = source == shim::VerdictSource::kCached;
   return true;
 }
 

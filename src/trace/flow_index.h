@@ -41,8 +41,10 @@ struct FlowRecord {
   bool has_verdict = false;
   shim::Verdict verdict = shim::Verdict::kDrop;
   std::string policy_name;
-  /// The verdict was served from the gateway's verdict cache rather
-  /// than a containment-server shim round trip.
+  /// Where the verdict was resolved: containment-server shim round
+  /// trip, gateway verdict cache, or compiled in-gateway policy table.
+  shim::VerdictSource verdict_source = shim::VerdictSource::kShim;
+  /// Back-compat alias: verdict_source == kCached.
   bool verdict_cached = false;
 
   /// Archive location of every captured packet, capture order. Entries
@@ -60,10 +62,11 @@ class FlowIndex {
 
   /// Attach a containment verdict to a flow. Returns false when the
   /// flow was never captured (e.g. its packets all predate the index).
-  /// `cached` records the verdict's source (gateway cache vs CS shim).
+  /// `source` records where the verdict was resolved (CS shim round
+  /// trip, gateway verdict cache, or compiled policy table).
   bool annotate(const pkt::FlowKey& key, std::uint16_t vlan,
                 shim::Verdict verdict, const std::string& policy_name,
-                bool cached = false);
+                shim::VerdictSource source = shim::VerdictSource::kShim);
 
   /// Bidirectional lookup: `key` or its reverse. nullptr when unknown.
   [[nodiscard]] const FlowRecord* find(const pkt::FlowKey& key,

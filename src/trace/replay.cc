@@ -13,7 +13,7 @@ std::string event_line(const obs::FarmEvent& e) {
      << e.subfarm << " vlan=" << e.vlan << ' '
      << (e.proto == pkt::FlowProto::kTcp ? "tcp" : "udp")
      << " dst=" << e.orig_dst.str() << ' ' << shim::verdict_name(e.verdict)
-     << " src=" << (e.verdict_cached ? "cached" : "shim")
+     << " src=" << shim::verdict_source_name(e.verdict_source)
      << " policy=" << e.policy_name << " ann=" << e.annotation;
   if (e.limit_bytes_per_sec) os << " limit=" << *e.limit_bytes_per_sec;
   os << " b2s=" << e.bytes_to_server << " b2i=" << e.bytes_to_inmate

@@ -90,8 +90,9 @@ void TraceTap::record(util::TimePoint at,
 
 bool TraceTap::annotate(const pkt::FlowKey& key, std::uint16_t vlan,
                         shim::Verdict verdict,
-                        const std::string& policy_name, bool cached) {
-  return index_.annotate(key, vlan, verdict, policy_name, cached);
+                        const std::string& policy_name,
+                        shim::VerdictSource source) {
+  return index_.annotate(key, vlan, verdict, policy_name, source);
 }
 
 std::vector<pkt::PcapRecord> TraceTap::extract_flow(
@@ -153,7 +154,7 @@ bool TraceTap::save(const std::string& dir) const {
     }
     // Verdict source, trailing so pre-cache readers stay compatible.
     flows << '\t'
-          << (flow.has_verdict ? (flow.verdict_cached ? "cached" : "shim")
+          << (flow.has_verdict ? shim::verdict_source_name(flow.verdict_source)
                                : "-");
     flows << '\n';
   }
@@ -276,7 +277,15 @@ std::optional<TraceTap> load_trace(const std::string& dir) {
       }
       // Optional trailing verdict-source column (absent in archives
       // written before gateway-side verdict caching existed).
-      if (next(field)) record.verdict_cached = field == "cached";
+      if (next(field)) {
+        record.verdict_source = field == "cached"
+                                    ? shim::VerdictSource::kCached
+                                    : field == "table"
+                                          ? shim::VerdictSource::kTable
+                                          : shim::VerdictSource::kShim;
+        record.verdict_cached =
+            record.verdict_source == shim::VerdictSource::kCached;
+      }
       tap.index_.restore(std::move(record));
     }
   }

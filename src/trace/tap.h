@@ -52,12 +52,12 @@ class TraceTap {
   void record(util::TimePoint at, std::span<const std::uint8_t> frame,
               std::uint16_t vlan_hint = 0);
 
-  /// Attach a containment verdict to an indexed flow. `cached` records
-  /// whether the verdict came from the gateway's verdict cache or a
-  /// containment-server shim round trip.
+  /// Attach a containment verdict to an indexed flow. `source` records
+  /// where the verdict was resolved — a containment-server shim round
+  /// trip, the gateway's verdict cache, or the compiled policy table.
   bool annotate(const pkt::FlowKey& key, std::uint16_t vlan,
                 shim::Verdict verdict, const std::string& policy_name,
-                bool cached = false);
+                shim::VerdictSource source = shim::VerdictSource::kShim);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const TraceArchiver& archive() const { return archive_; }
