@@ -59,6 +59,30 @@ void BM_Checksum1460(benchmark::State& state) {
 }
 BENCHMARK(BM_Checksum1460);
 
+// The event loop is the hottest structure in the whole system: every
+// frame hop, timer, and shim round trip is a schedule (and often a
+// cancel — TCP retransmission timers cancel on every ACK). This
+// measures the schedule→cancel→drain cycle that the slot+generation
+// bookkeeping optimizes (formerly two unordered_set probes per event).
+void BM_EventLoopScheduleCancel(benchmark::State& state) {
+  sim::EventLoop loop;
+  const std::size_t batch = 64;
+  std::vector<sim::EventId> ids(batch);
+  for (auto _ : state) {
+    // Half the events get cancelled (the retransmit-timer pattern),
+    // half run; the drain pays the pop-side bookkeeping.
+    for (std::size_t i = 0; i < batch; ++i) {
+      ids[i] = loop.schedule_in(util::microseconds(static_cast<int>(i)),
+                                [] {});
+    }
+    for (std::size_t i = 0; i < batch; i += 2) loop.cancel(ids[i]);
+    loop.run_for(util::microseconds(static_cast<int>(batch)));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_EventLoopScheduleCancel);
+
 void BM_FrameDecode(benchmark::State& state) {
   auto bytes = sample_tcp_frame(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) benchmark::DoNotOptimize(pkt::decode_frame(bytes));

@@ -16,11 +16,15 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "containment/policy.h"
 #include "core/farm.h"
+#include "core/sharded_farm.h"
 #include "extnet/extnet.h"
 #include "malware/spambot.h"
+#include "packet/frame.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -287,6 +291,114 @@ TableStats run_table(bool table_on, util::Duration duration) {
   return stats;
 }
 
+// --- Sweep F: sharded execution. One complete farm replica per shard
+// (own event loop, gateway, CS, sinks), external switches L2-bridged in
+// a chain, advanced in deterministic lockstep epochs by a worker pool
+// (DESIGN.md §12). Same Grum workload as sweep A, with the C&C homed on
+// shard 0 so every other shard's polls cross the bridges. Three gates:
+// zero escapes (TCP port-25 frames at any shard's upstream choke
+// point), bit-identical observable streams serial-vs-parallel, and a
+// hardware-aware wall-clock bound (>=2x at 4 shards when >=4 cores
+// exist; bounded coordination overhead otherwise).
+
+struct ShardStats {
+  unsigned threads_requested = 0;
+  unsigned threads_effective = 0;
+  std::uint64_t events = 0;
+  std::uint64_t cc_requests = 0;
+  std::uint64_t cross_shard_messages = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t escapes = 0;
+  std::uint64_t stream_hash = 0;  // FNV-1a over merged event lines.
+  double wall_ms = 0;
+};
+
+ShardStats run_sharded(unsigned threads, std::size_t shards,
+                       int inmates_per_shard, util::Duration duration) {
+  core::ShardedFarmOptions options;
+  options.shards = shards;
+  options.threads = threads;
+  options.seed = 0x5EEDF;
+  core::ShardedFarm farm(
+      options, [inmates_per_shard](core::Farm& shard_farm, std::size_t s) {
+        auto& sub = shard_farm.add_subfarm(util::format("Shard%zu", s));
+        sub.add_catchall_sink();
+        sinks::SmtpSinkConfig sink_config;
+        sink_config.port = 2526;
+        sub.add_smtp_sink(sink_config, "bannersmtpsink");
+        sub.set_autoinfect({Ipv4Addr(10, 9, 8, 7), 6543});
+        sub.containment().samples().add("grum.000.exe");
+        sub.catalog().register_prototype(
+            "grum.*", [](const std::string&, util::Rng& rng) {
+              mal::SpambotConfig config;
+              config.family = "grum";
+              config.c2 = {Ipv4Addr(50, 8, 207, 91), 80};
+              config.send_interval = util::seconds(2);
+              return std::make_unique<mal::SpambotBehavior>(config,
+                                                            rng.fork());
+            });
+        sub.configure_containment(util::format(
+            "[VLAN %d-%d]\nDecider = Grum\nInfection = grum.*\n",
+            sub.router().config().vlan_first,
+            sub.router().config().vlan_last));
+        for (int i = 0; i < inmates_per_shard; ++i)
+          sub.create_inmate(inm::HostingKind::kVm);
+      });
+
+  // Escape oracle at every shard's upstream choke point: Grum's policy
+  // REFLECTs all port-25 traffic into the shard-local banner sink, so
+  // any TCP port-25 frame here means spam reached the (simulated)
+  // Internet. One counter slot per shard — taps run on the owning
+  // shard's worker thread, reads happen after run_for (the lockstep
+  // barrier orders them).
+  std::vector<std::uint64_t> escapes_per_shard(farm.shard_count(), 0);
+  for (std::size_t s = 0; s < farm.shard_count(); ++s) {
+    std::uint64_t* slot = &escapes_per_shard[s];
+    farm.shard(s).gateway().set_upstream_tap(
+        [slot](util::TimePoint, const std::vector<std::uint8_t>& bytes) {
+          const auto decoded = pkt::decode_frame(bytes);
+          if (!decoded || !decoded->ip || !decoded->is_tcp()) return;
+          if (decoded->dst_port() == 25) ++*slot;
+        });
+  }
+
+  // The C&C anchor lives on shard 0, declared after the farm so its
+  // HttpServer dies before the host stack it references.
+  auto& cc_host = farm.shard(0).add_external_host("cc", Ipv4Addr(50, 8, 207, 91));
+  ext::CcServer cc(cc_host, 80);
+  mal::SpamTask task;
+  task.targets = {{Ipv4Addr(64, 12, 88, 7), 25}};
+  cc.set_document("/c2/tasks", task.serialize());
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  farm.run_for(duration);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ShardStats stats;
+  stats.threads_requested = threads;
+  stats.threads_effective = farm.threads();
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  stats.events = farm.event_count();
+  stats.cc_requests = cc.requests();
+  const sim::LockstepStats ls = farm.lockstep_stats();
+  stats.cross_shard_messages = ls.messages;
+  stats.epochs = ls.epochs;
+  for (std::uint64_t n : escapes_per_shard) stats.escapes += n;
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const std::string& line : farm.merged_event_lines()) {
+    for (char c : line) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= static_cast<unsigned char>('\n');
+    hash *= 1099511628211ull;
+  }
+  stats.stream_hash = hash;
+  return stats;
+}
+
 // One JSON row shared by all three sweeps.
 void json_row(util::JsonWriter& json, const char* sweep, int subfarms,
               int inmates, const char* datapath, const RunStats& stats) {
@@ -519,11 +631,100 @@ int main(int argc, char** argv) {
       "A\nand is flattened by per-subfarm containment servers in sweep "
       "B.\n");
 
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf(
+      "\nSweep F: sharded execution, 4 shards (one farm replica per\n"
+      "shard, external switches chain-bridged, lockstep epochs = 10ms\n"
+      "cross-shard latency), same seed at 1/2/4 worker threads.\n"
+      "Hardware threads available: %u\n",
+      hw_threads);
+  std::printf("%9s %10s %12s %12s %10s %10s %10s\n", "THREADS", "EVENTS",
+              "CC REQS", "X-SHARD MSG", "ESCAPES", "WALL(ms)", "SPEEDUP");
+  std::printf("%s\n", std::string(80, '-').c_str());
+  const std::size_t f_shards = 4;
+  const int f_inmates = smoke ? 2 : 6;
+  double serial_wall = 0;
+  std::uint64_t serial_hash = 0;
+  std::uint64_t serial_events = 0;
+  bool f_streams_identical = true;
+  std::uint64_t f_escapes = 0;
+  std::uint64_t f_cross_messages = 0;
+  std::uint64_t f_cc_requests = 0;
+  double f_speedup4 = 0;
+  double f_wall4 = 0;
+  std::uint64_t f_epochs4 = 0;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const ShardStats stats =
+        run_sharded(threads, f_shards, f_inmates, duration);
+    if (threads == 1) {
+      serial_wall = stats.wall_ms;
+      serial_hash = stats.stream_hash;
+      serial_events = stats.events;
+    } else if (stats.stream_hash != serial_hash ||
+               stats.events != serial_events) {
+      f_streams_identical = false;
+    }
+    if (threads == 4) {
+      f_speedup4 = stats.wall_ms > 0 ? serial_wall / stats.wall_ms : 0;
+      f_wall4 = stats.wall_ms;
+      f_epochs4 = stats.epochs;
+    }
+    f_escapes += stats.escapes;
+    f_cross_messages = stats.cross_shard_messages;
+    f_cc_requests = stats.cc_requests;
+    std::printf("%9u %10llu %12llu %12llu %10llu %10.0f %9.2fx\n", threads,
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.cc_requests),
+                static_cast<unsigned long long>(stats.cross_shard_messages),
+                static_cast<unsigned long long>(stats.escapes),
+                stats.wall_ms,
+                stats.wall_ms > 0 ? serial_wall / stats.wall_ms : 0.0);
+
+    json.begin_object();
+    json.key("sweep");
+    json.value("sharded");
+    json.key("shards");
+    json.value(static_cast<std::uint64_t>(f_shards));
+    json.key("inmates_per_shard");
+    json.value(f_inmates);
+    json.key("threads");
+    json.value(static_cast<std::uint64_t>(threads));
+    json.key("threads_effective");
+    json.value(static_cast<std::uint64_t>(stats.threads_effective));
+    json.key("events");
+    json.value(stats.events);
+    json.key("cc_requests");
+    json.value(stats.cc_requests);
+    json.key("cross_shard_messages");
+    json.value(stats.cross_shard_messages);
+    json.key("lockstep_epochs");
+    json.value(stats.epochs);
+    json.key("escapes");
+    json.value(stats.escapes);
+    json.key("stream_hash");
+    json.value(util::format("%016llx",
+                            static_cast<unsigned long long>(
+                                stats.stream_hash)));
+    json.key("wall_ms");
+    json.value(stats.wall_ms);
+    json.key("speedup_vs_serial");
+    json.value(stats.wall_ms > 0 ? serial_wall / stats.wall_ms : 0.0);
+    json.end_object();
+  }
+  std::printf("\nSharded streams bit-identical across thread counts: %s\n",
+              f_streams_identical ? "yes" : "NO");
+
   json.end_array();
   json.key("cache_speedup");
   json.value(cache_speedup);
   json.key("table_speedup");
   json.value(table_speedup);
+  json.key("sharded_speedup_4t");
+  json.value(f_speedup4);
+  json.key("sharded_streams_identical");
+  json.value(f_streams_identical);
+  json.key("hardware_threads");
+  json.value(static_cast<std::uint64_t>(hw_threads));
   json.end_object();
 
   // Self-validation: the verdict cache's reason to exist is taking the
@@ -551,6 +752,65 @@ int main(int argc, char** argv) {
                  "on (expected 0 under a fully compiled policy)\n",
                  static_cast<unsigned long long>(table_on_cs_decisions));
     return 1;
+  }
+  // Sweep F contracts. Containment and determinism are unconditional:
+  // parallel execution must never leak a frame or reorder an observable
+  // event, whatever the hardware.
+  if (f_escapes != 0) {
+    std::fprintf(stderr, "s1: %llu containment escapes in sharded runs\n",
+                 static_cast<unsigned long long>(f_escapes));
+    return 1;
+  }
+  if (!f_streams_identical) {
+    std::fprintf(stderr,
+                 "s1: sharded event streams diverged across thread counts\n");
+    return 1;
+  }
+  if (f_cross_messages == 0 || f_cc_requests == 0) {
+    std::fprintf(stderr,
+                 "s1: sharded sweep exercised no cross-shard traffic "
+                 "(messages=%llu cc_requests=%llu) — the gates above are "
+                 "vacuous\n",
+                 static_cast<unsigned long long>(f_cross_messages),
+                 static_cast<unsigned long long>(f_cc_requests));
+    return 1;
+  }
+  // Wall-clock is hardware-aware: 4 workers can only beat 1 when the
+  // machine has cores to run them on. With >=4 hardware threads the
+  // sharded loop must hit the 2x contract; on smaller machines (CI
+  // containers are often pinned to 1-2 cores) the enforceable claim is
+  // bounded coordination overhead — lockstep barriers and mailbox
+  // drains must not make 4 time-sliced workers much slower than the
+  // inline serial path.
+  if (hw_threads >= 4) {
+    if (f_speedup4 < 2.0) {
+      std::fprintf(stderr,
+                   "s1: sharded speedup at 4 threads only %.2fx serial "
+                   "(expected >= 2x on %u hardware threads)\n",
+                   f_speedup4, hw_threads);
+      return 1;
+    }
+  } else {
+    // Per-barrier budget: each lockstep epoch costs two condvar
+    // round-trips per worker, which on a time-sliced single core means
+    // a handful of context switches — roughly 15us/epoch measured.
+    // 150us/epoch (plus scheduling noise slack) still catches a lock
+    // convoy or an accidental sleep in the barrier.
+    const double budget = serial_wall + 250.0 +
+                          0.15 * static_cast<double>(f_epochs4);
+    if (f_wall4 > budget) {
+      std::fprintf(stderr,
+                   "s1: sharded 4-thread wall %.0fms exceeds coordination "
+                   "budget %.0fms (serial %.0fms, %llu epochs, %u hardware "
+                   "threads)\n",
+                   f_wall4, budget, serial_wall,
+                   static_cast<unsigned long long>(f_epochs4), hw_threads);
+      return 1;
+    }
+    std::printf(
+        "note: %u hardware thread(s) — enforcing coordination-overhead "
+        "bound instead of the 2x speedup contract (needs >= 4 cores)\n",
+        hw_threads);
   }
   return write_summary(json, "BENCH_s1.json");
 }

@@ -23,12 +23,14 @@ Farm::Farm(FarmOptions options)
       inmate_switch_(loop_, "inmate-sw", options.inmate_switch_ports),
       mgmt_switch_(loop_, "mgmt-sw", options.mgmt_switch_ports),
       external_switch_(loop_, "ext-sw", options.external_switch_ports) {
+  next_subfarm_index_ = options_.subfarm_index_base;
   gw::GatewayConfig gwc;
   gwc.upstream_addr = options_.gateway_upstream;
   gwc.mgmt_net = options_.mgmt_net;
   gwc.mgmt_addr = options_.mgmt_net.host(1);
   gwc.trace_archive = options_.trace_archive;
   gwc.datapath = options_.datapath;
+  gwc.mac_namespace = options_.mac_namespace;
   gateway_ = std::make_unique<gw::Gateway>(loop_, gwc, &telemetry_);
   reporter_.register_trace_tap(&gateway_->upstream_trace());
 
@@ -91,8 +93,9 @@ net::HostStack& Farm::add_external_host(const std::string& name,
   if (next_external_port_ >= options_.external_switch_ports - 1)
     throw std::runtime_error("external switch full");
   auto host = std::make_unique<net::HostStack>(
-      loop_, name, util::MacAddr::local(0x30000u + static_cast<std::uint32_t>(
-                                                        hosts_.size())),
+      loop_, name,
+      util::MacAddr::local(0x30000u + options_.mac_namespace +
+                           static_cast<std::uint32_t>(hosts_.size())),
       next_seed());
   external_switch_.set_access(next_external_port_, kExternalVlan);
   sim::Port::connect(host->nic(), external_switch_.port(next_external_port_),
@@ -111,8 +114,9 @@ net::HostStack& Farm::add_mgmt_host(const std::string& name) {
   if (next_mgmt_port_ >= options_.mgmt_switch_ports - 1)
     throw std::runtime_error("management switch full");
   auto host = std::make_unique<net::HostStack>(
-      loop_, name, util::MacAddr::local(0x40000u + static_cast<std::uint32_t>(
-                                                        hosts_.size())),
+      loop_, name,
+      util::MacAddr::local(0x40000u + options_.mac_namespace +
+                           static_cast<std::uint32_t>(hosts_.size())),
       next_seed());
   mgmt_switch_.set_access(next_mgmt_port_, kMgmtVlan);
   sim::Port::connect(host->nic(), mgmt_switch_.port(next_mgmt_port_),
@@ -139,6 +143,13 @@ void Farm::set_link_faults(sim::Port& port, const sim::FaultProfile& profile) {
     peer->bind_fault_metrics(telemetry_.metrics(),
                              "net.fault." + peer->name() + ".");
   }
+}
+
+sim::Port& Farm::claim_external_bridge_port() {
+  if (next_external_port_ >= options_.external_switch_ports - 1)
+    throw std::runtime_error("external switch full");
+  external_switch_.set_access(next_external_port_, kExternalVlan);
+  return external_switch_.port(next_external_port_++);
 }
 
 sim::Port& Farm::next_inmate_access_port(std::uint16_t vlan) {

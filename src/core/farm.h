@@ -57,6 +57,17 @@ struct FarmOptions {
   /// compiled policy table), applied to the gateway and resolved into
   /// every subfarm router created under it.
   gw::DatapathOptions datapath;
+  /// Offset added to every locally-administered MAC id this farm mints
+  /// (gateway legs, external/management hosts). Zero for a standalone
+  /// farm; ShardedFarm gives each shard `shard << 20` so L2-bridged
+  /// external switches never learn the same MAC from two shards.
+  std::uint32_t mac_namespace = 0;
+  /// First value of the per-farm subfarm index that seeds the automatic
+  /// internal (10.<10+i>/24) and external (198.<18+i>/24) subfarm nets.
+  /// ShardedFarm spaces shards apart so every shard's NATed external
+  /// ranges are disjoint — required because each gateway proxy-ARPs its
+  /// own ranges onto the shared bridged external segment.
+  int subfarm_index_base = 0;
 };
 
 struct SubfarmOptions {
@@ -226,6 +237,11 @@ class Farm {
   sim::Port& next_inmate_access_port(std::uint16_t vlan);
   util::Ipv4Addr next_mgmt_addr();
   std::uint64_t next_seed() { return rng_.next(); }
+
+  /// Claim a free external-switch access port for cross-shard L2
+  /// bridging (ShardedFarm connects it to a peer shard through the
+  /// lockstep coordinator). The caller installs the bridge sink.
+  sim::Port& claim_external_bridge_port();
 
  private:
   FarmOptions options_;

@@ -163,6 +163,13 @@ struct GatewayConfig {
   std::uint16_t nonce_port_first = 40000;
   std::uint16_t nonce_port_last = 49999;
 
+  /// Offset added to the gateway's locally-administered interface MAC
+  /// ids (0xE0001..0xE0003). Zero for a standalone farm; a sharded
+  /// deployment gives each shard a disjoint namespace (shard << 20) so
+  /// MAC learning on L2-bridged external switches never sees the same
+  /// address from two shards.
+  std::uint32_t mac_namespace = 0;
+
   /// Rotation budget shared by every trace tap the gateway owns (the
   /// upstream/mgmt/inmate-ingress taps and one tap per subfarm router).
   trace::ArchiveConfig trace_archive;

@@ -21,12 +21,14 @@ Gateway::Gateway(sim::EventLoop& loop, GatewayConfig config,
       upstream_port_(loop, "gw.upstream"),
       inmate_port_(loop, "gw.inmate"),
       mgmt_port_(loop, "gw.mgmt"),
-      inmate_leg_mac_(util::MacAddr::local(0xE0002)),
-      upstream_arp_(loop, util::MacAddr::local(0xE0001), config.upstream_addr,
+      inmate_leg_mac_(util::MacAddr::local(0xE0002 + config.mac_namespace)),
+      upstream_arp_(loop, util::MacAddr::local(0xE0001 + config.mac_namespace),
+                    config.upstream_addr,
                     [this](std::vector<std::uint8_t> frame) {
                       transmit_upstream(std::move(frame));
                     }),
-      mgmt_arp_(loop, util::MacAddr::local(0xE0003), config.mgmt_addr,
+      mgmt_arp_(loop, util::MacAddr::local(0xE0003 + config.mac_namespace),
+                config.mgmt_addr,
                 [this](std::vector<std::uint8_t> frame) {
                   mgmt_port_.transmit(sim::Frame{std::move(frame)});
                 }),

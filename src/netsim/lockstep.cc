@@ -1,0 +1,171 @@
+#include "netsim/lockstep.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace gq::sim {
+
+LockstepCoordinator::LockstepCoordinator(unsigned threads,
+                                         std::size_t mailbox_capacity)
+    : mailbox_capacity_(mailbox_capacity),
+      threads_(threads == 0 ? 1 : threads) {}
+
+LockstepCoordinator::~LockstepCoordinator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+  // Bridge closures capture Link pointers owned by this coordinator;
+  // detach them so a port outliving the coordinator cannot call into
+  // freed state.
+  for (Port* port : bridged_ports_) port->clear_bridge();
+}
+
+std::size_t LockstepCoordinator::add_domain(EventLoop& loop) {
+  assert(!started_ && "add_domain after the first run_*() call");
+  domains_.push_back(&loop);
+  return domains_.size() - 1;
+}
+
+void LockstepCoordinator::bridge(std::size_t domain_a, Port& a,
+                                 std::size_t domain_b, Port& b,
+                                 util::Duration latency) {
+  assert(!started_ && "bridge after the first run_*() call");
+  assert(domain_a != domain_b && "bridge() is for cross-domain links");
+  assert(latency.usec > 0 && "cross-domain latency bounds the lookahead");
+  if (epoch_.usec == 0 || latency < epoch_) epoch_ = latency;
+
+  auto install = [this](std::size_t src, std::size_t dst, Port& src_port,
+                        Port& dst_port, util::Duration lat) {
+    links_.push_back(std::make_unique<Link>(
+        Link{src, dst, &dst_port, Mailbox{mailbox_capacity_}}));
+    Link* link = links_.back().get();
+    EventLoop* src_loop = domains_[src];
+    // Runs on the worker thread owning `src` during an epoch: stamp the
+    // absolute delivery time from the source clock and park the frame
+    // until the barrier.
+    src_port.set_bridge(
+        [link, src_loop](util::Duration delay, Frame frame) {
+          link->box.push(TimedFrame{src_loop->now() + delay,
+                                    std::move(frame)});
+        },
+        lat);
+    bridged_ports_.push_back(&src_port);
+  };
+  install(domain_a, domain_b, a, b, latency);
+  install(domain_b, domain_a, b, a, latency);
+}
+
+void LockstepCoordinator::start_workers() {
+  started_ = true;
+  now_ = util::TimePoint{};
+  for (EventLoop* loop : domains_) now_ = std::max(now_, loop->now());
+  threads_ = std::min<unsigned>(
+      threads_, static_cast<unsigned>(std::max<std::size_t>(domains_.size(), 1)));
+  if (threads_ <= 1) return;
+  workers_.reserve(threads_);
+  for (unsigned w = 0; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void LockstepCoordinator::worker_main(unsigned worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    util::TimePoint deadline{};
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return shutdown_ || epoch_gen_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_gen_;
+      deadline = epoch_deadline_;
+    }
+    // Static domain partition: worker w always runs the same domains,
+    // so a domain's loop is only ever touched by one thread per epoch.
+    for (std::size_t d = worker_index; d < domains_.size(); d += threads_) {
+      domains_[d]->run_until(deadline);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--workers_remaining_ == 0) cv_.notify_all();
+    }
+  }
+}
+
+void LockstepCoordinator::advance_domains(util::TimePoint epoch_end) {
+  if (workers_.empty()) {
+    for (EventLoop* loop : domains_) loop->run_until(epoch_end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch_deadline_ = epoch_end;
+    workers_remaining_ = static_cast<unsigned>(workers_.size());
+    ++epoch_gen_;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return workers_remaining_ == 0; });
+}
+
+void LockstepCoordinator::drain_mailboxes(util::TimePoint epoch_end) {
+  // Canonical delivery order: (deliver_at, link id, per-link production
+  // seq). Iterating links in creation order and stable-sorting on
+  // deliver_at alone yields exactly that, independent of which thread
+  // ran which domain.
+  struct Pending {
+    TimedFrame tf;
+    Port* dst_port;
+  };
+  std::vector<Pending> pending;
+  for (auto& link : links_) {
+    std::vector<TimedFrame> frames = link->box.take();
+    for (TimedFrame& tf : frames) {
+      pending.push_back(Pending{std::move(tf), link->dst_port});
+    }
+  }
+  if (pending.empty()) return;
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Pending& x, const Pending& y) {
+                     return x.tf.deliver_at < y.tf.deliver_at;
+                   });
+  stats_.messages += pending.size();
+  for (Pending& p : pending) {
+    // The lookahead rule guarantees deliver_at >= epoch_end; the
+    // destination clock sits exactly at epoch_end, so schedule_at never
+    // clamps. (void)epoch_end in release builds.
+    assert(p.tf.deliver_at >= epoch_end);
+    (void)epoch_end;
+    p.dst_port->schedule_bridged(p.tf.deliver_at, std::move(p.tf.frame));
+  }
+}
+
+void LockstepCoordinator::run_until(util::TimePoint deadline) {
+  if (!started_) start_workers();
+  assert((links_.empty() || epoch_.usec > 0) && "epoch needs a latency");
+  while (now_ < deadline) {
+    util::TimePoint epoch_end = deadline;
+    if (!links_.empty() && now_ + epoch_ < deadline) {
+      epoch_end = now_ + epoch_;
+    }
+    advance_domains(epoch_end);
+    drain_mailboxes(epoch_end);
+    now_ = epoch_end;
+    ++stats_.epochs;
+  }
+}
+
+LockstepStats LockstepCoordinator::stats() const {
+  LockstepStats out = stats_;
+  for (const auto& link : links_) {
+    out.overflow_dropped += link->box.overflow_dropped();
+  }
+  return out;
+}
+
+}  // namespace gq::sim

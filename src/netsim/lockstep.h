@@ -1,0 +1,164 @@
+// Conservative-lookahead lockstep execution of multiple event-loop
+// domains (GQ subfarm shards). Each domain runs its own sim::EventLoop
+// on a dedicated worker thread; the only communication between domains
+// is Ethernet frames crossing bridged Ports, which travel through
+// per-link bounded mailboxes and are delivered at epoch barriers.
+//
+// Determinism argument (DESIGN.md §12): every cross-domain link has a
+// fixed propagation latency L_i, and the coordinator advances all
+// domains in lockstep epochs of length E = min_i(L_i). A frame
+// transmitted at time t inside epoch [T, T+E) is timestamped
+// deliver_at = t + delay with delay >= L_i >= E, hence
+// deliver_at >= T + E — never inside the current epoch. Draining
+// mailboxes only at the barrier therefore loses nothing, and because
+// drained frames are scheduled in the canonical order
+// (deliver_at, link id, per-link production seq) by one thread while
+// every worker is quiescent, the destination loop's heap — and thus the
+// whole run — is bit-identical for any worker-thread count, including 1.
+//
+// Memory ordering: mailboxes are SPSC with no atomics. The producer is
+// the single worker thread running the source domain during an epoch;
+// the consumer is the coordinator thread at the barrier. The barrier's
+// mutex hand-off (worker's final unlock happens-before the
+// coordinator's wakeup, and the epoch-generation bump happens-before
+// the workers' next wait returns) orders every push against every
+// drain, which is what makes the plain std::vector storage race-free —
+// the tsan lane exists to keep this honest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "netsim/event_loop.h"
+#include "netsim/port.h"
+#include "util/time.h"
+
+namespace gq::sim {
+
+/// A frame in flight between domains, stamped with its absolute
+/// delivery time on the destination loop.
+struct TimedFrame {
+  util::TimePoint deliver_at;
+  Frame frame;
+};
+
+/// Bounded SPSC frame buffer for one direction of one cross-domain
+/// link. push() runs on the producing domain's worker thread, drain()
+/// on the coordinator thread at an epoch barrier; the barrier provides
+/// the ordering (see file comment). Overflow drops are deterministic:
+/// they depend only on the per-link production order, never on thread
+/// interleaving.
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False (and the frame is dropped) when the mailbox is full.
+  bool push(TimedFrame tf) {
+    if (buf_.size() >= capacity_) {
+      ++overflow_dropped_;
+      return false;
+    }
+    buf_.push_back(std::move(tf));
+    return true;
+  }
+
+  std::vector<TimedFrame> take() {
+    std::vector<TimedFrame> out;
+    out.swap(buf_);
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t overflow_dropped() const {
+    return overflow_dropped_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TimedFrame> buf_;
+  std::uint64_t overflow_dropped_ = 0;
+};
+
+struct LockstepStats {
+  std::uint64_t epochs = 0;            // Barriers crossed.
+  std::uint64_t messages = 0;          // Frames delivered across domains.
+  std::uint64_t overflow_dropped = 0;  // Frames lost to full mailboxes.
+};
+
+/// Advances a set of EventLoop domains in deterministic lockstep
+/// epochs. With threads == 1 (or one domain) everything runs inline on
+/// the calling thread — no std::thread is created — and produces the
+/// exact same event order as any parallel configuration.
+class LockstepCoordinator {
+ public:
+  /// `threads` caps the worker pool (clamped to the domain count);
+  /// `mailbox_capacity` bounds each link direction's per-epoch backlog.
+  explicit LockstepCoordinator(unsigned threads = 1,
+                               std::size_t mailbox_capacity = 65536);
+  ~LockstepCoordinator();
+
+  LockstepCoordinator(const LockstepCoordinator&) = delete;
+  LockstepCoordinator& operator=(const LockstepCoordinator&) = delete;
+
+  /// Register a domain's loop. All domains must be added, and all
+  /// bridges installed, before the first run_*() call.
+  std::size_t add_domain(EventLoop& loop);
+
+  /// Bridge two ports in different domains with a full-duplex link of
+  /// the given one-way latency. The latency must be > 0: it bounds the
+  /// epoch length (lookahead), and the coordinator asserts that the
+  /// minimum across links stays positive.
+  void bridge(std::size_t domain_a, Port& a, std::size_t domain_b, Port& b,
+              util::Duration latency);
+
+  /// Advance every domain to `deadline` in lockstep epochs.
+  void run_until(util::TimePoint deadline);
+
+  /// Advance every domain by `d` from the current lockstep time.
+  void run_for(util::Duration d) { run_until(now_ + d); }
+
+  [[nodiscard]] util::TimePoint now() const { return now_; }
+  [[nodiscard]] util::Duration epoch_length() const { return epoch_; }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+  [[nodiscard]] LockstepStats stats() const;
+
+ private:
+  struct Link {
+    std::size_t src_domain;
+    std::size_t dst_domain;
+    Port* dst_port;
+    Mailbox box;
+  };
+
+  void advance_domains(util::TimePoint epoch_end);
+  void drain_mailboxes(util::TimePoint epoch_end);
+  void start_workers();
+  void worker_main(unsigned worker_index);
+
+  std::vector<EventLoop*> domains_;
+  // deque-like stability is required: BridgeTx closures capture Link
+  // pointers, so links are held by unique_ptr.
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Port*> bridged_ports_;
+  std::size_t mailbox_capacity_;
+  util::TimePoint now_{};
+  util::Duration epoch_{};  // min cross-domain link latency
+  LockstepStats stats_;
+  bool started_ = false;
+
+  // Worker pool (empty in serial mode). Barrier state below mu_.
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_gen_ = 0;
+  util::TimePoint epoch_deadline_{};
+  unsigned workers_remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gq::sim

@@ -17,6 +17,14 @@ void Port::connect(Port& a, Port& b, util::Duration latency) {
   b.latency_ = latency;
 }
 
+void Port::set_bridge(BridgeTx tx, util::Duration latency) {
+  peer_ = nullptr;
+  bridge_ = std::move(tx);
+  latency_ = latency;
+}
+
+void Port::clear_bridge() { bridge_ = nullptr; }
+
 void Port::set_fault_profile(const FaultProfile& profile,
                              std::uint64_t seed) {
   faults_ = profile;
@@ -44,9 +52,23 @@ void Port::schedule_delivery(Frame frame, util::Duration delay) {
   });
 }
 
+void Port::schedule_bridged(util::TimePoint at, Frame frame) {
+  loop_.schedule_at(at, [this, frame = std::move(frame)]() mutable {
+    deliver(std::move(frame));
+  });
+}
+
+void Port::dispatch(Frame frame, util::Duration delay) {
+  if (bridge_) {
+    bridge_(delay, std::move(frame));
+    return;
+  }
+  schedule_delivery(std::move(frame), delay);
+}
+
 void Port::transmit(Frame frame) {
   ++tx_frames_;
-  if (peer_ == nullptr) {
+  if (!connected()) {
     ++dropped_;
     return;
   }
@@ -88,10 +110,10 @@ void Port::transmit(Frame frame) {
         fault_rng_.chance(faults_.duplicate_probability)) {
       ++fault_counters_.duplicated;
       bump(duplicated_ctr_);
-      schedule_delivery(Frame{frame.bytes}, delay);
+      dispatch(Frame{frame.bytes}, delay);
     }
   }
-  schedule_delivery(std::move(frame), delay);
+  dispatch(std::move(frame), delay);
 }
 
 void Port::deliver(Frame frame) {

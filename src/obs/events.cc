@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/strings.h"
+
 namespace gq::obs {
 
 const char* farm_event_kind_name(FarmEvent::Kind kind) {
@@ -18,6 +20,42 @@ const char* farm_event_kind_name(FarmEvent::Kind kind) {
     case FarmEvent::Kind::kSinkData: return "sink_data";
   }
   return "?";
+}
+
+std::string format_event(const FarmEvent& event) {
+  std::string out = util::format(
+      "%lld %s %s vlan=%u proto=%d dst=%s verdict=%d src=%d policy=%s "
+      "ann=%s b2s=%llu b2i=%llu",
+      static_cast<long long>(event.time.usec),
+      farm_event_kind_name(event.kind), event.subfarm.c_str(), event.vlan,
+      static_cast<int>(event.proto), event.orig_dst.str().c_str(),
+      static_cast<int>(event.verdict),
+      static_cast<int>(event.verdict_source), event.policy_name.c_str(),
+      event.annotation.c_str(),
+      static_cast<unsigned long long>(event.bytes_to_server),
+      static_cast<unsigned long long>(event.bytes_to_inmate));
+  if (event.limit_bytes_per_sec) {
+    out += util::format(" limit=%lld",
+                        static_cast<long long>(*event.limit_bytes_per_sec));
+  }
+  if (!event.inmate_internal.is_unspecified() ||
+      !event.inmate_global.is_unspecified()) {
+    out += util::format(" bind=%s/%s", event.inmate_internal.str().c_str(),
+                        event.inmate_global.str().c_str());
+  }
+  if (!event.sample_name.empty() || !event.sample_md5.empty()) {
+    out += util::format(" sample=%s md5=%s", event.sample_name.c_str(),
+                        event.sample_md5.c_str());
+  }
+  if (!event.trigger_text.empty() || !event.trigger_action.empty()) {
+    out += util::format(" trigger=%s action=%s", event.trigger_text.c_str(),
+                        event.trigger_action.c_str());
+  }
+  if (!event.sink_service.empty()) {
+    out += util::format(" sink=%s from=%s", event.sink_service.c_str(),
+                        event.sink_source.str().c_str());
+  }
+  return out;
 }
 
 EventBus::SubscriptionId EventBus::subscribe(Handler handler) {

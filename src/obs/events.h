@@ -13,6 +13,13 @@
 // (core::Farm's constructor). Dispatch is synchronous and in
 // subscription order, which keeps the whole farm deterministic under the
 // simulated clock.
+//
+// Threading contract: an EventBus is single-domain-affine — publishers
+// and subscribers of one bus all live in the same execution domain (one
+// farm shard), so dispatch needs no locks and stays deterministic.
+// Sharded runs keep one bus per shard and merge observable streams at
+// epoch barriers (core::ShardedFarm::merged_event_lines, built on
+// format_event below); nothing ever publishes across shard threads.
 #pragma once
 
 #include <cstdint>
@@ -86,6 +93,14 @@ struct FarmEvent {
 };
 
 const char* farm_event_kind_name(FarmEvent::Kind kind);
+
+/// Canonical one-line rendering of an event, covering every field a
+/// publisher sets. Two runs are observably identical iff their
+/// format_event streams are byte-identical — this is the comparison key
+/// of the serial-vs-parallel differential gates (tests/shard_test.cc,
+/// bench sweep F), so keep it exhaustive: a field omitted here is a
+/// field divergence can hide in.
+std::string format_event(const FarmEvent& event);
 
 /// Multi-subscriber dispatch. Synchronous, ordered by subscription;
 /// unsubscribing is O(subscribers) and safe between publishes.

@@ -38,45 +38,59 @@ Histogram::Histogram(std::vector<double> upper_bounds)
     : upper_bounds_(std::move(upper_bounds)) {
   if (upper_bounds_.empty()) upper_bounds_ = default_latency_bounds_us();
   std::sort(upper_bounds_.begin(), upper_bounds_.end());
-  buckets_.assign(upper_bounds_.size() + 1, 0);
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(upper_bounds_.size() + 1);
 }
 
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(upper_bounds_.begin(),
                                    upper_bounds_.end(), value);
-  ++buckets_[static_cast<std::size_t>(it - upper_bounds_.begin())];
-  ++count_;
-  sum_ += value;
+  buckets_[static_cast<std::size_t>(it - upper_bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++20 floating-point fetch_add (a CAS loop on this target): relaxed
+  // like the rest — concurrent observes never lose a sample.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double Histogram::quantile(double q) const {
-  if (count_ == 0) return 0.0;
+  const std::vector<std::uint64_t> buckets = bucket_counts();
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(count_);
+  const double rank = q * static_cast<double>(n);
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    cumulative += buckets_[i];
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
     if (static_cast<double>(cumulative) < rank) continue;
-    if (buckets_[i] == 0) continue;
+    if (buckets[i] == 0) continue;
     const double hi = (i < upper_bounds_.size()) ? upper_bounds_[i]
                                                  : upper_bounds_.back();
     const double lo = (i == 0) ? 0.0 : upper_bounds_[i - 1];
-    const double below = static_cast<double>(cumulative - buckets_[i]);
+    const double below = static_cast<double>(cumulative - buckets[i]);
     const double within =
-        (rank - below) / static_cast<double>(buckets_[i]);
+        (rank - below) / static_cast<double>(buckets[i]);
     return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
   }
   return upper_bounds_.back();
 }
 
 std::string Histogram::render(const std::string& title) const {
+  const std::vector<std::uint64_t> buckets = bucket_counts();
   std::string out = title + "\n";
   out += util::format("  count %llu  mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f\n",
-                      static_cast<unsigned long long>(count_), mean(),
+                      static_cast<unsigned long long>(count()), mean(),
                       quantile(0.50), quantile(0.95), quantile(0.99));
   const std::uint64_t peak =
-      *std::max_element(buckets_.begin(), buckets_.end());
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      *std::max_element(buckets.begin(), buckets.end());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
     std::string edge =
         (i < upper_bounds_.size())
             ? util::format("<= %10.0f", upper_bounds_[i])
@@ -84,10 +98,10 @@ std::string Histogram::render(const std::string& title) const {
     const std::size_t bar =
         peak == 0 ? 0
                   : static_cast<std::size_t>(40.0 *
-                                             static_cast<double>(buckets_[i]) /
+                                             static_cast<double>(buckets[i]) /
                                              static_cast<double>(peak));
     out += util::format("  %s %8llu %s\n", edge.c_str(),
-                        static_cast<unsigned long long>(buckets_[i]),
+                        static_cast<unsigned long long>(buckets[i]),
                         std::string(bar, '#').c_str());
   }
   return out;
@@ -178,7 +192,7 @@ std::string MetricsRegistry::render_json() const {
         static_cast<unsigned long long>(histogram->count()),
         json_number(histogram->sum()).c_str());
     const auto& bounds = histogram->upper_bounds();
-    const auto& buckets = histogram->bucket_counts();
+    const std::vector<std::uint64_t> buckets = histogram->bucket_counts();
     for (std::size_t i = 0; i < buckets.size(); ++i) {
       const std::string le =
           (i < bounds.size()) ? json_number(bounds[i]) : "\"+inf\"";
