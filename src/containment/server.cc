@@ -318,6 +318,15 @@ void ContainmentServer::bind_policy(std::uint16_t vlan_first,
   publish_policy_table(compile_policy_table());
 }
 
+void ContainmentServer::bind_policy_front(std::uint16_t vlan_first,
+                                          std::uint16_t vlan_last,
+                                          std::shared_ptr<Policy> policy) {
+  policies_.insert(
+      policies_.begin(),
+      PolicyBinding{VlanRange{vlan_first, vlan_last}, std::move(policy)});
+  publish_policy_table(compile_policy_table());
+}
+
 shim::TableSync ContainmentServer::compile_policy_table() const {
   shim::TableSync sync;
   sync.epoch = policy_epoch_;

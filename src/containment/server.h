@@ -121,6 +121,15 @@ class ContainmentServer : public PolicyServices {
   void bind_policy(std::uint16_t vlan_first, std::uint16_t vlan_last,
                    std::shared_ptr<Policy> policy);
 
+  /// Like bind_policy, but with precedence: policy_for() is first-match
+  /// across bindings (and the compiled table preserves that order), so
+  /// a front binding overrides any existing one covering the same
+  /// VLANs without clearing the static configuration underneath. The
+  /// detonation orchestrator uses this to swap tenant policy profiles
+  /// onto a recycled slot.
+  void bind_policy_front(std::uint16_t vlan_first, std::uint16_t vlan_last,
+                         std::shared_ptr<Policy> policy);
+
   /// Compile the current policy bindings into the flat match-action
   /// table (stamped with the current policy epoch). Each binding whose
   /// policy compiles contributes its rules with the binding's VLAN range

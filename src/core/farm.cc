@@ -221,6 +221,7 @@ Subfarm::Subfarm(Farm& farm, gw::SubfarmRouter& router,
       cs_(std::move(cs)),
       cs_host_(cs_host),
       vlan_pool_(vlan_first, vlan_last) {
+  vlan_pool_.bind_metrics(farm_.metrics());
   env_.rng = &farm_.rng();
   env_.samples = &cs_->samples();
   // The router knows who is alive; the containment server layers the
@@ -337,6 +338,14 @@ void Subfarm::bind_policy(std::uint16_t vlan_first, std::uint16_t vlan_last,
   cs_->bind_policy(vlan_first, vlan_last, policy);
   for (auto& extra : extra_cs_)
     extra->bind_policy(vlan_first, vlan_last, policy);
+}
+
+void Subfarm::bind_policy_front(std::uint16_t vlan_first,
+                                std::uint16_t vlan_last,
+                                std::shared_ptr<cs::Policy> policy) {
+  cs_->bind_policy_front(vlan_first, vlan_last, policy);
+  for (auto& extra : extra_cs_)
+    extra->bind_policy_front(vlan_first, vlan_last, policy);
 }
 
 std::vector<cs::ContainmentServer*> Subfarm::containment_cluster() {

@@ -132,6 +132,11 @@ class Subfarm {
   void bind_policy(std::uint16_t vlan_first, std::uint16_t vlan_last,
                    std::shared_ptr<cs::Policy> policy);
 
+  /// Bind with precedence over every existing binding (first-match
+  /// order): the per-job tenant-profile path.
+  void bind_policy_front(std::uint16_t vlan_first, std::uint16_t vlan_last,
+                         std::shared_ptr<cs::Policy> policy);
+
   /// All cluster members (primary first).
   [[nodiscard]] std::vector<cs::ContainmentServer*> containment_cluster();
 

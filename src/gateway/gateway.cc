@@ -269,6 +269,10 @@ void Gateway::on_inmate_frame(sim::Frame raw) {
   // deterministic-replay source, so it must capture everything that can
   // affect gateway state (DHCP/ARP boot chatter included).
   inmate_rx_trace_.record(loop_.now(), raw.bytes);
+  if (!vlan_taps_.empty()) {
+    auto it = vlan_taps_.find(vlan);
+    if (it != vlan_taps_.end()) it->second->record(loop_.now(), raw.bytes);
+  }
   // Normalize to untagged in place (capacity retained, so an eventual
   // same-buffer re-tag on egress cannot reallocate), then try the
   // zero-copy fast path before paying for a full decode.

@@ -91,6 +91,17 @@ class Gateway {
     on_inmate_frame(sim::Frame{std::move(bytes)});
   }
 
+  /// Mirror one VLAN's raw tagged inmate-port ingress into `tap`
+  /// (recorded alongside inmate_rx_trace_, same bytes and timestamps).
+  /// The detonation orchestrator points this at a per-job TraceTap for
+  /// the job's lifetime, giving each job a replayable archive that by
+  /// construction contains only its own inmate's traffic. The tap must
+  /// outlive the binding; clear before destroying it.
+  void set_vlan_tap(std::uint16_t vlan, trace::TraceTap* tap) {
+    vlan_taps_[vlan] = tap;
+  }
+  void clear_vlan_tap(std::uint16_t vlan) { vlan_taps_.erase(vlan); }
+
   // --- Services used by SubfarmRouter ---------------------------------
 
   /// Emit an IP frame toward an inmate VLAN / the management network /
@@ -169,6 +180,7 @@ class Gateway {
   trace::TraceTap mgmt_trace_;
   trace::TraceTap inmate_rx_trace_;
   std::vector<std::unique_ptr<SubfarmRouter>> subfarms_;
+  std::map<std::uint16_t, trace::TraceTap*> vlan_taps_;
   std::map<std::uint16_t, SubfarmRouter*> nonce_owners_;
   std::uint16_t next_nonce_;
   bool fast_path_ = true;

@@ -28,7 +28,16 @@ std::optional<svc::DhcpMessage> InmateTable::handle_dhcp(
     binding.mac = msg.client_mac;
     binding.internal_addr = reply->yiaddr;
     if (binding.global_addr.is_unspecified()) {
-      binding.global_addr = external_net_.host(next_global_index_++);
+      // A VLAN that was released and re-binds (a recycled detonation
+      // slot) keeps its previous global address: the mapping stays a
+      // pure function of binding order, so a replayed run NATs
+      // identically whether or not the release happened in between.
+      if (auto retired = retired_globals_.find(vlan);
+          retired != retired_globals_.end()) {
+        binding.global_addr = retired->second;
+      } else {
+        binding.global_addr = external_net_.host(next_global_index_++);
+      }
     }
     by_internal_[binding.internal_addr] = vlan;
     by_global_[binding.global_addr] = vlan;
@@ -57,6 +66,7 @@ const InmateBinding* InmateTable::by_global(util::Ipv4Addr addr) const {
 void InmateTable::release(std::uint16_t vlan) {
   auto it = by_vlan_.find(vlan);
   if (it == by_vlan_.end()) return;
+  retired_globals_[vlan] = it->second.global_addr;
   pool_.release(it->second.mac);
   by_internal_.erase(it->second.internal_addr);
   by_global_.erase(it->second.global_addr);

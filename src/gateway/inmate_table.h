@@ -63,6 +63,10 @@ class InmateTable {
   std::map<std::uint16_t, InmateBinding> by_vlan_;
   std::map<util::Ipv4Addr, std::uint16_t> by_internal_;
   std::map<util::Ipv4Addr, std::uint16_t> by_global_;
+  /// Global addresses of released VLANs, reused verbatim if the VLAN
+  /// re-binds (recycled slot): keeps NAT a pure function of binding
+  /// order, which the detonation replay gate depends on.
+  std::map<std::uint16_t, util::Ipv4Addr> retired_globals_;
   std::uint32_t next_global_index_ = 10;
 };
 

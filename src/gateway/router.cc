@@ -821,10 +821,14 @@ void SubfarmRouter::relay_inmate_to_server(Flow& flow,
         close_flow(flow);
         return;
       }
-      // Buffer for replay once the target leg is up.
-      if (payload_len > 0)
+      // Buffer for replay once the target leg is up. Counted here, like
+      // the kAwaitVerdict buffer: the replay drain re-emits without
+      // accounting.
+      if (payload_len > 0) {
         flow.replay_buf[seg.seq].assign(seg.payload.begin(),
                                         seg.payload.end());
+        flow.bytes_to_server += payload_len;
+      }
       if (seg.fin()) {
         flow.inmate_fin_seen = true;
         flow.inmate_fin_seq = seg.seq + payload_len;
@@ -1662,6 +1666,17 @@ void SubfarmRouter::close_flow(Flow& flow) {
   active_flows_gauge_->set(static_cast<std::int64_t>(flows_.size()));
   // `flow` may be dangling now if the last shared_ptr lived in the maps;
   // callers must not touch it after close_flow().
+}
+
+SubfarmRouter::OpenFlowBytes SubfarmRouter::open_flow_bytes(
+    std::uint16_t vlan) const {
+  OpenFlowBytes totals;
+  for (const auto& [key, flow] : flows_) {
+    if (flow->vlan != vlan || flow->phase == FlowPhase::kClosed) continue;
+    totals.to_server += flow->bytes_to_server;
+    totals.to_inmate += flow->bytes_to_inmate;
+  }
+  return totals;
 }
 
 void SubfarmRouter::gc_sweep() {

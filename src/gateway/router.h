@@ -117,6 +117,16 @@ class SubfarmRouter {
     return cache_miss_ctr_->value();
   }
 
+  /// Byte totals over this VLAN's flows that have not yet closed — the
+  /// complement of kFlowClose accounting. Short-lived detonation jobs
+  /// end well inside flow_timeout, so their flows' close events land
+  /// after the job window; the orchestrator sweeps this at harvest.
+  struct OpenFlowBytes {
+    std::uint64_t to_server = 0;
+    std::uint64_t to_inmate = 0;
+  };
+  [[nodiscard]] OpenFlowBytes open_flow_bytes(std::uint16_t vlan) const;
+
   // --- Compiled policy table (tentpole) --------------------------------
   /// Install a table pushed by the containment server (shim wire v4).
   /// A sync older than the router's policy epoch is rejected (counted

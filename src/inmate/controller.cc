@@ -1,5 +1,6 @@
 #include "inmate/controller.h"
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -70,6 +71,12 @@ bool InmateController::apply(const std::string& verb, std::uint16_t vlan) {
   return true;
 }
 
+void RawIronController::bind_metrics(obs::MetricsRegistry& metrics) {
+  if (reimages_counter_) return;
+  reimages_counter_ = &metrics.counter("inmate.pool.reimages");
+  power_cycles_counter_ = &metrics.counter("inmate.pool.power_cycles");
+}
+
 void RawIronController::register_system(Inmate& inmate) {
   systems_[inmate.vlan()] = &inmate;
 }
@@ -78,6 +85,7 @@ void RawIronController::power_cycle(std::uint16_t vlan) {
   auto it = systems_.find(vlan);
   if (it == systems_.end()) return;
   ++power_cycles_;
+  if (power_cycles_counter_) power_cycles_counter_->inc();
   it->second->reboot();
 }
 
@@ -85,6 +93,7 @@ void RawIronController::reimage(std::uint16_t vlan) {
   auto it = systems_.find(vlan);
   if (it == systems_.end()) return;
   ++reimages_;
+  if (reimages_counter_) reimages_counter_->inc();
   it->second->revert();
 }
 
@@ -93,6 +102,7 @@ void RawIronController::reimage_all() {
   // system's revert proceeds in parallel on the event loop.
   for (auto& [vlan, inmate] : systems_) {
     ++reimages_;
+    if (reimages_counter_) reimages_counter_->inc();
     inmate->revert();
   }
 }

@@ -15,6 +15,11 @@
 #include "inmate/inmate.h"
 #include "net/stack.h"
 
+namespace gq::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace gq::obs
+
 namespace gq::inm {
 
 class InmateController {
@@ -68,6 +73,12 @@ class InmateController {
 /// bookkeeping.
 class RawIronController {
  public:
+  /// Surface fleet bookkeeping through obs::: `inmate.pool.reimages`
+  /// and `inmate.pool.power_cycles` counters track every reimage /
+  /// power-cycle issued after the bind (resolve-once, same contract as
+  /// VlanPool::bind_metrics).
+  void bind_metrics(obs::MetricsRegistry& metrics);
+
   void register_system(Inmate& inmate);
 
   /// Power-cycle one system.
@@ -89,6 +100,8 @@ class RawIronController {
   std::map<std::uint16_t, Inmate*> systems_;
   std::uint64_t power_cycles_ = 0;
   std::uint64_t reimages_ = 0;
+  obs::Counter* reimages_counter_ = nullptr;
+  obs::Counter* power_cycles_counter_ = nullptr;
 };
 
 }  // namespace gq::inm

@@ -63,6 +63,9 @@ void Inmate::enter(InmateState state) {
   GQ_DEBUG(kLog, "vlan %u: %s -> %s", config_.vlan,
            inmate_state_name(old_state), inmate_state_name(state));
   if (on_state_) on_state_(*this, old_state, state);
+  for (const auto& listener : state_listeners_) {
+    listener(*this, old_state, state);
+  }
 }
 
 void Inmate::power_on() {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/stack.h"
 #include "services/dhcp.h"
@@ -124,6 +125,14 @@ class Inmate {
     on_state_ = std::move(handler);
   }
 
+  /// Additive observers, invoked after the primary handler. The Subfarm
+  /// owns set_state_handler (it notifies the containment server), so
+  /// layers above — the orchestrator's inmate pool — subscribe here
+  /// without clobbering that wiring.
+  void add_state_listener(StateHandler listener) {
+    state_listeners_.push_back(std::move(listener));
+  }
+
  private:
   void enter(InmateState state);
   void boot(bool reinfect);
@@ -141,6 +150,7 @@ class Inmate {
   util::Rng rng_;
   InmateState state_ = InmateState::kStopped;
   StateHandler on_state_;
+  std::vector<StateHandler> state_listeners_;
   std::string current_sample_;
   bool infect_on_boot_ = true;
   int infections_ = 0;

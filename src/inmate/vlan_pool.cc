@@ -1,11 +1,21 @@
 #include "inmate/vlan_pool.h"
 
+#include "obs/metrics.h"
+
 namespace gq::inm {
+
+void VlanPool::bind_metrics(obs::MetricsRegistry& metrics) {
+  if (available_gauge_) return;
+  available_gauge_ = &metrics.gauge("inmate.pool.available");
+  available_gauge_->add(
+      static_cast<std::int64_t>(capacity() - in_use()));
+}
 
 std::optional<std::uint16_t> VlanPool::allocate() {
   for (std::uint32_t vlan = first_; vlan <= last_; ++vlan) {
     if (!in_use_.count(static_cast<std::uint16_t>(vlan))) {
       in_use_.insert(static_cast<std::uint16_t>(vlan));
+      if (available_gauge_) available_gauge_->sub(1);
       return static_cast<std::uint16_t>(vlan);
     }
   }
@@ -15,7 +25,14 @@ std::optional<std::uint16_t> VlanPool::allocate() {
 bool VlanPool::reserve(std::uint16_t vlan) {
   if (vlan < first_ || vlan > last_ || in_use_.count(vlan)) return false;
   in_use_.insert(vlan);
+  if (available_gauge_) available_gauge_->sub(1);
   return true;
+}
+
+void VlanPool::release(std::uint16_t vlan) {
+  if (in_use_.erase(vlan) > 0 && available_gauge_) {
+    available_gauge_->add(1);
+  }
 }
 
 }  // namespace gq::inm

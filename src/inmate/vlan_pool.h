@@ -7,6 +7,11 @@
 #include <optional>
 #include <set>
 
+namespace gq::obs {
+class Gauge;
+class MetricsRegistry;
+}  // namespace gq::obs
+
 namespace gq::inm {
 
 class VlanPool {
@@ -15,6 +20,15 @@ class VlanPool {
   VlanPool(std::uint16_t first, std::uint16_t last)
       : first_(first), last_(last) {}
 
+  /// Surface pool occupancy as the farm-wide `inmate.pool.available`
+  /// gauge: this pool's current free count is added on bind, and every
+  /// allocate/reserve/release afterwards keeps it current. Multiple
+  /// pools (one per subfarm) share the one gauge, so the farm value is
+  /// total free VLANs across subfarms. Resolve-once at bind: the
+  /// registry is never mutated from the data path (see obs/metrics.h
+  /// thread-safety contract).
+  void bind_metrics(obs::MetricsRegistry& metrics);
+
   /// Allocate the lowest free ID; nullopt when exhausted.
   std::optional<std::uint16_t> allocate();
 
@@ -22,7 +36,7 @@ class VlanPool {
   bool reserve(std::uint16_t vlan);
 
   /// Return an ID to the pool (unknown IDs are ignored).
-  void release(std::uint16_t vlan) { in_use_.erase(vlan); }
+  void release(std::uint16_t vlan);
 
   [[nodiscard]] std::size_t in_use() const { return in_use_.size(); }
   [[nodiscard]] std::size_t capacity() const {
@@ -33,6 +47,7 @@ class VlanPool {
  private:
   std::uint16_t first_, last_;
   std::set<std::uint16_t> in_use_;
+  obs::Gauge* available_gauge_ = nullptr;
 };
 
 }  // namespace gq::inm

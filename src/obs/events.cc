@@ -18,6 +18,7 @@ const char* farm_event_kind_name(FarmEvent::Kind kind) {
     case FarmEvent::Kind::kTriggerFired: return "trigger_fired";
     case FarmEvent::Kind::kSinkSession: return "sink_session";
     case FarmEvent::Kind::kSinkData: return "sink_data";
+    case FarmEvent::Kind::kJobState: return "job_state";
   }
   return "?";
 }
@@ -54,6 +55,11 @@ std::string format_event(const FarmEvent& event) {
   if (!event.sink_service.empty()) {
     out += util::format(" sink=%s from=%s", event.sink_service.c_str(),
                         event.sink_source.str().c_str());
+  }
+  if (!event.job_state.empty()) {
+    out += util::format(" job=%llu tenant=%s state=%s",
+                        static_cast<unsigned long long>(event.job_id),
+                        event.tenant.c_str(), event.job_state.c_str());
   }
   return out;
 }

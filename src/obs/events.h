@@ -50,6 +50,8 @@ struct FarmEvent {
     // Sinks.
     kSinkSession,  ///< Sink accepted a session / flow.
     kSinkData,     ///< Sink completed a data unit (SMTP DATA, datagram).
+    // Detonation-job orchestrator.
+    kJobState,  ///< A detonation job changed life-cycle state.
   };
 
   Kind kind = Kind::kFlowVerdict;
@@ -90,6 +92,13 @@ struct FarmEvent {
   // kSinkSession / kSinkData.
   std::string sink_service;      ///< e.g. "smtpsink", "catchall".
   util::Endpoint sink_source;    ///< Inmate-side endpoint (internal addr).
+
+  // kJobState. The state travels by name (orch::job_state_name) so obs
+  // does not depend on orchestrator types; sample_name/policy_name
+  // carry the job's sample and profile.
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  std::string job_state;
 };
 
 const char* farm_event_kind_name(FarmEvent::Kind kind);

@@ -33,7 +33,7 @@ class Telemetry {
  private:
   MetricsRegistry metrics_;
   EventBus bus_;
-  std::array<Counter*, 10> kind_counters_{};
+  std::array<Counter*, 11> kind_counters_{};
 };
 
 }  // namespace gq::obs

@@ -1,0 +1,126 @@
+#include "orchestrator/job.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace gq::orch {
+namespace {
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+bool valid_ident(std::string_view s, std::size_t max_len) {
+  if (s.empty() || s.size() > max_len) return false;
+  for (char c : s) {
+    if (!ident_char(c)) return false;
+  }
+  return true;
+}
+
+// Sample names are looser than tenant/profile identifiers (the catalog
+// matches arbitrary glob patterns) but must stay printable ASCII with
+// no whitespace so the one-line encoding stays parseable.
+bool valid_sample(std::string_view s) {
+  if (s.empty() || s.size() > kMaxSampleLen) return false;
+  for (char c : s) {
+    if (c <= ' ' || c > '~' || c == '=') return false;
+  }
+  return true;
+}
+
+std::optional<std::int64_t> parse_budget_ms(std::string_view s) {
+  if (s.empty() || s.size() > 18) return std::nullopt;  // overflow guard
+  std::int64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  if (value < kMinBudgetMs || value > kMaxBudgetMs) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<JobSpec> JobSpec::parse(std::string_view line) {
+  JobSpec spec;
+  bool saw_tenant = false;
+  bool saw_sample = false;
+  bool saw_budget = false;
+  bool saw_profile = false;
+
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size()) break;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    const std::string_view token = line.substr(pos, end - pos);
+    pos = end;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (value.empty()) return std::nullopt;
+
+    if (key == "tenant") {
+      if (saw_tenant || !valid_ident(value, kMaxTenantLen)) return std::nullopt;
+      saw_tenant = true;
+      spec.tenant = std::string(value);
+    } else if (key == "sample") {
+      if (saw_sample || !valid_sample(value)) return std::nullopt;
+      saw_sample = true;
+      spec.sample = std::string(value);
+    } else if (key == "budget_ms") {
+      if (saw_budget) return std::nullopt;
+      const auto ms = parse_budget_ms(value);
+      if (!ms) return std::nullopt;
+      saw_budget = true;
+      spec.budget = util::milliseconds(*ms);
+    } else if (key == "profile") {
+      if (saw_profile || !valid_ident(value, kMaxProfileLen)) {
+        return std::nullopt;
+      }
+      saw_profile = true;
+      spec.profile = std::string(value);
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  if (!saw_tenant || !saw_sample || !saw_budget) return std::nullopt;
+  return spec;
+}
+
+std::string JobSpec::str() const {
+  return util::format("tenant=%s sample=%s budget_ms=%lld profile=%s",
+                      tenant.c_str(), sample.c_str(),
+                      static_cast<long long>(budget.usec / 1000),
+                      profile.c_str());
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kAllocated:
+      return "allocated";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kHarvested:
+      return "harvested";
+    case JobState::kRecycled:
+      return "recycled";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace gq::orch

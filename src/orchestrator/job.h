@@ -1,0 +1,74 @@
+// Detonation-job specifications (DESIGN.md §13). A JobSpec is the unit
+// of work the multi-tenant detonation service accepts: which sample to
+// run, under which policy profile, for how much budgeted simulated
+// time, and on whose behalf. Specs travel as one-line key=value text —
+//
+//   tenant=acme sample=beacon.001 budget_ms=40000 profile=standard
+//
+// so the parser faces operator/attacker-shaped input and is fuzzed like
+// the wire codecs (tests/fuzz_parse_test.cc): malformed budgets,
+// oversized fields, duplicate or unknown keys must be rejected, never
+// crash or over-read. Accepted specs round-trip byte-identically
+// through str(), which is what the fuzz round-trip property checks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace gq::orch {
+
+/// Field caps enforced by the parser. Oversized fields are rejected,
+/// not truncated: an accepted spec must round-trip unchanged.
+inline constexpr std::size_t kMaxTenantLen = 32;
+inline constexpr std::size_t kMaxSampleLen = 64;
+inline constexpr std::size_t kMaxProfileLen = 32;
+/// Budget bounds, inclusive: one millisecond to one simulated day.
+inline constexpr std::int64_t kMinBudgetMs = 1;
+inline constexpr std::int64_t kMaxBudgetMs = 24LL * 60 * 60 * 1000;
+
+/// The profile name that means "keep the slot subfarm's statically
+/// configured policy binding" — always accepted, never registered.
+inline constexpr const char* kDefaultProfile = "default";
+
+struct JobSpec {
+  std::string tenant;
+  std::string sample;
+  std::string profile = kDefaultProfile;
+  util::Duration budget = util::seconds(60);
+
+  /// Parse one spec line: whitespace-separated key=value tokens with
+  /// required keys `tenant`, `sample`, `budget_ms` and optional
+  /// `profile`. Rejects (nullopt): unknown or duplicate keys, empty or
+  /// oversized values, identifier charset violations (tenant/profile
+  /// are [A-Za-z0-9._-], sample is printable ASCII), and budgets
+  /// outside [kMinBudgetMs, kMaxBudgetMs] or non-numeric.
+  static std::optional<JobSpec> parse(std::string_view line);
+
+  /// Canonical one-line encoding; parse(str()) == *this for any spec
+  /// parse() accepts.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// Job life-cycle states (the state machine tests/orchestrator_test.cc
+/// covers): kQueued → kAllocated → kRunning → kHarvested → kRecycled,
+/// with kCancelled (operator cancel, queued or mid-run) and kRejected
+/// (validation failure at submit) as terminal branches.
+enum class JobState {
+  kQueued,
+  kAllocated,
+  kRunning,
+  kHarvested,
+  kRecycled,
+  kCancelled,
+  kRejected,
+};
+
+const char* job_state_name(JobState state);
+
+}  // namespace gq::orch

@@ -1,0 +1,131 @@
+#include "orchestrator/pool.h"
+
+#include "obs/metrics.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gq::orch {
+
+namespace {
+constexpr const char* kLog = "orch";
+}
+
+const char* slot_state_name(SlotState state) {
+  switch (state) {
+    case SlotState::kWarming: return "warming";
+    case SlotState::kAvailable: return "available";
+    case SlotState::kLeased: return "leased";
+    case SlotState::kRecycling: return "recycling";
+  }
+  return "?";
+}
+
+InmatePool::InmatePool(core::Farm& farm, PoolOptions options,
+                       const SlotBuilder& builder)
+    : farm_(farm), options_(std::move(options)) {
+  recycling_gauge_ = &farm_.metrics().gauge("inmate.pool.recycling");
+  raw_iron_.bind_metrics(farm_.metrics());
+
+  // Phase 1: every subfarm, fully configured — sinks, catalog, policy —
+  // before any inmate exists, so an inmate-less replay rig built from
+  // the same builder consumes the identical farm RNG prefix.
+  slots_.reserve(options_.slots);
+  for (std::size_t i = 0; i < options_.slots; ++i) {
+    auto& subfarm = farm_.add_subfarm(
+        util::format("%s%zu", options_.name_prefix.c_str(), i));
+    builder(subfarm, i);
+    PoolSlot slot;
+    slot.index = i;
+    slot.subfarm = &subfarm;
+    slots_.push_back(slot);
+  }
+
+  // Phase 2: inmates last. Each slot watches its inmate's life cycle to
+  // learn when warming / recycling completes.
+  if (!options_.create_inmates) return;
+  for (auto& slot : slots_) {
+    slot.inmate = &slot.subfarm->create_inmate(options_.hosting);
+    if (options_.hosting == inm::HostingKind::kRawIron) {
+      raw_iron_.register_system(*slot.inmate);
+    }
+    slot.inmate->add_state_listener(
+        [this, &slot](inm::Inmate&, inm::InmateState, inm::InmateState s) {
+          on_inmate_state(slot, s);
+        });
+  }
+}
+
+std::size_t InmatePool::available() const {
+  std::size_t n = 0;
+  for (const auto& slot : slots_) {
+    if (slot.state == SlotState::kAvailable) ++n;
+  }
+  return n;
+}
+
+PoolSlot* InmatePool::acquire() {
+  for (auto& slot : slots_) {
+    if (slot.state == SlotState::kAvailable) {
+      slot.state = SlotState::kLeased;
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+void InmatePool::recycle(PoolSlot& slot) {
+  slot.state = SlotState::kRecycling;
+  ++slot.recycles;
+  ++total_recycles_;
+  recycling_gauge_->add(1);
+
+  const std::uint16_t vlan = slot.inmate ? slot.inmate->vlan() : 0;
+
+  // Flush the gateway verdict cache for this VLAN through the same
+  // trigger-event path a containment REVERT action takes (the Farm
+  // constructor's kTriggerFired subscription), so recycling and policy
+  // triggers share one cache-invalidation mechanism.
+  obs::FarmEvent ev;
+  ev.kind = obs::FarmEvent::Kind::kTriggerFired;
+  ev.time = farm_.loop().now();
+  ev.subfarm = slot.subfarm->name();
+  ev.vlan = vlan;
+  ev.trigger_text = "recycle";
+  ev.trigger_action = "REVERT";
+  farm_.telemetry().publish(ev);
+
+  // Drop the lease + NAT binding: the rebooted inmate re-binds via DHCP,
+  // and no global->internal mapping from the previous tenant's job
+  // survives into the next one.
+  slot.subfarm->router().inmates().release(vlan);
+
+  if (!slot.inmate) {
+    // Inmate-less rig: nothing to revert; the slot is available again
+    // immediately (recycling accounting still recorded above).
+    recycling_gauge_->sub(1);
+    slot.state = SlotState::kAvailable;
+    if (on_ready_) on_ready_(slot);
+    return;
+  }
+
+  GQ_DEBUG(kLog, "slot %zu (%s vlan %u): recycling", slot.index,
+           slot.subfarm->name().c_str(), vlan);
+  if (options_.hosting == inm::HostingKind::kRawIron) {
+    raw_iron_.reimage(vlan);  // ~6 min PXE reimage (§6.4).
+  } else {
+    slot.inmate->revert();  // Snapshot restore.
+  }
+}
+
+void InmatePool::on_inmate_state(PoolSlot& slot, inm::InmateState state) {
+  if (state != inm::InmateState::kRunning) return;
+  if (slot.state != SlotState::kWarming &&
+      slot.state != SlotState::kRecycling) {
+    return;
+  }
+  if (slot.state == SlotState::kRecycling) recycling_gauge_->sub(1);
+  slot.state = SlotState::kAvailable;
+  if (on_ready_) on_ready_(slot);
+}
+
+}  // namespace gq::orch

@@ -1,0 +1,106 @@
+// Recycled detonation-slot pool (DESIGN.md §13). A slot is one
+// ephemeral subfarm plus one inmate, built once at pool construction
+// and reused across jobs: the orchestrator leases an available slot,
+// detonates a sample on it, then recycles it — which reverts the inmate
+// (reimage for raw iron, via a pool-owned RawIronController), flushes
+// the gateway verdict cache for its VLAN (PR 5/6 semantics, by way of
+// the farm's kTriggerFired subscription), and releases the NAT binding
+// + lease so the next tenant's job starts from a machine with no
+// addresses, flows, cache entries, or samples carried over. The slot
+// returns to the pool only when the rebooted inmate lands idle in
+// kRunning again, so revert/reimage latency (inm::HostingProfile) is a
+// first-class part of job throughput — exactly the recycling economics
+// the paper's §6.4 raw-iron discussion prices out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/farm.h"
+#include "inmate/controller.h"
+
+namespace gq::orch {
+
+enum class SlotState {
+  kWarming,    ///< First boot after construction; never leased yet.
+  kAvailable,  ///< Idle inmate in kRunning, ready for a job.
+  kLeased,     ///< Running a job.
+  kRecycling,  ///< Revert/reimage in progress after a harvest.
+};
+
+const char* slot_state_name(SlotState state);
+
+struct PoolSlot {
+  std::size_t index = 0;
+  core::Subfarm* subfarm = nullptr;
+  inm::Inmate* inmate = nullptr;  ///< Null in inmate-less replay rigs.
+  SlotState state = SlotState::kWarming;
+  std::uint64_t recycles = 0;
+};
+
+struct PoolOptions {
+  std::size_t slots = 2;
+  inm::HostingKind hosting = inm::HostingKind::kVm;
+  /// Subfarm names are "<name_prefix><index>" — must be unique per farm
+  /// (the DetonationService prefixes a shard tag).
+  std::string name_prefix = "Pod";
+  /// False builds the subfarms but no inmates: the replay-rig
+  /// configuration (trace/replay.h contract — inmates are created last,
+  /// so a rig without them draws identical RNG seeds for everything
+  /// else).
+  bool create_inmates = true;
+};
+
+class InmatePool {
+ public:
+  /// Called once per slot after its subfarm exists, before any inmate is
+  /// created: install sinks, register samples/prototypes, configure
+  /// containment. Keeping ALL subfarm construction ahead of ALL inmate
+  /// construction preserves the replay contract above.
+  using SlotBuilder =
+      std::function<void(core::Subfarm& subfarm, std::size_t slot)>;
+  using ReadyHandler = std::function<void(PoolSlot& slot)>;
+
+  InmatePool(core::Farm& farm, PoolOptions options,
+             const SlotBuilder& builder);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] PoolSlot& slot(std::size_t i) { return slots_.at(i); }
+  [[nodiscard]] std::size_t available() const;
+  [[nodiscard]] core::Farm& farm() { return farm_; }
+
+  /// Lease the lowest-index available slot; nullptr when none is idle
+  /// (callers queue and retry from on_slot_ready).
+  PoolSlot* acquire();
+
+  /// Harvested job done: flush containment state and start the revert /
+  /// reimage cycle. The slot re-enters the pool asynchronously, when
+  /// the fresh inmate finishes booting (on_slot_ready fires).
+  void recycle(PoolSlot& slot);
+
+  /// Invoked (synchronously, on the farm's loop) each time a slot
+  /// finishes warming or recycling and becomes available.
+  void set_ready_handler(ReadyHandler handler) {
+    on_ready_ = std::move(handler);
+  }
+
+  [[nodiscard]] std::uint64_t total_recycles() const {
+    return total_recycles_;
+  }
+  [[nodiscard]] inm::RawIronController& raw_iron() { return raw_iron_; }
+
+ private:
+  void on_inmate_state(PoolSlot& slot, inm::InmateState state);
+
+  core::Farm& farm_;
+  PoolOptions options_;
+  std::vector<PoolSlot> slots_;
+  inm::RawIronController raw_iron_;
+  ReadyHandler on_ready_;
+  std::uint64_t total_recycles_ = 0;
+  obs::Gauge* recycling_gauge_ = nullptr;
+};
+
+}  // namespace gq::orch

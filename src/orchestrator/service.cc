@@ -1,0 +1,63 @@
+#include "orchestrator/service.h"
+
+#include "util/strings.h"
+
+namespace gq::orch {
+
+DetonationService::DetonationService(core::ShardedFarm& farm,
+                                     OrchestratorOptions options,
+                                     const InmatePool::SlotBuilder& builder) {
+  shards_.reserve(farm.shard_count());
+  for (std::size_t s = 0; s < farm.shard_count(); ++s) {
+    OrchestratorOptions shard_options = options;
+    shard_options.pool.name_prefix =
+        util::format("S%zu%s", s, options.pool.name_prefix.c_str());
+    if (!options.archive_dir.empty()) {
+      shard_options.archive_dir =
+          util::format("%s/shard%zu", options.archive_dir.c_str(), s);
+    }
+    shards_.push_back(std::make_unique<Orchestrator>(
+        farm.shard(s), std::move(shard_options), builder));
+  }
+}
+
+void DetonationService::register_tenant(const std::string& name) {
+  for (auto& shard : shards_) shard->register_tenant(name);
+}
+
+void DetonationService::register_profile(
+    const std::string& name, Orchestrator::ProfileFactory factory) {
+  for (auto& shard : shards_) shard->register_profile(name, factory);
+}
+
+DetonationService::Submission DetonationService::submit(const JobSpec& spec) {
+  const std::size_t shard = next_shard_;
+  next_shard_ = (next_shard_ + 1) % shards_.size();
+  return {shard, shards_[shard]->submit(spec)};
+}
+
+std::uint64_t DetonationService::jobs_submitted() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->jobs_submitted();
+  return n;
+}
+
+std::uint64_t DetonationService::jobs_completed() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->jobs_completed();
+  return n;
+}
+
+std::uint64_t DetonationService::jobs_rejected() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->jobs_rejected();
+  return n;
+}
+
+std::size_t DetonationService::queue_depth() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->queue_depth();
+  return n;
+}
+
+}  // namespace gq::orch

@@ -60,11 +60,29 @@ void Reporter::on_event(const obs::FarmEvent& event) {
       return;
     }
 
+    case obs::FarmEvent::Kind::kJobState: {
+      auto& tenant = tenant_jobs_[event.tenant];
+      ++tenant.states[event.job_state];
+      if (event.job_state == "harvested") {
+        tenant.bytes_to_server += event.bytes_to_server;
+        tenant.bytes_to_inmate += event.bytes_to_inmate;
+      }
+      return;
+    }
+
     case obs::FarmEvent::Kind::kFlowOpen:
     case obs::FarmEvent::Kind::kFlowClose:
     case obs::FarmEvent::Kind::kCsDecision:
       return;  // The verdict event carries the facts the report needs.
   }
+}
+
+std::uint64_t Reporter::jobs_observed(const std::string& tenant,
+                                      const std::string& state) const {
+  auto it = tenant_jobs_.find(tenant);
+  if (it == tenant_jobs_.end()) return 0;
+  auto st = it->second.states.find(state);
+  return st == it->second.states.end() ? 0 : st->second;
 }
 
 void Reporter::on_flow_event(const gw::FlowEvent& event) {
@@ -233,6 +251,27 @@ std::string Reporter::render(util::TimePoint now) const {
       out += util::format(
           "\nSafety filter rejections: %llu\n",
           static_cast<unsigned long long>(subfarm.safety_rejections));
+    }
+  }
+
+  if (!tenant_jobs_.empty()) {
+    out += "\nDetonation jobs\n";
+    out += std::string(56, '=') + "\n";
+    for (const auto& [tenant, jobs] : tenant_jobs_) {
+      auto count = [&jobs](const char* state) -> unsigned long long {
+        auto it = jobs.states.find(state);
+        return it == jobs.states.end() ? 0ull : it->second;
+      };
+      out += util::format(
+          "\n%-16s submitted %llu  running %llu  harvested %llu  "
+          "recycled %llu  cancelled %llu  rejected %llu\n",
+          tenant.c_str(), count("queued"), count("running"),
+          count("harvested"), count("recycled"), count("cancelled"),
+          count("rejected"));
+      out += util::format(
+          "  harvested traffic: %llu B to servers, %llu B to inmates\n",
+          static_cast<unsigned long long>(jobs.bytes_to_server),
+          static_cast<unsigned long long>(jobs.bytes_to_inmate));
     }
   }
 

@@ -82,6 +82,12 @@ class Reporter {
     return infections_;
   }
 
+  /// kJobState transitions observed for (tenant, state name) — e.g.
+  /// jobs_observed("acme", "recycled") counts acme's completed
+  /// detonation jobs. State names are orch::job_state_name strings.
+  [[nodiscard]] std::uint64_t jobs_observed(const std::string& tenant,
+                                            const std::string& state) const;
+
  private:
   struct GroupKey {
     shim::Verdict verdict;
@@ -132,6 +138,14 @@ class Reporter {
   std::vector<std::string> rotated_;
   std::uint64_t trigger_firings_ = 0;
   std::uint64_t infections_ = 0;
+  /// Bus-fed detonation-job aggregates (kJobState): tenant -> state
+  /// name -> transition count, plus per-tenant harvested byte totals.
+  struct TenantJobs {
+    std::map<std::string, std::uint64_t> states;
+    std::uint64_t bytes_to_server = 0;
+    std::uint64_t bytes_to_inmate = 0;
+  };
+  std::map<std::string, TenantJobs> tenant_jobs_;
 };
 
 }  // namespace gq::rep

@@ -19,7 +19,8 @@ std::string event_line(const obs::FarmEvent& e) {
   os << " b2s=" << e.bytes_to_server << " b2i=" << e.bytes_to_inmate
      << " int=" << e.inmate_internal.str()
      << " glob=" << e.inmate_global.str() << " sink=" << e.sink_service
-     << " ssrc=" << e.sink_source.str();
+     << " ssrc=" << e.sink_source.str() << " job=" << e.job_id
+     << " tenant=" << e.tenant << " jstate=" << e.job_state;
   return os.str();
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "gateway/policy_table.h"
+#include "orchestrator/job.h"
 #include "packet/frame.h"
 #include "packet/frame_view.h"
 #include "packet/headers.h"
@@ -444,6 +445,141 @@ TEST(FuzzFrame, FrameViewRejectsOrParsesNeverCrashes) {
     }
     (void)pkt::vlan_vid_of(buf);
     (void)pkt::ipv4_dst_of(buf);
+  }
+}
+
+// --- detonation-job specs -------------------------------------------------
+
+// The JobSpec line parser faces operator/tenant-shaped text rather than
+// wire bytes, so the mutations here are textual: token shuffles, random
+// splices, charset violations. The properties mirror the codec suites —
+// reject or parse, never crash — plus the parser's own contract: any
+// accepted spec honors the field caps and round-trips byte-identically
+// through str().
+
+const char kIdentChars[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+
+std::string random_ident(util::Rng& rng, std::size_t max_len) {
+  std::string s(1 + rng.below(max_len), '\0');
+  for (auto& c : s) c = kIdentChars[rng.below(sizeof(kIdentChars) - 1)];
+  return s;
+}
+
+// Printable ASCII, no whitespace, no '=' — the sample-name charset.
+std::string random_sample_name(util::Rng& rng) {
+  std::string s(1 + rng.below(orch::kMaxSampleLen), '\0');
+  for (auto& c : s) {
+    do {
+      c = static_cast<char>('!' + rng.below('~' - '!' + 1));
+    } while (c == '=');
+  }
+  return s;
+}
+
+orch::JobSpec random_valid_spec(util::Rng& rng) {
+  orch::JobSpec spec;
+  spec.tenant = random_ident(rng, orch::kMaxTenantLen);
+  spec.sample = random_sample_name(rng);
+  spec.profile = random_ident(rng, orch::kMaxProfileLen);
+  spec.budget = util::milliseconds(
+      orch::kMinBudgetMs +
+      static_cast<std::int64_t>(
+          rng.below(orch::kMaxBudgetMs - orch::kMinBudgetMs + 1)));
+  return spec;
+}
+
+// One textual mutation step: drop/duplicate/shuffle tokens, splice
+// random bytes, or flip characters in place.
+void mutate_line(util::Rng& rng, std::string& line) {
+  switch (rng.below(5)) {
+    case 0: {  // Truncate to a random prefix.
+      line.resize(rng.below(line.size() + 1));
+      break;
+    }
+    case 1: {  // Splice random bytes (incl. NUL/non-ASCII) anywhere.
+      const auto bytes = random_bytes(rng, 1 + rng.below(16));
+      line.insert(line.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.below(line.size() + 1)),
+                  bytes.begin(), bytes.end());
+      break;
+    }
+    case 2: {  // Flip 1-4 characters.
+      if (!line.empty()) {
+        const auto flips = 1 + rng.below(4);
+        for (std::uint64_t i = 0; i < flips; ++i)
+          line[rng.below(line.size())] ^=
+              static_cast<char>(1u << rng.below(8));
+      }
+      break;
+    }
+    case 3: {  // Duplicate a whitespace-delimited token (dup-key reject).
+      const std::size_t start = rng.below(line.size() + 1);
+      const std::size_t from = line.find_first_not_of(' ', start);
+      if (from == std::string::npos) break;
+      const std::size_t to = std::min(line.find(' ', from), line.size());
+      line += ' ';
+      line += line.substr(from, to - from);
+      break;
+    }
+    case 4: {  // Perturb whitespace: tabs, runs, leading/trailing pad.
+      line.insert(rng.below(line.size() + 1),
+                  std::string(1 + rng.below(4), rng.below(2) ? ' ' : '\t'));
+      break;
+    }
+  }
+}
+
+TEST(FuzzJobSpec, EveryValidSpecRoundTripsThroughItsCanonicalLine) {
+  util::Rng rng(0xF00D000B);
+  for (int i = 0; i < kCases; ++i) {
+    const orch::JobSpec spec = random_valid_spec(rng);
+    const std::string line = spec.str();
+    const auto parsed = orch::JobSpec::parse(line);
+    ASSERT_TRUE(parsed) << line;
+    ASSERT_EQ(*parsed, spec) << line;
+    // Canonical form is a fixed point.
+    ASSERT_EQ(parsed->str(), line);
+  }
+}
+
+TEST(FuzzJobSpec, MutatedLinesRejectOrParseWithCapsHonored) {
+  util::Rng rng(0xF00D000C);
+  for (int i = 0; i < kCases; ++i) {
+    std::string line = random_valid_spec(rng).str();
+    const auto mutations = 1 + rng.below(3);
+    for (std::uint64_t m = 0; m < mutations; ++m) mutate_line(rng, line);
+    const auto parsed = orch::JobSpec::parse(line);
+    if (!parsed) continue;
+    // Whatever survives mutation must satisfy every documented cap —
+    // oversized fields are rejected, never truncated into acceptance.
+    ASSERT_FALSE(parsed->tenant.empty());
+    ASSERT_LE(parsed->tenant.size(), orch::kMaxTenantLen);
+    ASSERT_FALSE(parsed->sample.empty());
+    ASSERT_LE(parsed->sample.size(), orch::kMaxSampleLen);
+    ASSERT_LE(parsed->profile.size(), orch::kMaxProfileLen);
+    ASSERT_GE(parsed->budget.usec, orch::kMinBudgetMs * 1000);
+    ASSERT_LE(parsed->budget.usec, orch::kMaxBudgetMs * 1000);
+    // And an accepted spec re-parses from its canonical line unchanged
+    // (the resubmission path: specs are archived and replayed as text).
+    const auto reparsed = orch::JobSpec::parse(parsed->str());
+    ASSERT_TRUE(reparsed) << parsed->str();
+    ASSERT_EQ(*reparsed, *parsed);
+  }
+}
+
+TEST(FuzzJobSpec, RandomGarbageNeverCrashesAndRarelyParses) {
+  util::Rng rng(0xF00D000D);
+  for (int i = 0; i < kCases; ++i) {
+    const auto bytes = random_bytes(rng, rng.below(160));
+    const std::string line(bytes.begin(), bytes.end());
+    const auto parsed = orch::JobSpec::parse(line);
+    if (parsed) {
+      // Anything accepted from noise must still be a lawful spec.
+      ASSERT_FALSE(parsed->tenant.empty());
+      ASSERT_LE(parsed->tenant.size(), orch::kMaxTenantLen);
+      ASSERT_TRUE(orch::JobSpec::parse(parsed->str()));
+    }
   }
 }
 

@@ -12,6 +12,8 @@
 
 #include "containment/policy.h"
 #include "core/farm.h"
+#include "inmate/inmate.h"
+#include "orchestrator/pool.h"
 #include "netsim/fault.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
@@ -268,6 +270,56 @@ TEST(FarmObservability, LossyCsLinkExposesFaultAndRetryMetrics) {
   // Despite the loss, verdicts did land (retries carried them through).
   auto totals = farm.reporter().verdict_totals();
   EXPECT_GE(totals[shim::Verdict::kForward], 1u);
+}
+
+TEST(FarmObservability, InmatePoolInstrumentsTrackSlotRecycling) {
+  // The fleet-bookkeeping instruments the detonation service runs on:
+  // `inmate.pool.available` (VlanPool occupancy), `inmate.pool.recycling`
+  // (slots mid-revert), and `inmate.pool.reimages` (RawIronController
+  // restore cycles) must all surface through the farm registry and move
+  // with the slot life-cycle.
+  core::Farm farm;
+  orch::PoolOptions options;
+  options.slots = 1;
+  options.hosting = inm::HostingKind::kRawIron;  // Recycle = PXE reimage.
+  orch::InmatePool pool(farm, options,
+                        [](core::Subfarm& sub, std::size_t) {
+                          sub.add_catchall_sink();
+                        });
+
+  const auto& metrics = farm.metrics();
+  const auto* available = metrics.find_gauge("inmate.pool.available");
+  const auto* recycling = metrics.find_gauge("inmate.pool.recycling");
+  const auto* reimages = metrics.find_counter("inmate.pool.reimages");
+  ASSERT_NE(available, nullptr);
+  ASSERT_NE(recycling, nullptr);
+  ASSERT_NE(reimages, nullptr);
+
+  // One inmate exists, so exactly one VLAN is drawn from the pool; no
+  // slot is recycling and no reimage has run yet.
+  const auto capacity = static_cast<std::int64_t>(
+      pool.slot(0).subfarm->vlan_pool().capacity());
+  EXPECT_EQ(available->value(), capacity - 1);
+  EXPECT_EQ(recycling->value(), 0);
+  EXPECT_EQ(reimages->value(), 0u);
+
+  // Warm up (45s raw-iron boot + DHCP), lease the slot, recycle it.
+  farm.run_for(util::minutes(2));
+  orch::PoolSlot* slot = pool.acquire();
+  ASSERT_NE(slot, nullptr);
+  pool.recycle(*slot);
+  EXPECT_EQ(recycling->value(), 1);
+  EXPECT_EQ(reimages->value(), 1u);
+
+  // The ~6-minute restore completes: the slot re-enters the pool and
+  // the recycling gauge returns to zero; the inmate keeps its VLAN, so
+  // available is unchanged.
+  farm.run_for(util::minutes(10));
+  EXPECT_EQ(recycling->value(), 0);
+  EXPECT_EQ(slot->state, orch::SlotState::kAvailable);
+  EXPECT_EQ(available->value(), capacity - 1);
+  EXPECT_EQ(pool.total_recycles(), 1u);
+  EXPECT_EQ(pool.raw_iron().reimages(), 1u);
 }
 
 }  // namespace
