@@ -21,6 +21,7 @@
 
 #include "containment/policy.h"
 #include "core/farm.h"
+#include "flowdb/flowdb.h"
 #include "netsim/fault.h"
 #include "packet/frame.h"
 #include "packet/pcap.h"
@@ -121,7 +122,7 @@ void audit_tap(const trace::TraceTap& tap, std::size_t segment_bytes,
 }
 
 RowStats run_row(const Profile& profile, util::Duration duration,
-                 bool smoke) {
+                 bool smoke, flowdb::Writer& flow_store) {
   core::FarmOptions options;
   options.seed = 0x5041B;
   options.trace_archive.segment_bytes = trace_segment_bytes(smoke);
@@ -275,6 +276,16 @@ RowStats run_row(const Profile& profile, util::Duration duration,
   audit_tap(farm.gateway().upstream_trace(), segment_bytes, stats);
   audit_tap(farm.gateway().inmate_rx_trace(), segment_bytes, stats);
   audit_tap(sub.router().trace(), segment_bytes, stats);
+  // Compact every audited tap into the sweep-wide FlowDB store, tap
+  // names prefixed with the fault profile so `gq_trace stat --by tap`
+  // can split the sweep per row.
+  const std::string prefix = std::string(profile.name) + "/";
+  flow_store.add_index(farm.gateway().upstream_trace().index(),
+                       prefix + farm.gateway().upstream_trace().name());
+  flow_store.add_index(farm.gateway().inmate_rx_trace().index(),
+                       prefix + farm.gateway().inmate_rx_trace().name());
+  flow_store.add_index(sub.router().trace().index(),
+                       prefix + sub.router().trace().name());
   // Cross-check eviction accounting against the registry metric.
   if (counter("trace.Soak.evicted") !=
       sub.router().trace().archive().evicted_segments())
@@ -328,8 +339,9 @@ int main(int argc, char** argv) {
   std::uint64_t total_escapes = 0;
   std::uint64_t total_trace_violations = 0;
   std::uint64_t total_trace_evictions = 0;
+  flowdb::Writer flow_store;
   for (const auto& profile : profiles) {
-    const auto stats = run_row(profile, duration, smoke);
+    const auto stats = run_row(profile, duration, smoke, flow_store);
     total_escapes += stats.escapes;
     total_trace_violations +=
         stats.trace_budget_violations + stats.trace_capture_gaps;
@@ -373,6 +385,27 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+
+  // Compact the sweep's flow records into a queryable column store; a
+  // reader must be able to mmap it back (same validation the tooling
+  // runs) before the numbers are trusted.
+  const std::string store_path = "BENCH_s2_flows.fdb";
+  if (!flow_store.save(store_path)) {
+    std::fprintf(stderr, "s2: cannot write %s\n", store_path.c_str());
+    return 1;
+  }
+  const auto store = flowdb::Reader::open(store_path);
+  if (!store || store->rows() != flow_store.row_count()) {
+    std::fprintf(stderr, "s2: %s failed reopen validation\n",
+                 store_path.c_str());
+    return 1;
+  }
+  json.key("flowdb_path");
+  json.value(store_path);
+  json.key("flowdb_rows");
+  json.value(static_cast<std::uint64_t>(store->rows()));
+  json.key("flowdb_bytes");
+  json.value(static_cast<std::uint64_t>(store->file_bytes()));
   json.end_object();
 
   if (!util::json_valid(json.str())) {
@@ -416,7 +449,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("zero containment escapes across all profiles; trace "
-              "archivers stayed within budget (%llu segments rotated)\n",
-              static_cast<unsigned long long>(total_trace_evictions));
+              "archivers stayed within budget (%llu segments rotated); "
+              "%llu flows compacted into %s\n",
+              static_cast<unsigned long long>(total_trace_evictions),
+              static_cast<unsigned long long>(flow_store.row_count()),
+              store_path.c_str());
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/sharded_farm.h"
+#include "flowdb/flowdb.h"
 #include "inmate/inmate.h"
 #include "orchestrator/service.h"
 #include "packet/frame.h"
@@ -124,6 +125,12 @@ struct RowStats {
   double sim_hours = 0.0;
   double detonations_per_hour = 0.0;
   std::uint64_t event_hash = 0;
+  // Every job archive compacted into one FlowDB store at row end; the
+  // hash is over the store's file bytes, so the replay gate can also
+  // prove same-seed runs compact byte-identically.
+  std::uint64_t flowdb_rows = 0;
+  std::uint64_t flowdb_hash = 0;
+  bool flowdb_ok = false;
 };
 
 // One sweep row: `shards` gateway shards with 4 recycled slots each,
@@ -263,6 +270,22 @@ RowStats run_row(std::size_t shards, unsigned threads,
     joined += '\n';
   }
   stats.event_hash = fnv1a(joined);
+
+  // Compact every job archive (shards in index order, jobs in id order)
+  // into one queryable column store and prove it reopens with the
+  // expected row count.
+  const std::string store_path =
+      util::format("BENCH_s3_flows_%zushard_%uthr.fdb", shards,
+                   stats.threads);
+  if (const auto rows = service.compact_flowdb(store_path)) {
+    stats.flowdb_rows = *rows;
+    const auto store = flowdb::Reader::open(store_path);
+    stats.flowdb_ok = store && store->rows() == *rows;
+    std::ifstream in(store_path, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    stats.flowdb_hash = fnv1a(bytes);
+  }
   return stats;
 }
 
@@ -301,6 +324,7 @@ int main(int argc, char** argv) {
   json.begin_array();
 
   bool drained = true;
+  bool flowdb_ok = true;
   std::uint64_t total_completed = 0;
   std::uint64_t total_escapes = 0;
   for (std::size_t r = 0; r < rows; ++r) {
@@ -346,7 +370,13 @@ int main(int argc, char** argv) {
     json.key("event_hash");
     json.value(util::format("%016llx", static_cast<unsigned long long>(
                                            stats.event_hash)));
+    json.key("flowdb_rows");
+    json.value(stats.flowdb_rows);
+    json.key("flowdb_hash");
+    json.value(util::format("%016llx", static_cast<unsigned long long>(
+                                           stats.flowdb_hash)));
     json.end_object();
+    flowdb_ok = flowdb_ok && stats.flowdb_ok;
   }
   json.end_array();
 
@@ -355,8 +385,12 @@ int main(int argc, char** argv) {
   // recycle schedule — everything observable) as the threaded run.
   const auto threaded = run_row(2, 2, jobs_per_shard, cap);
   const auto serial = run_row(2, 1, jobs_per_shard, cap);
+  flowdb_ok = flowdb_ok && threaded.flowdb_ok && serial.flowdb_ok;
+  // Same-seed runs must also compact to byte-identical FlowDB stores —
+  // the cross-run contract the gq_trace diff gate depends on.
   const bool identical = threaded.event_hash == serial.event_hash &&
-                         threaded.completed == serial.completed;
+                         threaded.completed == serial.completed &&
+                         threaded.flowdb_hash == serial.flowdb_hash;
   json.key("replay_check");
   json.begin_object();
   json.key("shards");
@@ -367,6 +401,12 @@ int main(int argc, char** argv) {
   json.key("hash_serial");
   json.value(util::format("%016llx", static_cast<unsigned long long>(
                                          serial.event_hash)));
+  json.key("flowdb_hash_threaded");
+  json.value(util::format("%016llx", static_cast<unsigned long long>(
+                                         threaded.flowdb_hash)));
+  json.key("flowdb_hash_serial");
+  json.value(util::format("%016llx", static_cast<unsigned long long>(
+                                         serial.flowdb_hash)));
   json.key("bit_identical");
   json.value(identical);
   json.end_object();
@@ -410,6 +450,11 @@ int main(int argc, char** argv) {
                  "\nCONTAINMENT FAILURE: %llu frame(s) escaped upstream "
                  "without an authorizing verdict\n",
                  static_cast<unsigned long long>(total_escapes));
+    return 1;
+  }
+  if (!flowdb_ok) {
+    std::fprintf(stderr, "\nFLOWDB FAILURE: a row's compacted store did "
+                         "not save or reopen with the expected rows\n");
     return 1;
   }
   if (!identical) {

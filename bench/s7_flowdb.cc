@@ -1,0 +1,340 @@
+// FlowDB scan-throughput bench (EXPERIMENTS.md S7): compacts a
+// >= 100k-flow index into a `.fdb` column store and races the query
+// engine against the pre-FlowDB answer path — a linear reload of the
+// archive's flows.txt sidecar with a per-flow predicate pass. Self-
+// gating, per the PR 5/6 convention: exits nonzero unless
+//
+//   * the store opens, row counts match, and every query returns the
+//     same match count as the linear baseline,
+//   * the end-to-end speedup (sum over the query set, open/reload
+//     included) is >= 5x,
+//   * parallel scans are bit-identical to serial at 1/2/4 threads,
+//   * encoding is deterministic (same rows -> same bytes), and
+//   * BENCH_s7.json survives round-trip JSON validation.
+//
+//   build/bench/s7_flowdb           # full query set
+//   build/bench/s7_flowdb --smoke   # abbreviated CI pass (same gates)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flowdb/flowdb.h"
+#include "flowdb/query.h"
+#include "trace/tap.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gq;
+
+constexpr std::uint64_t kSeed = 0xF10DB;
+constexpr std::size_t kFlows = 120'000;  // Gate demands >= 100k.
+constexpr double kMinSpeedup = 5.0;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<trace::FlowRecord> synth_flows() {
+  util::Rng rng(kSeed);
+  const char* tenants[] = {"acme", "umbrella", "tyrell", "initech"};
+  std::vector<trace::FlowRecord> flows;
+  flows.reserve(kFlows);
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    trace::FlowRecord record;
+    record.key.proto =
+        rng.chance(0.7) ? pkt::FlowProto::kTcp : pkt::FlowProto::kUdp;
+    record.key.src = {
+        util::Ipv4Addr(10, 9, static_cast<std::uint8_t>(rng.below(64)),
+                       static_cast<std::uint8_t>(rng.below(250) + 1)),
+        static_cast<std::uint16_t>(1024 + rng.below(60000))};
+    record.key.dst = {util::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                      static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : 25)};
+    record.vlan = static_cast<std::uint16_t>(100 + rng.below(32));
+    record.tenant = tenants[rng.below(std::size(tenants))];
+    record.job = rng.below(512) + 1;
+    if (rng.chance(0.85)) {
+      record.has_verdict = true;
+      record.verdict = static_cast<shim::Verdict>(1 + rng.below(6));
+      record.verdict_source = static_cast<shim::VerdictSource>(rng.below(3));
+      record.verdict_cached =
+          record.verdict_source == shim::VerdictSource::kCached;
+      record.policy_name =
+          record.verdict == shim::Verdict::kDrop ? "quarantine" : "default";
+    }
+    record.packets = 1 + rng.below(200);
+    record.bytes = record.packets * (60 + rng.below(1400));
+    record.first_time.usec = static_cast<std::int64_t>(i) * 100;
+    record.last_time.usec =
+        record.first_time.usec + static_cast<std::int64_t>(rng.below(50000));
+    record.locations.push_back({rng.below(16), rng.below(1u << 20)});
+    flows.push_back(std::move(record));
+  }
+  return flows;
+}
+
+/// The pre-FlowDB answer path: a saved archive whose index is the
+/// flows.txt text sidecar. (No pcap segments — giving the baseline the
+/// cheapest possible reload makes the gate conservative.)
+bool write_baseline_archive(const std::string& dir,
+                            const std::vector<trace::FlowRecord>& flows) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  {
+    std::ofstream manifest(dir + "/manifest.txt",
+                           std::ios::binary | std::ios::trunc);
+    manifest << "gq-trace 1\nname s7-baseline\n";
+    if (!manifest) return false;
+  }
+  std::ofstream out(dir + "/flows.txt", std::ios::binary | std::ios::trunc);
+  for (const auto& flow : flows) out << trace::flow_record_line(flow) << '\n';
+  return static_cast<bool>(out);
+}
+
+struct Query {
+  const char* name;
+  flowdb::Filter filter;
+  std::function<bool(const trace::FlowRecord&)> baseline;
+};
+
+std::vector<Query> query_set(bool smoke) {
+  std::vector<Query> queries;
+  {
+    Query q;
+    q.name = "verdict=drop";
+    q.filter.verdict = static_cast<std::uint8_t>(shim::Verdict::kDrop);
+    q.baseline = [](const trace::FlowRecord& f) {
+      return f.has_verdict && f.verdict == shim::Verdict::kDrop;
+    };
+    queries.push_back(std::move(q));
+  }
+  {
+    Query q;
+    q.name = "tenant=acme";
+    q.filter.tenant = "acme";
+    q.baseline = [](const trace::FlowRecord& f) { return f.tenant == "acme"; };
+    queries.push_back(std::move(q));
+  }
+  {
+    Query q;
+    q.name = "port=80";
+    q.filter.port = 80;
+    q.baseline = [](const trace::FlowRecord& f) {
+      return f.key.src.port == 80 || f.key.dst.port == 80;
+    };
+    queries.push_back(std::move(q));
+  }
+  if (smoke) return queries;
+  {
+    Query q;
+    q.name = "prefix=10.9.7.0/24";
+    const auto net = util::Ipv4Net(util::Ipv4Addr(10, 9, 7, 0), 24);
+    q.filter.prefix = net;
+    q.baseline = [net](const trace::FlowRecord& f) {
+      return net.contains(f.key.src.addr) || net.contains(f.key.dst.addr);
+    };
+    queries.push_back(std::move(q));
+  }
+  {
+    Query q;
+    q.name = "window=2s..6s";
+    q.filter.since_usec = 2'000'000;
+    q.filter.until_usec = 6'000'000;
+    q.baseline = [](const trace::FlowRecord& f) {
+      return f.last_time.usec >= 2'000'000 && f.first_time.usec <= 6'000'000;
+    };
+    queries.push_back(std::move(q));
+  }
+  {
+    Query q;
+    q.name = "tenant=tyrell&verdict=rewrite";
+    q.filter.tenant = "tyrell";
+    q.filter.verdict = static_cast<std::uint8_t>(shim::Verdict::kRewrite);
+    q.baseline = [](const trace::FlowRecord& f) {
+      return f.tenant == "tyrell" && f.has_verdict &&
+             f.verdict == shim::Verdict::kRewrite;
+    };
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  std::printf("s7 flowdb scan throughput (%s): %zu flows\n",
+              smoke ? "smoke" : "full", kFlows);
+
+  const auto flows = synth_flows();
+  const std::string dir = "s7_baseline_archive";
+  const std::string store_path = "s7_store.fdb";
+  if (!write_baseline_archive(dir, flows)) {
+    std::fprintf(stderr, "s7: cannot write baseline archive\n");
+    return 1;
+  }
+
+  // Compact. Determinism gate: same rows -> same bytes.
+  flowdb::Writer writer;
+  for (const auto& flow : flows) writer.add(flowdb::row_from(flow, "bench"));
+  const auto compact_start = std::chrono::steady_clock::now();
+  const auto encoded = writer.encode();
+  const double compact_ms = ms_since(compact_start);
+  if (writer.encode() != encoded) {
+    std::fprintf(stderr, "s7: encoding is not deterministic\n");
+    return 1;
+  }
+  {
+    std::ofstream out(store_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(encoded.data()),
+              static_cast<std::streamsize>(encoded.size()));
+    if (!out) {
+      std::fprintf(stderr, "s7: cannot write %s\n", store_path.c_str());
+      return 1;
+    }
+  }
+
+  const auto queries = query_set(smoke);
+  std::printf("\n%-28s %10s %12s %12s %9s\n", "query", "matches",
+              "baseline ms", "flowdb ms", "speedup");
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench");
+  json.value("s7_flowdb");
+  json.key("smoke");
+  json.value(smoke);
+  json.key("flows");
+  json.value(static_cast<std::uint64_t>(kFlows));
+  json.key("store_bytes");
+  json.value(static_cast<std::uint64_t>(encoded.size()));
+  json.key("compact_ms");
+  json.value(compact_ms);
+  json.key("queries");
+  json.begin_array();
+
+  double baseline_total_ms = 0.0, flowdb_total_ms = 0.0;
+  bool ok = true;
+  for (const auto& query : queries) {
+    // Baseline: reload the text sidecar, then a per-flow predicate pass
+    // — what answering this question cost before the store existed.
+    const auto baseline_start = std::chrono::steady_clock::now();
+    auto tap = trace::load_trace(dir);
+    std::size_t baseline_matches = 0;
+    if (tap) {
+      for (const auto& flow : tap->index().flows())
+        if (query.baseline(flow)) ++baseline_matches;
+    }
+    const double baseline_ms = ms_since(baseline_start);
+    if (!tap || tap->index().flow_count() != flows.size()) {
+      std::fprintf(stderr, "s7: baseline archive reload failed\n");
+      return 1;
+    }
+
+    // FlowDB: mmap open + serial scan, cold each round for symmetry.
+    const auto flowdb_start = std::chrono::steady_clock::now();
+    auto reader = flowdb::Reader::open(store_path);
+    if (!reader) {
+      std::fprintf(stderr, "s7: cannot open %s\n", store_path.c_str());
+      return 1;
+    }
+    const auto matches = flowdb::scan(*reader, query.filter);
+    const double flowdb_ms = ms_since(flowdb_start);
+
+    if (matches.size() != baseline_matches) {
+      std::fprintf(stderr, "s7: %s disagreed (flowdb %zu vs baseline %zu)\n",
+                   query.name, matches.size(), baseline_matches);
+      ok = false;
+    }
+    // Parallelism contract: bit-identical results at 1/2/4 threads.
+    for (const unsigned threads : {2u, 4u}) {
+      flowdb::ScanOptions options;
+      options.threads = threads;
+      if (flowdb::scan(*reader, query.filter, options) != matches) {
+        std::fprintf(stderr, "s7: %s parallel scan (%u threads) diverged\n",
+                     query.name, threads);
+        ok = false;
+      }
+    }
+
+    baseline_total_ms += baseline_ms;
+    flowdb_total_ms += flowdb_ms;
+    const double speedup = flowdb_ms > 0.0 ? baseline_ms / flowdb_ms : 0.0;
+    std::printf("%-28s %10zu %12.2f %12.3f %8.1fx\n", query.name,
+                matches.size(), baseline_ms, flowdb_ms, speedup);
+    json.begin_object();
+    json.key("name");
+    json.value(query.name);
+    json.key("matches");
+    json.value(static_cast<std::uint64_t>(matches.size()));
+    json.key("baseline_ms");
+    json.value(baseline_ms);
+    json.key("flowdb_ms");
+    json.value(flowdb_ms);
+    json.end_object();
+  }
+  json.end_array();
+
+  const double speedup =
+      flowdb_total_ms > 0.0 ? baseline_total_ms / flowdb_total_ms : 0.0;
+  json.key("baseline_total_ms");
+  json.value(baseline_total_ms);
+  json.key("flowdb_total_ms");
+  json.value(flowdb_total_ms);
+  json.key("speedup");
+  json.value(speedup);
+  json.key("min_speedup");
+  json.value(kMinSpeedup);
+  const bool gate = ok && speedup >= kMinSpeedup;
+  json.key("gate");
+  json.value(gate ? "pass" : "fail");
+  json.end_object();
+
+  std::printf("\ntotal: baseline %.2f ms, flowdb %.2f ms -> %.1fx "
+              "(gate >= %.1fx)\n",
+              baseline_total_ms, flowdb_total_ms, speedup, kMinSpeedup);
+
+  if (!util::json_valid(json.str())) {
+    std::fprintf(stderr, "s7: generated BENCH_s7.json is not valid JSON\n");
+    return 1;
+  }
+  {
+    std::ofstream out("BENCH_s7.json", std::ios::binary | std::ios::trunc);
+    out << json.str() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "s7: cannot write BENCH_s7.json\n");
+      return 1;
+    }
+  }
+  std::ifstream back("BENCH_s7.json", std::ios::binary);
+  std::string reread((std::istreambuf_iterator<char>(back)),
+                     std::istreambuf_iterator<char>());
+  if (!util::json_valid(reread)) {
+    std::fprintf(stderr, "s7: BENCH_s7.json failed round-trip validation\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_s7.json (validated)\n");
+
+  if (!gate) {
+    std::fprintf(stderr,
+                 "s7: GATE FAILED (speedup %.2fx < %.1fx or result "
+                 "mismatch)\n",
+                 speedup, kMinSpeedup);
+    return 1;
+  }
+  std::printf("s7 OK\n");
+  return 0;
+}

@@ -1,4 +1,5 @@
-// gq_trace: operator CLI over saved trace archives (trace/tap.h).
+// gq_trace: operator CLI over saved trace archives (trace/tap.h) and
+// compacted FlowDB stores (flowdb/flowdb.h).
 //
 //   gq_trace selftest [dir]          capture synthetic traffic, save,
 //                                    reload, and exercise every command
@@ -7,6 +8,24 @@
 //   gq_trace extract <dir> <flow#> [out.pcap]
 //                                    extract one flow's packets (O(flow),
 //                                    via the index locations — no rescan)
+//   gq_trace compact <out.fdb> <dir>...
+//                                    compact saved archives into one
+//                                    columnar store
+//   gq_trace query <store.fdb> [filters] [--threads N] [--limit N]
+//                                    predicate scan over a store
+//   gq_trace stat <store.fdb> [--by verdict|tenant|policy|tap]
+//                                    aggregated counters per group
+//   gq_trace diff <a.fdb> <b.fdb> [--tolerance F]
+//                                    verdict-distribution comparison;
+//                                    exits nonzero past the tolerance
+//                                    (the cross-run regression gate)
+//   gq_trace diffgate <workdir>      self-contained gate check: two
+//                                    same-seed stores must diff clean,
+//                                    a perturbed one must diff dirty
+//
+// Query filters: --verdict <name|none> --source <shim|cached|table>
+// --tenant T --policy P --tap T --job N --vlan N --port N --addr A
+// --prefix A/L --proto tcp|udp --since USEC --until USEC
 //
 // `selftest` doubles as the smoke entry point: with no arguments the
 // tool runs it against a temporary directory and exits non-zero on any
@@ -14,12 +33,17 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "flowdb/flowdb.h"
+#include "flowdb/query.h"
 #include "packet/frame.h"
 #include "packet/pcap.h"
 #include "trace/tap.h"
+#include "util/rng.h"
+#include "util/strings.h"
 #include "util/time.h"
 
 namespace {
@@ -28,6 +52,39 @@ using namespace gq;
 
 const char* proto_name(pkt::FlowProto proto) {
   return proto == pkt::FlowProto::kTcp ? "tcp" : "udp";
+}
+
+/// Non-throwing numeric argv parsing (nullopt on junk, range-checked):
+/// a non-numeric flow number or flag value is a usage error, never an
+/// unhandled exception.
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  const auto value = util::parse_int(text);
+  if (!value || *value < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(*value);
+}
+
+std::optional<std::uint8_t> verdict_from_arg(std::string_view name) {
+  // Case-insensitive: verdict_name() prints uppercase, but "drop" is
+  // what people type.
+  const std::string folded = util::to_lower(name);
+  if (folded == "none") return 0;
+  for (const auto v :
+       {shim::Verdict::kForward, shim::Verdict::kLimit, shim::Verdict::kDrop,
+        shim::Verdict::kRedirect, shim::Verdict::kReflect,
+        shim::Verdict::kRewrite}) {
+    if (folded == util::to_lower(shim::verdict_name(v)))
+      return static_cast<std::uint8_t>(v);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> source_from_arg(std::string_view name) {
+  for (const auto s : {shim::VerdictSource::kShim, shim::VerdictSource::kCached,
+                       shim::VerdictSource::kTable}) {
+    if (util::to_lower(name) == shim::verdict_source_name(s))
+      return static_cast<std::uint8_t>(s);
+  }
+  return std::nullopt;
 }
 
 int cmd_list(const std::string& dir) {
@@ -41,6 +98,10 @@ int cmd_list(const std::string& dir) {
   std::printf("archive '%s'  (segment budget %zu B x %zu)\n",
               tap->name().c_str(), archive.config().segment_bytes,
               archive.config().max_segments);
+  if (!tap->tenant().empty()) {
+    std::printf("tenant %s job %llu\n", tap->tenant().c_str(),
+                static_cast<unsigned long long>(tap->job()));
+  }
   std::printf(
       "lifetime %llu pkts; evicted %llu segments / %llu pkts / %llu B\n\n",
       static_cast<unsigned long long>(archive.total_packets()),
@@ -75,6 +136,9 @@ int cmd_summary(const std::string& dir) {
                 flow.key.dst.str().c_str(), flow.vlan,
                 static_cast<unsigned long long>(flow.packets),
                 static_cast<unsigned long long>(flow.bytes));
+    if (!flow.tenant.empty())
+      std::printf("  tenant=%s job=%llu", flow.tenant.c_str(),
+                  static_cast<unsigned long long>(flow.job));
     if (flow.has_verdict) {
       std::printf("  %s [%s]", shim::verdict_name(flow.verdict),
                   shim::verdict_source_name(flow.verdict_source));
@@ -131,6 +195,334 @@ int cmd_extract(const std::string& dir, std::size_t flow_no,
   return 0;
 }
 
+// --- FlowDB subcommands ---------------------------------------------------
+
+int cmd_compact(const std::string& out_path,
+                const std::vector<std::string>& dirs) {
+  flowdb::Writer writer;
+  for (const auto& dir : dirs) {
+    auto tap = trace::load_trace(dir);
+    if (!tap) {
+      std::fprintf(stderr, "gq_trace: cannot load archive at %s\n",
+                   dir.c_str());
+      return 1;
+    }
+    writer.add_tap(*tap);
+  }
+  if (!writer.save(out_path)) {
+    std::fprintf(stderr, "gq_trace: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("compacted %zu archives, %zu flows -> %s\n", dirs.size(),
+              writer.row_count(), out_path.c_str());
+  return 0;
+}
+
+std::optional<flowdb::Reader> open_store(const std::string& path) {
+  auto reader = flowdb::Reader::open(path);
+  if (!reader) {
+    std::fprintf(stderr,
+                 "gq_trace: cannot open store %s (missing, corrupt, or "
+                 "wrong version)\n",
+                 path.c_str());
+  }
+  return reader;
+}
+
+void print_row(const flowdb::Reader& reader, std::uint64_t i) {
+  const auto row = reader.row(i);
+  std::printf("#%-6llu %s %s -> %s vlan %u  %llu pkts / %llu B",
+              static_cast<unsigned long long>(i), proto_name(row.proto),
+              row.src.str().c_str(), row.dst.str().c_str(), row.vlan,
+              static_cast<unsigned long long>(row.packets),
+              static_cast<unsigned long long>(row.bytes));
+  if (!row.tenant.empty())
+    std::printf("  tenant=%s job=%llu", row.tenant.c_str(),
+                static_cast<unsigned long long>(row.job));
+  if (row.verdict != 0) {
+    std::printf("  %s [%s]",
+                shim::verdict_name(static_cast<shim::Verdict>(row.verdict)),
+                shim::verdict_source_name(
+                    static_cast<shim::VerdictSource>(row.source)));
+    if (!row.policy.empty()) std::printf(" (policy %s)", row.policy.c_str());
+  }
+  if (!row.tap.empty()) std::printf("  tap=%s", row.tap.c_str());
+  std::printf("\n");
+}
+
+/// Parse `--flag value` pairs shared by query/stat/diff. Returns false
+/// (with a message) on an unknown flag or malformed value.
+struct QueryArgs {
+  flowdb::Filter filter;
+  unsigned threads = 1;
+  std::uint64_t limit = 0;  ///< 0 = unlimited.
+  std::string group = "verdict";
+  double tolerance = 0.02;
+};
+
+bool parse_query_args(int argc, char** argv, int first, QueryArgs& out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "gq_trace: %s needs a value\n", argv[i]);
+      return false;
+    }
+    const std::string_view value = argv[++i];
+    const auto number = parse_u64(value);
+    if (flag == "--verdict") {
+      const auto v = verdict_from_arg(value);
+      if (!v) {
+        std::fprintf(stderr, "gq_trace: unknown verdict '%s'\n", argv[i]);
+        return false;
+      }
+      out.filter.verdict = *v;
+    } else if (flag == "--source") {
+      const auto s = source_from_arg(value);
+      if (!s) {
+        std::fprintf(stderr, "gq_trace: unknown source '%s'\n", argv[i]);
+        return false;
+      }
+      out.filter.source = *s;
+    } else if (flag == "--tenant") {
+      out.filter.tenant = std::string(value);
+    } else if (flag == "--policy") {
+      out.filter.policy = std::string(value);
+    } else if (flag == "--tap") {
+      out.filter.tap = std::string(value);
+    } else if (flag == "--job") {
+      if (!number) {
+        std::fprintf(stderr, "gq_trace: bad job id '%s'\n", argv[i]);
+        return false;
+      }
+      out.filter.job = *number;
+    } else if (flag == "--vlan") {
+      if (!number || *number > 0xFFFF) {
+        std::fprintf(stderr, "gq_trace: bad vlan '%s'\n", argv[i]);
+        return false;
+      }
+      out.filter.vlan = static_cast<std::uint16_t>(*number);
+    } else if (flag == "--port") {
+      if (!number || *number > 0xFFFF) {
+        std::fprintf(stderr, "gq_trace: bad port '%s'\n", argv[i]);
+        return false;
+      }
+      out.filter.port = static_cast<std::uint16_t>(*number);
+    } else if (flag == "--addr") {
+      const auto addr = util::Ipv4Addr::parse(value);
+      if (!addr) {
+        std::fprintf(stderr, "gq_trace: bad address '%s'\n", argv[i]);
+        return false;
+      }
+      out.filter.endpoint = *addr;
+    } else if (flag == "--prefix") {
+      const auto net = util::Ipv4Net::parse(value);
+      if (!net) {
+        std::fprintf(stderr, "gq_trace: bad prefix '%s'\n", argv[i]);
+        return false;
+      }
+      out.filter.prefix = *net;
+    } else if (flag == "--proto") {
+      if (value == "tcp") {
+        out.filter.proto = pkt::FlowProto::kTcp;
+      } else if (value == "udp") {
+        out.filter.proto = pkt::FlowProto::kUdp;
+      } else {
+        std::fprintf(stderr, "gq_trace: bad proto '%s'\n", argv[i]);
+        return false;
+      }
+    } else if (flag == "--since" || flag == "--until") {
+      const auto usec = util::parse_int(value);
+      if (!usec) {
+        std::fprintf(stderr, "gq_trace: bad time '%s'\n", argv[i]);
+        return false;
+      }
+      if (flag == "--since")
+        out.filter.since_usec = *usec;
+      else
+        out.filter.until_usec = *usec;
+    } else if (flag == "--threads") {
+      if (!number || *number == 0 || *number > 64) {
+        std::fprintf(stderr, "gq_trace: bad thread count '%s'\n", argv[i]);
+        return false;
+      }
+      out.threads = static_cast<unsigned>(*number);
+    } else if (flag == "--limit") {
+      if (!number) {
+        std::fprintf(stderr, "gq_trace: bad limit '%s'\n", argv[i]);
+        return false;
+      }
+      out.limit = *number;
+    } else if (flag == "--by") {
+      if (value != "verdict" && value != "tenant" && value != "policy" &&
+          value != "tap") {
+        std::fprintf(stderr, "gq_trace: bad group '%s'\n", argv[i]);
+        return false;
+      }
+      out.group = std::string(value);
+    } else if (flag == "--tolerance") {
+      char* end = nullptr;
+      const double tol = std::strtod(argv[i], &end);
+      if (!end || *end != '\0' || tol < 0.0 || tol > 1.0) {
+        std::fprintf(stderr, "gq_trace: bad tolerance '%s'\n", argv[i]);
+        return false;
+      }
+      out.tolerance = tol;
+    } else {
+      std::fprintf(stderr, "gq_trace: unknown flag '%.*s'\n",
+                   static_cast<int>(flag.size()), flag.data());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_query(const std::string& path, const QueryArgs& args) {
+  const auto reader = open_store(path);
+  if (!reader) return 1;
+  flowdb::ScanOptions options;
+  options.threads = args.threads;
+  const auto matches = flowdb::scan(*reader, args.filter, options);
+  std::uint64_t shown = 0;
+  for (const auto i : matches) {
+    if (args.limit && shown >= args.limit) break;
+    print_row(*reader, i);
+    ++shown;
+  }
+  if (args.limit && matches.size() > shown)
+    std::printf("(%zu more matches)\n", matches.size() - shown);
+  std::printf("%zu of %llu flows matched\n", matches.size(),
+              static_cast<unsigned long long>(reader->rows()));
+  return 0;
+}
+
+int cmd_stat(const std::string& path, const QueryArgs& args) {
+  const auto reader = open_store(path);
+  if (!reader) return 1;
+  const auto group = args.group == "tenant"   ? flowdb::GroupBy::kTenant
+                     : args.group == "policy" ? flowdb::GroupBy::kPolicy
+                     : args.group == "tap"    ? flowdb::GroupBy::kTap
+                                              : flowdb::GroupBy::kVerdict;
+  std::printf("store %s: %llu flows, %llu B file\n\n", path.c_str(),
+              static_cast<unsigned long long>(reader->rows()),
+              static_cast<unsigned long long>(reader->file_bytes()));
+  std::printf("%-16s %10s %14s %16s\n", args.group.c_str(), "flows",
+              "packets", "bytes");
+  for (const auto& agg : flowdb::aggregate_all(*reader, group)) {
+    std::printf("%-16s %10llu %14llu %16llu\n", agg.label.c_str(),
+                static_cast<unsigned long long>(agg.flows),
+                static_cast<unsigned long long>(agg.packets),
+                static_cast<unsigned long long>(agg.bytes));
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b,
+             double tolerance) {
+  const auto a = open_store(path_a);
+  const auto b = open_store(path_b);
+  if (!a || !b) return 1;
+  const auto diff = flowdb::diff_verdicts(*a, *b);
+  std::printf("%-10s %10s %8s %10s %8s %8s\n", "verdict", "a", "a%", "b",
+              "b%", "delta");
+  for (const auto& entry : diff.entries) {
+    std::printf("%-10s %10llu %7.2f%% %10llu %7.2f%% %7.4f\n",
+                entry.label.c_str(),
+                static_cast<unsigned long long>(entry.count_a),
+                entry.share_a * 100.0,
+                static_cast<unsigned long long>(entry.count_b),
+                entry.share_b * 100.0, entry.delta);
+  }
+  std::printf("rows a=%llu b=%llu  max delta %.4f  tolerance %.4f  -> %s\n",
+              static_cast<unsigned long long>(diff.rows_a),
+              static_cast<unsigned long long>(diff.rows_b), diff.max_delta,
+              tolerance, diff.within(tolerance) ? "PASS" : "FAIL");
+  return diff.within(tolerance) ? 0 : 1;
+}
+
+// --- Synthetic stores (diffgate, selftest) --------------------------------
+
+/// Deterministic synthetic store: same seed → byte-identical file.
+/// `drop_bias` skews the verdict mix (the "perturbed distribution" the
+/// gate must catch).
+flowdb::Writer synth_store(std::uint64_t seed, std::size_t rows,
+                           double drop_bias) {
+  util::Rng rng(seed);
+  const char* tenants[] = {"acme", "umbrella", "tyrell"};
+  flowdb::Writer writer;
+  for (std::size_t i = 0; i < rows; ++i) {
+    flowdb::Row row;
+    row.proto = rng.chance(0.7) ? pkt::FlowProto::kTcp : pkt::FlowProto::kUdp;
+    row.src = {util::Ipv4Addr(10, 9, 0, static_cast<std::uint8_t>(
+                                            rng.below(200) + 1)),
+               static_cast<std::uint16_t>(rng.range(1024, 65000))};
+    row.dst = {util::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+               static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : 25)};
+    row.vlan = static_cast<std::uint16_t>(100 + rng.below(16));
+    row.tenant = tenants[rng.below(std::size(tenants))];
+    row.job = rng.below(64) + 1;
+    const double roll = rng.uniform();
+    row.verdict = static_cast<std::uint8_t>(
+        roll < drop_bias          ? shim::Verdict::kDrop
+        : roll < drop_bias + 0.30 ? shim::Verdict::kForward
+        : roll < drop_bias + 0.45 ? shim::Verdict::kRewrite
+                                  : shim::Verdict::kRedirect);
+    row.source = static_cast<std::uint8_t>(
+        rng.chance(0.5) ? shim::VerdictSource::kCached
+                        : shim::VerdictSource::kShim);
+    row.policy = row.verdict == static_cast<std::uint8_t>(shim::Verdict::kDrop)
+                     ? "quarantine"
+                     : "default";
+    row.tap = "synth";
+    row.packets = rng.below(50) + 1;
+    row.bytes = row.packets * (rng.below(1000) + 60);
+    row.first_usec = static_cast<std::int64_t>(i) * 1000;
+    row.last_usec = row.first_usec + static_cast<std::int64_t>(rng.below(5000));
+    writer.add(std::move(row));
+  }
+  return writer;
+}
+
+/// The committed-golden-seed regression gate: two same-seed stores must
+/// diff clean; a deliberately perturbed verdict mix must trip the gate.
+/// Golden seeds match the trace replay regression (tests/trace_test.cc).
+int cmd_diffgate(const std::string& workdir) {
+  constexpr std::uint64_t kGoldenSeedA = 0x6071;
+  constexpr std::uint64_t kGoldenSeedB = 0xC0FFEE;
+  constexpr std::size_t kRows = 4096;
+  constexpr double kTolerance = 0.02;
+
+  std::error_code ec;
+  std::filesystem::create_directories(workdir, ec);
+  if (ec) {
+    std::fprintf(stderr, "diffgate: cannot create %s\n", workdir.c_str());
+    return 1;
+  }
+  const std::string run1 = workdir + "/run1.fdb";
+  const std::string run2 = workdir + "/run2.fdb";
+  const std::string perturbed = workdir + "/perturbed.fdb";
+  if (!synth_store(kGoldenSeedA, kRows, 0.25).save(run1) ||
+      !synth_store(kGoldenSeedA, kRows, 0.25).save(run2) ||
+      !synth_store(kGoldenSeedB, kRows, 0.55).save(perturbed)) {
+    std::fprintf(stderr, "diffgate: store write failed\n");
+    return 1;
+  }
+  std::printf("== same-seed rerun (must PASS) ==\n");
+  if (cmd_diff(run1, run2, kTolerance) != 0) {
+    std::fprintf(stderr, "diffgate: same-seed rerun FAILED the gate\n");
+    return 1;
+  }
+  std::printf("\n== perturbed distribution (must FAIL) ==\n");
+  if (cmd_diff(run1, perturbed, kTolerance) == 0) {
+    std::fprintf(stderr,
+                 "diffgate: perturbed distribution slipped past the gate\n");
+    return 1;
+  }
+  std::printf("\ndiffgate OK (%s)\n", workdir.c_str());
+  return 0;
+}
+
+// --- Selftest -------------------------------------------------------------
+
 std::vector<std::uint8_t> make_tcp_frame(util::Ipv4Addr src,
                                          util::Ipv4Addr dst,
                                          std::uint16_t sport,
@@ -157,6 +549,7 @@ int cmd_selftest(const std::string& dir) {
   config.segment_bytes = 2048;
   config.max_segments = 4;
   trace::TraceTap tap("selftest", config, nullptr);
+  tap.set_context("selftest-tenant", 7);
   const auto inmate = util::Ipv4Addr(10, 9, 0, 23);
   const auto web = util::Ipv4Addr(192, 150, 187, 12);
   const auto sink = util::Ipv4Addr(10, 3, 0, 99);
@@ -198,11 +591,19 @@ int cmd_selftest(const std::string& dir) {
     std::fprintf(stderr, "selftest: reloaded flow count differs\n");
     return 1;
   }
+  if (loaded->tenant() != "selftest-tenant" || loaded->job() != 7) {
+    std::fprintf(stderr, "selftest: tenant/job lost in round trip\n");
+    return 1;
+  }
   const auto* flow = loaded->index().find(
       {pkt::FlowProto::kTcp, {inmate, 1234}, {web, 80}}, 0);
   if (!flow || !flow->has_verdict ||
       flow->verdict != shim::Verdict::kRewrite || flow->verdict_cached) {
     std::fprintf(stderr, "selftest: verdict lost in round trip\n");
+    return 1;
+  }
+  if (flow->tenant != "selftest-tenant" || flow->job != 7) {
+    std::fprintf(stderr, "selftest: flow attribution lost in round trip\n");
     return 1;
   }
   const auto* spam_flow = loaded->index().find(
@@ -212,14 +613,71 @@ int cmd_selftest(const std::string& dir) {
     return 1;
   }
 
-  // Exercise every command against the saved archive.
+  // Compact the archive into a FlowDB store and drive the query path.
+  const std::string store_path = dir + "/store.fdb";
+  if (cmd_compact(store_path, {dir}) != 0) return 1;
+  auto reader = flowdb::Reader::open(store_path);
+  if (!reader || reader->rows() != tap.index().flow_count()) {
+    std::fprintf(stderr, "selftest: compacted store row count differs\n");
+    return 1;
+  }
+  flowdb::Filter rewrite_filter;
+  rewrite_filter.verdict = static_cast<std::uint8_t>(shim::Verdict::kRewrite);
+  const auto serial = flowdb::scan(*reader, rewrite_filter);
+  if (serial.size() != 1) {
+    std::fprintf(stderr, "selftest: rewrite query found %zu flows, want 1\n",
+                 serial.size());
+    return 1;
+  }
+  flowdb::ScanOptions four_threads;
+  four_threads.threads = 4;
+  if (flowdb::scan(*reader, rewrite_filter, four_threads) != serial) {
+    std::fprintf(stderr, "selftest: parallel scan differs from serial\n");
+    return 1;
+  }
+  flowdb::Filter tenant_filter;
+  tenant_filter.tenant = "selftest-tenant";
+  if (flowdb::scan(*reader, tenant_filter).size() != reader->rows()) {
+    std::fprintf(stderr, "selftest: tenant query missed flows\n");
+    return 1;
+  }
+  if (!flowdb::diff_verdicts(*reader, *reader).within(0.0)) {
+    std::fprintf(stderr, "selftest: store does not diff clean vs itself\n");
+    return 1;
+  }
+
+  // Exercise every command against the saved artifacts.
   if (cmd_list(dir) != 0) return 1;
   std::printf("\n");
   if (cmd_summary(dir) != 0) return 1;
   std::printf("\n");
   if (cmd_extract(dir, 0, "") != 0) return 1;
+  std::printf("\n");
+  QueryArgs stat_args;
+  if (cmd_stat(store_path, stat_args) != 0) return 1;
+  std::printf("\n");
+  if (cmd_diff(store_path, store_path, 0.0) != 0) return 1;
+  std::printf("\n");
+  if (cmd_diffgate(dir + "/diffgate") != 0) return 1;
   std::printf("\nselftest OK (%s)\n", dir.c_str());
   return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gq_trace selftest [dir] | list <dir> | summary <dir>\n"
+      "       gq_trace extract <dir> <flow#> [out.pcap]\n"
+      "       gq_trace compact <out.fdb> <dir>...\n"
+      "       gq_trace query <store.fdb> [filters] [--threads N] "
+      "[--limit N]\n"
+      "       gq_trace stat <store.fdb> [--by verdict|tenant|policy|tap]\n"
+      "       gq_trace diff <a.fdb> <b.fdb> [--tolerance F]\n"
+      "       gq_trace diffgate <workdir>\n"
+      "filters: --verdict V|none --source shim|cached|table --tenant T\n"
+      "         --policy P --tap T --job N --vlan N --port N --addr A\n"
+      "         --prefix A/L --proto tcp|udp --since USEC --until USEC\n");
+  return 2;
 }
 
 }  // namespace
@@ -230,11 +688,35 @@ int main(int argc, char** argv) {
     return cmd_selftest(argc > 2 ? argv[2] : "gq_trace_selftest");
   if (cmd == "list" && argc > 2) return cmd_list(argv[2]);
   if (cmd == "summary" && argc > 2) return cmd_summary(argv[2]);
-  if (cmd == "extract" && argc > 3)
-    return cmd_extract(argv[2], std::stoul(argv[3]),
+  if (cmd == "extract" && argc > 3) {
+    // A non-numeric flow number is a usage error, not a crash.
+    const auto flow_no = parse_u64(argv[3]);
+    if (!flow_no) {
+      std::fprintf(stderr, "gq_trace: bad flow number '%s'\n", argv[3]);
+      return usage();
+    }
+    return cmd_extract(argv[2], static_cast<std::size_t>(*flow_no),
                        argc > 4 ? argv[4] : "");
-  std::fprintf(stderr,
-               "usage: gq_trace selftest [dir] | list <dir> | summary <dir> "
-               "| extract <dir> <flow#> [out.pcap]\n");
-  return 2;
+  }
+  if (cmd == "compact" && argc > 3) {
+    std::vector<std::string> dirs(argv + 3, argv + argc);
+    return cmd_compact(argv[2], dirs);
+  }
+  if (cmd == "query" && argc > 2) {
+    QueryArgs args;
+    if (!parse_query_args(argc, argv, 3, args)) return usage();
+    return cmd_query(argv[2], args);
+  }
+  if (cmd == "stat" && argc > 2) {
+    QueryArgs args;
+    if (!parse_query_args(argc, argv, 3, args)) return usage();
+    return cmd_stat(argv[2], args);
+  }
+  if (cmd == "diff" && argc > 3) {
+    QueryArgs args;
+    if (!parse_query_args(argc, argv, 4, args)) return usage();
+    return cmd_diff(argv[2], argv[3], args.tolerance);
+  }
+  if (cmd == "diffgate" && argc > 2) return cmd_diffgate(argv[2]);
+  return usage();
 }

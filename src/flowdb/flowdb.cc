@@ -1,0 +1,457 @@
+#include "flowdb/flowdb.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+namespace gq::flowdb {
+
+namespace {
+
+constexpr std::uint64_t align8(std::uint64_t x) { return (x + 7) & ~7ull; }
+
+/// The fixed column schema, in cols_[] order. A v1 store must carry all
+/// of these (extra columns are skipped); types are validated on open.
+struct ColumnSpec {
+  const char* name;
+  ColumnType type;
+  std::uint32_t elem;
+};
+constexpr ColumnSpec kColumns[] = {
+    {"proto", ColumnType::kU8, 1},     {"src_addr", ColumnType::kU32, 4},
+    {"src_port", ColumnType::kU16, 2}, {"dst_addr", ColumnType::kU32, 4},
+    {"dst_port", ColumnType::kU16, 2}, {"vlan", ColumnType::kU16, 2},
+    {"tenant", ColumnType::kU32, 4},   {"job", ColumnType::kU64, 8},
+    {"verdict", ColumnType::kU8, 1},   {"vsrc", ColumnType::kU8, 1},
+    {"policy", ColumnType::kU32, 4},   {"tap", ColumnType::kU32, 4},
+    {"packets", ColumnType::kU64, 8},  {"bytes", ColumnType::kU64, 8},
+    {"first_usec", ColumnType::kI64, 8}, {"last_usec", ColumnType::kI64, 8},
+    {"loc_start", ColumnType::kU64, 8}, {"loc_count", ColumnType::kU32, 4},
+};
+constexpr std::size_t kColumnCount = std::size(kColumns);
+static_assert(kColumnCount == 18);
+
+std::uint32_t elem_size_for(std::uint32_t type) {
+  switch (static_cast<ColumnType>(type)) {
+    case ColumnType::kU8: return 1;
+    case ColumnType::kU16: return 2;
+    case ColumnType::kU32: return 4;
+    case ColumnType::kU64: return 8;
+    case ColumnType::kI64: return 8;
+  }
+  return 0;
+}
+
+template <typename T>
+void append_raw(std::vector<std::uint8_t>& out, const T* data,
+                std::size_t count) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + count * sizeof(T));
+}
+
+void pad_to(std::vector<std::uint8_t>& out, std::uint64_t offset) {
+  out.resize(offset, 0);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+Row row_from(const trace::FlowRecord& record, std::string_view tap_name) {
+  Row row;
+  row.proto = record.key.proto;
+  row.src = record.key.src;
+  row.dst = record.key.dst;
+  row.vlan = record.vlan;
+  row.tenant = record.tenant;
+  row.job = record.job;
+  if (record.has_verdict) {
+    row.verdict = static_cast<std::uint8_t>(record.verdict);
+    row.source = static_cast<std::uint8_t>(record.verdict_source);
+  }
+  row.policy = record.policy_name;
+  row.tap = std::string(tap_name);
+  row.packets = record.packets;
+  row.bytes = record.bytes;
+  row.first_usec = record.first_time.usec;
+  row.last_usec = record.last_time.usec;
+  row.locations = record.locations;
+  return row;
+}
+
+Writer::Writer(obs::MetricsRegistry* metrics) : metrics_(metrics) {}
+
+void Writer::add(Row row) { rows_.push_back(std::move(row)); }
+
+void Writer::add_index(const trace::FlowIndex& index,
+                       std::string_view tap_name) {
+  for (const auto& record : index.flows()) add(row_from(record, tap_name));
+}
+
+void Writer::add_tap(const trace::TraceTap& tap) {
+  add_index(tap.index(), tap.name());
+}
+
+std::vector<std::uint8_t> Writer::encode() const {
+  const std::uint64_t n = rows_.size();
+
+  // Intern tenant/policy/tap names; id 0 is the empty string.
+  std::vector<std::string_view> dict{""};
+  std::unordered_map<std::string_view, std::uint32_t> ids{{"", 0}};
+  auto intern = [&](const std::string& s) -> std::uint32_t {
+    auto it = ids.find(s);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(dict.size());
+    dict.push_back(s);
+    ids.emplace(dict.back(), id);
+    return id;
+  };
+
+  // Build the typed column arrays and the shared location array.
+  std::vector<std::uint8_t> c_proto(n), c_verdict(n), c_vsrc(n);
+  std::vector<std::uint16_t> c_sport(n), c_dport(n), c_vlan(n);
+  std::vector<std::uint32_t> c_saddr(n), c_daddr(n), c_tenant(n),
+      c_policy(n), c_tap(n), c_loc_count(n);
+  std::vector<std::uint64_t> c_job(n), c_packets(n), c_bytes(n),
+      c_loc_start(n);
+  std::vector<std::int64_t> c_first(n), c_last(n);
+  std::vector<LocEntry> locs;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Row& row = rows_[i];
+    c_proto[i] = static_cast<std::uint8_t>(row.proto);
+    c_saddr[i] = row.src.addr.value();
+    c_sport[i] = row.src.port;
+    c_daddr[i] = row.dst.addr.value();
+    c_dport[i] = row.dst.port;
+    c_vlan[i] = row.vlan;
+    c_tenant[i] = intern(row.tenant);
+    c_job[i] = row.job;
+    c_verdict[i] = row.verdict;
+    c_vsrc[i] = row.source;
+    c_policy[i] = intern(row.policy);
+    c_tap[i] = intern(row.tap);
+    c_packets[i] = row.packets;
+    c_bytes[i] = row.bytes;
+    c_first[i] = row.first_usec;
+    c_last[i] = row.last_usec;
+    c_loc_start[i] = locs.size();
+    c_loc_count[i] = static_cast<std::uint32_t>(row.locations.size());
+    for (const auto& loc : row.locations)
+      locs.push_back({loc.segment, loc.offset});
+  }
+  const void* column_data[kColumnCount] = {
+      c_proto.data(),  c_saddr.data(),   c_sport.data(), c_daddr.data(),
+      c_dport.data(),  c_vlan.data(),    c_tenant.data(), c_job.data(),
+      c_verdict.data(), c_vsrc.data(),   c_policy.data(), c_tap.data(),
+      c_packets.data(), c_bytes.data(),  c_first.data(),  c_last.data(),
+      c_loc_start.data(), c_loc_count.data(),
+  };
+
+  // Dictionary entries + blob.
+  std::vector<DictEntry> entries(dict.size());
+  std::string blob;
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    entries[i].offset = blob.size();
+    entries[i].len = dict[i].size();
+    blob.append(dict[i]);
+  }
+
+  // Lay out offsets: header, column table, dict entries, locations,
+  // column data, blob, footer — every region 8-aligned.
+  FileHeader header;
+  header.column_count = static_cast<std::uint32_t>(kColumnCount);
+  header.row_count = n;
+  header.columns_offset = align8(sizeof(FileHeader));
+  header.dict_offset =
+      align8(header.columns_offset + kColumnCount * sizeof(ColumnDesc));
+  header.dict_count = entries.size();
+  header.loc_offset =
+      align8(header.dict_offset + entries.size() * sizeof(DictEntry));
+  header.loc_count = locs.size();
+  std::uint64_t cursor =
+      align8(header.loc_offset + locs.size() * sizeof(LocEntry));
+  ColumnDesc descs[kColumnCount] = {};
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    std::strncpy(descs[c].name, kColumns[c].name, sizeof(descs[c].name) - 1);
+    descs[c].type = static_cast<std::uint32_t>(kColumns[c].type);
+    descs[c].elem_size = kColumns[c].elem;
+    descs[c].offset = cursor;
+    cursor = align8(cursor + n * kColumns[c].elem);
+  }
+  header.blob_offset = cursor;
+  header.blob_bytes = blob.size();
+  header.footer_offset = align8(header.blob_offset + blob.size());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(header.footer_offset + 16);
+  append_raw(out, &header, 1);
+  pad_to(out, header.columns_offset);
+  append_raw(out, descs, kColumnCount);
+  pad_to(out, header.dict_offset);
+  append_raw(out, entries.data(), entries.size());
+  pad_to(out, header.loc_offset);
+  append_raw(out, locs.data(), locs.size());
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    pad_to(out, descs[c].offset);
+    append_raw(out, static_cast<const std::uint8_t*>(column_data[c]),
+               n * kColumns[c].elem);
+  }
+  pad_to(out, header.blob_offset);
+  append_raw(out, blob.data(), blob.size());
+  pad_to(out, header.footer_offset);
+  const std::uint64_t hash = fnv1a(out);
+  append_raw(out, &hash, 1);
+  append_raw(out, &kEndMagic, 1);
+
+  if (metrics_) {
+    metrics_->counter("flowdb.rows_written").inc(n);
+    metrics_->counter("flowdb.bytes_written").inc(out.size());
+  }
+  return out;
+}
+
+bool Writer::save(const std::string& path) const {
+  const auto bytes = encode();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (ok && closed && metrics_) metrics_->counter("flowdb.files_written").inc();
+  return ok && closed;
+}
+
+// --- Reader ---------------------------------------------------------------
+
+Reader::Reader(Reader&& other) noexcept { *this = std::move(other); }
+
+Reader& Reader::operator=(Reader&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  base_ = other.base_;
+  size_ = other.size_;
+  owned_ = std::move(other.owned_);
+  map_ = other.map_;
+  map_len_ = other.map_len_;
+  rows_ = other.rows_;
+  dict_count_ = other.dict_count_;
+  dict_entries_ = other.dict_entries_;
+  blob_ = other.blob_;
+  blob_bytes_ = other.blob_bytes_;
+  locs_ = other.locs_;
+  loc_count_total_ = other.loc_count_total_;
+  std::memcpy(cols_, other.cols_, sizeof(cols_));
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+  other.base_ = nullptr;
+  return *this;
+}
+
+Reader::~Reader() { reset(); }
+
+void Reader::reset() noexcept {
+  if (map_) {
+    ::munmap(map_, map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+  owned_.clear();
+  base_ = nullptr;
+  size_ = 0;
+}
+
+std::optional<Reader> Reader::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const auto len = static_cast<std::uint64_t>(st.st_size);
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping outlives the descriptor.
+  if (map == MAP_FAILED) return std::nullopt;
+
+  Reader reader;
+  reader.map_ = map;
+  reader.map_len_ = len;
+  reader.base_ = static_cast<const std::uint8_t*>(map);
+  reader.size_ = len;
+  if (!reader.validate_and_index()) return std::nullopt;
+  return reader;
+}
+
+std::optional<Reader> Reader::parse(std::vector<std::uint8_t> bytes) {
+  Reader reader;
+  reader.owned_ = std::move(bytes);
+  reader.base_ = reader.owned_.data();
+  reader.size_ = reader.owned_.size();
+  if (!reader.validate_and_index()) return std::nullopt;
+  return reader;
+}
+
+bool Reader::validate_and_index() {
+  // Bounds check helper, overflow-safe: `count` elements of `elem`
+  // bytes starting at `off` must sit inside [0, limit).
+  const auto region_ok = [](std::uint64_t off, std::uint64_t count,
+                            std::uint64_t elem, std::uint64_t limit) {
+    return off <= limit && elem > 0 && count <= (limit - off) / elem;
+  };
+
+  if (size_ < sizeof(FileHeader) + 16) return false;
+  FileHeader h;
+  std::memcpy(&h, base_, sizeof h);
+  if (h.magic != kMagic || h.version != kVersion) return false;
+  // The self-declared footer offset must agree with the real file size
+  // (a store that lies about its own length is rejected, not trusted).
+  if (h.footer_offset != size_ - 16 || h.footer_offset < sizeof(FileHeader))
+    return false;
+  std::uint64_t stored_hash = 0, end_magic = 0;
+  std::memcpy(&stored_hash, base_ + h.footer_offset, 8);
+  std::memcpy(&end_magic, base_ + h.footer_offset + 8, 8);
+  if (end_magic != kEndMagic) return false;
+  if (fnv1a({base_, h.footer_offset}) != stored_hash) return false;
+
+  const std::uint64_t limit = h.footer_offset;
+  if (h.columns_offset % 8 != 0 ||
+      !region_ok(h.columns_offset, h.column_count, sizeof(ColumnDesc), limit))
+    return false;
+  if (h.dict_offset % 8 != 0 ||
+      !region_ok(h.dict_offset, h.dict_count, sizeof(DictEntry), limit))
+    return false;
+  if (h.loc_offset % 8 != 0 ||
+      !region_ok(h.loc_offset, h.loc_count, sizeof(LocEntry), limit))
+    return false;
+  if (!region_ok(h.blob_offset, h.blob_bytes, 1, limit)) return false;
+
+  // Resolve the known columns by name; every one must be present with
+  // the right type, correctly aligned, and fully inside the file.
+  // Unknown extra columns are skipped (forward compatibility).
+  bool found[kColumnCount] = {};
+  const auto* descs =
+      reinterpret_cast<const ColumnDesc*>(base_ + h.columns_offset);
+  for (std::uint32_t c = 0; c < h.column_count; ++c) {
+    ColumnDesc d;
+    std::memcpy(&d, &descs[c], sizeof d);
+    if (d.name[sizeof(d.name) - 1] != '\0') return false;
+    if (d.elem_size == 0 || d.elem_size != elem_size_for(d.type))
+      return false;
+    if (d.offset % d.elem_size != 0 ||
+        !region_ok(d.offset, h.row_count, d.elem_size, limit))
+      return false;
+    for (std::size_t k = 0; k < kColumnCount; ++k) {
+      if (std::strcmp(d.name, kColumns[k].name) != 0) continue;
+      if (d.type != static_cast<std::uint32_t>(kColumns[k].type) ||
+          found[k])
+        return false;
+      found[k] = true;
+      cols_[k] = base_ + d.offset;
+      break;
+    }
+  }
+  for (const bool f : found)
+    if (!f) return false;
+
+  // Dictionary entries must stay inside the blob.
+  const auto* entries =
+      reinterpret_cast<const DictEntry*>(base_ + h.dict_offset);
+  for (std::uint64_t i = 0; i < h.dict_count; ++i) {
+    DictEntry e;
+    std::memcpy(&e, &entries[i], sizeof e);
+    if (e.offset > h.blob_bytes || e.len > h.blob_bytes - e.offset)
+      return false;
+  }
+
+  rows_ = h.row_count;
+  dict_count_ = h.dict_count;
+  dict_entries_ = entries;
+  blob_ = reinterpret_cast<const char*>(base_ + h.blob_offset);
+  blob_bytes_ = h.blob_bytes;
+  locs_ = reinterpret_cast<const LocEntry*>(base_ + h.loc_offset);
+  loc_count_total_ = h.loc_count;
+  return true;
+}
+
+#define GQ_FDB_COLUMN(method, type, index)                      \
+  std::span<const type> Reader::method() const {                \
+    return {static_cast<const type*>(cols_[index]), rows_};     \
+  }
+GQ_FDB_COLUMN(proto, std::uint8_t, 0)
+GQ_FDB_COLUMN(src_addr, std::uint32_t, 1)
+GQ_FDB_COLUMN(src_port, std::uint16_t, 2)
+GQ_FDB_COLUMN(dst_addr, std::uint32_t, 3)
+GQ_FDB_COLUMN(dst_port, std::uint16_t, 4)
+GQ_FDB_COLUMN(vlan, std::uint16_t, 5)
+GQ_FDB_COLUMN(tenant, std::uint32_t, 6)
+GQ_FDB_COLUMN(job, std::uint64_t, 7)
+GQ_FDB_COLUMN(verdict, std::uint8_t, 8)
+GQ_FDB_COLUMN(verdict_source, std::uint8_t, 9)
+GQ_FDB_COLUMN(policy, std::uint32_t, 10)
+GQ_FDB_COLUMN(tap, std::uint32_t, 11)
+GQ_FDB_COLUMN(packets, std::uint64_t, 12)
+GQ_FDB_COLUMN(bytes, std::uint64_t, 13)
+GQ_FDB_COLUMN(first_usec, std::int64_t, 14)
+GQ_FDB_COLUMN(last_usec, std::int64_t, 15)
+GQ_FDB_COLUMN(loc_start, std::uint64_t, 16)
+GQ_FDB_COLUMN(loc_count, std::uint32_t, 17)
+#undef GQ_FDB_COLUMN
+
+std::string_view Reader::dict(std::uint32_t id) const {
+  if (id >= dict_count_) return {};
+  DictEntry e;
+  std::memcpy(&e, &dict_entries_[id], sizeof e);
+  return {blob_ + e.offset, static_cast<std::size_t>(e.len)};
+}
+
+std::optional<std::uint32_t> Reader::dict_id(std::string_view name) const {
+  for (std::uint64_t i = 0; i < dict_count_; ++i)
+    if (dict(static_cast<std::uint32_t>(i)) == name)
+      return static_cast<std::uint32_t>(i);
+  return std::nullopt;
+}
+
+std::span<const LocEntry> Reader::locations_of(std::uint64_t row) const {
+  if (row >= rows_) return {};
+  const std::uint64_t start = loc_start()[row];
+  if (start >= loc_count_total_) return {};
+  const std::uint64_t count =
+      std::min<std::uint64_t>(loc_count()[row], loc_count_total_ - start);
+  return {locs_ + start, static_cast<std::size_t>(count)};
+}
+
+Row Reader::row(std::uint64_t index) const {
+  Row row;
+  if (index >= rows_) return row;
+  row.proto = static_cast<pkt::FlowProto>(proto()[index]);
+  row.src = {util::Ipv4Addr(src_addr()[index]), src_port()[index]};
+  row.dst = {util::Ipv4Addr(dst_addr()[index]), dst_port()[index]};
+  row.vlan = vlan()[index];
+  row.tenant = std::string(dict(tenant()[index]));
+  row.job = job()[index];
+  row.verdict = verdict()[index];
+  row.source = verdict_source()[index];
+  row.policy = std::string(dict(policy()[index]));
+  row.tap = std::string(dict(tap()[index]));
+  row.packets = packets()[index];
+  row.bytes = bytes()[index];
+  row.first_usec = first_usec()[index];
+  row.last_usec = last_usec()[index];
+  for (const auto& loc : locations_of(index))
+    row.locations.push_back({loc.segment, loc.offset});
+  return row;
+}
+
+}  // namespace gq::flowdb

@@ -1,0 +1,222 @@
+#include "flowdb/query.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "shim/shim.h"
+
+namespace gq::flowdb {
+
+namespace {
+
+/// A Filter with its string predicates resolved against one store's
+/// dictionary. `impossible` short-circuits the scan when a requested
+/// name does not exist in the store at all.
+struct CompiledFilter {
+  const Filter* filter = nullptr;
+  bool impossible = false;
+  std::optional<std::uint32_t> tenant_id;
+  std::optional<std::uint32_t> policy_id;
+  std::optional<std::uint32_t> tap_id;
+};
+
+CompiledFilter compile(const Reader& reader, const Filter& filter) {
+  CompiledFilter cf;
+  cf.filter = &filter;
+  const auto resolve = [&](const std::optional<std::string>& name,
+                           std::optional<std::uint32_t>& id) {
+    if (!name) return;
+    id = reader.dict_id(*name);
+    if (!id) cf.impossible = true;
+  };
+  resolve(filter.tenant, cf.tenant_id);
+  resolve(filter.policy, cf.policy_id);
+  resolve(filter.tap, cf.tap_id);
+  return cf;
+}
+
+/// Evaluate the conjunction for one row. Columns are captured once per
+/// scan; this runs over typed spans straight from the mapping.
+struct RowPredicate {
+  const Reader& reader;
+  const CompiledFilter& cf;
+  std::span<const std::uint8_t> proto = reader.proto();
+  std::span<const std::uint32_t> src_addr = reader.src_addr();
+  std::span<const std::uint16_t> src_port = reader.src_port();
+  std::span<const std::uint32_t> dst_addr = reader.dst_addr();
+  std::span<const std::uint16_t> dst_port = reader.dst_port();
+  std::span<const std::uint16_t> vlan = reader.vlan();
+  std::span<const std::uint32_t> tenant = reader.tenant();
+  std::span<const std::uint64_t> job = reader.job();
+  std::span<const std::uint8_t> verdict = reader.verdict();
+  std::span<const std::uint8_t> source = reader.verdict_source();
+  std::span<const std::uint32_t> policy = reader.policy();
+  std::span<const std::uint32_t> tap = reader.tap();
+  std::span<const std::int64_t> first = reader.first_usec();
+  std::span<const std::int64_t> last = reader.last_usec();
+
+  [[nodiscard]] bool operator()(std::uint64_t i) const {
+    const Filter& f = *cf.filter;
+    if (f.verdict && verdict[i] != *f.verdict) return false;
+    if (f.source && (verdict[i] == 0 || source[i] != *f.source))
+      return false;
+    if (cf.tenant_id && tenant[i] != *cf.tenant_id) return false;
+    if (cf.policy_id && policy[i] != *cf.policy_id) return false;
+    if (cf.tap_id && tap[i] != *cf.tap_id) return false;
+    if (f.job && job[i] != *f.job) return false;
+    if (f.vlan && vlan[i] != *f.vlan) return false;
+    if (f.proto && proto[i] != static_cast<std::uint8_t>(*f.proto))
+      return false;
+    if (f.endpoint) {
+      const std::uint32_t want = f.endpoint->value();
+      if (src_addr[i] != want && dst_addr[i] != want) return false;
+    }
+    if (f.prefix && !f.prefix->contains(util::Ipv4Addr(src_addr[i])) &&
+        !f.prefix->contains(util::Ipv4Addr(dst_addr[i])))
+      return false;
+    if (f.port && src_port[i] != *f.port && dst_port[i] != *f.port)
+      return false;
+    if (f.since_usec && last[i] < *f.since_usec) return false;
+    if (f.until_usec && first[i] > *f.until_usec) return false;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> scan(const Reader& reader, const Filter& filter,
+                                const ScanOptions& options) {
+  const std::uint64_t n = reader.rows();
+  std::vector<std::uint64_t> matches;
+  const CompiledFilter cf = compile(reader, filter);
+  if (!cf.impossible && n > 0) {
+    const RowPredicate pred{reader, cf};
+    const std::uint64_t chunks = (n + kScanChunk - 1) / kScanChunk;
+    const unsigned threads =
+        static_cast<unsigned>(std::min<std::uint64_t>(
+            std::max(1u, options.threads), chunks));
+    if (threads <= 1) {
+      for (std::uint64_t i = 0; i < n; ++i)
+        if (pred(i)) matches.push_back(i);
+    } else {
+      // Chunk c belongs to worker (c % threads); per-chunk match lists
+      // are concatenated in chunk order afterwards, so the output is
+      // identical to the serial scan regardless of thread count.
+      std::vector<std::vector<std::uint64_t>> per_chunk(chunks);
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          for (std::uint64_t c = t; c < chunks; c += threads) {
+            const std::uint64_t begin = c * kScanChunk;
+            const std::uint64_t end = std::min(n, begin + kScanChunk);
+            auto& out = per_chunk[c];
+            for (std::uint64_t i = begin; i < end; ++i)
+              if (pred(i)) out.push_back(i);
+          }
+        });
+      }
+      for (auto& worker : workers) worker.join();
+      for (const auto& chunk : per_chunk)
+        matches.insert(matches.end(), chunk.begin(), chunk.end());
+    }
+  }
+  if (options.metrics) {
+    options.metrics->counter("flowdb.scans").inc();
+    options.metrics->counter("flowdb.rows_scanned").inc(n);
+    options.metrics->counter("flowdb.rows_matched").inc(matches.size());
+  }
+  return matches;
+}
+
+std::vector<Agg> aggregate(const Reader& reader,
+                           std::span<const std::uint64_t> rows,
+                           GroupBy group) {
+  const auto verdicts = reader.verdict();
+  const auto tenants = reader.tenant();
+  const auto policies = reader.policy();
+  const auto taps = reader.tap();
+  const auto packets = reader.packets();
+  const auto bytes = reader.bytes();
+  const auto label_of = [&](std::uint64_t i) -> std::string {
+    switch (group) {
+      case GroupBy::kVerdict:
+        return verdicts[i] == 0
+                   ? "none"
+                   : shim::verdict_name(
+                         static_cast<shim::Verdict>(verdicts[i]));
+      case GroupBy::kTenant: {
+        const auto name = reader.dict(tenants[i]);
+        return name.empty() ? "-" : std::string(name);
+      }
+      case GroupBy::kPolicy: {
+        const auto name = reader.dict(policies[i]);
+        return name.empty() ? "-" : std::string(name);
+      }
+      case GroupBy::kTap: {
+        const auto name = reader.dict(taps[i]);
+        return name.empty() ? "-" : std::string(name);
+      }
+    }
+    return "?";
+  };
+  std::map<std::string, Agg> buckets;  // map: label-sorted for free.
+  for (const std::uint64_t i : rows) {
+    if (i >= reader.rows()) continue;
+    Agg& bucket = buckets[label_of(i)];
+    bucket.flows += 1;
+    bucket.packets += packets[i];
+    bucket.bytes += bytes[i];
+  }
+  std::vector<Agg> out;
+  out.reserve(buckets.size());
+  for (auto& [label, bucket] : buckets) {
+    bucket.label = label;
+    out.push_back(std::move(bucket));
+  }
+  return out;
+}
+
+std::vector<Agg> aggregate_all(const Reader& reader, GroupBy group) {
+  std::vector<std::uint64_t> all(reader.rows());
+  for (std::uint64_t i = 0; i < all.size(); ++i) all[i] = i;
+  return aggregate(reader, all, group);
+}
+
+VerdictDiff diff_verdicts(const Reader& a, const Reader& b) {
+  const auto counts_of = [](const Reader& reader) {
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto& agg : aggregate_all(reader, GroupBy::kVerdict))
+      counts[agg.label] = agg.flows;
+    return counts;
+  };
+  const auto counts_a = counts_of(a);
+  const auto counts_b = counts_of(b);
+  VerdictDiff diff;
+  diff.rows_a = a.rows();
+  diff.rows_b = b.rows();
+  std::map<std::string, VerdictDiff::Entry> merged;
+  for (const auto& [label, count] : counts_a) {
+    merged[label].label = label;
+    merged[label].count_a = count;
+  }
+  for (const auto& [label, count] : counts_b) {
+    merged[label].label = label;
+    merged[label].count_b = count;
+  }
+  for (auto& [label, entry] : merged) {
+    entry.share_a =
+        diff.rows_a ? static_cast<double>(entry.count_a) / diff.rows_a : 0.0;
+    entry.share_b =
+        diff.rows_b ? static_cast<double>(entry.count_b) / diff.rows_b : 0.0;
+    entry.delta = std::abs(entry.share_a - entry.share_b);
+    diff.max_delta = std::max(diff.max_delta, entry.delta);
+    diff.entries.push_back(entry);
+  }
+  // Two stores where one is empty and the other is not never pass.
+  if ((diff.rows_a == 0) != (diff.rows_b == 0)) diff.max_delta = 1.0;
+  return diff;
+}
+
+}  // namespace gq::flowdb

@@ -1,5 +1,6 @@
 #include "orchestrator/orchestrator.h"
 
+#include "flowdb/flowdb.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -162,6 +163,9 @@ void Orchestrator::allocate(JobRecord& job, PoolSlot& slot) {
   job.archive = std::make_unique<trace::TraceTap>(
       util::format("job-%llu", static_cast<unsigned long long>(job.id)),
       options_.job_archive, nullptr);
+  // Tenant/job attribution rides on every flow the archive indexes —
+  // saved archives and compacted FlowDB stores keep the identity.
+  job.archive->set_context(job.spec.tenant, job.id);
   farm_.gateway().set_vlan_tap(job.vlan, job.archive.get());
   vlan_jobs_[job.vlan] = job.id;
 
@@ -276,6 +280,24 @@ void Orchestrator::publish_state(const JobRecord& job) {
 const JobRecord* Orchestrator::job(std::uint64_t id) const {
   auto it = jobs_.find(id);
   return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::size_t Orchestrator::append_flowdb(flowdb::Writer& writer) const {
+  std::size_t rows = 0;
+  // jobs_ is an ordered map: iteration is id order, so a same-seed
+  // batch compacts to byte-identical store contents.
+  for (const auto& [id, job] : jobs_) {
+    if (!job.archive) continue;
+    writer.add_tap(*job.archive);
+    rows += job.archive->index().flow_count();
+  }
+  return rows;
+}
+
+bool Orchestrator::compact_flowdb(const std::string& path) {
+  flowdb::Writer writer(&farm_.metrics());
+  append_flowdb(writer);
+  return writer.save(path);
 }
 
 bool Orchestrator::cancel(std::uint64_t id) {

@@ -29,6 +29,10 @@
 #include "orchestrator/pool.h"
 #include "trace/tap.h"
 
+namespace gq::flowdb {
+class Writer;
+}
+
 namespace gq::orch {
 
 struct OrchestratorOptions {
@@ -105,6 +109,16 @@ class Orchestrator {
   /// archive intact) and their slot recycles as usual. False if the job
   /// is unknown or already terminal.
   bool cancel(std::uint64_t id);
+
+  /// Append every job archive's indexed flows into a FlowDB writer,
+  /// jobs in id order (deterministic: same batch → same store bytes).
+  /// Returns the number of rows appended.
+  std::size_t append_flowdb(flowdb::Writer& writer) const;
+
+  /// Compact all job archives into one `.fdb` store at `path` (the
+  /// farm metrics registry picks up the writer's flowdb.* counters).
+  /// False on I/O error.
+  bool compact_flowdb(const std::string& path);
 
   [[nodiscard]] const JobRecord* job(std::uint64_t id) const;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }

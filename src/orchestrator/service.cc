@@ -1,5 +1,6 @@
 #include "orchestrator/service.h"
 
+#include "flowdb/flowdb.h"
 #include "util/strings.h"
 
 namespace gq::orch {
@@ -34,6 +35,15 @@ DetonationService::Submission DetonationService::submit(const JobSpec& spec) {
   const std::size_t shard = next_shard_;
   next_shard_ = (next_shard_ + 1) % shards_.size();
   return {shard, shards_[shard]->submit(spec)};
+}
+
+std::optional<std::size_t> DetonationService::compact_flowdb(
+    const std::string& path) {
+  flowdb::Writer writer(&shards_.front()->farm().metrics());
+  std::size_t rows = 0;
+  for (const auto& shard : shards_) rows += shard->append_flowdb(writer);
+  if (!writer.save(path)) return std::nullopt;
+  return rows;
 }
 
 std::uint64_t DetonationService::jobs_submitted() const {

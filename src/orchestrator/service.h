@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/sharded_farm.h"
@@ -38,6 +40,13 @@ class DetonationService {
   /// Round-robin submit. The cursor advances on every call — accepted
   /// or rejected — so placement is a pure function of submission order.
   Submission submit(const JobSpec& spec);
+
+  /// Compact every shard's job archives into one `.fdb` store at
+  /// `path`, shards in index order then jobs in id order — a pure
+  /// function of the batch, so same-seed reruns produce byte-identical
+  /// stores. Returns the row count, or nullopt on I/O error. Call
+  /// between run epochs (workers quiescent).
+  std::optional<std::size_t> compact_flowdb(const std::string& path);
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] Orchestrator& shard(std::size_t i) { return *shards_.at(i); }

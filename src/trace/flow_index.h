@@ -32,6 +32,13 @@ struct FlowRecord {
   pkt::FlowKey key;
   std::uint16_t vlan = 0;
 
+  /// Tenant/job attribution, stamped by per-job archives (see
+  /// TraceTap::set_context) so saved archives keep the multi-tenant
+  /// identity the orchestrator attributed the traffic to. Empty/0 for
+  /// unattributed captures (shared taps, pre-attribution archives).
+  std::string tenant;
+  std::uint64_t job = 0;
+
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;  ///< Sum of wire frame sizes.
   util::TimePoint first_time;
@@ -51,6 +58,8 @@ struct FlowRecord {
   /// pointing into evicted segments stop resolving (extraction skips
   /// them); the counters above still cover the full flow lifetime.
   std::vector<Location> locations;
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
 };
 
 class FlowIndex {
@@ -98,5 +107,21 @@ class FlowIndex {
   std::deque<FlowRecord> flows_;
   std::unordered_map<MapKey, std::size_t, MapKeyHash> by_key_;
 };
+
+/// Serialize one record as a flows.txt line (tab-separated, no trailing
+/// newline). Column order is fixed; new columns only ever append, so
+/// older readers keep working:
+///   flow proto src sport dst dport vlan packets bytes first last
+///   verdict policy locations source tenant job
+std::string flow_record_line(const FlowRecord& record);
+
+/// Parse one flows.txt line. Hardened: malformed or out-of-range
+/// numeric fields and bad addresses reject the line (nullopt) instead
+/// of throwing; unknown verdict/source names and malformed location
+/// pairs degrade leniently (forward compatibility, matching the
+/// manifest's unknown-key rule). Trailing columns are optional so
+/// archives written before verdict sources or tenant attribution still
+/// load.
+std::optional<FlowRecord> parse_flow_record_line(std::string_view line);
 
 }  // namespace gq::trace

@@ -11,16 +11,6 @@ namespace gq::trace {
 
 namespace {
 
-std::optional<shim::Verdict> verdict_from_name(const std::string& name) {
-  for (const auto v :
-       {shim::Verdict::kForward, shim::Verdict::kLimit, shim::Verdict::kDrop,
-        shim::Verdict::kRedirect, shim::Verdict::kReflect,
-        shim::Verdict::kRewrite}) {
-    if (name == shim::verdict_name(v)) return v;
-  }
-  return std::nullopt;
-}
-
 bool write_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) return false;
@@ -82,8 +72,13 @@ void TraceTap::record(util::TimePoint at,
   // append itself.
   scratch_.assign(frame.begin(), frame.end());
   if (const auto view = pkt::FrameView::parse(scratch_)) {
-    index_.touch(view->flow_key(), view->vlan().value_or(vlan_hint), at,
-                 frame.size(), loc);
+    FlowRecord& record =
+        index_.touch(view->flow_key(), view->vlan().value_or(vlan_hint), at,
+                     frame.size(), loc);
+    // Stamp tenant/job attribution; a record that already carries an
+    // identity (restored, or captured under an earlier context) keeps it.
+    if (record.tenant.empty()) record.tenant = tenant_;
+    if (record.job == 0) record.job = job_;
   }
   refresh_metrics();
 }
@@ -123,6 +118,10 @@ bool TraceTap::save(const std::string& dir) const {
   std::ostringstream manifest;
   manifest << "gq-trace 1\n";
   manifest << "name " << name_ << '\n';
+  // Tenant/job attribution (absent for unattributed taps; readers that
+  // predate it skip unknown keys).
+  if (!tenant_.empty()) manifest << "tenant " << tenant_ << '\n';
+  if (job_ != 0) manifest << "job " << job_ << '\n';
   manifest << "segment_bytes " << archive_.config().segment_bytes << '\n';
   manifest << "max_segments " << archive_.config().max_segments << '\n';
   manifest << "total_packets " << archive_.total_packets() << '\n';
@@ -138,26 +137,8 @@ bool TraceTap::save(const std::string& dir) const {
   if (!write_file(dir + "/manifest.txt", manifest.str())) return false;
 
   std::ostringstream flows;
-  for (const auto& flow : index_.flows()) {
-    flows << "flow\t"
-          << (flow.key.proto == pkt::FlowProto::kTcp ? "tcp" : "udp") << '\t'
-          << flow.key.src.addr.str() << '\t' << flow.key.src.port << '\t'
-          << flow.key.dst.addr.str() << '\t' << flow.key.dst.port << '\t'
-          << flow.vlan << '\t' << flow.packets << '\t' << flow.bytes << '\t'
-          << flow.first_time.usec << '\t' << flow.last_time.usec << '\t'
-          << (flow.has_verdict ? shim::verdict_name(flow.verdict) : "-")
-          << '\t' << (flow.policy_name.empty() ? "-" : flow.policy_name)
-          << '\t';
-    for (std::size_t i = 0; i < flow.locations.size(); ++i) {
-      if (i) flows << ',';
-      flows << flow.locations[i].segment << ':' << flow.locations[i].offset;
-    }
-    // Verdict source, trailing so pre-cache readers stay compatible.
-    flows << '\t'
-          << (flow.has_verdict ? shim::verdict_source_name(flow.verdict_source)
-                               : "-");
-    flows << '\n';
-  }
+  for (const auto& flow : index_.flows())
+    flows << flow_record_line(flow) << '\n';
   return write_file(dir + "/flows.txt", flows.str());
 }
 
@@ -172,6 +153,8 @@ std::optional<TraceTap> load_trace(const std::string& dir) {
   if (magic != "gq-trace" || version != 1) return std::nullopt;
 
   std::string name = "loaded";
+  std::string tenant;
+  std::uint64_t job = 0;
   ArchiveConfig config;
   std::uint64_t total_packets = 0, evicted_segments = 0;
   std::uint64_t evicted_packets = 0, evicted_bytes = 0;
@@ -184,6 +167,10 @@ std::optional<TraceTap> load_trace(const std::string& dir) {
   while (manifest >> key) {
     if (key == "name") {
       manifest >> name;
+    } else if (key == "tenant") {
+      manifest >> tenant;
+    } else if (key == "job") {
+      manifest >> job;
     } else if (key == "segment_bytes") {
       manifest >> config.segment_bytes;
     } else if (key == "max_segments") {
@@ -207,6 +194,7 @@ std::optional<TraceTap> load_trace(const std::string& dir) {
   }
 
   TraceTap tap(name, config, nullptr);
+  tap.set_context(tenant, job);
   for (const auto& entry : segment_entries) {
     const auto bytes = read_file(dir + "/" + entry.file);
     if (!bytes) return std::nullopt;
@@ -221,72 +209,11 @@ std::optional<TraceTap> load_trace(const std::string& dir) {
         std::string(flows_bytes->begin(), flows_bytes->end()));
     std::string line;
     while (std::getline(flows, line)) {
-      std::istringstream fields(line);
-      std::string tag, proto, src_addr, dst_addr, verdict, policy, locs;
-      std::uint16_t src_port = 0, dst_port = 0;
-      FlowRecord record;
-      auto next = [&fields](std::string& out) {
-        return static_cast<bool>(std::getline(fields, out, '\t'));
-      };
-      std::string field;
-      if (!next(tag) || tag != "flow") continue;
-      if (!next(proto)) continue;
-      record.key.proto =
-          proto == "udp" ? pkt::FlowProto::kUdp : pkt::FlowProto::kTcp;
-      if (!next(src_addr)) continue;
-      if (!next(field)) continue;
-      src_port = static_cast<std::uint16_t>(std::stoul(field));
-      if (!next(dst_addr)) continue;
-      if (!next(field)) continue;
-      dst_port = static_cast<std::uint16_t>(std::stoul(field));
-      const auto src = util::Ipv4Addr::parse(src_addr);
-      const auto dst = util::Ipv4Addr::parse(dst_addr);
-      if (!src || !dst) continue;
-      record.key.src = {*src, src_port};
-      record.key.dst = {*dst, dst_port};
-      if (!next(field)) continue;
-      record.vlan = static_cast<std::uint16_t>(std::stoul(field));
-      if (!next(field)) continue;
-      record.packets = std::stoull(field);
-      if (!next(field)) continue;
-      record.bytes = std::stoull(field);
-      if (!next(field)) continue;
-      record.first_time.usec = std::stoll(field);
-      if (!next(field)) continue;
-      record.last_time.usec = std::stoll(field);
-      if (!next(verdict)) continue;
-      if (verdict != "-") {
-        if (const auto v = verdict_from_name(verdict)) {
-          record.has_verdict = true;
-          record.verdict = *v;
-        }
-      }
-      if (!next(policy)) continue;
-      if (policy != "-") record.policy_name = policy;
-      if (next(locs) && !locs.empty()) {
-        std::istringstream loc_stream(locs);
-        std::string pair;
-        while (std::getline(loc_stream, pair, ',')) {
-          const auto colon = pair.find(':');
-          if (colon == std::string::npos) continue;
-          Location loc;
-          loc.segment = std::stoull(pair.substr(0, colon));
-          loc.offset = std::stoull(pair.substr(colon + 1));
-          record.locations.push_back(loc);
-        }
-      }
-      // Optional trailing verdict-source column (absent in archives
-      // written before gateway-side verdict caching existed).
-      if (next(field)) {
-        record.verdict_source = field == "cached"
-                                    ? shim::VerdictSource::kCached
-                                    : field == "table"
-                                          ? shim::VerdictSource::kTable
-                                          : shim::VerdictSource::kShim;
-        record.verdict_cached =
-            record.verdict_source == shim::VerdictSource::kCached;
-      }
-      tap.index_.restore(std::move(record));
+      // Hardened parser (trace/flow_index.h): malformed lines are
+      // dropped, never thrown on — the fuzz suite drives this with
+      // mutated archives.
+      if (auto record = parse_flow_record_line(line))
+        tap.index_.restore(std::move(*record));
     }
   }
   return tap;

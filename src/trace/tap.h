@@ -59,6 +59,18 @@ class TraceTap {
                 shim::Verdict verdict, const std::string& policy_name,
                 shim::VerdictSource source = shim::VerdictSource::kShim);
 
+  /// Attach tenant/job attribution: flows indexed from now on are
+  /// stamped with this identity (already-stamped records keep theirs),
+  /// and save() carries it in the manifest. The orchestrator sets this
+  /// on each per-job archive at allocation, so saved archives — and the
+  /// FlowDB stores compacted from them — keep multi-tenant identity.
+  void set_context(std::string tenant, std::uint64_t job) {
+    tenant_ = std::move(tenant);
+    job_ = job;
+  }
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+  [[nodiscard]] std::uint64_t job() const { return job_; }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const TraceArchiver& archive() const { return archive_; }
   [[nodiscard]] const FlowIndex& index() const { return index_; }
@@ -92,6 +104,8 @@ class TraceTap {
   void refresh_metrics();
 
   std::string name_;
+  std::string tenant_;       ///< Empty = unattributed (shared tap).
+  std::uint64_t job_ = 0;    ///< 0 = unattributed.
   TraceArchiver archive_;
   FlowIndex index_;
   std::vector<std::uint8_t> scratch_;  ///< FrameView needs mutable bytes.

@@ -1,0 +1,390 @@
+// FlowDB store + query engine coverage (src/flowdb). The FlowDbSmoke
+// suite doubles as the `flowdb_smoke` ctest lane: encode/parse/open
+// round trips, predicate scans checked against brute force over
+// reconstructed rows, the serial-vs-parallel bit-identity contract at
+// 1/2/4 threads, aggregation kernels, and the verdict-distribution
+// diff gate. FlowDbReject covers the load-time rejection contract:
+// corrupt footers, truncation, and self-declared-length lies must all
+// come back nullopt, never a crash or over-read.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "flowdb/flowdb.h"
+#include "flowdb/query.h"
+#include "obs/metrics.h"
+#include "trace/flow_index.h"
+#include "util/rng.h"
+
+namespace gq {
+namespace {
+
+flowdb::Row sample_row(std::uint64_t i, util::Rng& rng) {
+  flowdb::Row row;
+  row.proto = rng.chance(0.7) ? pkt::FlowProto::kTcp : pkt::FlowProto::kUdp;
+  row.src = {util::Ipv4Addr(10, 9, 0, static_cast<std::uint8_t>(i % 200)),
+             static_cast<std::uint16_t>(1024 + rng.below(60000))};
+  row.dst = {util::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+             static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : 25)};
+  row.vlan = static_cast<std::uint16_t>(100 + rng.below(8));
+  const char* tenants[] = {"", "acme", "umbrella", "tyrell"};
+  row.tenant = tenants[rng.below(4)];
+  row.job = rng.below(32);
+  if (rng.chance(0.8)) {
+    row.verdict = static_cast<std::uint8_t>(1 + rng.below(6));
+    row.source = static_cast<std::uint8_t>(rng.below(3));
+    row.policy = rng.chance(0.5) ? "quarantine" : "default";
+  }
+  row.tap = rng.chance(0.5) ? "upstream" : "job-tap";
+  row.packets = 1 + rng.below(100);
+  row.bytes = row.packets * (60 + rng.below(1400));
+  row.first_usec = static_cast<std::int64_t>(i) * 500;
+  row.last_usec = row.first_usec + static_cast<std::int64_t>(rng.below(10000));
+  const auto locs = rng.below(4);
+  for (std::uint64_t l = 0; l < locs; ++l)
+    row.locations.push_back({rng.below(8), rng.below(4096)});
+  return row;
+}
+
+flowdb::Writer sample_writer(std::size_t rows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  flowdb::Writer writer;
+  for (std::size_t i = 0; i < rows; ++i) writer.add(sample_row(i, rng));
+  return writer;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FlowDbSmoke, EncodeParseRoundTripPreservesEveryRow) {
+  util::Rng rng(0xFDB0001);
+  flowdb::Writer writer;
+  std::vector<flowdb::Row> originals;
+  for (std::size_t i = 0; i < 512; ++i) {
+    originals.push_back(sample_row(i, rng));
+    writer.add(originals.back());
+  }
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+  ASSERT_EQ(reader->rows(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i)
+    EXPECT_EQ(reader->row(i), originals[i]) << "row " << i;
+}
+
+TEST(FlowDbSmoke, MmapOpenMatchesInMemoryParse) {
+  const auto writer = sample_writer(256, 0xFDB0002);
+  const auto bytes = writer.encode();
+  const auto path = temp_path("flowdb_test_open.fdb");
+  ASSERT_TRUE(writer.save(path));
+  auto mapped = flowdb::Reader::open(path);
+  auto parsed = flowdb::Reader::parse(bytes);
+  ASSERT_TRUE(mapped);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(mapped->rows(), parsed->rows());
+  EXPECT_EQ(mapped->file_bytes(), bytes.size());
+  for (std::uint64_t i = 0; i < mapped->rows(); ++i)
+    ASSERT_EQ(mapped->row(i), parsed->row(i)) << "row " << i;
+  std::filesystem::remove(path);
+}
+
+TEST(FlowDbSmoke, EncodeIsDeterministic) {
+  EXPECT_EQ(sample_writer(300, 0xFDB0003).encode(),
+            sample_writer(300, 0xFDB0003).encode());
+}
+
+TEST(FlowDbSmoke, ScanPredicatesMatchBruteForce) {
+  const auto writer = sample_writer(20'000, 0xFDB0004);
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+
+  std::vector<flowdb::Filter> filters;
+  flowdb::Filter f;
+  f.verdict = static_cast<std::uint8_t>(shim::Verdict::kDrop);
+  filters.push_back(f);
+  f = {};
+  f.verdict = 0;  // Never-annotated flows.
+  filters.push_back(f);
+  f = {};
+  f.tenant = "acme";
+  filters.push_back(f);
+  f = {};
+  f.tenant = "no-such-tenant";  // Absent from dictionary: matches nothing.
+  filters.push_back(f);
+  f = {};
+  f.port = 80;
+  filters.push_back(f);
+  f = {};
+  f.prefix = util::Ipv4Net(util::Ipv4Addr(10, 9, 0, 0), 16);
+  filters.push_back(f);
+  f = {};
+  f.since_usec = 1'000'000;
+  f.until_usec = 3'000'000;
+  filters.push_back(f);
+  f = {};
+  f.proto = pkt::FlowProto::kUdp;
+  f.vlan = 103;
+  filters.push_back(f);
+  f = {};
+  f.tenant = "umbrella";
+  f.verdict = static_cast<std::uint8_t>(shim::Verdict::kForward);
+  f.source = static_cast<std::uint8_t>(shim::VerdictSource::kTable);
+  filters.push_back(f);
+
+  for (std::size_t fi = 0; fi < filters.size(); ++fi) {
+    const auto& filter = filters[fi];
+    const auto matches = flowdb::scan(*reader, filter);
+    // Brute force over reconstructed rows.
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t i = 0; i < reader->rows(); ++i) {
+      const auto row = reader->row(i);
+      if (filter.verdict && row.verdict != *filter.verdict) continue;
+      if (filter.source && (row.verdict == 0 || row.source != *filter.source))
+        continue;
+      if (filter.tenant && row.tenant != *filter.tenant) continue;
+      if (filter.port && row.src.port != *filter.port &&
+          row.dst.port != *filter.port)
+        continue;
+      if (filter.prefix && !filter.prefix->contains(row.src.addr) &&
+          !filter.prefix->contains(row.dst.addr))
+        continue;
+      if (filter.vlan && row.vlan != *filter.vlan) continue;
+      if (filter.proto && row.proto != *filter.proto) continue;
+      if (filter.since_usec && row.last_usec < *filter.since_usec) continue;
+      if (filter.until_usec && row.first_usec > *filter.until_usec) continue;
+      expected.push_back(i);
+    }
+    EXPECT_EQ(matches, expected) << "filter " << fi;
+  }
+}
+
+TEST(FlowDbSmoke, ParallelScanBitIdenticalAt124Threads) {
+  // > kScanChunk rows so the parallel path actually splits chunks.
+  const auto writer = sample_writer(50'000, 0xFDB0005);
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+  flowdb::Filter filter;
+  filter.port = 80;
+  const auto serial = flowdb::scan(*reader, filter);
+  EXPECT_FALSE(serial.empty());
+  for (const unsigned threads : {2u, 4u}) {
+    flowdb::ScanOptions options;
+    options.threads = threads;
+    EXPECT_EQ(flowdb::scan(*reader, filter, options), serial)
+        << threads << " threads";
+  }
+}
+
+TEST(FlowDbSmoke, AggregatesMatchBruteForce) {
+  const auto writer = sample_writer(10'000, 0xFDB0006);
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+  for (const auto group :
+       {flowdb::GroupBy::kVerdict, flowdb::GroupBy::kTenant,
+        flowdb::GroupBy::kPolicy, flowdb::GroupBy::kTap}) {
+    const auto aggs = flowdb::aggregate_all(*reader, group);
+    std::uint64_t flows = 0, packets = 0, bytes = 0;
+    for (const auto& agg : aggs) {
+      flows += agg.flows;
+      packets += agg.packets;
+      bytes += agg.bytes;
+      EXPECT_FALSE(agg.label.empty());
+    }
+    EXPECT_EQ(flows, reader->rows());
+    std::uint64_t want_packets = 0, want_bytes = 0;
+    for (const auto p : reader->packets()) want_packets += p;
+    for (const auto b : reader->bytes()) want_bytes += b;
+    EXPECT_EQ(packets, want_packets);
+    EXPECT_EQ(bytes, want_bytes);
+    // Label-sorted, no duplicates.
+    for (std::size_t i = 1; i < aggs.size(); ++i)
+      EXPECT_LT(aggs[i - 1].label, aggs[i].label);
+  }
+}
+
+TEST(FlowDbSmoke, DiffVerdictsGatesPerturbedDistributions) {
+  const auto base = sample_writer(8'000, 0xFDB0007);
+  auto a = flowdb::Reader::parse(base.encode());
+  auto b = flowdb::Reader::parse(base.encode());
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  // Same store: identical distribution, zero delta.
+  EXPECT_TRUE(flowdb::diff_verdicts(*a, *b).within(0.0));
+
+  // Perturb: force every verdict to kDrop.
+  util::Rng rng(0xFDB0007);
+  flowdb::Writer perturbed;
+  for (std::size_t i = 0; i < 8'000; ++i) {
+    auto row = sample_row(i, rng);
+    row.verdict = static_cast<std::uint8_t>(shim::Verdict::kDrop);
+    row.source = static_cast<std::uint8_t>(shim::VerdictSource::kShim);
+    perturbed.add(std::move(row));
+  }
+  auto c = flowdb::Reader::parse(perturbed.encode());
+  ASSERT_TRUE(c);
+  const auto diff = flowdb::diff_verdicts(*a, *c);
+  EXPECT_FALSE(diff.within(0.02));
+  EXPECT_GT(diff.max_delta, 0.1);
+}
+
+TEST(FlowDbSmoke, TenantJobCarryFromArchiveIntoStore) {
+  trace::FlowIndex index;
+  for (int i = 0; i < 10; ++i) {
+    trace::FlowRecord record;
+    record.key.proto = pkt::FlowProto::kTcp;
+    record.key.src = {util::Ipv4Addr(10, 9, 0, 1), std::uint16_t(1000 + i)};
+    record.key.dst = {util::Ipv4Addr(192, 150, 187, 12), 80};
+    record.tenant = i % 2 ? "acme" : "umbrella";
+    record.job = 40 + i;
+    record.packets = 3;
+    record.bytes = 300;
+    if (i % 3 == 0) {
+      record.has_verdict = true;
+      record.verdict = shim::Verdict::kRewrite;
+      record.verdict_source = shim::VerdictSource::kTable;
+      record.policy_name = "tables";
+    }
+    index.restore(std::move(record));
+  }
+  flowdb::Writer writer;
+  writer.add_index(index, "job-tap");
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+  flowdb::Filter by_tenant;
+  by_tenant.tenant = "acme";
+  EXPECT_EQ(flowdb::scan(*reader, by_tenant).size(), 5u);
+  flowdb::Filter by_job;
+  by_job.job = 43;
+  const auto match = flowdb::scan(*reader, by_job);
+  ASSERT_EQ(match.size(), 1u);
+  EXPECT_EQ(reader->row(match[0]).tenant, "acme");
+  flowdb::Filter by_source;
+  by_source.source = static_cast<std::uint8_t>(shim::VerdictSource::kTable);
+  EXPECT_EQ(flowdb::scan(*reader, by_source).size(), 4u);
+}
+
+TEST(FlowDbSmoke, WriterPublishesMetrics) {
+  obs::MetricsRegistry metrics;
+  util::Rng rng(0xFDB0008);
+  flowdb::Writer writer(&metrics);
+  for (std::size_t i = 0; i < 32; ++i) writer.add(sample_row(i, rng));
+  const auto bytes = writer.encode();
+  EXPECT_EQ(metrics.counter("flowdb.rows_written").value(), 32u);
+  EXPECT_EQ(metrics.counter("flowdb.bytes_written").value(), bytes.size());
+  flowdb::ScanOptions options;
+  options.metrics = &metrics;
+  auto reader = flowdb::Reader::parse(bytes);
+  ASSERT_TRUE(reader);
+  flowdb::scan(*reader, {}, options);
+  EXPECT_EQ(metrics.counter("flowdb.scans").value(), 1u);
+  EXPECT_EQ(metrics.counter("flowdb.rows_scanned").value(), 32u);
+  EXPECT_EQ(metrics.counter("flowdb.rows_matched").value(), 32u);
+}
+
+// --- Rejection contract ---------------------------------------------------
+
+TEST(FlowDbReject, CorruptFooterHashRejected) {
+  auto bytes = sample_writer(64, 0xFDB0101).encode();
+  // Flip one payload byte: the footer hash no longer matches.
+  bytes[bytes.size() / 2] ^= 0x01;
+  EXPECT_FALSE(flowdb::Reader::parse(std::move(bytes)));
+}
+
+TEST(FlowDbReject, TruncationAlwaysRejected) {
+  const auto bytes = sample_writer(64, 0xFDB0102).encode();
+  util::Rng rng(0xFDB0102);
+  for (int i = 0; i < 200; ++i) {
+    const auto cut = rng.below(bytes.size());  // Strictly shorter.
+    EXPECT_FALSE(flowdb::Reader::parse(
+        {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)}))
+        << "prefix " << cut;
+  }
+}
+
+TEST(FlowDbReject, SelfDeclaredLengthLiesRejected) {
+  // Corrupt individual header fields, then re-seal the footer hash so
+  // only the header validation (not the integrity check) can catch it.
+  const auto pristine = sample_writer(64, 0xFDB0103).encode();
+  const auto reseal = [](std::vector<std::uint8_t> bytes) {
+    const std::uint64_t footer_offset = bytes.size() - 16;
+    const std::uint64_t hash =
+        flowdb::fnv1a({bytes.data(), footer_offset});
+    std::memcpy(bytes.data() + footer_offset, &hash, 8);
+    return bytes;
+  };
+  const auto poke_u64 = [&](std::size_t offset, std::uint64_t value) {
+    auto bytes = pristine;
+    std::memcpy(bytes.data() + offset, &value, 8);
+    return reseal(std::move(bytes));
+  };
+  // FileHeader field offsets (see flowdb.h): row_count @16,
+  // columns_offset @24, dict_offset @32, dict_count @40, blob_offset
+  // @48, blob_bytes @56, loc_offset @64, loc_count @72,
+  // footer_offset @80.
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(16, 1ull << 40)))
+      << "row_count lie";
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(24, pristine.size() * 2)))
+      << "columns_offset lie";
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(24, 12)))
+      << "misaligned columns_offset";
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(32, pristine.size() * 2)))
+      << "dict_offset lie";
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(40, 1ull << 40)))
+      << "dict_count lie";
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(56, 1ull << 40)))
+      << "blob_bytes lie";
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(72, 1ull << 40)))
+      << "loc_count lie";
+  EXPECT_FALSE(flowdb::Reader::parse(poke_u64(80, pristine.size())))
+      << "footer_offset lie";
+  // Control: resealing without corruption still parses.
+  EXPECT_TRUE(flowdb::Reader::parse(reseal(pristine)));
+}
+
+TEST(FlowDbReject, BadMagicAndVersionRejected) {
+  const auto pristine = sample_writer(8, 0xFDB0104).encode();
+  {
+    auto bytes = pristine;
+    bytes[0] ^= 0xFF;
+    EXPECT_FALSE(flowdb::Reader::parse(std::move(bytes)));
+  }
+  {
+    auto bytes = pristine;
+    bytes[8] = 0x7F;  // version
+    EXPECT_FALSE(flowdb::Reader::parse(std::move(bytes)));
+  }
+  EXPECT_FALSE(flowdb::Reader::parse({}));
+  EXPECT_FALSE(flowdb::Reader::open(temp_path("flowdb_no_such_store.fdb")));
+}
+
+TEST(FlowDbReject, LyingLocationsAreClampedNotOverRead) {
+  // A row whose loc_start/loc_count point past the shared location
+  // array must come back clamped (possibly empty), never over-read.
+  flowdb::Writer writer;
+  util::Rng rng(0xFDB0105);
+  for (std::size_t i = 0; i < 4; ++i) writer.add(sample_row(i, rng));
+  auto bytes = writer.encode();
+  auto pristine = flowdb::Reader::parse(bytes);
+  ASSERT_TRUE(pristine);
+  for (std::uint64_t i = 0; i < pristine->rows(); ++i) {
+    const auto locs = pristine->locations_of(i);
+    EXPECT_LE(locs.size(), 3u);
+  }
+  EXPECT_TRUE(pristine->locations_of(999).empty());
+}
+
+TEST(FlowDbSmoke, EmptyStoreRoundTrips) {
+  flowdb::Writer writer;
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+  EXPECT_EQ(reader->rows(), 0u);
+  EXPECT_TRUE(flowdb::scan(*reader, {}).empty());
+  EXPECT_TRUE(flowdb::aggregate_all(*reader, flowdb::GroupBy::kVerdict)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace gq

@@ -219,6 +219,83 @@ TEST(FlowIndex, AnnotateAttachesVerdict) {
   EXPECT_EQ(flow->policy_name, "dns-ok");
 }
 
+TEST(FlowIndex, RestoreRebuildsBidirectionalFindAfterSaveLoadRoundTrip) {
+  // Serialize a populated index through the flows.txt line codec, then
+  // restore into a fresh index and check bidirectional find still
+  // resolves — including a kTable-annotated flow from the compiled
+  // policy-table path and tenant/job attribution.
+  trace::FlowIndex index;
+  const pkt::FlowKey shim_key{pkt::FlowProto::kTcp,
+                              {Ipv4Addr(10, 9, 0, 4), 1234},
+                              {Ipv4Addr(203, 0, 113, 9), 80}};
+  const pkt::FlowKey table_key{pkt::FlowProto::kUdp,
+                               {Ipv4Addr(10, 9, 0, 5), 5353},
+                               {Ipv4Addr(8, 8, 8, 8), 53}};
+  index.touch(shim_key, 12, util::TimePoint{100}, 80, {0, 24});
+  index.touch(shim_key.reversed(), 12, util::TimePoint{150}, 60, {0, 120});
+  index.touch(table_key, 12, util::TimePoint{200}, 90, {1, 24});
+  ASSERT_TRUE(index.annotate(shim_key, 12, shim::Verdict::kRewrite, "botdl",
+                             shim::VerdictSource::kShim));
+  ASSERT_TRUE(index.annotate(table_key.reversed(), 12, shim::Verdict::kDrop,
+                             "dns-table", shim::VerdictSource::kTable));
+  for (auto& flow : const_cast<std::deque<trace::FlowRecord>&>(
+           index.flows())) {
+    flow.tenant = "acme";
+    flow.job = 42;
+  }
+
+  trace::FlowIndex restored;
+  for (const auto& flow : index.flows()) {
+    const auto parsed =
+        trace::parse_flow_record_line(trace::flow_record_line(flow));
+    ASSERT_TRUE(parsed);
+    ASSERT_EQ(*parsed, flow);
+    restored.restore(*parsed);
+  }
+  ASSERT_EQ(restored.flow_count(), index.flow_count());
+
+  // find must resolve both directions of both flows after restore.
+  for (const auto& key : {shim_key, table_key}) {
+    const auto* forward = restored.find(key, 12);
+    const auto* reverse = restored.find(key.reversed(), 12);
+    ASSERT_NE(forward, nullptr) << key.str();
+    EXPECT_EQ(forward, reverse) << key.str();
+    EXPECT_EQ(forward->key, key) << key.str();
+    EXPECT_EQ(forward->tenant, "acme");
+    EXPECT_EQ(forward->job, 42u);
+  }
+  const auto* table_flow = restored.find(table_key.reversed(), 12);
+  ASSERT_NE(table_flow, nullptr);
+  EXPECT_TRUE(table_flow->has_verdict);
+  EXPECT_EQ(table_flow->verdict, shim::Verdict::kDrop);
+  EXPECT_EQ(table_flow->verdict_source, shim::VerdictSource::kTable);
+  EXPECT_FALSE(table_flow->verdict_cached);
+  EXPECT_EQ(table_flow->policy_name, "dns-table");
+  // Wrong VLAN still misses.
+  EXPECT_EQ(restored.find(table_key, 13), nullptr);
+}
+
+TEST(FlowIndex, FlowLineParserRejectsMalformedFields) {
+  const trace::FlowRecord record;  // Defaults serialize cleanly.
+  const auto line = trace::flow_record_line(record);
+  ASSERT_TRUE(trace::parse_flow_record_line(line));
+  // Non-numeric and out-of-range fields reject instead of throwing
+  // (the old loader crashed on these via std::stoul).
+  EXPECT_FALSE(trace::parse_flow_record_line(""));
+  EXPECT_FALSE(trace::parse_flow_record_line("flow"));
+  EXPECT_FALSE(trace::parse_flow_record_line(
+      "flow\ttcp\t10.0.0.1\tnotaport\t10.0.0.2\t80\t0\t1\t1\t0\t0\t-\t-"));
+  EXPECT_FALSE(trace::parse_flow_record_line(
+      "flow\ttcp\t10.0.0.1\t99999\t10.0.0.2\t80\t0\t1\t1\t0\t0\t-\t-"));
+  EXPECT_FALSE(trace::parse_flow_record_line(
+      "flow\ttcp\tnot.an.ip\t1\t10.0.0.2\t80\t0\t1\t1\t0\t0\t-\t-"));
+  EXPECT_FALSE(trace::parse_flow_record_line(
+      "flow\ticmp\t10.0.0.1\t1\t10.0.0.2\t80\t0\t1\t1\t0\t0\t-\t-"));
+  EXPECT_FALSE(trace::parse_flow_record_line(
+      "flow\ttcp\t10.0.0.1\t1\t10.0.0.2\t80\t0\t"
+      "99999999999999999999999999\t1\t0\t0\t-\t-"));
+}
+
 // --- TraceTap: metrics, extraction, save/load -----------------------------
 
 TEST(TraceTap, MetricsTrackRotation) {
@@ -275,6 +352,7 @@ TEST(TraceTap, SaveLoadRoundTrip) {
   config.segment_bytes = 1024;
   config.max_segments = 3;
   trace::TraceTap tap("rt", config, nullptr);
+  tap.set_context("umbrella", 9);
   const auto a = Ipv4Addr(10, 5, 0, 9);
   const auto b = Ipv4Addr(93, 184, 216, 34);
   for (int i = 0; i < 48; ++i)
@@ -301,6 +379,11 @@ TEST(TraceTap, SaveLoadRoundTrip) {
   EXPECT_EQ(flow->verdict, shim::Verdict::kLimit);
   EXPECT_EQ(flow->policy_name, "limiter");
   EXPECT_EQ(flow->packets, 48u);
+  // Tenant/job attribution survives the manifest and flow round trip.
+  EXPECT_EQ(loaded->tenant(), "umbrella");
+  EXPECT_EQ(loaded->job(), 9u);
+  EXPECT_EQ(flow->tenant, "umbrella");
+  EXPECT_EQ(flow->job, 9u);
   // Extraction works identically on the loaded archive.
   EXPECT_EQ(loaded->extract_flow(*flow).size(),
             tap.extract_flow(*flow).size());
