@@ -672,13 +672,22 @@ int main(int argc, char** argv) {
     f_escapes += stats.escapes;
     f_cross_messages = stats.cross_shard_messages;
     f_cc_requests = stats.cc_requests;
-    std::printf("%9u %10llu %12llu %12llu %10llu %10.0f %9.2fx\n", threads,
+    // A wall-clock ratio on a host without the cores to run the workers
+    // is time-slicing noise, not a speedup; report the coordination
+    // overhead (wall minus serial) there instead of a misleading 0.2x.
+    const bool speedup_meaningful = threads == 1 || hw_threads >= 4;
+    std::printf("%9u %10llu %12llu %12llu %10llu %10.0f ", threads,
                 static_cast<unsigned long long>(stats.events),
                 static_cast<unsigned long long>(stats.cc_requests),
                 static_cast<unsigned long long>(stats.cross_shard_messages),
                 static_cast<unsigned long long>(stats.escapes),
-                stats.wall_ms,
-                stats.wall_ms > 0 ? serial_wall / stats.wall_ms : 0.0);
+                stats.wall_ms);
+    if (speedup_meaningful) {
+      std::printf("%9.2fx\n",
+                  stats.wall_ms > 0 ? serial_wall / stats.wall_ms : 0.0);
+    } else {
+      std::printf("%+9.0fms\n", stats.wall_ms - serial_wall);
+    }
 
     json.begin_object();
     json.key("sweep");
@@ -707,8 +716,15 @@ int main(int argc, char** argv) {
                                 stats.stream_hash)));
     json.key("wall_ms");
     json.value(stats.wall_ms);
-    json.key("speedup_vs_serial");
-    json.value(stats.wall_ms > 0 ? serial_wall / stats.wall_ms : 0.0);
+    if (speedup_meaningful) {
+      json.key("speedup_vs_serial");
+      json.value(stats.wall_ms > 0 ? serial_wall / stats.wall_ms : 0.0);
+    } else {
+      json.key("skipped_reason");
+      json.value("insufficient_cores");
+      json.key("coordination_overhead_ms");
+      json.value(stats.wall_ms - serial_wall);
+    }
     json.end_object();
   }
   std::printf("\nSharded streams bit-identical across thread counts: %s\n",
@@ -719,8 +735,15 @@ int main(int argc, char** argv) {
   json.value(cache_speedup);
   json.key("table_speedup");
   json.value(table_speedup);
-  json.key("sharded_speedup_4t");
-  json.value(f_speedup4);
+  if (hw_threads >= 4) {
+    json.key("sharded_speedup_4t");
+    json.value(f_speedup4);
+  } else {
+    json.key("sharded_speedup_4t_skipped_reason");
+    json.value("insufficient_cores");
+    json.key("sharded_coordination_overhead_ms");
+    json.value(f_wall4 - serial_wall);
+  }
   json.key("sharded_streams_identical");
   json.value(f_streams_identical);
   json.key("hardware_threads");

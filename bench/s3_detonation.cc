@@ -13,6 +13,7 @@
 //   build/bench/s3_detonation --smoke   # abbreviated CI pass
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -23,6 +24,7 @@
 
 #include "core/sharded_farm.h"
 #include "flowdb/flowdb.h"
+#include "flowdb/store.h"
 #include "inmate/inmate.h"
 #include "orchestrator/service.h"
 #include "packet/frame.h"
@@ -131,6 +133,15 @@ struct RowStats {
   std::uint64_t flowdb_rows = 0;
   std::uint64_t flowdb_hash = 0;
   bool flowdb_ok = false;
+  // Incremental segmented store: sealed jobs flushed at epoch
+  // boundaries while the farm runs, final drain flush, deterministic
+  // compaction. The hash covers the manifest plus every segment's
+  // bytes, so the replay gate also proves incremental append +
+  // compaction are thread-count invariant.
+  std::uint64_t segstore_rows = 0;
+  std::uint64_t segstore_segments = 0;
+  std::uint64_t segstore_hash = 0;
+  bool segstore_ok = false;
 };
 
 // One sweep row: `shards` gateway shards with 4 recycled slots each,
@@ -208,11 +219,21 @@ RowStats run_row(std::size_t shards, unsigned threads,
   }
 
   // Drain in one-minute epochs until every job recycles (measured sim
-  // time stops with the last completion, not at the cap).
+  // time stops with the last completion, not at the cap). Every second
+  // epoch, sealed jobs flush incrementally into the segmented store —
+  // mid-run, the way a live farm writes its flow history.
+  const std::string seg_dir =
+      util::format("BENCH_s3_segstore_%zushard_%uthr", shards, threads);
+  std::error_code seg_ec;
+  std::filesystem::remove_all(seg_dir, seg_ec);
+  bool seg_ok = true;
   util::Duration elapsed = util::seconds(0);
+  std::uint64_t epoch = 0;
   while (service.jobs_completed() < total_jobs && elapsed.usec < cap.usec) {
     farm.run_for(util::minutes(1));
     elapsed = elapsed + util::minutes(1);
+    if (++epoch % 2 == 0 && !service.append_flowdb_store(seg_dir))
+      seg_ok = false;
   }
 
   RowStats stats;
@@ -286,6 +307,35 @@ RowStats run_row(std::size_t shards, unsigned threads,
                             std::istreambuf_iterator<char>());
     stats.flowdb_hash = fnv1a(bytes);
   }
+
+  // Final drain flush (snapshots anything a cap trip left running),
+  // deterministic compaction, then hash manifest + segment bytes. The
+  // segmented store must agree row-for-row with the monolithic
+  // compaction above.
+  if (!service.append_flowdb_store(seg_dir, /*sealed_only=*/false))
+    seg_ok = false;
+  if (auto seg_store = flowdb::SegmentedStore::open(seg_dir);
+      !seg_store || !seg_store->compact_segments()) {
+    seg_ok = false;
+  }
+  if (auto seg_reader = flowdb::SegmentedReader::open(seg_dir)) {
+    stats.segstore_rows = seg_reader->rows();
+    stats.segstore_segments = seg_reader->segment_count();
+    std::string seg_bytes;
+    const auto slurp = [&seg_bytes](const std::string& path) {
+      std::ifstream in(path, std::ios::binary);
+      seg_bytes.append(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+      return static_cast<bool>(in);
+    };
+    if (!slurp(seg_dir + "/" + flowdb::kManifestName)) seg_ok = false;
+    for (const auto& info : seg_reader->manifest().segments)
+      if (!slurp(seg_dir + "/" + info.file)) seg_ok = false;
+    stats.segstore_hash = fnv1a(seg_bytes);
+  } else {
+    seg_ok = false;
+  }
+  stats.segstore_ok = seg_ok && stats.segstore_rows == stats.flowdb_rows;
   return stats;
 }
 
@@ -375,8 +425,15 @@ int main(int argc, char** argv) {
     json.key("flowdb_hash");
     json.value(util::format("%016llx", static_cast<unsigned long long>(
                                            stats.flowdb_hash)));
+    json.key("segstore_rows");
+    json.value(stats.segstore_rows);
+    json.key("segstore_segments");
+    json.value(stats.segstore_segments);
+    json.key("segstore_hash");
+    json.value(util::format("%016llx", static_cast<unsigned long long>(
+                                           stats.segstore_hash)));
     json.end_object();
-    flowdb_ok = flowdb_ok && stats.flowdb_ok;
+    flowdb_ok = flowdb_ok && stats.flowdb_ok && stats.segstore_ok;
   }
   json.end_array();
 
@@ -385,12 +442,16 @@ int main(int argc, char** argv) {
   // recycle schedule — everything observable) as the threaded run.
   const auto threaded = run_row(2, 2, jobs_per_shard, cap);
   const auto serial = run_row(2, 1, jobs_per_shard, cap);
-  flowdb_ok = flowdb_ok && threaded.flowdb_ok && serial.flowdb_ok;
+  flowdb_ok = flowdb_ok && threaded.flowdb_ok && serial.flowdb_ok &&
+              threaded.segstore_ok && serial.segstore_ok;
   // Same-seed runs must also compact to byte-identical FlowDB stores —
-  // the cross-run contract the gq_trace diff gate depends on.
+  // the cross-run contract the gq_trace diff gate depends on — and the
+  // incrementally-appended, compacted segmented stores must be byte-
+  // identical too (manifest + every segment).
   const bool identical = threaded.event_hash == serial.event_hash &&
                          threaded.completed == serial.completed &&
-                         threaded.flowdb_hash == serial.flowdb_hash;
+                         threaded.flowdb_hash == serial.flowdb_hash &&
+                         threaded.segstore_hash == serial.segstore_hash;
   json.key("replay_check");
   json.begin_object();
   json.key("shards");
@@ -407,6 +468,12 @@ int main(int argc, char** argv) {
   json.key("flowdb_hash_serial");
   json.value(util::format("%016llx", static_cast<unsigned long long>(
                                          serial.flowdb_hash)));
+  json.key("segstore_hash_threaded");
+  json.value(util::format("%016llx", static_cast<unsigned long long>(
+                                         threaded.segstore_hash)));
+  json.key("segstore_hash_serial");
+  json.value(util::format("%016llx", static_cast<unsigned long long>(
+                                         serial.segstore_hash)));
   json.key("bit_identical");
   json.value(identical);
   json.end_object();

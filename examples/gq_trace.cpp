@@ -11,10 +11,21 @@
 //   gq_trace compact <out.fdb> <dir>...
 //                                    compact saved archives into one
 //                                    columnar store
-//   gq_trace query <store.fdb> [filters] [--threads N] [--limit N]
-//                                    predicate scan over a store
-//   gq_trace stat <store.fdb> [--by verdict|tenant|policy|tap]
-//                                    aggregated counters per group
+//   gq_trace query <store> [filters] [--threads N] [--limit N]
+//                                    predicate scan; <store> is a .fdb
+//                                    file or a segmented store dir.
+//                                    Prints pruning statistics;
+//                                    --no-prune disables skip-scans
+//   gq_trace stat <store> [filters] [--by verdict|tenant|policy|tap]
+//                                    aggregated counters per group over
+//                                    the rows matching the filters
+//   gq_trace segments <dir>          manifest + zone-map table of a
+//                                    segmented store
+//   gq_trace appendseg <dir> <archive>...
+//                                    compact saved archives into one
+//                                    new sealed segment of store <dir>
+//   gq_trace compactseg <dir> [max]  deterministic size-tiered merge
+//                                    down to at most max segments
 //   gq_trace diff <a.fdb> <b.fdb> [--tolerance F]
 //                                    verdict-distribution comparison;
 //                                    exits nonzero past the tolerance
@@ -22,6 +33,13 @@
 //   gq_trace diffgate <workdir>      self-contained gate check: two
 //                                    same-seed stores must diff clean,
 //                                    a perturbed one must diff dirty
+//   gq_trace prunegate <workdir>     self-contained skip-scan gate:
+//                                    canned queries over a golden
+//                                    segmented store must prune the
+//                                    expected segment counts, match
+//                                    the unpruned scan byte-for-byte,
+//                                    and survive deterministic
+//                                    compaction bit-identically
 //
 // Query filters: --verdict <name|none> --source <shim|cached|table>
 // --tenant T --policy P --tap T --job N --vlan N --port N --addr A
@@ -39,6 +57,7 @@
 
 #include "flowdb/flowdb.h"
 #include "flowdb/query.h"
+#include "flowdb/store.h"
 #include "packet/frame.h"
 #include "packet/pcap.h"
 #include "trace/tap.h"
@@ -229,8 +248,7 @@ std::optional<flowdb::Reader> open_store(const std::string& path) {
   return reader;
 }
 
-void print_row(const flowdb::Reader& reader, std::uint64_t i) {
-  const auto row = reader.row(i);
+void print_row(const flowdb::Row& row, std::uint64_t i) {
   std::printf("#%-6llu %s %s -> %s vlan %u  %llu pkts / %llu B",
               static_cast<unsigned long long>(i), proto_name(row.proto),
               row.src.str().c_str(), row.dst.str().c_str(), row.vlan,
@@ -258,11 +276,16 @@ struct QueryArgs {
   std::uint64_t limit = 0;  ///< 0 = unlimited.
   std::string group = "verdict";
   double tolerance = 0.02;
+  bool prune = true;
 };
 
 bool parse_query_args(int argc, char** argv, int first, QueryArgs& out) {
   for (int i = first; i < argc; ++i) {
     const std::string_view flag = argv[i];
+    if (flag == "--no-prune") {  // Boolean flag: no value follows.
+      out.prune = false;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "gq_trace: %s needs a value\n", argv[i]);
       return false;
@@ -376,43 +399,219 @@ bool parse_query_args(int argc, char** argv, int first, QueryArgs& out) {
   return true;
 }
 
-int cmd_query(const std::string& path, const QueryArgs& args) {
-  const auto reader = open_store(path);
-  if (!reader) return 1;
+void print_scan_stats(const flowdb::ScanStats& stats) {
+  std::printf(
+      "scan: segments %llu considered / %llu pruned / %llu scanned; "
+      "chunks %llu pruned / %llu scanned; rows %llu scanned / %llu "
+      "matched; %.3f ms\n",
+      static_cast<unsigned long long>(stats.segments_considered),
+      static_cast<unsigned long long>(stats.segments_pruned),
+      static_cast<unsigned long long>(stats.segments_scanned),
+      static_cast<unsigned long long>(stats.chunks_pruned),
+      static_cast<unsigned long long>(stats.chunks_scanned),
+      static_cast<unsigned long long>(stats.rows_scanned),
+      static_cast<unsigned long long>(stats.rows_matched), stats.wall_ms);
+}
+
+std::optional<flowdb::SegmentedReader> open_store_dir(
+    const std::string& dir) {
+  auto store = flowdb::SegmentedReader::open(dir);
+  if (!store) {
+    std::fprintf(stderr,
+                 "gq_trace: cannot open segmented store %s (missing or "
+                 "corrupt manifest, or a segment failed validation)\n",
+                 dir.c_str());
+  }
+  return store;
+}
+
+/// Run a filter against a `.fdb` file or a segmented store dir,
+/// returning global row ids (nullopt on store corruption). `row_of`
+/// semantics match scan() ids on both paths.
+struct StoreScan {
+  std::optional<flowdb::Reader> file;
+  std::optional<flowdb::SegmentedReader> dir;
+  std::vector<std::uint64_t> matches;
+  flowdb::ScanStats stats;
+
+  [[nodiscard]] std::uint64_t rows() const {
+    return file ? file->rows() : dir->rows();
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return file ? file->file_bytes() : dir->manifest().total_bytes();
+  }
+  [[nodiscard]] flowdb::Row row_of(std::uint64_t id) {
+    if (file) return file->row(id);
+    auto row = dir->row(id);
+    return row ? *row : flowdb::Row{};
+  }
+  [[nodiscard]] std::optional<std::vector<flowdb::Agg>> aggregate(
+      flowdb::GroupBy group) {
+    if (file) return flowdb::aggregate(*file, matches, group);
+    return dir->aggregate(matches, group);
+  }
+};
+
+std::optional<StoreScan> scan_store(const std::string& path,
+                                    const QueryArgs& args) {
+  StoreScan result;
   flowdb::ScanOptions options;
   options.threads = args.threads;
-  const auto matches = flowdb::scan(*reader, args.filter, options);
+  options.prune = args.prune;
+  options.stats = &result.stats;
+  if (std::filesystem::is_directory(path)) {
+    result.dir = open_store_dir(path);
+    if (!result.dir) return std::nullopt;
+    auto matches = result.dir->scan(args.filter, options);
+    if (!matches) {
+      std::fprintf(stderr,
+                   "gq_trace: scan failed — a segment of %s failed "
+                   "validation\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+    result.matches = std::move(*matches);
+  } else {
+    result.file = open_store(path);
+    if (!result.file) return std::nullopt;
+    result.matches = flowdb::scan(*result.file, args.filter, options);
+  }
+  return result;
+}
+
+int cmd_query(const std::string& path, const QueryArgs& args) {
+  auto scan = scan_store(path, args);
+  if (!scan) return 1;
   std::uint64_t shown = 0;
-  for (const auto i : matches) {
+  for (const auto i : scan->matches) {
     if (args.limit && shown >= args.limit) break;
-    print_row(*reader, i);
+    print_row(scan->row_of(i), i);
     ++shown;
   }
-  if (args.limit && matches.size() > shown)
-    std::printf("(%zu more matches)\n", matches.size() - shown);
-  std::printf("%zu of %llu flows matched\n", matches.size(),
-              static_cast<unsigned long long>(reader->rows()));
+  if (args.limit && scan->matches.size() > shown)
+    std::printf("(%zu more matches)\n", scan->matches.size() - shown);
+  std::printf("%zu of %llu flows matched\n", scan->matches.size(),
+              static_cast<unsigned long long>(scan->rows()));
+  print_scan_stats(scan->stats);
   return 0;
 }
 
 int cmd_stat(const std::string& path, const QueryArgs& args) {
-  const auto reader = open_store(path);
-  if (!reader) return 1;
+  auto scan = scan_store(path, args);
+  if (!scan) return 1;
   const auto group = args.group == "tenant"   ? flowdb::GroupBy::kTenant
                      : args.group == "policy" ? flowdb::GroupBy::kPolicy
                      : args.group == "tap"    ? flowdb::GroupBy::kTap
                                               : flowdb::GroupBy::kVerdict;
-  std::printf("store %s: %llu flows, %llu B file\n\n", path.c_str(),
-              static_cast<unsigned long long>(reader->rows()),
-              static_cast<unsigned long long>(reader->file_bytes()));
+  std::printf("store %s: %llu flows, %llu B\n\n", path.c_str(),
+              static_cast<unsigned long long>(scan->rows()),
+              static_cast<unsigned long long>(scan->bytes()));
+  const auto aggs = scan->aggregate(group);
+  if (!aggs) {
+    std::fprintf(stderr, "gq_trace: aggregation failed on %s\n",
+                 path.c_str());
+    return 1;
+  }
   std::printf("%-16s %10s %14s %16s\n", args.group.c_str(), "flows",
               "packets", "bytes");
-  for (const auto& agg : flowdb::aggregate_all(*reader, group)) {
+  for (const auto& agg : *aggs) {
     std::printf("%-16s %10llu %14llu %16llu\n", agg.label.c_str(),
                 static_cast<unsigned long long>(agg.flows),
                 static_cast<unsigned long long>(agg.packets),
                 static_cast<unsigned long long>(agg.bytes));
   }
+  print_scan_stats(scan->stats);
+  return 0;
+}
+
+// --- Segmented-store subcommands ------------------------------------------
+
+int cmd_segments(const std::string& dir) {
+  auto store = open_store_dir(dir);
+  if (!store) return 1;
+  std::printf("store %s: %zu segments, %llu rows, %llu B\n\n", dir.c_str(),
+              store->segment_count(),
+              static_cast<unsigned long long>(store->rows()),
+              static_cast<unsigned long long>(store->manifest().total_bytes()));
+  std::printf("%-22s %8s %10s %16s %14s %14s %11s %13s\n", "segment", "rows",
+              "bytes", "footer-hash", "first", "last", "vlan", "port");
+  for (std::size_t i = 0; i < store->segment_count(); ++i) {
+    const auto& info = store->manifest().segments[i];
+    const auto& zone = store->segment_zone(i);
+    if (zone.row_count == 0) {
+      std::printf("%-22s %8llu %10llu %016llx %14s %14s %11s %13s\n",
+                  info.file.c_str(),
+                  static_cast<unsigned long long>(info.rows),
+                  static_cast<unsigned long long>(info.bytes),
+                  static_cast<unsigned long long>(info.footer_hash), "-",
+                  "-", "-", "-");
+      continue;
+    }
+    std::printf("%-22s %8llu %10llu %016llx %14lld %14lld %5u-%-5u "
+                "%6u-%-6u\n",
+                info.file.c_str(),
+                static_cast<unsigned long long>(info.rows),
+                static_cast<unsigned long long>(info.bytes),
+                static_cast<unsigned long long>(info.footer_hash),
+                static_cast<long long>(zone.min_first_usec),
+                static_cast<long long>(zone.max_last_usec), zone.min_vlan,
+                zone.max_vlan, zone.min_port, zone.max_port);
+  }
+  return 0;
+}
+
+int cmd_appendseg(const std::string& dir,
+                  const std::vector<std::string>& archives) {
+  auto store = flowdb::SegmentedStore::open(dir);
+  if (!store) {
+    std::fprintf(stderr, "gq_trace: cannot open store dir %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  flowdb::Writer writer;
+  for (const auto& archive : archives) {
+    auto tap = trace::load_trace(archive);
+    if (!tap) {
+      std::fprintf(stderr, "gq_trace: cannot load archive at %s\n",
+                   archive.c_str());
+      return 1;
+    }
+    writer.add_tap(*tap);
+  }
+  if (!store->append_segment(writer)) {
+    std::fprintf(stderr, "gq_trace: segment append failed in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  if (writer.row_count() == 0) {
+    std::printf("no flows in %zu archives; store unchanged\n",
+                archives.size());
+    return 0;
+  }
+  std::printf("appended %zu archives, %zu flows -> %s/%s (%zu segments)\n",
+              archives.size(), writer.row_count(), dir.c_str(),
+              store->manifest().segments.back().file.c_str(),
+              store->manifest().segments.size());
+  return 0;
+}
+
+int cmd_compactseg(const std::string& dir, std::size_t max_segments) {
+  auto store = flowdb::SegmentedStore::open(dir);
+  if (!store) {
+    std::fprintf(stderr, "gq_trace: cannot open store dir %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  const std::size_t before = store->manifest().segments.size();
+  if (!store->compact_segments(max_segments)) {
+    std::fprintf(stderr, "gq_trace: compaction failed in %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("compacted %zu -> %zu segments (%llu rows, %llu B)\n", before,
+              store->manifest().segments.size(),
+              static_cast<unsigned long long>(store->manifest().total_rows()),
+              static_cast<unsigned long long>(
+                  store->manifest().total_bytes()));
   return 0;
 }
 
@@ -518,6 +717,239 @@ int cmd_diffgate(const std::string& workdir) {
     return 1;
   }
   std::printf("\ndiffgate OK (%s)\n", workdir.c_str());
+  return 0;
+}
+
+// --- Prune gate -----------------------------------------------------------
+
+/// One synthetic segment for the skip-scan gate. Every prunable
+/// dimension is keyed off the segment index so segments are separable:
+/// disjoint 10 s time slabs, one vlan per segment, tenant index%6, and
+/// per-segment /24s for both endpoints. The endpoint pool is small
+/// (~264 distinct addresses) so the 1 KiB bloom stays far from
+/// saturation and address pruning is exact in practice.
+flowdb::Writer synth_segment(std::uint64_t seed, std::size_t index,
+                             std::size_t rows) {
+  constexpr std::int64_t kSlabUsec = 10'000'000;
+  util::Rng rng(seed + index * 7919);
+  flowdb::Writer writer;
+  for (std::size_t i = 0; i < rows; ++i) {
+    flowdb::Row row;
+    row.proto = rng.chance(0.7) ? pkt::FlowProto::kTcp : pkt::FlowProto::kUdp;
+    row.src = {util::Ipv4Addr(10, 9, static_cast<std::uint8_t>(index),
+                              static_cast<std::uint8_t>(rng.below(200) + 1)),
+               static_cast<std::uint16_t>(rng.range(1024, 65000))};
+    row.dst = {util::Ipv4Addr(10, static_cast<std::uint8_t>(100 + index), 0,
+                              static_cast<std::uint8_t>(rng.below(64) + 1)),
+               static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : 25)};
+    row.vlan = static_cast<std::uint16_t>(100 + index);
+    row.tenant = util::format("t%zu", index % 6);
+    row.job = index * 100 + rng.below(8) + 1;
+    const double roll = rng.uniform();
+    row.verdict = static_cast<std::uint8_t>(
+        roll < 0.25   ? shim::Verdict::kDrop
+        : roll < 0.55 ? shim::Verdict::kForward
+                      : shim::Verdict::kRedirect);
+    row.source = static_cast<std::uint8_t>(
+        rng.chance(0.5) ? shim::VerdictSource::kCached
+                        : shim::VerdictSource::kShim);
+    row.policy = "default";
+    row.tap = "synth";
+    row.packets = rng.below(50) + 1;
+    row.bytes = row.packets * (rng.below(1000) + 60);
+    row.first_usec = static_cast<std::int64_t>(index) * kSlabUsec +
+                     static_cast<std::int64_t>(i) * 2000;
+    row.last_usec = row.first_usec + static_cast<std::int64_t>(rng.below(1500));
+    writer.add(std::move(row));
+  }
+  return writer;
+}
+
+bool build_prune_store(const std::string& dir, std::size_t segments,
+                       std::size_t rows) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  auto store = flowdb::SegmentedStore::open(dir);
+  if (!store) return false;
+  for (std::size_t s = 0; s < segments; ++s) {
+    if (!store->append_segment(synth_segment(0x5EC5, s, rows))) return false;
+  }
+  return true;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::string out;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+/// Byte-identity of two store dirs: manifests equal, every listed
+/// segment file equal.
+bool stores_identical(const std::string& a, const std::string& b) {
+  const auto ma = slurp(a + "/" + flowdb::kManifestName);
+  const auto mb = slurp(b + "/" + flowdb::kManifestName);
+  if (!ma || !mb || *ma != *mb) return false;
+  const auto manifest = flowdb::StoreManifest::parse(*ma);
+  if (!manifest) return false;
+  for (const auto& seg : manifest->segments) {
+    const auto fa = slurp(a + "/" + seg.file);
+    const auto fb = slurp(b + "/" + seg.file);
+    if (!fa || !fb || *fa != *fb) return false;
+  }
+  return true;
+}
+
+/// The committed skip-scan gate: canned selective queries over a golden
+/// 12-segment store must (a) prune exactly the expected segment count,
+/// (b) return byte-identical matches with pruning disabled, and
+/// (c) survive build-twice and compact-twice byte-identically with
+/// unchanged query results (compaction preserves global row ids).
+int cmd_prunegate(const std::string& workdir) {
+  constexpr std::size_t kSegments = 12;
+  constexpr std::size_t kRowsPerSegment = 4096;
+  constexpr std::int64_t kSlabUsec = 10'000'000;
+
+  std::error_code ec;
+  std::filesystem::create_directories(workdir, ec);
+  if (ec) {
+    std::fprintf(stderr, "prunegate: cannot create %s\n", workdir.c_str());
+    return 1;
+  }
+  const std::string dir1 = workdir + "/store1";
+  const std::string dir2 = workdir + "/store2";
+  if (!build_prune_store(dir1, kSegments, kRowsPerSegment) ||
+      !build_prune_store(dir2, kSegments, kRowsPerSegment)) {
+    std::fprintf(stderr, "prunegate: store build failed\n");
+    return 1;
+  }
+  if (!stores_identical(dir1, dir2)) {
+    std::fprintf(stderr, "prunegate: same-input stores differ on disk\n");
+    return 1;
+  }
+
+  struct Canned {
+    const char* name;
+    flowdb::Filter filter;
+    std::uint64_t expect_pruned;
+  };
+  std::vector<Canned> queries;
+  {
+    Canned q;
+    q.name = "time-window(seg5)";
+    q.filter.since_usec = 5 * kSlabUsec + 1'000'000;
+    q.filter.until_usec = 5 * kSlabUsec + 3'000'000;
+    q.expect_pruned = 11;
+    queries.push_back(q);
+  }
+  {
+    Canned q;
+    q.name = "tenant(t3)";
+    q.filter.tenant = "t3";
+    q.expect_pruned = 10;  // t3 = segments 3 and 9.
+    queries.push_back(q);
+  }
+  {
+    Canned q;
+    q.name = "addr(10.107.0.5)";
+    q.filter.endpoint = util::Ipv4Addr(10, 107, 0, 5);  // dst /24 of seg 7.
+    q.expect_pruned = 11;
+    queries.push_back(q);
+  }
+  {
+    Canned q;
+    q.name = "vlan(104)";
+    q.filter.vlan = 104;
+    q.expect_pruned = 11;
+    queries.push_back(q);
+  }
+
+  // Run the canned queries against a store dir; with `check_pruning`
+  // also enforce the pinned prune counts and prune-on/off identity.
+  const auto run_queries =
+      [&](const std::string& dir, bool check_pruning,
+          std::vector<std::vector<std::uint64_t>>* out) -> bool {
+    auto store = flowdb::SegmentedReader::open(dir);
+    if (!store) {
+      std::fprintf(stderr, "prunegate: cannot open %s\n", dir.c_str());
+      return false;
+    }
+    for (const auto& q : queries) {
+      flowdb::ScanStats stats;
+      flowdb::ScanOptions options;
+      options.threads = 2;
+      options.stats = &stats;
+      const auto pruned = store->scan(q.filter, options);
+      if (!pruned) {
+        std::fprintf(stderr, "prunegate: %s: scan failed\n", q.name);
+        return false;
+      }
+      if (check_pruning) {
+        flowdb::ScanOptions full = options;
+        full.prune = false;
+        full.stats = nullptr;  // Keep the pruned run's stats intact.
+        const auto unpruned = store->scan(q.filter, full);
+        if (!unpruned || *unpruned != *pruned) {
+          std::fprintf(stderr,
+                       "prunegate: %s: pruned scan differs from full scan\n",
+                       q.name);
+          return false;
+        }
+        std::printf("%-20s %6zu matches, %llu/%zu segments pruned, "
+                    "%llu chunks pruned\n",
+                    q.name, pruned->size(),
+                    static_cast<unsigned long long>(stats.segments_pruned),
+                    store->segment_count(),
+                    static_cast<unsigned long long>(stats.chunks_pruned));
+        if (pruned->empty()) {
+          std::fprintf(stderr, "prunegate: %s matched nothing\n", q.name);
+          return false;
+        }
+        if (stats.segments_pruned != q.expect_pruned) {
+          std::fprintf(
+              stderr, "prunegate: %s pruned %llu segments, want %llu\n",
+              q.name, static_cast<unsigned long long>(stats.segments_pruned),
+              static_cast<unsigned long long>(q.expect_pruned));
+          return false;
+        }
+      }
+      if (out) out->push_back(*pruned);
+    }
+    return true;
+  };
+
+  std::vector<std::vector<std::uint64_t>> before;
+  if (!run_queries(dir1, true, &before)) return 1;
+
+  // Deterministic compaction: both stores compact to identical bytes,
+  // and global row ids survive (order-preserving merges), so every
+  // canned query returns the same matches afterwards.
+  const auto compact = [](const std::string& dir) {
+    auto store = flowdb::SegmentedStore::open(dir);
+    return store && store->compact_segments(4);
+  };
+  if (!compact(dir1) || !compact(dir2)) {
+    std::fprintf(stderr, "prunegate: compaction failed\n");
+    return 1;
+  }
+  if (!stores_identical(dir1, dir2)) {
+    std::fprintf(stderr, "prunegate: compacted stores differ on disk\n");
+    return 1;
+  }
+  std::vector<std::vector<std::uint64_t>> after;
+  if (!run_queries(dir1, false, &after)) return 1;
+  if (after != before) {
+    std::fprintf(stderr,
+                 "prunegate: query results changed across compaction\n");
+    return 1;
+  }
+  std::printf("\nprunegate OK (%s)\n", workdir.c_str());
   return 0;
 }
 
@@ -646,6 +1078,34 @@ int cmd_selftest(const std::string& dir) {
     return 1;
   }
 
+  // Segmented-store round trip over the same archive: two appends,
+  // manifest table, a directory query (must see both copies), compact.
+  const std::string seg_dir = dir + "/segstore";
+  if (cmd_appendseg(seg_dir, {dir}) != 0) return 1;
+  if (cmd_appendseg(seg_dir, {dir}) != 0) return 1;
+  auto seg_store = flowdb::SegmentedReader::open(seg_dir);
+  if (!seg_store || seg_store->segment_count() != 2 ||
+      seg_store->rows() != 2 * reader->rows()) {
+    std::fprintf(stderr, "selftest: segmented store round trip failed\n");
+    return 1;
+  }
+  flowdb::ScanStats seg_stats;
+  flowdb::ScanOptions seg_options;
+  seg_options.stats = &seg_stats;
+  const auto seg_matches = seg_store->scan(rewrite_filter, seg_options);
+  if (!seg_matches || seg_matches->size() != 2 * serial.size()) {
+    std::fprintf(stderr, "selftest: segmented scan missed flows\n");
+    return 1;
+  }
+  if (seg_stats.segments_considered != 2) {
+    std::fprintf(stderr, "selftest: scan statistics not populated\n");
+    return 1;
+  }
+  if (cmd_segments(seg_dir) != 0) return 1;
+  std::printf("\n");
+  if (cmd_compactseg(seg_dir, 1) != 0) return 1;
+  std::printf("\n");
+
   // Exercise every command against the saved artifacts.
   if (cmd_list(dir) != 0) return 1;
   std::printf("\n");
@@ -655,6 +1115,8 @@ int cmd_selftest(const std::string& dir) {
   std::printf("\n");
   QueryArgs stat_args;
   if (cmd_stat(store_path, stat_args) != 0) return 1;
+  std::printf("\n");
+  if (cmd_stat(seg_dir, stat_args) != 0) return 1;
   std::printf("\n");
   if (cmd_diff(store_path, store_path, 0.0) != 0) return 1;
   std::printf("\n");
@@ -669,11 +1131,14 @@ int usage() {
       "usage: gq_trace selftest [dir] | list <dir> | summary <dir>\n"
       "       gq_trace extract <dir> <flow#> [out.pcap]\n"
       "       gq_trace compact <out.fdb> <dir>...\n"
-      "       gq_trace query <store.fdb> [filters] [--threads N] "
-      "[--limit N]\n"
-      "       gq_trace stat <store.fdb> [--by verdict|tenant|policy|tap]\n"
+      "       gq_trace query <store> [filters] [--threads N] [--limit N] "
+      "[--no-prune]\n"
+      "       gq_trace stat <store> [filters] [--by "
+      "verdict|tenant|policy|tap]\n"
+      "       gq_trace segments <dir> | appendseg <dir> <archive>...\n"
+      "       gq_trace compactseg <dir> [max]\n"
       "       gq_trace diff <a.fdb> <b.fdb> [--tolerance F]\n"
-      "       gq_trace diffgate <workdir>\n"
+      "       gq_trace diffgate <workdir> | prunegate <workdir>\n"
       "filters: --verdict V|none --source shim|cached|table --tenant T\n"
       "         --policy P --tap T --job N --vlan N --port N --addr A\n"
       "         --prefix A/L --proto tcp|udp --since USEC --until USEC\n");
@@ -717,6 +1182,24 @@ int main(int argc, char** argv) {
     if (!parse_query_args(argc, argv, 4, args)) return usage();
     return cmd_diff(argv[2], argv[3], args.tolerance);
   }
+  if (cmd == "segments" && argc > 2) return cmd_segments(argv[2]);
+  if (cmd == "appendseg" && argc > 3) {
+    std::vector<std::string> archives(argv + 3, argv + argc);
+    return cmd_appendseg(argv[2], archives);
+  }
+  if (cmd == "compactseg" && argc > 2) {
+    std::size_t max_segments = flowdb::kDefaultMaxSegments;
+    if (argc > 3) {
+      const auto n = parse_u64(argv[3]);
+      if (!n || *n == 0) {
+        std::fprintf(stderr, "gq_trace: bad segment bound '%s'\n", argv[3]);
+        return usage();
+      }
+      max_segments = static_cast<std::size_t>(*n);
+    }
+    return cmd_compactseg(argv[2], max_segments);
+  }
   if (cmd == "diffgate" && argc > 2) return cmd_diffgate(argv[2]);
+  if (cmd == "prunegate" && argc > 2) return cmd_prunegate(argv[2]);
   return usage();
 }

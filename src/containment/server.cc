@@ -85,7 +85,8 @@ std::optional<CsEvent> to_cs_event(const obs::FarmEvent& event) {
 }
 
 /// One inmate-side TCP session (a contained flow terminated at the CS).
-struct ContainmentServer::Session {
+struct ContainmentServer::Session
+    : std::enable_shared_from_this<ContainmentServer::Session> {
   std::shared_ptr<net::TcpConnection> inmate;
   std::vector<std::uint8_t> buffer;
   bool shim_parsed = false;
@@ -101,8 +102,12 @@ struct ContainmentServer::Session {
 /// RewriteContext implementation wiring a Session's two legs.
 class ContainmentServer::SessionContext : public RewriteContext {
  public:
+  // Holds a raw back-pointer: the context is owned by the session
+  // (`Session::context`), so it can never outlive it — and a shared_ptr
+  // here would form a session→context→session cycle that leaks every
+  // rewritten flow.
   SessionContext(ContainmentServer& server, std::shared_ptr<Session> session)
-      : server_(server), session_(std::move(session)) {}
+      : server_(server), session_(session.get()) {}
 
   void send_to_inmate(std::span<const std::uint8_t> data) override {
     if (session_->inmate) session_->inmate->send(data);
@@ -116,7 +121,7 @@ class ContainmentServer::SessionContext : public RewriteContext {
 
   void connect_outbound() override {
     if (session_->target) return;
-    auto session = session_;
+    auto session = session_->shared_from_this();
     auto& server = server_;
     session->target = server.stack_.connect(
         {server.gateway_mgmt_, session->info.shim.nonce_port});
@@ -162,7 +167,7 @@ class ContainmentServer::SessionContext : public RewriteContext {
 
  private:
   ContainmentServer& server_;
-  std::shared_ptr<Session> session_;
+  Session* session_;
 };
 
 ContainmentServer::ContainmentServer(net::HostStack& stack,
@@ -460,6 +465,13 @@ void ContainmentServer::on_accept(std::shared_ptr<net::TcpConnection> conn) {
       rewrites_gauge_->sub(1);
     }
     if (session->target) session->target->close();
+    // The inmate leg is fully terminated — nothing fires on this conn
+    // again (enter_closed keeps it alive through this callback). Drop
+    // the session's conn refs so the lambda-held cycles (conn→lambda→
+    // session→conn, and likewise for the target leg) unwind once the
+    // stack releases each connection.
+    session->inmate.reset();
+    session->target.reset();
   };
 }
 

@@ -5,8 +5,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 
 namespace gq::flowdb {
@@ -58,7 +60,118 @@ void pad_to(std::vector<std::uint8_t>& out, std::uint64_t offset) {
   out.resize(offset, 0);
 }
 
+std::uint64_t fnv1a_tagged(std::uint8_t tag, const std::uint8_t* data,
+                          std::size_t len) {
+  std::uint64_t hash = 1469598103934665603ull;
+  hash ^= tag;
+  hash *= 1099511628211ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// The column arrays a zone block is derived from. Shared between the
+/// writer (sealing) and the reader (recompute-verify at load), so both
+/// sides produce bit-identical zone bytes by construction.
+struct ZoneInputs {
+  std::uint64_t n = 0;
+  const std::int64_t* first = nullptr;
+  const std::int64_t* last = nullptr;
+  const std::uint16_t* vlan = nullptr;
+  const std::uint16_t* sport = nullptr;
+  const std::uint16_t* dport = nullptr;
+  const std::uint64_t* packets = nullptr;
+  const std::uint64_t* bytes = nullptr;
+  const std::uint32_t* saddr = nullptr;
+  const std::uint32_t* daddr = nullptr;
+  const std::uint32_t* tenant = nullptr;
+};
+
+template <typename DictFn>
+ZoneMap compute_zone(const ZoneInputs& in, DictFn&& dict) {
+  ZoneMap z{};
+  z.row_count = in.n;
+  // Empty-range sentinels; never consulted when row_count == 0.
+  z.min_first_usec = std::numeric_limits<std::int64_t>::max();
+  z.max_last_usec = std::numeric_limits<std::int64_t>::min();
+  z.min_vlan = 0xFFFF;
+  z.max_vlan = 0;
+  z.min_port = 0xFFFF;
+  z.max_port = 0;
+  z.min_packets = std::numeric_limits<std::uint64_t>::max();
+  z.max_packets = 0;
+  z.min_bytes = std::numeric_limits<std::uint64_t>::max();
+  z.max_bytes = 0;
+  for (std::uint64_t i = 0; i < in.n; ++i) {
+    z.min_first_usec = std::min(z.min_first_usec, in.first[i]);
+    z.max_last_usec = std::max(z.max_last_usec, in.last[i]);
+    z.min_vlan = std::min(z.min_vlan, in.vlan[i]);
+    z.max_vlan = std::max(z.max_vlan, in.vlan[i]);
+    z.min_port = std::min({z.min_port, in.sport[i], in.dport[i]});
+    z.max_port = std::max({z.max_port, in.sport[i], in.dport[i]});
+    z.min_packets = std::min(z.min_packets, in.packets[i]);
+    z.max_packets = std::max(z.max_packets, in.packets[i]);
+    z.min_bytes = std::min(z.min_bytes, in.bytes[i]);
+    z.max_bytes = std::max(z.max_bytes, in.bytes[i]);
+    bloom_add(z.bloom, bloom_key_tenant(dict(in.tenant[i])));
+    bloom_add(z.bloom, bloom_key_endpoint(in.saddr[i]));
+    bloom_add(z.bloom, bloom_key_endpoint(in.daddr[i]));
+  }
+  return z;
+}
+
+std::vector<ChunkZone> compute_chunk_zones(std::uint64_t n,
+                                           const std::int64_t* first,
+                                           const std::int64_t* last) {
+  const std::uint64_t chunks = (n + kScanChunk - 1) / kScanChunk;
+  std::vector<ChunkZone> zones(chunks);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t begin = c * kScanChunk;
+    const std::uint64_t end = std::min(n, begin + kScanChunk);
+    ChunkZone& z = zones[c];
+    z.min_first_usec = first[begin];
+    z.max_last_usec = last[begin];
+    for (std::uint64_t i = begin + 1; i < end; ++i) {
+      z.min_first_usec = std::min(z.min_first_usec, first[i]);
+      z.max_last_usec = std::max(z.max_last_usec, last[i]);
+    }
+  }
+  return zones;
+}
+
 }  // namespace
+
+std::uint64_t bloom_key_tenant(std::string_view name) {
+  return fnv1a_tagged(
+      'T', reinterpret_cast<const std::uint8_t*>(name.data()), name.size());
+}
+
+std::uint64_t bloom_key_endpoint(std::uint32_t addr_value) {
+  std::uint8_t bytes[4];
+  std::memcpy(bytes, &addr_value, 4);
+  return fnv1a_tagged('A', bytes, 4);
+}
+
+void bloom_add(std::uint8_t* bloom, std::uint64_t key) {
+  const std::uint64_t h1 = key;
+  const std::uint64_t h2 = (key >> 33) | 1;  // Odd stride covers all bits.
+  for (unsigned k = 0; k < kBloomHashes; ++k) {
+    const std::uint64_t bit = (h1 + k * h2) % kBloomBits;
+    bloom[bit >> 3] |= static_cast<std::uint8_t>(1u << (bit & 7));
+  }
+}
+
+bool bloom_may_contain(const std::uint8_t* bloom, std::uint64_t key) {
+  const std::uint64_t h1 = key;
+  const std::uint64_t h2 = (key >> 33) | 1;
+  for (unsigned k = 0; k < kBloomHashes; ++k) {
+    const std::uint64_t bit = (h1 + k * h2) % kBloomBits;
+    if (!(bloom[bit >> 3] & (1u << (bit & 7)))) return false;
+  }
+  return true;
+}
 
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
   std::uint64_t hash = 1469598103934665603ull;
@@ -192,7 +305,29 @@ std::vector<std::uint8_t> Writer::encode() const {
   }
   header.blob_offset = cursor;
   header.blob_bytes = blob.size();
-  header.footer_offset = align8(header.blob_offset + blob.size());
+
+  // v2 zone block: file-level min/max + bloom, then per-chunk time
+  // bounds. Derived purely from the column arrays above — the reader
+  // recomputes and compares at load time.
+  const ZoneInputs zone_in{n,
+                           c_first.data(),
+                           c_last.data(),
+                           c_vlan.data(),
+                           c_sport.data(),
+                           c_dport.data(),
+                           c_packets.data(),
+                           c_bytes.data(),
+                           c_saddr.data(),
+                           c_daddr.data(),
+                           c_tenant.data()};
+  const ZoneMap zone =
+      compute_zone(zone_in, [&](std::uint32_t id) { return dict[id]; });
+  const std::vector<ChunkZone> chunk_zones =
+      compute_chunk_zones(n, c_first.data(), c_last.data());
+  header.zone_offset = align8(header.blob_offset + blob.size());
+  header.zone_bytes =
+      sizeof(ZoneMap) + chunk_zones.size() * sizeof(ChunkZone);
+  header.footer_offset = align8(header.zone_offset + header.zone_bytes);
 
   std::vector<std::uint8_t> out;
   out.reserve(header.footer_offset + 16);
@@ -210,6 +345,9 @@ std::vector<std::uint8_t> Writer::encode() const {
   }
   pad_to(out, header.blob_offset);
   append_raw(out, blob.data(), blob.size());
+  pad_to(out, header.zone_offset);
+  append_raw(out, &zone, 1);
+  append_raw(out, chunk_zones.data(), chunk_zones.size());
   pad_to(out, header.footer_offset);
   const std::uint64_t hash = fnv1a(out);
   append_raw(out, &hash, 1);
@@ -252,6 +390,9 @@ Reader& Reader::operator=(Reader&& other) noexcept {
   blob_bytes_ = other.blob_bytes_;
   locs_ = other.locs_;
   loc_count_total_ = other.loc_count_total_;
+  zone_ = other.zone_;
+  chunk_zones_ = other.chunk_zones_;
+  chunk_count_ = other.chunk_count_;
   std::memcpy(cols_, other.cols_, sizeof(cols_));
   other.map_ = nullptr;
   other.map_len_ = 0;
@@ -336,6 +477,17 @@ bool Reader::validate_and_index() {
       !region_ok(h.loc_offset, h.loc_count, sizeof(LocEntry), limit))
     return false;
   if (!region_ok(h.blob_offset, h.blob_bytes, 1, limit)) return false;
+  // v2 zone block: the declared size must match the chunk grid exactly.
+  // row_count > limit can never validate (every column needs >= 1 byte
+  // per row) and would overflow the chunk arithmetic below.
+  if (h.row_count > limit) return false;
+  const std::uint64_t chunk_count =
+      (h.row_count + kScanChunk - 1) / kScanChunk;
+  if (h.zone_offset % 8 != 0 ||
+      !region_ok(h.zone_offset, h.zone_bytes, 1, limit))
+    return false;
+  if (h.zone_bytes != sizeof(ZoneMap) + chunk_count * sizeof(ChunkZone))
+    return false;
 
   // Resolve the known columns by name; every one must be present with
   // the right type, correctly aligned, and fully inside the file.
@@ -382,6 +534,36 @@ bool Reader::validate_and_index() {
   blob_bytes_ = h.blob_bytes;
   locs_ = reinterpret_cast<const LocEntry*>(base_ + h.loc_offset);
   loc_count_total_ = h.loc_count;
+  zone_ = reinterpret_cast<const ZoneMap*>(base_ + h.zone_offset);
+  chunk_zones_ = reinterpret_cast<const ChunkZone*>(
+      base_ + h.zone_offset + sizeof(ZoneMap));
+  chunk_count_ = chunk_count;
+
+  // The zone block is derived data: recompute it from the (validated)
+  // columns and require byte equality. A footer-resealed zone map that
+  // lies about its bounds — and could make the planner prune rows the
+  // file actually contains — is rejected here, at load time.
+  const ZoneInputs zone_in{
+      rows_,
+      static_cast<const std::int64_t*>(cols_[14]),
+      static_cast<const std::int64_t*>(cols_[15]),
+      static_cast<const std::uint16_t*>(cols_[5]),
+      static_cast<const std::uint16_t*>(cols_[2]),
+      static_cast<const std::uint16_t*>(cols_[4]),
+      static_cast<const std::uint64_t*>(cols_[12]),
+      static_cast<const std::uint64_t*>(cols_[13]),
+      static_cast<const std::uint32_t*>(cols_[1]),
+      static_cast<const std::uint32_t*>(cols_[3]),
+      static_cast<const std::uint32_t*>(cols_[6])};
+  const ZoneMap want_zone = compute_zone(
+      zone_in, [this](std::uint32_t id) { return dict(id); });
+  if (std::memcmp(zone_, &want_zone, sizeof(ZoneMap)) != 0) return false;
+  const std::vector<ChunkZone> want_chunks =
+      compute_chunk_zones(rows_, zone_in.first, zone_in.last);
+  if (chunk_count_ > 0 &&
+      std::memcmp(chunk_zones_, want_chunks.data(),
+                  chunk_count_ * sizeof(ChunkZone)) != 0)
+    return false;
   return true;
 }
 

@@ -18,7 +18,19 @@
 //   LocEntry[nloc]        (segment, offset) archive locations, shared
 //   column data           one contiguous fixed-width array per column
 //   string blob           dictionary bytes (tenant/policy/tap names)
+//   ZoneMap + ChunkZone[] skip-scan metadata (format v2, see below)
 //   Footer                FNV-1a 64 over everything above + end magic
+//
+// Format v2 adds the zone block: a per-file ZoneMap (min/max over
+// timestamps, VLANs, ports, packet/byte counters, plus a 1 KiB k=4
+// FNV-mixed bloom filter over tenant names and both flow endpoints)
+// and one ChunkZone (min/max time) per kScanChunk-row chunk. The query
+// planner reads the zone block from a sealed segment's tail — without
+// mapping the column data — and skips files/chunks that cannot match a
+// Filter. The zone block is pure derived data: the reader recomputes
+// it from the columns at validation time and rejects the file on any
+// mismatch, so a footer-resealed zone map that lies about its bounds
+// is a load-time rejection, never a silently wrong (pruned) answer.
 //
 // The footer hash makes corruption (truncation, bit rot, a writer that
 // died mid-file) a load-time rejection instead of a silent wrong
@@ -48,7 +60,17 @@ namespace gq::flowdb {
 
 inline constexpr std::uint64_t kMagic = 0x0000314244465147ull;    // "GQFDB1"
 inline constexpr std::uint64_t kEndMagic = 0x444E454244465147ull; // "GQFDBEND"
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
+
+/// Fixed scan-chunk size (rows). Part of the determinism contract: the
+/// chunk grid never depends on the thread count — and since v2 also
+/// part of the file format (one ChunkZone per kScanChunk rows).
+inline constexpr std::uint64_t kScanChunk = 16384;
+
+/// Bloom filter geometry (ZoneMap::bloom): 1 KiB, k=4, FNV-mixed keys.
+inline constexpr std::size_t kBloomBytes = 1024;
+inline constexpr std::size_t kBloomBits = kBloomBytes * 8;
+inline constexpr unsigned kBloomHashes = 4;
 
 /// Element types a column can carry. The descriptor records both the
 /// type and the element size so a reader can skip columns it does not
@@ -74,8 +96,12 @@ struct FileHeader {
   std::uint64_t loc_offset = 0;      ///< LocEntry array.
   std::uint64_t loc_count = 0;
   std::uint64_t footer_offset = 0;   ///< == file size - 16.
+  // v2: the zone block (ZoneMap + one ChunkZone per kScanChunk rows).
+  // Appended after the v1 fields so the v1 offsets stay put.
+  std::uint64_t zone_offset = 0;
+  std::uint64_t zone_bytes = 0;
 };
-static_assert(sizeof(FileHeader) == 88);
+static_assert(sizeof(FileHeader) == 104);
 
 struct ColumnDesc {
   char name[16] = {};        ///< NUL-padded column name.
@@ -97,6 +123,49 @@ struct LocEntry {
   std::uint64_t offset = 0;
 };
 static_assert(sizeof(LocEntry) == 16);
+
+/// Per-file skip-scan metadata (format v2). min/max fields use empty-
+/// range sentinels when row_count == 0 (min = type max, max = type
+/// min); the planner checks row_count first, so the sentinels are
+/// never consulted. The bloom filter carries one key per row tenant
+/// name (including the empty string) and one per flow endpoint
+/// address, source AND destination side — a strict superset of the
+/// dst-endpoint set, so either-side endpoint filters prune safely.
+struct ZoneMap {
+  std::uint64_t row_count = 0;
+  std::int64_t min_first_usec = 0;
+  std::int64_t max_last_usec = 0;
+  std::uint16_t min_vlan = 0;
+  std::uint16_t max_vlan = 0;
+  std::uint16_t min_port = 0;  ///< Over both src and dst ports.
+  std::uint16_t max_port = 0;
+  std::uint64_t min_packets = 0;
+  std::uint64_t max_packets = 0;
+  std::uint64_t min_bytes = 0;
+  std::uint64_t max_bytes = 0;
+  std::uint8_t bloom[kBloomBytes] = {};
+
+  friend bool operator==(const ZoneMap&, const ZoneMap&) = default;
+};
+static_assert(sizeof(ZoneMap) == 64 + kBloomBytes);  // No padding.
+
+/// Per-chunk time bounds: chunk c covers rows [c*kScanChunk, ...).
+struct ChunkZone {
+  std::int64_t min_first_usec = 0;
+  std::int64_t max_last_usec = 0;
+
+  friend bool operator==(const ChunkZone&, const ChunkZone&) = default;
+};
+static_assert(sizeof(ChunkZone) == 16);
+
+/// Bloom keys are FNV-1a 64 over a domain tag byte plus the value, so
+/// tenant names and addresses never collide structurally.
+std::uint64_t bloom_key_tenant(std::string_view name);
+std::uint64_t bloom_key_endpoint(std::uint32_t addr_value);
+/// Set / test the k probe bits derived from `key` by double hashing.
+void bloom_add(std::uint8_t* bloom, std::uint64_t key);
+[[nodiscard]] bool bloom_may_contain(const std::uint8_t* bloom,
+                                     std::uint64_t key);
 
 /// FNV-1a 64 over a byte range (the integrity footer, and handy for
 /// callers hashing query results).
@@ -220,6 +289,12 @@ class Reader {
   /// column spans directly).
   [[nodiscard]] Row row(std::uint64_t index) const;
 
+  /// The validated (recompute-verified) zone block.
+  [[nodiscard]] const ZoneMap& zone() const { return *zone_; }
+  [[nodiscard]] std::span<const ChunkZone> chunk_zones() const {
+    return {chunk_zones_, static_cast<std::size_t>(chunk_count_)};
+  }
+
  private:
   Reader() = default;
 
@@ -239,6 +314,9 @@ class Reader {
   std::uint64_t blob_bytes_ = 0;
   const LocEntry* locs_ = nullptr;
   std::uint64_t loc_count_total_ = 0;
+  const ZoneMap* zone_ = nullptr;
+  const ChunkZone* chunk_zones_ = nullptr;
+  std::uint64_t chunk_count_ = 0;
   // Resolved column pointers (validated, aligned).
   const void* cols_[18] = {};
 };

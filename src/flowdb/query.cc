@@ -1,131 +1,144 @@
 #include "flowdb/query.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <thread>
 
+#include "flowdb/scan_impl.h"
 #include "shim/shim.h"
 
 namespace gq::flowdb {
 
-namespace {
+using detail::CompiledFilter;
+using detail::RowPredicate;
+using detail::ScanTask;
 
-/// A Filter with its string predicates resolved against one store's
-/// dictionary. `impossible` short-circuits the scan when a requested
-/// name does not exist in the store at all.
-struct CompiledFilter {
-  const Filter* filter = nullptr;
-  bool impossible = false;
-  std::optional<std::uint32_t> tenant_id;
-  std::optional<std::uint32_t> policy_id;
-  std::optional<std::uint32_t> tap_id;
-};
-
-CompiledFilter compile(const Reader& reader, const Filter& filter) {
-  CompiledFilter cf;
-  cf.filter = &filter;
-  const auto resolve = [&](const std::optional<std::string>& name,
-                           std::optional<std::uint32_t>& id) {
-    if (!name) return;
-    id = reader.dict_id(*name);
-    if (!id) cf.impossible = true;
-  };
-  resolve(filter.tenant, cf.tenant_id);
-  resolve(filter.policy, cf.policy_id);
-  resolve(filter.tap, cf.tap_id);
-  return cf;
+void ScanStats::add_to(obs::MetricsRegistry& metrics) const {
+  metrics.counter("flowdb.scan.segments_considered").inc(segments_considered);
+  metrics.counter("flowdb.scan.segments_pruned").inc(segments_pruned);
+  metrics.counter("flowdb.scan.segments_scanned").inc(segments_scanned);
+  metrics.counter("flowdb.scan.chunks_pruned").inc(chunks_pruned);
+  metrics.counter("flowdb.scan.chunks_scanned").inc(chunks_scanned);
+  metrics.counter("flowdb.scan.rows_scanned").inc(rows_scanned);
+  metrics.counter("flowdb.scan.rows_matched").inc(rows_matched);
 }
 
-/// Evaluate the conjunction for one row. Columns are captured once per
-/// scan; this runs over typed spans straight from the mapping.
-struct RowPredicate {
-  const Reader& reader;
-  const CompiledFilter& cf;
-  std::span<const std::uint8_t> proto = reader.proto();
-  std::span<const std::uint32_t> src_addr = reader.src_addr();
-  std::span<const std::uint16_t> src_port = reader.src_port();
-  std::span<const std::uint32_t> dst_addr = reader.dst_addr();
-  std::span<const std::uint16_t> dst_port = reader.dst_port();
-  std::span<const std::uint16_t> vlan = reader.vlan();
-  std::span<const std::uint32_t> tenant = reader.tenant();
-  std::span<const std::uint64_t> job = reader.job();
-  std::span<const std::uint8_t> verdict = reader.verdict();
-  std::span<const std::uint8_t> source = reader.verdict_source();
-  std::span<const std::uint32_t> policy = reader.policy();
-  std::span<const std::uint32_t> tap = reader.tap();
-  std::span<const std::int64_t> first = reader.first_usec();
-  std::span<const std::int64_t> last = reader.last_usec();
+bool zone_may_match(const ZoneMap& zone, const Filter& filter) {
+  // An empty segment matches nothing; the min/max fields hold empty-
+  // range sentinels in that case and must not be consulted.
+  if (zone.row_count == 0) return false;
+  // Row time predicate: last >= since && first <= until. Prunable when
+  // no row can pass — max(last) < since, or min(first) > until.
+  if (filter.since_usec && zone.max_last_usec < *filter.since_usec)
+    return false;
+  if (filter.until_usec && zone.min_first_usec > *filter.until_usec)
+    return false;
+  if (filter.vlan &&
+      (*filter.vlan < zone.min_vlan || *filter.vlan > zone.max_vlan))
+    return false;
+  // Port range spans both sides, matching the either-side predicate.
+  if (filter.port &&
+      (*filter.port < zone.min_port || *filter.port > zone.max_port))
+    return false;
+  if (filter.tenant &&
+      !bloom_may_contain(zone.bloom, bloom_key_tenant(*filter.tenant)))
+    return false;
+  if (filter.endpoint &&
+      !bloom_may_contain(zone.bloom,
+                         bloom_key_endpoint(filter.endpoint->value())))
+    return false;
+  return true;
+}
 
-  [[nodiscard]] bool operator()(std::uint64_t i) const {
-    const Filter& f = *cf.filter;
-    if (f.verdict && verdict[i] != *f.verdict) return false;
-    if (f.source && (verdict[i] == 0 || source[i] != *f.source))
-      return false;
-    if (cf.tenant_id && tenant[i] != *cf.tenant_id) return false;
-    if (cf.policy_id && policy[i] != *cf.policy_id) return false;
-    if (cf.tap_id && tap[i] != *cf.tap_id) return false;
-    if (f.job && job[i] != *f.job) return false;
-    if (f.vlan && vlan[i] != *f.vlan) return false;
-    if (f.proto && proto[i] != static_cast<std::uint8_t>(*f.proto))
-      return false;
-    if (f.endpoint) {
-      const std::uint32_t want = f.endpoint->value();
-      if (src_addr[i] != want && dst_addr[i] != want) return false;
+bool chunk_may_match(const ChunkZone& zone, const Filter& filter) {
+  if (filter.since_usec && zone.max_last_usec < *filter.since_usec)
+    return false;
+  if (filter.until_usec && zone.min_first_usec > *filter.until_usec)
+    return false;
+  return true;
+}
+
+namespace detail {
+
+std::vector<std::vector<std::uint64_t>> run_tasks(
+    std::span<const RowPredicate> preds, std::span<const ScanTask> tasks,
+    unsigned thread_opt) {
+  // Task t belongs to worker (t % threads); per-task match lists are
+  // concatenated in task (== segment, chunk) order afterwards, so the
+  // output is identical to the serial scan regardless of thread count.
+  std::vector<std::vector<std::uint64_t>> per_task(tasks.size());
+  const auto run_one = [&](std::size_t t) {
+    const ScanTask& task = tasks[t];
+    const RowPredicate& pred = preds[task.pred];
+    auto& out = per_task[t];
+    for (std::uint64_t i = task.begin; i < task.end; ++i)
+      if (pred(i)) out.push_back(task.base + i);
+  };
+  const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, thread_opt), tasks.size()));
+  if (threads <= 1) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) run_one(t);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        for (std::size_t t = w; t < tasks.size(); t += threads) run_one(t);
+      });
     }
-    if (f.prefix && !f.prefix->contains(util::Ipv4Addr(src_addr[i])) &&
-        !f.prefix->contains(util::Ipv4Addr(dst_addr[i])))
-      return false;
-    if (f.port && src_port[i] != *f.port && dst_port[i] != *f.port)
-      return false;
-    if (f.since_usec && last[i] < *f.since_usec) return false;
-    if (f.until_usec && first[i] > *f.until_usec) return false;
-    return true;
+    for (auto& worker : workers) worker.join();
   }
-};
+  return per_task;
+}
 
-}  // namespace
+}  // namespace detail
 
 std::vector<std::uint64_t> scan(const Reader& reader, const Filter& filter,
                                 const ScanOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
   const std::uint64_t n = reader.rows();
+  ScanStats local;
+  ScanStats& stats = options.stats ? *options.stats : local;
+  stats = {};
+  stats.segments_considered = 1;
+
   std::vector<std::uint64_t> matches;
-  const CompiledFilter cf = compile(reader, filter);
-  if (!cf.impossible && n > 0) {
-    const RowPredicate pred{reader, cf};
-    const std::uint64_t chunks = (n + kScanChunk - 1) / kScanChunk;
-    const unsigned threads =
-        static_cast<unsigned>(std::min<std::uint64_t>(
-            std::max(1u, options.threads), chunks));
-    if (threads <= 1) {
-      for (std::uint64_t i = 0; i < n; ++i)
-        if (pred(i)) matches.push_back(i);
-    } else {
-      // Chunk c belongs to worker (c % threads); per-chunk match lists
-      // are concatenated in chunk order afterwards, so the output is
-      // identical to the serial scan regardless of thread count.
-      std::vector<std::vector<std::uint64_t>> per_chunk(chunks);
-      std::vector<std::thread> workers;
-      workers.reserve(threads);
-      for (unsigned t = 0; t < threads; ++t) {
-        workers.emplace_back([&, t] {
-          for (std::uint64_t c = t; c < chunks; c += threads) {
-            const std::uint64_t begin = c * kScanChunk;
-            const std::uint64_t end = std::min(n, begin + kScanChunk);
-            auto& out = per_chunk[c];
-            for (std::uint64_t i = begin; i < end; ++i)
-              if (pred(i)) out.push_back(i);
-          }
-        });
+  const CompiledFilter cf = detail::compile(reader, filter);
+  if (options.prune && !zone_may_match(reader.zone(), filter)) {
+    stats.segments_pruned = 1;
+  } else if (!cf.impossible && n > 0) {
+    stats.segments_scanned = 1;
+    const RowPredicate pred(reader, cf);
+    const auto chunk_zones = reader.chunk_zones();
+    std::vector<ScanTask> tasks;
+    tasks.reserve(chunk_zones.size());
+    for (std::uint64_t c = 0; c < chunk_zones.size(); ++c) {
+      if (options.prune && !chunk_may_match(chunk_zones[c], filter)) {
+        ++stats.chunks_pruned;
+        continue;
       }
-      for (auto& worker : workers) worker.join();
-      for (const auto& chunk : per_chunk)
-        matches.insert(matches.end(), chunk.begin(), chunk.end());
+      const std::uint64_t begin = c * kScanChunk;
+      const std::uint64_t end = std::min(n, begin + kScanChunk);
+      tasks.push_back({0, 0, begin, end});
+      ++stats.chunks_scanned;
+      stats.rows_scanned += end - begin;
     }
+    const auto per_task =
+        detail::run_tasks({&pred, 1}, tasks, options.threads);
+    for (const auto& chunk : per_task)
+      matches.insert(matches.end(), chunk.begin(), chunk.end());
   }
+  stats.rows_matched = matches.size();
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
   if (options.metrics) {
     options.metrics->counter("flowdb.scans").inc();
-    options.metrics->counter("flowdb.rows_scanned").inc(n);
+    options.metrics->counter("flowdb.rows_scanned").inc(stats.rows_scanned);
     options.metrics->counter("flowdb.rows_matched").inc(matches.size());
+    stats.add_to(*options.metrics);
   }
   return matches;
 }

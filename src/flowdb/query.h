@@ -22,9 +22,8 @@
 
 namespace gq::flowdb {
 
-/// Fixed scan-chunk size (rows). Part of the determinism contract: the
-/// chunk grid never depends on the thread count.
-inline constexpr std::uint64_t kScanChunk = 16384;
+// kScanChunk lives in flowdb.h since format v2 (the chunk grid is part
+// of the file format: one ChunkZone per kScanChunk rows).
 
 /// A conjunction of optional predicates; unset fields match everything.
 /// String fields are compiled to dictionary ids once per scan — a name
@@ -53,15 +52,45 @@ struct Filter {
   std::optional<std::int64_t> until_usec;
 };
 
+/// What a (possibly pruned) scan actually touched. Filled by scan()
+/// and SegmentedReader::scan() when ScanOptions::stats is set;
+/// `gq_trace query`/`stat` print these and the same values feed the
+/// flowdb.scan.* obs counters.
+struct ScanStats {
+  std::uint64_t segments_considered = 0;
+  std::uint64_t segments_pruned = 0;   ///< Skipped without mapping.
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t chunks_pruned = 0;     ///< Skipped by ChunkZone time bounds.
+  std::uint64_t chunks_scanned = 0;
+  std::uint64_t rows_scanned = 0;      ///< Rows actually visited.
+  std::uint64_t rows_matched = 0;
+  double wall_ms = 0.0;
+
+  void add_to(obs::MetricsRegistry& metrics) const;
+};
+
 struct ScanOptions {
   /// Worker threads; <= 1 scans serially (same results either way).
   unsigned threads = 1;
+  /// Zone-map / bloom skip-scans. Pruning never changes results (the
+  /// differential suite asserts byte-identity on vs. off); turning it
+  /// off exists for that differential and for perf comparison.
+  bool prune = true;
+  /// When set, filled with what the scan touched and pruned.
+  ScanStats* stats = nullptr;
   /// When non-null the scan publishes
   ///   flowdb.scans         counter  scan() calls
   ///   flowdb.rows_scanned  counter  rows visited
   ///   flowdb.rows_matched  counter  rows matched
+  /// plus the flowdb.scan.* pruning counters (see ScanStats).
   obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// Planner predicates: can any row allowed by this zone block satisfy
+/// the filter? Conservative — false only when a match is impossible.
+[[nodiscard]] bool zone_may_match(const ZoneMap& zone, const Filter& filter);
+[[nodiscard]] bool chunk_may_match(const ChunkZone& zone,
+                                   const Filter& filter);
 
 /// Scan the store, returning matching row ids in ascending order.
 std::vector<std::uint64_t> scan(const Reader& reader, const Filter& filter,

@@ -1,0 +1,455 @@
+#include "flowdb/store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "flowdb/scan_impl.h"
+#include "util/strings.h"
+
+namespace gq::flowdb {
+
+namespace {
+
+constexpr std::uint64_t kMaxManifestSegments = 100000;
+constexpr std::size_t kMaxSegmentName = 200;
+
+/// Segment file names are store-relative and must stay that way: one
+/// path component, conservative character set, no dotfiles.
+bool valid_segment_name(std::string_view name) {
+  if (name.empty() || name.size() > kMaxSegmentName) return false;
+  if (name.front() == '.' || name.front() == '-') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return name.find("..") == std::string_view::npos;
+}
+
+std::optional<std::uint64_t> parse_hex16(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    else
+      return std::nullopt;
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+/// Parse the sequence number out of `segment-<seq>.fdb`; nullopt for
+/// names that do not follow the generated pattern.
+std::optional<std::uint64_t> segment_seq(std::string_view name) {
+  constexpr std::string_view kPrefix = "segment-";
+  constexpr std::string_view kSuffix = ".fdb";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix)
+    return std::nullopt;
+  const auto value = util::parse_int(name.substr(
+      kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size()));
+  if (!value || *value < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(*value);
+}
+
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::string out;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+bool write_file(const std::string& path, const void* data,
+                std::size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(data, 1, size, f) == size;
+  return (std::fclose(f) == 0) && ok;
+}
+
+/// Read a sealed segment's zone map from its tail: the 104-byte header
+/// plus the ZoneMap at zone_offset plus the 16-byte footer — no mmap,
+/// no column data. The manifest entry pins exact size and footer hash,
+/// so any post-seal rewrite (however internally consistent) fails here
+/// before the planner can trust a lying zone map.
+bool read_segment_zone(const std::string& path, const SegmentInfo& info,
+                       ZoneMap* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  bool ok = false;
+  struct stat st = {};
+  FileHeader h;
+  do {
+    if (::fstat(fd, &st) != 0) break;
+    if (static_cast<std::uint64_t>(st.st_size) != info.bytes) break;
+    if (info.bytes < sizeof(FileHeader) + sizeof(ZoneMap) + 16) break;
+    if (::pread(fd, &h, sizeof h, 0) != static_cast<ssize_t>(sizeof h))
+      break;
+    if (h.magic != kMagic || h.version != kVersion) break;
+    if (h.row_count != info.rows) break;
+    if (h.footer_offset != info.bytes - 16) break;
+    if (h.zone_offset < sizeof(FileHeader) ||
+        h.zone_bytes < sizeof(ZoneMap) ||
+        h.zone_offset > h.footer_offset ||
+        h.zone_bytes > h.footer_offset - h.zone_offset)
+      break;
+    std::uint8_t footer[16];
+    if (::pread(fd, footer, 16, static_cast<off_t>(h.footer_offset)) != 16)
+      break;
+    std::uint64_t stored_hash = 0, end_magic = 0;
+    std::memcpy(&stored_hash, footer, 8);
+    std::memcpy(&end_magic, footer + 8, 8);
+    if (end_magic != kEndMagic || stored_hash != info.footer_hash) break;
+    if (::pread(fd, out, sizeof(ZoneMap),
+                static_cast<off_t>(h.zone_offset)) !=
+        static_cast<ssize_t>(sizeof(ZoneMap)))
+      break;
+    if (out->row_count != info.rows) break;
+    ok = true;
+  } while (false);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+// --- StoreManifest --------------------------------------------------------
+
+std::string StoreManifest::serialize() const {
+  std::string out = "gq-flowdb-store 1\n";
+  for (const SegmentInfo& s : segments) {
+    out += util::format("segment %s %llu %llu %016llx\n", s.file.c_str(),
+                        static_cast<unsigned long long>(s.rows),
+                        static_cast<unsigned long long>(s.bytes),
+                        static_cast<unsigned long long>(s.footer_hash));
+  }
+  return out;
+}
+
+std::optional<StoreManifest> StoreManifest::parse(std::string_view text) {
+  const auto lines = util::split(text, '\n');
+  if (lines.empty() || util::trim(lines[0]) != "gq-flowdb-store 1")
+    return std::nullopt;
+  StoreManifest manifest;
+  std::set<std::string> seen;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (util::trim(lines[i]).empty()) continue;  // Trailing newline etc.
+    const auto fields = util::split_ws(lines[i]);
+    if (fields.size() != 5 || fields[0] != "segment") return std::nullopt;
+    if (manifest.segments.size() >= kMaxManifestSegments)
+      return std::nullopt;
+    SegmentInfo info;
+    info.file = fields[1];
+    if (!valid_segment_name(info.file)) return std::nullopt;
+    if (!seen.insert(info.file).second) return std::nullopt;
+    const auto rows = util::parse_int(fields[2]);
+    const auto bytes = util::parse_int(fields[3]);
+    const auto hash = parse_hex16(fields[4]);
+    if (!rows || *rows < 0 || !bytes || *bytes < 0 || !hash)
+      return std::nullopt;
+    info.rows = static_cast<std::uint64_t>(*rows);
+    info.bytes = static_cast<std::uint64_t>(*bytes);
+    info.footer_hash = *hash;
+    manifest.segments.push_back(std::move(info));
+  }
+  return manifest;
+}
+
+std::uint64_t StoreManifest::total_rows() const {
+  std::uint64_t total = 0;
+  for (const SegmentInfo& s : segments) total += s.rows;
+  return total;
+}
+
+std::uint64_t StoreManifest::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const SegmentInfo& s : segments) total += s.bytes;
+  return total;
+}
+
+// --- SegmentedStore -------------------------------------------------------
+
+std::optional<SegmentedStore> SegmentedStore::open(
+    const std::string& dir, obs::MetricsRegistry* metrics) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return std::nullopt;
+  SegmentedStore store;
+  store.dir_ = dir;
+  store.metrics_ = metrics;
+  const std::string manifest_path = dir + "/" + kManifestName;
+  if (const auto text = read_text_file(manifest_path)) {
+    auto manifest = StoreManifest::parse(*text);
+    if (!manifest) return std::nullopt;
+    store.manifest_ = std::move(*manifest);
+  } else if (!store.write_manifest()) {
+    return std::nullopt;
+  }
+  for (const SegmentInfo& s : store.manifest_.segments) {
+    if (const auto seq = segment_seq(s.file))
+      store.next_seq_ = std::max(store.next_seq_, *seq + 1);
+  }
+  return store;
+}
+
+bool SegmentedStore::write_manifest() const {
+  const std::string text = manifest_.serialize();
+  return write_file(dir_ + "/" + kManifestName, text.data(), text.size());
+}
+
+bool SegmentedStore::append_segment(const Writer& writer) {
+  if (writer.row_count() == 0) return true;
+  const std::vector<std::uint8_t> bytes = writer.encode();
+  SegmentInfo info;
+  info.file = util::format("segment-%06llu.fdb",
+                           static_cast<unsigned long long>(next_seq_));
+  info.rows = writer.row_count();
+  info.bytes = bytes.size();
+  std::memcpy(&info.footer_hash, bytes.data() + bytes.size() - 16, 8);
+  if (!write_file(dir_ + "/" + info.file, bytes.data(), bytes.size()))
+    return false;
+  manifest_.segments.push_back(std::move(info));
+  if (!write_manifest()) return false;
+  ++next_seq_;
+  if (metrics_) metrics_->counter("flowdb.segments_written").inc();
+  return true;
+}
+
+bool SegmentedStore::compact_segments(std::size_t max_segments) {
+  if (max_segments == 0) max_segments = 1;
+  while (manifest_.segments.size() > max_segments) {
+    // Size-tiered pick: the adjacent pair with the fewest combined
+    // rows; ties go to the earliest position. Only adjacent pairs ever
+    // merge, so global row order is preserved.
+    std::size_t best = 0;
+    std::uint64_t best_rows = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i + 1 < manifest_.segments.size(); ++i) {
+      const std::uint64_t combined =
+          manifest_.segments[i].rows + manifest_.segments[i + 1].rows;
+      if (combined < best_rows) {
+        best_rows = combined;
+        best = i;
+      }
+    }
+    const SegmentInfo left = manifest_.segments[best];
+    const SegmentInfo right = manifest_.segments[best + 1];
+    auto reader_a = Reader::open(dir_ + "/" + left.file);
+    auto reader_b = Reader::open(dir_ + "/" + right.file);
+    if (!reader_a || !reader_b) return false;
+    // Re-encode left's rows then right's: the merged segment is a pure
+    // function of the row sequence (dictionary ids are first-seen), so
+    // the same inputs always produce byte-identical output.
+    Writer writer;
+    for (std::uint64_t i = 0; i < reader_a->rows(); ++i)
+      writer.add(reader_a->row(i));
+    for (std::uint64_t i = 0; i < reader_b->rows(); ++i)
+      writer.add(reader_b->row(i));
+    const std::vector<std::uint8_t> bytes = writer.encode();
+    SegmentInfo merged;
+    merged.file = util::format("segment-%06llu.fdb",
+                               static_cast<unsigned long long>(next_seq_));
+    merged.rows = writer.row_count();
+    merged.bytes = bytes.size();
+    std::memcpy(&merged.footer_hash, bytes.data() + bytes.size() - 16, 8);
+    if (!write_file(dir_ + "/" + merged.file, bytes.data(), bytes.size()))
+      return false;
+    manifest_.segments[best] = std::move(merged);
+    manifest_.segments.erase(manifest_.segments.begin() +
+                             static_cast<std::ptrdiff_t>(best) + 1);
+    if (!write_manifest()) return false;
+    ++next_seq_;
+    std::remove((dir_ + "/" + left.file).c_str());
+    std::remove((dir_ + "/" + right.file).c_str());
+    if (metrics_) metrics_->counter("flowdb.segments_compacted").inc();
+  }
+  return true;
+}
+
+// --- SegmentedReader ------------------------------------------------------
+
+std::optional<SegmentedReader> SegmentedReader::open(const std::string& dir) {
+  const auto text = read_text_file(dir + "/" + kManifestName);
+  if (!text) return std::nullopt;
+  auto manifest = StoreManifest::parse(*text);
+  if (!manifest) return std::nullopt;
+  SegmentedReader reader;
+  reader.dir_ = dir;
+  reader.manifest_ = std::move(*manifest);
+  const std::size_t n = reader.manifest_.segments.size();
+  reader.zones_.resize(n);
+  reader.bases_.resize(n);
+  reader.readers_.resize(n);
+  std::uint64_t base = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SegmentInfo& info = reader.manifest_.segments[i];
+    if (!read_segment_zone(dir + "/" + info.file, info, &reader.zones_[i]))
+      return std::nullopt;
+    reader.bases_[i] = base;
+    base += info.rows;
+  }
+  return reader;
+}
+
+std::uint64_t SegmentedReader::rows() const {
+  return manifest_.total_rows();
+}
+
+const Reader* SegmentedReader::segment_reader(std::size_t i) {
+  if (i >= readers_.size()) return nullptr;
+  if (!readers_[i]) {
+    auto opened = Reader::open(dir_ + "/" + manifest_.segments[i].file);
+    if (!opened || opened->rows() != manifest_.segments[i].rows)
+      return nullptr;
+    readers_[i] = std::move(*opened);
+  }
+  return &*readers_[i];
+}
+
+std::optional<std::vector<std::uint64_t>> SegmentedReader::scan(
+    const Filter& filter, const ScanOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  ScanStats local;
+  ScanStats& stats = options.stats ? *options.stats : local;
+  stats = {};
+
+  std::vector<detail::RowPredicate> preds;
+  std::vector<detail::ScanTask> tasks;
+  for (std::size_t s = 0; s < manifest_.segments.size(); ++s) {
+    ++stats.segments_considered;
+    if (options.prune && !zone_may_match(zones_[s], filter)) {
+      ++stats.segments_pruned;
+      continue;
+    }
+    if (manifest_.segments[s].rows == 0) continue;
+    const Reader* reader = segment_reader(s);
+    if (!reader) return std::nullopt;
+    ++stats.segments_scanned;
+    const detail::CompiledFilter cf = detail::compile(*reader, filter);
+    if (cf.impossible) continue;  // Dictionary short-circuit, both modes.
+    const std::size_t pred_index = preds.size();
+    preds.emplace_back(*reader, cf);
+    const auto chunk_zones = reader->chunk_zones();
+    const std::uint64_t nrows = reader->rows();
+    for (std::uint64_t c = 0; c < chunk_zones.size(); ++c) {
+      if (options.prune && !chunk_may_match(chunk_zones[c], filter)) {
+        ++stats.chunks_pruned;
+        continue;
+      }
+      const std::uint64_t begin = c * kScanChunk;
+      const std::uint64_t end = std::min(nrows, begin + kScanChunk);
+      tasks.push_back({pred_index, bases_[s], begin, end});
+      ++stats.chunks_scanned;
+      stats.rows_scanned += end - begin;
+    }
+  }
+
+  // Tasks are in (segment, chunk) order, so concatenation yields
+  // ascending global ids — identical to a serial full scan.
+  const auto per_task = detail::run_tasks(preds, tasks, options.threads);
+  std::vector<std::uint64_t> matches;
+  for (const auto& task_matches : per_task)
+    matches.insert(matches.end(), task_matches.begin(), task_matches.end());
+
+  stats.rows_matched = matches.size();
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  if (options.metrics) {
+    options.metrics->counter("flowdb.scans").inc();
+    options.metrics->counter("flowdb.rows_scanned").inc(stats.rows_scanned);
+    options.metrics->counter("flowdb.rows_matched").inc(matches.size());
+    stats.add_to(*options.metrics);
+  }
+  return matches;
+}
+
+std::optional<std::vector<Agg>> SegmentedReader::aggregate(
+    std::span<const std::uint64_t> rows, GroupBy group) {
+  // Split global ids per segment, aggregate each, merge label buckets.
+  std::vector<std::vector<std::uint64_t>> per_segment(
+      manifest_.segments.size());
+  const std::uint64_t total = this->rows();
+  for (const std::uint64_t global : rows) {
+    if (global >= total) continue;
+    const auto it =
+        std::upper_bound(bases_.begin(), bases_.end(), global);
+    const std::size_t s =
+        static_cast<std::size_t>(it - bases_.begin()) - 1;
+    per_segment[s].push_back(global - bases_[s]);
+  }
+  std::map<std::string, Agg> buckets;
+  for (std::size_t s = 0; s < per_segment.size(); ++s) {
+    if (per_segment[s].empty()) continue;
+    const Reader* reader = segment_reader(s);
+    if (!reader) return std::nullopt;
+    for (const Agg& agg :
+         flowdb::aggregate(*reader, per_segment[s], group)) {
+      Agg& bucket = buckets[agg.label];
+      bucket.flows += agg.flows;
+      bucket.packets += agg.packets;
+      bucket.bytes += agg.bytes;
+    }
+  }
+  std::vector<Agg> out;
+  out.reserve(buckets.size());
+  for (auto& [label, bucket] : buckets) {
+    bucket.label = label;
+    out.push_back(std::move(bucket));
+  }
+  return out;
+}
+
+std::optional<std::vector<Agg>> SegmentedReader::aggregate_all(
+    GroupBy group) {
+  std::map<std::string, Agg> buckets;
+  for (std::size_t s = 0; s < manifest_.segments.size(); ++s) {
+    if (manifest_.segments[s].rows == 0) continue;
+    const Reader* reader = segment_reader(s);
+    if (!reader) return std::nullopt;
+    for (const Agg& agg : flowdb::aggregate_all(*reader, group)) {
+      Agg& bucket = buckets[agg.label];
+      bucket.flows += agg.flows;
+      bucket.packets += agg.packets;
+      bucket.bytes += agg.bytes;
+    }
+  }
+  std::vector<Agg> out;
+  out.reserve(buckets.size());
+  for (auto& [label, bucket] : buckets) {
+    bucket.label = label;
+    out.push_back(std::move(bucket));
+  }
+  return out;
+}
+
+std::optional<Row> SegmentedReader::row(std::uint64_t global) {
+  if (global >= rows()) return std::nullopt;
+  const auto it = std::upper_bound(bases_.begin(), bases_.end(), global);
+  const std::size_t s = static_cast<std::size_t>(it - bases_.begin()) - 1;
+  const Reader* reader = segment_reader(s);
+  if (!reader) return std::nullopt;
+  return reader->row(global - bases_[s]);
+}
+
+}  // namespace gq::flowdb

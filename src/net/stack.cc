@@ -42,7 +42,21 @@ HostStack::HostStack(sim::EventLoop& loop, std::string name,
   nic_.set_rx([this](sim::Frame frame) { handle_frame(std::move(frame)); });
 }
 
-HostStack::~HostStack() = default;
+HostStack::~HostStack() {
+  // Callbacks commonly capture shared_ptrs back to their own connection
+  // or socket (a server session holding the inmate conn whose on_data
+  // holds the session, a UDP echo responder capturing itself). For
+  // anything still open when the host dies, that cycle would outlive
+  // us — clear the handlers so the cycle breaks and the objects free.
+  for (auto& [key, conn] : connections_) {
+    conn->on_connected = nullptr;
+    conn->on_data = nullptr;
+    conn->on_remote_close = nullptr;
+    conn->on_closed = nullptr;
+  }
+  for (auto& [port, weak] : udp_sockets_)
+    if (const auto sock = weak.lock()) sock->on_datagram = nullptr;
+}
 
 void HostStack::configure(const Ipv4Config& config) {
   config_ = config;

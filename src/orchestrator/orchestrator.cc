@@ -233,6 +233,7 @@ void Orchestrator::on_slot_ready(PoolSlot& slot) {
     JobRecord& job = jobs_.at(pending->second);
     recycling_jobs_.erase(pending);
     job.recycled = farm_.loop().now();
+    job.archive_sealed = true;  // The tap stops mirroring on recycle.
     if (job.state == JobState::kHarvested) {
       job.state = JobState::kRecycled;
       ++completed_;
@@ -289,6 +290,19 @@ std::size_t Orchestrator::append_flowdb(flowdb::Writer& writer) const {
   for (const auto& [id, job] : jobs_) {
     if (!job.archive) continue;
     writer.add_tap(*job.archive);
+    rows += job.archive->index().flow_count();
+  }
+  return rows;
+}
+
+std::size_t Orchestrator::append_flowdb_new(flowdb::Writer& writer,
+                                            bool sealed_only) {
+  std::size_t rows = 0;
+  for (auto& [id, job] : jobs_) {
+    if (!job.archive || job.flowdb_appended) continue;
+    if (sealed_only && !job.archive_sealed) continue;
+    writer.add_tap(*job.archive);
+    job.flowdb_appended = true;
     rows += job.archive->index().flow_count();
   }
   return rows;

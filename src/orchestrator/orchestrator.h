@@ -68,6 +68,12 @@ struct JobRecord {
   /// The job's raw-ingress archive (alive until the orchestrator dies,
   /// so tests can replay/inspect without touching disk).
   std::unique_ptr<trace::TraceTap> archive;
+  /// True once the job's slot has fully recycled — from then on the
+  /// archive is immutable, so incremental FlowDB flushes can take it.
+  bool archive_sealed = false;
+  /// True once an incremental flush wrote this archive to a segmented
+  /// store (jobs finish out of id order, so a high-water id won't do).
+  bool flowdb_appended = false;
   sim::EventId budget_timer = 0;
 
   [[nodiscard]] std::string summary() const;
@@ -114,6 +120,14 @@ class Orchestrator {
   /// jobs in id order (deterministic: same batch → same store bytes).
   /// Returns the number of rows appended.
   std::size_t append_flowdb(flowdb::Writer& writer) const;
+
+  /// Incremental variant for segmented stores: append only jobs not
+  /// yet flushed, jobs in id order, and mark them flushed. With
+  /// `sealed_only` (the live-farm case) only jobs whose slot has fully
+  /// recycled — whose archives are immutable — are taken; a final
+  /// drain pass can set it false to also snapshot still-running jobs,
+  /// matching append_flowdb's semantics. Returns rows appended.
+  std::size_t append_flowdb_new(flowdb::Writer& writer, bool sealed_only);
 
   /// Compact all job archives into one `.fdb` store at `path` (the
   /// farm metrics registry picks up the writer's flowdb.* counters).

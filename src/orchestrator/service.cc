@@ -1,6 +1,7 @@
 #include "orchestrator/service.h"
 
 #include "flowdb/flowdb.h"
+#include "flowdb/store.h"
 #include "util/strings.h"
 
 namespace gq::orch {
@@ -43,6 +44,20 @@ std::optional<std::size_t> DetonationService::compact_flowdb(
   std::size_t rows = 0;
   for (const auto& shard : shards_) rows += shard->append_flowdb(writer);
   if (!writer.save(path)) return std::nullopt;
+  return rows;
+}
+
+std::optional<std::size_t> DetonationService::append_flowdb_store(
+    const std::string& dir, bool sealed_only) {
+  auto* metrics = &shards_.front()->farm().metrics();
+  auto store = flowdb::SegmentedStore::open(dir, metrics);
+  if (!store) return std::nullopt;
+  flowdb::Writer writer(metrics);
+  std::size_t rows = 0;
+  for (const auto& shard : shards_)
+    rows += shard->append_flowdb_new(writer, sealed_only);
+  if (rows == 0) return 0;
+  if (!store->append_segment(writer)) return std::nullopt;
   return rows;
 }
 

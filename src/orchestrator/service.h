@@ -48,6 +48,19 @@ class DetonationService {
   /// between run epochs (workers quiescent).
   std::optional<std::size_t> compact_flowdb(const std::string& path);
 
+  /// Incremental flush into the segmented store at `dir` (created on
+  /// first use): every job archive not yet flushed — shards in index
+  /// order, jobs in id order — is sealed into ONE new segment. With
+  /// `sealed_only` (the live-farm default) only fully recycled jobs
+  /// are taken, so the segment content at a lockstep-epoch boundary is
+  /// a pure function of the batch and identical at any worker-thread
+  /// count; a final drain flush passes false to also snapshot
+  /// still-running jobs. Zero new jobs appends nothing (returns 0).
+  /// Call between run epochs (workers quiescent); nullopt on I/O
+  /// error or a corrupt store dir.
+  std::optional<std::size_t> append_flowdb_store(const std::string& dir,
+                                                 bool sealed_only = true);
+
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] Orchestrator& shard(std::size_t i) { return *shards_.at(i); }
 

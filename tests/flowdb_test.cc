@@ -10,11 +10,14 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "flowdb/flowdb.h"
 #include "flowdb/query.h"
+#include "flowdb/store.h"
 #include "obs/metrics.h"
 #include "trace/flow_index.h"
 #include "util/rng.h"
@@ -384,6 +387,462 @@ TEST(FlowDbSmoke, EmptyStoreRoundTrips) {
   EXPECT_TRUE(flowdb::scan(*reader, {}).empty());
   EXPECT_TRUE(flowdb::aggregate_all(*reader, flowdb::GroupBy::kVerdict)
                   .empty());
+}
+
+// --- Zone-map / bloom pruning ---------------------------------------------
+
+/// The canned filter set every scan test shares: the same queries the
+/// brute-force differential exercises, now also run prune-on vs
+/// prune-off (the skip-scan correctness contract: pruning may only
+/// skip work, never change results).
+std::vector<flowdb::Filter> canned_filters() {
+  std::vector<flowdb::Filter> filters;
+  flowdb::Filter f;
+  f.verdict = static_cast<std::uint8_t>(shim::Verdict::kDrop);
+  filters.push_back(f);
+  f = {};
+  f.verdict = 0;
+  filters.push_back(f);
+  f = {};
+  f.tenant = "acme";
+  filters.push_back(f);
+  f = {};
+  f.tenant = "no-such-tenant";
+  filters.push_back(f);
+  f = {};
+  f.port = 80;
+  filters.push_back(f);
+  f = {};
+  f.prefix = util::Ipv4Net(util::Ipv4Addr(10, 9, 0, 0), 16);
+  filters.push_back(f);
+  f = {};
+  f.since_usec = 1'000'000;
+  f.until_usec = 3'000'000;
+  filters.push_back(f);
+  f = {};
+  f.since_usec = 1'000'000'000;  // Past every row: fully prunable.
+  filters.push_back(f);
+  f = {};
+  f.proto = pkt::FlowProto::kUdp;
+  f.vlan = 103;
+  filters.push_back(f);
+  f = {};
+  f.vlan = 9999;  // Outside every zone's vlan range.
+  filters.push_back(f);
+  f = {};
+  f.endpoint = util::Ipv4Addr(10, 9, 0, 77);
+  filters.push_back(f);
+  f = {};
+  f.endpoint = util::Ipv4Addr(203, 0, 113, 200);  // Absent address.
+  filters.push_back(f);
+  f = {};
+  f.tenant = "umbrella";
+  f.verdict = static_cast<std::uint8_t>(shim::Verdict::kForward);
+  f.source = static_cast<std::uint8_t>(shim::VerdictSource::kTable);
+  filters.push_back(f);
+  return filters;
+}
+
+TEST(FlowDbPrune, PruneOnAndOffAreByteIdentical) {
+  // Single-file store: chunk-granularity pruning only.
+  const auto writer = sample_writer(50'000, 0xFDB0201);
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+  const auto filters = canned_filters();
+  for (std::size_t fi = 0; fi < filters.size(); ++fi) {
+    flowdb::ScanOptions off;
+    off.prune = false;
+    const auto full = flowdb::scan(*reader, filters[fi], off);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      flowdb::ScanOptions on;
+      on.threads = threads;
+      EXPECT_EQ(flowdb::scan(*reader, filters[fi], on), full)
+          << "filter " << fi << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(FlowDbPrune, ScanStatsAndCountersTrackPruning) {
+  const auto writer = sample_writer(40'000, 0xFDB0202);
+  auto reader = flowdb::Reader::parse(writer.encode());
+  ASSERT_TRUE(reader);
+  flowdb::Filter unsatisfiable;
+  unsatisfiable.since_usec = 1'000'000'000;  // Newer than every row.
+  obs::MetricsRegistry metrics;
+  flowdb::ScanStats stats;
+  flowdb::ScanOptions options;
+  options.stats = &stats;
+  options.metrics = &metrics;
+  EXPECT_TRUE(flowdb::scan(*reader, unsatisfiable, options).empty());
+  EXPECT_EQ(stats.segments_considered, 1u);
+  EXPECT_EQ(stats.segments_pruned, 1u);  // Zone map kills the whole file.
+  EXPECT_EQ(stats.rows_scanned, 0u);
+  EXPECT_EQ(metrics.counter("flowdb.scan.segments_pruned").value(), 1u);
+  EXPECT_EQ(metrics.counter("flowdb.rows_scanned").value(), 0u);
+
+  // A satisfiable window prunes some chunks but keeps the segment.
+  flowdb::Filter window;
+  window.since_usec = 1'000'000;
+  window.until_usec = 2'000'000;
+  stats = {};
+  const auto matches = flowdb::scan(*reader, window, options);
+  EXPECT_FALSE(matches.empty());
+  EXPECT_EQ(stats.segments_scanned, 1u);
+  EXPECT_GT(stats.chunks_pruned, 0u);
+  EXPECT_GT(stats.chunks_scanned, 0u);
+  EXPECT_EQ(stats.rows_matched, matches.size());
+}
+
+/// Property: the planner never prunes a zone that covers a matching
+/// row. Random row populations (including inverted first/last stamps)
+/// against random filters; whenever brute force finds a match, both
+/// zone_may_match and the end-to-end pruned scan must agree.
+TEST(FlowDbPrune, ZoneNeverPrunesAMatchingRow) {
+  util::Rng rng(0xFDB0203);
+  const char* tenants[] = {"", "acme", "umbrella", "tyrell", "hooli"};
+  for (int round = 0; round < 120; ++round) {
+    const std::size_t n = 1 + rng.below(400);
+    flowdb::Writer writer;
+    std::vector<flowdb::Row> rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = sample_row(i, rng);
+      row.tenant = tenants[rng.below(std::size(tenants))];
+      row.first_usec = static_cast<std::int64_t>(rng.below(1'000'000));
+      // One row in ten has last < first — a malformed stamp the zone
+      // fold and planner must stay safe-side on.
+      row.last_usec =
+          rng.chance(0.1)
+              ? row.first_usec - static_cast<std::int64_t>(rng.below(5000))
+              : row.first_usec + static_cast<std::int64_t>(rng.below(50'000));
+      rows.push_back(row);
+      writer.add(std::move(row));
+    }
+    auto reader = flowdb::Reader::parse(writer.encode());
+    ASSERT_TRUE(reader);
+
+    for (int qi = 0; qi < 24; ++qi) {
+      flowdb::Filter filter;
+      if (rng.chance(0.4)) {
+        filter.since_usec = static_cast<std::int64_t>(rng.below(1'200'000));
+      }
+      if (rng.chance(0.4)) {
+        filter.until_usec = static_cast<std::int64_t>(rng.below(1'200'000));
+      }
+      if (rng.chance(0.3))
+        filter.vlan = static_cast<std::uint16_t>(98 + rng.below(12));
+      if (rng.chance(0.3)) filter.tenant = tenants[rng.below(5)];
+      if (rng.chance(0.3)) {
+        // Half the time an address actually present in some row.
+        if (rng.chance(0.5) && !rows.empty()) {
+          const auto& pick = rows[rng.below(rows.size())];
+          filter.endpoint =
+              rng.chance(0.5) ? pick.src.addr : pick.dst.addr;
+        } else {
+          filter.endpoint =
+              util::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+        }
+      }
+      if (rng.chance(0.3))
+        filter.port =
+            static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : rng.below(65536));
+
+      const auto matches_row = [&filter](const flowdb::Row& row) {
+        if (filter.vlan && row.vlan != *filter.vlan) return false;
+        if (filter.tenant && row.tenant != *filter.tenant) return false;
+        if (filter.port && row.src.port != *filter.port &&
+            row.dst.port != *filter.port)
+          return false;
+        if (filter.endpoint && row.src.addr != *filter.endpoint &&
+            row.dst.addr != *filter.endpoint)
+          return false;
+        if (filter.since_usec && row.last_usec < *filter.since_usec)
+          return false;
+        if (filter.until_usec && row.first_usec > *filter.until_usec)
+          return false;
+        return true;
+      };
+      bool any = false;
+      for (const auto& row : rows) any = any || matches_row(row);
+      if (any) {
+        EXPECT_TRUE(flowdb::zone_may_match(reader->zone(), filter))
+            << "round " << round << " query " << qi
+            << ": zone pruned a segment holding a matching row";
+      }
+      // End to end: pruning must not change the result, matching or not.
+      flowdb::ScanOptions off;
+      off.prune = false;
+      EXPECT_EQ(flowdb::scan(*reader, filter), flowdb::scan(*reader, filter, off))
+          << "round " << round << " query " << qi;
+    }
+  }
+}
+
+// --- Segmented store ------------------------------------------------------
+
+std::string temp_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir.string();
+}
+
+TEST(FlowDbStore, SegmentedRoundTripMatchesMonolith) {
+  const auto dir = temp_dir("flowdb_store_roundtrip");
+  auto store = flowdb::SegmentedStore::open(dir);
+  ASSERT_TRUE(store);
+  // Same rows, split across three appends vs one monolithic writer.
+  util::Rng rng(0xFDB0301);
+  flowdb::Writer monolith;
+  std::vector<flowdb::Row> rows;
+  for (std::size_t seg = 0; seg < 3; ++seg) {
+    flowdb::Writer part;
+    for (std::size_t i = 0; i < 500; ++i) {
+      auto row = sample_row(seg * 500 + i, rng);
+      rows.push_back(row);
+      monolith.add(row);
+      part.add(std::move(row));
+    }
+    ASSERT_TRUE(store->append_segment(part));
+  }
+  ASSERT_EQ(store->manifest().segments.size(), 3u);
+
+  auto seg_reader = flowdb::SegmentedReader::open(dir);
+  ASSERT_TRUE(seg_reader);
+  ASSERT_EQ(seg_reader->rows(), rows.size());
+  auto mono_reader = flowdb::Reader::parse(monolith.encode());
+  ASSERT_TRUE(mono_reader);
+
+  // Row reconstruction across segment boundaries.
+  for (const std::uint64_t i : {0ull, 499ull, 500ull, 1250ull, 1499ull}) {
+    const auto row = seg_reader->row(i);
+    ASSERT_TRUE(row);
+    EXPECT_EQ(*row, rows[i]) << "row " << i;
+  }
+  EXPECT_FALSE(seg_reader->row(rows.size()));
+
+  // Scans agree with the monolithic store on global ids, with pruning
+  // on and off and across thread counts.
+  for (const auto& filter : canned_filters()) {
+    const auto mono = flowdb::scan(*mono_reader, filter);
+    flowdb::ScanOptions off;
+    off.prune = false;
+    const auto full = seg_reader->scan(filter, off);
+    ASSERT_TRUE(full);
+    EXPECT_EQ(*full, mono);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      flowdb::ScanOptions on;
+      on.threads = threads;
+      const auto pruned = seg_reader->scan(filter, on);
+      ASSERT_TRUE(pruned);
+      EXPECT_EQ(*pruned, mono);
+    }
+  }
+
+  // Aggregation merges across segments like the monolith.
+  for (const auto group : {flowdb::GroupBy::kVerdict, flowdb::GroupBy::kTenant,
+                           flowdb::GroupBy::kPolicy, flowdb::GroupBy::kTap}) {
+    const auto seg_aggs = seg_reader->aggregate_all(group);
+    ASSERT_TRUE(seg_aggs);
+    const auto mono_aggs = flowdb::aggregate_all(*mono_reader, group);
+    ASSERT_EQ(seg_aggs->size(), mono_aggs.size());
+    for (std::size_t i = 0; i < mono_aggs.size(); ++i) {
+      EXPECT_EQ((*seg_aggs)[i].label, mono_aggs[i].label);
+      EXPECT_EQ((*seg_aggs)[i].flows, mono_aggs[i].flows);
+      EXPECT_EQ((*seg_aggs)[i].packets, mono_aggs[i].packets);
+      EXPECT_EQ((*seg_aggs)[i].bytes, mono_aggs[i].bytes);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlowDbStore, ManifestSerializeParseRoundTrip) {
+  flowdb::StoreManifest manifest;
+  manifest.segments.push_back({"segment-000001.fdb", 10, 2048, 0x0123456789abcdefull});
+  manifest.segments.push_back({"segment-000007.fdb", 0, 160, 0xffffffffffffffffull});
+  const auto text = manifest.serialize();
+  const auto parsed = flowdb::StoreManifest::parse(text);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->segments, manifest.segments);
+  EXPECT_EQ(parsed->serialize(), text);
+  EXPECT_EQ(parsed->total_rows(), 10u);
+  EXPECT_EQ(parsed->total_bytes(), 2208u);
+}
+
+TEST(FlowDbStore, HostileManifestsRejected) {
+  using flowdb::StoreManifest;
+  EXPECT_FALSE(StoreManifest::parse(""));
+  EXPECT_FALSE(StoreManifest::parse("gq-flowdb-store 2\n"));
+  EXPECT_TRUE(StoreManifest::parse("gq-flowdb-store 1\n"));
+  const char* hostile[] = {
+      "segment ../../etc/passwd 1 1 0000000000000000\n",
+      "segment /abs/path.fdb 1 1 0000000000000000\n",
+      "segment .hidden.fdb 1 1 0000000000000000\n",
+      "segment -rf.fdb 1 1 0000000000000000\n",
+      "segment a.fdb x 1 0000000000000000\n",
+      "segment a.fdb 1 1 000000000000000\n",    // Short hash.
+      "segment a.fdb 1 1 000000000000000G\n",   // Bad hex digit.
+      "segment a.fdb 1 1\n",                    // Missing field.
+      "segment a.fdb 1 1 0000000000000000 extra\n",
+      "segmen a.fdb 1 1 0000000000000000\n",
+      "segment a.fdb 1 1 0000000000000000\n"
+      "segment a.fdb 2 2 0000000000000000\n",   // Duplicate name.
+  };
+  for (const char* body : hostile) {
+    EXPECT_FALSE(StoreManifest::parse(std::string("gq-flowdb-store 1\n") +
+                                      body))
+        << body;
+  }
+}
+
+TEST(FlowDbStore, CompactionIsDeterministicAndPreservesGlobalIds) {
+  const auto dir_a = temp_dir("flowdb_store_compact_a");
+  const auto dir_b = temp_dir("flowdb_store_compact_b");
+  const auto build = [](const std::string& dir) {
+    auto store = flowdb::SegmentedStore::open(dir);
+    EXPECT_TRUE(store);
+    util::Rng rng(0xFDB0302);
+    // Uneven segment sizes so the size-tiered pick has real choices.
+    for (const std::size_t rows : {700u, 80u, 90u, 600u, 50u, 60u, 400u}) {
+      flowdb::Writer part;
+      for (std::size_t i = 0; i < rows; ++i) part.add(sample_row(i, rng));
+      EXPECT_TRUE(store->append_segment(part));
+    }
+    return store;
+  };
+  auto store_a = build(dir_a);
+  auto store_b = build(dir_b);
+
+  const auto store_bytes = [](const std::string& dir,
+                              const flowdb::StoreManifest& manifest) {
+    std::string all = manifest.serialize();
+    for (const auto& seg : manifest.segments) {
+      std::ifstream in(dir + "/" + seg.file, std::ios::binary);
+      all.append(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    }
+    return all;
+  };
+  EXPECT_EQ(store_bytes(dir_a, store_a->manifest()),
+            store_bytes(dir_b, store_b->manifest()));
+
+  // Snapshot pre-compaction scan results (global ids).
+  auto pre_reader = flowdb::SegmentedReader::open(dir_a);
+  ASSERT_TRUE(pre_reader);
+  const auto pre_total = pre_reader->rows();
+  std::vector<std::vector<std::uint64_t>> pre;
+  for (const auto& filter : canned_filters()) {
+    auto matches = pre_reader->scan(filter);
+    ASSERT_TRUE(matches);
+    pre.push_back(std::move(*matches));
+  }
+
+  ASSERT_TRUE(store_a->compact_segments(3));
+  ASSERT_TRUE(store_b->compact_segments(3));
+  EXPECT_EQ(store_a->manifest().segments.size(), 3u);
+  EXPECT_EQ(store_bytes(dir_a, store_a->manifest()),
+            store_bytes(dir_b, store_b->manifest()));
+  // Old segment files are gone; only manifest entries remain on disk.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_a))
+    if (entry.path().extension() == ".fdb") ++files;
+  EXPECT_EQ(files, 3u);
+
+  // Adjacent-only merges preserve row order, so every global id —
+  // and therefore every scan result — survives compaction unchanged.
+  auto post_reader = flowdb::SegmentedReader::open(dir_a);
+  ASSERT_TRUE(post_reader);
+  EXPECT_EQ(post_reader->rows(), pre_total);
+  const auto filters = canned_filters();
+  for (std::size_t fi = 0; fi < filters.size(); ++fi) {
+    const auto matches = post_reader->scan(filters[fi]);
+    ASSERT_TRUE(matches);
+    EXPECT_EQ(*matches, pre[fi]) << "filter " << fi;
+  }
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FlowDbStore, TamperedSegmentsNeverScanWrong) {
+  const auto dir = temp_dir("flowdb_store_tamper");
+  auto store = flowdb::SegmentedStore::open(dir);
+  ASSERT_TRUE(store);
+  ASSERT_TRUE(store->append_segment(sample_writer(128, 0xFDB0303)));
+  const std::string seg_path =
+      dir + "/" + store->manifest().segments[0].file;
+  ASSERT_TRUE(flowdb::SegmentedReader::open(dir));
+  const auto sealed = read_bytes(seg_path);
+  ASSERT_GT(sealed.size(), 2001u);
+
+  // Mid-file flip without resealing: the tail read at open still
+  // matches the manifest, but mapping the segment fails the footer
+  // recompute — the scan comes back nullopt, never a wrong answer.
+  {
+    auto tampered = sealed;
+    tampered[2000] ^= 0x01;
+    write_bytes(seg_path, tampered);
+    auto reader = flowdb::SegmentedReader::open(dir);
+    ASSERT_TRUE(reader);
+    EXPECT_FALSE(reader->scan({}));
+    EXPECT_FALSE(reader->row(0));
+  }
+
+  // Footer-resealed zone lie: rewrite a zone byte AND recompute the
+  // footer hash so the file is internally consistent. The manifest
+  // pinned the original hash at append time, so the store refuses to
+  // open — the planner can never trust the lying zone map.
+  {
+    auto tampered = sealed;
+    flowdb::FileHeader header;
+    std::memcpy(&header, tampered.data(), sizeof header);
+    tampered[header.zone_offset + 64] ^= 0xFF;  // A bloom byte.
+    const std::uint64_t resealed = flowdb::fnv1a(
+        {tampered.data(), static_cast<std::size_t>(header.footer_offset)});
+    std::memcpy(tampered.data() + header.footer_offset, &resealed, 8);
+    write_bytes(seg_path, tampered);
+    EXPECT_FALSE(flowdb::SegmentedReader::open(dir));
+  }
+
+  // Restoring the sealed bytes restores the store.
+  write_bytes(seg_path, sealed);
+  EXPECT_TRUE(flowdb::SegmentedReader::open(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlowDbStore, EmptyAppendIsNoOpAndEmptyStoreScans) {
+  const auto dir = temp_dir("flowdb_store_empty");
+  auto store = flowdb::SegmentedStore::open(dir);
+  ASSERT_TRUE(store);
+  flowdb::Writer empty;
+  EXPECT_TRUE(store->append_segment(empty));  // Zero rows: no segment.
+  EXPECT_TRUE(store->manifest().segments.empty());
+  auto reader = flowdb::SegmentedReader::open(dir);
+  ASSERT_TRUE(reader);
+  EXPECT_EQ(reader->rows(), 0u);
+  const auto matches = reader->scan({});
+  ASSERT_TRUE(matches);
+  EXPECT_TRUE(matches->empty());
+  // Reopening an existing store continues the sequence numbering.
+  ASSERT_TRUE(store->append_segment(sample_writer(16, 0xFDB0304)));
+  auto reopened = flowdb::SegmentedStore::open(dir);
+  ASSERT_TRUE(reopened);
+  ASSERT_TRUE(reopened->append_segment(sample_writer(16, 0xFDB0305)));
+  ASSERT_EQ(reopened->manifest().segments.size(), 2u);
+  EXPECT_NE(reopened->manifest().segments[0].file,
+            reopened->manifest().segments[1].file);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

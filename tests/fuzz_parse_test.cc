@@ -13,10 +13,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <set>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "flowdb/flowdb.h"
+#include "flowdb/store.h"
 #include "gateway/policy_table.h"
 #include "orchestrator/job.h"
 #include "packet/frame.h"
@@ -739,6 +742,127 @@ TEST(FuzzFlowDb, CanonicalStoresAlwaysParse) {
     const auto size = buf.size();
     const auto reader = flowdb::Reader::parse(std::move(buf));
     ASSERT_TRUE(reader) << "store " << i << " (" << size << " bytes)";
+  }
+}
+
+TEST(FuzzFlowDb, ResealedZoneLiesAreDetectedOrHarmless) {
+  // The skip-scan trust boundary: rewrite bytes inside the zone block
+  // (ZoneMap min/max bounds, the tenant/endpoint bloom, ChunkZone time
+  // bounds) and re-seal the footer hash so integrity checking alone
+  // cannot catch it. The reader recomputes the zone from the columns at
+  // validation, so any actual change must reject at parse — a lying
+  // zone map never survives to mislead the pruning planner. A rewrite
+  // that happens to restore the original bytes must still parse.
+  util::Rng rng(0xF00D0013);
+  for (int i = 0; i < kCases; ++i) {
+    auto buf = random_store(rng);
+    flowdb::FileHeader header;
+    std::memcpy(&header, buf.data(), sizeof header);
+    ASSERT_GE(header.zone_bytes, sizeof(flowdb::ZoneMap));
+    const std::size_t zone_begin = header.zone_offset;
+    const std::size_t zone_end = zone_begin + header.zone_bytes;
+    const auto original = buf;
+    const auto pokes = 1 + rng.below(4);
+    for (std::uint64_t p = 0; p < pokes; ++p) {
+      const std::size_t at = zone_begin + rng.below(zone_end - zone_begin);
+      buf[at] = static_cast<std::uint8_t>(rng.next());
+    }
+    const std::size_t footer_offset = buf.size() - 16;
+    const std::uint64_t resealed =
+        flowdb::fnv1a({buf.data(), footer_offset});
+    std::memcpy(buf.data() + footer_offset, &resealed, 8);
+    const bool changed = !std::equal(buf.begin() + zone_begin,
+                                     buf.begin() + zone_end,
+                                     original.begin() + zone_begin);
+    const auto reader = flowdb::Reader::parse(std::move(buf));
+    if (changed) {
+      ASSERT_FALSE(reader) << "case " << i << ": a resealed zone lie parsed";
+    } else {
+      ASSERT_TRUE(reader) << "case " << i;
+    }
+  }
+}
+
+// --- FlowDB store manifest (flowdb::StoreManifest::parse) -----------------
+
+flowdb::StoreManifest random_manifest(util::Rng& rng) {
+  flowdb::StoreManifest manifest;
+  std::set<std::string> names;
+  const auto n = rng.below(6);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    flowdb::SegmentInfo info;
+    // Mostly the generated pattern, sometimes an arbitrary lawful name
+    // (first char forced alphanumeric; the ident charset allows '.'
+    // and '-' elsewhere).
+    info.file = rng.chance(0.7)
+                    ? "segment-" + std::to_string(100000 + i) + ".fdb"
+                    : "s" + random_ident(rng, 16) + ".fdb";
+    // The ident charset allows '.', so an ident ending in '.' would
+    // form a (rejected) ".." with the extension — lawful names only.
+    if (info.file.find("..") != std::string::npos) continue;
+    if (!names.insert(info.file).second) continue;
+    info.rows = rng.below(1u << 20);
+    info.bytes = rng.below(1u << 30);
+    info.footer_hash = rng.next();
+    manifest.segments.push_back(std::move(info));
+  }
+  return manifest;
+}
+
+TEST(FuzzManifest, CanonicalManifestsAlwaysRoundTrip) {
+  util::Rng rng(0xF00D0014);
+  for (int i = 0; i < kCases; ++i) {
+    const auto manifest = random_manifest(rng);
+    const auto text = manifest.serialize();
+    const auto parsed = flowdb::StoreManifest::parse(text);
+    ASSERT_TRUE(parsed) << text;
+    ASSERT_EQ(parsed->segments, manifest.segments) << text;
+    // Canonical form is a fixed point.
+    ASSERT_EQ(parsed->serialize(), text);
+  }
+}
+
+TEST(FuzzManifest, MutatedManifestsRejectOrParseWithLawfulNames) {
+  util::Rng rng(0xF00D0015);
+  for (int i = 0; i < kCases; ++i) {
+    std::string text = random_manifest(rng).serialize();
+    const auto mutations = 1 + rng.below(3);
+    for (std::uint64_t m = 0; m < mutations; ++m) mutate_line(rng, text);
+    const auto parsed = flowdb::StoreManifest::parse(text);
+    if (!parsed) continue;
+    // Whatever survives mutation must honor the path-safety contract
+    // the store relies on: one relative component, conservative
+    // charset, no dotfiles, no traversal, no duplicates.
+    std::set<std::string> seen;
+    for (const auto& seg : parsed->segments) {
+      ASSERT_FALSE(seg.file.empty());
+      ASSERT_LE(seg.file.size(), 200u);
+      ASSERT_EQ(seg.file.find('/'), std::string::npos) << seg.file;
+      ASSERT_EQ(seg.file.find(".."), std::string::npos) << seg.file;
+      ASSERT_NE(seg.file.front(), '.') << seg.file;
+      ASSERT_NE(seg.file.front(), '-') << seg.file;
+      ASSERT_TRUE(seen.insert(seg.file).second) << seg.file;
+    }
+    // An accepted manifest re-serializes and re-parses unchanged (the
+    // store rewrites the manifest on every append/compaction).
+    const auto reparsed = flowdb::StoreManifest::parse(parsed->serialize());
+    ASSERT_TRUE(reparsed);
+    ASSERT_EQ(reparsed->segments, parsed->segments);
+  }
+}
+
+TEST(FuzzManifest, RandomGarbageNeverCrashesAndRarelyParses) {
+  util::Rng rng(0xF00D0016);
+  for (int i = 0; i < kCases; ++i) {
+    const auto bytes = random_bytes(rng, rng.below(300));
+    const std::string text(bytes.begin(), bytes.end());
+    const auto parsed = flowdb::StoreManifest::parse(text);
+    if (parsed) {
+      // Garbage that parses must still be lawful and round-trip.
+      for (const auto& seg : parsed->segments)
+        ASSERT_EQ(seg.file.find('/'), std::string::npos);
+      ASSERT_TRUE(flowdb::StoreManifest::parse(parsed->serialize()));
+    }
   }
 }
 
