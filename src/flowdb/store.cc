@@ -68,32 +68,77 @@ std::optional<std::uint64_t> segment_seq(std::string_view name) {
   return static_cast<std::uint64_t>(*value);
 }
 
-std::optional<std::string> read_text_file(const std::string& path) {
+/// Read a whole file; on failure `err_out` (when non-null) carries the
+/// errno so callers can tell "does not exist" from "could not read".
+std::optional<std::string> read_text_file(const std::string& path,
+                                          int* err_out = nullptr) {
+  if (err_out) *err_out = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return std::nullopt;
+  if (!f) {
+    if (err_out) *err_out = errno;
+    return std::nullopt;
+  }
   std::string out;
   char buf[4096];
   std::size_t got = 0;
   while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
   const bool ok = std::ferror(f) == 0;
+  if (!ok && err_out) *err_out = errno ? errno : EIO;
   std::fclose(f);
   if (!ok) return std::nullopt;
   return out;
 }
 
+/// Crash-safe write: `path`.tmp + fsync, then rename over `path` and
+/// fsync the parent directory. A crash mid-write leaves either the old
+/// file or the new one under the final name, never a truncated hybrid
+/// — the manifest (and every sealed segment) stays openable.
 bool write_file(const std::string& path, const void* data,
                 std::size_t size) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) return false;
-  const bool ok = std::fwrite(data, 1, size, f) == size;
-  return (std::fclose(f) == 0) && ok;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  bool ok = true;
+  while (ok && done < size) {
+    const ssize_t wrote = ::write(fd, p + done, size - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+    } else {
+      done += static_cast<std::size_t>(wrote);
+    }
+  }
+  if (ok) ok = ::fsync(fd) == 0;
+  if (::close(fd) != 0) ok = false;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable (best-effort: some filesystems do
+  // not support fsync on a directory fd).
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
 }
 
-/// Read a sealed segment's zone map from its tail: the 104-byte header
-/// plus the ZoneMap at zone_offset plus the 16-byte footer — no mmap,
-/// no column data. The manifest entry pins exact size and footer hash,
-/// so any post-seal rewrite (however internally consistent) fails here
-/// before the planner can trust a lying zone map.
+/// Read a sealed segment's zone block from its tail: the 104-byte
+/// header plus the zone region at zone_offset plus the 16-byte footer
+/// — no mmap, no column data. The manifest entry pins exact size, the
+/// sealed footer hash, AND the zone block's own FNV-1a hash recorded
+/// at append time; recomputing the latter over the bytes actually read
+/// means an in-place zone edit under the original footer fails here
+/// just like a footer-resealed one — the planner can never prune on a
+/// lying zone map.
 bool read_segment_zone(const std::string& path, const SegmentInfo& info,
                        ZoneMap* out) {
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -110,9 +155,10 @@ bool read_segment_zone(const std::string& path, const SegmentInfo& info,
     if (h.magic != kMagic || h.version != kVersion) break;
     if (h.row_count != info.rows) break;
     if (h.footer_offset != info.bytes - 16) break;
+    const std::uint64_t chunks = (info.rows + kScanChunk - 1) / kScanChunk;
     if (h.zone_offset < sizeof(FileHeader) ||
-        h.zone_bytes < sizeof(ZoneMap) ||
         h.zone_offset > h.footer_offset ||
+        h.zone_bytes != sizeof(ZoneMap) + chunks * sizeof(ChunkZone) ||
         h.zone_bytes > h.footer_offset - h.zone_offset)
       break;
     std::uint8_t footer[16];
@@ -122,10 +168,13 @@ bool read_segment_zone(const std::string& path, const SegmentInfo& info,
     std::memcpy(&stored_hash, footer, 8);
     std::memcpy(&end_magic, footer + 8, 8);
     if (end_magic != kEndMagic || stored_hash != info.footer_hash) break;
-    if (::pread(fd, out, sizeof(ZoneMap),
+    std::vector<std::uint8_t> zone(static_cast<std::size_t>(h.zone_bytes));
+    if (::pread(fd, zone.data(), zone.size(),
                 static_cast<off_t>(h.zone_offset)) !=
-        static_cast<ssize_t>(sizeof(ZoneMap)))
+        static_cast<ssize_t>(zone.size()))
       break;
+    if (fnv1a(zone) != info.zone_hash) break;
+    std::memcpy(out, zone.data(), sizeof(ZoneMap));
     if (out->row_count != info.rows) break;
     ok = true;
   } while (false);
@@ -133,31 +182,50 @@ bool read_segment_zone(const std::string& path, const SegmentInfo& info,
   return ok;
 }
 
+/// Manifest record for freshly sealed segment bytes: sizes plus both
+/// pins (footer hash from the sealed tail, zone hash recomputed over
+/// the zone region the header declares).
+SegmentInfo seal_info(std::string file, std::uint64_t rows,
+                      const std::vector<std::uint8_t>& bytes) {
+  SegmentInfo info;
+  info.file = std::move(file);
+  info.rows = rows;
+  info.bytes = bytes.size();
+  std::memcpy(&info.footer_hash, bytes.data() + bytes.size() - 16, 8);
+  FileHeader h;
+  std::memcpy(&h, bytes.data(), sizeof h);
+  info.zone_hash = fnv1a({bytes.data() + h.zone_offset,
+                          static_cast<std::size_t>(h.zone_bytes)});
+  return info;
+}
+
 }  // namespace
 
 // --- StoreManifest --------------------------------------------------------
 
 std::string StoreManifest::serialize() const {
-  std::string out = "gq-flowdb-store 1\n";
+  std::string out = "gq-flowdb-store 2\n";
   for (const SegmentInfo& s : segments) {
-    out += util::format("segment %s %llu %llu %016llx\n", s.file.c_str(),
+    out += util::format("segment %s %llu %llu %016llx %016llx\n",
+                        s.file.c_str(),
                         static_cast<unsigned long long>(s.rows),
                         static_cast<unsigned long long>(s.bytes),
-                        static_cast<unsigned long long>(s.footer_hash));
+                        static_cast<unsigned long long>(s.footer_hash),
+                        static_cast<unsigned long long>(s.zone_hash));
   }
   return out;
 }
 
 std::optional<StoreManifest> StoreManifest::parse(std::string_view text) {
   const auto lines = util::split(text, '\n');
-  if (lines.empty() || util::trim(lines[0]) != "gq-flowdb-store 1")
+  if (lines.empty() || util::trim(lines[0]) != "gq-flowdb-store 2")
     return std::nullopt;
   StoreManifest manifest;
   std::set<std::string> seen;
   for (std::size_t i = 1; i < lines.size(); ++i) {
     if (util::trim(lines[i]).empty()) continue;  // Trailing newline etc.
     const auto fields = util::split_ws(lines[i]);
-    if (fields.size() != 5 || fields[0] != "segment") return std::nullopt;
+    if (fields.size() != 6 || fields[0] != "segment") return std::nullopt;
     if (manifest.segments.size() >= kMaxManifestSegments)
       return std::nullopt;
     SegmentInfo info;
@@ -167,11 +235,13 @@ std::optional<StoreManifest> StoreManifest::parse(std::string_view text) {
     const auto rows = util::parse_int(fields[2]);
     const auto bytes = util::parse_int(fields[3]);
     const auto hash = parse_hex16(fields[4]);
-    if (!rows || *rows < 0 || !bytes || *bytes < 0 || !hash)
+    const auto zone_hash = parse_hex16(fields[5]);
+    if (!rows || *rows < 0 || !bytes || *bytes < 0 || !hash || !zone_hash)
       return std::nullopt;
     info.rows = static_cast<std::uint64_t>(*rows);
     info.bytes = static_cast<std::uint64_t>(*bytes);
     info.footer_hash = *hash;
+    info.zone_hash = *zone_hash;
     manifest.segments.push_back(std::move(info));
   }
   return manifest;
@@ -199,10 +269,15 @@ std::optional<SegmentedStore> SegmentedStore::open(
   store.dir_ = dir;
   store.metrics_ = metrics;
   const std::string manifest_path = dir + "/" + kManifestName;
-  if (const auto text = read_text_file(manifest_path)) {
+  int read_err = 0;
+  if (const auto text = read_text_file(manifest_path, &read_err)) {
     auto manifest = StoreManifest::parse(*text);
     if (!manifest) return std::nullopt;
     store.manifest_ = std::move(*manifest);
+  } else if (read_err != ENOENT) {
+    // EACCES/EMFILE/EIO/...: the store may well exist — initialising a
+    // fresh manifest here would orphan every sealed segment.
+    return std::nullopt;
   } else if (!store.write_manifest()) {
     return std::nullopt;
   }
@@ -221,12 +296,10 @@ bool SegmentedStore::write_manifest() const {
 bool SegmentedStore::append_segment(const Writer& writer) {
   if (writer.row_count() == 0) return true;
   const std::vector<std::uint8_t> bytes = writer.encode();
-  SegmentInfo info;
-  info.file = util::format("segment-%06llu.fdb",
-                           static_cast<unsigned long long>(next_seq_));
-  info.rows = writer.row_count();
-  info.bytes = bytes.size();
-  std::memcpy(&info.footer_hash, bytes.data() + bytes.size() - 16, 8);
+  SegmentInfo info = seal_info(
+      util::format("segment-%06llu.fdb",
+                   static_cast<unsigned long long>(next_seq_)),
+      writer.row_count(), bytes);
   if (!write_file(dir_ + "/" + info.file, bytes.data(), bytes.size()))
     return false;
   manifest_.segments.push_back(std::move(info));
@@ -266,12 +339,10 @@ bool SegmentedStore::compact_segments(std::size_t max_segments) {
     for (std::uint64_t i = 0; i < reader_b->rows(); ++i)
       writer.add(reader_b->row(i));
     const std::vector<std::uint8_t> bytes = writer.encode();
-    SegmentInfo merged;
-    merged.file = util::format("segment-%06llu.fdb",
-                               static_cast<unsigned long long>(next_seq_));
-    merged.rows = writer.row_count();
-    merged.bytes = bytes.size();
-    std::memcpy(&merged.footer_hash, bytes.data() + bytes.size() - 16, 8);
+    SegmentInfo merged = seal_info(
+        util::format("segment-%06llu.fdb",
+                     static_cast<unsigned long long>(next_seq_)),
+        writer.row_count(), bytes);
     if (!write_file(dir_ + "/" + merged.file, bytes.data(), bytes.size()))
       return false;
     manifest_.segments[best] = std::move(merged);

@@ -8,15 +8,23 @@
 //
 // Manifest format (text, one record per line):
 //
-//   gq-flowdb-store 1
-//   segment <file> <rows> <bytes> <footer-hash-hex16>
+//   gq-flowdb-store 2
+//   segment <file> <rows> <bytes> <footer-hash-hex16> <zone-hash-hex16>
 //
 // Manifest line order IS store order: global row id = sum of prior
-// segment row counts + local row. The footer hash recorded at append
-// time pins each segment's exact bytes, so the planner's cheap tail
-// read detects any post-seal tamper (including a footer-resealed zone
-// lie) before the pruning decision can go wrong; a segment that is
-// opened is additionally recompute-verified by the Reader (flowdb.h).
+// segment row counts + local row. Two hashes recorded at append time
+// pin each segment: the sealed footer hash pins the file's exact
+// bytes, and the zone hash (FNV-1a over the zone block region) pins
+// the skip-scan metadata itself. The planner's cheap tail read
+// verifies both, so any post-seal rewrite of the zone block — whether
+// footer-resealed or edited in place under the original footer —
+// fails the pin before the pruning decision can go wrong; a segment
+// that is opened is additionally recompute-verified by the Reader
+// (flowdb.h).
+//
+// The manifest is rewritten via temp-file + fsync + rename (plus a
+// directory fsync), so a crash mid-update can never strand the store
+// behind a truncated manifest.
 //
 // Determinism contract: append order is caller order; compaction only
 // ever merges ADJACENT segments (preserving global row order) and
@@ -49,6 +57,7 @@ struct SegmentInfo {
   std::uint64_t rows = 0;
   std::uint64_t bytes = 0;        ///< Exact file size.
   std::uint64_t footer_hash = 0;  ///< The segment's sealed FNV-1a footer.
+  std::uint64_t zone_hash = 0;    ///< FNV-1a over the zone block region.
 
   friend bool operator==(const SegmentInfo&, const SegmentInfo&) = default;
 };
@@ -72,6 +81,10 @@ struct StoreManifest {
 ///   flowdb.segments_compacted  counter  segments merged away
 class SegmentedStore {
  public:
+  /// Open an existing store or initialise an empty one. A fresh
+  /// manifest is written only when none exists (ENOENT); any other
+  /// manifest read failure (EACCES, EIO, ...) fails the open rather
+  /// than clobbering a store we merely could not read.
   static std::optional<SegmentedStore> open(
       const std::string& dir, obs::MetricsRegistry* metrics = nullptr);
 

@@ -657,8 +657,10 @@ TEST(FlowDbStore, SegmentedRoundTripMatchesMonolith) {
 
 TEST(FlowDbStore, ManifestSerializeParseRoundTrip) {
   flowdb::StoreManifest manifest;
-  manifest.segments.push_back({"segment-000001.fdb", 10, 2048, 0x0123456789abcdefull});
-  manifest.segments.push_back({"segment-000007.fdb", 0, 160, 0xffffffffffffffffull});
+  manifest.segments.push_back({"segment-000001.fdb", 10, 2048,
+                               0x0123456789abcdefull, 0xfedcba9876543210ull});
+  manifest.segments.push_back({"segment-000007.fdb", 0, 160,
+                               0xffffffffffffffffull, 0ull});
   const auto text = manifest.serialize();
   const auto parsed = flowdb::StoreManifest::parse(text);
   ASSERT_TRUE(parsed);
@@ -671,24 +673,28 @@ TEST(FlowDbStore, ManifestSerializeParseRoundTrip) {
 TEST(FlowDbStore, HostileManifestsRejected) {
   using flowdb::StoreManifest;
   EXPECT_FALSE(StoreManifest::parse(""));
-  EXPECT_FALSE(StoreManifest::parse("gq-flowdb-store 2\n"));
-  EXPECT_TRUE(StoreManifest::parse("gq-flowdb-store 1\n"));
+  EXPECT_FALSE(StoreManifest::parse("gq-flowdb-store 1\n"));  // Old format.
+  EXPECT_FALSE(StoreManifest::parse("gq-flowdb-store 3\n"));
+  EXPECT_TRUE(StoreManifest::parse("gq-flowdb-store 2\n"));
   const char* hostile[] = {
-      "segment ../../etc/passwd 1 1 0000000000000000\n",
-      "segment /abs/path.fdb 1 1 0000000000000000\n",
-      "segment .hidden.fdb 1 1 0000000000000000\n",
-      "segment -rf.fdb 1 1 0000000000000000\n",
-      "segment a.fdb x 1 0000000000000000\n",
-      "segment a.fdb 1 1 000000000000000\n",    // Short hash.
-      "segment a.fdb 1 1 000000000000000G\n",   // Bad hex digit.
-      "segment a.fdb 1 1\n",                    // Missing field.
-      "segment a.fdb 1 1 0000000000000000 extra\n",
-      "segmen a.fdb 1 1 0000000000000000\n",
-      "segment a.fdb 1 1 0000000000000000\n"
-      "segment a.fdb 2 2 0000000000000000\n",   // Duplicate name.
+      "segment ../../etc/passwd 1 1 0000000000000000 0000000000000000\n",
+      "segment /abs/path.fdb 1 1 0000000000000000 0000000000000000\n",
+      "segment .hidden.fdb 1 1 0000000000000000 0000000000000000\n",
+      "segment -rf.fdb 1 1 0000000000000000 0000000000000000\n",
+      "segment a.fdb x 1 0000000000000000 0000000000000000\n",
+      "segment a.fdb 1 1 000000000000000 0000000000000000\n",   // Short hash.
+      "segment a.fdb 1 1 000000000000000G 0000000000000000\n",  // Bad digit.
+      "segment a.fdb 1 1 0000000000000000 000000000000000\n",   // Short zone.
+      "segment a.fdb 1 1 0000000000000000 000000000000000G\n",  // Bad zone.
+      "segment a.fdb 1 1 0000000000000000\n",   // Missing zone hash (v1 line).
+      "segment a.fdb 1 1\n",                    // Missing fields.
+      "segment a.fdb 1 1 0000000000000000 0000000000000000 extra\n",
+      "segmen a.fdb 1 1 0000000000000000 0000000000000000\n",
+      "segment a.fdb 1 1 0000000000000000 0000000000000000\n"
+      "segment a.fdb 2 2 0000000000000000 0000000000000000\n",  // Duplicate.
   };
   for (const char* body : hostile) {
-    EXPECT_FALSE(StoreManifest::parse(std::string("gq-flowdb-store 1\n") +
+    EXPECT_FALSE(StoreManifest::parse(std::string("gq-flowdb-store 2\n") +
                                       body))
         << body;
   }
@@ -799,6 +805,39 @@ TEST(FlowDbStore, TamperedSegmentsNeverScanWrong) {
     EXPECT_FALSE(reader->row(0));
   }
 
+  // In-place (NON-resealed) zone lie: rewrite zone bytes while leaving
+  // the sealed footer untouched, so the tail read's footer check still
+  // matches the manifest. If such a lie narrowed the bounds or cleared
+  // bloom bits, the planner would prune the segment and the Reader's
+  // recompute-verify would never run — the manifest's zone-hash pin
+  // must catch it at open instead. Sweep the whole ZoneMap: the
+  // min/max bound fields and every bloom byte.
+  {
+    flowdb::FileHeader header;
+    std::memcpy(&header, sealed.data(), sizeof header);
+    std::vector<std::size_t> offsets;
+    for (std::size_t at = 8; at < sizeof(flowdb::ZoneMap); at += 7)
+      offsets.push_back(at);  // Skip row_count; stride covers the bloom.
+    for (const std::size_t at : offsets) {
+      auto tampered = sealed;
+      // Zeroing narrows time/vlan/port maxima and clears bloom bits —
+      // exactly the "prune what actually matches" direction; flip if
+      // the byte is already zero so the file always really changes.
+      std::uint8_t& b = tampered[header.zone_offset + at];
+      b = b == 0 ? 0xFF : 0;
+      write_bytes(seg_path, tampered);
+      EXPECT_FALSE(flowdb::SegmentedReader::open(dir))
+          << "unresealed zone edit at +" << at << " was not detected";
+    }
+    // Same attack on a ChunkZone time bound (chunk pruning metadata).
+    auto tampered = sealed;
+    std::uint8_t& b =
+        tampered[header.zone_offset + sizeof(flowdb::ZoneMap)];
+    b = b == 0 ? 0xFF : 0;
+    write_bytes(seg_path, tampered);
+    EXPECT_FALSE(flowdb::SegmentedReader::open(dir));
+  }
+
   // Footer-resealed zone lie: rewrite a zone byte AND recompute the
   // footer hash so the file is internally consistent. The manifest
   // pinned the original hash at append time, so the store refuses to
@@ -818,6 +857,47 @@ TEST(FlowDbStore, TamperedSegmentsNeverScanWrong) {
   // Restoring the sealed bytes restores the store.
   write_bytes(seg_path, sealed);
   EXPECT_TRUE(flowdb::SegmentedReader::open(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlowDbStore, ManifestReadFailureNeverClobbersStore) {
+  const auto dir = temp_dir("flowdb_store_manifest_err");
+  auto store = flowdb::SegmentedStore::open(dir);
+  ASSERT_TRUE(store);
+  ASSERT_TRUE(store->append_segment(sample_writer(64, 0xFDB0306)));
+  const std::string manifest_path =
+      dir + "/" + std::string(flowdb::kManifestName);
+  const auto good = read_bytes(manifest_path);
+  ASSERT_FALSE(good.empty());
+  // Manifest rewrites are temp+rename: no .tmp stragglers afterwards.
+  EXPECT_FALSE(std::filesystem::exists(manifest_path + ".tmp"));
+
+  // A manifest that exists but cannot be read (here: it is a
+  // directory, so reads fail with EISDIR) must fail the open — NOT be
+  // treated as "no store yet" and overwritten with an empty manifest,
+  // which would orphan every sealed segment.
+  std::filesystem::remove(manifest_path);
+  ASSERT_TRUE(std::filesystem::create_directory(manifest_path));
+  EXPECT_FALSE(flowdb::SegmentedStore::open(dir));
+  EXPECT_TRUE(std::filesystem::is_directory(manifest_path));
+  std::filesystem::remove(manifest_path);
+
+  // A corrupt (e.g. torn) manifest fails the open and is left intact
+  // for the operator rather than silently replaced.
+  const std::vector<std::uint8_t> torn(good.begin(),
+                                       good.begin() + good.size() / 2);
+  write_bytes(manifest_path, torn);
+  EXPECT_FALSE(flowdb::SegmentedStore::open(dir));
+  EXPECT_EQ(read_bytes(manifest_path), torn);
+
+  // Restoring the manifest restores the store and its segment.
+  write_bytes(manifest_path, good);
+  auto reopened = flowdb::SegmentedStore::open(dir);
+  ASSERT_TRUE(reopened);
+  EXPECT_EQ(reopened->manifest().segments.size(), 1u);
+  auto reader = flowdb::SegmentedReader::open(dir);
+  ASSERT_TRUE(reader);
+  EXPECT_EQ(reader->rows(), 64u);
   std::filesystem::remove_all(dir);
 }
 

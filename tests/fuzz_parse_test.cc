@@ -804,6 +804,7 @@ flowdb::StoreManifest random_manifest(util::Rng& rng) {
     info.rows = rng.below(1u << 20);
     info.bytes = rng.below(1u << 30);
     info.footer_hash = rng.next();
+    info.zone_hash = rng.next();
     manifest.segments.push_back(std::move(info));
   }
   return manifest;
